@@ -1,0 +1,54 @@
+// Ablation: knowledge-based synthesis vs flat random-search sizing.
+//
+// OASYS reaches a feasible sizing in one plan execution; the baseline
+// samples the same design space blindly.  Reports, per paper test case:
+// success, design-evaluation counts, and wall time.
+#include <chrono>
+#include <cstdio>
+
+#include "baseline/random_sizer.h"
+#include "synth/oasys.h"
+#include "synth/test_cases.h"
+#include "tech/builtin.h"
+#include "util/table.h"
+#include "util/text.h"
+
+int main() {
+  using namespace oasys;
+  using Clock = std::chrono::steady_clock;
+  using util::format;
+  const tech::Technology t = tech::five_micron();
+
+  std::puts("=== Ablation: OASYS plans vs flat random search (same "
+            "topology family, same equations) ===\n");
+  util::Table table({"case", "OASYS", "OASYS ms", "search", "evaluations",
+                     "best unmet axes", "search ms"});
+  for (const core::OpAmpSpec& spec : synth::paper_test_cases()) {
+    const auto t0 = Clock::now();
+    const synth::SynthesisResult r = synth::synthesize_opamp(t, spec);
+    const auto t1 = Clock::now();
+
+    baseline::BaselineOptions bo;
+    bo.seed = 12345;
+    bo.max_evaluations = 50000;
+    const baseline::BaselineResult b =
+        baseline::random_search_two_stage(t, spec, bo);
+    const auto t2 = Clock::now();
+
+    auto ms = [](auto a, auto bb) {
+      return std::chrono::duration<double, std::milli>(bb - a).count();
+    };
+    table.add_row(
+        {spec.name, r.success() ? "feasible" : "infeasible",
+         format("%.1f", ms(t0, t1)),
+         b.success ? "feasible" : "infeasible", format("%d", b.evaluations),
+         format("%d", b.best_violations), format("%.1f", ms(t1, t2))});
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+  std::puts("\nexpected shape: OASYS solves every case in milliseconds "
+            "with one plan execution; random search needs orders of "
+            "magnitude more evaluations on easy specs and fails outright "
+            "on the aggressive ones (its topology family lacks the "
+            "cascoding/level-shifting moves the rules make).");
+  return 0;
+}

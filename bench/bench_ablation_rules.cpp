@@ -1,0 +1,89 @@
+// Ablation: plan-patching rules on vs off.
+//
+// The paper's planning mechanism leans on rules that patch failing plans
+// (Sec. 3.3, Fig. 3).  This bench runs a grid of specs of increasing
+// difficulty through both op-amp plans with rules enabled and disabled and
+// reports success rates — quantifying how much of the design space only
+// the patching mechanism reaches.
+#include <cstdio>
+#include <vector>
+
+#include "synth/oasys.h"
+#include "tech/builtin.h"
+#include "util/table.h"
+#include "util/text.h"
+#include "util/units.h"
+
+int main() {
+  using namespace oasys;
+  using util::format;
+  const tech::Technology t = tech::five_micron();
+
+  struct Bucket {
+    const char* label;
+    double gain_lo, gain_hi;
+    int total = 0;
+    int ok_with_rules = 0;
+    int ok_without_rules = 0;
+    int rule_firings = 0;
+  };
+  std::vector<Bucket> buckets = {
+      {"easy (40-60 dB)", 40.0, 60.0},
+      {"moderate (65-85 dB)", 65.0, 85.0},
+      {"aggressive (90-105 dB)", 90.0, 105.0},
+  };
+
+  for (Bucket& b : buckets) {
+    for (double gain = b.gain_lo; gain <= b.gain_hi + 1e-9; gain += 5.0) {
+      for (const double slew_vus : {1.0, 5.0}) {
+        for (const double cl_pf : {5.0, 10.0}) {
+          core::OpAmpSpec spec;
+          spec.name = format("g%.0f", gain);
+          spec.gain_min_db = gain;
+          spec.gbw_min = util::mhz(1.0);
+          spec.pm_min_deg = 45.0;
+          spec.slew_min = util::v_per_us(slew_vus);
+          spec.cload = util::pf(cl_pf);
+          spec.icmr_lo = -1.0;
+          spec.icmr_hi = 1.0;
+          ++b.total;
+
+          synth::SynthOptions with;
+          const synth::SynthesisResult r_with =
+              synth::synthesize_opamp(t, spec, with);
+          if (r_with.success()) {
+            ++b.ok_with_rules;
+            b.rule_firings += r_with.best()->trace.rules_fired;
+          }
+
+          synth::SynthOptions without;
+          without.rules_enabled = false;
+          if (synth::synthesize_opamp(t, spec, without).success()) {
+            ++b.ok_without_rules;
+          }
+        }
+      }
+    }
+  }
+
+  std::puts("=== Ablation: plan-patching rules enabled vs disabled ===\n");
+  util::Table table({"spec difficulty", "specs", "success w/ rules",
+                     "success w/o rules", "avg rule firings"});
+  for (const Bucket& b : buckets) {
+    table.add_row(
+        {b.label, format("%d", b.total),
+         format("%d (%.0f%%)", b.ok_with_rules,
+                100.0 * b.ok_with_rules / b.total),
+         format("%d (%.0f%%)", b.ok_without_rules,
+                100.0 * b.ok_without_rules / b.total),
+         format("%.1f", b.ok_with_rules
+                            ? static_cast<double>(b.rule_firings) /
+                                  b.ok_with_rules
+                            : 0.0)});
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+  std::puts("\nexpected shape: parity on easy specs (the nominal plan "
+            "suffices); widening gap as specs demand the structural "
+            "patches (cascoding, level shifting) only rules perform.");
+  return 0;
+}

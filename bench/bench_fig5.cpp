@@ -1,0 +1,37 @@
+// Figure 5 reproduction: synthesized circuit schematics for test cases
+// A, B, C — rendered as sized device tables plus SPICE decks (our textual
+// equivalent of the paper's schematics).
+#include <cstdio>
+
+#include "netlist/spice_writer.h"
+#include "synth/netlist_builder.h"
+#include "synth/oasys.h"
+#include "synth/report.h"
+#include "synth/test_cases.h"
+#include "tech/builtin.h"
+
+int main() {
+  using namespace oasys;
+  const tech::Technology t = tech::five_micron();
+
+  std::puts("=== Figure 5: synthesized circuit schematics for the three "
+            "test cases ===");
+  for (const core::OpAmpSpec& spec : synth::paper_test_cases()) {
+    const synth::SynthesisResult r = synth::synthesize_opamp(t, spec);
+    std::printf("\n----- case %s -----\n", spec.name.c_str());
+    if (!r.success()) {
+      std::puts("no feasible design");
+      continue;
+    }
+    const synth::OpAmpDesign& d = *r.best();
+    std::fputs(synth::design_summary(d).c_str(), stdout);
+    std::fputs(synth::device_table(d).c_str(), stdout);
+
+    ckt::SpiceWriterOptions wo;
+    wo.title = "OASYS case " + spec.name + " (" + d.style_name() + ")";
+    const ckt::Circuit c = synth::build_standalone_opamp(d, t);
+    std::puts("\nSPICE deck:");
+    std::fputs(ckt::to_spice_deck(c, t, wo).c_str(), stdout);
+  }
+  return 0;
+}

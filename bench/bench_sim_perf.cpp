@@ -1,0 +1,87 @@
+// Circuit-simulator microbenchmarks (google-benchmark): operating point,
+// AC sweep, and transient throughput on a synthesized op amp — the
+// substrate cost behind every verification run.
+#include <benchmark/benchmark.h>
+
+#include "numeric/interpolate.h"
+#include "spice/ac.h"
+#include "spice/dc.h"
+#include "spice/tran.h"
+#include "synth/netlist_builder.h"
+#include "synth/oasys.h"
+#include "synth/test_cases.h"
+#include "tech/builtin.h"
+
+namespace {
+
+using namespace oasys;
+
+struct Fixture {
+  tech::Technology t = tech::five_micron();
+  ckt::Circuit circuit;
+  sim::OpResult op;
+
+  Fixture() {
+    const synth::SynthesisResult r =
+        synth::synthesize_opamp(t, synth::spec_case_b());
+    const synth::OpAmpDesign& d = *r.best();
+    const synth::BuiltOpAmp nodes = synth::build_opamp(d, t, circuit);
+    circuit.add_vsource("VDD", nodes.vdd, ckt::kGround,
+                        ckt::Waveform::dc(t.vdd));
+    circuit.add_vsource("VSS", nodes.vss, ckt::kGround,
+                        ckt::Waveform::dc(t.vss));
+    circuit.add_vsource("VIP", nodes.inp, ckt::kGround,
+                        ckt::Waveform::ac(0.0, 0.5, 0.0));
+    circuit.add_vsource("VIN", nodes.inn, ckt::kGround,
+                        ckt::Waveform::ac(0.0, 0.5, 180.0));
+    circuit.add_capacitor("CL", nodes.out, ckt::kGround, 10e-12);
+    op = sim::dc_operating_point(circuit, t);
+  }
+};
+
+Fixture& fixture() {
+  static Fixture f;
+  return f;
+}
+
+void BM_OperatingPointCold(benchmark::State& state) {
+  Fixture& f = fixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::dc_operating_point(f.circuit, f.t));
+  }
+}
+BENCHMARK(BM_OperatingPointCold);
+
+void BM_OperatingPointWarm(benchmark::State& state) {
+  Fixture& f = fixture();
+  sim::OpOptions opts;
+  opts.initial_guess = f.op.solution;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::dc_operating_point(f.circuit, f.t, opts));
+  }
+}
+BENCHMARK(BM_OperatingPointWarm);
+
+void BM_AcSweep61Points(benchmark::State& state) {
+  Fixture& f = fixture();
+  const auto freqs = num::logspace(1.0, 1e8, 61);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::ac_analysis(f.circuit, f.t, f.op, freqs));
+  }
+}
+BENCHMARK(BM_AcSweep61Points);
+
+void BM_Transient200Steps(benchmark::State& state) {
+  Fixture& f = fixture();
+  sim::TranOptions to;
+  to.tstop = 2e-6;
+  to.dt = 1e-8;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::transient(f.circuit, f.t, f.op, to));
+  }
+}
+BENCHMARK(BM_Transient200Steps);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,58 @@
+// Comparator synthesis: the framework's block-reuse story.  The same
+// sub-block designers that build op amps are driven by a different
+// translation plan — resolution and propagation delay instead of gain
+// bandwidth and phase margin — and verified with a transient testbench.
+//
+//   $ ./comparator_design [resolution_mv] [tprop_us]
+#include <cstdio>
+#include <cstdlib>
+
+#include "synth/comparator.h"
+#include "synth/report.h"
+#include "tech/builtin.h"
+#include "util/units.h"
+
+int main(int argc, char** argv) {
+  using namespace oasys;
+  const tech::Technology t = tech::five_micron();
+
+  synth::ComparatorSpec cs;
+  cs.name = "example";
+  cs.resolution = util::mv(argc > 1 ? std::atof(argv[1]) : 10.0);
+  cs.tprop_max = util::us(argc > 2 ? std::atof(argv[2]) : 2.0);
+  cs.cload = util::pf(2.0);
+  cs.out_high = 1.5;
+  cs.out_low = -0.5;
+  cs.icmr_lo = -1.0;
+  cs.icmr_hi = 0.5;
+  std::fputs(cs.to_string().c_str(), stdout);
+
+  const synth::ComparatorDesign d = synth::design_comparator(t, cs);
+  if (!d.feasible) {
+    std::puts("no feasible comparator; plan narrative:");
+    std::fputs(d.amp.trace.to_string().c_str(), stdout);
+    return 1;
+  }
+  std::printf("\nsynthesized (%s input stage):\n",
+              d.amp.stage1_cascode ? "cascoded" : "simple");
+  std::fputs(synth::device_table(d.amp).c_str(), stdout);
+  std::printf("predicted: gain %.1f dB, delay %.3g us, offset %.2f mV, "
+              "power %.2f mW\n",
+              d.gain_db, d.delay / util::kMicro, util::in_mv(d.offset),
+              util::in_mw(d.power));
+
+  const synth::MeasuredComparator m = synth::measure_comparator(d, t);
+  if (!m.ok) {
+    std::printf("measurement failed: %s\n", m.error.c_str());
+    return 1;
+  }
+  std::printf("simulated: delay %.3g us rising / %.3g us falling, levels "
+              "[%.2f, %.2f] V, offset %.2f mV, power %.2f mW\n",
+              m.delay_rising / util::kMicro,
+              m.delay_falling / util::kMicro, m.out_low, m.out_high,
+              util::in_mv(m.offset), util::in_mw(m.power));
+  std::puts("(the falling edge pays overdrive recovery: the previous "
+            "decision saturated the first stage — a large-signal effect "
+            "the first-order plan does not model)");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Design-space exploration: sweep the gain requirement continuously (the
+// paper's headline advantage over fixed-cell libraries, Sec. 4.3) and watch
+// OASYS trade area for gain and change topology along the way.
+//
+//   $ ./design_space_explorer [cload_pf]
+#include <cstdio>
+#include <cstdlib>
+
+#include "synth/oasys.h"
+#include "tech/builtin.h"
+#include "util/table.h"
+#include "util/text.h"
+#include "util/units.h"
+
+int main(int argc, char** argv) {
+  using namespace oasys;
+  const double cload_pf = argc > 1 ? std::atof(argv[1]) : 10.0;
+
+  const tech::Technology t = tech::five_micron();
+  core::OpAmpSpec spec;
+  spec.gbw_min = util::mhz(1.0);
+  spec.pm_min_deg = 45.0;
+  spec.slew_min = util::v_per_us(1.0);
+  spec.cload = util::pf(cload_pf);
+  spec.icmr_lo = -1.0;
+  spec.icmr_hi = 1.0;
+
+  util::Table table({"gain spec (dB)", "winning style", "area (um^2)",
+                     "predicted gain (dB)", "power (mW)"});
+  std::string prev_style;
+  for (double gain = 40.0; gain <= 110.0; gain += 5.0) {
+    spec.gain_min_db = gain;
+    spec.name = util::format("g%.0f", gain);
+    const synth::SynthesisResult r = synth::synthesize_opamp(t, spec);
+    if (!r.success()) {
+      table.add_row({util::format("%.0f", gain), "(infeasible)", "-", "-",
+                     "-"});
+      continue;
+    }
+    const synth::OpAmpDesign& d = *r.best();
+    std::string style = d.style_name();
+    if (style != prev_style && !prev_style.empty()) {
+      table.add_separator();  // topology-change point
+    }
+    prev_style = style;
+    table.add_row({util::format("%.0f", gain), style,
+                   util::format("%.0f", util::in_um2(d.predicted.area)),
+                   util::format("%.1f", d.predicted.gain_db),
+                   util::format("%.2f", util::in_mw(d.predicted.power))});
+  }
+  std::printf("OASYS design-space sweep, CL = %.0f pF "
+              "(separators mark topology changes)\n\n",
+              cload_pf);
+  std::fputs(table.to_string().c_str(), stdout);
+  return 0;
+}

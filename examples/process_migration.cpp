@@ -1,0 +1,57 @@
+// Process migration: the same performance spec synthesized against two
+// different fabrication processes.  OASYS reads all process knowledge from
+// the technology description (paper Sec. 4.1: "To keep pace with the rapid
+// evolution of process technology, OASYS simply reads process parameters
+// from a technology file"), so retargeting is a one-argument change.
+//
+//   $ ./process_migration [path/to/custom.tech]
+#include <cstdio>
+
+#include "synth/oasys.h"
+#include "synth/report.h"
+#include "tech/builtin.h"
+#include "tech/tech_parser.h"
+#include "util/units.h"
+
+int main(int argc, char** argv) {
+  using namespace oasys;
+
+  std::vector<tech::Technology> processes = {tech::five_micron(),
+                                             tech::three_micron()};
+  if (argc > 1) {
+    const tech::ParseResult r = tech::load_tech_file(argv[1]);
+    if (!r.ok()) {
+      std::fprintf(stderr, "cannot load %s:\n%s", argv[1],
+                   r.log.to_string().c_str());
+      return 1;
+    }
+    processes.push_back(r.technology);
+  }
+
+  core::OpAmpSpec spec;
+  spec.name = "migrate";
+  spec.gain_min_db = 70.0;
+  spec.gbw_min = util::mhz(2.0);
+  spec.pm_min_deg = 45.0;
+  spec.slew_min = util::v_per_us(2.0);
+  spec.cload = util::pf(10.0);
+  spec.swing_pos = 3.0;
+  spec.swing_neg = 3.0;
+  spec.offset_max = util::mv(2.0);
+  spec.icmr_lo = -2.0;
+  spec.icmr_hi = 2.0;
+  std::fputs(spec.to_string().c_str(), stdout);
+
+  for (const tech::Technology& t : processes) {
+    std::printf("\n=== process %s (Lmin %.1f um) ===\n", t.name.c_str(),
+                util::in_um(t.lmin));
+    const synth::SynthesisResult r = synth::synthesize_opamp(t, spec);
+    if (!r.success()) {
+      std::puts("  no feasible design in this process");
+      continue;
+    }
+    std::fputs(synth::design_summary(*r.best()).c_str(), stdout);
+    std::fputs(synth::device_table(*r.best()).c_str(), stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Level-0 synthesis demo: the successive-approximation A/D converter from
+// the paper's Figure 1.  The converter-level plan translates {bits, rate,
+// range} into sub-block specifications, invokes the comparator designer
+// (which invokes the Level-2 block designers), sizes the capacitor DAC and
+// sampling switch analytically, then verifies by running behavioural
+// conversions against the circuit-simulated comparator.
+//
+//   $ ./sar_adc_synthesis [bits] [rate_ksps]
+#include <cstdio>
+#include <cstdlib>
+
+#include "synth/report.h"
+#include "synth/sar_adc.h"
+#include "tech/builtin.h"
+#include "util/units.h"
+
+int main(int argc, char** argv) {
+  using namespace oasys;
+  const tech::Technology t = tech::five_micron();
+
+  synth::SarAdcSpec spec;
+  spec.name = "example";
+  spec.bits = argc > 1 ? std::atoi(argv[1]) : 8;
+  spec.sample_rate = util::khz(argc > 2 ? std::atof(argv[2]) : 20.0);
+  spec.vin_lo = -2.0;
+  spec.vin_hi = 2.0;
+  std::fputs(spec.to_string().c_str(), stdout);
+
+  const synth::SarAdcDesign d = synth::design_sar_adc(t, spec);
+  if (!d.feasible) {
+    std::puts("no feasible converter; plan narrative:");
+    std::fputs(d.trace.to_string().c_str(), stdout);
+    return 1;
+  }
+
+  std::puts("\nlevel-0 translation results:");
+  std::printf("  LSB               = %.2f mV\n", util::in_mv(d.lsb));
+  std::printf("  timing            = %.2f us sample + %d x %.2f us bits "
+              "(%.1f us total)\n",
+              d.t_sample / util::kMicro, spec.bits,
+              d.t_bit / util::kMicro, d.t_conv / util::kMicro);
+  std::printf("  capacitor DAC     = %d x %.0f fF units (%.1f pF total)\n",
+              1 << spec.bits, util::in_ff(d.unit_cap),
+              util::in_pf(d.total_cap));
+  std::printf("  sampling switch   : Ron <= %.1f kohm\n",
+              d.switch_ron_max / 1e3);
+  std::printf("  power / area      = %.2f mW / %.0f um^2\n",
+              util::in_mw(d.power), util::in_um2(d.area));
+
+  std::puts("\nsub-block: synthesized comparator");
+  std::fputs(d.comparator.spec.to_string().c_str(), stdout);
+  std::fputs(synth::device_table(d.comparator.amp).c_str(), stdout);
+
+  std::puts("\nverification: behavioural SAR conversions against the "
+            "simulated comparator");
+  const synth::MeasuredSarAdc m = synth::measure_sar_adc(d, t, 33);
+  if (!m.ok) {
+    std::printf("  measurement failed: %s\n", m.error.c_str());
+    return 1;
+  }
+  std::printf("  %d ramp points: max code error %d LSB, %smonotonic\n",
+              m.points_tested, m.max_code_error_lsb,
+              m.monotonic ? "" : "NOT ");
+  std::printf("  comparator decision time %.2f us vs %.2f us bit budget "
+              "(%s)\n",
+              m.comparator_tprop / util::kMicro, d.t_bit / util::kMicro,
+              m.timing_met ? "met" : "MISSED");
+  return 0;
+}

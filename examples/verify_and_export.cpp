@@ -1,0 +1,69 @@
+// Verify and export: synthesize an op amp, run the full measurement suite
+// on the built-in simulator, print the Bode response, and write a
+// SPICE-compatible deck for external verification (the path a user would
+// take to reproduce the paper's Figure 6 with Berkeley SPICE).
+//
+//   $ ./verify_and_export [out.sp]
+#include <cstdio>
+#include <fstream>
+
+#include "netlist/spice_writer.h"
+#include "synth/oasys.h"
+#include "synth/report.h"
+#include "synth/test_cases.h"
+#include "synth/testbench.h"
+#include "tech/builtin.h"
+#include "util/units.h"
+
+int main(int argc, char** argv) {
+  using namespace oasys;
+  const tech::Technology t = tech::five_micron();
+
+  // Use the paper's most aggressive test case (C).
+  const core::OpAmpSpec spec = synth::spec_case_c();
+  std::fputs(spec.to_string().c_str(), stdout);
+
+  const synth::SynthesisResult r = synth::synthesize_opamp(t, spec);
+  if (!r.success()) {
+    std::puts("synthesis failed");
+    return 1;
+  }
+  std::fputs(synth::design_summary(*r.best()).c_str(), stdout);
+
+  const synth::MeasuredOpAmp m = synth::measure_opamp(*r.best(), t);
+  if (!m.ok) {
+    std::fprintf(stderr, "measurement failed: %s\n", m.error.c_str());
+    return 1;
+  }
+  std::fputs(synth::comparison_table(*r.best(), &m).c_str(), stdout);
+
+  std::puts("\ngain-phase response (decade points):");
+  for (std::size_t i = 0; i < m.bode.freqs.size(); i += 12) {
+    std::printf("  f = %9.3g Hz   gain = %7.2f dB   phase = %8.2f deg\n",
+                m.bode.freqs[i], m.bode.gain_db[i], m.bode.phase_deg[i]);
+  }
+
+  if (m.noise.ok) {
+    std::puts("\ninput-referred noise (1/f then white):");
+    for (std::size_t i = 0; i < m.noise.freqs.size(); i += 6) {
+      std::printf("  f = %9.3g Hz   %7.1f nV/rtHz\n", m.noise.freqs[i],
+                  m.input_noise_density[i] * 1e9);
+    }
+    std::puts("  dominant noise sources at the top frequency:");
+    for (const auto& contrib : m.noise.top_contributors) {
+      if (contrib.psd <= 0.0) break;
+      std::printf("    %-8s %-8s %.3g V^2/Hz\n", contrib.element.c_str(),
+                  contrib.kind.c_str(), contrib.psd);
+    }
+  }
+
+  const char* path = argc > 1 ? argv[1] : "opamp_case_c.sp";
+  const ckt::Circuit deck_circuit =
+      synth::build_standalone_opamp(*r.best(), t);
+  ckt::SpiceWriterOptions wo;
+  wo.title = "OASYS case C synthesized op amp";
+  std::ofstream out(path);
+  out << ckt::to_spice_deck(deck_circuit, t, wo);
+  std::printf("\nSPICE deck written to %s\n", path);
+  return 0;
+}

@@ -1,0 +1,130 @@
+#include "baseline/random_sizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+#include "blocks/block_common.h"
+#include "mos/design_eqs.h"
+#include "util/units.h"
+
+namespace oasys::baseline {
+
+core::OpAmpPerformance evaluate_flat_two_stage(const tech::Technology& t,
+                                               const core::OpAmpSpec& spec,
+                                               const FlatSizing& s) {
+  core::OpAmpPerformance p;
+  const double id1 = s.i5 / 2.0;
+  const double mid = t.mid_supply();
+
+  const double vov1 = mos::vov_from_current(t.nmos.kp, id1, s.w1 / s.l1);
+  const double gm1 = mos::gm_from_id_vov(id1, vov1);
+  const double vov3 = mos::vov_from_current(t.pmos.kp, id1, s.w3 / s.l3);
+  const double vov6 = mos::vov_from_current(t.pmos.kp, s.i6, s.w6 / s.l6);
+  const double gm6 = mos::gm_from_id_vov(s.i6, vov6);
+
+  p.gbw = gm1 / (util::kTwoPi * s.cc);
+  p.slew = std::min(s.i5 / s.cc, s.i6 / (s.cc + spec.cload));
+
+  const double av1 =
+      gm1 / ((t.nmos.lambda_at(s.l1) + t.pmos.lambda_at(s.l3)) * id1);
+  const double av2 =
+      gm6 / ((t.pmos.lambda_at(s.l6) + t.nmos.lambda_at(s.l7)) * s.i6);
+  p.gain_db = util::db20(av1 * av2);
+
+  // Phase margin: output pole, RHP zero, and the load-mirror pole.
+  const double p2 = gm6 / (util::kTwoPi * spec.cload);
+  const double z = gm6 / (util::kTwoPi * s.cc);
+  const double gm3 = mos::gm_from_id_vov(id1, vov3);
+  const double cgs3 = mos::cgs_sat(t, t.pmos, {s.w3, s.l3, 1});
+  const double p_mirror = gm3 / (util::kTwoPi * 2.0 * cgs3);
+  auto lag = [&](double pole) {
+    return pole > 0.0 ? util::deg(std::atan(p.gbw / pole)) : 90.0;
+  };
+  p.pm_deg = 90.0 - lag(p2) - lag(z) - lag(p_mirror);
+
+  p.swing_pos = t.vdd - vov6 - mid;
+  const double vov7 = mos::vov_from_current(t.nmos.kp, s.i6, s.w7 / s.l7);
+  p.swing_neg = mid - (t.vss + vov7);
+
+  // Systematic offset: inter-stage DC mismatch referred to the input.
+  const double vsg3 = mos::vgs_for(t.pmos, vov3, 0.0);
+  const double vsg6 = mos::vgs_for(t.pmos, vov6, 0.0);
+  p.offset = std::abs(vsg6 - vsg3) / std::max(av1, 1.0);
+
+  const double vcm = 0.5 * (spec.icmr_lo + spec.icmr_hi);
+  const double vgs1 = mos::vgs_for(
+      t.nmos, vov1, std::max(vcm - t.vss - t.nmos.vt0 - vov1, 0.0));
+  const double vov5 = mos::vov_from_current(t.nmos.kp, s.i5, s.w5 / s.l5);
+  p.icmr_lo = t.vss + vgs1 + vov5;
+  p.icmr_hi = t.vdd - vsg3 + (vgs1 - vov1);
+
+  p.power = (s.i5 + s.i6 + std::min(s.i5, util::ua(25.0))) *
+            t.supply_span();
+  const double dev_area =
+      t.device_area(2.0 * s.w1, s.l1) + t.device_area(2.0 * s.w3, s.l3) +
+      t.device_area(s.w5 * 2.0, s.l5) + t.device_area(s.w6, s.l6) +
+      t.device_area(s.w7, s.l7);
+  p.area = dev_area + t.capacitor_area(s.cc);
+  p.cmrr_db = p.gain_db;  // not scored
+  p.psrr_db = p.gain_db;
+  return p;
+}
+
+BaselineResult random_search_two_stage(const tech::Technology& t,
+                                       const core::OpAmpSpec& spec,
+                                       const BaselineOptions& opts) {
+  BaselineResult result;
+  std::mt19937_64 rng(opts.seed);
+  auto log_uniform = [&](double lo, double hi) {
+    std::uniform_real_distribution<double> u(std::log(lo), std::log(hi));
+    return std::exp(u(rng));
+  };
+
+  const double wmin = t.wmin;
+  const double wmax = blocks::max_width(t);
+  const double lmin = t.lmin;
+  const double lmax = blocks::max_length(t);
+
+  result.best_violations = 1 << 20;
+  for (int i = 0; i < opts.max_evaluations; ++i) {
+    ++result.evaluations;
+    FlatSizing s;
+    s.w1 = log_uniform(wmin, wmax);
+    s.l1 = log_uniform(lmin, lmax);
+    s.w3 = log_uniform(wmin, wmax);
+    s.l3 = log_uniform(lmin, lmax);
+    s.w5 = log_uniform(wmin, wmax);
+    s.l5 = log_uniform(lmin, lmax);
+    s.w6 = log_uniform(wmin, wmax);
+    s.l6 = log_uniform(lmin, lmax);
+    s.w7 = log_uniform(wmin, wmax);
+    s.l7 = log_uniform(lmin, lmax);
+    s.i5 = log_uniform(util::ua(2.0), util::ua(500.0));
+    s.i6 = log_uniform(util::ua(5.0), util::ma(2.0));
+    s.cc = log_uniform(util::pf(0.5), util::pf(50.0));
+
+    const core::OpAmpPerformance perf =
+        evaluate_flat_two_stage(t, spec, s);
+    const int violations =
+        core::violation_count(core::check_spec(spec, perf));
+    if (violations < result.best_violations ||
+        (violations == result.best_violations &&
+         perf.area < result.best_perf.area)) {
+      result.best_violations = violations;
+      result.best = s;
+      result.best_perf = perf;
+    }
+    if (violations == 0) {
+      ++result.feasible_found;
+      if (!result.success) {
+        result.success = true;
+        // Keep sampling only if the caller wants statistics; stop here.
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace oasys::baseline

@@ -1,0 +1,54 @@
+// Baseline sizer: flat random search, no hierarchy, no plans, no rules.
+//
+// The paper argues for knowledge-based synthesis over unstructured search;
+// this module is the ablation comparator.  It sizes the *same* simple
+// two-stage topology by sampling device geometries, currents and the
+// compensation capacitor from log-uniform ranges and scoring each sample
+// with the same first-order circuit equations the OASYS plans manipulate.
+// The bench compares evaluations-to-feasible and success rate against the
+// plan-based designer.
+#pragma once
+
+#include <cstdint>
+
+#include "core/spec.h"
+#include "tech/technology.h"
+
+namespace oasys::baseline {
+
+// One flat parameterization of the simple two-stage op amp.
+struct FlatSizing {
+  double w1 = 0.0, l1 = 0.0;  // input pair
+  double w3 = 0.0, l3 = 0.0;  // load mirror
+  double w5 = 0.0, l5 = 0.0;  // tail / bias mirror
+  double w6 = 0.0, l6 = 0.0;  // gain device
+  double w7 = 0.0, l7 = 0.0;  // output sink
+  double i5 = 0.0;            // first-stage current [A]
+  double i6 = 0.0;            // second-stage current [A]
+  double cc = 0.0;            // compensation [F]
+};
+
+// First-order performance of a flat sizing (same equations as the plans).
+core::OpAmpPerformance evaluate_flat_two_stage(const tech::Technology& t,
+                                               const core::OpAmpSpec& spec,
+                                               const FlatSizing& s);
+
+struct BaselineOptions {
+  std::uint64_t seed = 1;
+  int max_evaluations = 20000;
+};
+
+struct BaselineResult {
+  bool success = false;           // found a sizing meeting every axis
+  int evaluations = 0;            // samples drawn (<= max on success)
+  int feasible_found = 0;         // count of fully feasible samples seen
+  FlatSizing best;
+  core::OpAmpPerformance best_perf;
+  int best_violations = 0;        // violated axes of the best sample
+};
+
+BaselineResult random_search_two_stage(const tech::Technology& t,
+                                       const core::OpAmpSpec& spec,
+                                       const BaselineOptions& opts = {});
+
+}  // namespace oasys::baseline

@@ -1,0 +1,161 @@
+#include "blocks/bias_chain.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mos/design_eqs.h"
+#include "util/text.h"
+#include "util/units.h"
+
+namespace oasys::blocks {
+
+const char* to_string(BiasStyle s) {
+  return s == BiasStyle::kResistorReference ? "resistor-ref" : "ideal-ref";
+}
+
+BiasChainDesign design_bias_chain(const tech::Technology& t,
+                                  const BiasChainSpec& spec) {
+  BiasChainDesign d;
+  d.style = spec.style;
+  if (!(spec.iref > 0.0)) {
+    d.log.error("bias-bad-spec", "iref must be positive");
+    return d;
+  }
+
+  // Common overdrive: bounded by the tightest tap compliance budget.
+  double vov = 0.25;
+  for (const auto& tap : spec.taps) {
+    if (tap.compliance_max <= 0.0) continue;
+    const double vt =
+        (tap.type == mos::MosType::kNmos ? t.nmos : t.pmos).vt0;
+    const double budget =
+        tap.cascode ? (tap.compliance_max * 0.9 - vt) / 2.0
+                    : tap.compliance_max * 0.9;
+    vov = std::min(vov, budget);
+  }
+  if (vov < kMinOverdrive) {
+    d.log.error("bias-compliance",
+                util::format("tap compliance budgets leave Vov = %.0f mV",
+                             util::in_mv(vov)));
+    return d;
+  }
+  d.vov = vov;
+
+  // Common channel length: matching floor of 2 Lmin, raised if a tap
+  // requires output resistance (lambda = lambda_l / L).
+  double l = 2.0 * t.lmin;
+  for (const auto& tap : spec.taps) {
+    if (tap.rout_min <= 0.0 || tap.cascode) continue;
+    const tech::MosParams& p =
+        tap.type == mos::MosType::kNmos ? t.nmos : t.pmos;
+    const double lambda_needed = 1.0 / (tap.rout_min * tap.iout);
+    l = std::max(l, p.lambda_l / lambda_needed);
+  }
+  if (l > max_length(t)) {
+    d.log.error("bias-rout",
+                util::format("tap rout targets need L = %.1f um > limit",
+                             util::in_um(l)));
+    return d;
+  }
+
+  const bool any_cascode = std::any_of(
+      spec.taps.begin(), spec.taps.end(),
+      [](const BiasTap& tap) { return tap.cascode; });
+  const bool any_pmos = std::any_of(
+      spec.taps.begin(), spec.taps.end(),
+      [](const BiasTap& tap) { return tap.type == mos::MosType::kPmos; });
+
+  // Reference branch: NMOS diode MB1 (+ stacked diode MB1C for vbn2).
+  const double w_ref = std::max(
+      mos::width_for_current(t, t.nmos, l, spec.iref, vov), t.wmin);
+  d.devices.push_back(
+      {"MB1", mos::MosType::kNmos, w_ref, l, 1, spec.iref, vov});
+  d.vbn = t.vss + mos::vgs_for(t.nmos, vov, 0.0);
+  if (any_cascode) {
+    // Cascode diodes at Lmin, same width policy as the mirror designer.
+    const double wc = std::max(
+        mos::width_for_current(t, t.nmos, t.lmin, spec.iref, vov), t.wmin);
+    d.devices.push_back(
+        {"MB1C", mos::MosType::kNmos, wc, t.lmin, 1, spec.iref, vov});
+    d.has_cascode_stack = true;
+    // Body effect raises the stacked diode's VGS.
+    const double vsb_stack = d.vbn - t.vss;
+    d.vbn2 = d.vbn + mos::vgs_for(t.nmos, vov, vsb_stack);
+  }
+
+  // vbp branch: MB2 mirrors iref into the PMOS diode MB3.
+  if (any_pmos) {
+    const double w2 = w_ref;  // same current, same vov, same length
+    d.devices.push_back(
+        {"MB2", mos::MosType::kNmos, w2, l, 1, spec.iref, vov});
+    const double w3 = std::max(
+        mos::width_for_current(t, t.pmos, l, spec.iref, vov), t.wmin);
+    d.devices.push_back(
+        {"MB3", mos::MosType::kPmos, w3, l, 1, spec.iref, vov});
+    d.has_vbp_branch = true;
+    d.vbp = t.vdd - mos::vgs_for(t.pmos, vov, 0.0);
+  }
+
+  // Taps: mirror outputs, width scaled by current ratio.
+  d.tap_rout.reserve(spec.taps.size());
+  for (const auto& tap : spec.taps) {
+    if (!(tap.iout > 0.0)) {
+      d.log.error("bias-bad-spec",
+                  "tap '" + tap.role + "' current must be positive");
+      return d;
+    }
+    const tech::MosParams& p =
+        tap.type == mos::MosType::kNmos ? t.nmos : t.pmos;
+    const double w =
+        std::max(mos::width_for_current(t, p, l, tap.iout, vov), t.wmin);
+    if (w > max_width(t)) {
+      d.log.error("bias-width",
+                  "tap '" + tap.role + "' width exceeds limit");
+      return d;
+    }
+    d.devices.push_back({tap.role, tap.type, w, l, 1, tap.iout, vov});
+    double rout = mos::rout_sat(p.lambda_at(l), tap.iout);
+    if (tap.cascode) {
+      if (tap.type == mos::MosType::kPmos) {
+        d.log.error("bias-unsupported",
+                    "cascoded PMOS taps are not implemented");
+        return d;
+      }
+      const double wc = std::max(
+          mos::width_for_current(t, p, t.lmin, tap.iout, vov), t.wmin);
+      d.devices.push_back(
+          {tap.role + "C", tap.type, wc, t.lmin, 1, tap.iout, vov});
+      const double gm_c = mos::gm_from_id_vov(tap.iout, vov);
+      const double ro_c = mos::rout_sat(p.lambda_at(t.lmin), tap.iout);
+      rout = mos::rout_cascode(gm_c, ro_c, rout);
+    }
+    d.tap_rout.push_back(rout);
+    // Small tolerance: the channel length was solved from this very bound,
+    // so the achieved rout can sit at exact equality minus rounding.
+    if (tap.rout_min > 0.0 && rout < tap.rout_min * 0.999) {
+      d.log.error("bias-rout",
+                  util::format("tap '%s' rout %.3g below required %.3g",
+                               tap.role.c_str(), rout, tap.rout_min));
+      return d;
+    }
+  }
+
+  // Reference resistor drops the remaining supply span.
+  if (spec.style == BiasStyle::kResistorReference) {
+    const double v_stack = (d.has_cascode_stack ? d.vbn2 : d.vbn) - t.vss;
+    const double v_drop = t.supply_span() - v_stack;
+    if (v_drop < 0.5) {
+      d.log.error("bias-headroom",
+                  "supply span leaves no room for the reference resistor");
+      return d;
+    }
+    d.rref = v_drop / spec.iref;
+  }
+
+  d.ibias_total = spec.iref * (d.has_vbp_branch ? 2.0 : 1.0);
+  d.area = devices_area(t, d.devices);
+  d.feasible = true;
+  return d;
+}
+
+}  // namespace oasys::blocks

@@ -1,0 +1,68 @@
+// Bias-chain designer.
+//
+// Produces the bias distribution for an op amp: a reference branch that
+// establishes the NMOS bias gate voltage (vbn), an optional second branch
+// for a PMOS bias gate (vbp), an optional stacked diode for cascoded
+// current-source outputs (vbn2), and one sized mirror-output device per
+// "tap" (tail source, output-stage sink, level-shifter pull-up).  All taps
+// share the reference gate, so they are sized at a common overdrive and
+// channel length and scale in width with their currents.
+//
+// Styles: kResistorReference drops the reference current across a resistor
+// from the positive rail (fully passive, era-typical); kIdealReference
+// uses an ideal current source (convenient for bench isolation).
+//
+// Device roles: "MB1" (+"MB1C" when a cascode tap exists), "MB2"/"MB3" for
+// the vbp branch, plus each tap's own role ("M5", "M5C", "M7", "MLSB", ...).
+#pragma once
+
+#include "blocks/block_common.h"
+#include "util/diagnostics.h"
+
+namespace oasys::blocks {
+
+enum class BiasStyle { kResistorReference, kIdealReference };
+
+const char* to_string(BiasStyle s);
+
+struct BiasTap {
+  std::string role;        // device role label, e.g. "M5"
+  mos::MosType type = mos::MosType::kNmos;  // kNmos sinks, kPmos sources
+  double iout = 0.0;       // tap current [A]
+  bool cascode = false;    // stack a cascode output (adds "<role>C")
+  // Compliance budget: max voltage from the tap's rail the output node
+  // needs [V]; 0 = unconstrained.
+  double compliance_max = 0.0;
+  double rout_min = 0.0;   // required output resistance [ohm]; 0 = none
+};
+
+struct BiasChainSpec {
+  BiasStyle style = BiasStyle::kResistorReference;
+  double iref = 0.0;                // reference branch current [A]
+  std::vector<BiasTap> taps;
+};
+
+struct BiasChainDesign {
+  bool feasible = false;
+  BiasStyle style = BiasStyle::kResistorReference;
+  std::vector<SizedDevice> devices;
+  bool has_vbp_branch = false;   // MB2/MB3 present
+  bool has_cascode_stack = false;  // MB1C present (vbn2 available)
+
+  double rref = 0.0;   // reference resistor [ohm] (resistor style)
+  double vbn = 0.0;    // predicted NMOS bias gate voltage [V, abs]
+  double vbn2 = 0.0;   // predicted cascode bias voltage [V, abs]
+  double vbp = 0.0;    // predicted PMOS bias gate voltage [V, abs]
+  double ibias_total = 0.0;  // current burned in the chain itself [A]
+  double vov = 0.0;    // common tap overdrive [V]
+  double area = 0.0;
+  // Predicted output resistance per tap (parallel to spec.taps).
+  std::vector<double> tap_rout;
+
+  util::DiagnosticLog log;
+};
+
+BiasChainDesign design_bias_chain(const tech::Technology& t,
+                                  const BiasChainSpec& spec);
+
+}  // namespace oasys::blocks

@@ -1,0 +1,22 @@
+#include "blocks/block_common.h"
+
+namespace oasys::blocks {
+
+double devices_area(const tech::Technology& t,
+                    const std::vector<SizedDevice>& devices) {
+  double area = 0.0;
+  for (const auto& d : devices) {
+    area += t.device_area(d.w * d.m, d.l);
+  }
+  return area;
+}
+
+double max_length(const tech::Technology& t) {
+  return kMaxLengthFactor * t.lmin;
+}
+
+double max_width(const tech::Technology& t) {
+  return kMaxWidthFactor * t.wmin;
+}
+
+}  // namespace oasys::blocks

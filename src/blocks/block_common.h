@@ -1,0 +1,46 @@
+// Shared types for sub-block designers.
+//
+// Every sub-block designer translates a block-level spec into sized devices
+// (paper Level 2: "select design styles for each sub-block and then
+// translate each sub-block specification into device interconnections and
+// sizes").  The devices carry a `role` label that the op-amp netlist
+// builder wires up; sub-blocks themselves are topology-agnostic and
+// reusable, as the paper requires.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mos/level1.h"
+#include "tech/technology.h"
+
+namespace oasys::blocks {
+
+struct SizedDevice {
+  std::string role;  // e.g. "M1", "M3C"; unique within one op-amp design
+  mos::MosType type = mos::MosType::kNmos;
+  double w = 0.0;    // [m]
+  double l = 0.0;    // [m]
+  int m = 1;
+  // Intended bias, kept for reports and consistency checks:
+  double id = 0.0;   // [A]
+  double vov = 0.0;  // [V]
+};
+
+// Total active area of a device list (gate + diffusions).
+double devices_area(const tech::Technology& t,
+                    const std::vector<SizedDevice>& devices);
+
+// Designer-wide sizing heuristics (not process data): the longest channel a
+// designer will use before declaring a gain target unreachable in a style
+// (longer channels explode area and parasitic poles), and the smallest
+// overdrive the square-law model is trusted at.
+inline constexpr double kMaxLengthFactor = 4.0;   // Lmax = factor * Lmin
+inline constexpr double kMinOverdrive = 0.08;     // [V]
+inline constexpr double kMaxOverdrive = 1.0;      // [V]
+inline constexpr double kMaxWidthFactor = 600.0;  // Wmax = factor * Wmin
+
+double max_length(const tech::Technology& t);
+double max_width(const tech::Technology& t);
+
+}  // namespace oasys::blocks

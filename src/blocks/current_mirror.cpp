@@ -1,0 +1,237 @@
+#include "blocks/current_mirror.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mos/design_eqs.h"
+#include "util/text.h"
+#include "util/units.h"
+
+namespace oasys::blocks {
+
+const char* to_string(MirrorStyle s) {
+  return s == MirrorStyle::kSimple ? "simple" : "cascode";
+}
+
+namespace {
+
+using util::format;
+
+// Context for the mirror's own (small) translation plan.
+struct MirrorContext : core::DesignContext {
+  MirrorContext(const tech::Technology& t, const CurrentMirrorSpec& s,
+                MirrorStyle st)
+      : core::DesignContext(t), spec(s), style(st) {}
+  CurrentMirrorSpec spec;
+  MirrorStyle style;
+  CurrentMirrorDesign out;
+};
+
+const tech::MosParams& params_of(const tech::Technology& t,
+                                 mos::MosType type) {
+  return type == mos::MosType::kNmos ? t.nmos : t.pmos;
+}
+
+core::Plan<MirrorContext> build_mirror_plan() {
+  core::Plan<MirrorContext> plan("current-mirror");
+
+  plan.add_step("check-spec", [](MirrorContext& ctx) {
+    const auto& s = ctx.spec;
+    if (!(s.iin > 0.0) || !(s.iout > 0.0)) {
+      return core::StepStatus::fail("mirror-bad-spec",
+                                    "currents must be positive");
+    }
+    const double ratio = s.iout / s.iin;
+    if (ratio < 0.05 || ratio > 20.0) {
+      return core::StepStatus::fail(
+          "mirror-bad-spec",
+          format("mirror ratio %.3g outside matchable range", ratio));
+    }
+    return core::StepStatus::success();
+  });
+
+  plan.add_step("choose-overdrive", [](MirrorContext& ctx) {
+    const auto& s = ctx.spec;
+    // Spend the compliance budget: the simple mirror needs Vov of headroom
+    // at the output; the cascode needs VT + 2*Vov.  A margin keeps devices
+    // safely in saturation despite model error.
+    const double kMargin = 0.9;
+    double vov_budget;
+    if (ctx.style == MirrorStyle::kSimple) {
+      vov_budget = s.compliance_max * kMargin;
+    } else {
+      const double vt = params_of(ctx.technology(), s.type).vt0;
+      vov_budget = (s.compliance_max * kMargin - vt) / 2.0;
+    }
+    if (s.compliance_max <= 0.0) vov_budget = 0.25;  // unconstrained default
+    const double vov = std::clamp(vov_budget, 0.0, 0.4);
+    if (vov < kMinOverdrive) {
+      return core::StepStatus::fail(
+          "mirror-compliance",
+          format("%s style needs more than the %.2f V compliance budget",
+                 to_string(ctx.style), s.compliance_max));
+    }
+    ctx.set("vov", vov);
+    return core::StepStatus::success();
+  });
+
+  plan.add_step("choose-length", [](MirrorContext& ctx) {
+    const auto& t = ctx.technology();
+    const auto& p = params_of(t, ctx.spec.type);
+    const double vov = ctx.get("vov");
+    // Matching practice asks for >= 2x Lmin in the simple style; the
+    // cascode gets its output resistance from stacking and equalizes the
+    // mirror Vds, so it can stay at Lmin — which also keeps the mirror
+    // pole (gm/Cgs) high, the reason the op-amp plans cascode for phase.
+    double l = ctx.style == MirrorStyle::kSimple ? 2.0 * t.lmin : t.lmin;
+    if (ctx.spec.rout_min > 0.0) {
+      if (ctx.style == MirrorStyle::kSimple) {
+        // rout = 1/(lambda * Iout), lambda = lambda_l / L.
+        const double lambda_needed =
+            1.0 / (ctx.spec.rout_min * ctx.spec.iout);
+        l = std::max(l, p.lambda_l / lambda_needed);
+      } else {
+        // rout ~ gm_c * ro_c * ro_m; with the paper's heuristic the cascode
+        // length is Lmin.  Solve for the mirror length L_m:
+        // gm_c = 2 Iout / vov, ro = L/(lambda_l * Iout).
+        const double gm_c = 2.0 * ctx.spec.iout / vov;
+        const double ro_c = t.lmin / (p.lambda_l * ctx.spec.iout);
+        const double ro_m_needed = ctx.spec.rout_min / (gm_c * ro_c);
+        l = std::max(l, ro_m_needed * p.lambda_l * ctx.spec.iout);
+      }
+    }
+    if (l > max_length(t)) {
+      return core::StepStatus::fail(
+          "mirror-rout",
+          format("needs L = %.1f um > max %.1f um for rout %.3g ohm",
+                 util::in_um(l), util::in_um(max_length(t)),
+                 ctx.spec.rout_min));
+    }
+    ctx.set("l_mirror", l);
+    return core::StepStatus::success();
+  });
+
+  plan.add_step("size-devices", [](MirrorContext& ctx) {
+    const auto& t = ctx.technology();
+    const auto& s = ctx.spec;
+    const auto& p = params_of(t, s.type);
+    const double vov = ctx.get("vov");
+    const double l = ctx.get("l_mirror");
+
+    bool clamped = false;
+    const double w_in =
+        mos::width_for_current(t, p, l, s.iin, vov, &clamped);
+    const double w_out = w_in * (s.iout / s.iin);
+    if (std::max(w_in, w_out) > max_width(t)) {
+      return core::StepStatus::fail(
+          "mirror-width",
+          format("device width %.0f um exceeds limit",
+                 util::in_um(std::max(w_in, w_out))));
+    }
+    if (clamped) {
+      ctx.log().warning("mirror-minwidth",
+                        "input device clamped to minimum width; the actual "
+                        "overdrive will be smaller than targeted");
+    }
+
+    auto& d = ctx.out.devices;
+    d.clear();
+    const std::string& pre = s.role_prefix;
+    d.push_back({pre + "_in", s.type, w_in, l, 1, s.iin, vov});
+    d.push_back({pre + "_out", s.type, w_out, l, 1, s.iout, vov});
+    if (ctx.style == MirrorStyle::kCascode) {
+      // Paper heuristic: cascode devices at Lmin, all four widths equal
+      // per-branch (the output branch scales with the ratio).
+      d.push_back({pre + "_inc", s.type, w_in, t.lmin, 1, s.iin, vov});
+      d.push_back({pre + "_outc", s.type, w_out, t.lmin, 1, s.iout, vov});
+    }
+    return core::StepStatus::success();
+  });
+
+  plan.add_step("predict-performance", [](MirrorContext& ctx) {
+    const auto& t = ctx.technology();
+    const auto& s = ctx.spec;
+    const auto& p = params_of(t, s.type);
+    const double vov = ctx.get("vov");
+    const double l = ctx.get("l_mirror");
+    auto& out = ctx.out;
+
+    out.vov = vov;
+    const double lambda_m = p.lambda_at(l);
+    const double ro_m = mos::rout_sat(lambda_m, s.iout);
+    if (ctx.style == MirrorStyle::kSimple) {
+      out.rout = ro_m;
+      out.compliance = vov;
+      // Vds mismatch between diode (|Vds| = VT + Vov) and output device.
+      const double vds_diode = p.vt0 + vov;
+      const double vds_out =
+          s.vds_out_nominal > 0.0 ? s.vds_out_nominal : vds_diode;
+      out.current_error_frac = lambda_m * (vds_out - vds_diode);
+    } else {
+      const double gm_c = 2.0 * s.iout / vov;
+      const double ro_c = mos::rout_sat(p.lambda_at(t.lmin), s.iout);
+      out.rout = mos::rout_cascode(gm_c, ro_c, ro_m);
+      out.compliance = p.vt0 + 2.0 * vov;
+      out.current_error_frac = 0.0;  // cascode equalizes mirror Vds
+    }
+    out.area = devices_area(t, out.devices);
+
+    // Tolerance: the length was solved from this bound, so equality minus
+    // rounding must pass.
+    if (s.rout_min > 0.0 && out.rout < s.rout_min * 0.999) {
+      return core::StepStatus::fail(
+          "mirror-rout",
+          format("predicted rout %.3g below required %.3g", out.rout,
+                 s.rout_min));
+    }
+    if (s.compliance_max > 0.0 && out.compliance > s.compliance_max) {
+      return core::StepStatus::fail(
+          "mirror-compliance",
+          format("compliance %.2f V exceeds budget %.2f V", out.compliance,
+                 s.compliance_max));
+    }
+    return core::StepStatus::success();
+  });
+
+  return plan;
+}
+
+}  // namespace
+
+CurrentMirrorDesign design_mirror_style(const tech::Technology& t,
+                                        const CurrentMirrorSpec& spec,
+                                        MirrorStyle style) {
+  MirrorContext ctx(t, spec, style);
+  static const core::Plan<MirrorContext> plan = build_mirror_plan();
+  const core::ExecutionTrace trace = core::execute_plan(plan, ctx);
+  CurrentMirrorDesign design = std::move(ctx.out);
+  design.style = style;
+  design.feasible = trace.success;
+  design.log.append(ctx.log());
+  if (!trace.success) {
+    design.log.error("mirror-infeasible", trace.abort_reason);
+  }
+  return design;
+}
+
+CurrentMirrorDesign design_current_mirror(const tech::Technology& t,
+                                          const CurrentMirrorSpec& spec) {
+  CurrentMirrorDesign simple =
+      design_mirror_style(t, spec, MirrorStyle::kSimple);
+  CurrentMirrorDesign cascode =
+      design_mirror_style(t, spec, MirrorStyle::kCascode);
+
+  if (simple.feasible && cascode.feasible) {
+    // Area-based selection, per the paper.
+    return simple.area <= cascode.area ? std::move(simple)
+                                       : std::move(cascode);
+  }
+  if (simple.feasible) return simple;
+  if (cascode.feasible) return cascode;
+  // Neither style works; return the simple attempt with both logs merged
+  // so the caller sees why.
+  simple.log.append(cascode.log);
+  return simple;
+}
+
+}  // namespace oasys::blocks

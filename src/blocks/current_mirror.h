@@ -1,0 +1,65 @@
+// Current-mirror designer (the paper's worked sub-block example, Sec. 4.2).
+//
+// Two styles: simple (2 devices) and cascode (4 devices, self-biased).
+// Both are designed breadth-first; among the styles that meet the output
+// resistance and compliance requirements, the smaller area wins ("selection
+// is based primarily on area, as evaluated from circuit equations").  The
+// cascode translation uses the paper's exact heuristic: "fix the length of
+// two devices at their minimum size, and require the width of all four
+// devices to be equal."
+//
+// Device roles: "<prefix>_in" (diode), "<prefix>_out", and for cascode
+// additionally "<prefix>_inc", "<prefix>_outc" (stacked cascodes).
+#pragma once
+
+#include "blocks/block_common.h"
+#include "core/plan.h"
+#include "util/diagnostics.h"
+
+namespace oasys::blocks {
+
+enum class MirrorStyle { kSimple, kCascode };
+
+const char* to_string(MirrorStyle s);
+
+struct CurrentMirrorSpec {
+  std::string role_prefix = "M";  // prefix for device role labels
+  mos::MosType type = mos::MosType::kNmos;
+  double iin = 0.0;        // input (reference branch) current [A]
+  double iout = 0.0;       // output current [A]
+  double rout_min = 0.0;   // required output resistance [ohm]; 0 = none
+  // Maximum voltage from the mirror's rail the output may need to stay in
+  // saturation (compliance budget) [V].
+  double compliance_max = 0.0;
+  // Nominal |Vds| at the output device, used to predict mirrored-current
+  // systematic error (simple style only).
+  double vds_out_nominal = 0.0;
+};
+
+struct CurrentMirrorDesign {
+  bool feasible = false;
+  MirrorStyle style = MirrorStyle::kSimple;
+  std::vector<SizedDevice> devices;
+
+  // Predicted performance (from the stored circuit equations):
+  double rout = 0.0;        // [ohm]
+  double compliance = 0.0;  // minimum |V| from rail at the output [V]
+  double area = 0.0;        // [m^2]
+  double vov = 0.0;         // mirror device overdrive [V]
+  // Systematic output-current error fraction from Vds mismatch between the
+  // diode and output devices (zero for cascode, which equalizes Vds).
+  double current_error_frac = 0.0;
+
+  util::DiagnosticLog log;
+};
+
+// Designs one specific style; feasibility reflects that style's limits.
+CurrentMirrorDesign design_mirror_style(const tech::Technology& t,
+                                        const CurrentMirrorSpec& spec,
+                                        MirrorStyle style);
+
+// Breadth-first over both styles, area-based selection (paper behaviour).
+CurrentMirrorDesign design_current_mirror(const tech::Technology& t,
+                                          const CurrentMirrorSpec& spec);
+
+}  // namespace oasys::blocks

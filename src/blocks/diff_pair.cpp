@@ -1,0 +1,88 @@
+#include "blocks/diff_pair.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mos/design_eqs.h"
+#include "util/text.h"
+#include "util/units.h"
+
+namespace oasys::blocks {
+
+const char* to_string(DiffPairStyle s) {
+  return s == DiffPairStyle::kSimple ? "simple" : "cascode";
+}
+
+DiffPairDesign design_diff_pair(const tech::Technology& t,
+                                const DiffPairSpec& spec) {
+  DiffPairDesign d;
+  d.style = spec.style;
+  const tech::MosParams& p =
+      spec.type == mos::MosType::kNmos ? t.nmos : t.pmos;
+
+  if (!(spec.gm > 0.0) || !(spec.itail > 0.0) || !(spec.l > 0.0)) {
+    d.log.error("diffpair-bad-spec", "gm, itail and l must be positive");
+    return d;
+  }
+  const double id = spec.itail / 2.0;
+  const double vov = 2.0 * id / spec.gm;  // gm = 2 Id / Vov
+  if (vov < kMinOverdrive) {
+    d.log.error("diffpair-gm",
+                util::format("gm %.3g uS needs Vov = %.0f mV < %.0f mV: "
+                             "square-law sizing untrustworthy; raise itail",
+                             spec.gm * 1e6, util::in_mv(vov),
+                             util::in_mv(kMinOverdrive)));
+    return d;
+  }
+  if (vov > kMaxOverdrive) {
+    d.log.error("diffpair-gm",
+                util::format("overdrive %.2f V exceeds %.2f V: gm target "
+                             "too small for this tail current",
+                             vov, kMaxOverdrive));
+    return d;
+  }
+
+  const double wl = mos::wl_for_gm(p.kp, spec.gm, id);
+  const double w = std::max(wl * spec.l, t.wmin);
+  if (w > max_width(t)) {
+    d.log.error("diffpair-width",
+                util::format("pair width %.0f um exceeds limit %.0f um",
+                             util::in_um(w), util::in_um(max_width(t))));
+    return d;
+  }
+
+  const std::string& pre = spec.role_prefix;
+  d.devices.push_back({pre + "1", spec.type, w, spec.l, 1, id, vov});
+  d.devices.push_back({pre + "2", spec.type, w, spec.l, 1, id, vov});
+
+  const double lambda = p.lambda_at(spec.l);
+  const double ro = mos::rout_sat(lambda, id);
+  d.gm = spec.gm;
+  d.vov = vov;
+  d.vgs = mos::vgs_for(p, vov, std::max(spec.vsb, 0.0));
+  d.rout_drain = ro;
+  d.branch_headroom = vov;
+
+  if (spec.style == DiffPairStyle::kCascode) {
+    // Cascode at the same overdrive; minimum length is enough because the
+    // resistance is already multiplied by gm_c * ro_c.
+    const double lc = t.lmin;
+    const double wc = std::max(
+        mos::width_for_current(t, p, lc, id, vov), t.wmin);
+    d.devices.push_back({pre + "1C", spec.type, wc, lc, 1, id, vov});
+    d.devices.push_back({pre + "2C", spec.type, wc, lc, 1, id, vov});
+    const double gm_c = mos::gm_from_id_vov(id, vov);
+    const double ro_c = mos::rout_sat(p.lambda_at(lc), id);
+    d.rout_drain = mos::rout_cascode(gm_c, ro_c, ro);
+    // The cascode consumes one extra Vdsat of headroom; its gate bias needs
+    // VT + 2 Vov above the tail, tracked by the op-amp plan.
+    d.branch_headroom = 2.0 * vov;
+  }
+
+  d.cgs = mos::cgs_sat(t, p, {w, spec.l, 1});
+  d.area = devices_area(t, d.devices);
+  d.feasible = true;
+  return d;
+}
+
+}  // namespace oasys::blocks

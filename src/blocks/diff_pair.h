@@ -1,0 +1,55 @@
+// Differential-pair designer.
+//
+// Translates a transconductance target at a given tail current into sized
+// input devices.  The cascode style stacks common-gate devices over the
+// pair (the input half of a telescopic branch), multiplying the resistance
+// seen looking into the pair's output drain — the lever the op-amp plans
+// pull when a stage's gain target is unreachable with channel length alone.
+//
+// Device roles: "<prefix>1"/"<prefix>2" and, for cascode,
+// "<prefix>1C"/"<prefix>2C".
+#pragma once
+
+#include "blocks/block_common.h"
+#include "util/diagnostics.h"
+
+namespace oasys::blocks {
+
+enum class DiffPairStyle { kSimple, kCascode };
+
+const char* to_string(DiffPairStyle s);
+
+struct DiffPairSpec {
+  std::string role_prefix = "M";
+  mos::MosType type = mos::MosType::kNmos;
+  double gm = 0.0;     // per-side transconductance target [S]
+  double itail = 0.0;  // tail current (each side carries itail/2) [A]
+  double l = 0.0;      // channel length for the pair [m]
+  DiffPairStyle style = DiffPairStyle::kSimple;
+  // Estimated reverse bias of the pair's source-body junction, for the
+  // threshold/body-effect prediction [V].
+  double vsb = 0.0;
+};
+
+struct DiffPairDesign {
+  bool feasible = false;
+  DiffPairStyle style = DiffPairStyle::kSimple;
+  std::vector<SizedDevice> devices;
+
+  double gm = 0.0;       // predicted per-side gm [S]
+  double vov = 0.0;      // pair overdrive [V]
+  double vgs = 0.0;      // |VGS| including body effect [V]
+  double rout_drain = 0.0;  // resistance looking into one output drain [ohm]
+  double cgs = 0.0;      // per-side gate-source capacitance [F]
+  double area = 0.0;
+  // Voltage headroom the input branch consumes above the tail node:
+  // Vdsat for simple, Vdsat + (VT + Vov) of the cascode for cascode style.
+  double branch_headroom = 0.0;
+
+  util::DiagnosticLog log;
+};
+
+DiffPairDesign design_diff_pair(const tech::Technology& t,
+                                const DiffPairSpec& spec);
+
+}  // namespace oasys::blocks

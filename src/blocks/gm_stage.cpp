@@ -1,0 +1,80 @@
+#include "blocks/gm_stage.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mos/design_eqs.h"
+#include "util/text.h"
+#include "util/units.h"
+
+namespace oasys::blocks {
+
+const char* to_string(GmStageStyle s) {
+  return s == GmStageStyle::kCommonSource ? "common-source" : "cascode";
+}
+
+GmStageDesign design_gm_stage(const tech::Technology& t,
+                              const GmStageSpec& spec) {
+  GmStageDesign d;
+  d.style = spec.style;
+  const tech::MosParams& p =
+      spec.type == mos::MosType::kNmos ? t.nmos : t.pmos;
+
+  if (!(spec.gm > 0.0) || !(spec.id > 0.0) || !(spec.l > 0.0)) {
+    d.log.error("gmstage-bad-spec", "gm, id and l must be positive");
+    return d;
+  }
+  const double vov = 2.0 * spec.id / spec.gm;
+  if (vov < kMinOverdrive) {
+    d.log.error("gmstage-gm",
+                util::format("Vov = %.0f mV below square-law trust floor; "
+                             "the gm target needs more current",
+                             util::in_mv(vov)));
+    return d;
+  }
+  if (spec.vov_max > 0.0 && vov > spec.vov_max) {
+    d.log.error(
+        "gmstage-swing",
+        util::format("Vov %.2f V exceeds the %.2f V swing budget; raise gm "
+                     "or lower the bias current",
+                     vov, spec.vov_max));
+    return d;
+  }
+
+  const double wl = mos::wl_for_gm(p.kp, spec.gm, spec.id);
+  const double w = std::max(wl * spec.l, t.wmin);
+  if (w > max_width(t)) {
+    d.log.error("gmstage-width",
+                util::format("gain device width %.0f um exceeds limit",
+                             util::in_um(w)));
+    return d;
+  }
+
+  const std::string& pre = spec.role_prefix;
+  d.devices.push_back({pre + "6", spec.type, w, spec.l, 1, spec.id, vov});
+
+  const double ro = mos::rout_sat(p.lambda_at(spec.l), spec.id);
+  d.gm = spec.gm;
+  d.vov = vov;
+  d.vgs = mos::vgs_for(p, vov, 0.0);  // source at the rail
+  d.rout = ro;
+  d.swing_loss = vov;
+
+  if (spec.style == GmStageStyle::kCascode) {
+    const double lc = t.lmin;
+    const double wc =
+        std::max(mos::width_for_current(t, p, lc, spec.id, vov), t.wmin);
+    d.devices.push_back({pre + "6C", spec.type, wc, lc, 1, spec.id, vov});
+    const double gm_c = mos::gm_from_id_vov(spec.id, vov);
+    const double ro_c = mos::rout_sat(p.lambda_at(lc), spec.id);
+    d.rout = mos::rout_cascode(gm_c, ro_c, ro);
+    d.swing_loss = 2.0 * vov;
+  }
+
+  d.cgs = mos::cgs_sat(t, p, {w, spec.l, 1});
+  d.area = devices_area(t, d.devices);
+  d.feasible = true;
+  return d;
+}
+
+}  // namespace oasys::blocks

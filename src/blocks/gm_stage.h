@@ -1,0 +1,50 @@
+// Transconductance (second) stage designer: a common-source amplifier.
+//
+// Translates a gm target at a bias current into the sized gain device.  The
+// cascode style stacks a common-gate device to raise the stage's own output
+// resistance (at the cost of one Vdsat of output swing) — used only when
+// cascoding the load mirror is not enough.
+//
+// Device roles: "<prefix>6" and, for cascode, "<prefix>6C".
+#pragma once
+
+#include "blocks/block_common.h"
+#include "util/diagnostics.h"
+
+namespace oasys::blocks {
+
+enum class GmStageStyle { kCommonSource, kCascode };
+
+const char* to_string(GmStageStyle s);
+
+struct GmStageSpec {
+  std::string role_prefix = "M";
+  mos::MosType type = mos::MosType::kPmos;
+  double gm = 0.0;       // transconductance target [S]
+  double id = 0.0;       // stage bias current [A]
+  double l = 0.0;        // channel length for the gain device [m]
+  GmStageStyle style = GmStageStyle::kCommonSource;
+  // Upper bound on the overdrive, from the output-swing budget [V].
+  double vov_max = 0.0;
+};
+
+struct GmStageDesign {
+  bool feasible = false;
+  GmStageStyle style = GmStageStyle::kCommonSource;
+  std::vector<SizedDevice> devices;
+
+  double gm = 0.0;
+  double vov = 0.0;
+  double vgs = 0.0;        // |VGS| of the gain device [V]
+  double rout = 0.0;       // stage output resistance (gain device side) [ohm]
+  double cgs = 0.0;        // input capacitance (gate-source) [F]
+  double swing_loss = 0.0; // Vdsat budget the stage consumes at the output [V]
+  double area = 0.0;
+
+  util::DiagnosticLog log;
+};
+
+GmStageDesign design_gm_stage(const tech::Technology& t,
+                              const GmStageSpec& spec);
+
+}  // namespace oasys::blocks

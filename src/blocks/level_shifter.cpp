@@ -1,0 +1,71 @@
+#include "blocks/level_shifter.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mos/design_eqs.h"
+#include "util/text.h"
+#include "util/units.h"
+
+namespace oasys::blocks {
+
+LevelShifterDesign design_level_shifter(const tech::Technology& t,
+                                        const LevelShifterSpec& spec) {
+  LevelShifterDesign d;
+  const tech::MosParams& p =
+      spec.type == mos::MosType::kNmos ? t.nmos : t.pmos;
+
+  if (!(spec.shift > 0.0)) {
+    d.log.error("ls-bad-spec", "shift must be positive");
+    return d;
+  }
+  // A PMOS follower in its own well has no body effect; an NMOS follower's
+  // threshold rises with the source-body bias.
+  const double vt =
+      spec.type == mos::MosType::kPmos
+          ? p.vt0
+          : mos::threshold(p, std::max(spec.vsb, 0.0));
+  const double vov = spec.shift - vt;
+  if (vov < kMinOverdrive) {
+    d.log.error("ls-shift",
+                util::format("shift %.2f V barely exceeds VT %.2f V; the "
+                             "follower cannot realize it",
+                             spec.shift, vt));
+    return d;
+  }
+  if (vov > kMaxOverdrive) {
+    d.log.error("ls-shift",
+                util::format("shift %.2f V needs Vov %.2f V; too large for "
+                             "one follower",
+                             spec.shift, vov));
+    return d;
+  }
+
+  // Bias current: enough that the follower pole clears pole_min.
+  double ibias = util::ua(2.0);
+  if (spec.pole_min > 0.0 && spec.cload > 0.0) {
+    const double gm_needed = util::kTwoPi * spec.pole_min * spec.cload;
+    ibias = std::max(ibias, mos::id_for_gm_vov(gm_needed, vov));
+  }
+
+  const double l = t.lmin;
+  const double w =
+      std::max(mos::width_for_current(t, p, l, ibias, vov), t.wmin);
+  if (w > max_width(t)) {
+    d.log.error("ls-width", "follower width exceeds limit");
+    return d;
+  }
+  d.devices.push_back(
+      {spec.role_prefix + "LS", spec.type, w, l, 1, ibias, vov});
+
+  d.shift = vt + vov;
+  d.ibias = ibias;
+  d.vov = vov;
+  d.gm = mos::gm_from_id_vov(ibias, vov);
+  d.pole = spec.cload > 0.0 ? d.gm / (util::kTwoPi * spec.cload) : 0.0;
+  d.area = devices_area(t, d.devices);
+  d.feasible = true;
+  return d;
+}
+
+}  // namespace oasys::blocks

@@ -1,0 +1,49 @@
+// Level-shifter designer: a source follower that moves a signal's DC level
+// by one |VGS| while presenting ~unity AC gain.
+//
+// The two-stage op-amp plan inserts one between the (cascoded) first-stage
+// output and the second-stage input when their DC levels no longer match —
+// the exact structural patch the paper reports for its test case C.  A
+// PMOS follower (body tied to its own well/source, so no body effect)
+// shifts the level *up*; an NMOS follower shifts it *down* (with body
+// effect included in the shift prediction).
+//
+// Device roles: "<prefix>LS" (follower) — its bias current sink/source is
+// provided by the bias chain as a mirror output.
+#pragma once
+
+#include "blocks/block_common.h"
+#include "util/diagnostics.h"
+
+namespace oasys::blocks {
+
+struct LevelShifterSpec {
+  std::string role_prefix = "M";
+  // Direction is implied by device type: PMOS shifts up, NMOS shifts down.
+  mos::MosType type = mos::MosType::kPmos;
+  double shift = 0.0;      // required |level shift| [V]
+  double cload = 0.0;      // capacitance at the follower output [F]
+  double pole_min = 0.0;   // minimum follower pole (gm/Cload) [Hz]; 0 = none
+  // For NMOS followers: estimated source-body reverse bias for the body
+  // effect in the shift prediction [V].
+  double vsb = 0.0;
+};
+
+struct LevelShifterDesign {
+  bool feasible = false;
+  std::vector<SizedDevice> devices;
+
+  double shift = 0.0;     // predicted |VGS| shift achieved [V]
+  double ibias = 0.0;     // follower bias current to be mirrored [A]
+  double gm = 0.0;
+  double pole = 0.0;      // gm / cload [Hz]
+  double vov = 0.0;
+  double area = 0.0;
+
+  util::DiagnosticLog log;
+};
+
+LevelShifterDesign design_level_shifter(const tech::Technology& t,
+                                        const LevelShifterSpec& spec);
+
+}  // namespace oasys::blocks

@@ -1,0 +1,26 @@
+#include "core/context.h"
+
+#include <stdexcept>
+
+namespace oasys::core {
+
+double DesignContext::get(const std::string& name) const {
+  const auto it = vars_.find(name);
+  if (it == vars_.end()) {
+    throw std::out_of_range("design variable '" + name + "' is not set");
+  }
+  return it->second;
+}
+
+double DesignContext::get_or(const std::string& name,
+                             double fallback) const {
+  const auto it = vars_.find(name);
+  return it == vars_.end() ? fallback : it->second;
+}
+
+int DesignContext::count(const std::string& counter) const {
+  const auto it = counters_.find(counter);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+}  // namespace oasys::core

@@ -1,0 +1,54 @@
+// DesignContext: the shared blackboard a translation plan executes against.
+//
+// A plan's steps communicate through named design variables (currents,
+// overdrives, partitioned gains, ...) plus whatever typed state a concrete
+// designer adds by deriving from DesignContext.  Patch rules read and write
+// the same variables, which is what lets a rule "skew the gain partition
+// and restart the plan from an earlier step" (paper Sec. 4.2).
+//
+// Counters track how many times each rule has fired so rules can bound
+// their own retries ("cascode at most once per stage").
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "tech/technology.h"
+#include "util/diagnostics.h"
+
+namespace oasys::core {
+
+class DesignContext {
+ public:
+  explicit DesignContext(const tech::Technology& technology)
+      : tech_(&technology) {}
+  virtual ~DesignContext() = default;
+
+  const tech::Technology& technology() const { return *tech_; }
+
+  // --- design variables ---------------------------------------------------
+  void set(const std::string& name, double value) { vars_[name] = value; }
+  // Throws std::out_of_range when the variable was never set: reading an
+  // unset variable is a plan-authoring bug, not a design failure.
+  double get(const std::string& name) const;
+  double get_or(const std::string& name, double fallback) const;
+  bool has(const std::string& name) const { return vars_.count(name) > 0; }
+  const std::map<std::string, double>& variables() const { return vars_; }
+
+  // --- rule bookkeeping ----------------------------------------------------
+  // Increments and returns the new count for `counter`.
+  int bump(const std::string& counter) { return ++counters_[counter]; }
+  int count(const std::string& counter) const;
+
+  // --- narrative ------------------------------------------------------------
+  util::DiagnosticLog& log() { return log_; }
+  const util::DiagnosticLog& log() const { return log_; }
+
+ private:
+  const tech::Technology* tech_;
+  std::map<std::string, double> vars_;
+  std::map<std::string, int> counters_;
+  util::DiagnosticLog log_;
+};
+
+}  // namespace oasys::core

@@ -1,0 +1,44 @@
+#include "core/plan.h"
+
+#include <sstream>
+
+namespace oasys::core {
+
+bool ExecutionTrace::rule_fired(const std::string& rule_name) const {
+  for (const auto& e : events) {
+    if (e.kind == TraceEvent::Kind::kRuleFired && e.code == rule_name) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string ExecutionTrace::to_string() const {
+  std::ostringstream os;
+  for (const auto& e : events) {
+    switch (e.kind) {
+      case TraceEvent::Kind::kStepOk:
+        os << "  step " << e.step_index << " [" << e.step_name << "] ok";
+        if (!e.detail.empty()) os << " — " << e.detail;
+        os << "\n";
+        break;
+      case TraceEvent::Kind::kStepFailed:
+        os << "  step " << e.step_index << " [" << e.step_name
+           << "] FAILED (" << e.code << "): " << e.detail << "\n";
+        break;
+      case TraceEvent::Kind::kRuleFired:
+        os << "    rule '" << e.code << "' fired: " << e.detail << "\n";
+        break;
+      case TraceEvent::Kind::kAborted:
+        os << "  aborted by rule '" << e.code << "': " << e.detail << "\n";
+        break;
+      case TraceEvent::Kind::kExhausted:
+        os << "  gave up: " << e.detail << "\n";
+        break;
+    }
+  }
+  os << (success ? "  => plan succeeded" : "  => plan failed") << "\n";
+  return os.str();
+}
+
+}  // namespace oasys::core

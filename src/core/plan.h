@@ -1,0 +1,221 @@
+// The planning mechanism (paper Sections 3.3 and 4.2, Figure 3).
+//
+// Design knowledge for one topology template is codified as a Plan: an
+// ordered list of PlanSteps, each a small program fragment that numerically
+// manipulates circuit equations to achieve a set of goals.  When a step
+// cannot meet its goals it reports a failure with a machine-matchable code.
+// The executor then consults the plan's PatchRules — "rules fire at the end
+// of each plan step to correct errors, and modify the dynamic flow of the
+// plan" — which may adjust design variables and restart the plan from an
+// earlier step, retry the failing step, or abort the style.
+//
+// Plans are templated on the concrete DesignContext type so that steps and
+// rules get typed access to designer state; the execution trace and status
+// types are shared and non-templated.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/context.h"
+
+namespace oasys::core {
+
+// Outcome of one plan-step execution.
+struct StepStatus {
+  bool ok = true;
+  std::string failure_code;  // stable code rules match on, e.g. "gain-shortfall"
+  std::string detail;
+
+  static StepStatus success() { return {}; }
+  static StepStatus fail(std::string code, std::string detail) {
+    return {false, std::move(code), std::move(detail)};
+  }
+};
+
+// What the executor hands to rules when a step fails.
+struct StepFailure {
+  std::size_t step_index = 0;
+  std::string step_name;
+  std::string code;
+  std::string detail;
+};
+
+// What a fired rule tells the executor to do next.
+struct PatchAction {
+  enum class Kind { kRestartAt, kRetryStep, kContinue, kAbort };
+  Kind kind = Kind::kAbort;
+  std::size_t restart_index = 0;  // for kRestartAt
+  std::string note;               // recorded in the trace
+
+  static PatchAction restart_at(std::size_t index, std::string note) {
+    return {Kind::kRestartAt, index, std::move(note)};
+  }
+  static PatchAction retry_step(std::string note) {
+    return {Kind::kRetryStep, 0, std::move(note)};
+  }
+  static PatchAction proceed(std::string note) {
+    return {Kind::kContinue, 0, std::move(note)};
+  }
+  static PatchAction abort(std::string note) {
+    return {Kind::kAbort, 0, std::move(note)};
+  }
+};
+
+// Execution trace: the full narrative of steps run and rules fired, used by
+// tests, reports, and the ablation benches.
+struct TraceEvent {
+  enum class Kind { kStepOk, kStepFailed, kRuleFired, kAborted, kExhausted };
+  Kind kind;
+  std::size_t step_index = 0;
+  std::string step_name;
+  std::string code;    // failure code or rule name
+  std::string detail;  // failure detail or patch note
+};
+
+struct ExecutionTrace {
+  bool success = false;
+  std::string abort_reason;
+  int steps_executed = 0;
+  int rules_fired = 0;
+  std::vector<TraceEvent> events;
+
+  bool rule_fired(const std::string& rule_name) const;
+  std::string to_string() const;
+};
+
+// --- the plan -------------------------------------------------------------
+
+template <typename Ctx>
+struct PlanStep {
+  std::string name;
+  std::function<StepStatus(Ctx&)> run;
+};
+
+template <typename Ctx>
+struct PatchRule {
+  std::string name;
+  // Returns the action to take if this rule applies to `failure`, nullopt
+  // otherwise.  Rules are consulted in registration order; the first one
+  // that returns an action wins.
+  std::function<std::optional<PatchAction>(Ctx&, const StepFailure&)>
+      try_patch;
+};
+
+template <typename Ctx>
+class Plan {
+ public:
+  explicit Plan(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  // Returns the index of the added step, so designers can name restart
+  // targets without counting by hand.
+  std::size_t add_step(std::string step_name,
+                       std::function<StepStatus(Ctx&)> body) {
+    steps_.push_back({std::move(step_name), std::move(body)});
+    return steps_.size() - 1;
+  }
+  void add_rule(std::string rule_name,
+                std::function<std::optional<PatchAction>(Ctx&,
+                                                         const StepFailure&)>
+                    body) {
+    rules_.push_back({std::move(rule_name), std::move(body)});
+  }
+
+  const std::vector<PlanStep<Ctx>>& steps() const { return steps_; }
+  const std::vector<PatchRule<Ctx>>& rules() const { return rules_; }
+
+  // Index of a step by name; throws std::out_of_range when absent.
+  std::size_t step_index(const std::string& step_name) const {
+    for (std::size_t i = 0; i < steps_.size(); ++i) {
+      if (steps_[i].name == step_name) return i;
+    }
+    throw std::out_of_range("plan '" + name_ + "' has no step '" +
+                            step_name + "'");
+  }
+
+ private:
+  std::string name_;
+  std::vector<PlanStep<Ctx>> steps_;
+  std::vector<PatchRule<Ctx>> rules_;
+};
+
+// --- the executor -----------------------------------------------------------
+
+struct ExecutorOptions {
+  int max_patches = 24;  // total rule firings before giving up
+  bool rules_enabled = true;  // ablation hook: run plans without patching
+};
+
+template <typename Ctx>
+ExecutionTrace execute_plan(const Plan<Ctx>& plan, Ctx& ctx,
+                            const ExecutorOptions& opts = {}) {
+  ExecutionTrace trace;
+  const auto& steps = plan.steps();
+  std::size_t i = 0;
+  while (i < steps.size()) {
+    const PlanStep<Ctx>& step = steps[i];
+    StepStatus status = step.run(ctx);
+    ++trace.steps_executed;
+    if (status.ok) {
+      trace.events.push_back({TraceEvent::Kind::kStepOk, i, step.name, "",
+                              status.detail});
+      ++i;
+      continue;
+    }
+    trace.events.push_back({TraceEvent::Kind::kStepFailed, i, step.name,
+                            status.failure_code, status.detail});
+
+    StepFailure failure{i, step.name, status.failure_code, status.detail};
+    std::optional<PatchAction> action;
+    std::string fired_rule;
+    if (opts.rules_enabled && trace.rules_fired < opts.max_patches) {
+      for (const PatchRule<Ctx>& rule : plan.rules()) {
+        action = rule.try_patch(ctx, failure);
+        if (action) {
+          fired_rule = rule.name;
+          break;
+        }
+      }
+    }
+    if (!action) {
+      trace.abort_reason =
+          trace.rules_fired >= opts.max_patches
+              ? "patch budget exhausted at step '" + step.name + "' (" +
+                    status.failure_code + ")"
+              : "no rule patches failure '" + status.failure_code +
+                    "' at step '" + step.name + "'";
+      trace.events.push_back({TraceEvent::Kind::kExhausted, i, step.name,
+                              status.failure_code, trace.abort_reason});
+      return trace;
+    }
+
+    ++trace.rules_fired;
+    trace.events.push_back({TraceEvent::Kind::kRuleFired, i, step.name,
+                            fired_rule, action->note});
+    switch (action->kind) {
+      case PatchAction::Kind::kRestartAt:
+        i = action->restart_index;
+        break;
+      case PatchAction::Kind::kRetryStep:
+        break;  // i unchanged
+      case PatchAction::Kind::kContinue:
+        ++i;
+        break;
+      case PatchAction::Kind::kAbort:
+        trace.abort_reason = "rule '" + fired_rule + "' aborted: " +
+                             action->note;
+        trace.events.push_back({TraceEvent::Kind::kAborted, i, step.name,
+                                fired_rule, action->note});
+        return trace;
+    }
+  }
+  trace.success = true;
+  return trace;
+}
+
+}  // namespace oasys::core

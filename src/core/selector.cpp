@@ -1,0 +1,48 @@
+#include "core/selector.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/text.h"
+#include "util/units.h"
+
+namespace oasys::core {
+
+SelectionResult select_style(const std::vector<StyleScore>& candidates) {
+  SelectionResult result;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (candidates[i].feasible) result.ranking.push_back(i);
+  }
+  std::stable_sort(result.ranking.begin(), result.ranking.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     const StyleScore& sa = candidates[a];
+                     const StyleScore& sb = candidates[b];
+                     if (sa.violations != sb.violations) {
+                       return sa.violations < sb.violations;
+                     }
+                     return sa.area < sb.area;
+                   });
+  if (!result.ranking.empty()) result.best = result.ranking.front();
+
+  std::ostringstream os;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const StyleScore& s = candidates[i];
+    os << "  " << s.style_name << ": ";
+    if (!s.feasible) {
+      os << "infeasible\n";
+      continue;
+    }
+    os << util::format("area %.0f um^2", util::in_um2(s.area));
+    if (s.violations > 0) {
+      os << util::format(", %d spec axis(es) missed (first-cut)",
+                         s.violations);
+    }
+    if (result.best && *result.best == i) os << "  <== selected";
+    os << "\n";
+  }
+  if (!result.best) os << "  no feasible style\n";
+  result.summary = os.str();
+  return result;
+}
+
+}  // namespace oasys::core

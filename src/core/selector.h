@@ -1,0 +1,36 @@
+// Design style selection (paper Sections 3.2 and 4.3).
+//
+// "All possible styles are designed and a selection among successful design
+// styles is made based on comparison of final parameters such as estimated
+// area" — breadth-first selection.  Candidates that fully meet the spec are
+// preferred; among those, smallest estimated area wins.  When no candidate
+// fully meets the spec, the one with the fewest violated axes is offered as
+// a first-cut design (the paper ships case C with PM under spec), again
+// tie-broken by area.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace oasys::core {
+
+// Summary of one designed style entered into selection.
+struct StyleScore {
+  std::string style_name;
+  bool feasible = false;   // the translation plan completed
+  int violations = 0;      // spec axes missed by the completed design
+  double area = 0.0;       // estimated area [m^2]
+};
+
+struct SelectionResult {
+  // Index into the candidate vector, or nullopt when nothing was feasible.
+  std::optional<std::size_t> best;
+  // Candidate indices from best to worst (feasible ones only).
+  std::vector<std::size_t> ranking;
+  std::string summary;  // human-readable reasoning
+};
+
+SelectionResult select_style(const std::vector<StyleScore>& candidates);
+
+}  // namespace oasys::core

@@ -1,0 +1,161 @@
+#include "core/spec.h"
+
+#include <sstream>
+#include <vector>
+
+#include "util/text.h"
+#include "util/units.h"
+
+namespace oasys::core {
+
+util::DiagnosticLog OpAmpSpec::validate() const {
+  util::DiagnosticLog log;
+  if (!(cload > 0.0)) {
+    log.error("spec-invalid", "load capacitance must be positive");
+  }
+  if (gain_min_db < 0.0) {
+    log.error("spec-invalid", "gain_min_db must be non-negative");
+  }
+  if (gbw_min < 0.0 || slew_min < 0.0) {
+    log.error("spec-invalid", "gbw_min and slew_min must be non-negative");
+  }
+  if (pm_min_deg < 0.0 || pm_min_deg >= 90.0) {
+    log.error("spec-invalid",
+              "phase margin spec must be in [0, 90) degrees");
+  }
+  if (swing_pos < 0.0 || swing_neg < 0.0) {
+    log.error("spec-invalid", "swing bounds are magnitudes, must be >= 0");
+  }
+  if (offset_max < 0.0) {
+    log.error("spec-invalid", "offset_max must be non-negative");
+  }
+  if (icmr_hi < icmr_lo) {
+    log.error("spec-invalid", "icmr_hi must be >= icmr_lo");
+  }
+  if (power_max < 0.0 || area_max < 0.0) {
+    log.error("spec-invalid", "power_max/area_max must be non-negative");
+  }
+  return log;
+}
+
+std::string OpAmpSpec::to_string() const {
+  std::ostringstream os;
+  os << "spec " << (name.empty() ? "(unnamed)" : name) << ":\n";
+  os << util::format("  gain      >= %.1f dB\n", gain_min_db);
+  os << util::format("  GBW       >= %.3g MHz\n", util::in_mhz(gbw_min));
+  os << util::format("  PM        >= %.1f deg\n", pm_min_deg);
+  os << util::format("  slew      >= %.3g V/us\n", util::in_v_per_us(slew_min));
+  os << util::format("  CL         = %.3g pF\n", util::in_pf(cload));
+  os << util::format("  swing     >= +%.2f / -%.2f V\n", swing_pos, swing_neg);
+  if (offset_max > 0.0) {
+    os << util::format("  offset    <= %.3g mV\n", util::in_mv(offset_max));
+  }
+  os << util::format("  ICMR       = [%.2f, %.2f] V\n", icmr_lo, icmr_hi);
+  if (power_max > 0.0) {
+    os << util::format("  power     <= %.3g mW\n", util::in_mw(power_max));
+  }
+  if (area_max > 0.0) {
+    os << util::format("  area      <= %.0f um^2\n", util::in_um2(area_max));
+  }
+  if (noise_max > 0.0) {
+    os << util::format("  noise     <= %.0f nV/rtHz\n", noise_max * 1e9);
+  }
+  return os.str();
+}
+
+std::string OpAmpPerformance::to_string() const {
+  std::ostringstream os;
+  os << util::format("  gain   = %.1f dB\n", gain_db);
+  os << util::format("  GBW    = %.3g MHz\n", util::in_mhz(gbw));
+  os << util::format("  PM     = %.1f deg\n", pm_deg);
+  os << util::format("  slew   = %.3g V/us\n", util::in_v_per_us(slew));
+  os << util::format("  swing  = +%.2f / -%.2f V\n", swing_pos, swing_neg);
+  os << util::format("  offset = %.3g mV\n", util::in_mv(offset));
+  os << util::format("  ICMR   = [%.2f, %.2f] V\n", icmr_lo, icmr_hi);
+  os << util::format("  power  = %.3g mW\n", util::in_mw(power));
+  os << util::format("  area   = %.0f um^2\n", util::in_um2(area));
+  return os.str();
+}
+
+std::vector<SpecCheck> check_spec(const OpAmpSpec& spec,
+                                  const OpAmpPerformance& perf,
+                                  double tolerance_frac) {
+  std::vector<SpecCheck> checks;
+  const double tol = 1.0 - tolerance_frac;
+
+  auto lower_bound_check = [&](const char* axis, double required,
+                               double achieved, bool constrained) {
+    SpecCheck c;
+    c.axis = axis;
+    c.required = required;
+    c.achieved = achieved;
+    c.constrained = constrained;
+    c.satisfied = !constrained || achieved >= required * tol;
+    checks.push_back(c);
+  };
+  auto upper_bound_check = [&](const char* axis, double required,
+                               double achieved, bool constrained) {
+    SpecCheck c;
+    c.axis = axis;
+    c.required = required;
+    c.achieved = achieved;
+    c.constrained = constrained;
+    c.satisfied = !constrained || achieved <= required / tol;
+    checks.push_back(c);
+  };
+
+  lower_bound_check("gain_db", spec.gain_min_db, perf.gain_db,
+                    spec.gain_min_db > 0.0);
+  lower_bound_check("gbw", spec.gbw_min, perf.gbw, spec.gbw_min > 0.0);
+  lower_bound_check("pm_deg", spec.pm_min_deg, perf.pm_deg,
+                    spec.pm_min_deg > 0.0);
+  lower_bound_check("slew", spec.slew_min, perf.slew, spec.slew_min > 0.0);
+  lower_bound_check("swing_pos", spec.swing_pos, perf.swing_pos,
+                    spec.swing_pos > 0.0);
+  lower_bound_check("swing_neg", spec.swing_neg, perf.swing_neg,
+                    spec.swing_neg > 0.0);
+  upper_bound_check("offset", spec.offset_max, perf.offset,
+                    spec.offset_max > 0.0);
+  // ICMR bounds are signed voltages, so the tolerance is additive (scaled
+  // to 1 V) rather than multiplicative.
+  const bool icmr_constrained = spec.icmr_lo != 0.0 || spec.icmr_hi != 0.0;
+  const double vtol = tolerance_frac * 1.0;
+  {
+    SpecCheck c;
+    c.axis = "icmr_lo";
+    c.required = spec.icmr_lo;
+    c.achieved = perf.icmr_lo;
+    c.constrained = icmr_constrained;
+    c.satisfied = !icmr_constrained || perf.icmr_lo <= spec.icmr_lo + vtol;
+    checks.push_back(c);
+  }
+  {
+    SpecCheck c;
+    c.axis = "icmr_hi";
+    c.required = spec.icmr_hi;
+    c.achieved = perf.icmr_hi;
+    c.constrained = icmr_constrained;
+    c.satisfied = !icmr_constrained || perf.icmr_hi >= spec.icmr_hi - vtol;
+    checks.push_back(c);
+  }
+  upper_bound_check("power", spec.power_max, perf.power,
+                    spec.power_max > 0.0);
+  upper_bound_check("area", spec.area_max, perf.area, spec.area_max > 0.0);
+  lower_bound_check("cmrr_db", spec.cmrr_min_db, perf.cmrr_db,
+                    spec.cmrr_min_db > 0.0);
+  lower_bound_check("psrr_db", spec.psrr_min_db, perf.psrr_db,
+                    spec.psrr_min_db > 0.0);
+  upper_bound_check("noise_in", spec.noise_max, perf.noise_in,
+                    spec.noise_max > 0.0);
+  return checks;
+}
+
+int violation_count(const std::vector<SpecCheck>& checks) {
+  int count = 0;
+  for (const auto& c : checks) {
+    if (c.constrained && !c.satisfied) ++count;
+  }
+  return count;
+}
+
+}  // namespace oasys::core

@@ -1,0 +1,92 @@
+// Performance specifications for analog functional blocks.
+//
+// OpAmpSpec is the paper's input (Table 2 left column): the behaviour the
+// synthesized block must achieve.  Specs constrain continuous quantities,
+// so every field is a bound, not a nominal value.  A value of 0 (or the
+// noted sentinel) leaves that axis unconstrained.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/diagnostics.h"
+
+namespace oasys::core {
+
+struct OpAmpSpec {
+  std::string name;  // label for reports, e.g. "A", "B", "C"
+
+  double gain_min_db = 0.0;    // open-loop DC gain lower bound [dB]
+  double gbw_min = 0.0;        // unity-gain bandwidth lower bound [Hz]
+  double pm_min_deg = 0.0;     // phase-margin lower bound [degrees]
+  double slew_min = 0.0;       // slew-rate lower bound [V/s]
+  double cload = 0.0;          // load capacitance the block must drive [F]
+
+  // Output swing: the output must reach at least `swing_pos` above and
+  // `swing_neg` below the mid-supply point (both positive magnitudes).
+  double swing_pos = 0.0;      // [V]
+  double swing_neg = 0.0;      // [V]
+
+  double offset_max = 0.0;     // systematic input offset upper bound [V];
+                               // 0 = unconstrained
+  // Input common-mode range the block must accept [V, absolute].
+  double icmr_lo = 0.0;
+  double icmr_hi = 0.0;
+
+  double power_max = 0.0;      // quiescent power upper bound [W]; 0 = none
+  double area_max = 0.0;       // active area upper bound [m^2]; 0 = none
+  double cmrr_min_db = 0.0;    // optional; 0 = unconstrained
+  double psrr_min_db = 0.0;    // optional; 0 = unconstrained
+  // Input-referred noise density in the white region (measured at about a
+  // third of the unity-gain frequency) [V/sqrt(Hz)]; 0 = unconstrained.
+  double noise_max = 0.0;
+
+  // Structural sanity (not feasibility): monotone bounds, positive load.
+  util::DiagnosticLog validate() const;
+
+  // Human-readable one-per-line rendering for reports.
+  std::string to_string() const;
+};
+
+// Performance actually achieved by a design, in the same axes as the spec.
+// Filled first with first-order predictions by the translation plans, then
+// with simulator measurements by the verification layer.
+struct OpAmpPerformance {
+  double gain_db = 0.0;
+  double gbw = 0.0;
+  double pm_deg = 0.0;
+  double slew = 0.0;
+  double swing_pos = 0.0;
+  double swing_neg = 0.0;
+  double offset = 0.0;
+  double icmr_lo = 0.0;
+  double icmr_hi = 0.0;
+  double power = 0.0;
+  double area = 0.0;     // [m^2]
+  double cmrr_db = 0.0;
+  double psrr_db = 0.0;
+  double noise_in = 0.0;  // input-referred density, white region [V/rtHz]
+
+  std::string to_string() const;
+};
+
+// One spec axis compared against achieved performance.
+struct SpecCheck {
+  std::string axis;     // e.g. "gain", "pm"
+  double required = 0.0;
+  double achieved = 0.0;
+  bool satisfied = false;
+  bool constrained = true;  // false when the spec left this axis free
+};
+
+// Evaluates every constrained axis.  `tolerance_frac` loosens each bound by
+// the given fraction (the paper accepts first-cut designs that are close;
+// e.g. case C ships with PM below spec).
+std::vector<SpecCheck> check_spec(const OpAmpSpec& spec,
+                                  const OpAmpPerformance& perf,
+                                  double tolerance_frac = 0.0);
+
+// Count of constrained-and-violated axes in a check list.
+int violation_count(const std::vector<SpecCheck>& checks);
+
+}  // namespace oasys::core

@@ -1,0 +1,45 @@
+// Performance-specification file reader.
+//
+// Lets the CLI (and scripts) drive OASYS the way the paper describes its
+// inputs: "a description of the fabrication process and a set of op amp
+// performance specifications".  Line-oriented `key value` format with the
+// designer-facing units spelled out in the key names, e.g.:
+//
+//   # case B
+//   name        B
+//   gain_db     70
+//   gbw_mhz     2
+//   pm_deg      45
+//   slew_v_us   2
+//   cload_pf    10
+//   swing_pos_v 3.5
+//   swing_neg_v 3.5
+//   offset_mv   2
+//   icmr_lo_v  -2
+//   icmr_hi_v   2
+//   power_mw    10
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "core/spec.h"
+
+namespace oasys::core {
+
+struct SpecParseResult {
+  OpAmpSpec spec;
+  util::DiagnosticLog log;
+  bool ok() const { return !log.has_errors(); }
+};
+
+// Parses spec text (file contents, not a path).
+SpecParseResult parse_opamp_spec(std::string_view text);
+
+// Reads and parses a spec file; I/O failure is an error diagnostic.
+SpecParseResult load_opamp_spec_file(const std::string& path);
+
+// Serializes a spec in the same format (round-trips through the parser).
+std::string to_spec_text(const OpAmpSpec& spec);
+
+}  // namespace oasys::core

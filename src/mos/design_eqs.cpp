@@ -1,0 +1,94 @@
+#include "mos/design_eqs.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace oasys::mos {
+
+namespace {
+void require_positive(double v, const char* what) {
+  if (!(v > 0.0)) {
+    throw std::invalid_argument(std::string(what) + " must be positive");
+  }
+}
+}  // namespace
+
+double wl_for_current(double kp, double id, double vov) {
+  require_positive(kp, "kp");
+  require_positive(id, "id");
+  require_positive(vov, "vov");
+  return 2.0 * id / (kp * vov * vov);
+}
+
+double wl_for_gm(double kp, double gm, double id) {
+  require_positive(kp, "kp");
+  require_positive(gm, "gm");
+  require_positive(id, "id");
+  return gm * gm / (2.0 * kp * id);
+}
+
+double vov_from_current(double kp, double id, double wl) {
+  require_positive(kp, "kp");
+  require_positive(id, "id");
+  require_positive(wl, "wl");
+  return std::sqrt(2.0 * id / (kp * wl));
+}
+
+double gm_from_id_vov(double id, double vov) {
+  require_positive(vov, "vov");
+  return 2.0 * id / vov;
+}
+
+double id_for_gm_vov(double gm, double vov) { return 0.5 * gm * vov; }
+
+double rout_sat(double lambda, double id) {
+  require_positive(lambda, "lambda");
+  require_positive(id, "id");
+  return 1.0 / (lambda * id);
+}
+
+double width_for_current(const tech::Technology& t, const tech::MosParams& p,
+                         double l, double id, double vov, bool* clamped) {
+  require_positive(l, "l");
+  const double wl = wl_for_current(p.kp, id, vov);
+  const double w = wl * l;
+  if (clamped != nullptr) *clamped = w < t.wmin;
+  return std::max(w, t.wmin);
+}
+
+double length_for_lambda(const tech::Technology& t, const tech::MosParams& p,
+                         double lambda_target) {
+  require_positive(lambda_target, "lambda_target");
+  if (p.lambda_l <= 0.0) return t.lmin;
+  return std::max(p.lambda_l / lambda_target, t.lmin);
+}
+
+double vgs_for(const tech::MosParams& p, double vov, double vsb) {
+  return threshold(p, std::max(vsb, 0.0)) + vov;
+}
+
+double cgs_sat(const tech::Technology& t, const tech::MosParams& p,
+               const Geometry& g) {
+  return gate_caps(p, t.cox, g, Region::kSaturation).cgs;
+}
+
+double cdb_at(const tech::Technology& t, const tech::MosParams& p, double w,
+              double vrev) {
+  return junction_cap(p, t.diffusion_area(w), t.diffusion_perimeter(w),
+                      std::max(vrev, 0.0));
+}
+
+double rout_cascode(double gm_top, double ro_top, double ro_bottom) {
+  require_positive(ro_top, "ro_top");
+  require_positive(ro_bottom, "ro_bottom");
+  return ro_top + ro_bottom + gm_top * ro_top * ro_bottom;
+}
+
+double parallel(double r1, double r2) {
+  require_positive(r1, "r1");
+  require_positive(r2, "r2");
+  return r1 * r2 / (r1 + r2);
+}
+
+}  // namespace oasys::mos

@@ -1,0 +1,73 @@
+// First-order design equations for square-law MOS devices.
+//
+// These are the "simple algebraic descriptions of the relationships among
+// circuit components" the paper stores with each topology template (Sec.
+// 3.3).  Plan steps call them to turn performance targets (gm, current,
+// overdrive, output resistance) into device sizes, and to predict the
+// performance of a candidate sizing.  They deliberately match the Level-1
+// simulator model at lambda*Vds << 1, so a design that satisfies them also
+// verifies in simulation to first order.
+#pragma once
+
+#include "mos/level1.h"
+#include "tech/technology.h"
+
+namespace oasys::mos {
+
+// --- square-law relations (saturation region) ----------------------------
+
+// Id = 0.5 * kp * (W/L) * Vov^2  =>  W/L for a target current and overdrive.
+double wl_for_current(double kp, double id, double vov);
+
+// gm = sqrt(2 * kp * (W/L) * Id)  =>  W/L for a target gm at a current.
+double wl_for_gm(double kp, double gm, double id);
+
+// Overdrive implied by a current and W/L.
+double vov_from_current(double kp, double id, double wl);
+
+// gm of a device carrying `id` at overdrive `vov` (gm = 2 Id / Vov).
+double gm_from_id_vov(double id, double vov);
+
+// Current needed for a target gm at overdrive vov (Id = gm*Vov/2).
+double id_for_gm_vov(double gm, double vov);
+
+// Small-signal output resistance 1 / (lambda * Id).
+double rout_sat(double lambda, double id);
+
+// --- geometry helpers -----------------------------------------------------
+
+// Width for a target current at given length and overdrive, clamped to the
+// process minimum width.  Returns the clamped width; *clamped is set when
+// the raw width fell below wmin (a plan-patch trigger).
+double width_for_current(const tech::Technology& t, const tech::MosParams& p,
+                         double l, double id, double vov,
+                         bool* clamped = nullptr);
+
+// Channel length needed for a per-device lambda target:
+// lambda(L) = lambda_l / L  =>  L = lambda_l / lambda, clamped to lmin.
+double length_for_lambda(const tech::Technology& t, const tech::MosParams& p,
+                         double lambda_target);
+
+// --- bias-point predictions used by translation plans ---------------------
+
+// VGS = VT(vsb) + Vov for a device in saturation (NMOS-like frame).
+double vgs_for(const tech::MosParams& p, double vov, double vsb = 0.0);
+
+// Gate-source capacitance of a saturated device (2/3 Cox W L + overlap).
+double cgs_sat(const tech::Technology& t, const tech::MosParams& p,
+               const Geometry& g);
+
+// Drain junction capacitance at a nominal reverse bias.
+double cdb_at(const tech::Technology& t, const tech::MosParams& p, double w,
+              double vrev);
+
+// --- composite small-signal quantities ------------------------------------
+
+// Output resistance looking into a cascode (common-gate on top of a
+// common-source): ro_casc ~ gm_top * ro_top * ro_bottom.
+double rout_cascode(double gm_top, double ro_top, double ro_bottom);
+
+// Parallel resistance.
+double parallel(double r1, double r2);
+
+}  // namespace oasys::mos

@@ -1,0 +1,172 @@
+#include "mos/level1.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace oasys::mos {
+
+const char* to_string(MosType t) {
+  return t == MosType::kNmos ? "nmos" : "pmos";
+}
+
+const char* to_string(Region r) {
+  switch (r) {
+    case Region::kCutoff:
+      return "cutoff";
+    case Region::kTriode:
+      return "triode";
+    case Region::kSaturation:
+      return "saturation";
+  }
+  return "unknown";
+}
+
+double threshold(const tech::MosParams& p, double vsb) {
+  // Clamp forward body bias so the sqrt stays real; the derivative is frozen
+  // past the clamp, which keeps Newton iterations stable.
+  const double kMinArg = 0.01;  // V
+  const double arg = std::max(p.phi + vsb, kMinArg);
+  return p.vt0 + p.gamma * (std::sqrt(arg) - std::sqrt(p.phi));
+}
+
+CoreEval evaluate_core(const tech::MosParams& p, const Geometry& g,
+                       const CoreBias& bias) {
+  CoreEval e;
+  const double vsb = -bias.vbs;
+  e.vth = threshold(p, vsb);
+  e.vov = bias.vgs - e.vth;
+  e.vdsat = std::max(e.vov, 0.0);
+
+  const double beta = p.kp * g.wl_ratio();
+  const double lambda = p.lambda_at(g.l);
+  const double vds = bias.vds;
+
+  if (e.vov <= 0.0 || beta <= 0.0) {
+    e.region = Region::kCutoff;
+    return e;
+  }
+
+  // dVth/dVbs = -gamma / (2 sqrt(phi + vsb)); gmb = -dId/dVth * dVth/dVbs.
+  const double kMinArg = 0.01;
+  const double sqrt_arg = std::sqrt(std::max(p.phi + vsb, kMinArg));
+  const double body_factor =
+      (p.phi + vsb > kMinArg) ? p.gamma / (2.0 * sqrt_arg) : 0.0;
+
+  const double clm = 1.0 + lambda * vds;
+  if (vds >= e.vov) {
+    e.region = Region::kSaturation;
+    e.id = 0.5 * beta * e.vov * e.vov * clm;
+    e.gm = beta * e.vov * clm;
+    e.gds = 0.5 * beta * e.vov * e.vov * lambda;
+    e.gmb = e.gm * body_factor;
+  } else {
+    e.region = Region::kTriode;
+    // The (1 + lambda*vds) factor is kept in triode so current and gds are
+    // continuous across the triode/saturation boundary.
+    const double core = (e.vov - 0.5 * vds) * vds;
+    e.id = beta * core * clm;
+    e.gm = beta * vds * clm;
+    e.gds = beta * ((e.vov - vds) * clm + core * lambda);
+    e.gmb = e.gm * body_factor;
+  }
+  return e;
+}
+
+GateCaps gate_caps(const tech::MosParams& p, double cox, const Geometry& g,
+                   Region region) {
+  GateCaps c;
+  const double w_total = g.w * g.m;
+  const double cox_total = cox * w_total * g.l;
+  const double cgso = p.cgso * w_total;
+  const double cgdo = p.cgdo * w_total;
+  switch (region) {
+    case Region::kCutoff:
+      c.cgs = cgso;
+      c.cgd = cgdo;
+      c.cgb = cox_total;
+      break;
+    case Region::kSaturation:
+      c.cgs = (2.0 / 3.0) * cox_total + cgso;
+      c.cgd = cgdo;
+      c.cgb = 0.0;
+      break;
+    case Region::kTriode:
+      c.cgs = 0.5 * cox_total + cgso;
+      c.cgd = 0.5 * cox_total + cgdo;
+      c.cgb = 0.0;
+      break;
+  }
+  return c;
+}
+
+double junction_cap(const tech::MosParams& p, double area, double perim,
+                    double vrev) {
+  // Reverse bias increases depletion width and reduces capacitance.
+  // Forward bias (vrev < 0) is clamped at half the built-in voltage, the
+  // usual SPICE-style guard against the singularity at vrev = -pb.
+  const double v = std::max(vrev, -0.5 * p.pb);
+  const double denom_area = std::pow(1.0 + v / p.pb, p.mj);
+  const double denom_sw = std::pow(1.0 + v / p.pb, p.mjsw);
+  return p.cj * area / denom_area + p.cjsw * perim / denom_sw;
+}
+
+TerminalEval evaluate_terminal(const tech::MosParams& p, MosType type,
+                               const Geometry& g, double vg, double vd,
+                               double vs, double vb) {
+  // Map to the NMOS-like frame: PMOS flips all voltages.
+  const double sign = (type == MosType::kNmos) ? 1.0 : -1.0;
+  double cvg = sign * vg;
+  double cvd = sign * vd;
+  double cvs = sign * vs;
+  const double cvb = sign * vb;
+
+  TerminalEval out;
+  // The Level-1 channel is symmetric: if vds < 0 exchange drain and source.
+  if (cvd < cvs) {
+    std::swap(cvd, cvs);
+    out.swapped = true;
+  }
+
+  CoreBias bias;
+  bias.vgs = cvg - cvs;
+  bias.vds = cvd - cvs;
+  bias.vbs = cvb - cvs;
+  const CoreEval core = evaluate_core(p, g, bias);
+
+  out.region = core.region;
+  out.vth = core.vth;
+  out.vov = core.vov;
+  out.vdsat = core.vdsat;
+  out.gm = core.gm;
+  out.gds = core.gds;
+  out.gmb = core.gmb;
+
+  // Current in the NMOS-like frame flows from the (possibly swapped) drain
+  // to source.  Undo the swap, then undo the PMOS sign flip.
+  double id = core.id;
+  double di_dvg = core.gm;
+  double di_dvd = core.gds;
+  double di_dvs = -(core.gm + core.gds + core.gmb);
+  double di_dvb = core.gmb;
+  if (out.swapped) {
+    id = -id;
+    // Terminal roles exchanged: derivative wrt the *original* drain is the
+    // core's source derivative, and the current sign flips.
+    const double orig_dvd = -di_dvs;
+    const double orig_dvs = -di_dvd;
+    di_dvd = orig_dvd;
+    di_dvs = orig_dvs;
+    di_dvg = -di_dvg;
+    di_dvb = -di_dvb;
+  }
+  // PMOS: node voltages were negated, so d/dv_node gains a sign; the current
+  // direction in node terms also flips.
+  out.id_ds = sign * id;
+  out.di_dvg = di_dvg;   // sign * d(id)/d(cvg) * d(cvg)/d(vg) = sign*di*sign
+  out.di_dvd = di_dvd;
+  out.di_dvs = di_dvs;
+  out.di_dvb = di_dvb;
+  return out;
+}
+
+}  // namespace oasys::mos

@@ -1,0 +1,107 @@
+// MOS Level-1 (Shichman-Hodges) device model.
+//
+// This is the device model of the paper's era: square-law drain current with
+// channel-length modulation and body effect, Meyer gate capacitances, and
+// bias-dependent junction capacitances.  It is used both by the circuit
+// simulator (large-signal current + small-signal conductances + charges) and
+// as the ground truth that the synthesis design equations approximate.
+//
+// Convention: the core is written for NMOS with source-referenced voltages
+// (vgs, vds, vbs).  PMOS is evaluated by flipping all voltage signs; drain
+// current is reported in the device's own reference (positive Id flows
+// drain -> source for a conducting NMOS; for PMOS the reported Id is
+// negative in node terms — the simulator stamps the sign).
+#pragma once
+
+#include "tech/technology.h"
+
+namespace oasys::mos {
+
+enum class MosType { kNmos, kPmos };
+
+const char* to_string(MosType t);
+
+enum class Region { kCutoff, kTriode, kSaturation };
+
+const char* to_string(Region r);
+
+// Geometry of one device.  `m` is the multiplicity (parallel fingers).
+struct Geometry {
+  double w = 0.0;  // channel width [m]
+  double l = 0.0;  // channel length [m]
+  int m = 1;
+
+  double wl_ratio() const { return (l > 0.0) ? (w / l) * m : 0.0; }
+};
+
+// Source-referenced terminal voltages in the *NMOS-like* frame, i.e. for a
+// PMOS these are already sign-flipped so that vgs > vt means "on".
+struct CoreBias {
+  double vgs = 0.0;
+  double vds = 0.0;  // must be >= 0 (caller swaps D/S if needed)
+  double vbs = 0.0;  // <= 0 for reverse body bias
+};
+
+// Large-signal + small-signal evaluation at one bias.
+struct CoreEval {
+  Region region = Region::kCutoff;
+  double id = 0.0;    // drain current [A], >= 0
+  double vth = 0.0;   // threshold with body effect [V]
+  double vov = 0.0;   // overdrive vgs - vth [V]
+  double vdsat = 0.0; // saturation voltage [V]
+  double gm = 0.0;    // dId/dVgs [S]
+  double gds = 0.0;   // dId/dVds [S]
+  double gmb = 0.0;   // dId/dVbs [S]
+};
+
+// Evaluates the Level-1 core.  `bias.vds` must be >= 0.
+CoreEval evaluate_core(const tech::MosParams& p, const Geometry& g,
+                       const CoreBias& bias);
+
+// Threshold voltage with body effect at source-body reverse bias vsb >= 0
+// (in the NMOS-like frame).  Forward body bias is clamped.
+double threshold(const tech::MosParams& p, double vsb);
+
+// Meyer gate capacitances plus overlaps, by region [F].
+struct GateCaps {
+  double cgs = 0.0;
+  double cgd = 0.0;
+  double cgb = 0.0;
+};
+GateCaps gate_caps(const tech::MosParams& p, double cox, const Geometry& g,
+                   Region region);
+
+// Junction (diffusion) capacitance at reverse bias `vrev` >= 0 [F].
+// `area` in m^2, `perim` in m.  Forward bias is clamped near pb.
+double junction_cap(const tech::MosParams& p, double area, double perim,
+                    double vrev);
+
+// Full terminal-frame evaluation used by the simulator.
+//
+// Inputs are absolute node voltages.  Output current `id_ds` is the current
+// flowing from the drain node into the source node through the channel
+// (negative for a conducting PMOS).  Conductances are in the terminal frame:
+//   d(id_ds)/d(vg), d(id_ds)/d(vd), d(id_ds)/d(vs), d(id_ds)/d(vb)
+// which the MNA stamper uses directly.
+struct TerminalEval {
+  Region region = Region::kCutoff;
+  bool swapped = false;  // true when vds < 0 and D/S were exchanged
+  double id_ds = 0.0;
+  double di_dvg = 0.0;
+  double di_dvd = 0.0;
+  double di_dvs = 0.0;
+  double di_dvb = 0.0;
+  // Diagnostics in the device frame:
+  double vth = 0.0;
+  double vov = 0.0;
+  double vdsat = 0.0;
+  double gm = 0.0;   // magnitude
+  double gds = 0.0;  // magnitude
+  double gmb = 0.0;  // magnitude
+};
+
+TerminalEval evaluate_terminal(const tech::MosParams& p, MosType type,
+                               const Geometry& g, double vg, double vd,
+                               double vs, double vb);
+
+}  // namespace oasys::mos

@@ -1,0 +1,184 @@
+#include "netlist/circuit.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/text.h"
+
+namespace oasys::ckt {
+
+NodeId Circuit::node(std::string_view name) {
+  const std::string lowered = util::to_lower(name);
+  if (lowered == "0" || lowered == "gnd") return kGround;
+  for (std::size_t i = 0; i < node_names_.size(); ++i) {
+    if (node_names_[i] == lowered) return static_cast<NodeId>(i);
+  }
+  node_names_.push_back(lowered);
+  return static_cast<NodeId>(node_names_.size() - 1);
+}
+
+std::optional<NodeId> Circuit::find_node(std::string_view name) const {
+  const std::string lowered = util::to_lower(name);
+  if (lowered == "0" || lowered == "gnd") return kGround;
+  for (std::size_t i = 0; i < node_names_.size(); ++i) {
+    if (node_names_[i] == lowered) return static_cast<NodeId>(i);
+  }
+  return std::nullopt;
+}
+
+const std::string& Circuit::node_name(NodeId id) const {
+  if (id < 0 || static_cast<std::size_t>(id) >= node_names_.size()) {
+    throw std::out_of_range("node_name: bad node id");
+  }
+  return node_names_[static_cast<std::size_t>(id)];
+}
+
+void Circuit::check_name(const std::string& name) {
+  if (name.empty()) {
+    throw std::invalid_argument("element name must not be empty");
+  }
+  if (std::find(element_names_.begin(), element_names_.end(), name) !=
+      element_names_.end()) {
+    throw std::invalid_argument("duplicate element name: " + name);
+  }
+  element_names_.push_back(name);
+}
+
+void Circuit::check_node(NodeId n) const {
+  if (n < 0 || static_cast<std::size_t>(n) >= node_names_.size()) {
+    throw std::invalid_argument("element references unknown node id");
+  }
+}
+
+void Circuit::add_resistor(std::string name, NodeId a, NodeId b,
+                           double ohms) {
+  if (!(ohms > 0.0) || !std::isfinite(ohms)) {
+    throw std::invalid_argument("resistor value must be positive and finite");
+  }
+  check_node(a);
+  check_node(b);
+  check_name(name);
+  resistors_.push_back({std::move(name), a, b, ohms});
+}
+
+void Circuit::add_capacitor(std::string name, NodeId a, NodeId b,
+                            double farads) {
+  if (!(farads > 0.0) || !std::isfinite(farads)) {
+    throw std::invalid_argument(
+        "capacitor value must be positive and finite");
+  }
+  check_node(a);
+  check_node(b);
+  check_name(name);
+  capacitors_.push_back({std::move(name), a, b, farads});
+}
+
+void Circuit::add_vsource(std::string name, NodeId pos, NodeId neg,
+                          Waveform w) {
+  check_node(pos);
+  check_node(neg);
+  check_name(name);
+  vsources_.push_back({std::move(name), pos, neg, w});
+}
+
+void Circuit::add_isource(std::string name, NodeId a, NodeId b, Waveform w) {
+  check_node(a);
+  check_node(b);
+  check_name(name);
+  isources_.push_back({std::move(name), a, b, w});
+}
+
+void Circuit::add_mosfet(std::string name, NodeId d, NodeId g, NodeId s,
+                         NodeId b, mos::MosType type, double w, double l,
+                         int m) {
+  if (!(w > 0.0) || !(l > 0.0)) {
+    throw std::invalid_argument("mosfet W and L must be positive");
+  }
+  if (m < 1) throw std::invalid_argument("mosfet multiplicity must be >= 1");
+  check_node(d);
+  check_node(g);
+  check_node(s);
+  check_node(b);
+  check_name(name);
+  mosfets_.push_back({std::move(name), d, g, s, b, type, {w, l, m}});
+}
+
+VSource& Circuit::vsource(std::size_t index) {
+  if (index >= vsources_.size()) {
+    throw std::out_of_range("vsource index out of range");
+  }
+  return vsources_[index];
+}
+
+ISource& Circuit::isource(std::size_t index) {
+  if (index >= isources_.size()) {
+    throw std::out_of_range("isource index out of range");
+  }
+  return isources_[index];
+}
+
+std::optional<std::size_t> Circuit::find_vsource(
+    std::string_view name) const {
+  for (std::size_t i = 0; i < vsources_.size(); ++i) {
+    if (vsources_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::size_t> Circuit::find_isource(
+    std::string_view name) const {
+  for (std::size_t i = 0; i < isources_.size(); ++i) {
+    if (isources_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+void Circuit::set_mosfet_dvt(std::string_view name, double dvt) {
+  for (auto& m : mosfets_) {
+    if (m.name == name) {
+      m.dvt = dvt;
+      return;
+    }
+  }
+  throw std::invalid_argument("set_mosfet_dvt: no MOSFET named '" +
+                              std::string(name) + "'");
+}
+
+std::size_t Circuit::num_elements() const {
+  return resistors_.size() + capacitors_.size() + vsources_.size() +
+         isources_.size() + mosfets_.size();
+}
+
+std::vector<std::string> Circuit::dangling_nodes() const {
+  std::vector<int> touch_count(node_names_.size(), 0);
+  auto touch = [&](NodeId n) { ++touch_count[static_cast<std::size_t>(n)]; };
+  for (const auto& r : resistors_) {
+    touch(r.a);
+    touch(r.b);
+  }
+  for (const auto& c : capacitors_) {
+    touch(c.a);
+    touch(c.b);
+  }
+  for (const auto& v : vsources_) {
+    touch(v.pos);
+    touch(v.neg);
+  }
+  for (const auto& i : isources_) {
+    touch(i.a);
+    touch(i.b);
+  }
+  for (const auto& m : mosfets_) {
+    touch(m.d);
+    touch(m.g);
+    touch(m.s);
+    touch(m.b);
+  }
+  std::vector<std::string> out;
+  for (std::size_t n = 1; n < node_names_.size(); ++n) {
+    if (touch_count[n] < 2) out.push_back(node_names_[n]);
+  }
+  return out;
+}
+
+}  // namespace oasys::ckt

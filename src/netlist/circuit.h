@@ -1,0 +1,120 @@
+// Flat transistor-level circuit netlist.
+//
+// OASYS builds these programmatically from synthesized designs; the
+// simulator consumes them; the SPICE writer serializes them.  Node 0 is
+// ground ("0"), matching SPICE convention.
+//
+// Element conventions:
+//  * VSource: `pos`/`neg` terminals; the associated branch current flows
+//    from pos through the source to neg (standard MNA convention), so a
+//    battery sourcing current into the circuit has negative branch current.
+//  * ISource: conventional current `wave.value()` flows from node `a`
+//    through the source into node `b` (i.e. it is extracted from `a`).
+//  * Mosfet: terminals drain, gate, source, bulk; geometry per mos::Geometry.
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "mos/level1.h"
+#include "netlist/waveform.h"
+
+namespace oasys::ckt {
+
+using NodeId = int;
+inline constexpr NodeId kGround = 0;
+
+struct Resistor {
+  std::string name;
+  NodeId a = kGround, b = kGround;
+  double resistance = 0.0;  // ohms, > 0
+};
+
+struct Capacitor {
+  std::string name;
+  NodeId a = kGround, b = kGround;
+  double capacitance = 0.0;  // farads, > 0
+};
+
+struct VSource {
+  std::string name;
+  NodeId pos = kGround, neg = kGround;
+  Waveform wave = Waveform::dc(0.0);
+};
+
+struct ISource {
+  std::string name;
+  NodeId a = kGround, b = kGround;  // current flows a -> b through the source
+  Waveform wave = Waveform::dc(0.0);
+};
+
+struct Mosfet {
+  std::string name;
+  NodeId d = kGround, g = kGround, s = kGround, b = kGround;
+  mos::MosType type = mos::MosType::kNmos;
+  mos::Geometry geom;
+  // Per-device threshold perturbation (magnitude shift) for mismatch
+  // studies [V]; 0 for the nominal device.
+  double dvt = 0.0;
+};
+
+class Circuit {
+ public:
+  // Returns the node id for `name`, creating it if needed.  Name "0" and
+  // "gnd" map to ground.
+  NodeId node(std::string_view name);
+  // Lookup without creating.
+  std::optional<NodeId> find_node(std::string_view name) const;
+  const std::string& node_name(NodeId id) const;
+  // Total node count including ground.
+  std::size_t num_nodes() const { return node_names_.size(); }
+
+  // Element constructors; all validate values and reject duplicate names.
+  void add_resistor(std::string name, NodeId a, NodeId b, double ohms);
+  void add_capacitor(std::string name, NodeId a, NodeId b, double farads);
+  void add_vsource(std::string name, NodeId pos, NodeId neg, Waveform w);
+  void add_isource(std::string name, NodeId a, NodeId b, Waveform w);
+  void add_mosfet(std::string name, NodeId d, NodeId g, NodeId s, NodeId b,
+                  mos::MosType type, double w, double l, int m = 1);
+
+  const std::vector<Resistor>& resistors() const { return resistors_; }
+  const std::vector<Capacitor>& capacitors() const { return capacitors_; }
+  const std::vector<VSource>& vsources() const { return vsources_; }
+  const std::vector<ISource>& isources() const { return isources_; }
+  const std::vector<Mosfet>& mosfets() const { return mosfets_; }
+
+  // Mutable access for analyses that modulate sources (DC sweep, testbench
+  // reconfiguration).  Index by position in vsources()/isources().
+  VSource& vsource(std::size_t index);
+  ISource& isource(std::size_t index);
+  // Locate a source by name; nullopt if absent.
+  std::optional<std::size_t> find_vsource(std::string_view name) const;
+  std::optional<std::size_t> find_isource(std::string_view name) const;
+
+  // Sets a device's threshold perturbation (mismatch studies).  Throws
+  // std::invalid_argument when no MOSFET has that name.
+  void set_mosfet_dvt(std::string_view name, double dvt);
+
+  std::size_t num_elements() const;
+
+  // Every non-ground node should connect to at least two element terminals
+  // and have a DC path to ground; returns names of suspicious nodes.
+  std::vector<std::string> dangling_nodes() const;
+
+ private:
+  void check_name(const std::string& name);
+  void check_node(NodeId n) const;
+
+  std::vector<std::string> node_names_{"0"};
+  std::vector<std::string> element_names_;
+  std::vector<Resistor> resistors_;
+  std::vector<Capacitor> capacitors_;
+  std::vector<VSource> vsources_;
+  std::vector<ISource> isources_;
+  std::vector<Mosfet> mosfets_;
+};
+
+}  // namespace oasys::ckt

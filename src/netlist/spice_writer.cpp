@@ -1,0 +1,103 @@
+#include "netlist/spice_writer.h"
+
+#include <sstream>
+
+#include "util/text.h"
+#include "util/units.h"
+
+namespace oasys::ckt {
+
+namespace {
+
+using util::eng;
+using util::format;
+
+std::string source_card(const std::string& prefix, const std::string& name,
+                        const std::string& n1, const std::string& n2,
+                        const Waveform& w) {
+  std::ostringstream os;
+  os << prefix << name << " " << n1 << " " << n2;
+  os << " DC " << eng(w.dc_value());
+  if (w.ac_mag() != 0.0) {
+    os << " AC " << eng(w.ac_mag());
+    if (w.ac_phase_deg() != 0.0) os << " " << eng(w.ac_phase_deg());
+  }
+  return os.str();
+}
+
+void emit_model(std::ostringstream& os, const char* name, const char* type,
+                const tech::MosParams& p, const tech::Technology& t) {
+  os << ".MODEL " << name << " " << type << " (LEVEL=1";
+  os << format(" VTO=%s", eng(p.vt0).c_str());
+  os << format(" KP=%s", eng(p.kp).c_str());
+  os << format(" GAMMA=%s", eng(p.gamma).c_str());
+  os << format(" PHI=%s", eng(p.phi).c_str());
+  // SPICE Level-1 takes a single LAMBDA; emit the value at minimum length
+  // and note the length dependence in a comment.
+  os << format(" LAMBDA=%s", eng(p.lambda_at(t.lmin)).c_str());
+  os << format(" TOX=%s", eng(t.tox).c_str());
+  os << format(" CGDO=%s", eng(p.cgdo).c_str());
+  os << format(" CGSO=%s", eng(p.cgso).c_str());
+  os << format(" CJ=%s", eng(p.cj).c_str());
+  os << format(" CJSW=%s", eng(p.cjsw).c_str());
+  os << format(" PB=%s", eng(p.pb).c_str());
+  os << format(" MJ=%s", eng(p.mj).c_str());
+  os << format(" MJSW=%s", eng(p.mjsw).c_str());
+  os << ")\n";
+}
+
+}  // namespace
+
+std::string spice_model_cards(const tech::Technology& t) {
+  std::ostringstream os;
+  os << "* lambda is emitted at L=Lmin; OASYS internally uses lambda(L) = "
+     << "lambda_l/L\n";
+  emit_model(os, "nmos1", "NMOS", t.nmos, t);
+  emit_model(os, "pmos1", "PMOS", t.pmos, t);
+  return os.str();
+}
+
+std::string to_spice_deck(const Circuit& c, const tech::Technology& t,
+                          const SpiceWriterOptions& opts) {
+  std::ostringstream os;
+  os << "* " << opts.title << "\n";
+  os << "* technology: " << (t.name.empty() ? "unnamed" : t.name) << "\n";
+
+  for (const auto& r : c.resistors()) {
+    os << "R" << r.name << " " << c.node_name(r.a) << " " << c.node_name(r.b)
+       << " " << eng(r.resistance) << "\n";
+  }
+  for (const auto& cap : c.capacitors()) {
+    os << "C" << cap.name << " " << c.node_name(cap.a) << " "
+       << c.node_name(cap.b) << " " << eng(cap.capacitance) << "\n";
+  }
+  for (const auto& v : c.vsources()) {
+    os << source_card("V", v.name, c.node_name(v.pos), c.node_name(v.neg),
+                      v.wave)
+       << "\n";
+  }
+  for (const auto& i : c.isources()) {
+    os << source_card("I", i.name, c.node_name(i.a), c.node_name(i.b),
+                      i.wave)
+       << "\n";
+  }
+  for (const auto& m : c.mosfets()) {
+    const char* model = m.type == mos::MosType::kNmos ? "nmos1" : "pmos1";
+    os << "M" << m.name << " " << c.node_name(m.d) << " " << c.node_name(m.g)
+       << " " << c.node_name(m.s) << " " << c.node_name(m.b) << " " << model
+       << " W=" << eng(m.geom.w) << " L=" << eng(m.geom.l);
+    if (m.geom.m != 1) os << " M=" << m.geom.m;
+    os << " AD=" << eng(t.diffusion_area(m.geom.w * m.geom.m))
+       << " AS=" << eng(t.diffusion_area(m.geom.w * m.geom.m))
+       << " PD=" << eng(t.diffusion_perimeter(m.geom.w * m.geom.m))
+       << " PS=" << eng(t.diffusion_perimeter(m.geom.w * m.geom.m)) << "\n";
+  }
+
+  os << "\n" << spice_model_cards(t);
+  if (opts.include_op_card) {
+    os << "\n.OP\n.END\n";
+  }
+  return os.str();
+}
+
+}  // namespace oasys::ckt

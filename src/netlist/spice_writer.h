@@ -1,0 +1,28 @@
+// Serializes a Circuit to a Berkeley-SPICE-compatible deck.
+//
+// The paper verified OASYS output with SPICE; this writer lets a downstream
+// user hand our synthesized schematics to any external SPICE for the same
+// check.  MOS devices reference `.MODEL` cards generated from the
+// Technology (Level-1 parameters).
+#pragma once
+
+#include <string>
+
+#include "netlist/circuit.h"
+#include "tech/technology.h"
+
+namespace oasys::ckt {
+
+struct SpiceWriterOptions {
+  std::string title = "oasys synthesized circuit";
+  bool include_op_card = true;  // append .OP and .END cards
+};
+
+// Renders the full deck: title, element lines, .MODEL cards, control cards.
+std::string to_spice_deck(const Circuit& c, const tech::Technology& t,
+                          const SpiceWriterOptions& opts = {});
+
+// Just the .MODEL cards for the technology (model names "nmos1"/"pmos1").
+std::string spice_model_cards(const tech::Technology& t);
+
+}  // namespace oasys::ckt

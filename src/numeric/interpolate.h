@@ -1,0 +1,35 @@
+// Interpolation over sampled data series.
+//
+// The AC analysis produces (frequency, value) samples; the measurement layer
+// interpolates these to extract crossings: unity-gain frequency, -3 dB
+// bandwidth, phase at a given frequency, and the slew interval of a
+// transient edge.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+namespace oasys::num {
+
+// Linear interpolation of y(x) on sorted xs; clamps outside the range.
+// Throws std::invalid_argument if sizes differ or fewer than 1 point.
+double interp_linear(const std::vector<double>& xs,
+                     const std::vector<double>& ys, double x);
+
+// Like interp_linear but linear in log10(x); xs must be positive/sorted.
+double interp_semilogx(const std::vector<double>& xs,
+                       const std::vector<double>& ys, double x);
+
+// First x (scanning left to right) where ys crosses `level`, linearly
+// interpolated between samples; nullopt when no crossing exists.
+std::optional<double> first_crossing(const std::vector<double>& xs,
+                                     const std::vector<double>& ys,
+                                     double level);
+
+// Log-spaced points from `lo` to `hi` inclusive (lo, hi > 0, n >= 2).
+std::vector<double> logspace(double lo, double hi, std::size_t n);
+
+// Linearly spaced points from `lo` to `hi` inclusive (n >= 2).
+std::vector<double> linspace(double lo, double hi, std::size_t n);
+
+}  // namespace oasys::num

@@ -1,0 +1,129 @@
+#include "numeric/linear.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+namespace oasys::num {
+
+namespace {
+
+double magnitude(double x) { return std::abs(x); }
+double magnitude(const std::complex<double>& x) { return std::abs(x); }
+
+}  // namespace
+
+template <typename T>
+LuFactors<T> lu_factor(Matrix<T> a) {
+  if (a.rows() != a.cols()) {
+    throw std::invalid_argument("lu_factor: matrix must be square");
+  }
+  const std::size_t n = a.rows();
+  LuFactors<T> f;
+  f.perm.resize(n);
+  for (std::size_t i = 0; i < n; ++i) f.perm[i] = i;
+  f.min_pivot_magnitude = n > 0 ? std::numeric_limits<double>::infinity() : 0.0;
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivot: pick the largest |a(i,k)| for i >= k.
+    std::size_t pivot_row = k;
+    double best = magnitude(a(k, k));
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double m = magnitude(a(i, k));
+      if (m > best) {
+        best = m;
+        pivot_row = i;
+      }
+    }
+    if (best == 0.0 || !std::isfinite(best)) {
+      f.singular = true;
+      f.min_pivot_magnitude = 0.0;
+      f.lu = std::move(a);
+      return f;
+    }
+    f.min_pivot_magnitude = std::min(f.min_pivot_magnitude, best);
+    if (pivot_row != k) {
+      std::swap(f.perm[k], f.perm[pivot_row]);
+      T* rk = a.row(k);
+      T* rp = a.row(pivot_row);
+      for (std::size_t c = 0; c < n; ++c) std::swap(rk[c], rp[c]);
+    }
+    const T pivot = a(k, k);
+    for (std::size_t i = k + 1; i < n; ++i) {
+      T* ri = a.row(i);
+      const T* rk = a.row(k);
+      const T factor = ri[k] / pivot;
+      ri[k] = factor;  // store L entry in place
+      if (factor != T{}) {
+        for (std::size_t c = k + 1; c < n; ++c) ri[c] -= factor * rk[c];
+      }
+    }
+  }
+  f.lu = std::move(a);
+  return f;
+}
+
+template <typename T>
+std::vector<T> lu_solve(const LuFactors<T>& f, const std::vector<T>& b) {
+  if (f.singular) {
+    throw std::invalid_argument("lu_solve: factorization is singular");
+  }
+  const std::size_t n = f.lu.rows();
+  if (b.size() != n) {
+    throw std::invalid_argument("lu_solve: rhs size mismatch");
+  }
+  std::vector<T> x(n);
+  // Forward substitution with permuted rhs (L has unit diagonal).
+  for (std::size_t i = 0; i < n; ++i) {
+    T acc = b[f.perm[i]];
+    const T* ri = f.lu.row(i);
+    for (std::size_t j = 0; j < i; ++j) acc -= ri[j] * x[j];
+    x[i] = acc;
+  }
+  // Back substitution.
+  for (std::size_t ii = n; ii-- > 0;) {
+    const T* ri = f.lu.row(ii);
+    T acc = x[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) acc -= ri[j] * x[j];
+    x[ii] = acc / ri[ii];
+  }
+  return x;
+}
+
+template <typename T>
+std::vector<T> solve(const Matrix<T>& a, const std::vector<T>& b) {
+  auto f = lu_factor(a);
+  if (f.singular) {
+    throw std::runtime_error("solve: singular matrix");
+  }
+  return lu_solve(f, b);
+}
+
+double max_abs(const std::vector<double>& v) {
+  double m = 0.0;
+  for (double x : v) m = std::max(m, std::abs(x));
+  return m;
+}
+
+double max_abs(const std::vector<std::complex<double>>& v) {
+  double m = 0.0;
+  for (const auto& x : v) m = std::max(m, std::abs(x));
+  return m;
+}
+
+template LuFactors<double> lu_factor(Matrix<double>);
+template LuFactors<std::complex<double>> lu_factor(
+    Matrix<std::complex<double>>);
+template std::vector<double> lu_solve(const LuFactors<double>&,
+                                      const std::vector<double>&);
+template std::vector<std::complex<double>> lu_solve(
+    const LuFactors<std::complex<double>>&,
+    const std::vector<std::complex<double>>&);
+template std::vector<double> solve(const Matrix<double>&,
+                                   const std::vector<double>&);
+template std::vector<std::complex<double>> solve(
+    const Matrix<std::complex<double>>&,
+    const std::vector<std::complex<double>>&);
+
+}  // namespace oasys::num

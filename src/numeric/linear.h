@@ -1,0 +1,58 @@
+// Dense LU factorization with partial pivoting and linear solves.
+//
+// This is the single linear-algebra kernel behind every circuit analysis:
+// Newton iterations (DC, transient) factor a real Jacobian; AC analysis
+// factors a complex MNA matrix per frequency point.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "numeric/matrix.h"
+
+namespace oasys::num {
+
+// Result of an in-place LU factorization (PA = LU).
+template <typename T>
+struct LuFactors {
+  Matrix<T> lu;                // combined L (unit diagonal) and U
+  std::vector<std::size_t> perm;  // row permutation
+  bool singular = false;
+  double min_pivot_magnitude = 0.0;  // smallest |pivot| encountered
+};
+
+// Factors `a`; never throws on singularity — callers must check .singular.
+// (Singular circuit matrices are an expected runtime condition, e.g. a
+// floating node, and are reported as analysis failures upstream.)
+template <typename T>
+LuFactors<T> lu_factor(Matrix<T> a);
+
+// Solves LU x = Pb for x.  Throws std::invalid_argument on size mismatch or
+// if the factorization was singular.
+template <typename T>
+std::vector<T> lu_solve(const LuFactors<T>& f, const std::vector<T>& b);
+
+// One-shot convenience: factor + solve.
+// Throws std::runtime_error if the matrix is singular.
+template <typename T>
+std::vector<T> solve(const Matrix<T>& a, const std::vector<T>& b);
+
+// Max norm of a vector.
+double max_abs(const std::vector<double>& v);
+double max_abs(const std::vector<std::complex<double>>& v);
+
+extern template LuFactors<double> lu_factor(Matrix<double>);
+extern template LuFactors<std::complex<double>> lu_factor(
+    Matrix<std::complex<double>>);
+extern template std::vector<double> lu_solve(const LuFactors<double>&,
+                                             const std::vector<double>&);
+extern template std::vector<std::complex<double>> lu_solve(
+    const LuFactors<std::complex<double>>&,
+    const std::vector<std::complex<double>>&);
+extern template std::vector<double> solve(const Matrix<double>&,
+                                          const std::vector<double>&);
+extern template std::vector<std::complex<double>> solve(
+    const Matrix<std::complex<double>>&,
+    const std::vector<std::complex<double>>&);
+
+}  // namespace oasys::num

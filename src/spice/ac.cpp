@@ -1,0 +1,158 @@
+#include "spice/ac.h"
+
+#include <cmath>
+
+#include "numeric/linear.h"
+#include "spice/small_signal.h"
+#include "util/units.h"
+
+namespace oasys::sim {
+
+void build_small_signal_matrices(const ckt::Circuit& c,
+                                 const MnaLayout& layout, const OpResult& op,
+                                 num::RealMatrix* g_out,
+                                 num::RealMatrix* cap_out) {
+  const std::size_t n = layout.size();
+  num::RealMatrix& g = *g_out;
+  num::RealMatrix& cap = *cap_out;
+  g = num::RealMatrix(n, n);
+  cap = num::RealMatrix(n, n);
+
+  auto add_g = [&](int r, int col, double v) {
+    if (r >= 0 && col >= 0) {
+      g(static_cast<std::size_t>(r), static_cast<std::size_t>(col)) += v;
+    }
+  };
+  auto add_c2 = [&](ckt::NodeId a, ckt::NodeId b, double value) {
+    const int ia = layout.node_index(a);
+    const int ib = layout.node_index(b);
+    if (ia >= 0) cap(static_cast<std::size_t>(ia),
+                     static_cast<std::size_t>(ia)) += value;
+    if (ib >= 0) cap(static_cast<std::size_t>(ib),
+                     static_cast<std::size_t>(ib)) += value;
+    if (ia >= 0 && ib >= 0) {
+      cap(static_cast<std::size_t>(ia), static_cast<std::size_t>(ib)) -=
+          value;
+      cap(static_cast<std::size_t>(ib), static_cast<std::size_t>(ia)) -=
+          value;
+    }
+  };
+
+  // Tiny shunt keeps floating small-signal nodes non-singular.
+  for (std::size_t i = 0; i < layout.num_node_unknowns(); ++i) {
+    add_g(static_cast<int>(i), static_cast<int>(i), 1e-12);
+  }
+
+  for (const auto& r : c.resistors()) {
+    const double gr = 1.0 / r.resistance;
+    const int ia = layout.node_index(r.a);
+    const int ib = layout.node_index(r.b);
+    add_g(ia, ia, gr);
+    add_g(ib, ib, gr);
+    add_g(ia, ib, -gr);
+    add_g(ib, ia, -gr);
+  }
+  for (const auto& cc : c.capacitors()) {
+    add_c2(cc.a, cc.b, cc.capacitance);
+  }
+  for (std::size_t k = 0; k < c.vsources().size(); ++k) {
+    const auto& v = c.vsources()[k];
+    const int ip = layout.node_index(v.pos);
+    const int in = layout.node_index(v.neg);
+    const int ibr = static_cast<int>(layout.branch_index(k));
+    add_g(ip, ibr, 1.0);
+    add_g(in, ibr, -1.0);
+    add_g(ibr, ip, 1.0);
+    add_g(ibr, in, -1.0);
+  }
+  for (std::size_t k = 0; k < c.mosfets().size(); ++k) {
+    const auto& m = c.mosfets()[k];
+    const DeviceOp& d = op.devices[k];
+    const int id_ = layout.node_index(m.d);
+    const int ig = layout.node_index(m.g);
+    const int is = layout.node_index(m.s);
+    const int ib = layout.node_index(m.b);
+    // Terminal-frame derivatives stamp directly as a 2-row VCCS block.
+    add_g(id_, ig, d.di_dvg);
+    add_g(id_, id_, d.di_dvd);
+    add_g(id_, is, d.di_dvs);
+    add_g(id_, ib, d.di_dvb);
+    add_g(is, ig, -d.di_dvg);
+    add_g(is, id_, -d.di_dvd);
+    add_g(is, is, -d.di_dvs);
+    add_g(is, ib, -d.di_dvb);
+    // Capacitances at the bias point.
+    add_c2(m.g, m.s, d.cgs);
+    add_c2(m.g, m.d, d.cgd);
+    add_c2(m.g, m.b, d.cgb);
+    add_c2(m.d, m.b, d.cdb);
+    add_c2(m.s, m.b, d.csb);
+  }
+}
+
+AcResult ac_analysis(const ckt::Circuit& c, const tech::Technology& t,
+                     const OpResult& op, const std::vector<double>& freqs) {
+  AcResult result;
+  if (!op.converged) {
+    result.error = "operating point did not converge";
+    return result;
+  }
+  NonlinearSystem sys(c, t);
+  const MnaLayout& layout = sys.layout();
+  const std::size_t n = layout.size();
+  if (op.devices.size() != c.mosfets().size() || op.solution.size() != n) {
+    result.error = "operating point does not match circuit";
+    return result;
+  }
+
+  using Cplx = std::complex<double>;
+  num::RealMatrix g;
+  num::RealMatrix cap;
+  build_small_signal_matrices(c, layout, op, &g, &cap);
+
+  // AC excitation vector (frequency independent).
+  std::vector<Cplx> rhs(n, Cplx{});
+  for (std::size_t k = 0; k < c.vsources().size(); ++k) {
+    const auto& v = c.vsources()[k];
+    if (v.wave.ac_mag() != 0.0) {
+      const double ph = util::rad(v.wave.ac_phase_deg());
+      rhs[layout.branch_index(k)] = std::polar(v.wave.ac_mag(), ph);
+    }
+  }
+  for (const auto& i : c.isources()) {
+    if (i.wave.ac_mag() == 0.0) continue;
+    const double ph = util::rad(i.wave.ac_phase_deg());
+    const Cplx phasor = std::polar(i.wave.ac_mag(), ph);
+    const int ia = layout.node_index(i.a);
+    const int ib = layout.node_index(i.b);
+    // Current flows a -> b: it leaves node a, so the injection at a is -I.
+    if (ia >= 0) rhs[static_cast<std::size_t>(ia)] -= phasor;
+    if (ib >= 0) rhs[static_cast<std::size_t>(ib)] += phasor;
+  }
+
+  result.freqs = freqs;
+  result.solutions.reserve(freqs.size());
+  for (const double f : freqs) {
+    if (!(f > 0.0)) {
+      result.error = "AC frequency must be positive";
+      return result;
+    }
+    const double w = util::kTwoPi * f;
+    num::ComplexMatrix y(n, n);
+    for (std::size_t r = 0; r < n; ++r) {
+      for (std::size_t col = 0; col < n; ++col) {
+        y(r, col) = Cplx(g(r, col), w * cap(r, col));
+      }
+    }
+    auto lu = num::lu_factor(std::move(y));
+    if (lu.singular) {
+      result.error = "singular AC matrix";
+      return result;
+    }
+    result.solutions.push_back(num::lu_solve(lu, rhs));
+  }
+  result.ok = true;
+  return result;
+}
+
+}  // namespace oasys::sim

@@ -1,0 +1,35 @@
+// Small-signal AC analysis.
+//
+// Linearizes every MOSFET at a previously computed DC operating point
+// (conductances gm/gds/gmb in terminal form, Meyer gate capacitances, and
+// junction capacitances at the bias), then solves the complex MNA system at
+// each requested frequency.  Independent sources contribute their AC
+// phasors; DC-only sources are AC shorts (V) or opens (I).
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "spice/dc.h"
+
+namespace oasys::sim {
+
+struct AcResult {
+  bool ok = false;
+  std::string error;
+  std::vector<double> freqs;  // Hz
+  // Phasor solution per frequency point (raw unknown vectors).
+  std::vector<std::vector<std::complex<double>>> solutions;
+
+  std::complex<double> voltage(const MnaLayout& layout, std::size_t freq_idx,
+                               ckt::NodeId n) const {
+    return layout.voltage(solutions.at(freq_idx), n);
+  }
+};
+
+// Runs AC analysis over `freqs` (Hz, each > 0).  `op` must be a converged
+// operating point for the same circuit.
+AcResult ac_analysis(const ckt::Circuit& c, const tech::Technology& t,
+                     const OpResult& op, const std::vector<double>& freqs);
+
+}  // namespace oasys::sim

@@ -1,0 +1,167 @@
+#include "spice/dc.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "numeric/linear.h"
+
+namespace oasys::sim {
+
+namespace {
+
+// One Newton solve at fixed (source_scale, gmin).  Returns true on
+// convergence; x is updated in place with the best iterate either way.
+bool newton_solve(const NonlinearSystem& sys, double source_scale,
+                  double gmin, const OpOptions& opts, std::vector<double>* x,
+                  int* iterations_used) {
+  const std::size_t n = sys.layout().size();
+  const std::size_t nv = sys.layout().num_node_unknowns();
+  num::RealMatrix jac(n, n);
+  std::vector<double> f(n);
+
+  NonlinearSystem::EvalOptions eval_opts;
+  eval_opts.source_scale = source_scale;
+  eval_opts.gmin = gmin;
+
+  for (int iter = 0; iter < opts.max_iterations; ++iter) {
+    ++*iterations_used;
+    sys.eval(*x, eval_opts, &jac, &f);
+
+    auto lu = num::lu_factor(jac);
+    if (lu.singular) return false;
+    // Newton step: J dx = -f.
+    std::vector<double> rhs(n);
+    for (std::size_t i = 0; i < n; ++i) rhs[i] = -f[i];
+    std::vector<double> dx = num::lu_solve(lu, rhs);
+
+    // Damping: cap the largest node-voltage change per iteration.  Branch
+    // currents are left unscaled unless voltages needed scaling.
+    double max_dv = 0.0;
+    for (std::size_t i = 0; i < nv; ++i) {
+      max_dv = std::max(max_dv, std::abs(dx[i]));
+    }
+    double scale = 1.0;
+    if (max_dv > opts.vlimit_step) scale = opts.vlimit_step / max_dv;
+    for (std::size_t i = 0; i < n; ++i) (*x)[i] += scale * dx[i];
+
+    // Converged when the (undamped) voltage update and the residual are
+    // both small.
+    if (max_dv < opts.vntol) {
+      sys.eval(*x, eval_opts, nullptr, &f);
+      double max_node_residual = 0.0;
+      for (std::size_t i = 0; i < nv; ++i) {
+        max_node_residual = std::max(max_node_residual, std::abs(f[i]));
+      }
+      if (max_node_residual < opts.abstol) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+OpResult dc_operating_point(const ckt::Circuit& c, const tech::Technology& t,
+                            const OpOptions& opts) {
+  NonlinearSystem sys(c, t);
+  const std::size_t n = sys.layout().size();
+
+  OpResult result;
+  std::vector<double> x =
+      opts.initial_guess.size() == n ? opts.initial_guess
+                                     : std::vector<double>(n, 0.0);
+
+  // Strategy 1: plain Newton.
+  {
+    std::vector<double> trial = x;
+    int iters = 0;
+    if (newton_solve(sys, 1.0, opts.gmin, opts, &trial, &iters)) {
+      result.converged = true;
+      result.strategy = "newton";
+      result.total_iterations = iters;
+      result.solution = std::move(trial);
+    } else {
+      result.total_iterations += iters;
+    }
+  }
+
+  // Strategy 2: gmin stepping, from strongly shunted to the floor.
+  if (!result.converged && opts.try_gmin_stepping) {
+    std::vector<double> trial(n, 0.0);
+    bool ok = true;
+    int iters = 0;
+    for (double gmin = 1e-2; gmin >= opts.gmin * 0.99; gmin *= 0.1) {
+      if (!newton_solve(sys, 1.0, gmin, opts, &trial, &iters)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok && newton_solve(sys, 1.0, opts.gmin, opts, &trial, &iters)) {
+      result.converged = true;
+      result.strategy = "gmin-step";
+      result.solution = std::move(trial);
+    }
+    result.total_iterations += iters;
+  }
+
+  // Strategy 3: source stepping with adaptive increments.
+  if (!result.converged && opts.try_source_stepping) {
+    std::vector<double> trial(n, 0.0);
+    double scale = 0.0;
+    double step = 0.1;
+    bool ok = true;
+    int iters = 0;
+    while (scale < 1.0 && ok) {
+      const double next = std::min(scale + step, 1.0);
+      std::vector<double> attempt = trial;
+      if (newton_solve(sys, next, opts.gmin, opts, &attempt, &iters)) {
+        trial = std::move(attempt);
+        scale = next;
+        step = std::min(step * 2.0, 0.25);
+      } else {
+        step *= 0.5;
+        if (step < 1e-3) ok = false;
+      }
+    }
+    if (ok) {
+      result.converged = true;
+      result.strategy = "source-step";
+      result.solution = std::move(trial);
+    }
+    result.total_iterations += iters;
+  }
+
+  if (result.converged) {
+    // Final bookkeeping pass to capture per-device operating info.
+    NonlinearSystem::EvalOptions eval_opts;
+    eval_opts.gmin = opts.gmin;
+    sys.eval(result.solution, eval_opts, nullptr, nullptr, &result.devices);
+  } else {
+    result.solution = std::move(x);
+  }
+  return result;
+}
+
+double supply_power(const ckt::Circuit& c, const MnaLayout& layout,
+                    const OpResult& op) {
+  double power = 0.0;
+  for (std::size_t k = 0; k < c.vsources().size(); ++k) {
+    const auto& v = c.vsources()[k];
+    const double vbranch = layout.voltage(op.solution, v.pos) -
+                           layout.voltage(op.solution, v.neg);
+    // Branch current flows pos -> neg through the source; the power the
+    // source *delivers* is -V*I in this convention.
+    const double i = op.solution[layout.branch_index(k)];
+    power += -vbranch * i;
+  }
+  for (const auto& isrc : c.isources()) {
+    const double va = layout.voltage(op.solution, isrc.a);
+    const double vb = layout.voltage(op.solution, isrc.b);
+    // Current I flows a -> b through the source; the source delivers
+    // I*(vb - va) to the circuit (positive when pushing current into the
+    // higher-potential node).
+    power += isrc.wave.dc_value() * (vb - va);
+  }
+  return power;
+}
+
+}  // namespace oasys::sim

@@ -1,0 +1,56 @@
+// DC operating-point analysis.
+//
+// Newton-Raphson on the MNA residual with voltage-step damping.  When plain
+// Newton fails to converge, gmin stepping and then source stepping are
+// attempted (the standard SPICE homotopies), each warm-starting from the
+// previous continuation point.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "spice/mna.h"
+
+namespace oasys::sim {
+
+struct OpOptions {
+  int max_iterations = 200;
+  double vntol = 1e-6;     // voltage-update convergence tolerance [V]
+  double abstol = 1e-9;    // residual-current convergence tolerance [A]
+  double gmin = 1e-12;     // floor shunt conductance, always present
+  double vlimit_step = 0.6;  // max node-voltage change per Newton step [V]
+  bool try_gmin_stepping = true;
+  bool try_source_stepping = true;
+  // Warm start (raw unknown vector from a previous OpResult); empty = flat.
+  std::vector<double> initial_guess;
+};
+
+struct OpResult {
+  bool converged = false;
+  std::string strategy;  // "newton", "gmin-step", "source-step"
+  int total_iterations = 0;
+  std::vector<double> solution;  // raw unknown vector (see MnaLayout)
+  std::vector<DeviceOp> devices;  // parallel to circuit.mosfets()
+
+  // Convenience accessors (require the layout used to produce `solution`).
+  double voltage(const MnaLayout& layout, ckt::NodeId n) const {
+    return layout.voltage(solution, n);
+  }
+  double branch_current(const MnaLayout& layout,
+                        std::size_t vsource_pos) const {
+    return solution[layout.branch_index(vsource_pos)];
+  }
+};
+
+// Computes the DC operating point.  Never throws on non-convergence; check
+// result.converged.
+OpResult dc_operating_point(const ckt::Circuit& c, const tech::Technology& t,
+                            const OpOptions& opts = {});
+
+// Total power delivered by the independent sources at the operating point
+// (positive = dissipated in the circuit).
+double supply_power(const ckt::Circuit& c, const MnaLayout& layout,
+                    const OpResult& op);
+
+}  // namespace oasys::sim

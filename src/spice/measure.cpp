@@ -1,0 +1,104 @@
+#include "spice/measure.h"
+
+#include <cmath>
+
+#include "numeric/interpolate.h"
+#include "util/units.h"
+
+namespace oasys::sim {
+
+BodeSeries bode_of_node(const AcResult& ac, const MnaLayout& layout,
+                        ckt::NodeId node) {
+  BodeSeries out;
+  out.freqs = ac.freqs;
+  out.gain_db.reserve(ac.freqs.size());
+  out.phase_deg.reserve(ac.freqs.size());
+  double prev_phase = 0.0;
+  bool first = true;
+  for (std::size_t i = 0; i < ac.freqs.size(); ++i) {
+    const std::complex<double> v = ac.voltage(layout, i, node);
+    const double mag = std::abs(v);
+    out.gain_db.push_back(mag > 0.0 ? util::db20(mag) : -400.0);
+    double phase = util::deg(std::arg(v));
+    if (!first) {
+      // Unwrap: keep each step within half a turn of the previous sample.
+      while (phase - prev_phase > 180.0) phase -= 360.0;
+      while (phase - prev_phase < -180.0) phase += 360.0;
+    }
+    out.phase_deg.push_back(phase);
+    prev_phase = phase;
+    first = false;
+  }
+  return out;
+}
+
+LoopMetrics loop_metrics(const BodeSeries& bode) {
+  LoopMetrics m;
+  if (bode.freqs.empty()) return m;
+  m.dc_gain_db = bode.gain_db.front();
+
+  m.unity_gain_freq = num::first_crossing(bode.freqs, bode.gain_db, 0.0);
+  if (m.unity_gain_freq) {
+    const double phase_at_ugf =
+        num::interp_semilogx(bode.freqs, bode.phase_deg, *m.unity_gain_freq);
+    // The phase series is referenced to the low-frequency phase; a
+    // non-inverting response starts near 0 degrees and the margin is the
+    // distance of the accumulated phase lag from 180 degrees.
+    const double phase_rel = phase_at_ugf - bode.phase_deg.front();
+    m.phase_margin_deg = 180.0 + phase_rel;
+  }
+
+  // Gain margin: gain (dB) where accumulated phase lag reaches 180 degrees.
+  {
+    std::vector<double> lag(bode.phase_deg.size());
+    for (std::size_t i = 0; i < lag.size(); ++i) {
+      lag[i] = bode.phase_deg.front() - bode.phase_deg[i];
+    }
+    const auto f180 = num::first_crossing(bode.freqs, lag, 180.0);
+    if (f180) {
+      const double g = num::interp_semilogx(bode.freqs, bode.gain_db, *f180);
+      m.gain_margin_db = -g;
+    }
+  }
+
+  const auto f3db =
+      num::first_crossing(bode.freqs, bode.gain_db, m.dc_gain_db - 3.0);
+  if (f3db) m.bandwidth_3db = f3db;
+  return m;
+}
+
+std::optional<SlewMeasurement> slew_rate(const TranResult& tran,
+                                         const MnaLayout& layout,
+                                         ckt::NodeId node) {
+  if (tran.time.size() < 2) return std::nullopt;
+  const std::vector<double> v = tran.node_waveform(layout, node);
+  SlewMeasurement s;
+  for (std::size_t i = 1; i < v.size(); ++i) {
+    const double h = tran.time[i] - tran.time[i - 1];
+    if (h <= 0.0) continue;
+    const double d = (v[i] - v[i - 1]) / h;
+    if (d > s.rising) s.rising = d;
+    if (-d > s.falling) s.falling = -d;
+  }
+  return s;
+}
+
+std::optional<double> settling_time(const TranResult& tran,
+                                    const MnaLayout& layout, ckt::NodeId node,
+                                    double target, double tolerance) {
+  if (tran.time.empty()) return std::nullopt;
+  const std::vector<double> v = tran.node_waveform(layout, node);
+  // Scan backwards for the last sample outside the band.
+  std::size_t last_outside = v.size();  // sentinel: all inside
+  for (std::size_t i = v.size(); i-- > 0;) {
+    if (std::abs(v[i] - target) > tolerance) {
+      last_outside = i;
+      break;
+    }
+  }
+  if (last_outside == v.size()) return tran.time.front();
+  if (last_outside + 1 >= v.size()) return std::nullopt;  // never settles
+  return tran.time[last_outside + 1];
+}
+
+}  // namespace oasys::sim

@@ -1,0 +1,228 @@
+#include "spice/mna.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace oasys::sim {
+
+MnaLayout::MnaLayout(const ckt::Circuit& c)
+    : num_nodes_(c.num_nodes()),
+      num_vsources_(c.vsources().size()),
+      size_(num_nodes_ - 1 + num_vsources_) {
+  if (num_nodes_ < 2) {
+    throw std::invalid_argument("circuit has no non-ground nodes");
+  }
+}
+
+int MnaLayout::node_index(ckt::NodeId n) const {
+  if (n == ckt::kGround) return -1;
+  if (n < 0 || static_cast<std::size_t>(n) >= num_nodes_) {
+    throw std::out_of_range("node id out of range for layout");
+  }
+  return n - 1;
+}
+
+std::size_t MnaLayout::branch_index(std::size_t vsource_pos) const {
+  if (vsource_pos >= num_vsources_) {
+    throw std::out_of_range("vsource index out of range");
+  }
+  return num_nodes_ - 1 + vsource_pos;
+}
+
+double MnaLayout::voltage(const std::vector<double>& x,
+                          ckt::NodeId n) const {
+  const int i = node_index(n);
+  return i < 0 ? 0.0 : x[static_cast<std::size_t>(i)];
+}
+
+std::complex<double> MnaLayout::voltage(
+    const std::vector<std::complex<double>>& x, ckt::NodeId n) const {
+  const int i = node_index(n);
+  return i < 0 ? std::complex<double>{} : x[static_cast<std::size_t>(i)];
+}
+
+NonlinearSystem::NonlinearSystem(const ckt::Circuit& c,
+                                 const tech::Technology& t)
+    : circuit_(&c), tech_(&t), layout_(c) {}
+
+void fill_device_caps(const tech::Technology& t, const ckt::Mosfet& m,
+                      double vd, double vg, double vs, double vb,
+                      DeviceOp* op) {
+  (void)vg;
+  const tech::MosParams& p =
+      m.type == mos::MosType::kNmos ? t.nmos : t.pmos;
+  const mos::GateCaps gc = mos::gate_caps(p, t.cox, m.geom, op->region);
+  op->cgs = gc.cgs;
+  op->cgd = gc.cgd;
+  op->cgb = gc.cgb;
+  // Junction reverse bias: for NMOS the drain junction is reverse biased
+  // when vd > vb; for PMOS when vb > vd.
+  const double sign = m.type == mos::MosType::kNmos ? 1.0 : -1.0;
+  const double w_total = m.geom.w * m.geom.m;
+  op->cdb = mos::junction_cap(p, t.diffusion_area(w_total),
+                              t.diffusion_perimeter(w_total),
+                              sign * (vd - vb));
+  op->csb = mos::junction_cap(p, t.diffusion_area(w_total),
+                              t.diffusion_perimeter(w_total),
+                              sign * (vs - vb));
+}
+
+void NonlinearSystem::eval(const std::vector<double>& x,
+                           const EvalOptions& opts, num::RealMatrix* jac,
+                           std::vector<double>* residual,
+                           std::vector<DeviceOp>* device_ops) const {
+  const std::size_t n = layout_.size();
+  if (x.size() != n) {
+    throw std::invalid_argument("eval: state vector size mismatch");
+  }
+  if (jac != nullptr &&
+      (jac->rows() != n || jac->cols() != n)) {
+    *jac = num::RealMatrix(n, n);
+  } else if (jac != nullptr) {
+    jac->fill(0.0);
+  }
+  if (residual != nullptr) residual->assign(n, 0.0);
+  if (device_ops != nullptr) {
+    device_ops->assign(circuit_->mosfets().size(), DeviceOp{});
+  }
+
+  auto add_f = [&](int row, double v) {
+    if (row >= 0 && residual != nullptr) {
+      (*residual)[static_cast<std::size_t>(row)] += v;
+    }
+  };
+  auto add_j = [&](int row, int col, double v) {
+    if (row >= 0 && col >= 0 && jac != nullptr) {
+      (*jac)(static_cast<std::size_t>(row), static_cast<std::size_t>(col)) +=
+          v;
+    }
+  };
+  auto source_value = [&](const ckt::Waveform& w) {
+    const double raw =
+        opts.time < 0.0 ? w.dc_value() : w.value(opts.time);
+    return raw * opts.source_scale;
+  };
+
+  // Shunt gmin from every non-ground node to ground keeps the matrix
+  // non-singular for floating gates and is the lever for gmin stepping.
+  if (opts.gmin > 0.0) {
+    for (std::size_t i = 0; i < layout_.num_node_unknowns(); ++i) {
+      add_f(static_cast<int>(i), opts.gmin * x[i]);
+      add_j(static_cast<int>(i), static_cast<int>(i), opts.gmin);
+    }
+  }
+
+  for (const auto& r : circuit_->resistors()) {
+    const double g = 1.0 / r.resistance;
+    const int ia = layout_.node_index(r.a);
+    const int ib = layout_.node_index(r.b);
+    const double va = layout_.voltage(x, r.a);
+    const double vb = layout_.voltage(x, r.b);
+    const double i_ab = g * (va - vb);
+    add_f(ia, i_ab);
+    add_f(ib, -i_ab);
+    add_j(ia, ia, g);
+    add_j(ia, ib, -g);
+    add_j(ib, ia, -g);
+    add_j(ib, ib, g);
+  }
+
+  for (std::size_t k = 0; k < circuit_->vsources().size(); ++k) {
+    const auto& v = circuit_->vsources()[k];
+    const int ip = layout_.node_index(v.pos);
+    const int in = layout_.node_index(v.neg);
+    const int ibr = static_cast<int>(layout_.branch_index(k));
+    const double i_branch = x[static_cast<std::size_t>(ibr)];
+    // Branch current leaves the pos node.
+    add_f(ip, i_branch);
+    add_f(in, -i_branch);
+    add_j(ip, ibr, 1.0);
+    add_j(in, ibr, -1.0);
+    // Branch equation: v(pos) - v(neg) = V.
+    const double vp = layout_.voltage(x, v.pos);
+    const double vn = layout_.voltage(x, v.neg);
+    add_f(ibr, vp - vn - source_value(v.wave));
+    add_j(ibr, ip, 1.0);
+    add_j(ibr, in, -1.0);
+  }
+
+  for (const auto& i : circuit_->isources()) {
+    const double value = source_value(i.wave);
+    add_f(layout_.node_index(i.a), value);
+    add_f(layout_.node_index(i.b), -value);
+  }
+
+  const tech::Technology& t = *tech_;
+  for (std::size_t k = 0; k < circuit_->mosfets().size(); ++k) {
+    const auto& m = circuit_->mosfets()[k];
+    tech::MosParams p = m.type == mos::MosType::kNmos ? t.nmos : t.pmos;
+    p.vt0 += m.dvt;  // per-device mismatch perturbation
+    const double vd = layout_.voltage(x, m.d);
+    const double vg = layout_.voltage(x, m.g);
+    const double vs = layout_.voltage(x, m.s);
+    const double vb = layout_.voltage(x, m.b);
+    const mos::TerminalEval e =
+        mos::evaluate_terminal(p, m.type, m.geom, vg, vd, vs, vb);
+
+    const int id_ = layout_.node_index(m.d);
+    const int ig = layout_.node_index(m.g);
+    const int is = layout_.node_index(m.s);
+    const int ib = layout_.node_index(m.b);
+
+    add_f(id_, e.id_ds);
+    add_f(is, -e.id_ds);
+    add_j(id_, ig, e.di_dvg);
+    add_j(id_, id_, e.di_dvd);
+    add_j(id_, is, e.di_dvs);
+    add_j(id_, ib, e.di_dvb);
+    add_j(is, ig, -e.di_dvg);
+    add_j(is, id_, -e.di_dvd);
+    add_j(is, is, -e.di_dvs);
+    add_j(is, ib, -e.di_dvb);
+
+    if (device_ops != nullptr) {
+      DeviceOp& op = (*device_ops)[k];
+      op.region = e.region;
+      const double sign = m.type == mos::MosType::kNmos ? 1.0 : -1.0;
+      op.vgs = sign * (vg - vs);
+      op.vds = sign * (vd - vs);
+      op.vbs = sign * (vb - vs);
+      op.id = std::abs(e.id_ds);
+      op.vth = e.vth;
+      op.vov = e.vov;
+      op.vdsat = e.vdsat;
+      op.gm = e.gm;
+      op.gds = e.gds;
+      op.gmb = e.gmb;
+      op.id_ds = e.id_ds;
+      op.di_dvg = e.di_dvg;
+      op.di_dvd = e.di_dvd;
+      op.di_dvs = e.di_dvs;
+      op.di_dvb = e.di_dvb;
+      fill_device_caps(t, m, vd, vg, vs, vb, &op);
+    }
+  }
+}
+
+void NonlinearSystem::stamp_linear_caps(num::RealMatrix* cmat) const {
+  const std::size_t n = layout_.size();
+  if (cmat->rows() != n || cmat->cols() != n) {
+    *cmat = num::RealMatrix(n, n);
+  }
+  auto add = [&](int row, int col, double v) {
+    if (row >= 0 && col >= 0) {
+      (*cmat)(static_cast<std::size_t>(row), static_cast<std::size_t>(col)) +=
+          v;
+    }
+  };
+  for (const auto& c : circuit_->capacitors()) {
+    const int ia = layout_.node_index(c.a);
+    const int ib = layout_.node_index(c.b);
+    add(ia, ia, c.capacitance);
+    add(ia, ib, -c.capacitance);
+    add(ib, ia, -c.capacitance);
+    add(ib, ib, c.capacitance);
+  }
+}
+
+}  // namespace oasys::sim

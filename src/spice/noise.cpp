@@ -1,0 +1,167 @@
+#include "spice/noise.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "numeric/linear.h"
+#include "spice/small_signal.h"
+#include "util/units.h"
+
+namespace oasys::sim {
+
+double NoiseResult::integrated_rms() const {
+  double total = 0.0;
+  for (std::size_t i = 1; i < freqs.size(); ++i) {
+    total += 0.5 * (output_psd[i] + output_psd[i - 1]) *
+             (freqs[i] - freqs[i - 1]);
+  }
+  return std::sqrt(total);
+}
+
+namespace {
+
+// One noise source: a current source between two nodes with a
+// frequency-dependent PSD [A^2/Hz].
+struct NoiseSource {
+  std::string element;
+  std::string kind;
+  ckt::NodeId a = ckt::kGround;  // current injected a -> b
+  ckt::NodeId b = ckt::kGround;
+  double white_psd = 0.0;    // frequency-independent part [A^2/Hz]
+  double flicker_num = 0.0;  // flicker numerator: psd = flicker_num / f
+};
+
+std::vector<NoiseSource> collect_sources(const ckt::Circuit& c,
+                                         const tech::Technology& t,
+                                         const OpResult& op) {
+  std::vector<NoiseSource> sources;
+  const double four_kt = 4.0 * util::kBoltzmann * util::kRoomTempK;
+
+  for (const auto& r : c.resistors()) {
+    NoiseSource s;
+    s.element = r.name;
+    s.kind = "thermal";
+    s.a = r.a;
+    s.b = r.b;
+    s.white_psd = four_kt / r.resistance;
+    sources.push_back(s);
+  }
+  for (std::size_t k = 0; k < c.mosfets().size(); ++k) {
+    const auto& m = c.mosfets()[k];
+    const DeviceOp& d = op.devices[k];
+    if (d.region == mos::Region::kCutoff) continue;
+    const tech::MosParams& p =
+        m.type == mos::MosType::kNmos ? t.nmos : t.pmos;
+    // Channel thermal noise: 4kT*(2/3)*gm in saturation; in triode the
+    // channel is a resistor of conductance gds: 4kT*gds.
+    NoiseSource th;
+    th.element = m.name;
+    th.kind = "thermal";
+    th.a = m.d;
+    th.b = m.s;
+    th.white_psd = d.region == mos::Region::kSaturation
+                       ? four_kt * (2.0 / 3.0) * d.gm
+                       : four_kt * d.gds;
+    sources.push_back(th);
+    // Flicker: kf * Id^af / (Cox * L^2 * f).
+    if (p.kf > 0.0 && d.id > 0.0) {
+      NoiseSource fl;
+      fl.element = m.name;
+      fl.kind = "flicker";
+      fl.a = m.d;
+      fl.b = m.s;
+      fl.flicker_num = p.kf * std::pow(d.id, p.af) /
+                       (t.cox * m.geom.l * m.geom.l);
+      sources.push_back(fl);
+    }
+  }
+  return sources;
+}
+
+}  // namespace
+
+NoiseResult noise_analysis(const ckt::Circuit& c, const tech::Technology& t,
+                           const OpResult& op, ckt::NodeId output,
+                           const std::vector<double>& freqs) {
+  NoiseResult result;
+  if (!op.converged) {
+    result.error = "operating point did not converge";
+    return result;
+  }
+  const MnaLayout layout(c);
+  const std::size_t n = layout.size();
+  if (op.devices.size() != c.mosfets().size() || op.solution.size() != n) {
+    result.error = "operating point does not match circuit";
+    return result;
+  }
+  const int iout = layout.node_index(output);
+  if (iout < 0) {
+    result.error = "noise output node must not be ground";
+    return result;
+  }
+
+  using Cplx = std::complex<double>;
+  num::RealMatrix g;
+  num::RealMatrix cap;
+  build_small_signal_matrices(c, layout, op, &g, &cap);
+  const std::vector<NoiseSource> sources = collect_sources(c, t, op);
+
+  result.freqs = freqs;
+  result.output_psd.assign(freqs.size(), 0.0);
+  std::vector<double> last_contrib(sources.size(), 0.0);
+
+  std::vector<Cplx> rhs(n);
+  for (std::size_t fi = 0; fi < freqs.size(); ++fi) {
+    const double f = freqs[fi];
+    if (!(f > 0.0)) {
+      result.error = "noise frequency must be positive";
+      return result;
+    }
+    const double w = util::kTwoPi * f;
+    num::ComplexMatrix y(n, n);
+    for (std::size_t r = 0; r < n; ++r) {
+      for (std::size_t col = 0; col < n; ++col) {
+        y(r, col) = Cplx(g(r, col), w * cap(r, col));
+      }
+    }
+    const auto lu = num::lu_factor(std::move(y));
+    if (lu.singular) {
+      result.error = "singular noise matrix";
+      return result;
+    }
+    double psd = 0.0;
+    for (std::size_t si = 0; si < sources.size(); ++si) {
+      const NoiseSource& s = sources[si];
+      // Unit current injection a -> b (leaves a, enters b).
+      std::fill(rhs.begin(), rhs.end(), Cplx{});
+      const int ia = layout.node_index(s.a);
+      const int ib = layout.node_index(s.b);
+      if (ia >= 0) rhs[static_cast<std::size_t>(ia)] -= 1.0;
+      if (ib >= 0) rhs[static_cast<std::size_t>(ib)] += 1.0;
+      const std::vector<Cplx> x = num::lu_solve(lu, rhs);
+      const double z2 = std::norm(x[static_cast<std::size_t>(iout)]);
+      const double source_psd = s.white_psd + s.flicker_num / f;
+      const double contrib = z2 * source_psd;
+      psd += contrib;
+      last_contrib[si] = contrib;
+    }
+    result.output_psd[fi] = psd;
+  }
+
+  // Rank contributors at the last analysis frequency.
+  std::vector<std::size_t> order(sources.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return last_contrib[a] > last_contrib[b];
+  });
+  const std::size_t top = std::min<std::size_t>(order.size(), 8);
+  for (std::size_t i = 0; i < top; ++i) {
+    result.top_contributors.push_back({sources[order[i]].element,
+                                       sources[order[i]].kind,
+                                       last_contrib[order[i]]});
+  }
+  result.ok = true;
+  return result;
+}
+
+}  // namespace oasys::sim

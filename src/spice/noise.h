@@ -1,0 +1,49 @@
+// Small-signal noise analysis.
+//
+// Each resistor contributes thermal current noise 4kT/R and each saturated
+// MOSFET contributes channel thermal noise 4kT*(2/3)*gm plus flicker noise
+// kf*Id^af/(Cox*L^2*f), all modelled as current sources across their
+// conducting terminals.  At every frequency the complex MNA matrix is
+// factored once and each source's transfer impedance to the output node is
+// obtained by one extra solve, so the cost is O(sources) back-substitutions
+// per point.
+//
+// Output-referred noise is the PSD sum; input-referred noise divides by
+// |H(f)|^2 of the chosen input source's transfer function, which the
+// caller supplies via the differential gain response.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "spice/ac.h"
+
+namespace oasys::sim {
+
+struct NoiseContribution {
+  std::string element;   // element name
+  std::string kind;      // "thermal" or "flicker"
+  double psd = 0.0;      // output-referred [V^2/Hz] at the last frequency
+};
+
+struct NoiseResult {
+  bool ok = false;
+  std::string error;
+  std::vector<double> freqs;          // Hz
+  std::vector<double> output_psd;     // [V^2/Hz] per frequency
+  // Largest contributors at the highest analysis frequency, sorted
+  // descending (diagnostic for the designer's noise budget).
+  std::vector<NoiseContribution> top_contributors;
+
+  // Output-referred RMS noise integrated across the analysis band using
+  // trapezoidal integration of the PSD [V].
+  double integrated_rms() const;
+};
+
+// Computes output-referred noise at `output` across `freqs` for the
+// circuit linearized at `op`.
+NoiseResult noise_analysis(const ckt::Circuit& c, const tech::Technology& t,
+                           const OpResult& op, ckt::NodeId output,
+                           const std::vector<double>& freqs);
+
+}  // namespace oasys::sim

@@ -1,0 +1,18 @@
+// Shared small-signal MNA assembly for AC and noise analyses: the real
+// conductance matrix G (device transconductances, resistors, source
+// branches) and the capacitance matrix C, combined per frequency as
+// Y = G + jwC.
+#pragma once
+
+#include "numeric/matrix.h"
+#include "spice/dc.h"
+
+namespace oasys::sim {
+
+// Fills `g` and `cap` (resized to layout.size()); requires op.devices to
+// match the circuit.  Includes the small stabilizing shunt on every node.
+void build_small_signal_matrices(const ckt::Circuit& c,
+                                 const MnaLayout& layout, const OpResult& op,
+                                 num::RealMatrix* g, num::RealMatrix* cap);
+
+}  // namespace oasys::sim

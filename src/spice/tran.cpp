@@ -1,0 +1,170 @@
+#include "spice/tran.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "numeric/linear.h"
+
+namespace oasys::sim {
+
+std::vector<double> TranResult::node_waveform(const MnaLayout& layout,
+                                              ckt::NodeId n) const {
+  std::vector<double> out;
+  out.reserve(states.size());
+  for (const auto& s : states) out.push_back(layout.voltage(s, n));
+  return out;
+}
+
+namespace {
+
+// Builds the capacitance matrix: explicit capacitors plus device
+// capacitances evaluated from `device_ops` (bias at the previous accepted
+// time point).
+num::RealMatrix build_cap_matrix(const NonlinearSystem& sys,
+                                 const std::vector<DeviceOp>& device_ops) {
+  const MnaLayout& layout = sys.layout();
+  const std::size_t n = layout.size();
+  num::RealMatrix cmat(n, n);
+  sys.stamp_linear_caps(&cmat);
+  auto add2 = [&](ckt::NodeId a, ckt::NodeId b, double value) {
+    const int ia = layout.node_index(a);
+    const int ib = layout.node_index(b);
+    if (ia >= 0) cmat(static_cast<std::size_t>(ia),
+                      static_cast<std::size_t>(ia)) += value;
+    if (ib >= 0) cmat(static_cast<std::size_t>(ib),
+                      static_cast<std::size_t>(ib)) += value;
+    if (ia >= 0 && ib >= 0) {
+      cmat(static_cast<std::size_t>(ia), static_cast<std::size_t>(ib)) -=
+          value;
+      cmat(static_cast<std::size_t>(ib), static_cast<std::size_t>(ia)) -=
+          value;
+    }
+  };
+  const auto& mosfets = sys.circuit().mosfets();
+  for (std::size_t k = 0; k < mosfets.size(); ++k) {
+    const auto& m = mosfets[k];
+    const DeviceOp& d = device_ops[k];
+    add2(m.g, m.s, d.cgs);
+    add2(m.g, m.d, d.cgd);
+    add2(m.g, m.b, d.cgb);
+    add2(m.d, m.b, d.cdb);
+    add2(m.s, m.b, d.csb);
+  }
+  return cmat;
+}
+
+}  // namespace
+
+TranResult transient(const ckt::Circuit& c, const tech::Technology& t,
+                     const OpResult& op, const TranOptions& opts) {
+  TranResult result;
+  if (!op.converged) {
+    result.error = "initial operating point did not converge";
+    return result;
+  }
+  if (!(opts.tstop > 0.0) || !(opts.dt > 0.0)) {
+    result.error = "tstop and dt must be positive";
+    return result;
+  }
+
+  NonlinearSystem sys(c, t);
+  const MnaLayout& layout = sys.layout();
+  const std::size_t n = layout.size();
+  const std::size_t nv = layout.num_node_unknowns();
+
+  std::vector<double> x = op.solution;
+  std::vector<DeviceOp> device_ops = op.devices;
+  if (device_ops.size() != c.mosfets().size()) {
+    device_ops.assign(c.mosfets().size(), DeviceOp{});
+  }
+
+  result.time.push_back(0.0);
+  result.states.push_back(x);
+
+  // i_C = C dv/dt.  Backward Euler: i = C (x - x_prev)/h.
+  // Trapezoidal: i = 2C/h (x - x_prev) - i_prev; we track the capacitive
+  // current vector iC_prev = C * dv/dt at the previous point.
+  num::RealMatrix cmat = build_cap_matrix(sys, device_ops);
+  std::vector<double> dvdt_prev(n, 0.0);  // starts from DC: dv/dt = 0
+
+  num::RealMatrix jac(n, n);
+  std::vector<double> f(n);
+
+  const std::size_t steps =
+      static_cast<std::size_t>(std::ceil(opts.tstop / opts.dt));
+  for (std::size_t step = 1; step <= steps; ++step) {
+    const double time = std::min(static_cast<double>(step) * opts.dt,
+                                 opts.tstop);
+    const double h = time - result.time.back();
+    if (h <= 0.0) break;
+    const std::vector<double>& x_prev = result.states.back();
+
+    NonlinearSystem::EvalOptions eval_opts;
+    eval_opts.gmin = opts.gmin;
+    eval_opts.time = time;
+
+    // Companion coefficients.
+    const double a = opts.trapezoidal ? 2.0 / h : 1.0 / h;
+
+    bool converged = false;
+    for (int iter = 0; iter < opts.max_newton; ++iter) {
+      sys.eval(x, eval_opts, &jac, &f);
+      // Add capacitive currents: f += C*(a*(x - x_prev)) - hist
+      // where hist = C*dvdt_prev for trapezoidal, 0 for BE.
+      for (std::size_t r = 0; r < n; ++r) {
+        double acc = 0.0;
+        const double* crow = cmat.row(r);
+        for (std::size_t col = 0; col < n; ++col) {
+          const double cv = crow[col];
+          if (cv != 0.0) {
+            acc += cv * a * (x[col] - x_prev[col]);
+            if (opts.trapezoidal) acc -= cv * dvdt_prev[col];
+          }
+          if (cv != 0.0) jac(r, col) += cv * a;
+        }
+        f[r] += acc;
+      }
+
+      auto lu = num::lu_factor(jac);
+      if (lu.singular) {
+        result.error = "singular transient Jacobian";
+        return result;
+      }
+      std::vector<double> rhs(n);
+      for (std::size_t i = 0; i < n; ++i) rhs[i] = -f[i];
+      std::vector<double> dx = num::lu_solve(lu, rhs);
+      double max_dv = 0.0;
+      for (std::size_t i = 0; i < nv; ++i) {
+        max_dv = std::max(max_dv, std::abs(dx[i]));
+      }
+      double scale = 1.0;
+      if (max_dv > opts.vlimit_step) scale = opts.vlimit_step / max_dv;
+      for (std::size_t i = 0; i < n; ++i) x[i] += scale * dx[i];
+      if (max_dv < opts.vntol) {
+        converged = true;
+        break;
+      }
+    }
+    if (!converged) {
+      result.error = "transient Newton failed at t=" + std::to_string(time);
+      return result;
+    }
+
+    // Update history for trapezoidal: dv/dt = a*(x - x_prev) - dvdt_prev.
+    if (opts.trapezoidal) {
+      for (std::size_t i = 0; i < n; ++i) {
+        dvdt_prev[i] = a * (x[i] - x_prev[i]) - dvdt_prev[i];
+      }
+    }
+    // Refresh device capacitances at the new bias for the next step.
+    sys.eval(x, eval_opts, nullptr, nullptr, &device_ops);
+    cmat = build_cap_matrix(sys, device_ops);
+
+    result.time.push_back(time);
+    result.states.push_back(x);
+  }
+  result.ok = true;
+  return result;
+}
+
+}  // namespace oasys::sim

@@ -1,0 +1,47 @@
+// Transient analysis.
+//
+// Fixed-step implicit integration (backward Euler or trapezoidal) with a
+// Newton solve per time point.  Device capacitances are linearized at the
+// start of each step (their bias dependence is weak compared to the channel
+// current nonlinearity, which is handled fully by the Newton loop).  Used
+// by the measurement layer for slew-rate and settling checks.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "spice/dc.h"
+
+namespace oasys::sim {
+
+struct TranOptions {
+  double tstop = 0.0;     // end time [s], > 0
+  double dt = 0.0;        // fixed step [s], > 0
+  bool trapezoidal = true;  // false = backward Euler
+  int max_newton = 60;
+  double vntol = 1e-6;
+  double gmin = 1e-12;
+  double vlimit_step = 0.6;
+};
+
+struct TranResult {
+  bool ok = false;
+  std::string error;
+  std::vector<double> time;  // sample instants, starting at t=0
+  std::vector<std::vector<double>> states;  // raw unknown vector per sample
+
+  double voltage(const MnaLayout& layout, std::size_t sample,
+                 ckt::NodeId n) const {
+    return layout.voltage(states.at(sample), n);
+  }
+  // Whole waveform of one node.
+  std::vector<double> node_waveform(const MnaLayout& layout,
+                                    ckt::NodeId n) const;
+};
+
+// Integrates from the DC operating point `op` (computed with t=0 source
+// values) to tstop.
+TranResult transient(const ckt::Circuit& c, const tech::Technology& t,
+                     const OpResult& op, const TranOptions& opts);
+
+}  // namespace oasys::sim

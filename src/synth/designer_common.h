@@ -1,0 +1,98 @@
+// Internals shared by the op-amp style designers (not part of the public
+// API).  Holds the typed plan context and small prediction helpers both
+// plans use.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+#include "blocks/bias_chain.h"
+#include "blocks/current_mirror.h"
+#include "blocks/diff_pair.h"
+#include "blocks/gm_stage.h"
+#include "blocks/level_shifter.h"
+#include "core/context.h"
+#include "mos/design_eqs.h"
+#include "synth/opamp_design.h"
+#include "util/units.h"
+
+namespace oasys::synth::internal {
+
+// Blackboard for an op-amp translation plan: design variables (in the base
+// DesignContext map) plus typed sub-block results and the design being
+// assembled.
+struct OpAmpContext : core::DesignContext {
+  OpAmpContext(const tech::Technology& t, const core::OpAmpSpec& s,
+               const SynthOptions& o)
+      : core::DesignContext(t), spec(s), opts(o) {
+    out.spec = s;
+    out.bias_style = o.bias_style;
+  }
+
+  core::OpAmpSpec spec;
+  SynthOptions opts;
+  OpAmpDesign out;
+
+  // Sub-block design results (overwritten when a rule restarts the plan).
+  blocks::DiffPairDesign pair;
+  blocks::CurrentMirrorDesign load;
+  blocks::GmStageDesign gm2;
+  blocks::LevelShifterDesign ls;
+  blocks::BiasChainDesign bias;
+
+  const tech::MosParams& nmosp() const { return technology().nmos; }
+  const tech::MosParams& pmosp() const { return technology().pmos; }
+  double vdd() const { return technology().vdd; }
+  double vss() const { return technology().vss; }
+  double mid() const { return technology().mid_supply(); }
+  bool icmr_constrained() const {
+    return spec.icmr_lo != 0.0 || spec.icmr_hi != 0.0;
+  }
+  double icmr_lo() const { return icmr_constrained() ? spec.icmr_lo : mid(); }
+  double icmr_hi() const { return icmr_constrained() ? spec.icmr_hi : mid(); }
+  double icmr_mid() const { return 0.5 * (icmr_lo() + icmr_hi()); }
+};
+
+// |VGS| of the input pair including body effect, solved by fixed-point
+// iteration: the tail (pair-source) voltage depends on VGS itself.
+// `vicm` is the common-mode input level the pair operates at.
+inline double input_pair_vgs(const tech::Technology& t, double vov1,
+                             double vicm) {
+  double vgs = t.nmos.vt0 + vov1;
+  for (int i = 0; i < 4; ++i) {
+    const double vtail = vicm - vgs;
+    const double vsb = std::max(vtail - t.vss, 0.0);
+    vgs = mos::threshold(t.nmos, vsb) + vov1;
+  }
+  return vgs;
+}
+
+// Phase lag contributed at `freq` by a real pole at `pole_freq` [degrees].
+inline double pole_phase_deg(double freq, double pole_freq) {
+  if (pole_freq <= 0.0) return 0.0;
+  return util::deg(std::atan(freq / pole_freq));
+}
+
+// Collects all sub-block device lists into the design, in a deterministic
+// order, replacing whatever was there.
+inline void collect_devices(OpAmpContext& ctx) {
+  auto& d = ctx.out.devices;
+  d.clear();
+  auto append = [&](const std::vector<blocks::SizedDevice>& src) {
+    d.insert(d.end(), src.begin(), src.end());
+  };
+  append(ctx.pair.devices);
+  append(ctx.load.devices);
+  append(ctx.gm2.devices);
+  append(ctx.ls.devices);
+  append(ctx.bias.devices);
+}
+
+// Soft-accept bookkeeping shared by the styles' first-cut rules.
+inline void record_soft_violation(OpAmpContext& ctx, const char* axis,
+                                  const std::string& detail) {
+  ++ctx.out.soft_violations;
+  ctx.log().warning(std::string("first-cut-") + axis, detail);
+}
+
+}  // namespace oasys::synth::internal

@@ -1,0 +1,86 @@
+// Fully differential OTA — the second topology named in the paper's
+// future-work list ("folded cascade and fully differential styles").
+//
+// Topology template: NMOS differential pair with PMOS current-source
+// loads and differential outputs, plus the piece that makes fully
+// differential circuits a genuinely different design problem: a
+// common-mode feedback (CMFB) loop.  The output common mode is sensed
+// through source followers and an averaging resistor pair, compared to a
+// reference by a small CMFB amplifier, and fed back to the load gates;
+// an explicit capacitor keeps the CM loop dominant-pole compensated.
+//
+// Device roles: "M1"/"M2" (pair), "ML3"/"ML4" (loads, CMFB-controlled),
+// "M5" (tail tap), "SF1"/"SF2" (sense followers) with "SFB1"/"SFB2"
+// (their sink taps), "MC1"/"MC2"/"MC3"/"MC4" (CMFB amp) with "MC5"
+// (its tail tap), plus the bias chain; passives RCM1/RCM2 (averaging)
+// and CCM (CM-loop compensation).  The CM reference is an ideal source
+// at the follower-shifted mid-supply level (documented substitution,
+// like the cascode gate biases).
+#pragma once
+
+#include "core/spec.h"
+#include "netlist/circuit.h"
+#include "synth/opamp_design.h"
+#include "tech/technology.h"
+
+namespace oasys::synth {
+
+struct FdOtaDesign {
+  core::OpAmpSpec spec;   // differential interpretation: gain/GBW/swing
+                          // are differential-output quantities per side
+  bool feasible = false;
+
+  std::vector<blocks::SizedDevice> devices;
+  double rref = 0.0;
+  bool ideal_bias_reference = false;
+  double iref = 0.0;
+  double itail = 0.0;
+  double i_sf = 0.0;      // per-follower bias [A]
+  double i_cmfb = 0.0;    // CMFB amp tail [A]
+  double rcm = 0.0;       // averaging resistor [ohm]
+  double ccm = 0.0;       // CM-loop compensation capacitor [F]
+  double vcm_ref = 0.0;   // ideal CM reference level [V, absolute]
+
+  core::OpAmpPerformance predicted;  // differential axes
+  util::DiagnosticLog log;
+  core::ExecutionTrace trace;
+
+  const blocks::SizedDevice* device(const std::string& role) const;
+};
+
+FdOtaDesign design_fd_ota(const tech::Technology& t,
+                          const core::OpAmpSpec& spec,
+                          const SynthOptions& opts = {});
+
+// Netlist ports of a built fully differential OTA.
+struct BuiltFdOta {
+  ckt::NodeId vdd = ckt::kGround;
+  ckt::NodeId vss = ckt::kGround;
+  ckt::NodeId inp = ckt::kGround;
+  ckt::NodeId inn = ckt::kGround;
+  ckt::NodeId outp = ckt::kGround;
+  ckt::NodeId outm = ckt::kGround;
+};
+
+BuiltFdOta build_fd_ota(const FdOtaDesign& design,
+                        const tech::Technology& t, ckt::Circuit& c);
+
+// Simulator verification: differential AC response, output common-mode
+// accuracy, CM-loop step stability, differential swing.
+struct MeasuredFdOta {
+  bool ok = false;
+  std::string error;
+  double gain_db = 0.0;       // differential DC gain
+  double gbw = 0.0;           // differential unity-gain frequency [Hz]
+  double pm_deg = 0.0;
+  double cm_error = 0.0;      // |output CM - mid-supply| at balance [V]
+  bool cm_loop_settles = false;  // CM step transient returns and settles
+  double swing_pos = 0.0;     // per-side output swing above mid [V]
+  double swing_neg = 0.0;
+  double cmrr_db = 0.0;       // differential-out rejection of CM drive
+};
+
+MeasuredFdOta measure_fd_ota(const FdOtaDesign& design,
+                             const tech::Technology& t);
+
+}  // namespace oasys::synth

@@ -1,0 +1,26 @@
+// Folded-cascode op-amp designer — the paper's named future-work topology.
+//
+// Topology template: NMOS differential pair whose drain currents are
+// "folded" through common-gate PMOS cascodes into a self-biased NMOS
+// cascode current mirror; output taken single-ended at the cascode
+// junction.  One stage, load-compensated (no Miller capacitor), so it
+// pairs telescopic-class gain with better output swing and a near-rail
+// input common-mode top — the niche the style exists for.
+//
+// Device roles: "M1"/"M2" (pair), "MF3"/"MF4" (fold current sources, bias
+// taps), "MFC1"/"MFC2" (fold cascodes), "MLF_*" (cascode mirror load),
+// "M5" (tail tap), plus the bias chain.  The fold-cascode gate bias is an
+// ideal source (vb_cascode_p), like the telescopic input-cascode bias.
+#pragma once
+
+#include "core/spec.h"
+#include "synth/opamp_design.h"
+#include "tech/technology.h"
+
+namespace oasys::synth {
+
+OpAmpDesign design_folded_cascode(const tech::Technology& t,
+                                  const core::OpAmpSpec& spec,
+                                  const SynthOptions& opts = {});
+
+}  // namespace oasys::synth

@@ -1,0 +1,125 @@
+#include "synth/mismatch.h"
+
+#include <cmath>
+#include <random>
+
+#include "mos/design_eqs.h"
+#include "numeric/rootfind.h"
+#include "spice/dc.h"
+#include "synth/netlist_builder.h"
+
+namespace oasys::synth {
+
+double predict_random_offset_sigma(const OpAmpDesign& design,
+                                   const tech::Technology& t) {
+  // First-stage contributors: the input pair (direct) and the load-mirror
+  // pair (scaled by gm_load/gm_input).  sigma(VT) per device; pairs add in
+  // power as sqrt(2) * sigma.
+  const blocks::SizedDevice* m1 = design.device("M1");
+  if (m1 == nullptr) return 0.0;
+  const tech::MosParams& pn =
+      m1->type == mos::MosType::kNmos ? t.nmos : t.pmos;
+  const double gm1 = mos::gm_from_id_vov(m1->id, m1->vov);
+  const double s1 = pn.sigma_vt(m1->w * m1->m, m1->l);
+  double var = 2.0 * s1 * s1;
+
+  // Load mirror: either the op-amp's "ML_out" or the folded "MLF_out".
+  const blocks::SizedDevice* m3 = design.device("ML_out");
+  if (m3 == nullptr) m3 = design.device("MLF_out");
+  if (m3 != nullptr && gm1 > 0.0) {
+    const tech::MosParams& pl =
+        m3->type == mos::MosType::kNmos ? t.nmos : t.pmos;
+    const double gm3 = mos::gm_from_id_vov(m3->id, m3->vov);
+    const double s3 = pl.sigma_vt(m3->w * m3->m, m3->l);
+    const double scale = gm3 / gm1;
+    var += 2.0 * scale * scale * s3 * s3;
+  }
+  return std::sqrt(var);
+}
+
+MismatchResult monte_carlo_offset(const OpAmpDesign& design,
+                                  const tech::Technology& t,
+                                  const MismatchOptions& opts) {
+  MismatchResult result;
+  if (!design.feasible) {
+    result.error = "design is infeasible";
+    return result;
+  }
+
+  // Shared open-loop bench; per-sample we only touch the dvt fields.
+  ckt::Circuit c;
+  const BuiltOpAmp nodes = build_opamp(design, t, c);
+  c.add_vsource("VDD", nodes.vdd, ckt::kGround, ckt::Waveform::dc(t.vdd));
+  c.add_vsource("VSS", nodes.vss, ckt::kGround, ckt::Waveform::dc(t.vss));
+  const double vcm =
+      design.spec.icmr_lo != 0.0 || design.spec.icmr_hi != 0.0
+          ? 0.5 * (design.spec.icmr_lo + design.spec.icmr_hi)
+          : t.mid_supply();
+  c.add_vsource("VIP", nodes.inp, ckt::kGround, ckt::Waveform::dc(vcm));
+  c.add_vsource("VIN", nodes.inn, ckt::kGround, ckt::Waveform::dc(vcm));
+  if (design.spec.cload > 0.0) {
+    c.add_capacitor("CL", nodes.out, ckt::kGround, design.spec.cload);
+  }
+  const sim::MnaLayout layout(c);
+  const std::size_t vip = *c.find_vsource("VIP");
+  const std::size_t vin = *c.find_vsource("VIN");
+  const double mid = t.mid_supply();
+
+  std::mt19937_64 rng(opts.seed);
+  std::normal_distribution<double> gauss(0.0, 1.0);
+
+  std::vector<double> offsets;
+  std::vector<double> warm;
+  for (int sample = 0; sample < opts.samples; ++sample) {
+    // Draw per-device threshold perturbations from each device's own
+    // area-law sigma.
+    for (const auto& m : c.mosfets()) {
+      const tech::MosParams& p =
+          m.type == mos::MosType::kNmos ? t.nmos : t.pmos;
+      const double sigma =
+          p.sigma_vt(m.geom.w * m.geom.m, m.geom.l);
+      c.set_mosfet_dvt(m.name, sigma * gauss(rng));
+    }
+
+    auto out_error = [&](double vid) {
+      c.vsource(vip).wave = ckt::Waveform::dc(vcm + 0.5 * vid);
+      c.vsource(vin).wave = ckt::Waveform::dc(vcm - 0.5 * vid);
+      sim::OpOptions o;
+      o.initial_guess = warm;
+      const sim::OpResult op = sim::dc_operating_point(c, t, o);
+      if (!op.converged) return std::nan("");
+      warm = op.solution;
+      return op.voltage(layout, nodes.out) - mid;
+    };
+    const auto bracket = num::bracket_root(out_error, -0.05, 0.05, 8);
+    if (!bracket) continue;
+    num::RootOptions ro;
+    ro.xtol = 1e-8;
+    const auto vid =
+        num::bisect(out_error, bracket->first, bracket->second, ro);
+    if (!vid) continue;
+    offsets.push_back(*vid);
+  }
+
+  if (offsets.size() < 3) {
+    result.error = "too few converged Monte-Carlo samples";
+    return result;
+  }
+  result.samples = static_cast<int>(offsets.size());
+  double mean = 0.0;
+  for (const double v : offsets) mean += v;
+  mean /= offsets.size();
+  double var = 0.0;
+  double worst = 0.0;
+  for (const double v : offsets) {
+    var += (v - mean) * (v - mean);
+    worst = std::max(worst, std::abs(v));
+  }
+  result.mean_offset = mean;
+  result.sigma_offset = std::sqrt(var / (offsets.size() - 1));
+  result.worst_offset = worst;
+  result.ok = true;
+  return result;
+}
+
+}  // namespace oasys::synth

@@ -1,0 +1,241 @@
+#include "synth/netlist_builder.h"
+
+#include <stdexcept>
+
+#include "util/units.h"
+
+namespace oasys::synth {
+
+namespace {
+
+// Looks up a required sized device; missing roles indicate a designer bug.
+const blocks::SizedDevice& need(const OpAmpDesign& d,
+                                const std::string& role) {
+  const blocks::SizedDevice* dev = d.device(role);
+  if (dev == nullptr) {
+    throw std::logic_error("design is missing required device role '" +
+                           role + "'");
+  }
+  return *dev;
+}
+
+class Builder {
+ public:
+  Builder(const OpAmpDesign& design, const tech::Technology& t,
+          ckt::Circuit& c)
+      : d_(design), t_(t), c_(c) {}
+
+  BuiltOpAmp build(int inn_override) {
+    nodes_.vdd = c_.node("vdd");
+    nodes_.vss = c_.node("vss");
+    nodes_.inp = c_.node("inp");
+    nodes_.out = c_.node("out");
+    nodes_.inn = inn_override >= 0 ? inn_override : c_.node("inn");
+
+    build_bias();
+    switch (d_.style) {
+      case OpAmpStyle::kOneStageOta:
+        build_input_stage(nodes_.out, /*inp_gate=*/nodes_.inp,
+                          /*inn_gate=*/nodes_.inn);
+        break;
+      case OpAmpStyle::kTwoStage: {
+        // Two-stage polarity: the mirror inverts the M1 path, and the PMOS
+        // common-source stage inverts again, so the non-inverting input
+        // drives M2.
+        const ckt::NodeId x1 = c_.node("x1");
+        build_input_stage(x1, /*inp_gate=*/nodes_.inn,
+                          /*inn_gate=*/nodes_.inp);
+        build_second_stage(x1);
+        break;
+      }
+      case OpAmpStyle::kFoldedCascode:
+        build_folded_cascode();
+        break;
+    }
+    return nodes_;
+  }
+
+ private:
+  void add_mos(const blocks::SizedDevice& dev, ckt::NodeId drain,
+               ckt::NodeId gate, ckt::NodeId source, ckt::NodeId bulk) {
+    c_.add_mosfet(dev.role, drain, gate, source, bulk, dev.type, dev.w,
+                  dev.l, dev.m);
+  }
+  ckt::NodeId nbody() const { return nodes_.vss; }
+  ckt::NodeId pbody() const { return nodes_.vdd; }
+
+  void build_bias() {
+    const ckt::NodeId vbn = c_.node("vbn");
+    ckt::NodeId vbtop = vbn;
+
+    add_mos(need(d_, "MB1"), vbn, vbn, nodes_.vss, nbody());
+    if (d_.device("MB1C") != nullptr) {
+      const ckt::NodeId vbn2 = c_.node("vbn2");
+      add_mos(need(d_, "MB1C"), vbn2, vbn2, vbn, nbody());
+      vbtop = vbn2;
+    }
+    if (d_.ideal_bias_reference || d_.rref <= 0.0) {
+      c_.add_isource("IREF", nodes_.vdd, vbtop,
+                     ckt::Waveform::dc(d_.iref));
+    } else {
+      c_.add_resistor("RREF", nodes_.vdd, vbtop, d_.rref);
+    }
+    if (d_.device("MB2") != nullptr) {
+      const ckt::NodeId vbp = c_.node("vbp");
+      add_mos(need(d_, "MB2"), vbp, vbn, nodes_.vss, nbody());
+      add_mos(need(d_, "MB3"), vbp, vbp, nodes_.vdd, pbody());
+    }
+    if (d_.vb_cascode_n) {
+      c_.add_vsource("VBCN", c_.node("vbcn"), ckt::kGround,
+                     ckt::Waveform::dc(*d_.vb_cascode_n));
+    }
+    if (d_.vb_cascode_p) {
+      c_.add_vsource("VBCP", c_.node("vbcp"), ckt::kGround,
+                     ckt::Waveform::dc(*d_.vb_cascode_p));
+    }
+  }
+
+  // First stage into `stage_out`.  `inp_gate`/`inn_gate` are the gates of
+  // M1/M2 respectively (style-dependent polarity handled by the caller).
+  void build_input_stage(ckt::NodeId stage_out, ckt::NodeId inp_gate,
+                         ckt::NodeId inn_gate) {
+    const ckt::NodeId tail = c_.node("tail");
+    const ckt::NodeId vbn = c_.node("vbn");
+
+    // Tail current source.
+    if (d_.tail_cascode) {
+      const ckt::NodeId n5 = c_.node("n5");
+      add_mos(need(d_, "M5"), n5, vbn, nodes_.vss, nbody());
+      add_mos(need(d_, "M5C"), tail, c_.node("vbn2"), n5, nbody());
+    } else {
+      add_mos(need(d_, "M5"), tail, vbn, nodes_.vss, nbody());
+    }
+
+    // Mirror input node: where the M1 branch meets the load.
+    const ckt::NodeId mg = c_.node("mg");
+    if (d_.stage1_cascode) {
+      const ckt::NodeId d1 = c_.node("d1");
+      const ckt::NodeId d2 = c_.node("d2");
+      const ckt::NodeId vbcn = c_.node("vbcn");
+      add_mos(need(d_, "M1"), d1, inp_gate, tail, nbody());
+      add_mos(need(d_, "M2"), d2, inn_gate, tail, nbody());
+      add_mos(need(d_, "M1C"), mg, vbcn, d1, nbody());
+      add_mos(need(d_, "M2C"), stage_out, vbcn, d2, nbody());
+      // Self-biased cascode load mirror (PMOS), output onto stage_out.
+      const ckt::NodeId la = c_.node("la");
+      const ckt::NodeId lc = c_.node("lc");
+      add_mos(need(d_, "ML_in"), la, la, nodes_.vdd, pbody());
+      add_mos(need(d_, "ML_inc"), mg, mg, la, pbody());
+      add_mos(need(d_, "ML_out"), lc, la, nodes_.vdd, pbody());
+      add_mos(need(d_, "ML_outc"), stage_out, mg, lc, pbody());
+    } else {
+      add_mos(need(d_, "M1"), mg, inp_gate, tail, nbody());
+      add_mos(need(d_, "M2"), stage_out, inn_gate, tail, nbody());
+      add_mos(need(d_, "ML_in"), mg, mg, nodes_.vdd, pbody());
+      add_mos(need(d_, "ML_out"), stage_out, mg, nodes_.vdd, pbody());
+    }
+  }
+
+  void build_second_stage(ckt::NodeId x1) {
+    const ckt::NodeId vbn = c_.node("vbn");
+
+    // Optional level shifter between x1 and the gain device's gate.
+    ckt::NodeId gate6 = x1;
+    if (d_.has_level_shifter) {
+      const ckt::NodeId x2 = c_.node("x2");
+      // PMOS follower, body tied to its own source (separate well).
+      add_mos(need(d_, "MLS"), nodes_.vss, x1, x2, x2);
+      add_mos(need(d_, "MLSB"), x2, c_.node("vbp"), nodes_.vdd, pbody());
+      gate6 = x2;
+    }
+
+    // Gain device (PMOS common source), optionally cascoded.
+    if (d_.stage2_cascode_gm) {
+      const ckt::NodeId n6 = c_.node("n6");
+      add_mos(need(d_, "M6"), n6, gate6, nodes_.vdd, pbody());
+      add_mos(need(d_, "M6C"), nodes_.out, c_.node("vbcp"), n6, pbody());
+    } else {
+      add_mos(need(d_, "M6"), nodes_.out, gate6, nodes_.vdd, pbody());
+    }
+
+    // Output sink, optionally cascoded ("output load mirror").
+    if (d_.stage2_cascode_load) {
+      const ckt::NodeId n7 = c_.node("n7");
+      add_mos(need(d_, "M7"), n7, vbn, nodes_.vss, nbody());
+      add_mos(need(d_, "M7C"), nodes_.out, c_.node("vbn2"), n7, nbody());
+    } else {
+      add_mos(need(d_, "M7"), nodes_.out, vbn, nodes_.vss, nbody());
+    }
+
+    // Miller compensation from the stage-1 high-impedance node to the
+    // output.  With a level shifter present the capacitor still returns to
+    // x1, not the follower output: pole splitting needs the Miller charge
+    // delivered into the high-impedance node (the follower would otherwise
+    // absorb it at 1/gm and leave two low-frequency poles in the loop).
+    if (d_.cc > 0.0) {
+      c_.add_capacitor("CC", x1, nodes_.out, d_.cc);
+    }
+  }
+
+  void build_folded_cascode() {
+    const ckt::NodeId tail = c_.node("tail");
+    const ckt::NodeId vbn = c_.node("vbn");
+    const ckt::NodeId vbp = c_.node("vbp");
+    const ckt::NodeId vbcp = c_.node("vbcp");
+    const ckt::NodeId fa = c_.node("fa");
+    const ckt::NodeId fb = c_.node("fb");
+
+    add_mos(need(d_, "M5"), tail, vbn, nodes_.vss, nbody());
+    // Raising M1's gate raises i1, starving the mirror's sink branch so
+    // the output rises: M1 carries the non-inverting input.
+    add_mos(need(d_, "M1"), fa, nodes_.inp, tail, nbody());
+    add_mos(need(d_, "M2"), fb, nodes_.inn, tail, nbody());
+    // Fold current sources from VDD.
+    add_mos(need(d_, "MF3"), fa, vbp, nodes_.vdd, pbody());
+    add_mos(need(d_, "MF4"), fb, vbp, nodes_.vdd, pbody());
+    // Common-gate fold cascodes into the mirror.
+    const ckt::NodeId ma = c_.node("ma");
+    add_mos(need(d_, "MFC1"), ma, vbcp, fa, pbody());
+    add_mos(need(d_, "MFC2"), nodes_.out, vbcp, fb, pbody());
+    // Self-biased NMOS cascode mirror: diode stack on the input branch.
+    const ckt::NodeId a1 = c_.node("a1");
+    const ckt::NodeId c1 = c_.node("c1");
+    add_mos(need(d_, "MLF_in"), a1, a1, nodes_.vss, nbody());
+    add_mos(need(d_, "MLF_inc"), ma, ma, a1, nbody());
+    add_mos(need(d_, "MLF_out"), c1, a1, nodes_.vss, nbody());
+    add_mos(need(d_, "MLF_outc"), nodes_.out, ma, c1, nbody());
+  }
+
+  const OpAmpDesign& d_;
+  const tech::Technology& t_;
+  ckt::Circuit& c_;
+  BuiltOpAmp nodes_;
+};
+
+}  // namespace
+
+BuiltOpAmp build_opamp(const OpAmpDesign& design, const tech::Technology& t,
+                       ckt::Circuit& c, int inn_node) {
+  Builder builder(design, t, c);
+  return builder.build(inn_node);
+}
+
+ckt::Circuit build_standalone_opamp(const OpAmpDesign& design,
+                                    const tech::Technology& t) {
+  ckt::Circuit c;
+  const BuiltOpAmp nodes = build_opamp(design, t, c);
+  c.add_vsource("VDD", nodes.vdd, ckt::kGround, ckt::Waveform::dc(t.vdd));
+  c.add_vsource("VSS", nodes.vss, ckt::kGround, ckt::Waveform::dc(t.vss));
+  const double vcm =
+      0.5 * (design.spec.icmr_lo + design.spec.icmr_hi);
+  c.add_vsource("VIP", nodes.inp, ckt::kGround,
+                ckt::Waveform::ac(vcm, 0.5, 0.0));
+  c.add_vsource("VIN", nodes.inn, ckt::kGround,
+                ckt::Waveform::ac(vcm, 0.5, 180.0));
+  if (design.spec.cload > 0.0) {
+    c.add_capacitor("CL", nodes.out, ckt::kGround, design.spec.cload);
+  }
+  return c;
+}
+
+}  // namespace oasys::synth

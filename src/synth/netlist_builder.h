@@ -1,0 +1,40 @@
+// Builds the transistor-level netlist of a synthesized op amp.
+//
+// The builder wires the design's sized devices (looked up by role) into the
+// style's topology template, covering every structural variant the plans
+// can produce: simple/cascoded load mirror, telescopic input cascodes,
+// cascoded tail, cascoded output sink, cascoded gain device, and the
+// optional inter-stage level shifter.  Supplies, input drives, and the
+// load are added by the caller (testbench or exporter), keeping the op amp
+// reusable between measurement setups.
+#pragma once
+
+#include "netlist/circuit.h"
+#include "synth/opamp_design.h"
+
+namespace oasys::synth {
+
+struct BuiltOpAmp {
+  ckt::NodeId vdd = ckt::kGround;
+  ckt::NodeId vss = ckt::kGround;
+  ckt::NodeId inp = ckt::kGround;  // non-inverting input
+  ckt::NodeId inn = ckt::kGround;  // inverting input
+  ckt::NodeId out = ckt::kGround;
+};
+
+// Appends the op amp into `c` between nodes named "vdd", "vss", "inp",
+// "inn", "out" (created on demand).  `inn_node`, when non-negative,
+// overrides the inverting-input node — pass the output node to wire a
+// unity-gain follower.  Throws std::logic_error if the design is missing a
+// device role its structure flags require (an assembly bug, not a design
+// failure).
+BuiltOpAmp build_opamp(const OpAmpDesign& design, const tech::Technology& t,
+                       ckt::Circuit& c, int inn_node = -1);
+
+// Standalone export: op amp plus supplies, input bias sources at the spec's
+// common-mode midpoint, and the specified load — ready for an external
+// SPICE run.
+ckt::Circuit build_standalone_opamp(const OpAmpDesign& design,
+                                    const tech::Technology& t);
+
+}  // namespace oasys::synth

@@ -1,0 +1,29 @@
+#include "synth/oasys.h"
+
+namespace oasys::synth {
+
+SynthesisResult synthesize_opamp(const tech::Technology& t,
+                                 const core::OpAmpSpec& spec,
+                                 const SynthOptions& opts) {
+  SynthesisResult result;
+  result.spec = spec;
+
+  result.candidates.push_back(design_one_stage_ota(t, spec, opts));
+  result.candidates.push_back(design_two_stage(t, spec, opts));
+  result.candidates.push_back(design_folded_cascode(t, spec, opts));
+
+  std::vector<core::StyleScore> scores;
+  scores.reserve(result.candidates.size());
+  for (const auto& c : result.candidates) {
+    core::StyleScore s;
+    s.style_name = c.style_name();
+    s.feasible = c.feasible;
+    s.violations = c.soft_violations;
+    s.area = c.predicted.area;
+    scores.push_back(std::move(s));
+  }
+  result.selection = core::select_style(scores);
+  return result;
+}
+
+}  // namespace oasys::synth

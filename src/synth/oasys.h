@@ -1,0 +1,32 @@
+// OASYS top level: breadth-first design-style selection over the op-amp
+// styles (paper Sec. 4.3: "All possible styles are designed and a selection
+// among successful design styles is made based on comparison of final
+// parameters such as estimated area").
+#pragma once
+
+#include "core/selector.h"
+#include "synth/folded_cascode_designer.h"
+#include "synth/opamp_design.h"
+#include "synth/ota_designer.h"
+#include "synth/two_stage_designer.h"
+
+namespace oasys::synth {
+
+struct SynthesisResult {
+  core::OpAmpSpec spec;
+  std::vector<OpAmpDesign> candidates;  // every style, feasible or not
+  core::SelectionResult selection;
+
+  bool success() const { return selection.best.has_value(); }
+  // The selected design; nullptr when no style was feasible.
+  const OpAmpDesign* best() const {
+    return selection.best ? &candidates[*selection.best] : nullptr;
+  }
+};
+
+// Designs every op-amp style for `spec` and selects the best.
+SynthesisResult synthesize_opamp(const tech::Technology& t,
+                                 const core::OpAmpSpec& spec,
+                                 const SynthOptions& opts = {});
+
+}  // namespace oasys::synth

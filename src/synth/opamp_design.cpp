@@ -1,0 +1,34 @@
+#include "synth/opamp_design.h"
+
+namespace oasys::synth {
+
+const char* to_string(OpAmpStyle s) {
+  switch (s) {
+    case OpAmpStyle::kOneStageOta:
+      return "one-stage OTA";
+    case OpAmpStyle::kTwoStage:
+      return "two-stage";
+    case OpAmpStyle::kFoldedCascode:
+      return "folded cascode";
+  }
+  return "unknown";
+}
+
+const blocks::SizedDevice* OpAmpDesign::device(const std::string& role) const {
+  for (const auto& d : devices) {
+    if (d.role == role) return &d;
+  }
+  return nullptr;
+}
+
+std::string OpAmpDesign::style_name() const {
+  std::string name = to_string(style);
+  if (stage1_cascode) name += " +casc1";
+  if (stage2_cascode_load) name += " +cascL2";
+  if (stage2_cascode_gm) name += " +cascG2";
+  if (tail_cascode) name += " +cascT";
+  if (has_level_shifter) name += " +ls";
+  return name;
+}
+
+}  // namespace oasys::synth

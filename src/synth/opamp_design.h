@@ -1,0 +1,86 @@
+// The output of OASYS: a sized, transistor-level op-amp design.
+//
+// A design records the selected style, the structural decisions the plan's
+// patch rules made (cascoding, level-shifter insertion, ...), every sized
+// device, the passives, the first-order predicted performance, and the full
+// plan-execution trace — the paper's "sized transistor-level circuit
+// schematic" plus the narrative of how it was reached.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "blocks/bias_chain.h"
+#include "blocks/block_common.h"
+#include "core/plan.h"
+#include "core/spec.h"
+#include "util/diagnostics.h"
+
+namespace oasys::synth {
+
+enum class OpAmpStyle {
+  kOneStageOta,
+  kTwoStage,
+  // The folded-cascode style is the paper's named future-work extension
+  // ("expand the breadth of circuit knowledge in OASYS to include more op
+  // amp topologies (e.g., folded cascode ...)").
+  kFoldedCascode,
+};
+
+const char* to_string(OpAmpStyle s);
+
+struct OpAmpDesign {
+  core::OpAmpSpec spec;
+  OpAmpStyle style = OpAmpStyle::kOneStageOta;
+  bool feasible = false;
+  // Spec axes the plan knowingly missed but shipped anyway (the paper's
+  // "acceptable for a first-cut design", e.g. case C's phase margin).
+  int soft_violations = 0;
+
+  // Structural decisions (made by patch rules during planning):
+  bool stage1_cascode = false;      // telescopic input + cascoded load mirror
+  bool stage2_cascode_load = false; // cascoded output sink (two-stage)
+  bool stage2_cascode_gm = false;   // cascoded gain device (two-stage)
+  bool tail_cascode = false;        // cascoded tail current source
+  bool has_level_shifter = false;   // follower between the stages
+
+  std::vector<blocks::SizedDevice> devices;
+  double cc = 0.0;    // compensation capacitor [F] (two-stage only)
+  double rref = 0.0;  // bias reference resistor [ohm]; 0 when ideal ref
+  bool ideal_bias_reference = false;
+  blocks::BiasStyle bias_style = blocks::BiasStyle::kResistorReference;
+
+  // Bias bookkeeping:
+  double iref = 0.0;   // reference branch current [A]
+  double itail = 0.0;  // first-stage tail current [A]
+  double i2 = 0.0;     // second-stage current [A] (two-stage)
+  double ils = 0.0;    // level-shifter current [A]
+  // Ideal gate-bias voltages for cascodes that cannot be self-biased:
+  // telescopic input cascodes (vb_cascode_n) and a cascoded stage-2 gain
+  // device (vb_cascode_p), in absolute volts.  These are the only places
+  // the era-faithful netlist uses ideal sources; see DESIGN.md.
+  std::optional<double> vb_cascode_n;
+  std::optional<double> vb_cascode_p;
+
+  core::OpAmpPerformance predicted;
+  util::DiagnosticLog log;
+  core::ExecutionTrace trace;
+
+  // Looks up a sized device by role; nullptr when absent.
+  const blocks::SizedDevice* device(const std::string& role) const;
+  std::string style_name() const;
+};
+
+// Options shared by the style designers and the top-level synthesizer.
+struct SynthOptions {
+  bool rules_enabled = true;     // ablation hook: disable plan patching
+  int max_patches = 24;
+  blocks::BiasStyle bias_style = blocks::BiasStyle::kResistorReference;
+  double iref = 25e-6;           // nominal bias reference current [A]
+  // Accept a completed design whose predicted phase margin is within this
+  // many degrees below spec as a first-cut (paper case C behaviour).
+  double pm_grace_deg = 15.0;
+};
+
+}  // namespace oasys::synth

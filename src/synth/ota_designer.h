@@ -1,0 +1,23 @@
+// One-stage operational-transconductance-amplifier (OTA) designer.
+//
+// Topology template: NMOS differential pair with a PMOS current-mirror
+// load and an NMOS tail current source, output taken single-ended at the
+// mirror side (the classic five-transistor OTA).  The cascode variant
+// (telescopic input cascodes + cascoded load mirror) is reached by a patch
+// rule when gain or the mirror-pole phase budget cannot be met — at the
+// documented cost of output swing and an inherent systematic offset, the
+// two properties the paper uses to knock the one-stage style out of its
+// test cases B and C.
+#pragma once
+
+#include "core/spec.h"
+#include "synth/opamp_design.h"
+#include "tech/technology.h"
+
+namespace oasys::synth {
+
+OpAmpDesign design_one_stage_ota(const tech::Technology& t,
+                                 const core::OpAmpSpec& spec,
+                                 const SynthOptions& opts = {});
+
+}  // namespace oasys::synth

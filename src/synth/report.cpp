@@ -1,0 +1,153 @@
+#include "synth/report.h"
+
+#include <sstream>
+
+#include "util/table.h"
+#include "util/text.h"
+#include "util/units.h"
+
+namespace oasys::synth {
+
+using util::format;
+
+std::string device_table(const OpAmpDesign& design) {
+  util::Table table({"device", "type", "W (um)", "L (um)", "Id (uA)",
+                     "Vov (mV)"});
+  for (const auto& d : design.devices) {
+    table.add_row({d.role, mos::to_string(d.type),
+                   format("%.1f", util::in_um(d.w * d.m)),
+                   format("%.1f", util::in_um(d.l)),
+                   format("%.2f", util::in_ua(d.id)),
+                   format("%.0f", util::in_mv(d.vov))});
+  }
+  std::ostringstream os;
+  os << table.to_string();
+  if (design.cc > 0.0) {
+    os << format("CC   = %.2f pF (compensation)\n", util::in_pf(design.cc));
+  }
+  if (design.rref > 0.0) {
+    os << format("RREF = %.1f kohm (bias reference)\n", design.rref / 1e3);
+  }
+  if (design.vb_cascode_n) {
+    os << format("VBCN = %.3f V (ideal cascode gate bias)\n",
+                 *design.vb_cascode_n);
+  }
+  if (design.vb_cascode_p) {
+    os << format("VBCP = %.3f V (ideal cascode gate bias)\n",
+                 *design.vb_cascode_p);
+  }
+  return os.str();
+}
+
+std::string design_summary(const OpAmpDesign& design) {
+  std::ostringstream os;
+  os << "style: " << design.style_name()
+     << (design.feasible ? "" : "  [INFEASIBLE]") << "\n";
+  os << format("  devices: %zu, Itail = %.1f uA", design.devices.size(),
+               util::in_ua(design.itail));
+  if (design.i2 > 0.0) {
+    os << format(", I2 = %.1f uA", util::in_ua(design.i2));
+  }
+  if (design.cc > 0.0) os << format(", Cc = %.2f pF", util::in_pf(design.cc));
+  os << format(", area = %.0f um^2\n", util::in_um2(design.predicted.area));
+  if (design.soft_violations > 0) {
+    os << format("  first-cut: %d spec axis(es) knowingly missed\n",
+                 design.soft_violations);
+  }
+  return os.str();
+}
+
+namespace {
+
+struct AxisRow {
+  const char* axis;
+  const char* unit;
+  bool constrained;
+  double spec;
+  double predicted;
+  double measured;
+};
+
+std::vector<AxisRow> axis_rows(const core::OpAmpSpec& s,
+                               const core::OpAmpPerformance& p,
+                               const core::OpAmpPerformance* m) {
+  auto mv = [&](double core::OpAmpPerformance::* field) {
+    return m != nullptr ? (*m).*field : 0.0;
+  };
+  return {
+      {"gain (dB)", ">=", s.gain_min_db > 0, s.gain_min_db, p.gain_db,
+       mv(&core::OpAmpPerformance::gain_db)},
+      {"GBW (MHz)", ">=", s.gbw_min > 0, util::in_mhz(s.gbw_min),
+       util::in_mhz(p.gbw), util::in_mhz(mv(&core::OpAmpPerformance::gbw))},
+      {"PM (deg)", ">=", s.pm_min_deg > 0, s.pm_min_deg, p.pm_deg,
+       mv(&core::OpAmpPerformance::pm_deg)},
+      {"slew (V/us)", ">=", s.slew_min > 0, util::in_v_per_us(s.slew_min),
+       util::in_v_per_us(p.slew),
+       util::in_v_per_us(mv(&core::OpAmpPerformance::slew))},
+      {"swing+ (V)", ">=", s.swing_pos > 0, s.swing_pos, p.swing_pos,
+       mv(&core::OpAmpPerformance::swing_pos)},
+      {"swing- (V)", ">=", s.swing_neg > 0, s.swing_neg, p.swing_neg,
+       mv(&core::OpAmpPerformance::swing_neg)},
+      {"offset (mV)", "<=", s.offset_max > 0, util::in_mv(s.offset_max),
+       util::in_mv(p.offset),
+       util::in_mv(mv(&core::OpAmpPerformance::offset))},
+      {"ICMR lo (V)", "<=", s.icmr_lo != 0 || s.icmr_hi != 0, s.icmr_lo,
+       p.icmr_lo, mv(&core::OpAmpPerformance::icmr_lo)},
+      {"ICMR hi (V)", ">=", s.icmr_lo != 0 || s.icmr_hi != 0, s.icmr_hi,
+       p.icmr_hi, mv(&core::OpAmpPerformance::icmr_hi)},
+      {"power (mW)", "<=", s.power_max > 0, util::in_mw(s.power_max),
+       util::in_mw(p.power), util::in_mw(mv(&core::OpAmpPerformance::power))},
+      {"area (um^2)", "<=", s.area_max > 0, util::in_um2(s.area_max),
+       util::in_um2(p.area), util::in_um2(mv(&core::OpAmpPerformance::area))},
+      {"CMRR (dB)", ">=", s.cmrr_min_db > 0, s.cmrr_min_db, p.cmrr_db,
+       mv(&core::OpAmpPerformance::cmrr_db)},
+      {"PSRR (dB)", ">=", s.psrr_min_db > 0, s.psrr_min_db, p.psrr_db,
+       mv(&core::OpAmpPerformance::psrr_db)},
+      {"noise (nV/rtHz)", "<=", s.noise_max > 0, s.noise_max * 1e9,
+       p.noise_in * 1e9, mv(&core::OpAmpPerformance::noise_in) * 1e9},
+  };
+}
+
+}  // namespace
+
+std::string comparison_table(const OpAmpDesign& design,
+                             const MeasuredOpAmp* measured) {
+  std::vector<std::string> headers = {"axis", "", "spec", "predicted"};
+  if (measured != nullptr) headers.push_back("simulated");
+  util::Table table(headers);
+  const core::OpAmpPerformance* mp =
+      measured != nullptr ? &measured->perf : nullptr;
+  for (const auto& row : axis_rows(design.spec, design.predicted, mp)) {
+    std::vector<std::string> cells = {
+        row.axis, row.constrained ? row.unit : "--",
+        row.constrained ? format("%.2f", row.spec) : std::string("-"),
+        format("%.2f", row.predicted)};
+    if (measured != nullptr) cells.push_back(format("%.2f", row.measured));
+    table.add_row(std::move(cells));
+  }
+  return table.to_string();
+}
+
+std::string synthesis_report(const SynthesisResult& result) {
+  std::ostringstream os;
+  os << result.spec.to_string();
+  os << "style selection (breadth-first, area-biased):\n";
+  os << result.selection.summary;
+  const OpAmpDesign* best = result.best();
+  if (best == nullptr) {
+    os << "no feasible design.\n";
+    for (const auto& c : result.candidates) {
+      os << "--- " << to_string(c.style) << " failure narrative ---\n";
+      os << c.trace.to_string();
+    }
+    return os.str();
+  }
+  os << "\nselected design:\n" << design_summary(*best);
+  os << device_table(*best);
+  os << "\nplan execution (" << best->trace.steps_executed << " steps, "
+     << best->trace.rules_fired << " rule firings):\n";
+  os << best->trace.to_string();
+  return os.str();
+}
+
+}  // namespace oasys::synth

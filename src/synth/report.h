@@ -1,0 +1,27 @@
+// Report rendering: sized-schematic listings and spec/predicted/measured
+// comparison tables, shared by the examples and the bench harnesses.
+#pragma once
+
+#include <string>
+
+#include "synth/oasys.h"
+#include "synth/testbench.h"
+
+namespace oasys::synth {
+
+// Device table of a design ("Figure 5" as text): role, type, W/L, bias.
+std::string device_table(const OpAmpDesign& design);
+
+// One-paragraph summary: style, structural flags, key currents, Cc, area.
+std::string design_summary(const OpAmpDesign& design);
+
+// Spec vs predicted vs measured, one row per constrained axis ("Table 2").
+// Pass nullptr for `measured` to print spec vs predicted only.
+std::string comparison_table(const OpAmpDesign& design,
+                             const MeasuredOpAmp* measured);
+
+// Full synthesis narrative: selection summary plus the winning design's
+// plan trace.
+std::string synthesis_report(const SynthesisResult& result);
+
+}  // namespace oasys::synth

@@ -1,0 +1,303 @@
+#include "synth/sar_adc.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "spice/dc.h"
+#include "synth/designer_common.h"
+#include "synth/netlist_builder.h"
+#include "util/text.h"
+
+namespace oasys::synth {
+
+using util::format;
+
+util::DiagnosticLog SarAdcSpec::validate() const {
+  util::DiagnosticLog log;
+  if (bits < 2 || bits > 16) {
+    log.error("spec-invalid", "bits must be in [2, 16]");
+  }
+  if (!(sample_rate > 0.0)) {
+    log.error("spec-invalid", "sample_rate must be positive");
+  }
+  if (!(vin_hi > vin_lo)) {
+    log.error("spec-invalid", "vin_hi must exceed vin_lo");
+  }
+  return log;
+}
+
+std::string SarAdcSpec::to_string() const {
+  std::ostringstream os;
+  os << "SAR ADC spec " << (name.empty() ? "(unnamed)" : name) << ":\n";
+  os << format("  bits         = %d\n", bits);
+  os << format("  sample rate  = %.3g kS/s\n", util::in_khz(sample_rate));
+  os << format("  input range  = [%.2f, %.2f] V\n", vin_lo, vin_hi);
+  if (power_max > 0.0) {
+    os << format("  power       <= %.3g mW\n", util::in_mw(power_max));
+  }
+  return os.str();
+}
+
+namespace {
+
+struct AdcContext : core::DesignContext {
+  AdcContext(const tech::Technology& t, const SarAdcSpec& s,
+             const SynthOptions& o)
+      : core::DesignContext(t), spec(s), opts(o) {
+    out.spec = s;
+  }
+  SarAdcSpec spec;
+  SynthOptions opts;
+  SarAdcDesign out;
+};
+
+core::Plan<AdcContext> build_adc_plan() {
+  core::Plan<AdcContext> plan("sar-adc");
+
+  plan.add_step("timing-budget", [](AdcContext& ctx) {
+    const double t_conv = 1.0 / ctx.spec.sample_rate;
+    // Acquisition window plus one decision window per bit; the comparator
+    // share of each bit window starts at half (the DAC settles in the
+    // rest) and can be re-partitioned by a patch rule.
+    const double comp_share = ctx.get_or("comparator_share", 0.5);
+    ctx.set("t_conv", t_conv);
+    ctx.set("t_sample", 0.15 * t_conv);
+    const double t_bit = 0.85 * t_conv / ctx.spec.bits;
+    ctx.set("t_bit", t_bit);
+    ctx.set("t_comp", comp_share * t_bit);
+    ctx.set("t_settle", (1.0 - comp_share) * t_bit);
+    ctx.set("lsb", (ctx.spec.vin_hi - ctx.spec.vin_lo) /
+                       std::pow(2.0, ctx.spec.bits));
+    return core::StepStatus::success();
+  });
+
+  plan.add_step("design-comparator", [](AdcContext& ctx) {
+    ComparatorSpec cs;
+    cs.name = ctx.spec.name + "-comparator";
+    cs.resolution = 0.5 * ctx.get("lsb");
+    cs.tprop_max = ctx.get("t_comp");
+    cs.cload = util::pf(1.0);  // latch + wiring estimate
+    // Charge-redistribution SAR: the comparison node sits at a fixed
+    // common mode and only the conversion residual moves it, so the
+    // comparator needs a narrow ICMR around mid-supply and a modest
+    // latch-driving swing — not the converter's full input range.
+    const double vcm = ctx.technology().mid_supply();
+    cs.out_high = vcm + 1.0;
+    cs.out_low = vcm - 0.5;
+    cs.icmr_lo = vcm - 0.25;
+    cs.icmr_hi = vcm + 0.25;
+    cs.power_max =
+        ctx.spec.power_max > 0.0 ? 0.7 * ctx.spec.power_max : 0.0;
+    ctx.out.comparator = design_comparator(ctx.technology(), cs, ctx.opts);
+    if (!ctx.out.comparator.feasible) {
+      return core::StepStatus::fail(
+          "comparator-infeasible",
+          format("resolution %.2f mV in %.3g us: %s",
+                 util::in_mv(cs.resolution), cs.tprop_max / util::kMicro,
+                 ctx.out.comparator.amp.trace.abort_reason.c_str()));
+    }
+    return core::StepStatus::success();
+  });
+
+  plan.add_step("size-cap-dac", [](AdcContext& ctx) {
+    const auto& t = ctx.technology();
+    const double lsb = ctx.get("lsb");
+    // kT/C noise of the full array sampled onto the comparison node must
+    // stay below LSB/4; the unit capacitor also has a matching floor.
+    const double ctot_noise =
+        16.0 * util::kBoltzmann * util::kRoomTempK / (lsb * lsb);
+    const double kMatchingUnitFloor = 50e-15;  // era-typical poly-poly unit
+    const double n_units = std::pow(2.0, ctx.spec.bits);
+    double unit = std::max(ctot_noise / n_units, kMatchingUnitFloor);
+    const double ctot = unit * n_units;
+    ctx.out.unit_cap = unit;
+    ctx.out.total_cap = ctot;
+    // Area sanity: a poly capacitor array beyond ~1 mm^2 is not a credible
+    // single-cell block in this technology.
+    if (t.capacitor_area(ctot) > 1e-6) {
+      return core::StepStatus::fail(
+          "dac-area",
+          format("capacitor array needs %.2f mm^2",
+                 t.capacitor_area(ctot) * 1e6));
+    }
+    return core::StepStatus::success();
+  });
+
+  plan.add_step("size-sample-switch", [](AdcContext& ctx) {
+    // The DAC/S&H node must settle to LSB/4 within the settling share of
+    // the bit window: Ron*Ctot * ln(2^bits * 4) <= t_settle.
+    const double n_tau =
+        std::log(std::pow(2.0, ctx.spec.bits) * 4.0);
+    const double ron =
+        ctx.get("t_settle") / (n_tau * ctx.out.total_cap);
+    ctx.out.switch_ron_max = ron;
+    if (ron < 100.0) {
+      return core::StepStatus::fail(
+          "switch-impossible",
+          format("settling requires Ron < %.0f ohm: not realizable as a "
+                 "transmission gate",
+                 ron));
+    }
+    return core::StepStatus::success();
+  });
+
+  plan.add_step("power-area", [](AdcContext& ctx) {
+    const auto& t = ctx.technology();
+    // DAC switching energy ~ Ctot * Vref^2 per conversion.
+    const double vref = ctx.spec.vin_hi - ctx.spec.vin_lo;
+    const double p_dac =
+        ctx.out.total_cap * vref * vref * ctx.spec.sample_rate;
+    const double power = ctx.out.comparator.power + p_dac;
+    ctx.out.power = power;
+    if (ctx.spec.power_max > 0.0 && power > ctx.spec.power_max) {
+      return core::StepStatus::fail(
+          "power-over", format("power %.2f mW exceeds budget %.2f mW",
+                               util::in_mw(power),
+                               util::in_mw(ctx.spec.power_max)));
+    }
+    ctx.out.area = ctx.out.comparator.area +
+                   t.capacitor_area(ctx.out.total_cap);
+    return core::StepStatus::success();
+  });
+
+  plan.add_step("finalize", [](AdcContext& ctx) {
+    ctx.out.t_conv = ctx.get("t_conv");
+    ctx.out.t_sample = ctx.get("t_sample");
+    ctx.out.t_bit = ctx.get("t_bit");
+    ctx.out.lsb = ctx.get("lsb");
+    ctx.out.feasible = true;
+    return core::StepStatus::success();
+  });
+
+  // ---- rules ---------------------------------------------------------------
+  const std::size_t idx_timing = plan.step_index("timing-budget");
+
+  // The comparator can't decide in its share of the bit window: steal time
+  // from the DAC-settling share once (the switch sizing step will then
+  // verify the tighter settling is still realizable).
+  plan.add_rule(
+      "repartition-bit-window",
+      [idx_timing](AdcContext& ctx, const core::StepFailure& f)
+          -> std::optional<core::PatchAction> {
+        if (f.code != "comparator-infeasible") return std::nullopt;
+        if (ctx.bump("repartition") > 1) return std::nullopt;
+        ctx.set("comparator_share", 0.7);
+        return core::PatchAction::restart_at(
+            idx_timing,
+            "gave the comparator 70% of the bit window (DAC settles in "
+            "the rest)");
+      });
+
+  return plan;
+}
+
+}  // namespace
+
+SarAdcDesign design_sar_adc(const tech::Technology& t,
+                            const SarAdcSpec& spec,
+                            const SynthOptions& opts) {
+  AdcContext ctx(t, spec, opts);
+  const util::DiagnosticLog spec_log = spec.validate();
+  if (spec_log.has_errors()) {
+    ctx.out.log.append(spec_log);
+    return std::move(ctx.out);
+  }
+  static const core::Plan<AdcContext> plan = build_adc_plan();
+  core::ExecutorOptions exec;
+  exec.rules_enabled = opts.rules_enabled;
+  exec.max_patches = opts.max_patches;
+  ctx.out.trace = core::execute_plan(plan, ctx, exec);
+  ctx.out.feasible = ctx.out.trace.success && ctx.out.feasible;
+  ctx.out.log.append(ctx.log());
+  if (!ctx.out.trace.success) {
+    ctx.out.log.error("adc-infeasible", ctx.out.trace.abort_reason);
+  }
+  return std::move(ctx.out);
+}
+
+MeasuredSarAdc measure_sar_adc(const SarAdcDesign& design,
+                               const tech::Technology& t,
+                               int ramp_points) {
+  MeasuredSarAdc m;
+  if (!design.feasible) {
+    m.error = "design is infeasible";
+    return m;
+  }
+
+  // 1. Timing: one transient decision through the real comparator.
+  const MeasuredComparator cm =
+      measure_comparator(design.comparator, t);
+  if (!cm.ok) {
+    m.error = "comparator timing check failed: " + cm.error;
+    return m;
+  }
+  m.comparator_tprop = std::max(cm.delay_rising, cm.delay_falling);
+  m.timing_met = m.comparator_tprop <= design.t_bit;
+
+  // 2. Static transfer: behavioural SAR loop, one simulated comparator
+  //    decision (DC operating point) per bit.  The DAC and S/H are ideal
+  //    here — their sizing is checked analytically above; what this loop
+  //    verifies is that the *synthesized comparator's* gain and offset
+  //    support the LSB.
+  ckt::Circuit c;
+  const BuiltOpAmp nodes = build_opamp(design.comparator.amp, t, c);
+  c.add_vsource("VDD", nodes.vdd, ckt::kGround, ckt::Waveform::dc(t.vdd));
+  c.add_vsource("VSS", nodes.vss, ckt::kGround, ckt::Waveform::dc(t.vss));
+  c.add_capacitor("CL", nodes.out, ckt::kGround,
+                  design.comparator.spec.cload);
+  c.add_vsource("VIN", nodes.inp, ckt::kGround, ckt::Waveform::dc(0.0));
+  c.add_vsource("VDAC", nodes.inn, ckt::kGround, ckt::Waveform::dc(0.0));
+  const sim::MnaLayout layout(c);
+  const std::size_t vin_idx = *c.find_vsource("VIN");
+  const std::size_t vdac_idx = *c.find_vsource("VDAC");
+  const double mid = t.mid_supply();
+
+  std::vector<double> warm;
+  auto compare = [&](double vin, double vdac) -> std::optional<bool> {
+    c.vsource(vin_idx).wave = ckt::Waveform::dc(vin);
+    c.vsource(vdac_idx).wave = ckt::Waveform::dc(vdac);
+    sim::OpOptions o;
+    o.initial_guess = warm;
+    const sim::OpResult op = sim::dc_operating_point(c, t, o);
+    if (!op.converged) return std::nullopt;
+    warm = op.solution;
+    return op.voltage(layout, nodes.out) > mid;
+  };
+
+  const int n_codes = 1 << design.spec.bits;
+  const double range = design.spec.vin_hi - design.spec.vin_lo;
+  // Charge redistribution: the comparison node carries vcm plus the
+  // conversion residual (vin - vdac); the reference input sits at vcm.
+  const double vcm =
+      0.5 * (design.comparator.spec.icmr_lo + design.comparator.spec.icmr_hi);
+  int prev_code = -1;
+  for (int p = 0; p < ramp_points; ++p) {
+    // Stay inside the range, away from the exact end codes.
+    const double frac = (p + 0.5) / ramp_points;
+    const double vin = design.spec.vin_lo + frac * range;
+
+    int code = 0;
+    for (int bit = design.spec.bits - 1; bit >= 0; --bit) {
+      const int trial = code | (1 << bit);
+      const double vdac =
+          design.spec.vin_lo + range * trial / n_codes;
+      const auto decision = compare(vcm + (vin - vdac), vcm);
+      if (!decision) {
+        m.error = "comparator decision did not converge";
+        return m;
+      }
+      if (*decision) code = trial;
+    }
+    const int ideal = std::clamp(
+        static_cast<int>(std::floor(frac * n_codes)), 0, n_codes - 1);
+    m.max_code_error_lsb =
+        std::max(m.max_code_error_lsb, std::abs(code - ideal));
+    if (code < prev_code) m.monotonic = false;
+    prev_code = code;
+    ++m.points_tested;
+  }
+  m.ok = true;
+  return m;
+}
+
+}  // namespace oasys::synth

@@ -1,0 +1,86 @@
+// Successive-approximation A/D converter synthesis — the paper's Level-0
+// example (Figure 1: Successive Approximation A/D -> comparator,
+// sample-and-hold, D/A, successive-approximation register) and its
+// longer-range goal ("data acquisition circuits").
+//
+// This block demonstrates the framework one level above the op amp: the
+// Level-0 plan translates converter-level specifications (bits, sample
+// rate, input range) into sub-block specifications — comparator resolution
+// and propagation delay, capacitor-DAC unit size from kT/C noise and
+// matching, sample-switch on-resistance from settling — then invokes the
+// Level-1 comparator designer, which in turn invokes the Level-2 block
+// designers.  The hierarchy is loose, exactly as the paper observes: the
+// S/H here is one switch and a capacitor while the comparator is a dozen
+// transistors.
+//
+// The SAR logic itself is digital and is modelled behaviourally in the
+// verification harness (the paper: many transistors in an "ostensibly
+// analog" converter belong to digital sections; the analog parts are the
+// hard ones).
+#pragma once
+
+#include "synth/comparator.h"
+
+namespace oasys::synth {
+
+struct SarAdcSpec {
+  std::string name;
+  int bits = 0;              // resolution
+  double sample_rate = 0.0;  // conversions per second [Hz]
+  double vin_lo = 0.0;       // conversion range [V, absolute]
+  double vin_hi = 0.0;
+  double power_max = 0.0;    // [W]; 0 = unconstrained
+
+  util::DiagnosticLog validate() const;
+  std::string to_string() const;
+};
+
+struct SarAdcDesign {
+  SarAdcSpec spec;
+  bool feasible = false;
+
+  // Sub-block: the synthesized comparator (Level 1 -> Level 2 reuse).
+  ComparatorDesign comparator;
+
+  // Capacitor-DAC sizing (binary-weighted array):
+  double unit_cap = 0.0;    // [F]
+  double total_cap = 0.0;   // 2^bits * unit_cap [F]
+  // Sample-and-hold: maximum switch on-resistance for LSB/4 settling.
+  double switch_ron_max = 0.0;  // [ohm]
+
+  // Timing budget:
+  double t_sample = 0.0;    // acquisition window [s]
+  double t_bit = 0.0;       // per-bit decision window [s]
+  double t_conv = 0.0;      // total conversion time [s]
+
+  double lsb = 0.0;         // [V]
+  double power = 0.0;       // comparator + DAC switching estimate [W]
+  double area = 0.0;        // comparator + capacitor array [m^2]
+
+  util::DiagnosticLog log;
+  core::ExecutionTrace trace;
+};
+
+SarAdcDesign design_sar_adc(const tech::Technology& t,
+                            const SarAdcSpec& spec,
+                            const SynthOptions& opts = {});
+
+// Behavioural-SAR verification: runs complete conversions against the
+// *simulated* comparator (one operating-point decision per bit, plus one
+// transient timing check), sweeping a ramp of input voltages and comparing
+// the codes against ideal quantization.
+struct MeasuredSarAdc {
+  bool ok = false;
+  std::string error;
+  int points_tested = 0;
+  int max_code_error_lsb = 0;   // worst |code - ideal| over the ramp
+  bool monotonic = true;        // codes never decrease along the ramp
+  double comparator_tprop = 0.0;  // measured decision time [s]
+  bool timing_met = false;        // tprop fits the per-bit budget
+};
+
+MeasuredSarAdc measure_sar_adc(const SarAdcDesign& design,
+                               const tech::Technology& t,
+                               int ramp_points = 33);
+
+}  // namespace oasys::synth

@@ -1,0 +1,31 @@
+// The paper's three evaluation specs (Table 2 inputs), reconstructed.
+//
+// The scanned table values are unreadable, so the sets below are rebuilt
+// from Section 4.3's prose, which pins what matters:
+//  * A — "an ordinary op amp that makes no unusual demands": a one-stage
+//    design meets everything and wins on area over the two-stage.
+//  * B — "more gain, a lower offset voltage and a larger output voltage
+//    swing than A": straightforward for a two-stage, "essentially
+//    impossible" for the one-stage style (gain pushes it to cascodes,
+//    which kill swing, and its mirror load leaves an inherent systematic
+//    offset).
+//  * C — "the most aggressive": 100 dB of gain with a +/-2.5 V swing
+//    (quoted numbers), driving the two-stage style to cascoded mirrors
+//    plus a level shifter; the PM spec (45 deg) is under-achieved but
+//    shipped as a first cut.
+//
+// Supplies are the 5 um process's +/-5 V rails.
+#pragma once
+
+#include "core/spec.h"
+
+namespace oasys::synth {
+
+core::OpAmpSpec spec_case_a();
+core::OpAmpSpec spec_case_b();
+core::OpAmpSpec spec_case_c();
+
+// All three, in order.
+std::vector<core::OpAmpSpec> paper_test_cases();
+
+}  // namespace oasys::synth

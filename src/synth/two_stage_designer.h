@@ -1,0 +1,24 @@
+// Two-stage (Miller-compensated) op-amp designer.
+//
+// Topology template (paper Figure 4): NMOS differential pair with PMOS
+// current-mirror load, PMOS common-source second stage with an NMOS
+// current-sink load, Miller compensation capacitor across the second
+// stage, and a bias chain.  Structural patch rules can cascode the first
+// stage (telescopic input + cascoded load mirror), cascode the output sink
+// mirror, cascode the gain device, cascode the tail source, and insert a
+// level shifter between the stages — the exact repertoire the paper
+// reports for its test case C.  Compensation is designed in this plan, one
+// hierarchy level above the sub-blocks, as the paper prescribes.
+#pragma once
+
+#include "core/spec.h"
+#include "synth/opamp_design.h"
+#include "tech/technology.h"
+
+namespace oasys::synth {
+
+OpAmpDesign design_two_stage(const tech::Technology& t,
+                             const core::OpAmpSpec& spec,
+                             const SynthOptions& opts = {});
+
+}  // namespace oasys::synth

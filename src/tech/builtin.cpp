@@ -1,0 +1,114 @@
+#include "tech/builtin.h"
+
+#include "util/units.h"
+
+namespace oasys::tech {
+
+using util::ff;
+using util::kFemto;
+using util::kMicro;
+using util::ua;
+using util::um;
+
+Technology five_micron() {
+  Technology t;
+  t.name = "cmos5";
+  t.vdd = 5.0;
+  t.vss = -5.0;
+  t.lmin = um(5.0);
+  t.wmin = um(5.0);
+  t.drain_ext = um(7.0);
+  t.tox = 850e-10;                                   // 850 Angstrom
+  t.cox = 0.406 * kFemto / (kMicro * kMicro);        // eps_ox / tox
+
+  // NMOS: mu_n ~ 600 cm^2/Vs -> K'n = mu_n * Cox ~ 24 uA/V^2.
+  t.nmos.vt0 = 0.80;
+  t.nmos.kp = ua(24.0);
+  t.nmos.gamma = 0.40;
+  t.nmos.phi = 0.60;
+  t.nmos.lambda_l = um(0.175);  // lambda = 0.035 / V at L = 5 um
+  t.nmos.cgdo = 0.25 * kFemto / kMicro;
+  t.nmos.cgso = 0.25 * kFemto / kMicro;
+  t.nmos.cj = 0.10 * kFemto / (kMicro * kMicro);
+  t.nmos.cjsw = 0.50 * kFemto / kMicro;
+  t.nmos.pb = 0.70;
+  t.nmos.mj = 0.50;
+  t.nmos.mjsw = 0.33;
+  t.nmos.mobility = 600e-4;     // m^2/Vs
+  t.nmos.kf = 2e-28;            // flicker corner ~ 100 kHz at 200 uS
+  t.nmos.af = 1.0;
+  t.nmos.avt = 30.0 * 1e-3 * kMicro;                      // 30 mV*um
+
+  // PMOS: mu_p ~ 230 cm^2/Vs -> K'p ~ 9.3 uA/V^2.
+  t.pmos.vt0 = 0.90;
+  t.pmos.kp = ua(9.3);
+  t.pmos.gamma = 0.40;
+  t.pmos.phi = 0.60;
+  t.pmos.lambda_l = um(0.225);  // lambda = 0.045 / V at L = 5 um
+  t.pmos.cgdo = 0.25 * kFemto / kMicro;
+  t.pmos.cgso = 0.25 * kFemto / kMicro;
+  t.pmos.cj = 0.15 * kFemto / (kMicro * kMicro);
+  t.pmos.cjsw = 0.60 * kFemto / kMicro;
+  t.pmos.pb = 0.70;
+  t.pmos.mj = 0.50;
+  t.pmos.mjsw = 0.33;
+  t.pmos.mobility = 230e-4;
+  t.pmos.kf = 5e-29;            // buried-channel PMOS: quieter 1/f
+  t.pmos.af = 1.0;
+  t.pmos.avt = 35.0 * 1e-3 * kMicro;                      // 35 mV*um
+
+  return t;
+}
+
+Technology three_micron() {
+  Technology t = five_micron();
+  t.name = "cmos3";
+  t.lmin = um(3.0);
+  t.wmin = um(3.0);
+  t.drain_ext = um(4.5);
+  t.tox = 500e-10;
+  t.cox = 0.690 * kFemto / (kMicro * kMicro);
+
+  t.nmos.vt0 = 0.75;
+  t.nmos.kp = ua(40.0);
+  t.nmos.gamma = 0.45;
+  t.nmos.lambda_l = um(0.14);
+  t.nmos.cgdo = 0.30 * kFemto / kMicro;
+  t.nmos.cgso = 0.30 * kFemto / kMicro;
+
+  t.pmos.vt0 = 0.85;
+  t.pmos.kp = ua(15.0);
+  t.pmos.gamma = 0.45;
+  t.pmos.lambda_l = um(0.18);
+  t.pmos.cgdo = 0.30 * kFemto / kMicro;
+  t.pmos.cgso = 0.30 * kFemto / kMicro;
+
+  return t;
+}
+
+const char* to_string(Corner c) {
+  switch (c) {
+    case Corner::kTypical:
+      return "tt";
+    case Corner::kSlow:
+      return "ss";
+    case Corner::kFast:
+      return "ff";
+  }
+  return "??";
+}
+
+Technology at_corner(const Technology& t, Corner corner) {
+  if (corner == Corner::kTypical) return t;
+  Technology out = t;
+  const double kp_scale = corner == Corner::kSlow ? 0.85 : 1.15;
+  const double vt_scale = corner == Corner::kSlow ? 1.10 : 0.90;
+  for (MosParams* p : {&out.nmos, &out.pmos}) {
+    p->kp *= kp_scale;
+    p->vt0 *= vt_scale;
+  }
+  out.name += corner == Corner::kSlow ? "-ss" : "-ff";
+  return out;
+}
+
+}  // namespace oasys::tech

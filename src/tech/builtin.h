@@ -1,0 +1,33 @@
+// Built-in technologies.
+//
+// The paper evaluates OASYS against "a proprietary industrial 5 um CMOS
+// process"; since those parameters are not published, `five_micron()` is a
+// representative mid-1980s 5 um CMOS parameter set assembled from textbook
+// values of that era (Allen & Holberg / Gray & Meyer ranges).  It exercises
+// exactly the same Table-1 inputs and design trade-offs.  `three_micron()`
+// is a scaled variant used by the process-migration example.
+#pragma once
+
+#include "tech/technology.h"
+
+namespace oasys::tech {
+
+// Representative 5 um CMOS, dual +/-5 V supplies.
+Technology five_micron();
+
+// Representative 3 um CMOS, dual +/-5 V supplies.
+Technology three_micron();
+
+// Process corners.  The paper stresses how strongly analog design depends
+// on process parameters (Sec. 2.1); corner derating lets a synthesized
+// design be re-verified against the spread a real fab would deliver:
+// slow = weak transconductance + high thresholds, fast = the opposite.
+enum class Corner { kTypical, kSlow, kFast };
+
+const char* to_string(Corner c);
+
+// Returns a copy of `t` with K' and VT0 derated for the corner
+// (+/-15% K', +/-10% VT0) and the name suffixed ("-ss"/"-ff").
+Technology at_corner(const Technology& t, Corner corner);
+
+}  // namespace oasys::tech

@@ -1,0 +1,220 @@
+#include "tech/tech_parser.h"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "util/text.h"
+#include "util/units.h"
+
+namespace oasys::tech {
+
+namespace {
+
+using util::ff;
+using util::format;
+using util::um;
+
+// A key in the tech file: where it lands in the Technology struct and the
+// scale factor from file units to SI.
+struct FieldSpec {
+  double MosParams::* mos_field = nullptr;
+  double Technology::* proc_field = nullptr;
+  double scale = 1.0;
+};
+
+const std::map<std::string, FieldSpec>& process_fields() {
+  static const std::map<std::string, FieldSpec> kFields = {
+      {"vdd_v", {nullptr, &Technology::vdd, 1.0}},
+      {"vss_v", {nullptr, &Technology::vss, 1.0}},
+      {"lmin_um", {nullptr, &Technology::lmin, util::kMicro}},
+      {"wmin_um", {nullptr, &Technology::wmin, util::kMicro}},
+      {"drain_ext_um", {nullptr, &Technology::drain_ext, util::kMicro}},
+      {"tox_a", {nullptr, &Technology::tox, 1e-10}},
+      {"cox_ff_um2",
+       {nullptr, &Technology::cox, util::kFemto / (util::kMicro * util::kMicro)}},
+  };
+  return kFields;
+}
+
+const std::map<std::string, FieldSpec>& mos_fields() {
+  static const std::map<std::string, FieldSpec> kFields = {
+      {"vt0_v", {&MosParams::vt0, nullptr, 1.0}},
+      {"kp_ua_v2", {&MosParams::kp, nullptr, util::kMicro}},
+      {"gamma_sqrt_v", {&MosParams::gamma, nullptr, 1.0}},
+      {"phi_v", {&MosParams::phi, nullptr, 1.0}},
+      {"lambda_l_um_v", {&MosParams::lambda_l, nullptr, util::kMicro}},
+      {"cgdo_ff_um", {&MosParams::cgdo, nullptr, util::kFemto / util::kMicro}},
+      {"cgso_ff_um", {&MosParams::cgso, nullptr, util::kFemto / util::kMicro}},
+      {"cj_ff_um2",
+       {&MosParams::cj, nullptr, util::kFemto / (util::kMicro * util::kMicro)}},
+      {"cjsw_ff_um", {&MosParams::cjsw, nullptr, util::kFemto / util::kMicro}},
+      {"pb_v", {&MosParams::pb, nullptr, 1.0}},
+      {"mj", {&MosParams::mj, nullptr, 1.0}},
+      {"mjsw", {&MosParams::mjsw, nullptr, 1.0}},
+      {"mobility_cm2_vs", {&MosParams::mobility, nullptr, 1e-4}},
+      {"kf", {&MosParams::kf, nullptr, 1.0}},
+      {"af", {&MosParams::af, nullptr, 1.0}},
+      // sigma(VT) = avt / sqrt(W*L); file unit mV*um -> V*m.
+      {"avt_mv_um", {&MosParams::avt, nullptr, util::kMilli * util::kMicro}},
+  };
+  return kFields;
+}
+
+}  // namespace
+
+ParseResult parse_tech(std::string_view text) {
+  ParseResult result;
+  Technology& t = result.technology;
+  util::DiagnosticLog& log = result.log;
+
+  enum class Section { kNone, kProcess, kNmos, kPmos };
+  Section section = Section::kNone;
+
+  int line_no = 0;
+  for (const std::string& raw_line : util::split_lines(text)) {
+    ++line_no;
+    std::string line = raw_line;
+    if (const auto hash = line.find('#'); hash != std::string::npos) {
+      line.erase(hash);
+    }
+    const std::string_view trimmed = util::trim(line);
+    if (trimmed.empty()) continue;
+
+    if (trimmed.front() == '[') {
+      const std::string sec = util::to_lower(util::trim(
+          trimmed.substr(1, trimmed.find(']') - 1)));
+      if (sec == "process") section = Section::kProcess;
+      else if (sec == "nmos") section = Section::kNmos;
+      else if (sec == "pmos") section = Section::kPmos;
+      else {
+        log.error("tech-parse",
+                  format("line %d: unknown section [%s]", line_no,
+                         sec.c_str()));
+        section = Section::kNone;
+      }
+      continue;
+    }
+
+    const auto tokens = util::split(trimmed);
+    if (tokens.size() != 2) {
+      log.error("tech-parse",
+                format("line %d: expected 'key value', got '%s'", line_no,
+                       std::string(trimmed).c_str()));
+      continue;
+    }
+    const std::string key = util::to_lower(tokens[0]);
+
+    if (section == Section::kProcess && key == "name") {
+      t.name = tokens[1];
+      continue;
+    }
+
+    const auto value = util::parse_double(tokens[1]);
+    if (!value) {
+      log.error("tech-parse",
+                format("line %d: cannot parse value '%s' for key '%s'",
+                       line_no, tokens[1].c_str(), key.c_str()));
+      continue;
+    }
+
+    switch (section) {
+      case Section::kProcess: {
+        const auto& fields = process_fields();
+        const auto it = fields.find(key);
+        if (it == fields.end()) {
+          log.error("tech-parse",
+                    format("line %d: unknown [process] key '%s'", line_no,
+                           key.c_str()));
+          break;
+        }
+        t.*(it->second.proc_field) = *value * it->second.scale;
+        break;
+      }
+      case Section::kNmos:
+      case Section::kPmos: {
+        const auto& fields = mos_fields();
+        const auto it = fields.find(key);
+        if (it == fields.end()) {
+          log.error("tech-parse",
+                    format("line %d: unknown device key '%s'", line_no,
+                           key.c_str()));
+          break;
+        }
+        MosParams& p = (section == Section::kNmos) ? t.nmos : t.pmos;
+        p.*(it->second.mos_field) = *value * it->second.scale;
+        break;
+      }
+      case Section::kNone:
+        log.error("tech-parse",
+                  format("line %d: key '%s' outside any section", line_no,
+                         key.c_str()));
+        break;
+    }
+  }
+
+  if (!log.has_errors()) {
+    log.append(t.validate());
+  }
+  return result;
+}
+
+ParseResult load_tech_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    ParseResult r;
+    r.log.error("tech-io", format("cannot open technology file '%s'",
+                                  path.c_str()));
+    return r;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_tech(buf.str());
+}
+
+namespace {
+
+void emit_mos(std::ostringstream& os, const MosParams& p) {
+  os << format("vt0_v           %.6g\n", p.vt0);
+  os << format("kp_ua_v2        %.6g\n", p.kp / util::kMicro);
+  os << format("gamma_sqrt_v    %.6g\n", p.gamma);
+  os << format("phi_v           %.6g\n", p.phi);
+  os << format("lambda_l_um_v   %.6g\n", p.lambda_l / util::kMicro);
+  os << format("cgdo_ff_um      %.6g\n", p.cgdo * util::kMicro / util::kFemto);
+  os << format("cgso_ff_um      %.6g\n", p.cgso * util::kMicro / util::kFemto);
+  os << format("cj_ff_um2       %.6g\n",
+               p.cj * util::kMicro * util::kMicro / util::kFemto);
+  os << format("cjsw_ff_um      %.6g\n", p.cjsw * util::kMicro / util::kFemto);
+  os << format("pb_v            %.6g\n", p.pb);
+  os << format("mj              %.6g\n", p.mj);
+  os << format("mjsw            %.6g\n", p.mjsw);
+  os << format("mobility_cm2_vs %.6g\n", p.mobility / 1e-4);
+  os << format("kf              %.6g\n", p.kf);
+  os << format("af              %.6g\n", p.af);
+  os << format("avt_mv_um       %.6g\n",
+               p.avt / (util::kMilli * util::kMicro));
+}
+
+}  // namespace
+
+std::string to_tech_text(const Technology& t) {
+  std::ostringstream os;
+  os << "# OASYS technology file (see tech_parser.h for units)\n";
+  os << "[process]\n";
+  os << "name            " << (t.name.empty() ? "unnamed" : t.name) << "\n";
+  os << format("vdd_v           %.6g\n", t.vdd);
+  os << format("vss_v           %.6g\n", t.vss);
+  os << format("lmin_um         %.6g\n", t.lmin / util::kMicro);
+  os << format("wmin_um         %.6g\n", t.wmin / util::kMicro);
+  os << format("drain_ext_um    %.6g\n", t.drain_ext / util::kMicro);
+  os << format("tox_a           %.6g\n", t.tox / 1e-10);
+  os << format("cox_ff_um2      %.6g\n",
+               t.cox * util::kMicro * util::kMicro / util::kFemto);
+  os << "\n[nmos]\n";
+  emit_mos(os, t.nmos);
+  os << "\n[pmos]\n";
+  emit_mos(os, t.pmos);
+  return os.str();
+}
+
+}  // namespace oasys::tech

@@ -1,0 +1,62 @@
+// Technology-file reader and writer.
+//
+// The file format is line-oriented, mirroring the paper's Table 1.  Units in
+// the file are the designer-facing ones from the paper; they are converted
+// to SI on load.  Example:
+//
+//   # 5 micron CMOS, dual 5 V supplies
+//   [process]
+//   name        cmos5
+//   vdd_v       5.0
+//   vss_v      -5.0
+//   lmin_um     5.0
+//   wmin_um     5.0          # Table 1 item 3: process min width
+//   drain_ext_um 7.0         # Table 1 item 5: min drain width
+//   tox_a       850          # Table 1 item 7: oxide thickness, Angstrom
+//   cox_ff_um2  0.406        # Table 1 item 9
+//
+//   [nmos]
+//   vt0_v        0.8         # Table 1 item 1
+//   kp_ua_v2    24.0         # Table 1 item 2: K'
+//   gamma_sqrt_v 0.8
+//   phi_v        0.6
+//   lambda_l_um_v 0.10       # Table 1 item 14: lambda(L) = lambda_l / L
+//   cgdo_ff_um   0.25        # Table 1 item 10
+//   cgso_ff_um   0.25
+//   cj_ff_um2    0.10        # Table 1 item 13
+//   cjsw_ff_um   0.50        # Table 1 item 12
+//   pb_v         0.70        # Table 1 item 4: built-in voltage
+//   mj           0.5
+//   mjsw         0.33
+//   mobility_cm2_vs 600      # Table 1 item 8
+//
+//   [pmos]
+//   ... same keys ...
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "tech/technology.h"
+#include "util/diagnostics.h"
+
+namespace oasys::tech {
+
+struct ParseResult {
+  Technology technology;
+  util::DiagnosticLog log;  // parse errors/warnings; check has_errors()
+  bool ok() const { return !log.has_errors(); }
+};
+
+// Parses technology text (the file content, not a path).
+ParseResult parse_tech(std::string_view text);
+
+// Reads and parses a technology file from disk.  I/O failure is reported as
+// an error diagnostic, not an exception.
+ParseResult load_tech_file(const std::string& path);
+
+// Serializes a Technology back to file text (round-trips through
+// parse_tech).  Values are emitted in the file's designer-facing units.
+std::string to_tech_text(const Technology& t);
+
+}  // namespace oasys::tech

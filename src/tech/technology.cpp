@@ -1,0 +1,84 @@
+#include "tech/technology.h"
+
+#include <cmath>
+
+#include "util/text.h"
+#include "util/units.h"
+
+namespace oasys::tech {
+
+double MosParams::lambda_at(double l_meters) const {
+  if (l_meters <= 0.0) return 0.0;
+  return lambda_l / l_meters;
+}
+
+double MosParams::sigma_vt(double w, double l) const {
+  if (avt <= 0.0 || w <= 0.0 || l <= 0.0) return 0.0;
+  return avt / std::sqrt(w * l);
+}
+
+double Technology::capacitor_area(double farads) const {
+  if (cox <= 0.0) return 0.0;
+  return farads / cox;
+}
+
+namespace {
+
+void check_positive(util::DiagnosticLog& log, double v, const char* what) {
+  if (!(v > 0.0) || !std::isfinite(v)) {
+    log.error("tech-invalid",
+              util::format("%s must be positive and finite (got %g)", what, v));
+  }
+}
+
+void check_mos(util::DiagnosticLog& log, const MosParams& p,
+               const char* which) {
+  check_positive(log, p.vt0, util::format("%s vt0", which).c_str());
+  check_positive(log, p.kp, util::format("%s kp", which).c_str());
+  check_positive(log, p.phi, util::format("%s phi", which).c_str());
+  if (p.gamma < 0.0) {
+    log.error("tech-invalid",
+              util::format("%s gamma must be non-negative", which));
+  }
+  if (p.lambda_l < 0.0) {
+    log.error("tech-invalid",
+              util::format("%s lambda_l must be non-negative", which));
+  }
+  if (p.vt0 > 2.0) {
+    log.warning("tech-suspicious",
+                util::format("%s vt0 = %g V is unusually large", which,
+                             p.vt0));
+  }
+}
+
+}  // namespace
+
+util::DiagnosticLog Technology::validate() const {
+  util::DiagnosticLog log;
+  if (!(vdd > vss)) {
+    log.error("tech-invalid",
+              util::format("vdd (%g) must exceed vss (%g)", vdd, vss));
+  }
+  check_positive(log, lmin, "lmin");
+  check_positive(log, wmin, "wmin");
+  check_positive(log, drain_ext, "drain_ext");
+  check_positive(log, tox, "tox");
+  check_positive(log, cox, "cox");
+  check_mos(log, nmos, "nmos");
+  check_mos(log, pmos, "pmos");
+
+  // Consistency: Cox should match eps_ox / tox within a loose factor.
+  if (tox > 0.0 && cox > 0.0) {
+    const double cox_from_tox = util::kEpsSiO2 / tox;
+    const double ratio = cox / cox_from_tox;
+    if (ratio < 0.5 || ratio > 2.0) {
+      log.warning("tech-suspicious",
+                  util::format("cox (%g F/m^2) inconsistent with tox "
+                               "(eps_ox/tox = %g F/m^2)",
+                               cox, cox_from_tox));
+    }
+  }
+  return log;
+}
+
+}  // namespace oasys::tech

@@ -1,0 +1,93 @@
+// Fabrication-process description consumed by OASYS.
+//
+// This is the paper's Table 1: threshold voltages, transconductance
+// parameters, minimum widths, junction built-in voltage, supply, oxide
+// thickness, mobility, oxide/overlap/junction capacitances, and the
+// channel-length-modulation model lambda(L).  OASYS reads these from a
+// technology file (see tech_parser.h) so the tool "keeps pace with the
+// rapid evolution of process technology" without code changes.
+//
+// All fields are SI; the file format uses the designer-friendly units from
+// the paper (um, Angstrom, fF/um^2, uA/V^2) and the parser converts.
+#pragma once
+
+#include <string>
+
+#include "util/diagnostics.h"
+
+namespace oasys::tech {
+
+// Per-device-type (NMOS or PMOS) process parameters.  Voltages are stored
+// as magnitudes; the device model applies signs for PMOS.
+struct MosParams {
+  double vt0 = 0.0;      // zero-bias threshold voltage magnitude [V]
+  double kp = 0.0;       // transconductance parameter mu*Cox [A/V^2]
+  double gamma = 0.0;    // body-effect coefficient [sqrt(V)]
+  double phi = 0.6;      // surface potential 2*phi_F [V]
+  double lambda_l = 0.0; // channel-length modulation: lambda = lambda_l / L [m/V]
+  double cgdo = 0.0;     // gate-drain overlap capacitance per width [F/m]
+  double cgso = 0.0;     // gate-source overlap capacitance per width [F/m]
+  double cj = 0.0;       // junction area capacitance at zero bias [F/m^2]
+  double cjsw = 0.0;     // junction sidewall capacitance at zero bias [F/m]
+  double pb = 0.7;       // junction built-in voltage [V]
+  double mj = 0.5;       // area grading coefficient
+  double mjsw = 0.33;    // sidewall grading coefficient
+  double mobility = 0.0; // carrier mobility [m^2/(V*s)] (informational)
+  // Flicker-noise coefficients (SPICE convention):
+  //   Sid_flicker = kf * Id^af / (Cox * Leff^2 * f)   [A^2/Hz]
+  double kf = 0.0;
+  double af = 1.0;
+  // Threshold-mismatch area coefficient: sigma(VT) = avt / sqrt(W*L)
+  // [V*m], the classic matching model for identically drawn devices.
+  double avt = 0.0;
+
+  // One-sigma threshold mismatch for a device of width w, length l [V].
+  double sigma_vt(double w, double l) const;
+
+  // lambda(L): longer channels modulate less.  The paper stores this as a
+  // fitted function of L ("fe, fl for lambda = f(L)"); we use the standard
+  // first-order 1/L fit.
+  double lambda_at(double l_meters) const;
+};
+
+struct Technology {
+  std::string name;
+
+  double vdd = 0.0;        // positive supply [V]
+  double vss = 0.0;        // negative supply [V]
+  double lmin = 0.0;       // minimum channel length [m]
+  double wmin = 0.0;       // minimum channel width [m]
+  double drain_ext = 0.0;  // drain/source diffusion extent for parasitics [m]
+  double tox = 0.0;        // gate-oxide thickness [m]
+  double cox = 0.0;        // gate-oxide capacitance per area [F/m^2]
+
+  MosParams nmos;
+  MosParams pmos;
+
+  double supply_span() const { return vdd - vss; }
+  double mid_supply() const { return 0.5 * (vdd + vss); }
+
+  // Drain/source diffusion area and perimeter for a device of width w,
+  // used both for layout-area estimation and junction capacitances.
+  double diffusion_area(double w) const { return w * drain_ext; }
+  double diffusion_perimeter(double w) const {
+    return 2.0 * (w + drain_ext);
+  }
+
+  // Active-area estimate for one device: gate area plus two diffusions.
+  // This is the area model behind the paper's Figure 7 y-axis.
+  double device_area(double w, double l) const {
+    return w * l + 2.0 * diffusion_area(w);
+  }
+
+  // Area occupied by a capacitor built from gate oxide (the compensation
+  // capacitor in the two-stage op amp; the paper includes it in area
+  // estimates).
+  double capacitor_area(double farads) const;
+
+  // Sanity checks: positive supplies span, parameters in physical ranges.
+  // Problems are reported as error diagnostics.
+  util::DiagnosticLog validate() const;
+};
+
+}  // namespace oasys::tech

@@ -1,0 +1,80 @@
+#include "util/diagnostics.h"
+
+#include <sstream>
+
+namespace oasys::util {
+
+std::string_view to_string(Severity s) {
+  switch (s) {
+    case Severity::kInfo:
+      return "info";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+std::string Diagnostic::to_string() const {
+  std::ostringstream os;
+  os << "[" << oasys::util::to_string(severity) << "] " << code << ": "
+     << message;
+  return os.str();
+}
+
+void DiagnosticLog::info(std::string code, std::string message) {
+  entries_.push_back({Severity::kInfo, std::move(code), std::move(message)});
+}
+
+void DiagnosticLog::warning(std::string code, std::string message) {
+  entries_.push_back(
+      {Severity::kWarning, std::move(code), std::move(message)});
+}
+
+void DiagnosticLog::error(std::string code, std::string message) {
+  entries_.push_back({Severity::kError, std::move(code), std::move(message)});
+}
+
+void DiagnosticLog::add(Diagnostic d) { entries_.push_back(std::move(d)); }
+
+void DiagnosticLog::append(const DiagnosticLog& other) {
+  entries_.insert(entries_.end(), other.entries_.begin(),
+                  other.entries_.end());
+}
+
+bool DiagnosticLog::has_errors() const {
+  for (const auto& e : entries_) {
+    if (e.severity == Severity::kError) return true;
+  }
+  return false;
+}
+
+bool DiagnosticLog::has_warnings() const {
+  for (const auto& e : entries_) {
+    if (e.severity == Severity::kWarning) return true;
+  }
+  return false;
+}
+
+const Diagnostic* DiagnosticLog::first_error() const {
+  for (const auto& e : entries_) {
+    if (e.severity == Severity::kError) return &e;
+  }
+  return nullptr;
+}
+
+bool DiagnosticLog::contains_code(std::string_view code) const {
+  for (const auto& e : entries_) {
+    if (e.code == code) return true;
+  }
+  return false;
+}
+
+std::string DiagnosticLog::to_string() const {
+  std::ostringstream os;
+  for (const auto& e : entries_) os << e.to_string() << "\n";
+  return os.str();
+}
+
+}  // namespace oasys::util

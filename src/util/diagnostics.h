@@ -1,0 +1,62 @@
+// Diagnostics: structured success/failure reporting for design procedures.
+//
+// Design infeasibility is an *expected* outcome in a synthesis tool, not a
+// programming error, so it is reported through values rather than
+// exceptions.  A Diagnostic carries a severity, a short machine-matchable
+// code (used by plan-patching rules), and a human-readable message.
+// DiagnosticLog accumulates diagnostics during a design procedure.
+//
+// Exceptions (std::invalid_argument / std::logic_error) remain reserved for
+// API misuse: malformed netlists, out-of-range indices, etc.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace oasys::util {
+
+enum class Severity {
+  kInfo,     // narrative of what a plan step decided
+  kWarning,  // spec met only marginally, or a heuristic was overridden
+  kError,    // a goal could not be met; triggers rule matching
+};
+
+std::string_view to_string(Severity s);
+
+struct Diagnostic {
+  Severity severity = Severity::kInfo;
+  std::string code;     // short, stable, machine-matchable, e.g. "gain-shortfall"
+  std::string message;  // human-readable detail
+
+  std::string to_string() const;
+};
+
+// Append-only log of diagnostics; cheap to copy into design results.
+class DiagnosticLog {
+ public:
+  void info(std::string code, std::string message);
+  void warning(std::string code, std::string message);
+  void error(std::string code, std::string message);
+  void add(Diagnostic d);
+  void append(const DiagnosticLog& other);
+
+  bool has_errors() const;
+  bool has_warnings() const;
+  // First error diagnostic, or nullptr if none.
+  const Diagnostic* first_error() const;
+  bool contains_code(std::string_view code) const;
+
+  const std::vector<Diagnostic>& entries() const { return entries_; }
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  void clear() { entries_.clear(); }
+
+  // Multi-line rendering, one diagnostic per line.
+  std::string to_string() const;
+
+ private:
+  std::vector<Diagnostic> entries_;
+};
+
+}  // namespace oasys::util

@@ -1,0 +1,81 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace oasys::util {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)), aligns_(headers_.size(), Align::kRight) {
+  if (headers_.empty()) {
+    throw std::invalid_argument("Table requires at least one column");
+  }
+  aligns_[0] = Align::kLeft;  // first column is usually a row label
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() > headers_.size()) {
+    throw std::invalid_argument("row has more cells than table columns");
+  }
+  cells.resize(headers_.size());
+  rows_.push_back({false, std::move(cells)});
+}
+
+void Table::add_separator() { rows_.push_back({true, {}}); }
+
+void Table::set_align(std::size_t column, Align align) {
+  if (column >= aligns_.size()) {
+    throw std::invalid_argument("set_align: column out of range");
+  }
+  aligns_[column] = align;
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    width[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    if (row.separator) continue;
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      width[c] = std::max(width[c], row.cells[c].size());
+    }
+  }
+
+  auto emit_cell = [&](std::ostringstream& os, const std::string& text,
+                       std::size_t c) {
+    const std::size_t pad = width[c] - text.size();
+    if (aligns_[c] == Align::kRight) os << std::string(pad, ' ') << text;
+    else os << text << std::string(pad, ' ');
+  };
+  auto emit_rule = [&](std::ostringstream& os) {
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      if (c) os << "-+-";
+      os << std::string(width[c], '-');
+    }
+    os << "\n";
+  };
+
+  std::ostringstream os;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c) os << " | ";
+    emit_cell(os, headers_[c], c);
+  }
+  os << "\n";
+  emit_rule(os);
+  for (const auto& row : rows_) {
+    if (row.separator) {
+      emit_rule(os);
+      continue;
+    }
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      if (c) os << " | ";
+      emit_cell(os, row.cells[c], c);
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace oasys::util

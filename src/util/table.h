@@ -1,0 +1,42 @@
+// Plain-text table renderer used by the bench harnesses to print the
+// paper's tables and figure data series in aligned columns.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace oasys::util {
+
+enum class Align { kLeft, kRight };
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  // Adds one data row.  Rows shorter than the header are right-padded with
+  // empty cells; longer rows throw std::invalid_argument.
+  void add_row(std::vector<std::string> cells);
+  // Adds a horizontal separator line at this position.
+  void add_separator();
+
+  void set_align(std::size_t column, Align align);
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+  // Renders with a header rule and column padding, e.g.
+  //   name   | gain (dB) | area
+  //   -------+-----------+------
+  //   caseA  |      62.1 | 6.5e3
+  std::string to_string() const;
+
+ private:
+  struct Row {
+    bool separator = false;
+    std::vector<std::string> cells;
+  };
+  std::vector<std::string> headers_;
+  std::vector<Align> aligns_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace oasys::util

@@ -1,0 +1,81 @@
+// Physical constants and unit helpers used throughout OASYS.
+//
+// All internal quantities are SI (volts, amperes, farads, meters, hertz,
+// seconds).  The helpers below exist so that design code can be written in
+// the units analog designers actually think in (micrometers, picofarads,
+// megahertz, V/us) without sprinkling raw powers of ten around.
+#pragma once
+
+#include <cmath>
+
+namespace oasys::util {
+
+// --- scale factors -------------------------------------------------------
+
+inline constexpr double kGiga = 1e9;
+inline constexpr double kMega = 1e6;
+inline constexpr double kKilo = 1e3;
+inline constexpr double kMilli = 1e-3;
+inline constexpr double kMicro = 1e-6;
+inline constexpr double kNano = 1e-9;
+inline constexpr double kPico = 1e-12;
+inline constexpr double kFemto = 1e-15;
+
+constexpr double um(double v) { return v * kMicro; }    // micrometers -> m
+constexpr double nm(double v) { return v * kNano; }     // nanometers -> m
+constexpr double pf(double v) { return v * kPico; }     // picofarads -> F
+constexpr double ff(double v) { return v * kFemto; }    // femtofarads -> F
+constexpr double ua(double v) { return v * kMicro; }    // microamps -> A
+constexpr double ma(double v) { return v * kMilli; }    // milliamps -> A
+constexpr double mv(double v) { return v * kMilli; }    // millivolts -> V
+constexpr double khz(double v) { return v * kKilo; }    // kilohertz -> Hz
+constexpr double mhz(double v) { return v * kMega; }    // megahertz -> Hz
+constexpr double mw(double v) { return v * kMilli; }    // milliwatts -> W
+constexpr double us(double v) { return v * kMicro; }    // microseconds -> s
+constexpr double ns(double v) { return v * kNano; }     // nanoseconds -> s
+constexpr double v_per_us(double v) { return v * kMega; }  // V/us -> V/s
+
+constexpr double in_um(double meters) { return meters / kMicro; }
+constexpr double in_pf(double farads) { return farads / kPico; }
+constexpr double in_ff(double farads) { return farads / kFemto; }
+constexpr double in_ua(double amps) { return amps / kMicro; }
+constexpr double in_mv(double volts) { return volts / kMilli; }
+constexpr double in_mhz(double hertz) { return hertz / kMega; }
+constexpr double in_khz(double hertz) { return hertz / kKilo; }
+constexpr double in_mw(double watts) { return watts / kMilli; }
+constexpr double in_v_per_us(double v_per_s) { return v_per_s / kMega; }
+// Layout area: m^2 -> (um)^2, the unit used in the paper's Figure 7.
+constexpr double in_um2(double m2) { return m2 / (kMicro * kMicro); }
+
+// --- physical constants --------------------------------------------------
+
+inline constexpr double kBoltzmann = 1.380649e-23;     // J/K
+inline constexpr double kElectronCharge = 1.602176634e-19;  // C
+inline constexpr double kEps0 = 8.8541878128e-12;      // F/m
+inline constexpr double kEpsSiO2 = 3.9 * kEps0;        // F/m
+inline constexpr double kEpsSi = 11.7 * kEps0;         // F/m
+inline constexpr double kRoomTempK = 300.0;            // K
+inline constexpr double kThermalVoltage =
+    kBoltzmann * kRoomTempK / kElectronCharge;         // ~25.85 mV
+inline constexpr double kPi = 3.14159265358979323846;
+inline constexpr double kTwoPi = 2.0 * kPi;
+
+// --- decibels and angles --------------------------------------------------
+
+// Voltage-ratio decibels: 20*log10 |x|.
+inline double db20(double ratio) { return 20.0 * std::log10(std::abs(ratio)); }
+inline double from_db20(double db) { return std::pow(10.0, db / 20.0); }
+inline double db10(double ratio) { return 10.0 * std::log10(std::abs(ratio)); }
+
+inline double deg(double radians) { return radians * 180.0 / kPi; }
+inline double rad(double degrees) { return degrees * kPi / 180.0; }
+
+// --- misc ----------------------------------------------------------------
+
+// True when |a-b| <= atol + rtol*max(|a|,|b|).
+inline bool approx_equal(double a, double b, double rtol = 1e-9,
+                         double atol = 1e-12) {
+  return std::abs(a - b) <= atol + rtol * std::max(std::abs(a), std::abs(b));
+}
+
+}  // namespace oasys::util

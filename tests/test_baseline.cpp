@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "baseline/random_sizer.h"
+#include "synth/test_cases.h"
+#include "tech/builtin.h"
+#include "util/units.h"
+
+namespace oasys::baseline {
+namespace {
+
+using tech::Technology;
+using util::um;
+
+const Technology& tech5() {
+  static const Technology t = tech::five_micron();
+  return t;
+}
+
+TEST(FlatEval, ReasonableSizingScoresReasonably) {
+  // A hand-built sensible two-stage sizing evaluates to plausible numbers.
+  FlatSizing s;
+  s.w1 = um(100.0);
+  s.l1 = um(5.0);
+  s.w3 = um(60.0);
+  s.l3 = um(5.0);
+  s.w5 = um(60.0);
+  s.l5 = um(10.0);
+  s.w6 = um(400.0);
+  s.l6 = um(5.0);
+  s.w7 = um(100.0);
+  s.l7 = um(5.0);
+  s.i5 = util::ua(10.0);
+  s.i6 = util::ua(60.0);
+  s.cc = util::pf(3.0);
+  const auto p = evaluate_flat_two_stage(tech5(), synth::spec_case_b(), s);
+  EXPECT_GT(p.gain_db, 50.0);
+  EXPECT_LT(p.gain_db, 120.0);
+  EXPECT_GT(p.gbw, util::khz(200.0));
+  EXPECT_GT(p.pm_deg, 0.0);
+  EXPECT_GT(p.swing_pos, 2.0);
+  EXPECT_GT(p.power, 0.0);
+  EXPECT_GT(p.area, 0.0);
+}
+
+TEST(FlatEval, GainGrowsWithLength) {
+  FlatSizing s;
+  s.w1 = um(100.0);
+  s.l1 = um(5.0);
+  s.w3 = um(60.0);
+  s.l3 = um(5.0);
+  s.w5 = um(60.0);
+  s.l5 = um(10.0);
+  s.w6 = um(400.0);
+  s.l6 = um(5.0);
+  s.w7 = um(100.0);
+  s.l7 = um(5.0);
+  s.i5 = util::ua(10.0);
+  s.i6 = util::ua(60.0);
+  s.cc = util::pf(3.0);
+  const auto short_l =
+      evaluate_flat_two_stage(tech5(), synth::spec_case_b(), s);
+  FlatSizing s2 = s;
+  s2.l1 = um(10.0);
+  s2.w1 = um(200.0);  // same W/L
+  s2.l6 = um(10.0);
+  s2.w6 = um(800.0);
+  const auto long_l =
+      evaluate_flat_two_stage(tech5(), synth::spec_case_b(), s2);
+  EXPECT_GT(long_l.gain_db, short_l.gain_db);
+}
+
+TEST(RandomSearch, Deterministic) {
+  BaselineOptions o;
+  o.seed = 42;
+  o.max_evaluations = 500;
+  const BaselineResult a =
+      random_search_two_stage(tech5(), synth::spec_case_a(), o);
+  const BaselineResult b =
+      random_search_two_stage(tech5(), synth::spec_case_a(), o);
+  EXPECT_EQ(a.evaluations, b.evaluations);
+  EXPECT_EQ(a.success, b.success);
+  EXPECT_EQ(a.best_violations, b.best_violations);
+}
+
+TEST(RandomSearch, EventuallyFindsEasySpec) {
+  // A deliberately loose spec: random search should succeed.
+  core::OpAmpSpec easy;
+  easy.name = "easy";
+  easy.cload = util::pf(10.0);
+  easy.gain_min_db = 40.0;
+  easy.gbw_min = util::khz(200.0);
+  easy.pm_min_deg = 30.0;
+  BaselineOptions o;
+  o.seed = 7;
+  o.max_evaluations = 20000;
+  const BaselineResult r = random_search_two_stage(tech5(), easy, o);
+  EXPECT_TRUE(r.success) << "best violations: " << r.best_violations;
+  EXPECT_GT(r.evaluations, 0);
+}
+
+TEST(RandomSearch, StrugglesOnTightSpec) {
+  // The paper's case C axes are far beyond unstructured sampling within a
+  // small budget — this is the knowledge-vs-search story.
+  BaselineOptions o;
+  o.seed = 11;
+  o.max_evaluations = 2000;
+  const BaselineResult r =
+      random_search_two_stage(tech5(), synth::spec_case_c(), o);
+  EXPECT_FALSE(r.success);
+  EXPECT_GT(r.best_violations, 0);
+}
+
+TEST(RandomSearch, BudgetRespected) {
+  BaselineOptions o;
+  o.seed = 3;
+  o.max_evaluations = 100;
+  const BaselineResult r =
+      random_search_two_stage(tech5(), synth::spec_case_c(), o);
+  EXPECT_LE(r.evaluations, 100);
+}
+
+}  // namespace
+}  // namespace oasys::baseline

@@ -1,0 +1,347 @@
+#include <gtest/gtest.h>
+
+#include "blocks/bias_chain.h"
+#include "blocks/current_mirror.h"
+#include "blocks/diff_pair.h"
+#include "blocks/gm_stage.h"
+#include "blocks/level_shifter.h"
+#include "tech/builtin.h"
+#include "util/units.h"
+
+namespace oasys::blocks {
+namespace {
+
+using tech::Technology;
+using util::ua;
+using util::um;
+
+const Technology& tech5() {
+  static const Technology t = tech::five_micron();
+  return t;
+}
+
+// ---- current mirror -----------------------------------------------------------
+
+TEST(Mirror, SimpleStyleMeetsEasySpec) {
+  CurrentMirrorSpec s;
+  s.type = mos::MosType::kNmos;
+  s.iin = ua(20.0);
+  s.iout = ua(20.0);
+  s.compliance_max = 0.4;
+  const CurrentMirrorDesign d =
+      design_mirror_style(tech5(), s, MirrorStyle::kSimple);
+  ASSERT_TRUE(d.feasible) << d.log.to_string();
+  EXPECT_EQ(d.devices.size(), 2u);
+  EXPECT_LE(d.compliance, s.compliance_max);
+  EXPECT_GT(d.rout, 0.0);
+  // Equal currents -> equal widths.
+  EXPECT_DOUBLE_EQ(d.devices[0].w, d.devices[1].w);
+}
+
+TEST(Mirror, CascodeFollowsPaperHeuristic) {
+  // "fix the length of two devices at their minimum size, and require the
+  // width of all four devices to be equal."
+  CurrentMirrorSpec s;
+  s.type = mos::MosType::kNmos;
+  s.iin = ua(20.0);
+  s.iout = ua(20.0);
+  s.compliance_max = 1.6;
+  const CurrentMirrorDesign d =
+      design_mirror_style(tech5(), s, MirrorStyle::kCascode);
+  ASSERT_TRUE(d.feasible) << d.log.to_string();
+  ASSERT_EQ(d.devices.size(), 4u);
+  const auto* inc = &d.devices[2];
+  const auto* outc = &d.devices[3];
+  EXPECT_DOUBLE_EQ(inc->l, tech5().lmin);
+  EXPECT_DOUBLE_EQ(outc->l, tech5().lmin);
+  EXPECT_DOUBLE_EQ(d.devices[0].w, inc->w);
+  EXPECT_DOUBLE_EQ(d.devices[1].w, outc->w);
+}
+
+TEST(Mirror, CascodeBeatsSimpleOnRout) {
+  CurrentMirrorSpec s;
+  s.type = mos::MosType::kNmos;
+  s.iin = ua(20.0);
+  s.iout = ua(20.0);
+  s.compliance_max = 1.6;
+  s.vds_out_nominal = 3.0;  // output device sits far from the diode's Vds
+  const auto simple = design_mirror_style(tech5(), s, MirrorStyle::kSimple);
+  const auto cascode =
+      design_mirror_style(tech5(), s, MirrorStyle::kCascode);
+  ASSERT_TRUE(simple.feasible);
+  ASSERT_TRUE(cascode.feasible);
+  EXPECT_GT(cascode.rout, 10.0 * simple.rout);
+  EXPECT_DOUBLE_EQ(cascode.current_error_frac, 0.0);
+  EXPECT_NE(simple.current_error_frac, 0.0);
+}
+
+TEST(Mirror, SelectionPrefersSmallerAreaWhenBothWork) {
+  CurrentMirrorSpec s;
+  s.type = mos::MosType::kNmos;
+  s.iin = ua(20.0);
+  s.iout = ua(20.0);
+  s.compliance_max = 1.6;  // both styles fit
+  const CurrentMirrorDesign d = design_current_mirror(tech5(), s);
+  ASSERT_TRUE(d.feasible);
+  EXPECT_EQ(d.style, MirrorStyle::kSimple);  // 2 devices beat 4 on area
+}
+
+TEST(Mirror, HighRoutForcesCascode) {
+  CurrentMirrorSpec s;
+  s.type = mos::MosType::kNmos;
+  s.iin = ua(20.0);
+  s.iout = ua(20.0);
+  s.compliance_max = 1.6;
+  s.rout_min = 100e6;  // simple style would need absurd channel length
+  const CurrentMirrorDesign d = design_current_mirror(tech5(), s);
+  ASSERT_TRUE(d.feasible) << d.log.to_string();
+  EXPECT_EQ(d.style, MirrorStyle::kCascode);
+  EXPECT_GE(d.rout, s.rout_min);
+}
+
+TEST(Mirror, TightComplianceForcesSimple) {
+  CurrentMirrorSpec s;
+  s.type = mos::MosType::kNmos;
+  s.iin = ua(20.0);
+  s.iout = ua(20.0);
+  s.compliance_max = 0.3;  // cascode needs VT + 2 Vov > 0.3
+  const CurrentMirrorDesign d = design_current_mirror(tech5(), s);
+  ASSERT_TRUE(d.feasible);
+  EXPECT_EQ(d.style, MirrorStyle::kSimple);
+}
+
+TEST(Mirror, InfeasibleWhenBothStylesFail) {
+  CurrentMirrorSpec s;
+  s.type = mos::MosType::kNmos;
+  s.iin = ua(20.0);
+  s.iout = ua(20.0);
+  s.compliance_max = 0.05;  // nothing fits
+  const CurrentMirrorDesign d = design_current_mirror(tech5(), s);
+  EXPECT_FALSE(d.feasible);
+  EXPECT_TRUE(d.log.has_errors());
+}
+
+TEST(Mirror, RatioScalesOutputWidth) {
+  CurrentMirrorSpec s;
+  s.type = mos::MosType::kPmos;
+  s.iin = ua(10.0);
+  s.iout = ua(40.0);
+  s.compliance_max = 0.5;
+  const CurrentMirrorDesign d =
+      design_mirror_style(tech5(), s, MirrorStyle::kSimple);
+  ASSERT_TRUE(d.feasible);
+  EXPECT_NEAR(d.devices[1].w / d.devices[0].w, 4.0, 1e-9);
+}
+
+TEST(Mirror, BadSpecRejected) {
+  CurrentMirrorSpec s;
+  s.iin = 0.0;
+  s.iout = ua(10.0);
+  EXPECT_FALSE(design_current_mirror(tech5(), s).feasible);
+  s.iin = ua(1.0);
+  s.iout = ua(100.0);  // ratio 100 unmatchable
+  EXPECT_FALSE(design_current_mirror(tech5(), s).feasible);
+}
+
+// ---- diff pair -----------------------------------------------------------------
+
+TEST(DiffPair, SizesForGm) {
+  DiffPairSpec s;
+  s.gm = 100e-6;
+  s.itail = ua(20.0);
+  s.l = um(5.0);
+  const DiffPairDesign d = design_diff_pair(tech5(), s);
+  ASSERT_TRUE(d.feasible) << d.log.to_string();
+  EXPECT_EQ(d.devices.size(), 2u);
+  EXPECT_DOUBLE_EQ(d.devices[0].w, d.devices[1].w);
+  // vov = 2 Id / gm = 0.2.
+  EXPECT_NEAR(d.vov, 0.2, 1e-9);
+  // Sized W/L reproduces gm through the square law.
+  const double wl = d.devices[0].w / d.devices[0].l;
+  const double gm_check =
+      std::sqrt(2.0 * tech5().nmos.kp * wl * ua(10.0));
+  EXPECT_NEAR(gm_check, s.gm, s.gm * 1e-6);
+}
+
+TEST(DiffPair, CascodeAddsDevicesAndRout) {
+  DiffPairSpec s;
+  s.gm = 100e-6;
+  s.itail = ua(20.0);
+  s.l = um(5.0);
+  const DiffPairDesign simple = design_diff_pair(tech5(), s);
+  s.style = DiffPairStyle::kCascode;
+  const DiffPairDesign casc = design_diff_pair(tech5(), s);
+  ASSERT_TRUE(casc.feasible);
+  EXPECT_EQ(casc.devices.size(), 4u);
+  EXPECT_GT(casc.rout_drain, 20.0 * simple.rout_drain);
+  EXPECT_GT(casc.branch_headroom, simple.branch_headroom);
+}
+
+TEST(DiffPair, RejectsSubthresholdGm) {
+  DiffPairSpec s;
+  s.gm = 1e-3;  // needs vov = 20 mV at 20 uA
+  s.itail = ua(20.0);
+  s.l = um(5.0);
+  const DiffPairDesign d = design_diff_pair(tech5(), s);
+  EXPECT_FALSE(d.feasible);
+  EXPECT_TRUE(d.log.contains_code("diffpair-gm"));
+}
+
+TEST(DiffPair, RejectsHugeOverdrive) {
+  DiffPairSpec s;
+  s.gm = 10e-6;  // vov = 2 V at 20 uA
+  s.itail = ua(20.0);
+  s.l = um(5.0);
+  EXPECT_FALSE(design_diff_pair(tech5(), s).feasible);
+}
+
+// ---- gm stage -------------------------------------------------------------------
+
+TEST(GmStage, SizesForGmAndSwing) {
+  GmStageSpec s;
+  s.gm = 300e-6;
+  s.id = ua(60.0);
+  s.l = um(5.0);
+  s.vov_max = 0.5;
+  const GmStageDesign d = design_gm_stage(tech5(), s);
+  ASSERT_TRUE(d.feasible) << d.log.to_string();
+  EXPECT_EQ(d.devices.size(), 1u);
+  EXPECT_NEAR(d.vov, 0.4, 1e-9);
+  EXPECT_NEAR(d.swing_loss, d.vov, 1e-12);
+}
+
+TEST(GmStage, SwingBudgetEnforced) {
+  GmStageSpec s;
+  s.gm = 100e-6;
+  s.id = ua(60.0);  // vov = 1.2 V
+  s.l = um(5.0);
+  s.vov_max = 0.5;
+  const GmStageDesign d = design_gm_stage(tech5(), s);
+  EXPECT_FALSE(d.feasible);
+  EXPECT_TRUE(d.log.contains_code("gmstage-swing"));
+}
+
+TEST(GmStage, CascodeRaisesRoutCostsSwing) {
+  GmStageSpec s;
+  s.gm = 300e-6;
+  s.id = ua(60.0);
+  s.l = um(5.0);
+  s.vov_max = 0.5;
+  const GmStageDesign cs = design_gm_stage(tech5(), s);
+  s.style = GmStageStyle::kCascode;
+  const GmStageDesign casc = design_gm_stage(tech5(), s);
+  ASSERT_TRUE(casc.feasible);
+  EXPECT_EQ(casc.devices.size(), 2u);
+  EXPECT_GT(casc.rout, 10.0 * cs.rout);
+  EXPECT_NEAR(casc.swing_loss, 2.0 * cs.swing_loss, 1e-12);
+}
+
+// ---- level shifter ----------------------------------------------------------------
+
+TEST(LevelShifter, RealizesShift) {
+  LevelShifterSpec s;
+  s.shift = 1.2;  // VT 0.9 + vov 0.3
+  s.cload = 0.5e-12;
+  s.pole_min = 10e6;
+  const LevelShifterDesign d = design_level_shifter(tech5(), s);
+  ASSERT_TRUE(d.feasible) << d.log.to_string();
+  EXPECT_NEAR(d.shift, 1.2, 1e-9);
+  EXPECT_GE(d.pole, s.pole_min * 0.99);
+  EXPECT_GT(d.ibias, 0.0);
+}
+
+TEST(LevelShifter, RejectsShiftBelowThreshold) {
+  LevelShifterSpec s;
+  s.shift = 0.92;  // barely above VT 0.9
+  const LevelShifterDesign d = design_level_shifter(tech5(), s);
+  EXPECT_FALSE(d.feasible);
+  EXPECT_TRUE(d.log.contains_code("ls-shift"));
+}
+
+TEST(LevelShifter, NmosShiftIncludesBodyEffect) {
+  LevelShifterSpec s;
+  s.type = mos::MosType::kNmos;
+  s.shift = 1.5;
+  s.vsb = 3.0;  // body effect raises VT, so vov is what remains
+  const LevelShifterDesign d = design_level_shifter(tech5(), s);
+  ASSERT_TRUE(d.feasible);
+  const double vt = mos::threshold(tech5().nmos, 3.0);
+  EXPECT_NEAR(d.vov, 1.5 - vt, 1e-9);
+}
+
+// ---- bias chain -------------------------------------------------------------------
+
+TEST(BiasChain, SimpleTailOnly) {
+  BiasChainSpec s;
+  s.iref = ua(25.0);
+  s.taps.push_back({"M5", mos::MosType::kNmos, ua(50.0), false, 0.5, 0.0});
+  const BiasChainDesign d = design_bias_chain(tech5(), s);
+  ASSERT_TRUE(d.feasible) << d.log.to_string();
+  // MB1 + tap.
+  EXPECT_EQ(d.devices.size(), 2u);
+  EXPECT_FALSE(d.has_vbp_branch);
+  EXPECT_FALSE(d.has_cascode_stack);
+  EXPECT_GT(d.rref, 0.0);
+  // Tap width is ratio * reference width.
+  EXPECT_NEAR(d.devices[1].w / d.devices[0].w, 2.0, 1e-9);
+  EXPECT_NEAR(d.vbn, tech5().vss + tech5().nmos.vt0 + d.vov, 1e-9);
+}
+
+TEST(BiasChain, CascodeTapAddsStack) {
+  BiasChainSpec s;
+  s.iref = ua(25.0);
+  s.taps.push_back({"M5", mos::MosType::kNmos, ua(50.0), true, 1.6, 0.0});
+  const BiasChainDesign d = design_bias_chain(tech5(), s);
+  ASSERT_TRUE(d.feasible) << d.log.to_string();
+  EXPECT_TRUE(d.has_cascode_stack);
+  // MB1, MB1C, M5, M5C.
+  EXPECT_EQ(d.devices.size(), 4u);
+  EXPECT_GT(d.vbn2, d.vbn);
+}
+
+TEST(BiasChain, PmosTapAddsVbpBranch) {
+  BiasChainSpec s;
+  s.iref = ua(25.0);
+  s.taps.push_back({"MLSB", mos::MosType::kPmos, ua(10.0), false, 0.0, 0.0});
+  const BiasChainDesign d = design_bias_chain(tech5(), s);
+  ASSERT_TRUE(d.feasible) << d.log.to_string();
+  EXPECT_TRUE(d.has_vbp_branch);
+  // MB1, MB2, MB3, MLSB.
+  EXPECT_EQ(d.devices.size(), 4u);
+  EXPECT_LT(d.vbp, tech5().vdd);
+  EXPECT_NEAR(d.ibias_total, 2.0 * s.iref, 1e-12);
+}
+
+TEST(BiasChain, RoutTargetLengthensChannel) {
+  BiasChainSpec lo;
+  lo.iref = ua(25.0);
+  lo.taps.push_back({"M5", mos::MosType::kNmos, ua(25.0), false, 0.5, 0.0});
+  const BiasChainDesign d_lo = design_bias_chain(tech5(), lo);
+  BiasChainSpec hi = lo;
+  hi.taps[0].rout_min = 3e6;  // needs L ~ 13 um, within the length limit
+  const BiasChainDesign d_hi = design_bias_chain(tech5(), hi);
+  ASSERT_TRUE(d_lo.feasible);
+  ASSERT_TRUE(d_hi.feasible);
+  EXPECT_GT(d_hi.devices[0].l, d_lo.devices[0].l);
+  EXPECT_GE(d_hi.tap_rout[0], 3e6 * 0.999);
+}
+
+TEST(BiasChain, ImpossibleComplianceFails) {
+  BiasChainSpec s;
+  s.iref = ua(25.0);
+  s.taps.push_back({"M5", mos::MosType::kNmos, ua(25.0), false, 0.05, 0.0});
+  EXPECT_FALSE(design_bias_chain(tech5(), s).feasible);
+}
+
+TEST(BiasChain, IdealReferenceSkipsResistor) {
+  BiasChainSpec s;
+  s.style = BiasStyle::kIdealReference;
+  s.iref = ua(25.0);
+  s.taps.push_back({"M5", mos::MosType::kNmos, ua(25.0), false, 0.5, 0.0});
+  const BiasChainDesign d = design_bias_chain(tech5(), s);
+  ASSERT_TRUE(d.feasible);
+  EXPECT_DOUBLE_EQ(d.rref, 0.0);
+}
+
+}  // namespace
+}  // namespace oasys::blocks

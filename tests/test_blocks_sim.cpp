@@ -1,0 +1,226 @@
+// Sub-block designs closed through the simulator: every designer's
+// first-order predictions (mirrored current, output resistance, compliance,
+// pair gm) are checked against the Level-1 simulator across parameter
+// grids.  This is the contract that makes plan predictions trustworthy.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "blocks/current_mirror.h"
+#include "blocks/diff_pair.h"
+#include "netlist/circuit.h"
+#include "spice/ac.h"
+#include "spice/dc.h"
+#include "tech/builtin.h"
+#include "util/units.h"
+
+namespace oasys::blocks {
+namespace {
+
+using ckt::Circuit;
+using ckt::Waveform;
+using tech::Technology;
+using util::ua;
+using util::um;
+
+const Technology& tech5() {
+  static const Technology t = tech::five_micron();
+  return t;
+}
+
+// ---- current mirror: design -> simulate -------------------------------------
+
+struct MirrorCase {
+  double iin_ua;
+  double ratio;
+  MirrorStyle style;
+};
+
+class MirrorSim : public ::testing::TestWithParam<MirrorCase> {};
+
+TEST_P(MirrorSim, MirroredCurrentAndRoutMatchPredictions) {
+  const Technology& t = tech5();
+  const MirrorCase& mc = GetParam();
+
+  CurrentMirrorSpec spec;
+  spec.type = mos::MosType::kNmos;
+  spec.iin = ua(mc.iin_ua);
+  spec.iout = ua(mc.iin_ua) * mc.ratio;
+  spec.compliance_max = mc.style == MirrorStyle::kCascode ? 1.8 : 0.5;
+  spec.vds_out_nominal = 2.5;
+  const CurrentMirrorDesign d = design_mirror_style(t, spec, mc.style);
+  ASSERT_TRUE(d.feasible) << d.log.to_string();
+
+  // Testbench: reference current into the diode, output held at 2.5 V by
+  // an ideal source so its branch current reads the mirrored current.
+  Circuit c;
+  const auto vdd = c.node("vdd");
+  const auto g = c.node("g");
+  const auto o = c.node("o");
+  c.add_vsource("VDD", vdd, ckt::kGround, Waveform::dc(t.vdd));
+  c.add_isource("IREF", vdd, g, Waveform::dc(spec.iin));
+  c.add_vsource("VOUT", o, ckt::kGround, Waveform::ac(2.5, 1.0));
+  auto place = [&](const SizedDevice& dev, ckt::NodeId drain,
+                   ckt::NodeId gate, ckt::NodeId src) {
+    c.add_mosfet(dev.role, drain, gate, src, ckt::kGround,
+                 dev.type, dev.w, dev.l, dev.m);
+  };
+  if (mc.style == MirrorStyle::kSimple) {
+    place(d.devices[0], g, g, ckt::kGround);   // diode
+    place(d.devices[1], o, g, ckt::kGround);   // output
+  } else {
+    const auto a1 = c.node("a1");
+    const auto c1 = c.node("c1");
+    place(d.devices[0], a1, a1, ckt::kGround);  // bottom diode
+    place(d.devices[2], g, g, a1);              // top diode (input enters g)
+    place(d.devices[1], c1, a1, ckt::kGround);  // bottom output
+    place(d.devices[3], o, g, c1);              // top output
+  }
+
+  const sim::OpResult op = sim::dc_operating_point(c, t);
+  ASSERT_TRUE(op.converged);
+  const sim::MnaLayout layout(c);
+  // VOUT branch sinks the mirrored current (flows into the + node).
+  const double iout =
+      -op.solution[layout.branch_index(*c.find_vsource("VOUT"))];
+  // Mirrored within the style's systematic error plus a small band.
+  const double tolerance =
+      spec.iout * (std::abs(d.current_error_frac) + 0.06);
+  EXPECT_NEAR(iout, spec.iout, tolerance);
+
+  // Output resistance via AC: rout = v / i at the output source.
+  const sim::AcResult ac = sim::ac_analysis(c, t, op, {1.0});
+  ASSERT_TRUE(ac.ok);
+  const std::complex<double> ib =
+      ac.solutions[0][layout.branch_index(*c.find_vsource("VOUT"))];
+  const double rout_sim = 1.0 / std::abs(ib);
+  // Simulator includes (1+lambda*Vds) corrections the design equations
+  // drop; agreement within 2x is the contract.
+  EXPECT_GT(rout_sim, d.rout * 0.5);
+  EXPECT_LT(rout_sim, d.rout * 2.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, MirrorSim,
+    ::testing::Values(MirrorCase{5.0, 1.0, MirrorStyle::kSimple},
+                      MirrorCase{20.0, 1.0, MirrorStyle::kSimple},
+                      MirrorCase{20.0, 4.0, MirrorStyle::kSimple},
+                      MirrorCase{100.0, 0.5, MirrorStyle::kSimple},
+                      MirrorCase{5.0, 1.0, MirrorStyle::kCascode},
+                      MirrorCase{20.0, 1.0, MirrorStyle::kCascode},
+                      MirrorCase{20.0, 2.0, MirrorStyle::kCascode},
+                      MirrorCase{100.0, 1.0, MirrorStyle::kCascode}),
+    [](const auto& info) {
+      const MirrorCase& mc = info.param;
+      return std::string(mc.style == MirrorStyle::kSimple ? "simple"
+                                                          : "cascode") +
+             std::to_string(static_cast<int>(mc.iin_ua)) + "u_r" +
+             std::to_string(static_cast<int>(mc.ratio * 10));
+    });
+
+TEST(MirrorSim, CascodeHoldsCurrentAcrossVds) {
+  // Property: the cascode's output current barely moves across the
+  // compliance range, while the simple mirror's drifts with lambda.
+  const Technology& t = tech5();
+  CurrentMirrorSpec spec;
+  spec.type = mos::MosType::kNmos;
+  spec.iin = ua(20.0);
+  spec.iout = ua(20.0);
+  spec.compliance_max = 1.8;
+  spec.vds_out_nominal = 2.5;
+
+  auto drift = [&](MirrorStyle style) {
+    const CurrentMirrorDesign d = design_mirror_style(t, spec, style);
+    EXPECT_TRUE(d.feasible);
+    Circuit c;
+    const auto vdd = c.node("vdd");
+    const auto g = c.node("g");
+    const auto o = c.node("o");
+    c.add_vsource("VDD", vdd, ckt::kGround, Waveform::dc(t.vdd));
+    c.add_isource("IREF", vdd, g, Waveform::dc(spec.iin));
+    c.add_vsource("VOUT", o, ckt::kGround, Waveform::dc(2.0));
+    auto place = [&](const SizedDevice& dev, ckt::NodeId drain,
+                     ckt::NodeId gate, ckt::NodeId src) {
+      c.add_mosfet(dev.role, drain, gate, src, ckt::kGround, dev.type,
+                   dev.w, dev.l, dev.m);
+    };
+    if (style == MirrorStyle::kSimple) {
+      place(d.devices[0], g, g, ckt::kGround);
+      place(d.devices[1], o, g, ckt::kGround);
+    } else {
+      const auto a1 = c.node("a1");
+      const auto c1 = c.node("c1");
+      place(d.devices[0], a1, a1, ckt::kGround);
+      place(d.devices[2], g, g, a1);
+      place(d.devices[1], c1, a1, ckt::kGround);
+      place(d.devices[3], o, g, c1);
+    }
+    const sim::MnaLayout layout(c);
+    const std::size_t vout_idx = *c.find_vsource("VOUT");
+    double i_lo = 0.0, i_hi = 0.0;
+    for (const double v : {2.0, 4.0}) {
+      c.vsource(vout_idx).wave = Waveform::dc(v);
+      const sim::OpResult op = sim::dc_operating_point(c, t);
+      EXPECT_TRUE(op.converged);
+      const double i = -op.solution[layout.branch_index(vout_idx)];
+      (v == 2.0 ? i_lo : i_hi) = i;
+    }
+    return std::abs(i_hi - i_lo) / spec.iout;
+  };
+
+  const double drift_simple = drift(MirrorStyle::kSimple);
+  const double drift_cascode = drift(MirrorStyle::kCascode);
+  EXPECT_GT(drift_simple, 0.02);        // lambda is visible
+  EXPECT_LT(drift_cascode, 0.005);      // cascode hides it
+  EXPECT_LT(drift_cascode, drift_simple / 5.0);
+}
+
+// ---- differential pair: design -> simulate -----------------------------------
+
+class DiffPairSim : public ::testing::TestWithParam<double> {};
+
+TEST_P(DiffPairSim, SimulatedGmMatchesTarget) {
+  const Technology& t = tech5();
+  const double gm_target = GetParam();
+
+  DiffPairSpec spec;
+  spec.gm = gm_target;
+  spec.itail = ua(30.0);
+  spec.l = um(5.0);
+  const DiffPairDesign d = design_diff_pair(t, spec);
+  ASSERT_TRUE(d.feasible) << d.log.to_string();
+
+  // Bias one pair device at Id = itail/2, Vds safely in saturation, and
+  // read back gm from the device operating info.
+  Circuit c;
+  const auto dnode = c.node("d");
+  const auto gnode = c.node("g");
+  c.add_vsource("VD", dnode, ckt::kGround, Waveform::dc(2.0));
+  c.add_vsource("VG", gnode, ckt::kGround, Waveform::dc(0.0));
+  c.add_mosfet("M1", dnode, gnode, ckt::kGround, ckt::kGround,
+               mos::MosType::kNmos, d.devices[0].w, d.devices[0].l);
+  // Find VG that gives Id = itail/2 (bisection on the branch current).
+  const sim::MnaLayout layout(c);
+  const std::size_t vg_idx = *c.find_vsource("VG");
+  const std::size_t vd_idx = *c.find_vsource("VD");
+  double lo = t.nmos.vt0, hi = t.nmos.vt0 + 1.0;
+  sim::OpResult op;
+  for (int i = 0; i < 40; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    c.vsource(vg_idx).wave = Waveform::dc(mid);
+    op = sim::dc_operating_point(c, t);
+    ASSERT_TRUE(op.converged);
+    const double id = -op.solution[layout.branch_index(vd_idx)];
+    (id < spec.itail / 2.0 ? lo : hi) = mid;
+  }
+  EXPECT_EQ(op.devices[0].region, mos::Region::kSaturation);
+  // gm at the target current matches the design target within the CLM
+  // correction (~ lambda*Vds ~ 7%).
+  EXPECT_NEAR(op.devices[0].gm, gm_target, gm_target * 0.10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Gms, DiffPairSim,
+                         ::testing::Values(80e-6, 150e-6, 250e-6));
+
+}  // namespace
+}  // namespace oasys::blocks

@@ -1,0 +1,151 @@
+// Comparator synthesis: the framework's reuse story (paper Sec. 5 future
+// work, "more sub-block types (e.g., comparators)").  Same sub-block
+// designers, a delay/resolution-oriented plan, transient verification.
+#include <gtest/gtest.h>
+
+#include "synth/comparator.h"
+#include "tech/builtin.h"
+#include "util/units.h"
+
+namespace oasys::synth {
+namespace {
+
+using tech::Technology;
+
+const Technology& tech5() {
+  static const Technology t = tech::five_micron();
+  return t;
+}
+
+ComparatorSpec nominal_spec() {
+  ComparatorSpec cs;
+  cs.name = "nominal";
+  cs.resolution = util::mv(10.0);
+  cs.tprop_max = util::us(2.0);
+  cs.cload = util::pf(2.0);
+  cs.out_high = 1.5;
+  cs.out_low = -0.5;
+  cs.icmr_lo = -1.0;
+  cs.icmr_hi = 0.5;
+  return cs;
+}
+
+TEST(ComparatorSpecTest, Validation) {
+  ComparatorSpec cs = nominal_spec();
+  EXPECT_FALSE(cs.validate().has_errors());
+  cs.resolution = 0.0;
+  EXPECT_TRUE(cs.validate().has_errors());
+  cs = nominal_spec();
+  cs.out_high = cs.out_low;
+  EXPECT_TRUE(cs.validate().has_errors());
+  cs = nominal_spec();
+  cs.tprop_max = -1.0;
+  EXPECT_TRUE(cs.validate().has_errors());
+}
+
+TEST(ComparatorDesignTest, NominalSpecFeasible) {
+  const ComparatorDesign d = design_comparator(tech5(), nominal_spec());
+  ASSERT_TRUE(d.feasible) << d.amp.trace.to_string();
+  // Gain must turn the resolution into the logic swing.
+  const double needed =
+      util::db20((d.spec.out_high - d.spec.out_low) / d.spec.resolution);
+  EXPECT_GE(d.gain_db, needed);
+  // Predicted delay within the budget, offset within half the resolution.
+  EXPECT_LE(d.delay, d.spec.tprop_max);
+  EXPECT_LE(d.offset, 0.5 * d.spec.resolution);
+  EXPECT_GT(d.power, 0.0);
+  EXPECT_FALSE(d.amp.devices.empty());
+}
+
+TEST(ComparatorDesignTest, NoCompensationCapacitor) {
+  // The comparator is used open loop: its plan must never spend area on a
+  // Miller capacitor (the key translation difference vs the op amp).
+  const ComparatorDesign d = design_comparator(tech5(), nominal_spec());
+  ASSERT_TRUE(d.feasible);
+  EXPECT_DOUBLE_EQ(d.amp.cc, 0.0);
+}
+
+TEST(ComparatorDesignTest, FineResolutionCascodes) {
+  ComparatorSpec cs = nominal_spec();
+  cs.resolution = util::mv(2.0);
+  cs.out_low = -0.5;  // leave the cascode enough output floor
+  const ComparatorDesign d = design_comparator(tech5(), cs);
+  ASSERT_TRUE(d.feasible) << d.amp.trace.to_string();
+  EXPECT_TRUE(d.amp.stage1_cascode);
+  // Cascode load equalizes mirror Vds: systematic offset goes away.
+  EXPECT_LE(d.offset, util::mv(0.5));
+}
+
+TEST(ComparatorDesignTest, ImpossibleOutputLowFails) {
+  ComparatorSpec cs = nominal_spec();
+  cs.out_low = -4.5;  // below the pair's saturation floor
+  const ComparatorDesign d = design_comparator(tech5(), cs);
+  EXPECT_FALSE(d.feasible);
+}
+
+TEST(ComparatorDesignTest, PowerBudgetTrimsThenFails) {
+  ComparatorSpec cs = nominal_spec();
+  cs.power_max = util::mw(0.9);
+  const ComparatorDesign ok = design_comparator(tech5(), cs);
+  EXPECT_TRUE(ok.feasible);
+  cs.power_max = 1e-6;  // 1 uW: impossible
+  const ComparatorDesign bad = design_comparator(tech5(), cs);
+  EXPECT_FALSE(bad.feasible);
+}
+
+TEST(ComparatorMeasureTest, TransientDelaysWithinBand) {
+  const ComparatorDesign d = design_comparator(tech5(), nominal_spec());
+  ASSERT_TRUE(d.feasible);
+  const MeasuredComparator m = measure_comparator(d, tech5());
+  ASSERT_TRUE(m.ok) << m.error;
+  // Rising delay against the plan's budget; the falling edge additionally
+  // pays overdrive recovery (a real large-signal effect the first-order
+  // plan does not model), so it gets a 2x band.
+  EXPECT_LE(m.delay_rising, d.spec.tprop_max);
+  EXPECT_LE(m.delay_falling, 2.0 * d.spec.tprop_max);
+  // Logic levels reached.
+  EXPECT_GE(m.out_high, d.spec.out_high);
+  EXPECT_LE(m.out_low, d.spec.out_low);
+  // Measured systematic offset stays inside the resolution.
+  EXPECT_LT(m.offset, d.spec.resolution);
+}
+
+TEST(ComparatorMeasureTest, InfeasibleDesignRejected) {
+  ComparatorDesign d;
+  d.feasible = false;
+  const MeasuredComparator m = measure_comparator(d, tech5());
+  EXPECT_FALSE(m.ok);
+}
+
+// Property sweep: the designer holds its invariants across a spec grid.
+class ComparatorSweep
+    : public ::testing::TestWithParam<std::tuple<double, double, double>> {};
+
+TEST_P(ComparatorSweep, DesignsMeetFirstOrderInvariants) {
+  const auto [res_mv, tprop_us, cl_pf] = GetParam();
+  ComparatorSpec cs = nominal_spec();
+  cs.resolution = util::mv(res_mv);
+  cs.tprop_max = util::us(tprop_us);
+  cs.cload = util::pf(cl_pf);
+  const ComparatorDesign d = design_comparator(tech5(), cs);
+  if (!d.feasible) {
+    // Must have a recorded reason.
+    EXPECT_TRUE(d.amp.log.has_errors());
+    return;
+  }
+  EXPECT_LE(d.delay, cs.tprop_max);
+  EXPECT_LE(d.offset, 0.5 * cs.resolution);
+  for (const auto& dev : d.amp.devices) {
+    EXPECT_GE(dev.w, tech5().wmin * 0.999) << dev.role;
+    EXPECT_GE(dev.l, tech5().lmin * 0.999) << dev.role;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ComparatorSweep,
+    ::testing::Combine(::testing::Values(5.0, 10.0, 25.0),   // resolution mV
+                       ::testing::Values(1.0, 2.0, 5.0),     // tprop us
+                       ::testing::Values(1.0, 2.0, 5.0)));   // CL pF
+
+}  // namespace
+}  // namespace oasys::synth

@@ -1,0 +1,141 @@
+// Folded-cascode style: designer invariants and end-to-end simulator
+// agreement for the paper's named future-work topology.
+#include <gtest/gtest.h>
+
+#include "synth/folded_cascode_designer.h"
+#include "synth/netlist_builder.h"
+#include "synth/oasys.h"
+#include "synth/test_cases.h"
+#include "synth/testbench.h"
+#include "tech/builtin.h"
+#include "util/units.h"
+
+namespace oasys::synth {
+namespace {
+
+using tech::Technology;
+
+const Technology& tech5() {
+  static const Technology t = tech::five_micron();
+  return t;
+}
+
+core::OpAmpSpec fc_spec() {
+  core::OpAmpSpec s;
+  s.name = "fc";
+  s.gain_min_db = 75.0;
+  s.gbw_min = util::mhz(4.0);
+  s.pm_min_deg = 60.0;
+  s.slew_min = util::v_per_us(4.0);
+  s.cload = util::pf(5.0);
+  s.swing_pos = 2.5;
+  s.swing_neg = 2.5;
+  s.icmr_lo = -1.0;
+  s.icmr_hi = 3.0;  // near-rail top: the style's niche
+  return s;
+}
+
+TEST(FoldedCascode, FeasibleForItsNiche) {
+  const OpAmpDesign d = design_folded_cascode(tech5(), fc_spec());
+  ASSERT_TRUE(d.feasible) << d.trace.to_string();
+  EXPECT_EQ(d.style, OpAmpStyle::kFoldedCascode);
+  EXPECT_GE(d.predicted.gain_db, 75.0);
+  EXPECT_GE(d.predicted.icmr_hi, 3.0);
+  EXPECT_DOUBLE_EQ(d.cc, 0.0);  // load compensated, no Miller cap
+  EXPECT_TRUE(d.vb_cascode_p.has_value());
+}
+
+TEST(FoldedCascode, DeviceRolesComplete) {
+  const OpAmpDesign d = design_folded_cascode(tech5(), fc_spec());
+  ASSERT_TRUE(d.feasible);
+  for (const char* role : {"M1", "M2", "M5", "MF3", "MF4", "MFC1", "MFC2",
+                           "MLF_in", "MLF_out", "MLF_inc", "MLF_outc"}) {
+    EXPECT_NE(d.device(role), nullptr) << role;
+  }
+}
+
+TEST(FoldedCascode, NetlistBuildsWithoutDanglingNodes) {
+  const OpAmpDesign d = design_folded_cascode(tech5(), fc_spec());
+  ASSERT_TRUE(d.feasible);
+  ckt::Circuit c = build_standalone_opamp(d, tech5());
+  EXPECT_TRUE(c.dangling_nodes().empty());
+  EXPECT_EQ(c.mosfets().size(), d.devices.size());
+}
+
+TEST(FoldedCascode, SimulatorAgreesWithPredictions) {
+  const OpAmpDesign d = design_folded_cascode(tech5(), fc_spec());
+  ASSERT_TRUE(d.feasible);
+  const MeasuredOpAmp m = measure_opamp(d, tech5());
+  ASSERT_TRUE(m.ok) << m.error;
+  EXPECT_TRUE(m.non_saturated.empty())
+      << (m.non_saturated.empty() ? "" : m.non_saturated.front());
+  EXPECT_NEAR(m.perf.gain_db, d.predicted.gain_db, 6.0);
+  EXPECT_NEAR(m.perf.gbw / d.predicted.gbw, 1.0, 0.4);
+  EXPECT_NEAR(m.perf.pm_deg, d.predicted.pm_deg, 12.0);
+  EXPECT_GE(m.perf.slew, fc_spec().slew_min * 0.8);
+  EXPECT_LT(m.perf.offset, util::mv(2.0));
+}
+
+TEST(FoldedCascode, GainCeilingIsHonest) {
+  core::OpAmpSpec s = fc_spec();
+  s.gain_min_db = 100.0;  // beyond one folded stage in this process
+  const OpAmpDesign d = design_folded_cascode(tech5(), s);
+  EXPECT_FALSE(d.feasible);
+  EXPECT_TRUE(d.log.has_errors());
+}
+
+TEST(FoldedCascode, SwingBudgetRespected) {
+  core::OpAmpSpec s = fc_spec();
+  s.swing_pos = 4.9;  // two Vdsat in 100 mV of headroom is impossible
+  const OpAmpDesign d = design_folded_cascode(tech5(), s);
+  EXPECT_FALSE(d.feasible);
+}
+
+TEST(FoldedCascode, EntersSelectionAsThirdStyle) {
+  const SynthesisResult r = synthesize_opamp(tech5(), fc_spec());
+  ASSERT_EQ(r.candidates.size(), 3u);
+  bool found = false;
+  for (const auto& c : r.candidates) {
+    if (c.style == OpAmpStyle::kFoldedCascode) found = c.feasible;
+  }
+  EXPECT_TRUE(found);
+  ASSERT_TRUE(r.success());
+}
+
+TEST(FoldedCascode, PaperCasesUnaffected) {
+  // Adding the style must not steal the paper's selections: A stays
+  // one-stage, B and C stay two-stage (area bias).
+  const SynthesisResult a = synthesize_opamp(tech5(), spec_case_a());
+  ASSERT_TRUE(a.success());
+  EXPECT_EQ(a.best()->style, OpAmpStyle::kOneStageOta);
+  const SynthesisResult b = synthesize_opamp(tech5(), spec_case_b());
+  ASSERT_TRUE(b.success());
+  EXPECT_EQ(b.best()->style, OpAmpStyle::kTwoStage);
+  const SynthesisResult c = synthesize_opamp(tech5(), spec_case_c());
+  ASSERT_TRUE(c.success());
+  EXPECT_EQ(c.best()->style, OpAmpStyle::kTwoStage);
+}
+
+// Property sweep: across its gain range the style's designs stay
+// self-consistent.
+class FoldedCascodeSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(FoldedCascodeSweep, InvariantsAcrossGain) {
+  core::OpAmpSpec s = fc_spec();
+  s.gain_min_db = GetParam();
+  const OpAmpDesign d = design_folded_cascode(tech5(), s);
+  if (!d.feasible) return;
+  EXPECT_GE(d.predicted.gain_db, s.gain_min_db);
+  EXPECT_GE(d.predicted.slew, s.slew_min);
+  // Balance: the fold sources carry tail current each.
+  EXPECT_NEAR(d.i2, d.itail, 1e-12);
+  for (const auto& dev : d.devices) {
+    EXPECT_GE(dev.w, tech5().wmin * 0.999) << dev.role;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Gains, FoldedCascodeSweep,
+                         ::testing::Values(40.0, 55.0, 70.0, 80.0, 85.0));
+
+}  // namespace
+}  // namespace oasys::synth

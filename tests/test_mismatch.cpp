@@ -1,0 +1,96 @@
+// Random-mismatch analysis: the Monte-Carlo offset of synthesized op amps
+// matches the analytic area-law prediction, and both scale the right way
+// with device area.
+#include <gtest/gtest.h>
+
+#include "synth/mismatch.h"
+#include "synth/oasys.h"
+#include "synth/test_cases.h"
+#include "tech/builtin.h"
+#include "util/units.h"
+
+namespace oasys::synth {
+namespace {
+
+using tech::Technology;
+
+const Technology& tech5() {
+  static const Technology t = tech::five_micron();
+  return t;
+}
+
+TEST(MismatchModel, SigmaVtAreaLaw) {
+  const tech::MosParams& p = tech5().nmos;
+  const double s1 = p.sigma_vt(util::um(10.0), util::um(10.0));
+  const double s4 = p.sigma_vt(util::um(40.0), util::um(10.0));
+  EXPECT_NEAR(s1, 30e-3 * 1e-6 / 1e-5, 1e-9);  // 3 mV at 100 um^2
+  EXPECT_NEAR(s1 / s4, 2.0, 1e-9);             // 4x area -> half sigma
+  EXPECT_DOUBLE_EQ(p.sigma_vt(0.0, 1.0), 0.0);
+}
+
+TEST(MismatchModel, PredictionCoversPairAndLoad) {
+  const SynthesisResult r = synthesize_opamp(tech5(), spec_case_a());
+  ASSERT_TRUE(r.success());
+  const double sigma = predict_random_offset_sigma(*r.best(), tech5());
+  // 5 um devices at these sizes: a few hundred uV to a few mV.
+  EXPECT_GT(sigma, util::mv(0.05));
+  EXPECT_LT(sigma, util::mv(5.0));
+}
+
+TEST(MismatchMonteCarlo, MatchesPredictionWithinBand) {
+  const SynthesisResult r = synthesize_opamp(tech5(), spec_case_a());
+  ASSERT_TRUE(r.success());
+  const double predicted = predict_random_offset_sigma(*r.best(), tech5());
+
+  MismatchOptions opts;
+  opts.samples = 60;
+  opts.seed = 42;
+  const MismatchResult mc = monte_carlo_offset(*r.best(), tech5(), opts);
+  ASSERT_TRUE(mc.ok) << mc.error;
+  EXPECT_GE(mc.samples, 50);
+  // Sample sigma of 60 draws carries ~10% statistical error; the analytic
+  // model additionally ignores tail/bias contributions: 2x band.
+  EXPECT_GT(mc.sigma_offset, predicted * 0.5);
+  EXPECT_LT(mc.sigma_offset, predicted * 2.0);
+  // The mean recovers the systematic offset (the simulator's value sits
+  // about 2x above the first-order prediction; see the integration tests).
+  EXPECT_NEAR(std::abs(mc.mean_offset), r.best()->predicted.offset,
+              std::max(2.0 * r.best()->predicted.offset, util::mv(5.0)));
+}
+
+TEST(MismatchMonteCarlo, Deterministic) {
+  const SynthesisResult r = synthesize_opamp(tech5(), spec_case_a());
+  ASSERT_TRUE(r.success());
+  MismatchOptions opts;
+  opts.samples = 10;
+  opts.seed = 7;
+  const MismatchResult a = monte_carlo_offset(*r.best(), tech5(), opts);
+  const MismatchResult b = monte_carlo_offset(*r.best(), tech5(), opts);
+  ASSERT_TRUE(a.ok);
+  ASSERT_TRUE(b.ok);
+  EXPECT_DOUBLE_EQ(a.sigma_offset, b.sigma_offset);
+  EXPECT_DOUBLE_EQ(a.mean_offset, b.mean_offset);
+}
+
+TEST(MismatchMonteCarlo, InfeasibleDesignRejected) {
+  OpAmpDesign d;
+  d.feasible = false;
+  EXPECT_FALSE(monte_carlo_offset(d, tech5()).ok);
+}
+
+TEST(MismatchMonteCarlo, TwoStageAlsoConverges) {
+  const SynthesisResult r = synthesize_opamp(tech5(), spec_case_b());
+  ASSERT_TRUE(r.success());
+  MismatchOptions opts;
+  opts.samples = 20;
+  opts.seed = 3;
+  const MismatchResult mc = monte_carlo_offset(*r.best(), tech5(), opts);
+  ASSERT_TRUE(mc.ok) << mc.error;
+  // Random offset dominates the (near-zero) systematic offset of the
+  // balanced two-stage design.
+  EXPECT_GT(mc.sigma_offset, std::abs(mc.mean_offset) * 0.5);
+  EXPECT_LT(mc.sigma_offset, util::mv(10.0));
+}
+
+}  // namespace
+}  // namespace oasys::synth

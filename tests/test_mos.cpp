@@ -1,0 +1,253 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mos/design_eqs.h"
+#include "mos/level1.h"
+#include "tech/builtin.h"
+#include "util/units.h"
+
+namespace oasys::mos {
+namespace {
+
+using tech::Technology;
+using util::um;
+
+class Level1Test : public ::testing::Test {
+ protected:
+  Technology t = tech::five_micron();
+  Geometry g{um(50.0), um(5.0), 1};
+};
+
+TEST_F(Level1Test, CutoffBelowThreshold) {
+  const CoreEval e = evaluate_core(t.nmos, g, {0.5, 2.0, 0.0});
+  EXPECT_EQ(e.region, Region::kCutoff);
+  EXPECT_DOUBLE_EQ(e.id, 0.0);
+  EXPECT_DOUBLE_EQ(e.gm, 0.0);
+}
+
+TEST_F(Level1Test, SaturationSquareLaw) {
+  // vgs - vt = 0.2, vds = 2.0 > vov -> saturation.
+  const double vov = 0.2;
+  const CoreEval e =
+      evaluate_core(t.nmos, g, {t.nmos.vt0 + vov, 2.0, 0.0});
+  EXPECT_EQ(e.region, Region::kSaturation);
+  const double beta = t.nmos.kp * g.wl_ratio();
+  const double lambda = t.nmos.lambda_at(g.l);
+  const double expected = 0.5 * beta * vov * vov * (1.0 + lambda * 2.0);
+  EXPECT_NEAR(e.id, expected, expected * 1e-12);
+  EXPECT_NEAR(e.gm, beta * vov * (1.0 + lambda * 2.0), e.gm * 1e-12);
+  EXPECT_NEAR(e.gds, 0.5 * beta * vov * vov * lambda, e.gds * 1e-12);
+}
+
+TEST_F(Level1Test, TriodeRegion) {
+  const double vov = 0.5;
+  const CoreEval e =
+      evaluate_core(t.nmos, g, {t.nmos.vt0 + vov, 0.1, 0.0});
+  EXPECT_EQ(e.region, Region::kTriode);
+  EXPECT_GT(e.id, 0.0);
+  EXPECT_GT(e.gds, e.gm);  // deep triode: channel acts like a resistor
+}
+
+TEST_F(Level1Test, ContinuousAcrossTriodeSaturationBoundary) {
+  const double vov = 0.3;
+  const double vgs = t.nmos.vt0 + vov;
+  const CoreEval below = evaluate_core(t.nmos, g, {vgs, vov - 1e-9, 0.0});
+  const CoreEval above = evaluate_core(t.nmos, g, {vgs, vov + 1e-9, 0.0});
+  EXPECT_NEAR(below.id, above.id, above.id * 1e-6);
+  EXPECT_NEAR(below.gm, above.gm, above.gm * 1e-6);
+  // gds is discontinuous in slope only, not value, for Level-1 with the
+  // CLM factor kept in triode.
+  EXPECT_NEAR(below.gds, above.gds, above.gds * 0.05 + 1e-9);
+}
+
+TEST_F(Level1Test, BodyEffectRaisesThreshold) {
+  const double vt0 = threshold(t.nmos, 0.0);
+  const double vt2 = threshold(t.nmos, 2.0);
+  EXPECT_NEAR(vt0, t.nmos.vt0, 1e-12);
+  EXPECT_GT(vt2, vt0);
+  const double expected =
+      t.nmos.vt0 + t.nmos.gamma * (std::sqrt(t.nmos.phi + 2.0) -
+                                   std::sqrt(t.nmos.phi));
+  EXPECT_NEAR(vt2, expected, 1e-12);
+}
+
+TEST_F(Level1Test, GmbPositiveWithReverseBodyBias) {
+  // vbs = -2 raises the threshold; overdrive is relative to the shifted VT.
+  const CoreEval e =
+      evaluate_core(t.nmos, g, {threshold(t.nmos, 2.0) + 0.3, 1.0, -2.0});
+  EXPECT_EQ(e.region, Region::kSaturation);
+  EXPECT_GT(e.gmb, 0.0);
+  EXPECT_LT(e.gmb, e.gm);
+}
+
+TEST_F(Level1Test, DerivativesMatchFiniteDifference) {
+  const CoreBias bias{t.nmos.vt0 + 0.25, 0.8, -1.0};
+  const CoreEval e = evaluate_core(t.nmos, g, bias);
+  const double h = 1e-7;
+  CoreBias b2 = bias;
+  b2.vgs += h;
+  EXPECT_NEAR((evaluate_core(t.nmos, g, b2).id - e.id) / h, e.gm,
+              e.gm * 1e-4);
+  b2 = bias;
+  b2.vds += h;
+  EXPECT_NEAR((evaluate_core(t.nmos, g, b2).id - e.id) / h, e.gds,
+              e.gds * 1e-3);
+  b2 = bias;
+  b2.vbs += h;
+  EXPECT_NEAR((evaluate_core(t.nmos, g, b2).id - e.id) / h, e.gmb,
+              e.gmb * 1e-3);
+}
+
+// ---- terminal frame -------------------------------------------------------
+
+TEST_F(Level1Test, TerminalNmosMatchesCore) {
+  const double vgs = t.nmos.vt0 + 0.3;
+  const TerminalEval te =
+      evaluate_terminal(t.nmos, MosType::kNmos, g, vgs, 2.0, 0.0, 0.0);
+  const CoreEval ce = evaluate_core(t.nmos, g, {vgs, 2.0, 0.0});
+  EXPECT_DOUBLE_EQ(te.id_ds, ce.id);
+  EXPECT_DOUBLE_EQ(te.di_dvg, ce.gm);
+  EXPECT_DOUBLE_EQ(te.di_dvd, ce.gds);
+  EXPECT_FALSE(te.swapped);
+}
+
+TEST_F(Level1Test, TerminalPmosSignConvention) {
+  // PMOS with source at 5 V, gate pulled low, drain at 0: conducts with
+  // current flowing source->drain, i.e. id_ds < 0.
+  const TerminalEval te = evaluate_terminal(t.pmos, MosType::kPmos, g,
+                                            /*vg=*/3.5, /*vd=*/0.0,
+                                            /*vs=*/5.0, /*vb=*/5.0);
+  EXPECT_EQ(te.region, Region::kSaturation);
+  EXPECT_LT(te.id_ds, 0.0);
+  EXPECT_GT(te.gm, 0.0);
+}
+
+TEST_F(Level1Test, TerminalSwapsWhenVdsNegative) {
+  const double vgs = t.nmos.vt0 + 0.4;
+  // Same device, drain and source exchanged: current reverses exactly.
+  const TerminalEval fwd =
+      evaluate_terminal(t.nmos, MosType::kNmos, g, vgs, 1.0, 0.0, 0.0);
+  // Terminals exchanged: the channel source is now the 0 V node (the
+  // "drain" pin), so the same gate voltage gives the mirror-image current.
+  const TerminalEval rev =
+      evaluate_terminal(t.nmos, MosType::kNmos, g, vgs, 0.0, 1.0, 0.0);
+  EXPECT_TRUE(rev.swapped);
+  EXPECT_NEAR(rev.id_ds, -fwd.id_ds, std::abs(fwd.id_ds) * 1e-12);
+}
+
+TEST_F(Level1Test, TerminalDerivativesFiniteDifference) {
+  // Check all four terminal derivatives, including a swapped case.
+  struct Case {
+    double vg, vd, vs, vb;
+    MosType type;
+  };
+  const Case cases[] = {
+      {1.3, 2.0, 0.0, -1.0, MosType::kNmos},
+      {1.3, 0.2, 0.0, 0.0, MosType::kNmos},
+      {1.5, 0.0, 2.0, 0.0, MosType::kNmos},  // swapped
+      {3.5, 0.0, 5.0, 5.0, MosType::kPmos},
+  };
+  for (const auto& c : cases) {
+    const tech::MosParams& p =
+        c.type == MosType::kNmos ? t.nmos : t.pmos;
+    const TerminalEval e =
+        evaluate_terminal(p, c.type, g, c.vg, c.vd, c.vs, c.vb);
+    const double h = 1e-7;
+    auto fd = [&](double dg, double dd, double ds, double db) {
+      const TerminalEval e2 = evaluate_terminal(
+          p, c.type, g, c.vg + dg, c.vd + dd, c.vs + ds, c.vb + db);
+      return (e2.id_ds - e.id_ds) / h;
+    };
+    const double tol = 1e-4 * std::max(std::abs(e.id_ds) / 0.01, 1e-9);
+    EXPECT_NEAR(fd(h, 0, 0, 0), e.di_dvg, tol) << "vg";
+    EXPECT_NEAR(fd(0, h, 0, 0), e.di_dvd, tol) << "vd";
+    EXPECT_NEAR(fd(0, 0, h, 0), e.di_dvs, tol) << "vs";
+    EXPECT_NEAR(fd(0, 0, 0, h), e.di_dvb, tol) << "vb";
+  }
+}
+
+// ---- capacitances ------------------------------------------------------------
+
+TEST_F(Level1Test, GateCapsByRegion) {
+  const double cox_total = t.cox * g.w * g.l;
+  const GateCaps sat = gate_caps(t.nmos, t.cox, g, Region::kSaturation);
+  EXPECT_NEAR(sat.cgs, (2.0 / 3.0) * cox_total + t.nmos.cgso * g.w, 1e-18);
+  EXPECT_NEAR(sat.cgd, t.nmos.cgdo * g.w, 1e-20);
+  const GateCaps tri = gate_caps(t.nmos, t.cox, g, Region::kTriode);
+  EXPECT_NEAR(tri.cgs, tri.cgd, 1e-18);  // symmetric split
+  const GateCaps off = gate_caps(t.nmos, t.cox, g, Region::kCutoff);
+  EXPECT_NEAR(off.cgb, cox_total, 1e-18);
+}
+
+TEST_F(Level1Test, JunctionCapShrinksWithReverseBias) {
+  const double area = t.diffusion_area(g.w);
+  const double perim = t.diffusion_perimeter(g.w);
+  const double c0 = junction_cap(t.nmos, area, perim, 0.0);
+  const double c5 = junction_cap(t.nmos, area, perim, 5.0);
+  EXPECT_GT(c0, c5);
+  EXPECT_GT(c5, 0.0);
+  // Forward bias clamps rather than blowing up.
+  const double cfwd = junction_cap(t.nmos, area, perim, -10.0);
+  EXPECT_TRUE(std::isfinite(cfwd));
+}
+
+// ---- design equations ------------------------------------------------------------
+
+TEST(DesignEqs, SquareLawInverses) {
+  const double kp = 24e-6;
+  const double id = 10e-6;
+  const double vov = 0.2;
+  const double wl = wl_for_current(kp, id, vov);
+  EXPECT_NEAR(vov_from_current(kp, id, wl), vov, 1e-12);
+  const double gm = gm_from_id_vov(id, vov);
+  EXPECT_NEAR(wl_for_gm(kp, gm, id), wl, wl * 1e-12);
+  EXPECT_NEAR(id_for_gm_vov(gm, vov), id, 1e-18);
+}
+
+TEST(DesignEqs, DesignedDeviceMatchesLevel1) {
+  // Size a device for a target (id, vov); the Level-1 model must agree.
+  const Technology t = tech::five_micron();
+  const double id = 20e-6;
+  const double vov = 0.25;
+  const double l = um(10.0);
+  const double w = width_for_current(t, t.nmos, l, id, vov);
+  const CoreEval e =
+      evaluate_core(t.nmos, {w, l, 1}, {t.nmos.vt0 + vov, vov, 0.0});
+  // At vds = vov (edge of saturation), CLM factor is 1 + lambda*vov.
+  EXPECT_NEAR(e.id, id * (1.0 + t.nmos.lambda_at(l) * vov), id * 1e-6);
+}
+
+TEST(DesignEqs, WidthClampsAtMinimum) {
+  const Technology t = tech::five_micron();
+  bool clamped = false;
+  const double w =
+      width_for_current(t, t.nmos, t.lmin, 0.05e-6, 0.5, &clamped);
+  EXPECT_TRUE(clamped);
+  EXPECT_DOUBLE_EQ(w, t.wmin);
+}
+
+TEST(DesignEqs, LengthForLambda) {
+  const Technology t = tech::five_micron();
+  const double l = length_for_lambda(t, t.nmos, 0.01);
+  EXPECT_NEAR(l, t.nmos.lambda_l / 0.01, 1e-12);
+  // Large lambda targets clamp to lmin.
+  EXPECT_DOUBLE_EQ(length_for_lambda(t, t.nmos, 1.0), t.lmin);
+}
+
+TEST(DesignEqs, RoutComposition) {
+  EXPECT_NEAR(rout_sat(0.02, 10e-6), 5e6, 1.0);
+  EXPECT_NEAR(parallel(1e6, 1e6), 5e5, 1.0);
+  const double casc = rout_cascode(100e-6, 1e6, 2e6);
+  EXPECT_GT(casc, 100e-6 * 1e6 * 2e6);  // gm*ro*ro dominates
+}
+
+TEST(DesignEqs, InvalidInputsThrow) {
+  EXPECT_THROW(wl_for_current(0.0, 1e-6, 0.2), std::invalid_argument);
+  EXPECT_THROW(gm_from_id_vov(1e-6, 0.0), std::invalid_argument);
+  EXPECT_THROW(rout_sat(0.02, 0.0), std::invalid_argument);
+  EXPECT_THROW(parallel(-1.0, 1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace oasys::mos

@@ -1,0 +1,337 @@
+#include <gtest/gtest.h>
+
+#include "core/context.h"
+#include "core/plan.h"
+#include "core/selector.h"
+#include "core/spec.h"
+#include "tech/builtin.h"
+
+namespace oasys::core {
+namespace {
+
+struct TestContext : DesignContext {
+  explicit TestContext(const tech::Technology& t) : DesignContext(t) {}
+};
+
+const tech::Technology& tech5() {
+  static const tech::Technology t = tech::five_micron();
+  return t;
+}
+
+// ---- context ----------------------------------------------------------------
+
+TEST(Context, VariableStore) {
+  TestContext ctx(tech5());
+  EXPECT_FALSE(ctx.has("x"));
+  EXPECT_THROW(ctx.get("x"), std::out_of_range);
+  EXPECT_DOUBLE_EQ(ctx.get_or("x", 7.0), 7.0);
+  ctx.set("x", 3.0);
+  EXPECT_TRUE(ctx.has("x"));
+  EXPECT_DOUBLE_EQ(ctx.get("x"), 3.0);
+  ctx.set("x", 4.0);  // overwrite
+  EXPECT_DOUBLE_EQ(ctx.get("x"), 4.0);
+}
+
+TEST(Context, Counters) {
+  TestContext ctx(tech5());
+  EXPECT_EQ(ctx.count("rule"), 0);
+  EXPECT_EQ(ctx.bump("rule"), 1);
+  EXPECT_EQ(ctx.bump("rule"), 2);
+  EXPECT_EQ(ctx.count("rule"), 2);
+  EXPECT_EQ(ctx.count("other"), 0);
+}
+
+// ---- plan execution ------------------------------------------------------------
+
+TEST(Plan, StraightLineSuccess) {
+  Plan<TestContext> plan("p");
+  plan.add_step("a", [](TestContext& ctx) {
+    ctx.set("a", 1.0);
+    return StepStatus::success();
+  });
+  plan.add_step("b", [](TestContext& ctx) {
+    ctx.set("b", ctx.get("a") + 1.0);
+    return StepStatus::success();
+  });
+  TestContext ctx(tech5());
+  const ExecutionTrace trace = execute_plan(plan, ctx);
+  EXPECT_TRUE(trace.success);
+  EXPECT_EQ(trace.steps_executed, 2);
+  EXPECT_EQ(trace.rules_fired, 0);
+  EXPECT_DOUBLE_EQ(ctx.get("b"), 2.0);
+}
+
+TEST(Plan, FailureWithNoRuleAborts) {
+  Plan<TestContext> plan("p");
+  plan.add_step("fail", [](TestContext&) {
+    return StepStatus::fail("boom", "always fails");
+  });
+  TestContext ctx(tech5());
+  const ExecutionTrace trace = execute_plan(plan, ctx);
+  EXPECT_FALSE(trace.success);
+  EXPECT_NE(trace.abort_reason.find("boom"), std::string::npos);
+}
+
+TEST(Plan, RuleRetriesStep) {
+  // The classic pattern: a step fails until a rule adjusts a variable.
+  Plan<TestContext> plan("p");
+  plan.add_step("check", [](TestContext& ctx) {
+    if (ctx.get_or("x", 0.0) < 3.0) {
+      return StepStatus::fail("too-small", "x below threshold");
+    }
+    return StepStatus::success();
+  });
+  plan.add_rule("grow-x",
+                [](TestContext& ctx, const StepFailure& f)
+                    -> std::optional<PatchAction> {
+                  if (f.code != "too-small") return std::nullopt;
+                  ctx.set("x", ctx.get_or("x", 0.0) + 1.0);
+                  return PatchAction::retry_step("grew x");
+                });
+  TestContext ctx(tech5());
+  const ExecutionTrace trace = execute_plan(plan, ctx);
+  EXPECT_TRUE(trace.success);
+  EXPECT_EQ(trace.rules_fired, 3);
+  EXPECT_TRUE(trace.rule_fired("grow-x"));
+  EXPECT_DOUBLE_EQ(ctx.get("x"), 3.0);
+}
+
+TEST(Plan, RuleRestartsAtEarlierStep) {
+  // Mirrors the paper's gain-partition example: a late failure skews an
+  // early decision and re-runs the plan from there.
+  Plan<TestContext> plan("p");
+  const std::size_t idx_partition =
+      plan.add_step("partition", [](TestContext& ctx) {
+        ctx.set("gain1", ctx.get_or("skew", 10.0));
+        return StepStatus::success();
+      });
+  plan.add_step("verify", [](TestContext& ctx) {
+    if (ctx.get("gain1") < 15.0) {
+      return StepStatus::fail("gain-shortfall", "stage 1 too weak");
+    }
+    return StepStatus::success();
+  });
+  plan.add_rule("skew-partition",
+                [idx_partition](TestContext& ctx, const StepFailure& f)
+                    -> std::optional<PatchAction> {
+                  if (f.code != "gain-shortfall") return std::nullopt;
+                  if (ctx.bump("skews") > 1) return std::nullopt;
+                  ctx.set("skew", 20.0);
+                  return PatchAction::restart_at(idx_partition, "skewed");
+                });
+  TestContext ctx(tech5());
+  const ExecutionTrace trace = execute_plan(plan, ctx);
+  EXPECT_TRUE(trace.success);
+  EXPECT_DOUBLE_EQ(ctx.get("gain1"), 20.0);
+  // partition ran twice, verify twice.
+  EXPECT_EQ(trace.steps_executed, 4);
+}
+
+TEST(Plan, RuleCanAbort) {
+  Plan<TestContext> plan("p");
+  plan.add_step("fail", [](TestContext&) {
+    return StepStatus::fail("fatal", "nope");
+  });
+  plan.add_rule("give-up",
+                [](TestContext&, const StepFailure& f)
+                    -> std::optional<PatchAction> {
+                  if (f.code != "fatal") return std::nullopt;
+                  return PatchAction::abort("inherent limitation");
+                });
+  TestContext ctx(tech5());
+  const ExecutionTrace trace = execute_plan(plan, ctx);
+  EXPECT_FALSE(trace.success);
+  EXPECT_NE(trace.abort_reason.find("give-up"), std::string::npos);
+}
+
+TEST(Plan, RuleCanAcceptAndContinue) {
+  Plan<TestContext> plan("p");
+  plan.add_step("strict", [](TestContext&) {
+    return StepStatus::fail("minor", "slightly off");
+  });
+  plan.add_step("after", [](TestContext& ctx) {
+    ctx.set("reached", 1.0);
+    return StepStatus::success();
+  });
+  plan.add_rule("accept",
+                [](TestContext&, const StepFailure&)
+                    -> std::optional<PatchAction> {
+                  return PatchAction::proceed("first-cut accept");
+                });
+  TestContext ctx(tech5());
+  const ExecutionTrace trace = execute_plan(plan, ctx);
+  EXPECT_TRUE(trace.success);
+  EXPECT_DOUBLE_EQ(ctx.get("reached"), 1.0);
+}
+
+TEST(Plan, PatchBudgetBoundsInfiniteLoops) {
+  Plan<TestContext> plan("p");
+  plan.add_step("fail", [](TestContext&) {
+    return StepStatus::fail("loop", "never fixed");
+  });
+  plan.add_rule("useless",
+                [](TestContext&, const StepFailure&)
+                    -> std::optional<PatchAction> {
+                  return PatchAction::retry_step("try again");
+                });
+  TestContext ctx(tech5());
+  ExecutorOptions opts;
+  opts.max_patches = 5;
+  const ExecutionTrace trace = execute_plan(plan, ctx, opts);
+  EXPECT_FALSE(trace.success);
+  EXPECT_EQ(trace.rules_fired, 5);
+  EXPECT_NE(trace.abort_reason.find("budget"), std::string::npos);
+}
+
+TEST(Plan, RulesCanBeDisabledForAblation) {
+  Plan<TestContext> plan("p");
+  plan.add_step("fail-once", [](TestContext& ctx) {
+    if (ctx.get_or("fixed", 0.0) == 0.0) {
+      return StepStatus::fail("needs-fix", "");
+    }
+    return StepStatus::success();
+  });
+  plan.add_rule("fix",
+                [](TestContext& ctx, const StepFailure&)
+                    -> std::optional<PatchAction> {
+                  ctx.set("fixed", 1.0);
+                  return PatchAction::retry_step("fixed");
+                });
+  TestContext with_rules(tech5());
+  EXPECT_TRUE(execute_plan(plan, with_rules).success);
+  TestContext without_rules(tech5());
+  ExecutorOptions opts;
+  opts.rules_enabled = false;
+  EXPECT_FALSE(execute_plan(plan, without_rules, opts).success);
+}
+
+TEST(Plan, FirstMatchingRuleWins) {
+  Plan<TestContext> plan("p");
+  plan.add_step("fail", [](TestContext& ctx) {
+    if (ctx.get_or("done", 0.0) != 0.0) return StepStatus::success();
+    return StepStatus::fail("f", "");
+  });
+  plan.add_rule("first",
+                [](TestContext& ctx, const StepFailure&)
+                    -> std::optional<PatchAction> {
+                  ctx.set("done", 1.0);
+                  ctx.set("who", 1.0);
+                  return PatchAction::retry_step("first");
+                });
+  plan.add_rule("second",
+                [](TestContext& ctx, const StepFailure&)
+                    -> std::optional<PatchAction> {
+                  ctx.set("done", 1.0);
+                  ctx.set("who", 2.0);
+                  return PatchAction::retry_step("second");
+                });
+  TestContext ctx(tech5());
+  EXPECT_TRUE(execute_plan(plan, ctx).success);
+  EXPECT_DOUBLE_EQ(ctx.get("who"), 1.0);
+}
+
+TEST(Plan, StepIndexLookup) {
+  Plan<TestContext> plan("p");
+  plan.add_step("alpha", [](TestContext&) { return StepStatus::success(); });
+  plan.add_step("beta", [](TestContext&) { return StepStatus::success(); });
+  EXPECT_EQ(plan.step_index("beta"), 1u);
+  EXPECT_THROW(plan.step_index("gamma"), std::out_of_range);
+}
+
+TEST(Plan, TraceRendering) {
+  Plan<TestContext> plan("p");
+  plan.add_step("s", [](TestContext&) {
+    return StepStatus::fail("code-z", "detail-z");
+  });
+  TestContext ctx(tech5());
+  const ExecutionTrace trace = execute_plan(plan, ctx);
+  const std::string s = trace.to_string();
+  EXPECT_NE(s.find("code-z"), std::string::npos);
+  EXPECT_NE(s.find("plan failed"), std::string::npos);
+}
+
+// ---- spec checking ------------------------------------------------------------
+
+TEST(Spec, ValidationCatchesNonsense) {
+  OpAmpSpec s;
+  s.cload = 0.0;
+  EXPECT_TRUE(s.validate().has_errors());
+  s.cload = 1e-12;
+  s.pm_min_deg = 95.0;
+  EXPECT_TRUE(s.validate().has_errors());
+  s.pm_min_deg = 60.0;
+  s.icmr_lo = 2.0;
+  s.icmr_hi = -2.0;
+  EXPECT_TRUE(s.validate().has_errors());
+  s.icmr_lo = -2.0;
+  s.icmr_hi = 2.0;
+  EXPECT_FALSE(s.validate().has_errors());
+}
+
+TEST(Spec, CheckCountsViolations) {
+  OpAmpSpec s;
+  s.cload = 1e-12;
+  s.gain_min_db = 60.0;
+  s.gbw_min = 1e6;
+  s.offset_max = 1e-3;
+  OpAmpPerformance p;
+  p.gain_db = 65.0;   // ok
+  p.gbw = 0.5e6;      // violated
+  p.offset = 2e-3;    // violated
+  const auto checks = check_spec(s, p);
+  EXPECT_EQ(violation_count(checks), 2);
+}
+
+TEST(Spec, ToleranceLoosensBounds) {
+  OpAmpSpec s;
+  s.cload = 1e-12;
+  s.gbw_min = 1e6;
+  OpAmpPerformance p;
+  p.gbw = 0.95e6;
+  EXPECT_EQ(violation_count(check_spec(s, p, 0.0)), 1);
+  EXPECT_EQ(violation_count(check_spec(s, p, 0.10)), 0);
+}
+
+TEST(Spec, UnconstrainedAxesNeverViolate) {
+  OpAmpSpec s;
+  s.cload = 1e-12;  // everything else unconstrained
+  OpAmpPerformance p;  // all zeros
+  EXPECT_EQ(violation_count(check_spec(s, p)), 0);
+}
+
+// ---- selector ---------------------------------------------------------------------
+
+TEST(Selector, PrefersFewestViolationsThenArea) {
+  std::vector<StyleScore> scores = {
+      {"big-clean", true, 0, 9e-9},
+      {"small-clean", true, 0, 5e-9},
+      {"tiny-dirty", true, 1, 1e-9},
+      {"broken", false, 0, 1e-10},
+  };
+  const SelectionResult r = select_style(scores);
+  ASSERT_TRUE(r.best.has_value());
+  EXPECT_EQ(*r.best, 1u);  // small-clean
+  ASSERT_EQ(r.ranking.size(), 3u);
+  EXPECT_EQ(r.ranking[0], 1u);
+  EXPECT_EQ(r.ranking[1], 0u);
+  EXPECT_EQ(r.ranking[2], 2u);
+  EXPECT_NE(r.summary.find("selected"), std::string::npos);
+}
+
+TEST(Selector, NoFeasibleCandidates) {
+  const SelectionResult r = select_style({{"a", false, 0, 1.0}});
+  EXPECT_FALSE(r.best.has_value());
+  EXPECT_TRUE(r.ranking.empty());
+}
+
+TEST(Selector, FirstCutBeatsNothing) {
+  const SelectionResult r = select_style({
+      {"infeasible", false, 0, 1.0},
+      {"first-cut", true, 2, 2.0},
+  });
+  ASSERT_TRUE(r.best.has_value());
+  EXPECT_EQ(*r.best, 1u);
+}
+
+}  // namespace
+}  // namespace oasys::core

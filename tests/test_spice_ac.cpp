@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "numeric/interpolate.h"
+#include "spice/ac.h"
+#include "spice/measure.h"
+#include "tech/builtin.h"
+#include "util/units.h"
+
+namespace oasys::sim {
+namespace {
+
+using ckt::Circuit;
+using ckt::Waveform;
+using tech::Technology;
+using util::kTwoPi;
+using util::um;
+
+const Technology& tech5() {
+  static const Technology t = tech::five_micron();
+  return t;
+}
+
+TEST(Ac, RcLowpassPoleAndPhase) {
+  Circuit c;
+  const auto in = c.node("in");
+  const auto out = c.node("out");
+  c.add_vsource("V1", in, ckt::kGround, Waveform::ac(0.0, 1.0));
+  const double r = 1e3;
+  const double cap = 1e-9;  // pole at 159 kHz
+  c.add_resistor("R1", in, out, r);
+  c.add_capacitor("C1", out, ckt::kGround, cap);
+  const double fp = 1.0 / (kTwoPi * r * cap);
+
+  const OpResult op = dc_operating_point(c, tech5());
+  ASSERT_TRUE(op.converged);
+  const AcResult ac =
+      ac_analysis(c, tech5(), op, {fp / 100.0, fp, fp * 100.0});
+  ASSERT_TRUE(ac.ok) << ac.error;
+  MnaLayout layout(c);
+  // Far below the pole: unity gain, ~0 phase.
+  EXPECT_NEAR(std::abs(ac.voltage(layout, 0, out)), 1.0, 1e-3);
+  // At the pole: -3 dB and -45 degrees.
+  const auto vp = ac.voltage(layout, 1, out);
+  EXPECT_NEAR(util::db20(std::abs(vp)), -3.0103, 0.01);
+  EXPECT_NEAR(util::deg(std::arg(vp)), -45.0, 0.1);
+  // Two decades above: -40 dB.
+  EXPECT_NEAR(util::db20(std::abs(ac.voltage(layout, 2, out))), -40.0, 0.1);
+}
+
+TEST(Ac, CommonSourceAmpGainMatchesSmallSignal) {
+  const Technology& t = tech5();
+  Circuit c;
+  const auto vdd = c.node("vdd");
+  const auto in = c.node("in");
+  const auto out = c.node("out");
+  c.add_vsource("VDD", vdd, ckt::kGround, Waveform::dc(5.0));
+  // Bias the gate in saturation; AC ride on the gate.
+  c.add_vsource("VIN", in, ckt::kGround, Waveform::ac(1.2, 1.0));
+  c.add_mosfet("M1", out, in, ckt::kGround, ckt::kGround,
+               mos::MosType::kNmos, um(50.0), um(5.0));
+  const double rl = 50e3;
+  c.add_resistor("RL", vdd, out, rl);
+
+  const OpResult op = dc_operating_point(c, t);
+  ASSERT_TRUE(op.converged);
+  ASSERT_EQ(op.devices[0].region, mos::Region::kSaturation);
+  const double gm = op.devices[0].gm;
+  const double gds = op.devices[0].gds;
+  const double expected_gain = gm * (rl / (1.0 + gds * rl));
+
+  const AcResult ac = ac_analysis(c, t, op, {10.0});
+  ASSERT_TRUE(ac.ok);
+  MnaLayout layout(c);
+  const auto v = ac.voltage(layout, 0, out);
+  EXPECT_NEAR(std::abs(v), expected_gain, expected_gain * 1e-3);
+  // Inverting stage: phase ~180.
+  EXPECT_NEAR(std::abs(util::deg(std::arg(v))), 180.0, 0.5);
+}
+
+TEST(Ac, FailsWithoutConvergedOp) {
+  Circuit c;
+  c.add_resistor("R", c.node("a"), ckt::kGround, 1e3);
+  OpResult bad;
+  bad.converged = false;
+  const AcResult ac = ac_analysis(c, tech5(), bad, {1.0});
+  EXPECT_FALSE(ac.ok);
+}
+
+TEST(Ac, RejectsNonPositiveFrequency) {
+  Circuit c;
+  const auto n = c.node("n");
+  c.add_vsource("V", n, ckt::kGround, Waveform::ac(0.0, 1.0));
+  c.add_resistor("R", n, ckt::kGround, 1e3);
+  const OpResult op = dc_operating_point(c, tech5());
+  const AcResult ac = ac_analysis(c, tech5(), op, {0.0});
+  EXPECT_FALSE(ac.ok);
+}
+
+// ---- measurement layer --------------------------------------------------------
+
+TEST(Measure, BodeAndMetricsOfRcCascade) {
+  // Two RC poles: DC gain 0 dB, f1 = 159 kHz, f2 = 1.59 MHz (buffered by
+  // ideal separation through a big impedance ratio).
+  Circuit c;
+  const auto in = c.node("in");
+  const auto n1 = c.node("n1");
+  const auto n2 = c.node("n2");
+  c.add_vsource("V1", in, ckt::kGround, Waveform::ac(0.0, 1.0));
+  c.add_resistor("R1", in, n1, 1e3);
+  c.add_capacitor("C1", n1, ckt::kGround, 1e-9);
+  c.add_resistor("R2", n1, n2, 1e6);  // light loading of the first section
+  c.add_capacitor("C2", n2, ckt::kGround, 1e-13);
+
+  const OpResult op = dc_operating_point(c, tech5());
+  ASSERT_TRUE(op.converged);
+  const auto freqs = num::logspace(1e3, 1e8, 101);
+  const AcResult ac = ac_analysis(c, tech5(), op, freqs);
+  ASSERT_TRUE(ac.ok);
+  MnaLayout layout(c);
+  const BodeSeries bode = bode_of_node(ac, layout, n2);
+  const LoopMetrics m = loop_metrics(bode);
+  EXPECT_NEAR(m.dc_gain_db, 0.0, 0.1);
+  ASSERT_TRUE(m.bandwidth_3db.has_value());
+  EXPECT_NEAR(*m.bandwidth_3db, 159e3, 8e3);
+  // Phase is unwrapped: far above both poles it approaches -180.
+  EXPECT_LT(bode.phase_deg.back(), -150.0);
+}
+
+TEST(Measure, IntegratorUnityGainAndPhaseMargin) {
+  // R-C integrator from a 0 dB reference at f = 1/(2 pi R C): unity-gain
+  // crossing with 90 degrees of margin.
+  Circuit c;
+  const auto in = c.node("in");
+  const auto out = c.node("out");
+  c.add_vsource("V1", in, ckt::kGround, Waveform::ac(0.0, 1000.0));
+  // Gain 1000 at DC rolled off by one pole at 100 Hz -> ugf ~ 100 kHz.
+  c.add_resistor("R1", in, out, 1.59e3);
+  c.add_capacitor("C1", out, ckt::kGround, 1e-6);
+
+  const OpResult op = dc_operating_point(c, tech5());
+  const auto freqs = num::logspace(1.0, 1e7, 141);
+  const AcResult ac = ac_analysis(c, tech5(), op, freqs);
+  ASSERT_TRUE(ac.ok);
+  MnaLayout layout(c);
+  const LoopMetrics m = loop_metrics(bode_of_node(ac, layout, out));
+  ASSERT_TRUE(m.unity_gain_freq.has_value());
+  EXPECT_NEAR(*m.unity_gain_freq, 1000.0 / (util::kTwoPi * 1.59e3 * 1e-6),
+              *m.unity_gain_freq * 0.05);
+  ASSERT_TRUE(m.phase_margin_deg.has_value());
+  EXPECT_NEAR(*m.phase_margin_deg, 90.0, 2.0);
+}
+
+TEST(Measure, FirstCrossingNoneWhenGainBelowUnity) {
+  BodeSeries b;
+  b.freqs = {1.0, 10.0, 100.0};
+  b.gain_db = {-5.0, -10.0, -20.0};
+  b.phase_deg = {0.0, -30.0, -60.0};
+  const LoopMetrics m = loop_metrics(b);
+  EXPECT_FALSE(m.unity_gain_freq.has_value());
+  EXPECT_FALSE(m.phase_margin_deg.has_value());
+}
+
+}  // namespace
+}  // namespace oasys::sim

@@ -1,0 +1,287 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "netlist/circuit.h"
+#include "spice/dc.h"
+#include "spice/sweep.h"
+#include "tech/builtin.h"
+#include "util/units.h"
+
+namespace oasys::sim {
+namespace {
+
+using ckt::Circuit;
+using ckt::Waveform;
+using tech::Technology;
+using util::um;
+
+const Technology& tech5() {
+  static const Technology t = tech::five_micron();
+  return t;
+}
+
+TEST(DcLinear, VoltageDivider) {
+  Circuit c;
+  const auto vin = c.node("in");
+  const auto mid = c.node("mid");
+  c.add_vsource("V1", vin, ckt::kGround, Waveform::dc(10.0));
+  c.add_resistor("R1", vin, mid, 1e3);
+  c.add_resistor("R2", mid, ckt::kGround, 3e3);
+  const OpResult op = dc_operating_point(c, tech5());
+  ASSERT_TRUE(op.converged);
+  MnaLayout layout(c);
+  EXPECT_NEAR(op.voltage(layout, mid), 7.5, 1e-6);
+  // Branch current flows pos->neg through the source: -10/4k.
+  EXPECT_NEAR(op.branch_current(layout, 0), -2.5e-3, 1e-9);
+}
+
+TEST(DcLinear, CurrentSourceIntoResistor) {
+  Circuit c;
+  const auto n = c.node("n");
+  c.add_isource("I1", ckt::kGround, n, Waveform::dc(1e-3));
+  c.add_resistor("R1", n, ckt::kGround, 2e3);
+  const OpResult op = dc_operating_point(c, tech5());
+  ASSERT_TRUE(op.converged);
+  MnaLayout layout(c);
+  EXPECT_NEAR(op.voltage(layout, n), 2.0, 1e-6);
+}
+
+TEST(DcLinear, SupplyPowerBookkeeping) {
+  Circuit c;
+  const auto n = c.node("n");
+  c.add_vsource("V1", n, ckt::kGround, Waveform::dc(5.0));
+  c.add_resistor("R1", n, ckt::kGround, 1e3);
+  const OpResult op = dc_operating_point(c, tech5());
+  ASSERT_TRUE(op.converged);
+  MnaLayout layout(c);
+  EXPECT_NEAR(supply_power(c, layout, op), 25e-3, 1e-9);
+}
+
+TEST(DcLinear, CapacitorIsOpenAtDc) {
+  Circuit c;
+  const auto a = c.node("a");
+  const auto b = c.node("b");
+  c.add_vsource("V1", a, ckt::kGround, Waveform::dc(1.0));
+  c.add_resistor("R1", a, b, 1e3);
+  c.add_capacitor("C1", b, ckt::kGround, 1e-9);
+  const OpResult op = dc_operating_point(c, tech5());
+  ASSERT_TRUE(op.converged);
+  MnaLayout layout(c);
+  // No DC path through the cap: node b floats up to the source value.
+  EXPECT_NEAR(op.voltage(layout, b), 1.0, 1e-3);
+}
+
+// ---- MOS circuits -------------------------------------------------------------
+
+TEST(DcMos, DiodeConnectedDevice) {
+  const Technology& t = tech5();
+  Circuit c;
+  const auto d = c.node("d");
+  const auto vdd = c.node("vdd");
+  c.add_vsource("VDD", vdd, ckt::kGround, Waveform::dc(5.0));
+  c.add_resistor("R1", vdd, d, 100e3);
+  c.add_mosfet("M1", d, d, ckt::kGround, ckt::kGround, mos::MosType::kNmos,
+               um(50.0), um(5.0));
+  const OpResult op = dc_operating_point(c, t);
+  ASSERT_TRUE(op.converged);
+  MnaLayout layout(c);
+  const double vgs = op.voltage(layout, d);
+  // Current through R equals the device current; VGS above threshold.
+  EXPECT_GT(vgs, t.nmos.vt0);
+  EXPECT_LT(vgs, 2.0);
+  const double ir = (5.0 - vgs) / 100e3;
+  EXPECT_NEAR(op.devices[0].id, ir, ir * 1e-3);
+  EXPECT_EQ(op.devices[0].region, mos::Region::kSaturation);
+}
+
+TEST(DcMos, SimpleCurrentMirrorCopiesCurrent) {
+  const Technology& t = tech5();
+  Circuit c;
+  const auto vdd = c.node("vdd");
+  const auto g = c.node("g");
+  const auto o = c.node("o");
+  c.add_vsource("VDD", vdd, ckt::kGround, Waveform::dc(5.0));
+  c.add_isource("IREF", vdd, g, Waveform::dc(util::ua(20.0)));
+  c.add_mosfet("M1", g, g, ckt::kGround, ckt::kGround, mos::MosType::kNmos,
+               um(50.0), um(10.0));
+  c.add_mosfet("M2", o, g, ckt::kGround, ckt::kGround, mos::MosType::kNmos,
+               um(50.0), um(10.0));
+  c.add_resistor("RL", vdd, o, 50e3);
+  const OpResult op = dc_operating_point(c, t);
+  ASSERT_TRUE(op.converged);
+  MnaLayout layout(c);
+  const double iout = (5.0 - op.voltage(layout, o)) / 50e3;
+  // Mirrored within channel-length-modulation error (< ~5%).
+  EXPECT_NEAR(iout, util::ua(20.0), util::ua(1.5));
+}
+
+TEST(DcMos, CmosInverterTransfersLogicLevels) {
+  const Technology& t = tech5();
+  Circuit c;
+  const auto vdd = c.node("vdd");
+  const auto in = c.node("in");
+  const auto out = c.node("out");
+  c.add_vsource("VDD", vdd, ckt::kGround, Waveform::dc(5.0));
+  c.add_vsource("VIN", in, ckt::kGround, Waveform::dc(0.0));
+  c.add_mosfet("MN", out, in, ckt::kGround, ckt::kGround,
+               mos::MosType::kNmos, um(10.0), um(5.0));
+  c.add_mosfet("MP", out, in, vdd, vdd, mos::MosType::kPmos, um(25.0),
+               um(5.0));
+  MnaLayout layout(c);
+
+  const OpResult low = dc_operating_point(c, t);
+  ASSERT_TRUE(low.converged);
+  EXPECT_GT(low.voltage(layout, out), 4.9);  // input low -> output high
+
+  c.vsource(*c.find_vsource("VIN")).wave = Waveform::dc(5.0);
+  const OpResult high = dc_operating_point(c, t);
+  ASSERT_TRUE(high.converged);
+  EXPECT_LT(high.voltage(layout, out), 0.1);
+}
+
+TEST(DcMos, KclResidualIsTiny) {
+  // Property: at a converged OP the nodal residual is below abstol.
+  const Technology& t = tech5();
+  Circuit c;
+  const auto vdd = c.node("vdd");
+  const auto g = c.node("g");
+  const auto o = c.node("o");
+  c.add_vsource("VDD", vdd, ckt::kGround, Waveform::dc(5.0));
+  c.add_isource("IREF", vdd, g, Waveform::dc(util::ua(10.0)));
+  c.add_mosfet("M1", g, g, ckt::kGround, ckt::kGround, mos::MosType::kNmos,
+               um(20.0), um(5.0));
+  c.add_mosfet("M2", o, g, ckt::kGround, ckt::kGround, mos::MosType::kNmos,
+               um(20.0), um(5.0));
+  c.add_resistor("RL", vdd, o, 100e3);
+  const OpResult op = dc_operating_point(c, t);
+  ASSERT_TRUE(op.converged);
+
+  NonlinearSystem sys(c, t);
+  std::vector<double> f;
+  NonlinearSystem::EvalOptions eo;
+  sys.eval(op.solution, eo, nullptr, &f);
+  for (std::size_t i = 0; i < sys.layout().num_node_unknowns(); ++i) {
+    EXPECT_LT(std::abs(f[i]), 1e-8) << "node " << i;
+  }
+}
+
+TEST(DcMos, WarmStartConvergesFaster) {
+  const Technology& t = tech5();
+  Circuit c;
+  const auto vdd = c.node("vdd");
+  const auto g = c.node("g");
+  c.add_vsource("VDD", vdd, ckt::kGround, Waveform::dc(5.0));
+  c.add_isource("IREF", vdd, g, Waveform::dc(util::ua(10.0)));
+  c.add_mosfet("M1", g, g, ckt::kGround, ckt::kGround, mos::MosType::kNmos,
+               um(20.0), um(5.0));
+  const OpResult cold = dc_operating_point(c, t);
+  ASSERT_TRUE(cold.converged);
+  OpOptions warm_opts;
+  warm_opts.initial_guess = cold.solution;
+  const OpResult warm = dc_operating_point(c, t, warm_opts);
+  ASSERT_TRUE(warm.converged);
+  EXPECT_LE(warm.total_iterations, cold.total_iterations);
+}
+
+// ---- sweeps ------------------------------------------------------------------
+
+TEST(DcSweep, InverterTransferCurveIsMonotone) {
+  const Technology& t = tech5();
+  Circuit c;
+  const auto vdd = c.node("vdd");
+  const auto in = c.node("in");
+  const auto out = c.node("out");
+  c.add_vsource("VDD", vdd, ckt::kGround, Waveform::dc(5.0));
+  c.add_vsource("VIN", in, ckt::kGround, Waveform::dc(0.0));
+  c.add_mosfet("MN", out, in, ckt::kGround, ckt::kGround,
+               mos::MosType::kNmos, um(10.0), um(5.0));
+  c.add_mosfet("MP", out, in, vdd, vdd, mos::MosType::kPmos, um(25.0),
+               um(5.0));
+  std::vector<double> values;
+  for (double v = 0.0; v <= 5.0 + 1e-9; v += 0.25) values.push_back(v);
+  const DcSweepResult sweep = dc_sweep_vsource(c, t, "VIN", values);
+  ASSERT_TRUE(sweep.ok) << sweep.error;
+  MnaLayout layout(c);
+  const auto vout = sweep.node_voltages(layout, out);
+  for (std::size_t i = 1; i < vout.size(); ++i) {
+    EXPECT_LE(vout[i], vout[i - 1] + 1e-6);
+  }
+  // Source restored after the sweep.
+  EXPECT_DOUBLE_EQ(c.vsources()[*c.find_vsource("VIN")].wave.dc_value(),
+                   0.0);
+}
+
+TEST(DcSweep, UnknownSourceFails) {
+  Circuit c;
+  c.add_resistor("R", c.node("a"), ckt::kGround, 1e3);
+  const Technology& t = tech5();
+  const DcSweepResult sweep = dc_sweep_vsource(c, t, "NOPE", {0.0});
+  EXPECT_FALSE(sweep.ok);
+}
+
+}  // namespace
+}  // namespace oasys::sim
+
+namespace oasys::sim {
+namespace {
+
+TEST(DcHomotopy, SteppingRescuesCrippledNewton) {
+  // A stiff multi-device circuit (diode stack + mirror + gain stage) with
+  // the per-solve Newton budget cut low: the plain attempt must fail and a
+  // continuation strategy must still find the operating point.
+  const tech::Technology& t = tech::five_micron();
+  ckt::Circuit c;
+  const auto vdd = c.node("vdd");
+  const auto vbn = c.node("vbn");
+  const auto vbn2 = c.node("vbn2");
+  const auto out = c.node("out");
+  const auto mid = c.node("mid");
+  c.add_vsource("VDD", vdd, ckt::kGround, ckt::Waveform::dc(10.0));
+  c.add_resistor("RREF", vdd, vbn2, 300e3);
+  c.add_mosfet("MB1", vbn, vbn, ckt::kGround, ckt::kGround,
+               mos::MosType::kNmos, util::um(50.0), util::um(10.0));
+  c.add_mosfet("MB2", vbn2, vbn2, vbn, ckt::kGround, mos::MosType::kNmos,
+               util::um(50.0), util::um(5.0));
+  c.add_mosfet("M5", mid, vbn, ckt::kGround, ckt::kGround,
+               mos::MosType::kNmos, util::um(100.0), util::um(10.0));
+  c.add_mosfet("M6", out, mid, vdd, vdd, mos::MosType::kPmos,
+               util::um(200.0), util::um(5.0));
+  c.add_mosfet("M7", out, vbn, ckt::kGround, ckt::kGround,
+               mos::MosType::kNmos, util::um(100.0), util::um(10.0));
+  c.add_resistor("RMID", vdd, mid, 200e3);
+
+  OpOptions crippled;
+  crippled.max_iterations = 16;  // too few for cold Newton on this circuit
+  const OpResult op = dc_operating_point(c, t, crippled);
+  ASSERT_TRUE(op.converged);
+  EXPECT_NE(op.strategy, "newton");
+
+  // The full-budget solve agrees with the continuation result.
+  const OpResult ref = dc_operating_point(c, t);
+  ASSERT_TRUE(ref.converged);
+  MnaLayout layout(c);
+  EXPECT_NEAR(op.voltage(layout, out), ref.voltage(layout, out), 1e-4);
+  EXPECT_NEAR(op.voltage(layout, vbn), ref.voltage(layout, vbn), 1e-4);
+}
+
+TEST(DcHomotopy, AllStrategiesDisabledFailsGracefully) {
+  const tech::Technology& t = tech::five_micron();
+  ckt::Circuit c;
+  const auto vdd = c.node("vdd");
+  const auto d = c.node("d");
+  c.add_vsource("VDD", vdd, ckt::kGround, ckt::Waveform::dc(5.0));
+  c.add_resistor("R1", vdd, d, 100e3);
+  c.add_mosfet("M1", d, d, ckt::kGround, ckt::kGround, mos::MosType::kNmos,
+               util::um(50.0), util::um(5.0));
+  OpOptions opts;
+  opts.max_iterations = 1;  // guaranteed failure
+  opts.try_gmin_stepping = false;
+  opts.try_source_stepping = false;
+  const OpResult op = dc_operating_point(c, t, opts);
+  EXPECT_FALSE(op.converged);
+  EXPECT_FALSE(op.solution.empty());  // best iterate still reported
+}
+
+}  // namespace
+}  // namespace oasys::sim

@@ -1,0 +1,189 @@
+// Noise analysis: analytic checks (resistor 4kTR, the kT/C theorem, MOS
+// channel noise), plus the synthesized op amps' noise closed through the
+// simulator against the designers' thermal predictions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "numeric/interpolate.h"
+#include "spice/noise.h"
+#include "synth/oasys.h"
+#include "synth/test_cases.h"
+#include "synth/testbench.h"
+#include "tech/builtin.h"
+#include "util/units.h"
+
+namespace oasys::sim {
+namespace {
+
+using ckt::Circuit;
+using ckt::Waveform;
+using tech::Technology;
+using util::um;
+
+const Technology& tech5() {
+  static const Technology t = tech::five_micron();
+  return t;
+}
+
+constexpr double kFourKT = 4.0 * util::kBoltzmann * util::kRoomTempK;
+
+TEST(Noise, ResistorJohnsonNoise) {
+  // A resistor to ground: output voltage PSD = 4kTR, flat.
+  Circuit c;
+  const auto n = c.node("n");
+  const double r = 100e3;
+  c.add_resistor("R1", n, ckt::kGround, r);
+  // A second huge resistor keeps the node from being shunt-only.
+  c.add_resistor("R2", n, ckt::kGround, 1e12);
+  const OpResult op = dc_operating_point(c, tech5());
+  ASSERT_TRUE(op.converged);
+  const NoiseResult nr =
+      noise_analysis(c, tech5(), op, n, {10.0, 1e3, 1e6});
+  ASSERT_TRUE(nr.ok) << nr.error;
+  for (const double psd : nr.output_psd) {
+    EXPECT_NEAR(psd, kFourKT * r, kFourKT * r * 1e-3);
+  }
+}
+
+TEST(Noise, ParallelResistorsCombine) {
+  // Two resistors in parallel: PSD = 4kT * (R1 || R2).
+  Circuit c;
+  const auto n = c.node("n");
+  c.add_resistor("R1", n, ckt::kGround, 50e3);
+  c.add_resistor("R2", n, ckt::kGround, 200e3);
+  const OpResult op = dc_operating_point(c, tech5());
+  const NoiseResult nr = noise_analysis(c, tech5(), op, n, {1e3});
+  ASSERT_TRUE(nr.ok);
+  EXPECT_NEAR(nr.output_psd[0], kFourKT * 40e3, kFourKT * 40e3 * 1e-3);
+}
+
+TEST(Noise, KtOverCTheorem) {
+  // RC lowpass: integrated output noise = sqrt(kT/C), independent of R.
+  for (const double r : {1e3, 100e3}) {
+    Circuit c;
+    const auto n = c.node("n");
+    const double cap = 10e-12;
+    c.add_resistor("R1", n, ckt::kGround, r);
+    c.add_capacitor("C1", n, ckt::kGround, cap);
+    const OpResult op = dc_operating_point(c, tech5());
+    // Integrate well past the pole.
+    const double fp = 1.0 / (util::kTwoPi * r * cap);
+    const NoiseResult nr = noise_analysis(
+        c, tech5(), op, n, num::logspace(fp * 1e-3, fp * 1e3, 241));
+    ASSERT_TRUE(nr.ok);
+    const double expected =
+        std::sqrt(util::kBoltzmann * util::kRoomTempK / cap);
+    EXPECT_NEAR(nr.integrated_rms(), expected, expected * 0.03)
+        << "R = " << r;
+  }
+}
+
+TEST(Noise, MosChannelThermalNoise) {
+  // Common-source amp: output PSD ~ (4kT*2/3*gm + 4kT/RL) * Rout^2.
+  const Technology& t = tech5();
+  Circuit c;
+  const auto vdd = c.node("vdd");
+  const auto in = c.node("in");
+  const auto out = c.node("out");
+  c.add_vsource("VDD", vdd, ckt::kGround, Waveform::dc(5.0));
+  c.add_vsource("VIN", in, ckt::kGround, Waveform::dc(1.2));
+  c.add_mosfet("M1", out, in, ckt::kGround, ckt::kGround,
+               mos::MosType::kNmos, um(50.0), um(5.0));
+  const double rl = 50e3;
+  c.add_resistor("RL", vdd, out, rl);
+  const OpResult op = dc_operating_point(c, t);
+  ASSERT_TRUE(op.converged);
+  const double gm = op.devices[0].gm;
+  const double gds = op.devices[0].gds;
+  const double rout = 1.0 / (1.0 / rl + gds);
+  // High enough that flicker is negligible, low enough to be in-band.
+  const NoiseResult nr = noise_analysis(c, t, op, out, {10e6});
+  ASSERT_TRUE(nr.ok);
+  const double expected =
+      (kFourKT * (2.0 / 3.0) * gm + kFourKT / rl) * rout * rout;
+  EXPECT_NEAR(nr.output_psd[0], expected, expected * 0.05);
+}
+
+TEST(Noise, FlickerDominatesAtLowFrequency) {
+  const Technology& t = tech5();
+  Circuit c;
+  const auto vdd = c.node("vdd");
+  const auto in = c.node("in");
+  const auto out = c.node("out");
+  c.add_vsource("VDD", vdd, ckt::kGround, Waveform::dc(5.0));
+  c.add_vsource("VIN", in, ckt::kGround, Waveform::dc(1.2));
+  c.add_mosfet("M1", out, in, ckt::kGround, ckt::kGround,
+               mos::MosType::kNmos, um(50.0), um(5.0));
+  c.add_resistor("RL", vdd, out, 50e3);
+  const OpResult op = dc_operating_point(c, t);
+  const NoiseResult nr =
+      noise_analysis(c, t, op, out, {10.0, 100.0, 1e7});
+  ASSERT_TRUE(nr.ok);
+  // 1/f: a decade down in frequency is a decade up in PSD.
+  EXPECT_NEAR(nr.output_psd[0] / nr.output_psd[1], 10.0, 1.5);
+  // Far above the corner the PSD flattens (thermal floor).
+  EXPECT_LT(nr.output_psd[2], nr.output_psd[1]);
+  // The ranked contributors include M1's flicker at the last frequency.
+  ASSERT_FALSE(nr.top_contributors.empty());
+}
+
+TEST(Noise, RejectsBadInputs) {
+  Circuit c;
+  const auto n = c.node("n");
+  c.add_resistor("R1", n, ckt::kGround, 1e3);
+  OpResult bad;
+  bad.converged = false;
+  EXPECT_FALSE(noise_analysis(c, tech5(), bad, n, {1.0}).ok);
+  const OpResult op = dc_operating_point(c, tech5());
+  EXPECT_FALSE(noise_analysis(c, tech5(), op, ckt::kGround, {1.0}).ok);
+  EXPECT_FALSE(noise_analysis(c, tech5(), op, n, {0.0}).ok);
+}
+
+// ---- synthesized op amps --------------------------------------------------
+
+TEST(OpAmpNoise, MeasuredWhiteNoiseNearPrediction) {
+  using namespace oasys::synth;
+  const SynthesisResult r = synthesize_opamp(tech5(), spec_case_b());
+  ASSERT_TRUE(r.success());
+  MeasureOptions mo;
+  mo.measure_slew = false;
+  mo.measure_icmr = false;
+  const MeasuredOpAmp m = measure_opamp(*r.best(), tech5(), mo);
+  ASSERT_TRUE(m.ok) << m.error;
+  ASSERT_TRUE(m.noise.ok) << m.noise.error;
+  EXPECT_GT(m.perf.noise_in, 0.0);
+  // The designer predicts thermal-only noise; the measurement at 0.3*GBW
+  // includes residual flicker, so allow [0.7x, 3x].
+  const double pred = r.best()->predicted.noise_in;
+  EXPECT_GT(m.perf.noise_in, pred * 0.7);
+  EXPECT_LT(m.perf.noise_in, pred * 3.0);
+}
+
+TEST(OpAmpNoise, NoiseSpecDrivesUpInputGm) {
+  using namespace oasys::synth;
+  core::OpAmpSpec spec = spec_case_a();
+  const OpAmpDesign loose = design_one_stage_ota(tech5(), spec);
+  ASSERT_TRUE(loose.feasible);
+  ASSERT_GT(loose.predicted.noise_in, 0.0);
+
+  // Demand half the noise the unconstrained design achieves.
+  spec.noise_max = 0.5 * loose.predicted.noise_in;
+  spec.power_max = 0.0;  // let the current rise
+  const OpAmpDesign tight = design_one_stage_ota(tech5(), spec);
+  ASSERT_TRUE(tight.feasible) << tight.trace.to_string();
+  EXPECT_TRUE(tight.trace.rule_fired("raise-gm1-for-noise"));
+  EXPECT_LE(tight.predicted.noise_in, spec.noise_max * 1.001);
+  EXPECT_GT(tight.itail, loose.itail);  // the noise was paid for in power
+}
+
+TEST(OpAmpNoise, ImpossibleNoiseSpecFails) {
+  using namespace oasys::synth;
+  core::OpAmpSpec spec = spec_case_a();
+  spec.noise_max = 1e-9;  // 1 nV/rtHz in 5 um CMOS at these currents: no
+  const OpAmpDesign d = design_one_stage_ota(tech5(), spec);
+  EXPECT_FALSE(d.feasible);
+}
+
+}  // namespace
+}  // namespace oasys::sim

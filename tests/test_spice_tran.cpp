@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "spice/measure.h"
+#include "spice/tran.h"
+#include "tech/builtin.h"
+#include "util/units.h"
+
+namespace oasys::sim {
+namespace {
+
+using ckt::Circuit;
+using ckt::Waveform;
+using tech::Technology;
+using util::um;
+
+const Technology& tech5() {
+  static const Technology t = tech::five_micron();
+  return t;
+}
+
+TEST(Tran, RcChargingCurve) {
+  Circuit c;
+  const auto in = c.node("in");
+  const auto out = c.node("out");
+  const double r = 1e3;
+  const double cap = 1e-9;
+  const double tau = r * cap;
+  c.add_vsource("V1", in, ckt::kGround,
+                Waveform::pulse(0.0, 1.0, 0.0, 1e-12, 1e-12, 1.0, 2.0));
+  c.add_resistor("R1", in, out, r);
+  c.add_capacitor("C1", out, ckt::kGround, cap);
+
+  const OpResult op = dc_operating_point(c, tech5());
+  ASSERT_TRUE(op.converged);
+  TranOptions to;
+  to.tstop = 5.0 * tau;
+  to.dt = tau / 100.0;
+  const TranResult tr = transient(c, tech5(), op, to);
+  ASSERT_TRUE(tr.ok) << tr.error;
+  MnaLayout layout(c);
+  // v(t) = 1 - exp(-t/tau): check at 1, 2, 3 tau.
+  for (int k = 1; k <= 3; ++k) {
+    const double t_check = k * tau;
+    std::size_t idx = 0;
+    for (std::size_t i = 0; i < tr.time.size(); ++i) {
+      if (std::abs(tr.time[i] - t_check) <
+          std::abs(tr.time[idx] - t_check)) {
+        idx = i;
+      }
+    }
+    const double expected = 1.0 - std::exp(-tr.time[idx] / tau);
+    EXPECT_NEAR(tr.voltage(layout, idx, out), expected, 2e-3) << k;
+  }
+}
+
+TEST(Tran, BackwardEulerAlsoConverges) {
+  Circuit c;
+  const auto in = c.node("in");
+  const auto out = c.node("out");
+  c.add_vsource("V1", in, ckt::kGround,
+                Waveform::pulse(0.0, 1.0, 0.0, 1e-12, 1e-12, 1.0, 2.0));
+  c.add_resistor("R1", in, out, 1e3);
+  c.add_capacitor("C1", out, ckt::kGround, 1e-9);
+  const OpResult op = dc_operating_point(c, tech5());
+  TranOptions to;
+  to.tstop = 5e-6;
+  to.dt = 1e-8;
+  to.trapezoidal = false;
+  const TranResult tr = transient(c, tech5(), op, to);
+  ASSERT_TRUE(tr.ok);
+  MnaLayout layout(c);
+  EXPECT_NEAR(tr.voltage(layout, tr.time.size() - 1, out), 1.0, 1e-2);
+}
+
+TEST(Tran, SineSteadyState) {
+  // RC well below the pole: output follows the input closely.
+  Circuit c;
+  const auto in = c.node("in");
+  const auto out = c.node("out");
+  c.add_vsource("V1", in, ckt::kGround, Waveform::sine(0.0, 1.0, 1e3));
+  c.add_resistor("R1", in, out, 1e3);
+  c.add_capacitor("C1", out, ckt::kGround, 1e-9);  // pole at 159 kHz
+  const OpResult op = dc_operating_point(c, tech5());
+  TranOptions to;
+  to.tstop = 2e-3;  // two periods
+  to.dt = 1e-6;
+  const TranResult tr = transient(c, tech5(), op, to);
+  ASSERT_TRUE(tr.ok);
+  MnaLayout layout(c);
+  // Peak of the output close to 1.
+  double peak = 0.0;
+  for (std::size_t i = tr.time.size() / 2; i < tr.time.size(); ++i) {
+    peak = std::max(peak, tr.voltage(layout, i, out));
+  }
+  EXPECT_NEAR(peak, 1.0, 0.02);
+}
+
+TEST(Tran, MosSourceFollowerTracksStep) {
+  const Technology& t = tech5();
+  Circuit c;
+  const auto vdd = c.node("vdd");
+  const auto in = c.node("in");
+  const auto out = c.node("out");
+  c.add_vsource("VDD", vdd, ckt::kGround, Waveform::dc(5.0));
+  c.add_vsource("VIN", in, ckt::kGround,
+                Waveform::pulse(2.5, 3.5, 1e-7, 1e-8, 1e-8, 5e-6, 10e-6));
+  c.add_mosfet("M1", vdd, in, out, ckt::kGround, mos::MosType::kNmos,
+               um(100.0), um(5.0));
+  c.add_resistor("RS", out, ckt::kGround, 20e3);
+  c.add_capacitor("CLOAD", out, ckt::kGround, 1e-12);
+
+  const OpResult op = dc_operating_point(c, t);
+  ASSERT_TRUE(op.converged);
+  TranOptions to;
+  to.tstop = 4e-6;
+  to.dt = 5e-9;
+  const TranResult tr = transient(c, t, op, to);
+  ASSERT_TRUE(tr.ok) << tr.error;
+  MnaLayout layout(c);
+  const double v_start = tr.voltage(layout, 0, out);
+  const double v_end = tr.voltage(layout, tr.time.size() - 1, out);
+  // The follower gain is gm/(gm + gmb + 1/RS) < 1 (body effect plus the
+  // resistive load); the step must transfer with that attenuation.
+  EXPECT_GT(v_end - v_start, 0.6);
+  EXPECT_LT(v_end - v_start, 1.0);
+}
+
+TEST(Tran, SlewMeasurement) {
+  // A current-limited source charging a cap: slew = I/C exactly.
+  Circuit c;
+  const auto out = c.node("out");
+  c.add_isource("I1", ckt::kGround, out, Waveform::dc(1e-6));
+  c.add_capacitor("C1", out, ckt::kGround, 1e-9);
+  c.add_resistor("Rbig", out, ckt::kGround, 1e12);
+  OpOptions oo;
+  oo.try_gmin_stepping = false;
+  oo.try_source_stepping = false;
+  // Start from zero state rather than the (huge) DC solution.
+  OpResult op;
+  op.converged = true;
+  op.solution.assign(MnaLayout(c).size(), 0.0);
+
+  TranOptions to;
+  to.tstop = 1e-4;
+  to.dt = 1e-6;
+  const TranResult tr = transient(c, tech5(), op, to);
+  ASSERT_TRUE(tr.ok);
+  MnaLayout layout(c);
+  const auto slew = slew_rate(tr, layout, out);
+  ASSERT_TRUE(slew.has_value());
+  // 1000 V/s with a small first-step startup transient allowed.
+  EXPECT_NEAR(slew->rising, 1e-6 / 1e-9, 50.0);
+  EXPECT_NEAR(slew->falling, 0.0, 1.0);
+}
+
+TEST(Tran, SettlingTime) {
+  Circuit c;
+  const auto in = c.node("in");
+  const auto out = c.node("out");
+  const double tau = 1e-6;
+  c.add_vsource("V1", in, ckt::kGround,
+                Waveform::pulse(0.0, 1.0, 0.0, 1e-12, 1e-12, 1.0, 2.0));
+  c.add_resistor("R1", in, out, 1e3);
+  c.add_capacitor("C1", out, ckt::kGround, tau / 1e3);
+  const OpResult op = dc_operating_point(c, tech5());
+  TranOptions to;
+  to.tstop = 10.0 * tau;
+  to.dt = tau / 50.0;
+  const TranResult tr = transient(c, tech5(), op, to);
+  ASSERT_TRUE(tr.ok);
+  MnaLayout layout(c);
+  const auto ts = settling_time(tr, layout, out, 1.0, 0.01);
+  ASSERT_TRUE(ts.has_value());
+  // 1% settling of a single pole: 4.6 tau.
+  EXPECT_NEAR(*ts, 4.6 * tau, 0.5 * tau);
+}
+
+TEST(Tran, RejectsBadOptions) {
+  Circuit c;
+  c.add_resistor("R", c.node("a"), ckt::kGround, 1e3);
+  const OpResult op = dc_operating_point(c, tech5());
+  TranOptions to;
+  to.tstop = 0.0;
+  to.dt = 1e-9;
+  EXPECT_FALSE(transient(c, tech5(), op, to).ok);
+}
+
+}  // namespace
+}  // namespace oasys::sim

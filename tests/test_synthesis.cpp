@@ -1,0 +1,173 @@
+// Designer-level tests: plans produce self-consistent sized designs whose
+// first-order predictions meet the specs, and the patch rules make the
+// structural moves the paper describes.
+#include <gtest/gtest.h>
+
+#include "synth/oasys.h"
+#include "synth/report.h"
+#include "synth/test_cases.h"
+#include "tech/builtin.h"
+#include "util/units.h"
+
+namespace oasys::synth {
+namespace {
+
+using tech::Technology;
+
+const Technology& tech5() {
+  static const Technology t = tech::five_micron();
+  return t;
+}
+
+// ---- case A: ordinary spec -------------------------------------------------
+
+TEST(CaseA, OneStageIsFeasible) {
+  const OpAmpDesign d = design_one_stage_ota(tech5(), spec_case_a());
+  ASSERT_TRUE(d.feasible) << d.trace.to_string();
+  EXPECT_FALSE(d.stage1_cascode);
+  EXPECT_EQ(d.soft_violations, 0);
+  EXPECT_GE(d.predicted.gain_db, 45.0);
+  EXPECT_GE(d.predicted.gbw, util::mhz(1.0));
+  EXPECT_GE(d.predicted.slew, util::v_per_us(1.0));
+}
+
+TEST(CaseA, TwoStageAlsoFeasibleButBigger) {
+  const OpAmpDesign ota = design_one_stage_ota(tech5(), spec_case_a());
+  const OpAmpDesign ts = design_two_stage(tech5(), spec_case_a());
+  ASSERT_TRUE(ota.feasible) << ota.trace.to_string();
+  ASSERT_TRUE(ts.feasible) << ts.trace.to_string();
+  EXPECT_GT(ts.predicted.area, ota.predicted.area);
+}
+
+TEST(CaseA, SelectionPicksOneStage) {
+  const SynthesisResult r = synthesize_opamp(tech5(), spec_case_a());
+  ASSERT_TRUE(r.success());
+  EXPECT_EQ(r.best()->style, OpAmpStyle::kOneStageOta);
+}
+
+// ---- case B: one-stage knocked out -------------------------------------------
+
+TEST(CaseB, OneStageFails) {
+  const OpAmpDesign d = design_one_stage_ota(tech5(), spec_case_b());
+  EXPECT_FALSE(d.feasible) << d.trace.to_string();
+}
+
+TEST(CaseB, TwoStageSucceedsWithoutCascoding) {
+  const OpAmpDesign d = design_two_stage(tech5(), spec_case_b());
+  ASSERT_TRUE(d.feasible) << d.trace.to_string();
+  EXPECT_FALSE(d.stage2_cascode_gm);
+  EXPECT_GE(d.predicted.gain_db, 70.0);
+  EXPECT_GE(d.predicted.swing_pos, 3.5);
+  EXPECT_GE(d.predicted.swing_neg, 3.5);
+  EXPECT_LE(d.predicted.offset, util::mv(2.0));
+}
+
+TEST(CaseB, SelectionPicksTwoStage) {
+  const SynthesisResult r = synthesize_opamp(tech5(), spec_case_b());
+  ASSERT_TRUE(r.success());
+  EXPECT_EQ(r.best()->style, OpAmpStyle::kTwoStage);
+}
+
+// ---- case C: aggressive spec, structural rules fire ----------------------------
+
+TEST(CaseC, TwoStageCascodesAndShifts) {
+  const OpAmpDesign d = design_two_stage(tech5(), spec_case_c());
+  ASSERT_TRUE(d.feasible) << d.trace.to_string();
+  // The paper's case C: cascoded input bias + cascoded load mirror +
+  // level shifter.
+  EXPECT_TRUE(d.stage1_cascode);
+  EXPECT_TRUE(d.has_level_shifter);
+  EXPECT_GE(d.predicted.gain_db, 100.0);
+  EXPECT_GT(d.trace.rules_fired, 0);
+}
+
+TEST(CaseC, SelectionPicksTwoStage) {
+  const SynthesisResult r = synthesize_opamp(tech5(), spec_case_c());
+  ASSERT_TRUE(r.success());
+  EXPECT_EQ(r.best()->style, OpAmpStyle::kTwoStage);
+}
+
+// ---- structural invariants -----------------------------------------------------
+
+TEST(Designs, DeviceRolesAreUnique) {
+  for (const auto& spec : paper_test_cases()) {
+    const SynthesisResult r = synthesize_opamp(tech5(), spec);
+    ASSERT_TRUE(r.success()) << spec.name;
+    const OpAmpDesign& d = *r.best();
+    std::set<std::string> roles;
+    for (const auto& dev : d.devices) {
+      EXPECT_TRUE(roles.insert(dev.role).second)
+          << "duplicate role " << dev.role << " in case " << spec.name;
+      EXPECT_GE(dev.w, tech5().wmin * 0.999) << dev.role;
+      EXPECT_GE(dev.l, tech5().lmin * 0.999) << dev.role;
+    }
+  }
+}
+
+TEST(Designs, PredictedPerformanceMeetsSpecAxes) {
+  for (const auto& spec : paper_test_cases()) {
+    const SynthesisResult r = synthesize_opamp(tech5(), spec);
+    ASSERT_TRUE(r.success()) << spec.name;
+    const OpAmpDesign& d = *r.best();
+    const auto checks = core::check_spec(spec, d.predicted, 0.02);
+    // Soft violations (first-cut accepts) are allowed; anything else is a
+    // designer bug.
+    EXPECT_LE(core::violation_count(checks), d.soft_violations)
+        << spec.name;
+  }
+}
+
+TEST(Designs, RulesDisabledDegradesCaseC) {
+  SynthOptions opts;
+  opts.rules_enabled = false;
+  const OpAmpDesign d = design_two_stage(tech5(), spec_case_c(), opts);
+  EXPECT_FALSE(d.feasible);  // cascoding rules unavailable
+}
+
+TEST(Designs, ReportRendersWithoutCrashing) {
+  const SynthesisResult r = synthesize_opamp(tech5(), spec_case_a());
+  ASSERT_TRUE(r.success());
+  const std::string report = synthesis_report(r);
+  EXPECT_NE(report.find("selected design"), std::string::npos);
+  EXPECT_NE(report.find("M1"), std::string::npos);
+  const std::string table = comparison_table(*r.best(), nullptr);
+  EXPECT_NE(table.find("gain (dB)"), std::string::npos);
+}
+
+// ---- gain sweep: topology changes (Figure 7 mechanics) ---------------------------
+
+TEST(GainSweep, OtaSwitchesToCascodeAtHighGain) {
+  core::OpAmpSpec spec = spec_case_a();
+  spec.swing_pos = spec.swing_neg = 0.0;  // let gain drive the structure
+  spec.offset_max = 0.0;
+  spec.power_max = 0.0;
+  spec.gain_min_db = 40.0;
+  const OpAmpDesign low = design_one_stage_ota(tech5(), spec);
+  ASSERT_TRUE(low.feasible) << low.trace.to_string();
+  EXPECT_FALSE(low.stage1_cascode);
+
+  spec.gain_min_db = 75.0;
+  const OpAmpDesign high = design_one_stage_ota(tech5(), spec);
+  ASSERT_TRUE(high.feasible) << high.trace.to_string();
+  EXPECT_TRUE(high.stage1_cascode);
+}
+
+TEST(GainSweep, AreaGrowsWithGainForSimpleOta) {
+  core::OpAmpSpec spec = spec_case_a();
+  spec.swing_pos = spec.swing_neg = 0.0;
+  spec.offset_max = 0.0;
+  spec.power_max = 0.0;
+  double prev_area = 0.0;
+  for (double gain = 40.0; gain <= 50.0; gain += 5.0) {
+    spec.gain_min_db = gain;
+    const OpAmpDesign d = design_one_stage_ota(tech5(), spec);
+    ASSERT_TRUE(d.feasible) << gain;
+    if (!d.stage1_cascode && prev_area > 0.0) {
+      EXPECT_GE(d.predicted.area, prev_area * 0.99) << gain;
+    }
+    prev_area = d.predicted.area;
+  }
+}
+
+}  // namespace
+}  // namespace oasys::synth

@@ -1,0 +1,155 @@
+// oasys — command-line driver for the synthesis framework.
+//
+// Mirrors the paper's tool interface: a technology file and a performance
+// specification in, a sized transistor schematic and its verification out.
+//
+// Usage:
+//   oasys --spec case_b.spec [--tech tech/cmos5.tech] [--verify]
+//         [--export out.sp] [--trace] [--no-rules]
+//
+// With no --spec, prints the built-in paper test cases as templates.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "core/spec_parser.h"
+#include "netlist/spice_writer.h"
+#include "synth/oasys.h"
+#include "synth/report.h"
+#include "synth/test_cases.h"
+#include "synth/testbench.h"
+#include "tech/builtin.h"
+#include "tech/tech_parser.h"
+
+namespace {
+
+int usage() {
+  std::puts(
+      "usage: oasys --spec FILE [options]\n"
+      "options:\n"
+      "  --spec FILE     performance specification (key-value; see below)\n"
+      "  --tech FILE     technology file (default: built-in 5 um CMOS)\n"
+      "  --verify        run the circuit-simulator measurement suite\n"
+      "  --export FILE   write the synthesized design as a SPICE deck\n"
+      "  --trace         print the full plan-execution narrative\n"
+      "  --no-rules      disable plan-patching rules (ablation)\n"
+      "  --templates     print the paper's test cases as spec templates\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace oasys;
+
+  std::string spec_path;
+  std::string tech_path;
+  std::string export_path;
+  bool verify = false;
+  bool trace = false;
+  bool rules = true;
+  bool templates = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--spec") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      spec_path = v;
+    } else if (arg == "--tech") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      tech_path = v;
+    } else if (arg == "--export") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      export_path = v;
+    } else if (arg == "--verify") {
+      verify = true;
+    } else if (arg == "--trace") {
+      trace = true;
+    } else if (arg == "--no-rules") {
+      rules = false;
+    } else if (arg == "--templates") {
+      templates = true;
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      return usage();
+    }
+  }
+
+  if (templates) {
+    for (const auto& spec : synth::paper_test_cases()) {
+      std::printf("# ---- paper test case %s ----\n%s\n",
+                  spec.name.c_str(), core::to_spec_text(spec).c_str());
+    }
+    return 0;
+  }
+  if (spec_path.empty()) return usage();
+
+  tech::Technology t = tech::five_micron();
+  if (!tech_path.empty()) {
+    const tech::ParseResult r = tech::load_tech_file(tech_path);
+    if (!r.ok()) {
+      std::fprintf(stderr, "technology file errors:\n%s",
+                   r.log.to_string().c_str());
+      return 1;
+    }
+    t = r.technology;
+  }
+
+  const core::SpecParseResult sr = core::load_opamp_spec_file(spec_path);
+  if (!sr.ok()) {
+    std::fprintf(stderr, "spec file errors:\n%s",
+                 sr.log.to_string().c_str());
+    return 1;
+  }
+
+  synth::SynthOptions opts;
+  opts.rules_enabled = rules;
+  const synth::SynthesisResult result =
+      synth::synthesize_opamp(t, sr.spec, opts);
+
+  if (trace) {
+    std::fputs(synth::synthesis_report(result).c_str(), stdout);
+  } else {
+    std::fputs(sr.spec.to_string().c_str(), stdout);
+    std::puts("style selection:");
+    std::fputs(result.selection.summary.c_str(), stdout);
+    if (result.success()) {
+      std::fputs(synth::design_summary(*result.best()).c_str(), stdout);
+      std::fputs(synth::device_table(*result.best()).c_str(), stdout);
+    }
+  }
+  if (!result.success()) {
+    std::puts("no feasible design.");
+    return 1;
+  }
+
+  const synth::OpAmpDesign& best = *result.best();
+  if (verify) {
+    const synth::MeasuredOpAmp m = synth::measure_opamp(best, t);
+    if (!m.ok) {
+      std::fprintf(stderr, "verification failed: %s\n", m.error.c_str());
+      return 1;
+    }
+    std::puts("\nspec vs predicted vs simulated:");
+    std::fputs(synth::comparison_table(best, &m).c_str(), stdout);
+  }
+  if (!export_path.empty()) {
+    ckt::SpiceWriterOptions wo;
+    wo.title = "oasys synthesized op amp (" + best.style_name() + ")";
+    std::ofstream out(export_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write '%s'\n", export_path.c_str());
+      return 1;
+    }
+    out << ckt::to_spice_deck(synth::build_standalone_opamp(best, t), t,
+                              wo);
+    std::printf("\nSPICE deck written to %s\n", export_path.c_str());
+  }
+  return 0;
+}
