@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comparator_design.dir/comparator_design.cpp.o"
+  "CMakeFiles/comparator_design.dir/comparator_design.cpp.o.d"
+  "comparator_design"
+  "comparator_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comparator_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

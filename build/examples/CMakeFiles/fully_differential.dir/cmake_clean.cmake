@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fully_differential.dir/fully_differential.cpp.o"
+  "CMakeFiles/fully_differential.dir/fully_differential.cpp.o.d"
+  "fully_differential"
+  "fully_differential.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fully_differential.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

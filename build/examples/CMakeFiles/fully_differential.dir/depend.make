@@ -1,0 +1,2 @@
+# Empty dependencies file for fully_differential.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/process_migration.dir/process_migration.cpp.o"
+  "CMakeFiles/process_migration.dir/process_migration.cpp.o.d"
+  "process_migration"
+  "process_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/process_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sar_adc_synthesis.dir/sar_adc_synthesis.cpp.o"
+  "CMakeFiles/sar_adc_synthesis.dir/sar_adc_synthesis.cpp.o.d"
+  "sar_adc_synthesis"
+  "sar_adc_synthesis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sar_adc_synthesis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verify_and_export.dir/verify_and_export.cpp.o"
+  "CMakeFiles/verify_and_export.dir/verify_and_export.cpp.o.d"
+  "verify_and_export"
+  "verify_and_export.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verify_and_export.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

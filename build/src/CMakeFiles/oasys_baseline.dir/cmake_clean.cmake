@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oasys_baseline.dir/baseline/random_sizer.cpp.o"
+  "CMakeFiles/oasys_baseline.dir/baseline/random_sizer.cpp.o.d"
+  "liboasys_baseline.a"
+  "liboasys_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oasys_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/blocks/bias_chain.cpp" "src/CMakeFiles/oasys_blocks.dir/blocks/bias_chain.cpp.o" "gcc" "src/CMakeFiles/oasys_blocks.dir/blocks/bias_chain.cpp.o.d"
+  "/root/repo/src/blocks/block_common.cpp" "src/CMakeFiles/oasys_blocks.dir/blocks/block_common.cpp.o" "gcc" "src/CMakeFiles/oasys_blocks.dir/blocks/block_common.cpp.o.d"
+  "/root/repo/src/blocks/current_mirror.cpp" "src/CMakeFiles/oasys_blocks.dir/blocks/current_mirror.cpp.o" "gcc" "src/CMakeFiles/oasys_blocks.dir/blocks/current_mirror.cpp.o.d"
+  "/root/repo/src/blocks/diff_pair.cpp" "src/CMakeFiles/oasys_blocks.dir/blocks/diff_pair.cpp.o" "gcc" "src/CMakeFiles/oasys_blocks.dir/blocks/diff_pair.cpp.o.d"
+  "/root/repo/src/blocks/gm_stage.cpp" "src/CMakeFiles/oasys_blocks.dir/blocks/gm_stage.cpp.o" "gcc" "src/CMakeFiles/oasys_blocks.dir/blocks/gm_stage.cpp.o.d"
+  "/root/repo/src/blocks/level_shifter.cpp" "src/CMakeFiles/oasys_blocks.dir/blocks/level_shifter.cpp.o" "gcc" "src/CMakeFiles/oasys_blocks.dir/blocks/level_shifter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/oasys_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/oasys_mos.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/oasys_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/oasys_numeric.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/oasys_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

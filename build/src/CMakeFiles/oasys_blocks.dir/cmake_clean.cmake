@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oasys_blocks.dir/blocks/bias_chain.cpp.o"
+  "CMakeFiles/oasys_blocks.dir/blocks/bias_chain.cpp.o.d"
+  "CMakeFiles/oasys_blocks.dir/blocks/block_common.cpp.o"
+  "CMakeFiles/oasys_blocks.dir/blocks/block_common.cpp.o.d"
+  "CMakeFiles/oasys_blocks.dir/blocks/current_mirror.cpp.o"
+  "CMakeFiles/oasys_blocks.dir/blocks/current_mirror.cpp.o.d"
+  "CMakeFiles/oasys_blocks.dir/blocks/diff_pair.cpp.o"
+  "CMakeFiles/oasys_blocks.dir/blocks/diff_pair.cpp.o.d"
+  "CMakeFiles/oasys_blocks.dir/blocks/gm_stage.cpp.o"
+  "CMakeFiles/oasys_blocks.dir/blocks/gm_stage.cpp.o.d"
+  "CMakeFiles/oasys_blocks.dir/blocks/level_shifter.cpp.o"
+  "CMakeFiles/oasys_blocks.dir/blocks/level_shifter.cpp.o.d"
+  "liboasys_blocks.a"
+  "liboasys_blocks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oasys_blocks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/context.cpp" "src/CMakeFiles/oasys_core.dir/core/context.cpp.o" "gcc" "src/CMakeFiles/oasys_core.dir/core/context.cpp.o.d"
+  "/root/repo/src/core/plan.cpp" "src/CMakeFiles/oasys_core.dir/core/plan.cpp.o" "gcc" "src/CMakeFiles/oasys_core.dir/core/plan.cpp.o.d"
+  "/root/repo/src/core/selector.cpp" "src/CMakeFiles/oasys_core.dir/core/selector.cpp.o" "gcc" "src/CMakeFiles/oasys_core.dir/core/selector.cpp.o.d"
+  "/root/repo/src/core/spec.cpp" "src/CMakeFiles/oasys_core.dir/core/spec.cpp.o" "gcc" "src/CMakeFiles/oasys_core.dir/core/spec.cpp.o.d"
+  "/root/repo/src/core/spec_parser.cpp" "src/CMakeFiles/oasys_core.dir/core/spec_parser.cpp.o" "gcc" "src/CMakeFiles/oasys_core.dir/core/spec_parser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/oasys_mos.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/oasys_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/oasys_numeric.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/oasys_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

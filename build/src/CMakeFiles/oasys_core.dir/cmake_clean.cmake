@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oasys_core.dir/core/context.cpp.o"
+  "CMakeFiles/oasys_core.dir/core/context.cpp.o.d"
+  "CMakeFiles/oasys_core.dir/core/plan.cpp.o"
+  "CMakeFiles/oasys_core.dir/core/plan.cpp.o.d"
+  "CMakeFiles/oasys_core.dir/core/selector.cpp.o"
+  "CMakeFiles/oasys_core.dir/core/selector.cpp.o.d"
+  "CMakeFiles/oasys_core.dir/core/spec.cpp.o"
+  "CMakeFiles/oasys_core.dir/core/spec.cpp.o.d"
+  "CMakeFiles/oasys_core.dir/core/spec_parser.cpp.o"
+  "CMakeFiles/oasys_core.dir/core/spec_parser.cpp.o.d"
+  "liboasys_core.a"
+  "liboasys_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oasys_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mos/design_eqs.cpp" "src/CMakeFiles/oasys_mos.dir/mos/design_eqs.cpp.o" "gcc" "src/CMakeFiles/oasys_mos.dir/mos/design_eqs.cpp.o.d"
+  "/root/repo/src/mos/level1.cpp" "src/CMakeFiles/oasys_mos.dir/mos/level1.cpp.o" "gcc" "src/CMakeFiles/oasys_mos.dir/mos/level1.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/oasys_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/oasys_numeric.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/oasys_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oasys_mos.dir/mos/design_eqs.cpp.o"
+  "CMakeFiles/oasys_mos.dir/mos/design_eqs.cpp.o.d"
+  "CMakeFiles/oasys_mos.dir/mos/level1.cpp.o"
+  "CMakeFiles/oasys_mos.dir/mos/level1.cpp.o.d"
+  "liboasys_mos.a"
+  "liboasys_mos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oasys_mos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

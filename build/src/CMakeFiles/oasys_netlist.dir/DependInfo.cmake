@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netlist/circuit.cpp" "src/CMakeFiles/oasys_netlist.dir/netlist/circuit.cpp.o" "gcc" "src/CMakeFiles/oasys_netlist.dir/netlist/circuit.cpp.o.d"
+  "/root/repo/src/netlist/spice_writer.cpp" "src/CMakeFiles/oasys_netlist.dir/netlist/spice_writer.cpp.o" "gcc" "src/CMakeFiles/oasys_netlist.dir/netlist/spice_writer.cpp.o.d"
+  "/root/repo/src/netlist/waveform.cpp" "src/CMakeFiles/oasys_netlist.dir/netlist/waveform.cpp.o" "gcc" "src/CMakeFiles/oasys_netlist.dir/netlist/waveform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/oasys_mos.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/oasys_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/oasys_numeric.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/oasys_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

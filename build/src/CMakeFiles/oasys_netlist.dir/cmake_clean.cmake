@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oasys_netlist.dir/netlist/circuit.cpp.o"
+  "CMakeFiles/oasys_netlist.dir/netlist/circuit.cpp.o.d"
+  "CMakeFiles/oasys_netlist.dir/netlist/spice_writer.cpp.o"
+  "CMakeFiles/oasys_netlist.dir/netlist/spice_writer.cpp.o.d"
+  "CMakeFiles/oasys_netlist.dir/netlist/waveform.cpp.o"
+  "CMakeFiles/oasys_netlist.dir/netlist/waveform.cpp.o.d"
+  "liboasys_netlist.a"
+  "liboasys_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oasys_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liboasys_netlist.a"
+)

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/numeric/interpolate.cpp" "src/CMakeFiles/oasys_numeric.dir/numeric/interpolate.cpp.o" "gcc" "src/CMakeFiles/oasys_numeric.dir/numeric/interpolate.cpp.o.d"
+  "/root/repo/src/numeric/linear.cpp" "src/CMakeFiles/oasys_numeric.dir/numeric/linear.cpp.o" "gcc" "src/CMakeFiles/oasys_numeric.dir/numeric/linear.cpp.o.d"
+  "/root/repo/src/numeric/rootfind.cpp" "src/CMakeFiles/oasys_numeric.dir/numeric/rootfind.cpp.o" "gcc" "src/CMakeFiles/oasys_numeric.dir/numeric/rootfind.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/oasys_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

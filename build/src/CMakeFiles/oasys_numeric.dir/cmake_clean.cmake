@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oasys_numeric.dir/numeric/interpolate.cpp.o"
+  "CMakeFiles/oasys_numeric.dir/numeric/interpolate.cpp.o.d"
+  "CMakeFiles/oasys_numeric.dir/numeric/linear.cpp.o"
+  "CMakeFiles/oasys_numeric.dir/numeric/linear.cpp.o.d"
+  "CMakeFiles/oasys_numeric.dir/numeric/rootfind.cpp.o"
+  "CMakeFiles/oasys_numeric.dir/numeric/rootfind.cpp.o.d"
+  "liboasys_numeric.a"
+  "liboasys_numeric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oasys_numeric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

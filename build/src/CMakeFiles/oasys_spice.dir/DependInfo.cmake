@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spice/ac.cpp" "src/CMakeFiles/oasys_spice.dir/spice/ac.cpp.o" "gcc" "src/CMakeFiles/oasys_spice.dir/spice/ac.cpp.o.d"
+  "/root/repo/src/spice/dc.cpp" "src/CMakeFiles/oasys_spice.dir/spice/dc.cpp.o" "gcc" "src/CMakeFiles/oasys_spice.dir/spice/dc.cpp.o.d"
+  "/root/repo/src/spice/measure.cpp" "src/CMakeFiles/oasys_spice.dir/spice/measure.cpp.o" "gcc" "src/CMakeFiles/oasys_spice.dir/spice/measure.cpp.o.d"
+  "/root/repo/src/spice/mna.cpp" "src/CMakeFiles/oasys_spice.dir/spice/mna.cpp.o" "gcc" "src/CMakeFiles/oasys_spice.dir/spice/mna.cpp.o.d"
+  "/root/repo/src/spice/noise.cpp" "src/CMakeFiles/oasys_spice.dir/spice/noise.cpp.o" "gcc" "src/CMakeFiles/oasys_spice.dir/spice/noise.cpp.o.d"
+  "/root/repo/src/spice/sweep.cpp" "src/CMakeFiles/oasys_spice.dir/spice/sweep.cpp.o" "gcc" "src/CMakeFiles/oasys_spice.dir/spice/sweep.cpp.o.d"
+  "/root/repo/src/spice/tran.cpp" "src/CMakeFiles/oasys_spice.dir/spice/tran.cpp.o" "gcc" "src/CMakeFiles/oasys_spice.dir/spice/tran.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/oasys_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/oasys_numeric.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/oasys_mos.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/oasys_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/oasys_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oasys_spice.dir/spice/ac.cpp.o"
+  "CMakeFiles/oasys_spice.dir/spice/ac.cpp.o.d"
+  "CMakeFiles/oasys_spice.dir/spice/dc.cpp.o"
+  "CMakeFiles/oasys_spice.dir/spice/dc.cpp.o.d"
+  "CMakeFiles/oasys_spice.dir/spice/measure.cpp.o"
+  "CMakeFiles/oasys_spice.dir/spice/measure.cpp.o.d"
+  "CMakeFiles/oasys_spice.dir/spice/mna.cpp.o"
+  "CMakeFiles/oasys_spice.dir/spice/mna.cpp.o.d"
+  "CMakeFiles/oasys_spice.dir/spice/noise.cpp.o"
+  "CMakeFiles/oasys_spice.dir/spice/noise.cpp.o.d"
+  "CMakeFiles/oasys_spice.dir/spice/sweep.cpp.o"
+  "CMakeFiles/oasys_spice.dir/spice/sweep.cpp.o.d"
+  "CMakeFiles/oasys_spice.dir/spice/tran.cpp.o"
+  "CMakeFiles/oasys_spice.dir/spice/tran.cpp.o.d"
+  "liboasys_spice.a"
+  "liboasys_spice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oasys_spice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/comparator.cpp" "src/CMakeFiles/oasys_synth.dir/synth/comparator.cpp.o" "gcc" "src/CMakeFiles/oasys_synth.dir/synth/comparator.cpp.o.d"
+  "/root/repo/src/synth/fd_ota.cpp" "src/CMakeFiles/oasys_synth.dir/synth/fd_ota.cpp.o" "gcc" "src/CMakeFiles/oasys_synth.dir/synth/fd_ota.cpp.o.d"
+  "/root/repo/src/synth/folded_cascode_designer.cpp" "src/CMakeFiles/oasys_synth.dir/synth/folded_cascode_designer.cpp.o" "gcc" "src/CMakeFiles/oasys_synth.dir/synth/folded_cascode_designer.cpp.o.d"
+  "/root/repo/src/synth/mismatch.cpp" "src/CMakeFiles/oasys_synth.dir/synth/mismatch.cpp.o" "gcc" "src/CMakeFiles/oasys_synth.dir/synth/mismatch.cpp.o.d"
+  "/root/repo/src/synth/netlist_builder.cpp" "src/CMakeFiles/oasys_synth.dir/synth/netlist_builder.cpp.o" "gcc" "src/CMakeFiles/oasys_synth.dir/synth/netlist_builder.cpp.o.d"
+  "/root/repo/src/synth/oasys.cpp" "src/CMakeFiles/oasys_synth.dir/synth/oasys.cpp.o" "gcc" "src/CMakeFiles/oasys_synth.dir/synth/oasys.cpp.o.d"
+  "/root/repo/src/synth/opamp_design.cpp" "src/CMakeFiles/oasys_synth.dir/synth/opamp_design.cpp.o" "gcc" "src/CMakeFiles/oasys_synth.dir/synth/opamp_design.cpp.o.d"
+  "/root/repo/src/synth/ota_designer.cpp" "src/CMakeFiles/oasys_synth.dir/synth/ota_designer.cpp.o" "gcc" "src/CMakeFiles/oasys_synth.dir/synth/ota_designer.cpp.o.d"
+  "/root/repo/src/synth/report.cpp" "src/CMakeFiles/oasys_synth.dir/synth/report.cpp.o" "gcc" "src/CMakeFiles/oasys_synth.dir/synth/report.cpp.o.d"
+  "/root/repo/src/synth/sar_adc.cpp" "src/CMakeFiles/oasys_synth.dir/synth/sar_adc.cpp.o" "gcc" "src/CMakeFiles/oasys_synth.dir/synth/sar_adc.cpp.o.d"
+  "/root/repo/src/synth/test_cases.cpp" "src/CMakeFiles/oasys_synth.dir/synth/test_cases.cpp.o" "gcc" "src/CMakeFiles/oasys_synth.dir/synth/test_cases.cpp.o.d"
+  "/root/repo/src/synth/testbench.cpp" "src/CMakeFiles/oasys_synth.dir/synth/testbench.cpp.o" "gcc" "src/CMakeFiles/oasys_synth.dir/synth/testbench.cpp.o.d"
+  "/root/repo/src/synth/two_stage_designer.cpp" "src/CMakeFiles/oasys_synth.dir/synth/two_stage_designer.cpp.o" "gcc" "src/CMakeFiles/oasys_synth.dir/synth/two_stage_designer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/oasys_blocks.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/oasys_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/oasys_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/oasys_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/oasys_mos.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/oasys_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/oasys_numeric.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/oasys_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oasys_synth.dir/synth/comparator.cpp.o"
+  "CMakeFiles/oasys_synth.dir/synth/comparator.cpp.o.d"
+  "CMakeFiles/oasys_synth.dir/synth/fd_ota.cpp.o"
+  "CMakeFiles/oasys_synth.dir/synth/fd_ota.cpp.o.d"
+  "CMakeFiles/oasys_synth.dir/synth/folded_cascode_designer.cpp.o"
+  "CMakeFiles/oasys_synth.dir/synth/folded_cascode_designer.cpp.o.d"
+  "CMakeFiles/oasys_synth.dir/synth/mismatch.cpp.o"
+  "CMakeFiles/oasys_synth.dir/synth/mismatch.cpp.o.d"
+  "CMakeFiles/oasys_synth.dir/synth/netlist_builder.cpp.o"
+  "CMakeFiles/oasys_synth.dir/synth/netlist_builder.cpp.o.d"
+  "CMakeFiles/oasys_synth.dir/synth/oasys.cpp.o"
+  "CMakeFiles/oasys_synth.dir/synth/oasys.cpp.o.d"
+  "CMakeFiles/oasys_synth.dir/synth/opamp_design.cpp.o"
+  "CMakeFiles/oasys_synth.dir/synth/opamp_design.cpp.o.d"
+  "CMakeFiles/oasys_synth.dir/synth/ota_designer.cpp.o"
+  "CMakeFiles/oasys_synth.dir/synth/ota_designer.cpp.o.d"
+  "CMakeFiles/oasys_synth.dir/synth/report.cpp.o"
+  "CMakeFiles/oasys_synth.dir/synth/report.cpp.o.d"
+  "CMakeFiles/oasys_synth.dir/synth/sar_adc.cpp.o"
+  "CMakeFiles/oasys_synth.dir/synth/sar_adc.cpp.o.d"
+  "CMakeFiles/oasys_synth.dir/synth/test_cases.cpp.o"
+  "CMakeFiles/oasys_synth.dir/synth/test_cases.cpp.o.d"
+  "CMakeFiles/oasys_synth.dir/synth/testbench.cpp.o"
+  "CMakeFiles/oasys_synth.dir/synth/testbench.cpp.o.d"
+  "CMakeFiles/oasys_synth.dir/synth/two_stage_designer.cpp.o"
+  "CMakeFiles/oasys_synth.dir/synth/two_stage_designer.cpp.o.d"
+  "liboasys_synth.a"
+  "liboasys_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oasys_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

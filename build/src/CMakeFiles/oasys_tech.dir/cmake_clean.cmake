@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oasys_tech.dir/tech/builtin.cpp.o"
+  "CMakeFiles/oasys_tech.dir/tech/builtin.cpp.o.d"
+  "CMakeFiles/oasys_tech.dir/tech/tech_parser.cpp.o"
+  "CMakeFiles/oasys_tech.dir/tech/tech_parser.cpp.o.d"
+  "CMakeFiles/oasys_tech.dir/tech/technology.cpp.o"
+  "CMakeFiles/oasys_tech.dir/tech/technology.cpp.o.d"
+  "liboasys_tech.a"
+  "liboasys_tech.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oasys_tech.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oasys_util.dir/util/diagnostics.cpp.o"
+  "CMakeFiles/oasys_util.dir/util/diagnostics.cpp.o.d"
+  "CMakeFiles/oasys_util.dir/util/table.cpp.o"
+  "CMakeFiles/oasys_util.dir/util/table.cpp.o.d"
+  "CMakeFiles/oasys_util.dir/util/text.cpp.o"
+  "CMakeFiles/oasys_util.dir/util/text.cpp.o.d"
+  "liboasys_util.a"
+  "liboasys_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oasys_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

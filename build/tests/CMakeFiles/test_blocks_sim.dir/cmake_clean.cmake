@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_blocks_sim.dir/test_blocks_sim.cpp.o"
+  "CMakeFiles/test_blocks_sim.dir/test_blocks_sim.cpp.o.d"
+  "test_blocks_sim"
+  "test_blocks_sim.pdb"
+  "test_blocks_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_blocks_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_comparator.dir/test_comparator.cpp.o"
+  "CMakeFiles/test_comparator.dir/test_comparator.cpp.o.d"
+  "test_comparator"
+  "test_comparator.pdb"
+  "test_comparator[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_comparator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fd_ota.dir/test_fd_ota.cpp.o"
+  "CMakeFiles/test_fd_ota.dir/test_fd_ota.cpp.o.d"
+  "test_fd_ota"
+  "test_fd_ota.pdb"
+  "test_fd_ota[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fd_ota.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

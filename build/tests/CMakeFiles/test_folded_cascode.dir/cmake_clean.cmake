@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_folded_cascode.dir/test_folded_cascode.cpp.o"
+  "CMakeFiles/test_folded_cascode.dir/test_folded_cascode.cpp.o.d"
+  "test_folded_cascode"
+  "test_folded_cascode.pdb"
+  "test_folded_cascode[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_folded_cascode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

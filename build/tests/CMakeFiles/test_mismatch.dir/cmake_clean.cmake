@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mismatch.dir/test_mismatch.cpp.o"
+  "CMakeFiles/test_mismatch.dir/test_mismatch.cpp.o.d"
+  "test_mismatch"
+  "test_mismatch.pdb"
+  "test_mismatch[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mismatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

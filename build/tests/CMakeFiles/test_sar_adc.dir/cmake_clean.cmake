@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sar_adc.dir/test_sar_adc.cpp.o"
+  "CMakeFiles/test_sar_adc.dir/test_sar_adc.cpp.o.d"
+  "test_sar_adc"
+  "test_sar_adc.pdb"
+  "test_sar_adc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sar_adc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

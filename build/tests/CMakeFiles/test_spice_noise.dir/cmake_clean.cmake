@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spice_noise.dir/test_spice_noise.cpp.o"
+  "CMakeFiles/test_spice_noise.dir/test_spice_noise.cpp.o.d"
+  "test_spice_noise"
+  "test_spice_noise.pdb"
+  "test_spice_noise[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spice_noise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

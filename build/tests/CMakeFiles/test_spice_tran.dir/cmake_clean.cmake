@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spice_tran.dir/test_spice_tran.cpp.o"
+  "CMakeFiles/test_spice_tran.dir/test_spice_tran.cpp.o.d"
+  "test_spice_tran"
+  "test_spice_tran.pdb"
+  "test_spice_tran[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spice_tran.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oasys.dir/oasys_cli.cpp.o"
+  "CMakeFiles/oasys.dir/oasys_cli.cpp.o.d"
+  "oasys"
+  "oasys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oasys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
