@@ -13,7 +13,10 @@
 #include "util/table.h"
 #include "util/text.h"
 
-int main() {
+#include "jobs_flag.h"
+
+int main(int argc, char** argv) {
+  if (!oasys::bench::apply_jobs_flag(argc, argv)) return 2;
   using namespace oasys;
   using Clock = std::chrono::steady_clock;
   using util::format;

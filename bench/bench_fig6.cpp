@@ -12,7 +12,10 @@
 #include "tech/builtin.h"
 #include "util/units.h"
 
-int main() {
+#include "jobs_flag.h"
+
+int main(int argc, char** argv) {
+  if (!oasys::bench::apply_jobs_flag(argc, argv)) return 2;
   using namespace oasys;
   const tech::Technology t = tech::five_micron();
 

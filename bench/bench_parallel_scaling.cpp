@@ -1,0 +1,178 @@
+// Parallel-scaling benchmark for the work executor (JSON output).
+//
+// Times the two hot workloads the executor parallelizes — a multi-candidate
+// synthesis batch (many specs, three style designers each) and the
+// per-frequency AC fan-out — at 1/2/4/hardware threads, and self-checks
+// that every thread count produces bit-for-bit identical numbers.  The
+// emitted JSON is the perf-trajectory record:
+//
+//   {"bench": "parallel_scaling", "hardware_jobs": H,
+//    "synthesis_batch": {"specs": S, "deterministic": true,
+//                        "runs": [{"jobs": 1, "seconds": t, "speedup": x},
+//                                 ...]},
+//    "ac_points": {...same shape...}}
+//
+// `speedup` is serial-seconds / seconds; on a single-core host every entry
+// sits near 1.0 by construction.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <vector>
+
+#include "spice/ac.h"
+#include "synth/oasys.h"
+#include "synth/test_cases.h"
+#include "synth/testbench.h"
+#include "tech/builtin.h"
+#include "util/units.h"
+
+#include "jobs_flag.h"
+
+namespace {
+
+using namespace oasys;
+
+double time_best_of(int reps, const std::function<void()>& fn) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+  }
+  return best;
+}
+
+// The multi-candidate workload: the paper's three test cases fanned out
+// over a grid of GBW / load variations — the shape of a sweep-service
+// request.
+std::vector<core::OpAmpSpec> workload_specs() {
+  const std::vector<core::OpAmpSpec> bases = {
+      synth::spec_case_a(), synth::spec_case_b(), synth::spec_case_c()};
+  std::vector<core::OpAmpSpec> specs;
+  for (const auto& base : bases) {
+    for (const double gbw_scale : {0.8, 1.0, 1.25, 1.5}) {
+      for (const double cl_scale : {0.75, 1.0}) {
+        core::OpAmpSpec s = base;
+        s.gbw_min *= gbw_scale;
+        s.cload *= cl_scale;
+        specs.push_back(s);
+      }
+    }
+  }
+  return specs;
+}
+
+std::vector<std::size_t> jobs_ladder() {
+  std::vector<std::size_t> jobs = {1, 2, 4, exec::hardware_jobs()};
+  std::sort(jobs.begin(), jobs.end());
+  jobs.erase(std::unique(jobs.begin(), jobs.end()), jobs.end());
+  return jobs;
+}
+
+void emit_runs(const std::vector<std::size_t>& jobs,
+               const std::vector<double>& seconds) {
+  std::printf("\"runs\": [");
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    std::printf("%s{\"jobs\": %zu, \"seconds\": %.6f, \"speedup\": %.3f}",
+                i == 0 ? "" : ", ", jobs[i], seconds[i],
+                seconds[0] / seconds[i]);
+  }
+  std::printf("]");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (!oasys::bench::apply_jobs_flag(argc, argv)) return 2;
+  const tech::Technology t = tech::five_micron();
+  const std::vector<core::OpAmpSpec> specs = workload_specs();
+  const std::vector<std::size_t> jobs = jobs_ladder();
+  bool all_deterministic = true;
+
+  std::printf("{\"bench\": \"parallel_scaling\", \"hardware_jobs\": %zu",
+              exec::hardware_jobs());
+
+  // ---- synthesis batch -----------------------------------------------------
+  {
+    synth::SynthOptions serial;
+    serial.jobs = 1;
+    const std::vector<synth::SynthesisResult> reference =
+        synth::synthesize_opamp_batch(t, specs, serial);
+
+    std::vector<double> seconds;
+    bool deterministic = true;
+    for (const std::size_t j : jobs) {
+      synth::SynthOptions opts;
+      opts.jobs = j;
+      std::vector<synth::SynthesisResult> out;
+      out = synth::synthesize_opamp_batch(t, specs, opts);  // warm-up
+      seconds.push_back(time_best_of(3, [&] {
+        out = synth::synthesize_opamp_batch(t, specs, opts);
+      }));
+      for (std::size_t i = 0; i < out.size(); ++i) {
+        deterministic &= out[i].selection.best == reference[i].selection.best;
+        for (std::size_t k = 0; k < out[i].candidates.size(); ++k) {
+          deterministic &= out[i].candidates[k].predicted.area ==
+                           reference[i].candidates[k].predicted.area;
+        }
+      }
+    }
+    all_deterministic &= deterministic;
+    std::printf(",\n \"synthesis_batch\": {\"specs\": %zu, "
+                "\"deterministic\": %s, ",
+                specs.size(), deterministic ? "true" : "false");
+    emit_runs(jobs, seconds);
+    std::printf("}");
+  }
+
+  // ---- AC frequency fan-out ------------------------------------------------
+  {
+    const synth::SynthesisResult r =
+        synth::synthesize_opamp(t, synth::spec_case_b());
+    if (!r.success()) {
+      std::printf("}\n");
+      std::fprintf(stderr, "case B synthesis failed\n");
+      return 1;
+    }
+    synth::MeasureOptions mo;
+    mo.ac_points = 481;  // dense Bode: one LU factorization per point
+    mo.measure_slew = false;
+    mo.measure_icmr = false;
+    mo.measure_noise = false;
+
+    std::vector<double> seconds;
+    bool deterministic = true;
+    synth::MeasureOptions serial = mo;
+    serial.jobs = 1;
+    const synth::MeasuredOpAmp reference =
+        synth::measure_opamp(*r.best(), t, serial);
+    for (const std::size_t j : jobs) {
+      synth::MeasureOptions opts = mo;
+      opts.jobs = j;
+      synth::MeasuredOpAmp m = synth::measure_opamp(*r.best(), t, opts);
+      seconds.push_back(time_best_of(
+          3, [&] { m = synth::measure_opamp(*r.best(), t, opts); }));
+      deterministic &= m.ok == reference.ok &&
+                       m.perf.gain_db == reference.perf.gain_db &&
+                       m.perf.gbw == reference.perf.gbw &&
+                       m.perf.pm_deg == reference.perf.pm_deg &&
+                       m.bode.phase_deg == reference.bode.phase_deg;
+    }
+    all_deterministic &= deterministic;
+    std::printf(",\n \"ac_points\": {\"points\": %zu, "
+                "\"deterministic\": %s, ",
+                mo.ac_points, deterministic ? "true" : "false");
+    emit_runs(jobs, seconds);
+    std::printf("}");
+  }
+
+  std::printf("}\n");
+  if (!all_deterministic) {
+    std::fprintf(stderr,
+                 "FAIL: results differ across thread counts\n");
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Shared --jobs handling for the bench harnesses.
+//
+// Every harness accepts `--jobs N` (worker threads for synthesis and
+// simulation; default hardware concurrency, 1 = serial).  Results are
+// identical at every setting — the flag only changes wall-clock time.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "exec/executor.h"
+
+namespace oasys::bench {
+
+// Applies --jobs N from argv; returns false (after printing a message) on
+// a malformed value so the harness can exit non-zero.  Unrelated arguments
+// are left for the harness to interpret.
+inline bool apply_jobs_flag(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") != 0) continue;
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "--jobs requires a value\n");
+      return false;
+    }
+    const long n = std::strtol(argv[i + 1], nullptr, 10);
+    if (n < 1) {
+      std::fprintf(stderr, "--jobs must be >= 1\n");
+      return false;
+    }
+    exec::set_default_jobs(static_cast<std::size_t>(n));
+    return true;
+  }
+  return true;
+}
+
+}  // namespace oasys::bench

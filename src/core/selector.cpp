@@ -1,6 +1,7 @@
 #include "core/selector.h"
 
 #include <algorithm>
+#include <cmath>
 #include <sstream>
 
 #include "util/text.h"
@@ -20,6 +21,15 @@ SelectionResult select_style(const std::vector<StyleScore>& candidates) {
                      if (sa.violations != sb.violations) {
                        return sa.violations < sb.violations;
                      }
+                     // A degenerate designer can report a NaN/inf area;
+                     // comparing it with `<` would break the strict weak
+                     // ordering std::stable_sort requires (UB).  Rank any
+                     // non-finite area behind every finite one and treat
+                     // two non-finite areas as equivalent.
+                     const bool fa = std::isfinite(sa.area);
+                     const bool fb = std::isfinite(sb.area);
+                     if (fa != fb) return fa;
+                     if (!fa) return false;
                      return sa.area < sb.area;
                    });
   if (!result.ranking.empty()) result.best = result.ranking.front();

@@ -1,0 +1,190 @@
+#include "exec/executor.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace oasys::exec {
+
+namespace {
+
+thread_local bool t_in_pool_worker = false;
+
+std::atomic<std::size_t> g_default_jobs{0};  // 0 = hardware_jobs()
+
+}  // namespace
+
+std::size_t hardware_jobs() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n > 0 ? static_cast<std::size_t>(n) : 1;
+}
+
+void set_default_jobs(std::size_t jobs) {
+  g_default_jobs.store(jobs, std::memory_order_relaxed);
+}
+
+std::size_t default_jobs() {
+  const std::size_t j = g_default_jobs.load(std::memory_order_relaxed);
+  return j > 0 ? j : hardware_jobs();
+}
+
+std::size_t resolve_jobs(std::size_t jobs) {
+  return jobs > 0 ? jobs : default_jobs();
+}
+
+bool in_pool_worker() { return t_in_pool_worker; }
+
+// ---- ThreadPool -------------------------------------------------------------
+
+struct ThreadPool::Impl {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<std::function<void()>> queue;
+  bool stop = false;
+  std::vector<std::thread> workers;
+
+  explicit Impl(std::size_t threads) {
+    workers.reserve(threads);
+    for (std::size_t i = 0; i < threads; ++i) {
+      workers.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  void worker_loop() {
+    t_in_pool_worker = true;
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [this] { return stop || !queue.empty(); });
+        if (stop && queue.empty()) return;
+        task = std::move(queue.front());
+        queue.pop_front();
+      }
+      task();
+    }
+  }
+
+  void shutdown() {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      stop = true;
+    }
+    cv.notify_all();
+    for (auto& w : workers) w.join();
+  }
+};
+
+ThreadPool::ThreadPool(std::size_t threads)
+    : impl_(new Impl(std::max<std::size_t>(threads, 1))) {}
+
+ThreadPool::~ThreadPool() {
+  impl_->shutdown();
+  delete impl_;
+}
+
+std::size_t ThreadPool::size() const { return impl_->workers.size(); }
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->queue.push_back(std::move(task));
+  }
+  impl_->cv.notify_one();
+}
+
+ThreadPool& ThreadPool::global() {
+  // Leaked on purpose: worker threads must outlive every static destructor
+  // that could still issue a parallel region.
+  static ThreadPool* pool = new ThreadPool(hardware_jobs());
+  return *pool;
+}
+
+// ---- parallel_for -----------------------------------------------------------
+
+namespace {
+
+// Shared state of one parallel_for region.  The caller and up to jobs-1
+// pool helpers drain `next` cooperatively; `done` counts finished helpers
+// so the caller can wait for stragglers still inside `body`.
+struct ForState {
+  const std::function<void(std::size_t)>* body = nullptr;
+  std::size_t n = 0;
+  std::atomic<std::size_t> next{0};
+  std::vector<std::exception_ptr> errors;  // slot per index
+  std::mutex mu;
+  std::condition_variable cv;
+  std::size_t helpers_running = 0;
+
+  void drain() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        (*body)(i);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    }
+  }
+};
+
+void run_serial(std::size_t n, const std::function<void(std::size_t)>& body) {
+  for (std::size_t i = 0; i < n; ++i) body(i);
+}
+
+}  // namespace
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
+                  std::size_t jobs) {
+  if (n == 0) return;
+  const std::size_t effective = std::min(resolve_jobs(jobs), n);
+  // Nested regions run inline: a pool worker waiting on further pool tasks
+  // could deadlock once every worker does the same, and the serial path is
+  // the determinism reference anyway.
+  if (effective <= 1 || in_pool_worker()) {
+    run_serial(n, body);
+    return;
+  }
+
+  ForState st;
+  st.body = &body;
+  st.n = n;
+  st.errors.resize(n);
+  const std::size_t helpers = effective - 1;  // caller is the last lane
+  {
+    std::lock_guard<std::mutex> lock(st.mu);
+    st.helpers_running = helpers;
+  }
+  for (std::size_t h = 0; h < helpers; ++h) {
+    ThreadPool::global().submit([&st] {
+      st.drain();
+      {
+        std::lock_guard<std::mutex> lock(st.mu);
+        --st.helpers_running;
+      }
+      st.cv.notify_one();
+    });
+  }
+  st.drain();
+  {
+    std::unique_lock<std::mutex> lock(st.mu);
+    st.cv.wait(lock, [&st] { return st.helpers_running == 0; });
+  }
+  // Deterministic exception choice: lowest throwing index wins.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (st.errors[i]) std::rethrow_exception(st.errors[i]);
+  }
+}
+
+void parallel_invoke(std::vector<std::function<void()>> tasks,
+                     std::size_t jobs) {
+  parallel_for(
+      tasks.size(), [&tasks](std::size_t i) { tasks[i](); }, jobs);
+}
+
+}  // namespace oasys::exec

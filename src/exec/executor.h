@@ -1,0 +1,96 @@
+// Parallel work executor for synthesis and simulation sweeps.
+//
+// The synthesis workload is embarrassingly parallel at several levels —
+// design styles per spec, specs per batch, frequency points per AC run,
+// bias values per sweep, corners per robustness check — and every level
+// shares one requirement: the numbers must not depend on the thread count.
+// This module provides the substrate:
+//
+//  * ThreadPool      — fixed set of worker threads draining a task queue;
+//  * parallel_for    — index-space loop over [0, n); bodies write their
+//                      results into caller-owned slot `i`, so results land
+//                      by index, never by completion order;
+//  * parallel_invoke — a fixed set of heterogeneous tasks, same guarantee.
+//
+// Determinism guarantee: a body invoked for index i performs exactly the
+// same arithmetic regardless of which thread runs it or how many threads
+// exist, so `jobs = 1` and `jobs = N` produce bit-for-bit identical
+// results.  `jobs = 1` (or a nested parallel region) runs inline on the
+// calling thread in ascending index order — exactly the pre-executor
+// serial code path.
+//
+// Exceptions thrown by a body are captured per index; after the loop the
+// exception from the *lowest* throwing index is rethrown on the caller
+// (again independent of scheduling).  Remaining indices still run.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace oasys::exec {
+
+// Worker threads the hardware supports; always >= 1.
+std::size_t hardware_jobs();
+
+// Process-wide default parallelism, used whenever a `jobs` argument is 0.
+// `set_default_jobs(0)` restores the hardware default; `set_default_jobs(1)`
+// makes every parallel_* call run serially inline (the CLI's `--jobs 1`).
+void set_default_jobs(std::size_t jobs);
+std::size_t default_jobs();
+
+// Resolves a user-facing jobs value: 0 -> default_jobs().
+std::size_t resolve_jobs(std::size_t jobs);
+
+// Fixed-size pool of worker threads draining a FIFO task queue.  Tasks must
+// not block on other pool tasks; parallel_for handles nesting by running
+// nested regions inline (see in_pool_worker).
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const;
+  // Enqueues a task; worker threads execute in FIFO order.
+  void submit(std::function<void()> task);
+
+  // Process-wide pool, created on first use with hardware_jobs() threads.
+  // Never destroyed (workers detach at exit) so static-destruction order
+  // cannot race a late parallel region.
+  static ThreadPool& global();
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+// True when the calling thread is a ThreadPool worker.  parallel_for uses
+// this to serialize nested parallel regions instead of deadlocking on pool
+// capacity; callers may use it for diagnostics.
+bool in_pool_worker();
+
+// Runs body(0) .. body(n-1), distributing indices over up to `jobs`
+// threads (0 = default_jobs()).  The caller participates, so `jobs = 1`
+// never touches the pool.  Returns after every index has completed.
+// Rethrows the exception of the lowest throwing index, if any.
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
+                  std::size_t jobs = 0);
+
+// Runs a fixed set of heterogeneous tasks with the same distribution,
+// completion, and exception rules as parallel_for.
+void parallel_invoke(std::vector<std::function<void()>> tasks,
+                     std::size_t jobs = 0);
+
+// Convenience: parallel_invoke over an argument pack of callables.
+template <typename... Fns>
+void invoke_all(std::size_t jobs, Fns&&... fns) {
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(sizeof...(fns));
+  (tasks.emplace_back(std::forward<Fns>(fns)), ...);
+  parallel_invoke(std::move(tasks), jobs);
+}
+
+}  // namespace oasys::exec

@@ -67,7 +67,7 @@ LuFactors<T> lu_factor(Matrix<T> a) {
 template <typename T>
 std::vector<T> lu_solve(const LuFactors<T>& f, const std::vector<T>& b) {
   if (f.singular) {
-    throw std::invalid_argument("lu_solve: factorization is singular");
+    throw SingularMatrixError("lu_solve: factorization is singular");
   }
   const std::size_t n = f.lu.rows();
   if (b.size() != n) {
@@ -95,7 +95,7 @@ template <typename T>
 std::vector<T> solve(const Matrix<T>& a, const std::vector<T>& b) {
   auto f = lu_factor(a);
   if (f.singular) {
-    throw std::runtime_error("solve: singular matrix");
+    throw SingularMatrixError("solve: singular matrix");
   }
   return lu_solve(f, b);
 }

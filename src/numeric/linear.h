@@ -6,11 +6,21 @@
 #pragma once
 
 #include <complex>
+#include <stdexcept>
 #include <vector>
 
 #include "numeric/matrix.h"
 
 namespace oasys::num {
+
+// Thrown by every solve entry point (lu_solve on a singular factorization,
+// one-shot solve on a singular matrix) so callers can catch one type
+// regardless of which path they took.  Derives from std::runtime_error,
+// which singular solves historically threw from solve().
+class SingularMatrixError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 // Result of an in-place LU factorization (PA = LU).
 template <typename T>
@@ -27,13 +37,13 @@ struct LuFactors {
 template <typename T>
 LuFactors<T> lu_factor(Matrix<T> a);
 
-// Solves LU x = Pb for x.  Throws std::invalid_argument on size mismatch or
-// if the factorization was singular.
+// Solves LU x = Pb for x.  Throws SingularMatrixError if the factorization
+// was singular and std::invalid_argument on rhs size mismatch.
 template <typename T>
 std::vector<T> lu_solve(const LuFactors<T>& f, const std::vector<T>& b);
 
 // One-shot convenience: factor + solve.
-// Throws std::runtime_error if the matrix is singular.
+// Throws SingularMatrixError if the matrix is singular.
 template <typename T>
 std::vector<T> solve(const Matrix<T>& a, const std::vector<T>& b);
 

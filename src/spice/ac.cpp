@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "exec/executor.h"
 #include "numeric/linear.h"
 #include "spice/small_signal.h"
 #include "util/units.h"
@@ -91,7 +92,8 @@ void build_small_signal_matrices(const ckt::Circuit& c,
 }
 
 AcResult ac_analysis(const ckt::Circuit& c, const tech::Technology& t,
-                     const OpResult& op, const std::vector<double>& freqs) {
+                     const OpResult& op, const std::vector<double>& freqs,
+                     std::size_t jobs) {
   AcResult result;
   if (!op.converged) {
     result.error = "operating point did not converge";
@@ -130,26 +132,43 @@ AcResult ac_analysis(const ckt::Circuit& c, const tech::Technology& t,
     if (ib >= 0) rhs[static_cast<std::size_t>(ib)] += phasor;
   }
 
-  result.freqs = freqs;
-  result.solutions.reserve(freqs.size());
   for (const double f : freqs) {
     if (!(f > 0.0)) {
       result.error = "AC frequency must be positive";
       return result;
     }
-    const double w = util::kTwoPi * f;
-    num::ComplexMatrix y(n, n);
-    for (std::size_t r = 0; r < n; ++r) {
-      for (std::size_t col = 0; col < n; ++col) {
-        y(r, col) = Cplx(g(r, col), w * cap(r, col));
-      }
-    }
-    auto lu = num::lu_factor(std::move(y));
-    if (lu.singular) {
+  }
+
+  // Every frequency point factors its own complex MNA matrix from the
+  // shared G/C stamps — fully independent, so the points distribute over
+  // `jobs` lanes with each solution landing in its own slot.
+  result.freqs = freqs;
+  result.solutions.assign(freqs.size(), {});
+  std::vector<char> singular(freqs.size(), 0);
+  exec::parallel_for(
+      freqs.size(),
+      [&](std::size_t i) {
+        const double w = util::kTwoPi * freqs[i];
+        num::ComplexMatrix y(n, n);
+        for (std::size_t r = 0; r < n; ++r) {
+          for (std::size_t col = 0; col < n; ++col) {
+            y(r, col) = Cplx(g(r, col), w * cap(r, col));
+          }
+        }
+        auto lu = num::lu_factor(std::move(y));
+        if (lu.singular) {
+          singular[i] = 1;
+          return;
+        }
+        result.solutions[i] = num::lu_solve(lu, rhs);
+      },
+      jobs);
+  for (const char s : singular) {
+    if (s) {
+      result.solutions.clear();
       result.error = "singular AC matrix";
       return result;
     }
-    result.solutions.push_back(num::lu_solve(lu, rhs));
   }
   result.ok = true;
   return result;

@@ -28,8 +28,12 @@ struct AcResult {
 };
 
 // Runs AC analysis over `freqs` (Hz, each > 0).  `op` must be a converged
-// operating point for the same circuit.
+// operating point for the same circuit.  Frequency points are independent
+// solves and run on up to `jobs` threads (0 = exec::default_jobs(),
+// 1 = serial); solutions land by point index, so the result is identical
+// at every jobs setting.
 AcResult ac_analysis(const ckt::Circuit& c, const tech::Technology& t,
-                     const OpResult& op, const std::vector<double>& freqs);
+                     const OpResult& op, const std::vector<double>& freqs,
+                     std::size_t jobs = 0);
 
 }  // namespace oasys::sim

@@ -20,7 +20,18 @@ BodeSeries bode_of_node(const AcResult& ac, const MnaLayout& layout,
     const double mag = std::abs(v);
     out.gain_db.push_back(mag > 0.0 ? util::db20(mag) : -400.0);
     double phase = util::deg(std::arg(v));
-    if (!first) {
+    if (first) {
+      // The principal value is ambiguous at the ±180° branch point: for an
+      // inverting response the first sample sits at ±180° minus a little
+      // lag, and rounding in the imaginary part decides which sign comes
+      // back.  Seeding the unwrap from the raw value would then flip the
+      // entire series by 360° run-to-run.  Fold the seed relative to the
+      // DC reference: a first sample below −90° is re-read as lag past
+      // +180° (a response cannot *lead* by more than a quarter turn at its
+      // lowest sampled frequency), so inverting responses always start
+      // near +180°.
+      if (phase < -90.0) phase += 360.0;
+    } else {
       // Unwrap: keep each step within half a turn of the previous sample.
       while (phase - prev_phase > 180.0) phase -= 360.0;
       while (phase - prev_phase < -180.0) phase += 360.0;

@@ -1,5 +1,7 @@
 #include "synth/oasys.h"
 
+#include "exec/executor.h"
+
 namespace oasys::synth {
 
 SynthesisResult synthesize_opamp(const tech::Technology& t,
@@ -8,9 +10,16 @@ SynthesisResult synthesize_opamp(const tech::Technology& t,
   SynthesisResult result;
   result.spec = spec;
 
-  result.candidates.push_back(design_one_stage_ota(t, spec, opts));
-  result.candidates.push_back(design_two_stage(t, spec, opts));
-  result.candidates.push_back(design_folded_cascode(t, spec, opts));
+  // Breadth-first style enumeration: the three designers are independent,
+  // so they run as one parallel_invoke.  Each writes its fixed slot, which
+  // keeps the candidate order (and everything downstream of it) identical
+  // to the serial evaluation.
+  result.candidates.resize(3);
+  exec::invoke_all(
+      opts.jobs,
+      [&] { result.candidates[0] = design_one_stage_ota(t, spec, opts); },
+      [&] { result.candidates[1] = design_two_stage(t, spec, opts); },
+      [&] { result.candidates[2] = design_folded_cascode(t, spec, opts); });
 
   std::vector<core::StyleScore> scores;
   scores.reserve(result.candidates.size());
@@ -24,6 +33,19 @@ SynthesisResult synthesize_opamp(const tech::Technology& t,
   }
   result.selection = core::select_style(scores);
   return result;
+}
+
+std::vector<SynthesisResult> synthesize_opamp_batch(
+    const tech::Technology& t, const std::vector<core::OpAmpSpec>& specs,
+    const SynthOptions& opts) {
+  std::vector<SynthesisResult> out(specs.size());
+  // Parallelism across specs; the per-spec style fan-out nests and
+  // therefore runs inline on whichever lane picked the spec up.
+  exec::parallel_for(
+      specs.size(),
+      [&](std::size_t i) { out[i] = synthesize_opamp(t, specs[i], opts); },
+      opts.jobs);
+  return out;
 }
 
 }  // namespace oasys::synth

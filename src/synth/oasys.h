@@ -24,9 +24,19 @@ struct SynthesisResult {
   }
 };
 
-// Designs every op-amp style for `spec` and selects the best.
+// Designs every op-amp style for `spec` and selects the best.  The style
+// designers run via exec::parallel_invoke (opts.jobs lanes); results are
+// identical at every jobs setting.
 SynthesisResult synthesize_opamp(const tech::Technology& t,
                                  const core::OpAmpSpec& spec,
                                  const SynthOptions& opts = {});
+
+// Synthesizes a whole batch of specs, parallel across specs (opts.jobs
+// lanes, 0 = exec::default_jobs()).  out[i] is exactly what
+// synthesize_opamp(t, specs[i], opts) returns — the sweep-server shape:
+// many independent spec translations per request.
+std::vector<SynthesisResult> synthesize_opamp_batch(
+    const tech::Technology& t, const std::vector<core::OpAmpSpec>& specs,
+    const SynthOptions& opts = {});
 
 }  // namespace oasys::synth

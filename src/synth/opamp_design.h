@@ -81,6 +81,10 @@ struct SynthOptions {
   // Accept a completed design whose predicted phase margin is within this
   // many degrees below spec as a first-cut (paper case C behaviour).
   double pm_grace_deg = 15.0;
+  // Parallelism for the style designers (0 = exec::default_jobs(), 1 =
+  // strictly serial).  Results are identical at every setting; see
+  // exec/executor.h for the determinism guarantee.
+  std::size_t jobs = 0;
 };
 
 }  // namespace oasys::synth

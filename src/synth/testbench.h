@@ -24,6 +24,7 @@
 #include "spice/noise.h"
 #include "synth/netlist_builder.h"
 #include "synth/opamp_design.h"
+#include "tech/builtin.h"
 
 namespace oasys::synth {
 
@@ -39,6 +40,9 @@ struct MeasureOptions {
   bool measure_icmr = true;
   bool measure_noise = true;
   std::size_t noise_points = 25;
+  // Threads for the AC frequency fan-out (0 = exec::default_jobs(),
+  // 1 = serial).  Measured numbers are identical at every setting.
+  std::size_t jobs = 0;
 };
 
 struct MeasuredOpAmp {
@@ -59,5 +63,15 @@ struct MeasuredOpAmp {
 MeasuredOpAmp measure_opamp(const OpAmpDesign& design,
                             const tech::Technology& t,
                             const MeasureOptions& opts = {});
+
+// Corner enumeration: re-measures one sized design with the device
+// parameters derated to each corner.  Corners are independent full
+// measurement runs, so they distribute over up to `jobs` threads
+// (0 = exec::default_jobs()); out[i] is exactly what a serial
+// measure_opamp at corners[i] returns.
+std::vector<MeasuredOpAmp> measure_across_corners(
+    const OpAmpDesign& design, const tech::Technology& nominal,
+    const std::vector<tech::Corner>& corners, const MeasureOptions& opts = {},
+    std::size_t jobs = 0);
 
 }  // namespace oasys::synth

@@ -85,8 +85,39 @@ TEST(Lu, DetectsSingular) {
   a(1, 1) = 4.0;
   const auto f = lu_factor(a);
   EXPECT_TRUE(f.singular);
-  EXPECT_THROW(lu_solve(f, {1.0, 1.0}), std::invalid_argument);
+  // Both solve entry points throw the same type so callers can catch
+  // consistently (lu_solve used to throw std::invalid_argument while
+  // solve threw std::runtime_error).
+  EXPECT_THROW(lu_solve(f, {1.0, 1.0}), SingularMatrixError);
+  EXPECT_THROW(solve(a, {1.0, 1.0}), SingularMatrixError);
+  // SingularMatrixError remains catchable as the historical base type.
   EXPECT_THROW(solve(a, {1.0, 1.0}), std::runtime_error);
+}
+
+TEST(Lu, DetectsSingularComplex) {
+  using C = std::complex<double>;
+  ComplexMatrix a(2, 2);
+  a(0, 0) = C(1.0, 1.0);
+  a(0, 1) = C(2.0, 2.0);
+  a(1, 0) = C(2.0, 2.0);
+  a(1, 1) = C(4.0, 4.0);  // row 1 = 2 * row 0
+  const auto f = lu_factor(a);
+  EXPECT_TRUE(f.singular);
+  const std::vector<C> b = {C(1.0, 0.0), C(1.0, 0.0)};
+  EXPECT_THROW(lu_solve(f, b), SingularMatrixError);
+  EXPECT_THROW(solve(a, b), SingularMatrixError);
+}
+
+TEST(Lu, RhsSizeMismatchStaysInvalidArgument) {
+  // Size mismatch is a caller bug, not a numerical condition; it keeps the
+  // std::invalid_argument contract and is never conflated with
+  // singularity.
+  RealMatrix a(2, 2);
+  a(0, 0) = 1.0;
+  a(1, 1) = 1.0;
+  const auto f = lu_factor(a);
+  ASSERT_FALSE(f.singular);
+  EXPECT_THROW(lu_solve(f, {1.0}), std::invalid_argument);
 }
 
 TEST(Lu, RandomRoundTrip) {

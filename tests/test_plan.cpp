@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "core/context.h"
 #include "core/plan.h"
 #include "core/selector.h"
@@ -316,6 +318,44 @@ TEST(Selector, PrefersFewestViolationsThenArea) {
   EXPECT_EQ(r.ranking[1], 0u);
   EXPECT_EQ(r.ranking[2], 2u);
   EXPECT_NE(r.summary.find("selected"), std::string::npos);
+}
+
+TEST(Selector, NanAreaRanksWorst) {
+  // A degenerate designer can hand selection a feasible candidate whose
+  // predicted area is NaN; `<` on NaN breaks strict weak ordering (UB in
+  // std::stable_sort) and used to scramble the ranking.  Non-finite area
+  // must rank behind every finite competitor, never win, never crash.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const SelectionResult r = select_style({
+      {"nan-area", true, 0, nan},
+      {"clean", true, 0, 5e-9},
+      {"dirty", true, 1, 1e-9},
+      {"inf-area", true, 0, std::numeric_limits<double>::infinity()},
+  });
+  ASSERT_TRUE(r.best.has_value());
+  EXPECT_EQ(*r.best, 1u);  // clean: finite area, no violations
+  ASSERT_EQ(r.ranking.size(), 4u);
+  EXPECT_EQ(r.ranking[0], 1u);
+  // Both non-finite areas sit behind clean but ahead of the violating
+  // candidate, keeping their input order (stable sort).
+  EXPECT_EQ(r.ranking[1], 0u);
+  EXPECT_EQ(r.ranking[2], 3u);
+  EXPECT_EQ(r.ranking[3], 2u);
+}
+
+TEST(Selector, AllNanAreasStillSelectDeterministically) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const SelectionResult r = select_style({
+      {"a", true, 0, nan},
+      {"b", true, 0, nan},
+      {"c", true, 0, nan},
+  });
+  ASSERT_TRUE(r.best.has_value());
+  EXPECT_EQ(*r.best, 0u);  // stable: input order preserved
+  ASSERT_EQ(r.ranking.size(), 3u);
+  EXPECT_EQ(r.ranking[0], 0u);
+  EXPECT_EQ(r.ranking[1], 1u);
+  EXPECT_EQ(r.ranking[2], 2u);
 }
 
 TEST(Selector, NoFeasibleCandidates) {

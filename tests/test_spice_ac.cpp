@@ -152,6 +152,88 @@ TEST(Measure, IntegratorUnityGainAndPhaseMargin) {
   EXPECT_NEAR(*m.phase_margin_deg, 90.0, 2.0);
 }
 
+TEST(Measure, InvertingSeedSignCannotFlipPhaseSeries) {
+  // Inverting two-pole response: the DC phase sits at the ±180° branch
+  // point, and rounding in the first sample's imaginary part decides which
+  // principal value comes back.  Seeding the unwrap from the raw value
+  // used to shift the whole series by 360° between the two rounding
+  // outcomes; the seed must now be canonical (near +180°) either way.
+  Circuit c;
+  const auto out = c.node("out");
+  c.add_resistor("R1", out, ckt::kGround, 1.0);
+  c.add_vsource("VREF", out, ckt::kGround, Waveform::dc(0.0));
+  const MnaLayout layout(c);
+  const int out_idx = layout.node_index(out);
+  ASSERT_GE(out_idx, 0);
+
+  const std::vector<double> freqs = num::logspace(1.0, 1e6, 61);
+  auto two_pole = [&](std::complex<double> first_sample) {
+    AcResult ac;
+    ac.ok = true;
+    ac.freqs = freqs;
+    for (const double f : freqs) {
+      const std::complex<double> h =
+          -100.0 / ((std::complex<double>(1.0, f / 1e2)) *
+                    (std::complex<double>(1.0, f / 1e5)));
+      std::vector<std::complex<double>> sol(layout.size());
+      sol[static_cast<std::size_t>(out_idx)] = h;
+      ac.solutions.push_back(std::move(sol));
+    }
+    ac.solutions[0][static_cast<std::size_t>(out_idx)] = first_sample;
+    return ac;
+  };
+
+  // Same magnitude, imaginary part rounded to opposite signs: principal
+  // values +179.4° vs -179.4°.
+  const AcResult plus = two_pole({-100.0, 1.0});
+  const AcResult minus = two_pole({-100.0, -1.0});
+  const BodeSeries bp = bode_of_node(plus, layout, out);
+  const BodeSeries bm = bode_of_node(minus, layout, out);
+
+  // Both series seed near +180° (fold into the DC reference) ...
+  EXPECT_NEAR(bp.phase_deg.front(), 180.0, 1.0);
+  EXPECT_NEAR(bm.phase_deg.front(), 180.0, 1.0);
+  // ... and track each other everywhere, instead of differing by 360°.
+  ASSERT_EQ(bp.phase_deg.size(), bm.phase_deg.size());
+  for (std::size_t i = 0; i < bp.phase_deg.size(); ++i) {
+    EXPECT_NEAR(bp.phase_deg[i], bm.phase_deg[i], 1.2) << "at index " << i;
+  }
+  // Far above both poles the accumulated lag approaches 360° total,
+  // i.e. the unwrapped series ends near 180 - 180 = 0 ... -180 band.
+  EXPECT_LT(bp.phase_deg.back(), 10.0);
+
+  // The derived loop metrics agree between the two rounding outcomes.
+  const LoopMetrics mp = loop_metrics(bp);
+  const LoopMetrics mm = loop_metrics(bm);
+  ASSERT_TRUE(mp.phase_margin_deg.has_value());
+  ASSERT_TRUE(mm.phase_margin_deg.has_value());
+  EXPECT_NEAR(*mp.phase_margin_deg, *mm.phase_margin_deg, 1.5);
+}
+
+TEST(Measure, NonInvertingSeedUnaffectedByFold) {
+  Circuit c;
+  const auto out = c.node("out");
+  c.add_resistor("R1", out, ckt::kGround, 1.0);
+  c.add_vsource("VREF", out, ckt::kGround, Waveform::dc(0.0));
+  const MnaLayout layout(c);
+  const int out_idx = layout.node_index(out);
+  ASSERT_GE(out_idx, 0);
+
+  AcResult ac;
+  ac.ok = true;
+  ac.freqs = {1.0, 10.0};
+  for (const double im : {-0.01, -0.1}) {
+    std::vector<std::complex<double>> sol(layout.size());
+    sol[static_cast<std::size_t>(out_idx)] = {10.0, im};
+    ac.solutions.push_back(std::move(sol));
+  }
+  const BodeSeries b = bode_of_node(ac, layout, out);
+  // A non-inverting response with a touch of lag keeps its small negative
+  // phase; the branch-point fold must not touch it.
+  EXPECT_NEAR(b.phase_deg.front(), -0.057, 0.01);
+  EXPECT_LT(b.phase_deg.front(), 0.0);
+}
+
 TEST(Measure, FirstCrossingNoneWhenGainBelowUnity) {
   BodeSeries b;
   b.freqs = {1.0, 10.0, 100.0};

@@ -9,11 +9,13 @@
 //
 // With no --spec, prints the built-in paper test cases as templates.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
 
 #include "core/spec_parser.h"
+#include "exec/executor.h"
 #include "netlist/spice_writer.h"
 #include "synth/oasys.h"
 #include "synth/report.h"
@@ -34,6 +36,9 @@ int usage() {
       "  --export FILE   write the synthesized design as a SPICE deck\n"
       "  --trace         print the full plan-execution narrative\n"
       "  --no-rules      disable plan-patching rules (ablation)\n"
+      "  --jobs N        worker threads for synthesis + simulation\n"
+      "                  (default: hardware concurrency; 1 = serial;\n"
+      "                  results are identical at every setting)\n"
       "  --templates     print the paper's test cases as spec templates\n");
   return 2;
 }
@@ -67,6 +72,15 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return usage();
       export_path = v;
+    } else if (arg == "--jobs") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      const long n = std::strtol(v, nullptr, 10);
+      if (n < 1) {
+        std::fprintf(stderr, "--jobs must be >= 1\n");
+        return usage();
+      }
+      exec::set_default_jobs(static_cast<std::size_t>(n));
     } else if (arg == "--verify") {
       verify = true;
     } else if (arg == "--trace") {
