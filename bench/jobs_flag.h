@@ -5,6 +5,7 @@
 // identical at every setting — the flag only changes wall-clock time.
 #pragma once
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -23,9 +24,12 @@ inline bool apply_jobs_flag(int argc, char** argv) {
       std::fprintf(stderr, "--jobs requires a value\n");
       return false;
     }
-    const long n = std::strtol(argv[i + 1], nullptr, 10);
-    if (n < 1) {
-      std::fprintf(stderr, "--jobs must be >= 1\n");
+    char* end = nullptr;
+    errno = 0;
+    const long n = std::strtol(argv[i + 1], &end, 10);
+    if (errno == ERANGE || end == argv[i + 1] || *end != '\0' || n < 1) {
+      std::fprintf(stderr, "--jobs requires a positive integer, got '%s'\n",
+                   argv[i + 1]);
       return false;
     }
     exec::set_default_jobs(static_cast<std::size_t>(n));

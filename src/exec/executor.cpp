@@ -5,6 +5,7 @@
 #include <condition_variable>
 #include <deque>
 #include <exception>
+#include <memory>
 #include <mutex>
 #include <thread>
 
@@ -109,8 +110,11 @@ ThreadPool& ThreadPool::global() {
 namespace {
 
 // Shared state of one parallel_for region.  The caller and up to jobs-1
-// pool helpers drain `next` cooperatively; `done` counts finished helpers
-// so the caller can wait for stragglers still inside `body`.
+// pool helpers drain `next` cooperatively; `helpers_running` counts live
+// helpers so the caller can wait for stragglers still inside `body`.
+// Owned by shared_ptr: each helper task holds a reference, so the state
+// (mutex and condition variable included) outlives every notify even if
+// the caller's wait returns the instant the count hits zero.
 struct ForState {
   const std::function<void(std::size_t)>* body = nullptr;
   std::size_t n = 0;
@@ -133,8 +137,19 @@ struct ForState {
   }
 };
 
+// Serial path with the same semantics as the parallel one: every index
+// runs even if an earlier body throws, and the exception of the lowest
+// throwing index (here simply the first) is rethrown afterwards.
 void run_serial(std::size_t n, const std::function<void(std::size_t)>& body) {
-  for (std::size_t i = 0; i < n; ++i) body(i);
+  std::exception_ptr first_error;
+  for (std::size_t i = 0; i < n; ++i) {
+    try {
+      body(i);
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 }  // namespace
@@ -151,33 +166,31 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
     return;
   }
 
-  ForState st;
-  st.body = &body;
-  st.n = n;
-  st.errors.resize(n);
+  auto st = std::make_shared<ForState>();
+  st->body = &body;
+  st->n = n;
+  st->errors.resize(n);
   const std::size_t helpers = effective - 1;  // caller is the last lane
-  {
-    std::lock_guard<std::mutex> lock(st.mu);
-    st.helpers_running = helpers;
-  }
+  st->helpers_running = helpers;
   for (std::size_t h = 0; h < helpers; ++h) {
-    ThreadPool::global().submit([&st] {
-      st.drain();
-      {
-        std::lock_guard<std::mutex> lock(st.mu);
-        --st.helpers_running;
-      }
-      st.cv.notify_one();
+    ThreadPool::global().submit([st] {
+      st->drain();
+      // Notify under the lock: once helpers_running hits zero the caller
+      // may stop waiting, and only the helpers' shared_ptr references keep
+      // the state alive through the notification.
+      std::lock_guard<std::mutex> lock(st->mu);
+      --st->helpers_running;
+      st->cv.notify_one();
     });
   }
-  st.drain();
+  st->drain();
   {
-    std::unique_lock<std::mutex> lock(st.mu);
-    st.cv.wait(lock, [&st] { return st.helpers_running == 0; });
+    std::unique_lock<std::mutex> lock(st->mu);
+    st->cv.wait(lock, [&st] { return st->helpers_running == 0; });
   }
   // Deterministic exception choice: lowest throwing index wins.
   for (std::size_t i = 0; i < n; ++i) {
-    if (st.errors[i]) std::rethrow_exception(st.errors[i]);
+    if (st->errors[i]) std::rethrow_exception(st->errors[i]);
   }
 }
 

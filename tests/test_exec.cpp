@@ -116,18 +116,20 @@ TEST(ParallelFor, PropagatesLowestIndexException) {
 }
 
 TEST(ParallelFor, RemainingIndicesStillRunAfterThrow) {
-  std::vector<std::atomic<int>> hits(50);
-  EXPECT_THROW(exec::parallel_for(
-                   50,
-                   [&](std::size_t i) {
-                     hits[i].fetch_add(1);
-                     if (i == 0) throw std::runtime_error("first");
-                   },
-                   4),
-               std::runtime_error);
-  int total = 0;
-  for (auto& h : hits) total += h.load();
-  EXPECT_EQ(total, 50);
+  for (const std::size_t jobs : {std::size_t{1}, std::size_t{4}}) {
+    std::vector<std::atomic<int>> hits(50);
+    EXPECT_THROW(exec::parallel_for(
+                     50,
+                     [&](std::size_t i) {
+                       hits[i].fetch_add(1);
+                       if (i == 0) throw std::runtime_error("first");
+                     },
+                     jobs),
+                 std::runtime_error);
+    int total = 0;
+    for (auto& h : hits) total += h.load();
+    EXPECT_EQ(total, 50) << "jobs=" << jobs;
+  }
 }
 
 TEST(ParallelFor, NestedRegionsDoNotDeadlock) {

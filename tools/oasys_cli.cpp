@@ -8,6 +8,7 @@
 //         [--export out.sp] [--trace] [--no-rules]
 //
 // With no --spec, prints the built-in paper test cases as templates.
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -75,9 +76,12 @@ int main(int argc, char** argv) {
     } else if (arg == "--jobs") {
       const char* v = next();
       if (v == nullptr) return usage();
-      const long n = std::strtol(v, nullptr, 10);
-      if (n < 1) {
-        std::fprintf(stderr, "--jobs must be >= 1\n");
+      char* end = nullptr;
+      errno = 0;
+      const long n = std::strtol(v, &end, 10);
+      if (errno == ERANGE || end == v || *end != '\0' || n < 1) {
+        std::fprintf(stderr, "--jobs requires a positive integer, got '%s'\n",
+                     v);
         return usage();
       }
       exec::set_default_jobs(static_cast<std::size_t>(n));
