@@ -1,16 +1,36 @@
-// Circuit-simulator microbenchmarks (google-benchmark): operating point,
-// AC sweep, and transient throughput on a synthesized op amp — the
-// substrate cost behind every verification run.
+// Circuit-simulator microbenchmarks: operating point, AC sweep, and
+// transient throughput on a synthesized op amp — the substrate cost behind
+// every verification run.
+//
+// Two modes:
+//  * default — the google-benchmark timing loops;
+//  * --json <path> — the perf-trajectory record: measures the pre-workspace
+//    baseline kernels (by-value LU, per-iteration heap allocation, exactly
+//    the code shape this repo shipped before workspace reuse) against the
+//    production workspace-reusing paths in the same binary, self-checks that
+//    both produce bit-for-bit identical numbers (also across --jobs 1/2/4),
+//    and writes the JSON record.  Exit is non-zero only when the
+//    determinism self-check fails; timings are informational.
 #include <benchmark/benchmark.h>
 
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
 #include "numeric/interpolate.h"
+#include "numeric/linear.h"
 #include "spice/ac.h"
 #include "spice/dc.h"
+#include "spice/small_signal.h"
 #include "spice/tran.h"
 #include "synth/netlist_builder.h"
 #include "synth/oasys.h"
 #include "synth/test_cases.h"
 #include "tech/builtin.h"
+#include "util/units.h"
+
+#include "jobs_flag.h"
+#include "perf_json.h"
 
 namespace {
 
@@ -56,8 +76,10 @@ void BM_OperatingPointWarm(benchmark::State& state) {
   Fixture& f = fixture();
   sim::OpOptions opts;
   opts.initial_guess = f.op.solution;
+  sim::SimWorkspace ws;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(sim::dc_operating_point(f.circuit, f.t, opts));
+    benchmark::DoNotOptimize(
+        sim::dc_operating_point(f.circuit, f.t, opts, &ws));
   }
 }
 BENCHMARK(BM_OperatingPointWarm);
@@ -82,6 +104,245 @@ void BM_Transient200Steps(benchmark::State& state) {
 }
 BENCHMARK(BM_Transient200Steps);
 
+// ---- JSON perf record -------------------------------------------------------
+
+using Cplx = std::complex<double>;
+
+// The pre-workspace Newton solve, reproduced exactly as the seed shipped
+// it: Jacobian and residual allocated per call, by-value LU (one matrix
+// copy), and fresh RHS + step vectors per iteration.  Performs the same
+// arithmetic as the production path, so its solution must match
+// sim::dc_operating_point bit for bit.
+bool baseline_newton(const sim::NonlinearSystem& sys,
+                     const sim::OpOptions& opts, std::vector<double>* x) {
+  const std::size_t n = sys.layout().size();
+  const std::size_t nv = sys.layout().num_node_unknowns();
+  num::RealMatrix jac(n, n);
+  std::vector<double> f(n);
+  sim::NonlinearSystem::EvalOptions eval_opts;
+  eval_opts.gmin = opts.gmin;
+  for (int iter = 0; iter < opts.max_iterations; ++iter) {
+    sys.eval(*x, eval_opts, &jac, &f);
+    auto lu = num::lu_factor(jac);
+    if (lu.singular) return false;
+    std::vector<double> rhs(n);
+    for (std::size_t i = 0; i < n; ++i) rhs[i] = -f[i];
+    std::vector<double> dx = num::lu_solve(lu, rhs);
+    double max_dv = 0.0;
+    for (std::size_t i = 0; i < nv; ++i) {
+      max_dv = std::max(max_dv, std::abs(dx[i]));
+    }
+    double scale = 1.0;
+    if (max_dv > opts.vlimit_step) scale = opts.vlimit_step / max_dv;
+    for (std::size_t i = 0; i < n; ++i) (*x)[i] += scale * dx[i];
+    if (max_dv < opts.vntol) {
+      sys.eval(*x, eval_opts, nullptr, &f);
+      double max_node_residual = 0.0;
+      for (std::size_t i = 0; i < nv; ++i) {
+        max_node_residual = std::max(max_node_residual, std::abs(f[i]));
+      }
+      if (max_node_residual < opts.abstol) return true;
+    }
+  }
+  return false;
+}
+
+// The pre-workspace warm dc_operating_point flow (plain-Newton strategy +
+// final bookkeeping pass), so baseline and production pay identical
+// system-construction and result-assembly costs and differ only in the
+// kernel-loop allocation behavior.
+sim::OpResult baseline_dc(const ckt::Circuit& c, const tech::Technology& t,
+                          const sim::OpOptions& opts) {
+  sim::NonlinearSystem sys(c, t);
+  const std::size_t n = sys.layout().size();
+  sim::OpResult result;
+  std::vector<double> x = opts.initial_guess.size() == n
+                              ? opts.initial_guess
+                              : std::vector<double>(n, 0.0);
+  std::vector<double> trial = x;
+  if (baseline_newton(sys, opts, &trial)) {
+    result.converged = true;
+    result.strategy = "newton";
+    result.solution = std::move(trial);
+    sim::NonlinearSystem::EvalOptions eval_opts;
+    eval_opts.gmin = opts.gmin;
+    sys.eval(result.solution, eval_opts, nullptr, nullptr, &result.devices);
+  } else {
+    result.solution = std::move(x);
+  }
+  return result;
+}
+
+// The pre-workspace AC sweep, reproduced exactly: a fresh complex matrix
+// per frequency point, element-wise fill, by-value factor and solve.
+std::vector<std::vector<Cplx>> baseline_ac(const num::RealMatrix& g,
+                                           const num::RealMatrix& cap,
+                                           const std::vector<Cplx>& rhs,
+                                           const std::vector<double>& freqs,
+                                           bool* ok) {
+  const std::size_t n = g.rows();
+  std::vector<std::vector<Cplx>> solutions(freqs.size());
+  *ok = true;
+  for (std::size_t i = 0; i < freqs.size(); ++i) {
+    const double w = util::kTwoPi * freqs[i];
+    num::ComplexMatrix y(n, n);
+    for (std::size_t r = 0; r < n; ++r) {
+      for (std::size_t col = 0; col < n; ++col) {
+        y(r, col) = Cplx(g(r, col), w * cap(r, col));
+      }
+    }
+    auto lu = num::lu_factor(std::move(y));
+    if (lu.singular) {
+      *ok = false;
+      return solutions;
+    }
+    solutions[i] = num::lu_solve(lu, rhs);
+  }
+  return solutions;
+}
+
+// The fixture's AC excitation vector, as ac_analysis assembles it.
+std::vector<Cplx> ac_excitation(const ckt::Circuit& c,
+                                const sim::MnaLayout& layout) {
+  std::vector<Cplx> rhs(layout.size(), Cplx{});
+  for (std::size_t k = 0; k < c.vsources().size(); ++k) {
+    const auto& v = c.vsources()[k];
+    if (v.wave.ac_mag() != 0.0) {
+      const double ph = util::rad(v.wave.ac_phase_deg());
+      rhs[layout.branch_index(k)] = std::polar(v.wave.ac_mag(), ph);
+    }
+  }
+  return rhs;
+}
+
+int emit_json(const char* path) {
+  Fixture& f = fixture();
+  sim::NonlinearSystem sys(f.circuit, f.t);
+  const std::size_t n = sys.layout().size();
+  const auto freqs = num::logspace(1.0, 1e8, 61);
+  bool deterministic = true;
+
+  // ---- DC Newton: warm solves, baseline vs workspace ----------------------
+  sim::OpOptions warm;
+  warm.initial_guess = f.op.solution;
+  const int dc_solves = 2000;
+
+  const sim::OpResult dc_base_ref = baseline_dc(f.circuit, f.t, warm);
+  sim::SimWorkspace ws;
+  const sim::OpResult dc_ws_ref =
+      sim::dc_operating_point(f.circuit, f.t, warm, &ws);
+  const bool dc_equal = dc_base_ref.converged && dc_ws_ref.converged &&
+                        dc_base_ref.solution == dc_ws_ref.solution;
+  deterministic &= dc_equal;
+
+  const double dc_base_s = oasys::bench::time_best_of(7, [&] {
+    for (int i = 0; i < dc_solves; ++i) {
+      sim::OpResult r = baseline_dc(f.circuit, f.t, warm);
+      benchmark::DoNotOptimize(r);
+    }
+  });
+  const double dc_ws_s = oasys::bench::time_best_of(7, [&] {
+    for (int i = 0; i < dc_solves; ++i) {
+      sim::OpResult r = sim::dc_operating_point(f.circuit, f.t, warm, &ws);
+      benchmark::DoNotOptimize(r);
+    }
+  });
+
+  // ---- AC sweep: baseline vs workspace, plus jobs invariance --------------
+  num::RealMatrix g, cap;
+  sim::build_small_signal_matrices(f.circuit, sys.layout(), f.op, &g, &cap);
+  const std::vector<Cplx> rhs = ac_excitation(f.circuit, sys.layout());
+
+  bool base_ok = false;
+  const auto ac_base_ref = baseline_ac(g, cap, rhs, freqs, &base_ok);
+  const sim::AcResult ac_ws_ref =
+      sim::ac_analysis(f.circuit, f.t, f.op, freqs, 1);
+  bool ac_equal = base_ok && ac_ws_ref.ok &&
+                  ac_base_ref == ac_ws_ref.solutions;
+  bool ac_jobs_invariant = true;
+  for (const std::size_t jobs : {std::size_t{2}, std::size_t{4}}) {
+    const sim::AcResult r =
+        sim::ac_analysis(f.circuit, f.t, f.op, freqs, jobs);
+    ac_jobs_invariant &= r.ok && r.solutions == ac_ws_ref.solutions;
+  }
+  deterministic &= ac_equal && ac_jobs_invariant;
+
+  const int ac_repeats = 50;
+  const double ac_base_s = oasys::bench::time_best_of(7, [&] {
+    bool ok = false;
+    for (int i = 0; i < ac_repeats; ++i) {
+      auto s = baseline_ac(g, cap, rhs, freqs, &ok);
+      benchmark::DoNotOptimize(s);
+    }
+  });
+  const double ac_ws_s = oasys::bench::time_best_of(7, [&] {
+    for (int i = 0; i < ac_repeats; ++i) {
+      sim::AcResult r = sim::ac_analysis(f.circuit, f.t, f.op, freqs, 1);
+      benchmark::DoNotOptimize(r);
+    }
+  });
+
+  // ---- Transient: workspace path wall time (trajectory data) --------------
+  sim::TranOptions to;
+  to.tstop = 2e-6;
+  to.dt = 1e-8;
+  const sim::TranResult tr1 = sim::transient(f.circuit, f.t, f.op, to);
+  const sim::TranResult tr2 = sim::transient(f.circuit, f.t, f.op, to);
+  const bool tran_equal = tr1.ok && tr2.ok && tr1.states == tr2.states;
+  deterministic &= tran_equal;
+  const double tran_s = oasys::bench::time_best_of(3, [&] {
+    sim::TranResult r = sim::transient(f.circuit, f.t, f.op, to);
+    benchmark::DoNotOptimize(r);
+  });
+
+  FILE* out = std::fopen(path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path);
+    return 2;
+  }
+  std::fprintf(out,
+               "{\"bench\": \"sim_perf\", \"build_type\": \"%s\", "
+               "\"hardware_jobs\": %zu, \"matrix_size\": %zu,\n",
+               OASYS_BUILD_TYPE, exec::hardware_jobs(), n);
+  std::fprintf(out,
+               " \"dc_newton\": {\"solves\": %d, \"baseline_seconds\": %.6f, "
+               "\"workspace_seconds\": %.6f, \"speedup\": %.3f},\n",
+               dc_solves, dc_base_s, dc_ws_s, dc_base_s / dc_ws_s);
+  std::fprintf(out,
+               " \"ac_sweep\": {\"points\": %zu, \"repeats\": %d, "
+               "\"baseline_seconds\": %.6f, \"workspace_seconds\": %.6f, "
+               "\"speedup\": %.3f},\n",
+               freqs.size(), ac_repeats, ac_base_s, ac_ws_s,
+               ac_base_s / ac_ws_s);
+  std::fprintf(out,
+               " \"transient\": {\"steps\": %zu, \"seconds\": %.6f},\n",
+               tr1.time.size() - 1, tran_s);
+  std::fprintf(out,
+               " \"determinism\": {\"dc_bitwise_equal\": %s, "
+               "\"ac_bitwise_equal\": %s, \"ac_jobs_invariant\": %s, "
+               "\"tran_repeat_equal\": %s}}\n",
+               dc_equal ? "true" : "false", ac_equal ? "true" : "false",
+               ac_jobs_invariant ? "true" : "false",
+               tran_equal ? "true" : "false");
+  std::fclose(out);
+
+  if (!deterministic) {
+    std::fprintf(stderr, "FAIL: determinism self-check failed\n");
+    return 1;
+  }
+  std::printf("wrote %s (dc speedup %.2fx, ac speedup %.2fx)\n", path,
+              dc_base_s / dc_ws_s, ac_base_s / ac_ws_s);
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  if (!oasys::bench::apply_jobs_flag(argc, argv)) return 2;
+  if (const char* path = oasys::bench::parse_json_flag(argc, argv)) {
+    return emit_json(path);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Shared pieces of the JSON-emitting perf harness mode.
+//
+// `bench_sim_perf --json <path>` / `bench_synth_perf --json <path>` write a
+// machine-readable perf record (the repo's perf trajectory; see
+// BENCH_sim_perf.json) instead of running google-benchmark.  Timings are
+// best-of-N wall clock; a determinism self-check makes the record fail
+// loudly (non-zero exit) if results ever depend on buffer reuse or thread
+// count, while the timings themselves are informational.
+#pragma once
+
+#include <chrono>
+#include <cstring>
+#include <functional>
+
+// Stamped into the JSON records by bench/CMakeLists.txt; empty or absent
+// under multi-config generators.
+#ifndef OASYS_BUILD_TYPE
+#define OASYS_BUILD_TYPE "unknown"
+#endif
+
+namespace oasys::bench {
+
+// Returns the value following "--json", or nullptr when the flag is absent.
+inline const char* parse_json_flag(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) return argv[i + 1];
+  }
+  return nullptr;
+}
+
+inline double time_best_of(int reps, const std::function<void()>& fn) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+  }
+  return best;
+}
+
+}  // namespace oasys::bench

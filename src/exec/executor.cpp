@@ -116,7 +116,7 @@ namespace {
 // (mutex and condition variable included) outlives every notify even if
 // the caller's wait returns the instant the count hits zero.
 struct ForState {
-  const std::function<void(std::size_t)>* body = nullptr;
+  const std::function<void(std::size_t, std::size_t)>* body = nullptr;
   std::size_t n = 0;
   std::atomic<std::size_t> next{0};
   std::vector<std::exception_ptr> errors;  // slot per index
@@ -124,12 +124,12 @@ struct ForState {
   std::condition_variable cv;
   std::size_t helpers_running = 0;
 
-  void drain() {
+  void drain(std::size_t lane) {
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= n) return;
       try {
-        (*body)(i);
+        (*body)(i, lane);
       } catch (...) {
         errors[i] = std::current_exception();
       }
@@ -139,12 +139,14 @@ struct ForState {
 
 // Serial path with the same semantics as the parallel one: every index
 // runs even if an earlier body throws, and the exception of the lowest
-// throwing index (here simply the first) is rethrown afterwards.
-void run_serial(std::size_t n, const std::function<void(std::size_t)>& body) {
+// throwing index (here simply the first) is rethrown afterwards.  The
+// single inline lane is lane 0.
+void run_serial(std::size_t n,
+                const std::function<void(std::size_t, std::size_t)>& body) {
   std::exception_ptr first_error;
   for (std::size_t i = 0; i < n; ++i) {
     try {
-      body(i);
+      body(i, 0);
     } catch (...) {
       if (!first_error) first_error = std::current_exception();
     }
@@ -154,8 +156,15 @@ void run_serial(std::size_t n, const std::function<void(std::size_t)>& body) {
 
 }  // namespace
 
-void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
-                  std::size_t jobs) {
+std::size_t lane_count(std::size_t n, std::size_t jobs) {
+  if (n == 0) return 0;
+  if (in_pool_worker()) return 1;  // nested regions run inline
+  return std::min(resolve_jobs(jobs), n);
+}
+
+void parallel_for_lanes(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& body,
+    std::size_t jobs) {
   if (n == 0) return;
   const std::size_t effective = std::min(resolve_jobs(jobs), n);
   // Nested regions run inline: a pool worker waiting on further pool tasks
@@ -170,11 +179,11 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
   st->body = &body;
   st->n = n;
   st->errors.resize(n);
-  const std::size_t helpers = effective - 1;  // caller is the last lane
+  const std::size_t helpers = effective - 1;  // caller is lane 0
   st->helpers_running = helpers;
   for (std::size_t h = 0; h < helpers; ++h) {
-    ThreadPool::global().submit([st] {
-      st->drain();
+    ThreadPool::global().submit([st, lane = h + 1] {
+      st->drain(lane);
       // Notify under the lock: once helpers_running hits zero the caller
       // may stop waiting, and only the helpers' shared_ptr references keep
       // the state alive through the notification.
@@ -183,7 +192,7 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
       st->cv.notify_one();
     });
   }
-  st->drain();
+  st->drain(0);
   {
     std::unique_lock<std::mutex> lock(st->mu);
     st->cv.wait(lock, [&st] { return st->helpers_running == 0; });
@@ -192,6 +201,12 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
   for (std::size_t i = 0; i < n; ++i) {
     if (st->errors[i]) std::rethrow_exception(st->errors[i]);
   }
+}
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
+                  std::size_t jobs) {
+  parallel_for_lanes(
+      n, [&body](std::size_t i, std::size_t) { body(i); }, jobs);
 }
 
 void parallel_invoke(std::vector<std::function<void()>> tasks,

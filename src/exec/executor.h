@@ -79,6 +79,23 @@ bool in_pool_worker();
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
                   std::size_t jobs = 0);
 
+// Number of distinct lanes a parallel_for_lanes region with the same (n,
+// jobs) arguments will use, called on the same thread: min(jobs, n), or 1
+// when the region would run inline (nested region / jobs = 1).  Callers
+// size per-lane scratch state (workspaces) with this before the loop.
+std::size_t lane_count(std::size_t n, std::size_t jobs = 0);
+
+// Lane-indexed parallel_for: body(i, lane) with lane < lane_count(n, jobs).
+// All bodies on one lane run sequentially on a single thread, so `lane` can
+// index caller-owned mutable scratch (e.g. a reused matrix) without
+// synchronization or thread_local state.  The determinism guarantee is
+// preserved as long as the body's *results* depend only on `i` — scratch
+// reached through `lane` must be fully overwritten before use, never
+// carried between indices.
+void parallel_for_lanes(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& body,
+    std::size_t jobs = 0);
+
 // Runs a fixed set of heterogeneous tasks with the same distribution,
 // completion, and exception rules as parallel_for.
 void parallel_invoke(std::vector<std::function<void()>> tasks,

@@ -15,44 +15,51 @@ double magnitude(const std::complex<double>& x) { return std::abs(x); }
 }  // namespace
 
 template <typename T>
-LuFactors<T> lu_factor(Matrix<T> a) {
-  if (a.rows() != a.cols()) {
+void lu_factor_in_place(Matrix<T>* a, LuFactors<T>* f) {
+  if (a->rows() != a->cols()) {
     throw std::invalid_argument("lu_factor: matrix must be square");
   }
-  const std::size_t n = a.rows();
-  LuFactors<T> f;
-  f.perm.resize(n);
-  for (std::size_t i = 0; i < n; ++i) f.perm[i] = i;
-  f.min_pivot_magnitude = n > 0 ? std::numeric_limits<double>::infinity() : 0.0;
+  const std::size_t n = a->rows();
+  // Adopt the caller's storage; `*a` gets the factorization's previous
+  // buffer back (same size in steady state), ready for refilling.
+  std::swap(f->lu, *a);
+  Matrix<T>& lu = f->lu;
+  f->perm.resize(n);
+  f->pivots.resize(n);
+  for (std::size_t i = 0; i < n; ++i) f->perm[i] = i;
+  f->singular = false;
+  f->min_pivot_magnitude =
+      n > 0 ? std::numeric_limits<double>::infinity() : 0.0;
 
   for (std::size_t k = 0; k < n; ++k) {
     // Partial pivot: pick the largest |a(i,k)| for i >= k.
     std::size_t pivot_row = k;
-    double best = magnitude(a(k, k));
+    double best = magnitude(lu(k, k));
     for (std::size_t i = k + 1; i < n; ++i) {
-      const double m = magnitude(a(i, k));
+      const double m = magnitude(lu(i, k));
       if (m > best) {
         best = m;
         pivot_row = i;
       }
     }
     if (best == 0.0 || !std::isfinite(best)) {
-      f.singular = true;
-      f.min_pivot_magnitude = 0.0;
-      f.lu = std::move(a);
-      return f;
+      f->singular = true;
+      f->min_pivot_magnitude = 0.0;
+      for (std::size_t i = k; i < n; ++i) f->pivots[i] = i;
+      return;
     }
-    f.min_pivot_magnitude = std::min(f.min_pivot_magnitude, best);
+    f->min_pivot_magnitude = std::min(f->min_pivot_magnitude, best);
+    f->pivots[k] = pivot_row;
     if (pivot_row != k) {
-      std::swap(f.perm[k], f.perm[pivot_row]);
-      T* rk = a.row(k);
-      T* rp = a.row(pivot_row);
+      std::swap(f->perm[k], f->perm[pivot_row]);
+      T* rk = lu.row(k);
+      T* rp = lu.row(pivot_row);
       for (std::size_t c = 0; c < n; ++c) std::swap(rk[c], rp[c]);
     }
-    const T pivot = a(k, k);
+    const T pivot = lu(k, k);
     for (std::size_t i = k + 1; i < n; ++i) {
-      T* ri = a.row(i);
-      const T* rk = a.row(k);
+      T* ri = lu.row(i);
+      const T* rk = lu.row(k);
       const T factor = ri[k] / pivot;
       ri[k] = factor;  // store L entry in place
       if (factor != T{}) {
@@ -60,34 +67,52 @@ LuFactors<T> lu_factor(Matrix<T> a) {
       }
     }
   }
-  f.lu = std::move(a);
-  return f;
 }
 
 template <typename T>
-std::vector<T> lu_solve(const LuFactors<T>& f, const std::vector<T>& b) {
+void lu_solve_in_place(const LuFactors<T>& f, std::vector<T>* b) {
   if (f.singular) {
     throw SingularMatrixError("lu_solve: factorization is singular");
   }
   const std::size_t n = f.lu.rows();
-  if (b.size() != n) {
+  if (b->size() != n) {
     throw std::invalid_argument("lu_solve: rhs size mismatch");
   }
-  std::vector<T> x(n);
-  // Forward substitution with permuted rhs (L has unit diagonal).
+  T* x = b->data();
+  // Replay the recorded row swaps: x <- Pb, no scratch needed.  After the
+  // swaps, slot i holds b[perm[i]] — the same value the by-value solve
+  // gathers — so both paths run identical arithmetic from here on.
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t p = f.pivots[k];
+    if (p != k) std::swap(x[k], x[p]);
+  }
+  // Forward substitution in place (L has unit diagonal).
   for (std::size_t i = 0; i < n; ++i) {
-    T acc = b[f.perm[i]];
     const T* ri = f.lu.row(i);
+    T acc = x[i];
     for (std::size_t j = 0; j < i; ++j) acc -= ri[j] * x[j];
     x[i] = acc;
   }
-  // Back substitution.
+  // Back substitution in place.
   for (std::size_t ii = n; ii-- > 0;) {
     const T* ri = f.lu.row(ii);
     T acc = x[ii];
     for (std::size_t j = ii + 1; j < n; ++j) acc -= ri[j] * x[j];
     x[ii] = acc / ri[ii];
   }
+}
+
+template <typename T>
+LuFactors<T> lu_factor(Matrix<T> a) {
+  LuFactors<T> f;
+  lu_factor_in_place(&a, &f);
+  return f;
+}
+
+template <typename T>
+std::vector<T> lu_solve(const LuFactors<T>& f, const std::vector<T>& b) {
+  std::vector<T> x = b;
+  lu_solve_in_place(f, &x);
   return x;
 }
 
@@ -112,6 +137,13 @@ double max_abs(const std::vector<std::complex<double>>& v) {
   return m;
 }
 
+template void lu_factor_in_place(Matrix<double>*, LuFactors<double>*);
+template void lu_factor_in_place(Matrix<std::complex<double>>*,
+                                 LuFactors<std::complex<double>>*);
+template void lu_solve_in_place(const LuFactors<double>&,
+                                std::vector<double>*);
+template void lu_solve_in_place(const LuFactors<std::complex<double>>&,
+                                std::vector<std::complex<double>>*);
 template LuFactors<double> lu_factor(Matrix<double>);
 template LuFactors<std::complex<double>> lu_factor(
     Matrix<std::complex<double>>);

@@ -42,6 +42,11 @@ class Matrix {
   T* row(std::size_t r) { return data_.data() + r * cols_; }
   const T* row(std::size_t r) const { return data_.data() + r * cols_; }
 
+  // Contiguous row-major storage (rows()*cols() elements), for kernels that
+  // stream the whole matrix without per-element bounds checks.
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+
   std::vector<T> multiply(const std::vector<T>& x) const {
     if (x.size() != cols_) {
       throw std::invalid_argument("Matrix::multiply: size mismatch");

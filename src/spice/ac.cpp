@@ -91,6 +91,17 @@ void build_small_signal_matrices(const ckt::Circuit& c,
   }
 }
 
+namespace {
+
+// Per-lane scratch for the frequency fan-out: one complex matrix and one
+// factorization, reused by every point the lane drains.
+struct AcLaneWorkspace {
+  num::ComplexMatrix y;
+  num::LuFactors<std::complex<double>> lu;
+};
+
+}  // namespace
+
 AcResult ac_analysis(const ckt::Circuit& c, const tech::Technology& t,
                      const OpResult& op, const std::vector<double>& freqs,
                      std::size_t jobs) {
@@ -98,6 +109,13 @@ AcResult ac_analysis(const ckt::Circuit& c, const tech::Technology& t,
   if (!op.converged) {
     result.error = "operating point did not converge";
     return result;
+  }
+  // Validate the sweep before any O(n^2) stamping work.
+  for (const double f : freqs) {
+    if (!(f > 0.0)) {
+      result.error = "AC frequency must be positive";
+      return result;
+    }
   }
   NonlinearSystem sys(c, t);
   const MnaLayout& layout = sys.layout();
@@ -111,6 +129,9 @@ AcResult ac_analysis(const ckt::Circuit& c, const tech::Technology& t,
   num::RealMatrix g;
   num::RealMatrix cap;
   build_small_signal_matrices(c, layout, op, &g, &cap);
+  // Flat row-major views for the per-point fill loop.
+  const double* g_flat = g.data();
+  const double* cap_flat = cap.data();
 
   // AC excitation vector (frequency independent).
   std::vector<Cplx> rhs(n, Cplx{});
@@ -132,35 +153,38 @@ AcResult ac_analysis(const ckt::Circuit& c, const tech::Technology& t,
     if (ib >= 0) rhs[static_cast<std::size_t>(ib)] += phasor;
   }
 
-  for (const double f : freqs) {
-    if (!(f > 0.0)) {
-      result.error = "AC frequency must be positive";
-      return result;
-    }
-  }
-
   // Every frequency point factors its own complex MNA matrix from the
   // shared G/C stamps — fully independent, so the points distribute over
-  // `jobs` lanes with each solution landing in its own slot.
+  // `jobs` lanes with each solution landing in its own slot.  Each lane
+  // reuses one matrix + factorization for all its points, and each point
+  // solves in place into its preallocated solution slot, so the sweep loop
+  // is allocation-free in steady state.  A lane's scratch is fully
+  // overwritten per point, so results stay bit-for-bit identical at every
+  // jobs setting.
   result.freqs = freqs;
-  result.solutions.assign(freqs.size(), {});
+  result.solutions.assign(freqs.size(), std::vector<Cplx>(n));
   std::vector<char> singular(freqs.size(), 0);
-  exec::parallel_for(
+  std::vector<AcLaneWorkspace> lanes(exec::lane_count(freqs.size(), jobs));
+  exec::parallel_for_lanes(
       freqs.size(),
-      [&](std::size_t i) {
+      [&](std::size_t i, std::size_t lane) {
+        AcLaneWorkspace& ws = lanes[lane];
         const double w = util::kTwoPi * freqs[i];
-        num::ComplexMatrix y(n, n);
-        for (std::size_t r = 0; r < n; ++r) {
-          for (std::size_t col = 0; col < n; ++col) {
-            y(r, col) = Cplx(g(r, col), w * cap(r, col));
-          }
+        if (ws.y.rows() != n || ws.y.cols() != n) {
+          ws.y = num::ComplexMatrix(n, n);
         }
-        auto lu = num::lu_factor(std::move(y));
-        if (lu.singular) {
+        Cplx* y = ws.y.data();
+        for (std::size_t k = 0; k < n * n; ++k) {
+          y[k] = Cplx(g_flat[k], w * cap_flat[k]);
+        }
+        num::lu_factor_in_place(&ws.y, &ws.lu);
+        if (ws.lu.singular) {
           singular[i] = 1;
           return;
         }
-        result.solutions[i] = num::lu_solve(lu, rhs);
+        std::vector<Cplx>& x = result.solutions[i];
+        x = rhs;  // copy into the preallocated slot, no reallocation
+        num::lu_solve_in_place(ws.lu, &x);
       },
       jobs);
   for (const char s : singular) {

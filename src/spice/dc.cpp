@@ -11,13 +11,15 @@ namespace {
 
 // One Newton solve at fixed (source_scale, gmin).  Returns true on
 // convergence; x is updated in place with the best iterate either way.
+// All scratch lives in `ws`, so a warm iteration allocates nothing.
 bool newton_solve(const NonlinearSystem& sys, double source_scale,
-                  double gmin, const OpOptions& opts, std::vector<double>* x,
-                  int* iterations_used) {
+                  double gmin, const OpOptions& opts, SimWorkspace* ws,
+                  std::vector<double>* x, int* iterations_used) {
   const std::size_t n = sys.layout().size();
   const std::size_t nv = sys.layout().num_node_unknowns();
-  num::RealMatrix jac(n, n);
-  std::vector<double> f(n);
+  num::RealMatrix& jac = ws->jac;          // eval sizes and refills
+  std::vector<double>& f = ws->residual;
+  std::vector<double>& dx = ws->step;
 
   NonlinearSystem::EvalOptions eval_opts;
   eval_opts.source_scale = source_scale;
@@ -27,12 +29,12 @@ bool newton_solve(const NonlinearSystem& sys, double source_scale,
     ++*iterations_used;
     sys.eval(*x, eval_opts, &jac, &f);
 
-    auto lu = num::lu_factor(jac);
-    if (lu.singular) return false;
-    // Newton step: J dx = -f.
-    std::vector<double> rhs(n);
-    for (std::size_t i = 0; i < n; ++i) rhs[i] = -f[i];
-    std::vector<double> dx = num::lu_solve(lu, rhs);
+    num::lu_factor_in_place(&jac, &ws->lu);
+    if (ws->lu.singular) return false;
+    // Newton step: J dx = -f, solved in place in the RHS buffer.
+    dx.resize(n);
+    for (std::size_t i = 0; i < n; ++i) dx[i] = -f[i];
+    num::lu_solve_in_place(ws->lu, &dx);
 
     // Damping: cap the largest node-voltage change per iteration.  Branch
     // currents are left unscaled unless voltages needed scaling.
@@ -61,9 +63,11 @@ bool newton_solve(const NonlinearSystem& sys, double source_scale,
 }  // namespace
 
 OpResult dc_operating_point(const ckt::Circuit& c, const tech::Technology& t,
-                            const OpOptions& opts) {
+                            const OpOptions& opts, SimWorkspace* workspace) {
   NonlinearSystem sys(c, t);
   const std::size_t n = sys.layout().size();
+  SimWorkspace local_ws;
+  SimWorkspace* ws = workspace != nullptr ? workspace : &local_ws;
 
   OpResult result;
   std::vector<double> x =
@@ -74,7 +78,7 @@ OpResult dc_operating_point(const ckt::Circuit& c, const tech::Technology& t,
   {
     std::vector<double> trial = x;
     int iters = 0;
-    if (newton_solve(sys, 1.0, opts.gmin, opts, &trial, &iters)) {
+    if (newton_solve(sys, 1.0, opts.gmin, opts, ws, &trial, &iters)) {
       result.converged = true;
       result.strategy = "newton";
       result.total_iterations = iters;
@@ -89,13 +93,14 @@ OpResult dc_operating_point(const ckt::Circuit& c, const tech::Technology& t,
     std::vector<double> trial(n, 0.0);
     bool ok = true;
     int iters = 0;
-    for (double gmin = 1e-2; gmin >= opts.gmin * 0.99; gmin *= 0.1) {
-      if (!newton_solve(sys, 1.0, gmin, opts, &trial, &iters)) {
+    for (double gmin = opts.gmin_step_start; gmin >= opts.gmin * 0.99;
+         gmin *= opts.gmin_step_ratio) {
+      if (!newton_solve(sys, 1.0, gmin, opts, ws, &trial, &iters)) {
         ok = false;
         break;
       }
     }
-    if (ok && newton_solve(sys, 1.0, opts.gmin, opts, &trial, &iters)) {
+    if (ok && newton_solve(sys, 1.0, opts.gmin, opts, ws, &trial, &iters)) {
       result.converged = true;
       result.strategy = "gmin-step";
       result.solution = std::move(trial);
@@ -107,19 +112,19 @@ OpResult dc_operating_point(const ckt::Circuit& c, const tech::Technology& t,
   if (!result.converged && opts.try_source_stepping) {
     std::vector<double> trial(n, 0.0);
     double scale = 0.0;
-    double step = 0.1;
+    double step = opts.source_step_initial;
     bool ok = true;
     int iters = 0;
     while (scale < 1.0 && ok) {
       const double next = std::min(scale + step, 1.0);
       std::vector<double> attempt = trial;
-      if (newton_solve(sys, next, opts.gmin, opts, &attempt, &iters)) {
+      if (newton_solve(sys, next, opts.gmin, opts, ws, &attempt, &iters)) {
         trial = std::move(attempt);
         scale = next;
-        step = std::min(step * 2.0, 0.25);
+        step = std::min(step * 2.0, opts.source_step_max);
       } else {
         step *= 0.5;
-        if (step < 1e-3) ok = false;
+        if (step < opts.source_step_min) ok = false;
       }
     }
     if (ok) {

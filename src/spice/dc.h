@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "spice/mna.h"
+#include "spice/workspace.h"
 
 namespace oasys::sim {
 
@@ -22,6 +23,13 @@ struct OpOptions {
   double vlimit_step = 0.6;  // max node-voltage change per Newton step [V]
   bool try_gmin_stepping = true;
   bool try_source_stepping = true;
+  // Continuation (homotopy) tuning.  Defaults reproduce the classic SPICE
+  // schedule; sweeps and corner runs can loosen or tighten them per call.
+  double gmin_step_start = 1e-2;  // initial shunt for gmin stepping [S]
+  double gmin_step_ratio = 0.1;   // per-step gmin multiplier, in (0, 1)
+  double source_step_initial = 0.1;  // first source-scale increment
+  double source_step_max = 0.25;     // increment growth cap after success
+  double source_step_min = 1e-3;     // give up when increment falls below
   // Warm start (raw unknown vector from a previous OpResult); empty = flat.
   std::vector<double> initial_guess;
 };
@@ -44,9 +52,13 @@ struct OpResult {
 };
 
 // Computes the DC operating point.  Never throws on non-convergence; check
-// result.converged.
+// result.converged.  When `workspace` is non-null its buffers are reused
+// across every Newton strategy (and across calls, letting warm-started
+// sweeps run allocation-free in the kernel loop); results are bit-for-bit
+// identical with or without one.
 OpResult dc_operating_point(const ckt::Circuit& c, const tech::Technology& t,
-                            const OpOptions& opts = {});
+                            const OpOptions& opts = {},
+                            SimWorkspace* workspace = nullptr);
 
 // Total power delivered by the independent sources at the operating point
 // (positive = dissipated in the circuit).

@@ -110,7 +110,14 @@ NoiseResult noise_analysis(const ckt::Circuit& c, const tech::Technology& t,
   result.output_psd.assign(freqs.size(), 0.0);
   std::vector<double> last_contrib(sources.size(), 0.0);
 
+  // Flat G/C views plus one reused matrix / factorization / solve buffer
+  // across the whole frequency loop (one factorization, many injections).
+  const double* g_flat = g.data();
+  const double* cap_flat = cap.data();
+  num::ComplexMatrix y(n, n);
+  num::LuFactors<Cplx> lu;
   std::vector<Cplx> rhs(n);
+  std::vector<Cplx> x(n);
   for (std::size_t fi = 0; fi < freqs.size(); ++fi) {
     const double f = freqs[fi];
     if (!(f > 0.0)) {
@@ -118,13 +125,12 @@ NoiseResult noise_analysis(const ckt::Circuit& c, const tech::Technology& t,
       return result;
     }
     const double w = util::kTwoPi * f;
-    num::ComplexMatrix y(n, n);
-    for (std::size_t r = 0; r < n; ++r) {
-      for (std::size_t col = 0; col < n; ++col) {
-        y(r, col) = Cplx(g(r, col), w * cap(r, col));
-      }
+    if (y.rows() != n || y.cols() != n) y = num::ComplexMatrix(n, n);
+    Cplx* yd = y.data();
+    for (std::size_t k = 0; k < n * n; ++k) {
+      yd[k] = Cplx(g_flat[k], w * cap_flat[k]);
     }
-    const auto lu = num::lu_factor(std::move(y));
+    num::lu_factor_in_place(&y, &lu);
     if (lu.singular) {
       result.error = "singular noise matrix";
       return result;
@@ -138,7 +144,8 @@ NoiseResult noise_analysis(const ckt::Circuit& c, const tech::Technology& t,
       const int ib = layout.node_index(s.b);
       if (ia >= 0) rhs[static_cast<std::size_t>(ia)] -= 1.0;
       if (ib >= 0) rhs[static_cast<std::size_t>(ib)] += 1.0;
-      const std::vector<Cplx> x = num::lu_solve(lu, rhs);
+      x = rhs;
+      num::lu_solve_in_place(lu, &x);
       const double z2 = std::norm(x[static_cast<std::size_t>(iout)]);
       const double source_psd = s.white_psd + s.flicker_num / f;
       const double contrib = z2 * source_psd;

@@ -25,9 +25,10 @@ DcSweepResult dc_sweep_vsource(ckt::Circuit& c, const tech::Technology& t,
   const ckt::Waveform original = c.vsource(*idx).wave;
 
   OpOptions opts = base_opts;
+  SimWorkspace ws;  // shared by every point of the warm-started sweep
   for (const double v : values) {
     c.vsource(*idx).wave = original.with_dc(v);
-    OpResult op = dc_operating_point(c, t, opts);
+    OpResult op = dc_operating_point(c, t, opts, &ws);
     if (!op.converged) {
       c.vsource(*idx).wave = original;
       result.error = "sweep point did not converge at value " +
@@ -77,13 +78,15 @@ AcSweepResult ac_sweep_vsource(const ckt::Circuit& c,
   result.ops.resize(values.size());
   result.points.resize(values.size());
   std::vector<std::string> point_errors(values.size());
-  exec::parallel_for(
+  std::vector<SimWorkspace> lane_ws(exec::lane_count(values.size(), jobs));
+  exec::parallel_for_lanes(
       values.size(),
-      [&](std::size_t i) {
+      [&](std::size_t i, std::size_t lane) {
         ckt::Circuit local = c;  // private copy: sources mutate per point
         local.vsource(*idx).wave =
             local.vsource(*idx).wave.with_dc(values[i]);
-        result.ops[i] = dc_operating_point(local, t, base_opts);
+        result.ops[i] = dc_operating_point(local, t, base_opts,
+                                           &lane_ws[lane]);
         if (!result.ops[i].converged) {
           point_errors[i] = "sweep point did not converge at value " +
                             std::to_string(values[i]);
@@ -119,13 +122,15 @@ TranSweepResult tran_sweep_vsource(const ckt::Circuit& c,
   result.ops.resize(values.size());
   result.runs.resize(values.size());
   std::vector<std::string> point_errors(values.size());
-  exec::parallel_for(
+  std::vector<SimWorkspace> lane_ws(exec::lane_count(values.size(), jobs));
+  exec::parallel_for_lanes(
       values.size(),
-      [&](std::size_t i) {
+      [&](std::size_t i, std::size_t lane) {
         ckt::Circuit local = c;
         local.vsource(*idx).wave =
             local.vsource(*idx).wave.with_dc(values[i]);
-        result.ops[i] = dc_operating_point(local, t, base_opts);
+        result.ops[i] = dc_operating_point(local, t, base_opts,
+                                           &lane_ws[lane]);
         if (!result.ops[i].converged) {
           point_errors[i] = "sweep point did not converge at value " +
                             std::to_string(values[i]);

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "numeric/linear.h"
+#include "spice/workspace.h"
 
 namespace oasys::sim {
 
@@ -17,14 +18,20 @@ std::vector<double> TranResult::node_waveform(const MnaLayout& layout,
 
 namespace {
 
-// Builds the capacitance matrix: explicit capacitors plus device
-// capacitances evaluated from `device_ops` (bias at the previous accepted
-// time point).
-num::RealMatrix build_cap_matrix(const NonlinearSystem& sys,
-                                 const std::vector<DeviceOp>& device_ops) {
+// Builds the capacitance matrix into `*cmat_out` (reused across timesteps):
+// explicit capacitors plus device capacitances evaluated from `device_ops`
+// (bias at the previous accepted time point).
+void build_cap_matrix(const NonlinearSystem& sys,
+                      const std::vector<DeviceOp>& device_ops,
+                      num::RealMatrix* cmat_out) {
   const MnaLayout& layout = sys.layout();
   const std::size_t n = layout.size();
-  num::RealMatrix cmat(n, n);
+  num::RealMatrix& cmat = *cmat_out;
+  if (cmat.rows() != n || cmat.cols() != n) {
+    cmat = num::RealMatrix(n, n);
+  } else {
+    cmat.fill(0.0);  // stamp_linear_caps accumulates
+  }
   sys.stamp_linear_caps(&cmat);
   auto add2 = [&](ckt::NodeId a, ckt::NodeId b, double value) {
     const int ia = layout.node_index(a);
@@ -50,7 +57,6 @@ num::RealMatrix build_cap_matrix(const NonlinearSystem& sys,
     add2(m.d, m.b, d.cdb);
     add2(m.s, m.b, d.csb);
   }
-  return cmat;
 }
 
 }  // namespace
@@ -84,11 +90,16 @@ TranResult transient(const ckt::Circuit& c, const tech::Technology& t,
   // i_C = C dv/dt.  Backward Euler: i = C (x - x_prev)/h.
   // Trapezoidal: i = 2C/h (x - x_prev) - i_prev; we track the capacitive
   // current vector iC_prev = C * dv/dt at the previous point.
-  num::RealMatrix cmat = build_cap_matrix(sys, device_ops);
+  num::RealMatrix cmat;
+  build_cap_matrix(sys, device_ops, &cmat);
   std::vector<double> dvdt_prev(n, 0.0);  // starts from DC: dv/dt = 0
 
-  num::RealMatrix jac(n, n);
-  std::vector<double> f(n);
+  // One workspace for every Newton iteration of every timestep: after the
+  // first iteration the stepping loop allocates only the accepted states.
+  SimWorkspace ws;
+  num::RealMatrix& jac = ws.jac;
+  std::vector<double>& f = ws.residual;
+  std::vector<double>& dx = ws.step;
 
   const std::size_t steps =
       static_cast<std::size_t>(std::ceil(opts.tstop / opts.dt));
@@ -125,14 +136,14 @@ TranResult transient(const ckt::Circuit& c, const tech::Technology& t,
         f[r] += acc;
       }
 
-      auto lu = num::lu_factor(jac);
-      if (lu.singular) {
+      num::lu_factor_in_place(&jac, &ws.lu);
+      if (ws.lu.singular) {
         result.error = "singular transient Jacobian";
         return result;
       }
-      std::vector<double> rhs(n);
-      for (std::size_t i = 0; i < n; ++i) rhs[i] = -f[i];
-      std::vector<double> dx = num::lu_solve(lu, rhs);
+      dx.resize(n);
+      for (std::size_t i = 0; i < n; ++i) dx[i] = -f[i];
+      num::lu_solve_in_place(ws.lu, &dx);
       double max_dv = 0.0;
       for (std::size_t i = 0; i < nv; ++i) {
         max_dv = std::max(max_dv, std::abs(dx[i]));
@@ -158,7 +169,7 @@ TranResult transient(const ckt::Circuit& c, const tech::Technology& t,
     }
     // Refresh device capacitances at the new bias for the next step.
     sys.eval(x, eval_opts, nullptr, nullptr, &device_ops);
-    cmat = build_cap_matrix(sys, device_ops);
+    build_cap_matrix(sys, device_ops, &cmat);
 
     result.time.push_back(time);
     result.states.push_back(x);

@@ -1,0 +1,229 @@
+// Zero-allocation proof for the dense simulation kernels.
+//
+// Replaces global operator new/delete with counting versions, runs each
+// kernel loop twice, and asserts the second pass performs zero heap
+// allocations: the first pass grows the workspace buffers, after which the
+// Newton iteration and the per-frequency AC solve must be steady-state
+// allocation-free.  Everything inside a counted region is plain arithmetic
+// on preallocated storage — no gtest assertions, no string building.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <complex>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "netlist/circuit.h"
+#include "numeric/interpolate.h"
+#include "numeric/linear.h"
+#include "spice/ac.h"
+#include "spice/dc.h"
+#include "spice/small_signal.h"
+#include "tech/builtin.h"
+#include "util/units.h"
+
+namespace {
+
+std::atomic<bool> g_counting{false};
+std::atomic<std::size_t> g_allocations{0};
+
+void* counted_alloc(std::size_t size) {
+  if (g_counting.load(std::memory_order_relaxed)) {
+    g_allocations.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (size == 0) size = 1;
+  void* p = std::malloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* counted_aligned_alloc(std::size_t size, std::size_t align) {
+  if (g_counting.load(std::memory_order_relaxed)) {
+    g_allocations.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (size == 0) size = align;
+  void* p = nullptr;
+  if (posix_memalign(&p, align, size) != 0) throw std::bad_alloc();
+  return p;
+}
+
+// Runs `body` with allocation counting enabled and returns the count.
+template <typename Fn>
+std::size_t count_allocations(const Fn& body) {
+  g_allocations.store(0, std::memory_order_relaxed);
+  g_counting.store(true, std::memory_order_relaxed);
+  body();
+  g_counting.store(false, std::memory_order_relaxed);
+  return g_allocations.load(std::memory_order_relaxed);
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(align));
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace oasys::sim {
+namespace {
+
+using ckt::Circuit;
+using ckt::Waveform;
+using util::um;
+using Cplx = std::complex<double>;
+
+// A MOS amplifier with enough devices to exercise realistic stamping.
+Circuit amp_circuit(const tech::Technology& t) {
+  Circuit c;
+  const auto vdd = c.node("vdd");
+  const auto in = c.node("in");
+  const auto mid = c.node("mid");
+  const auto out = c.node("out");
+  c.add_vsource("VDD", vdd, ckt::kGround, Waveform::dc(t.vdd));
+  c.add_vsource("VIN", in, ckt::kGround, Waveform::ac(1.2, 1.0));
+  c.add_mosfet("M1", mid, in, ckt::kGround, ckt::kGround,
+               mos::MosType::kNmos, um(50.0), um(5.0));
+  c.add_resistor("R1", vdd, mid, 50e3);
+  c.add_mosfet("M2", out, mid, vdd, vdd, mos::MosType::kPmos, um(100.0),
+               um(5.0));
+  c.add_resistor("R2", out, ckt::kGround, 100e3);
+  c.add_capacitor("CC", mid, out, 2e-12);
+  c.add_capacitor("CL", out, ckt::kGround, 10e-12);
+  return c;
+}
+
+TEST(AllocFree, NewtonKernelLoopIsAllocationFreeWhenWarm) {
+  const tech::Technology t = tech::five_micron();
+  const Circuit c = amp_circuit(t);
+  const OpResult op = dc_operating_point(c, t);
+  ASSERT_TRUE(op.converged);
+
+  NonlinearSystem sys(c, t);
+  const std::size_t n = sys.layout().size();
+  const std::size_t nv = sys.layout().num_node_unknowns();
+  SimWorkspace ws;
+  NonlinearSystem::EvalOptions eval_opts;
+  std::vector<double> x(n);
+
+  // One converged Newton solve from a flat start, exactly the kernel loop
+  // dc_operating_point runs: eval, in-place factor, in-place solve, damped
+  // update, convergence check.  The factor adopts the Jacobian's storage by
+  // swap, so two buffers rotate between ws.jac and ws.lu; a multi-iteration
+  // first pass primes both, after which the rotation is allocation-free.
+  bool converged = false;
+  const OpOptions opts;
+  auto newton_pass = [&] {
+    for (std::size_t i = 0; i < n; ++i) x[i] = 0.0;
+    converged = false;
+    for (int iter = 0; iter < opts.max_iterations && !converged; ++iter) {
+      sys.eval(x, eval_opts, &ws.jac, &ws.residual);
+      num::lu_factor_in_place(&ws.jac, &ws.lu);
+      if (ws.lu.singular) return;
+      ws.step.resize(n);
+      for (std::size_t i = 0; i < n; ++i) ws.step[i] = -ws.residual[i];
+      num::lu_solve_in_place(ws.lu, &ws.step);
+      double max_dv = 0.0;
+      for (std::size_t i = 0; i < nv; ++i) {
+        max_dv = std::max(max_dv, std::abs(ws.step[i]));
+      }
+      double scale = 1.0;
+      if (max_dv > opts.vlimit_step) scale = opts.vlimit_step / max_dv;
+      for (std::size_t i = 0; i < n; ++i) x[i] += scale * ws.step[i];
+      if (max_dv < opts.vntol) {
+        sys.eval(x, eval_opts, nullptr, &ws.residual);
+        double max_node_residual = 0.0;
+        for (std::size_t i = 0; i < nv; ++i) {
+          max_node_residual =
+              std::max(max_node_residual, std::abs(ws.residual[i]));
+        }
+        if (max_node_residual < opts.abstol) converged = true;
+      }
+    }
+  };
+
+  newton_pass();  // first pass grows every workspace buffer
+  ASSERT_TRUE(converged);
+  const std::size_t allocs = count_allocations(newton_pass);
+  ASSERT_TRUE(converged);
+  EXPECT_EQ(allocs, 0u)
+      << "warm Newton kernel loop performed heap allocations";
+}
+
+TEST(AllocFree, AcSweepKernelLoopIsAllocationFreeWhenWarm) {
+  const tech::Technology t = tech::five_micron();
+  const Circuit c = amp_circuit(t);
+  const OpResult op = dc_operating_point(c, t);
+  ASSERT_TRUE(op.converged);
+
+  NonlinearSystem sys(c, t);
+  const MnaLayout& layout = sys.layout();
+  const std::size_t n = layout.size();
+  num::RealMatrix g, cap;
+  build_small_signal_matrices(c, layout, op, &g, &cap);
+  const double* g_flat = g.data();
+  const double* cap_flat = cap.data();
+  std::vector<Cplx> rhs(n, Cplx{});
+  for (std::size_t k = 0; k < c.vsources().size(); ++k) {
+    const auto& v = c.vsources()[k];
+    if (v.wave.ac_mag() != 0.0) {
+      const double ph = util::rad(v.wave.ac_phase_deg());
+      rhs[layout.branch_index(k)] = std::polar(v.wave.ac_mag(), ph);
+    }
+  }
+  const std::vector<double> freqs = num::logspace(1.0, 1e8, 50);
+
+  // The per-lane AC loop from ac_analysis: one reused complex matrix and
+  // factorization, solutions solved in place into preallocated slots.
+  num::ComplexMatrix y;
+  num::LuFactors<Cplx> lu;
+  std::vector<std::vector<Cplx>> solutions(freqs.size(),
+                                           std::vector<Cplx>(n));
+  bool singular = false;
+  auto ac_pass = [&] {
+    singular = false;
+    for (std::size_t i = 0; i < freqs.size(); ++i) {
+      const double w = util::kTwoPi * freqs[i];
+      if (y.rows() != n || y.cols() != n) y = num::ComplexMatrix(n, n);
+      Cplx* yd = y.data();
+      for (std::size_t k = 0; k < n * n; ++k) {
+        yd[k] = Cplx(g_flat[k], w * cap_flat[k]);
+      }
+      num::lu_factor_in_place(&y, &lu);
+      if (lu.singular) {
+        singular = true;
+        return;
+      }
+      std::vector<Cplx>& sol = solutions[i];
+      sol = rhs;  // same size: copies into existing storage
+      num::lu_solve_in_place(lu, &sol);
+    }
+  };
+
+  ac_pass();  // first pass grows the matrix, factor, and pivot buffers
+  ASSERT_FALSE(singular);
+  const std::size_t allocs = count_allocations(ac_pass);
+  ASSERT_FALSE(singular);
+  EXPECT_EQ(allocs, 0u)
+      << "warm AC sweep kernel loop performed heap allocations";
+}
+
+}  // namespace
+}  // namespace oasys::sim

@@ -162,6 +162,131 @@ TEST(Lu, MaxAbs) {
   EXPECT_DOUBLE_EQ(max_abs(std::vector<double>{}), 0.0);
 }
 
+// ---- in-place LU -----------------------------------------------------------
+
+TEST(LuInPlace, MatchesByValueBitForBit) {
+  // The by-value API is a wrapper over the in-place kernel; both must yield
+  // exactly the same factors, permutations, and solutions — including when
+  // the in-place factors object is reused across systems of varying size.
+  std::mt19937 rng(11);
+  std::uniform_real_distribution<double> u(-2.0, 2.0);
+  LuFactors<double> f;  // reused across trials: the steady-state hot path
+  for (int trial = 0; trial < 12; ++trial) {
+    const std::size_t n = 1 + static_cast<std::size_t>(trial % 6);
+    RealMatrix a(n, n);
+    std::vector<double> b(n);
+    for (std::size_t r = 0; r < n; ++r) {
+      b[r] = u(rng);
+      for (std::size_t c = 0; c < n; ++c) a(r, c) = u(rng);
+    }
+    const auto by_value = lu_factor(a);
+    RealMatrix scratch = a;  // in-place consumes its argument
+    lu_factor_in_place(&scratch, &f);
+    EXPECT_EQ(f.singular, by_value.singular);
+    EXPECT_DOUBLE_EQ(f.min_pivot_magnitude, by_value.min_pivot_magnitude);
+    EXPECT_EQ(f.perm, by_value.perm);
+    EXPECT_EQ(f.pivots, by_value.pivots);
+    ASSERT_EQ(f.lu.rows(), n);
+    for (std::size_t k = 0; k < n * n; ++k) {
+      EXPECT_EQ(f.lu.data()[k], by_value.lu.data()[k]);
+    }
+    if (f.singular) continue;
+    const auto x_by_value = lu_solve(by_value, b);
+    std::vector<double> x_in_place = b;
+    lu_solve_in_place(f, &x_in_place);
+    EXPECT_EQ(x_by_value, x_in_place);
+  }
+}
+
+TEST(LuInPlace, MatchesByValueBitForBitComplex) {
+  using C = std::complex<double>;
+  std::mt19937 rng(13);
+  std::uniform_real_distribution<double> u(-2.0, 2.0);
+  LuFactors<C> f;
+  for (int trial = 0; trial < 8; ++trial) {
+    const std::size_t n = 2 + static_cast<std::size_t>(trial % 4);
+    ComplexMatrix a(n, n);
+    std::vector<C> b(n);
+    for (std::size_t r = 0; r < n; ++r) {
+      b[r] = C(u(rng), u(rng));
+      for (std::size_t c = 0; c < n; ++c) a(r, c) = C(u(rng), u(rng));
+    }
+    const auto by_value = lu_factor(a);
+    ComplexMatrix scratch = a;
+    lu_factor_in_place(&scratch, &f);
+    EXPECT_EQ(f.singular, by_value.singular);
+    EXPECT_EQ(f.perm, by_value.perm);
+    EXPECT_EQ(f.pivots, by_value.pivots);
+    for (std::size_t k = 0; k < n * n; ++k) {
+      EXPECT_EQ(f.lu.data()[k], by_value.lu.data()[k]);
+    }
+    if (f.singular) continue;
+    const auto x_by_value = lu_solve(by_value, b);
+    std::vector<C> x_in_place = b;
+    lu_solve_in_place(f, &x_in_place);
+    EXPECT_EQ(x_by_value, x_in_place);
+  }
+}
+
+TEST(LuInPlace, SingularIsFlaggedAndSolveThrows) {
+  RealMatrix a(2, 2);
+  a(0, 0) = 1.0;
+  a(0, 1) = 2.0;
+  a(1, 0) = 2.0;
+  a(1, 1) = 4.0;
+  LuFactors<double> f;
+  lu_factor_in_place(&a, &f);
+  EXPECT_TRUE(f.singular);
+  std::vector<double> b = {1.0, 1.0};
+  EXPECT_THROW(lu_solve_in_place(f, &b), SingularMatrixError);
+}
+
+TEST(LuInPlace, NonSquareThrows) {
+  RealMatrix a(2, 3);
+  LuFactors<double> f;
+  EXPECT_THROW(lu_factor_in_place(&a, &f), std::invalid_argument);
+}
+
+TEST(LuInPlace, RhsSizeMismatchThrows) {
+  RealMatrix a(2, 2);
+  a(0, 0) = 1.0;
+  a(1, 1) = 1.0;
+  LuFactors<double> f;
+  lu_factor_in_place(&a, &f);
+  ASSERT_FALSE(f.singular);
+  std::vector<double> b = {1.0};
+  EXPECT_THROW(lu_solve_in_place(f, &b), std::invalid_argument);
+}
+
+TEST(LuInPlace, StorageAdoptionRoundTrip) {
+  // lu_factor_in_place swaps the caller's matrix with the factors' buffer:
+  // after the first call the caller holds an empty matrix, after the second
+  // the previous factor storage — so a refill-and-refactor loop settles
+  // into recycling the same two buffers.
+  LuFactors<double> f;
+  RealMatrix a(2, 2);
+  a(0, 0) = 2.0;
+  a(0, 1) = 1.0;
+  a(1, 0) = 1.0;
+  a(1, 1) = 3.0;
+  lu_factor_in_place(&a, &f);
+  EXPECT_EQ(a.rows(), 0u);  // adopted f's initial (empty) buffer
+  std::vector<double> x = {5.0, 10.0};
+  lu_solve_in_place(f, &x);
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+
+  a = RealMatrix(2, 2);  // the caller-side "refill before next call" guard
+  a(0, 0) = 1.0;
+  a(1, 1) = 4.0;
+  lu_factor_in_place(&a, &f);
+  EXPECT_EQ(a.rows(), 2u);  // got the first call's factor buffer back
+  x = {3.0, 8.0};
+  lu_solve_in_place(f, &x);
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
 // ---- root finding ---------------------------------------------------------------
 
 TEST(RootFind, BisectSimple) {
