@@ -1,0 +1,218 @@
+// Service-layer throughput microbenchmarks (google-benchmark).
+//
+// Workload shape: a repeated-spec batch — R copies of U unique specs, the
+// sweep-server traffic the ROADMAP's heavy-traffic north star describes
+// (most requests repeat or nearly repeat a fixed block library).  `--json
+// <path>` writes the perf-trajectory record instead: warm-over-cold
+// speedup of the result cache, two-pass cache on/off comparison, and the
+// dedup join rate, plus an equivalence self-check (service results must be
+// bit-for-bit the direct synthesize_opamp_batch results) that fails the
+// run loudly while the timings stay informational.  See perf_json.h.
+#include <benchmark/benchmark.h>
+
+#include <bit>
+#include <cstdio>
+
+#include "service/service.h"
+#include "synth/oasys.h"
+#include "synth/test_cases.h"
+#include "tech/builtin.h"
+
+#include "jobs_flag.h"
+#include "perf_json.h"
+
+namespace {
+
+using namespace oasys;
+
+// Copies of each unique spec per batch.  Two is enough to exercise dedup
+// joins (every spec's second copy joins the first's in-flight computation)
+// without drowning the cold pass's synthesis work in per-request key/copy
+// overhead the warm pass pays too: the warm-over-cold ratio is
+// 1 + U*synth / (U*kRepeat*(key+copy)), so it *shrinks* as kRepeat grows.
+constexpr int kRepeat = 2;
+
+const tech::Technology& tech5() {
+  static const tech::Technology t = tech::five_micron();
+  return t;
+}
+
+// Six distinct keys: the paper's cases plus GBW/gain/slew variants.
+std::vector<core::OpAmpSpec> unique_specs() {
+  std::vector<core::OpAmpSpec> specs = synth::paper_test_cases();
+  core::OpAmpSpec a2 = synth::spec_case_a();
+  a2.name = "A2";
+  a2.gbw_min *= 1.25;
+  core::OpAmpSpec b2 = synth::spec_case_b();
+  b2.name = "B2";
+  b2.gain_min_db += 3.0;
+  core::OpAmpSpec a3 = synth::spec_case_a();
+  a3.name = "A3";
+  a3.slew_min *= 1.5;
+  specs.push_back(a2);
+  specs.push_back(b2);
+  specs.push_back(a3);
+  return specs;
+}
+
+// Interleaved repeats (u0 u1 ... u0 u1 ...): every repeat after the first
+// round is either a cache hit or an in-flight join.
+std::vector<core::OpAmpSpec> repeated_batch() {
+  const std::vector<core::OpAmpSpec> uniq = unique_specs();
+  std::vector<core::OpAmpSpec> batch;
+  batch.reserve(uniq.size() * kRepeat);
+  for (int r = 0; r < kRepeat; ++r) {
+    batch.insert(batch.end(), uniq.begin(), uniq.end());
+  }
+  return batch;
+}
+
+std::uint64_t bits(double v) { return std::bit_cast<std::uint64_t>(v); }
+
+// Bitwise equivalence of the fields downstream consumers read; false means
+// the cache/dedup layer changed the numbers.
+bool results_equal(const synth::SynthesisResult& a,
+                   const synth::SynthesisResult& b) {
+  if (a.selection.best != b.selection.best) return false;
+  if (a.candidates.size() != b.candidates.size()) return false;
+  for (std::size_t i = 0; i < a.candidates.size(); ++i) {
+    const synth::OpAmpDesign& x = a.candidates[i];
+    const synth::OpAmpDesign& y = b.candidates[i];
+    if (x.feasible != y.feasible || x.style != y.style) return false;
+    if (bits(x.predicted.area) != bits(y.predicted.area)) return false;
+    if (bits(x.predicted.gbw) != bits(y.predicted.gbw)) return false;
+    if (bits(x.predicted.gain_db) != bits(y.predicted.gain_db)) return false;
+    if (x.devices.size() != y.devices.size()) return false;
+    for (std::size_t d = 0; d < x.devices.size(); ++d) {
+      if (bits(x.devices[d].w) != bits(y.devices[d].w)) return false;
+      if (bits(x.devices[d].l) != bits(y.devices[d].l)) return false;
+    }
+  }
+  return true;
+}
+
+void BM_DirectBatch(benchmark::State& state) {
+  const std::vector<core::OpAmpSpec> batch = repeated_batch();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        synth::synthesize_opamp_batch(tech5(), batch));
+  }
+}
+BENCHMARK(BM_DirectBatch);
+
+void BM_ServiceColdBatch(benchmark::State& state) {
+  const std::vector<core::OpAmpSpec> batch = repeated_batch();
+  for (auto _ : state) {
+    service::SynthesisService svc(tech5());
+    benchmark::DoNotOptimize(svc.run_batch(batch));
+  }
+}
+BENCHMARK(BM_ServiceColdBatch);
+
+void BM_ServiceWarmBatch(benchmark::State& state) {
+  const std::vector<core::OpAmpSpec> batch = repeated_batch();
+  service::SynthesisService svc(tech5());
+  svc.run_batch(batch);  // warm the cache once
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(svc.run_batch(batch));
+  }
+}
+BENCHMARK(BM_ServiceWarmBatch);
+
+int emit_json(const char* path) {
+  const std::vector<core::OpAmpSpec> batch = repeated_batch();
+  const std::size_t unique = unique_specs().size();
+
+  // Reference: the pre-service batch path.
+  const std::vector<synth::SynthesisResult> direct =
+      synth::synthesize_opamp_batch(tech5(), batch);
+
+  // Equivalence self-check across the cold, dedup-joined, and warm paths.
+  service::SynthesisService check_svc(tech5());
+  const std::vector<synth::SynthesisResult> cold_results =
+      check_svc.run_batch(batch);
+  const std::vector<synth::SynthesisResult> warm_results =
+      check_svc.run_batch(batch);
+  bool equivalent = cold_results.size() == direct.size();
+  for (std::size_t i = 0; equivalent && i < direct.size(); ++i) {
+    equivalent = results_equal(cold_results[i], direct[i]) &&
+                 results_equal(warm_results[i], direct[i]);
+  }
+  const service::ServiceStats check_stats = check_svc.stats();
+
+  // Cold: fresh service per rep (computes every unique spec, joins the
+  // repeats).  Warm: same service re-serving the batch from cache.
+  const double cold_seconds = oasys::bench::time_best_of(9, [&] {
+    service::SynthesisService svc(tech5());
+    benchmark::DoNotOptimize(svc.run_batch(batch));
+  });
+  service::SynthesisService warm_svc(tech5());
+  warm_svc.run_batch(batch);
+  const double warm_seconds = oasys::bench::time_best_of(9, [&] {
+    benchmark::DoNotOptimize(warm_svc.run_batch(batch));
+  });
+  const double warm_speedup =
+      warm_seconds > 0.0 ? cold_seconds / warm_seconds : 0.0;
+
+  // Two batches through one service, cache on vs off: what the cache buys
+  // on traffic that repeats across (not just within) requests.
+  const double twopass_cache_on_seconds = oasys::bench::time_best_of(3, [&] {
+    service::SynthesisService svc(tech5());
+    benchmark::DoNotOptimize(svc.run_batch(batch));
+    benchmark::DoNotOptimize(svc.run_batch(batch));
+  });
+  const double twopass_cache_off_seconds = oasys::bench::time_best_of(3, [&] {
+    service::ServiceOptions sopts;
+    sopts.cache_enabled = false;
+    service::SynthesisService svc(tech5(), {}, sopts);
+    benchmark::DoNotOptimize(svc.run_batch(batch));
+    benchmark::DoNotOptimize(svc.run_batch(batch));
+  });
+
+  FILE* out = std::fopen(path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path);
+    return 2;
+  }
+  std::fprintf(
+      out,
+      "{\"bench\": \"service_perf\", \"build_type\": \"%s\", "
+      "\"hardware_jobs\": %zu,\n"
+      " \"unique_specs\": %zu, \"repeat\": %d, \"requests\": %zu,\n"
+      " \"cold_seconds\": %.6f, \"warm_seconds\": %.6f, "
+      "\"warm_speedup\": %.2f,\n"
+      " \"twopass_cache_on_seconds\": %.6f, "
+      "\"twopass_cache_off_seconds\": %.6f,\n"
+      " \"hits\": %llu, \"misses\": %llu, \"dedup_joins\": %llu, "
+      "\"dedup_join_rate\": %.4f,\n"
+      " \"deterministic\": %s}\n",
+      OASYS_BUILD_TYPE, exec::hardware_jobs(), unique, kRepeat,
+      batch.size(), cold_seconds, warm_seconds, warm_speedup,
+      twopass_cache_on_seconds, twopass_cache_off_seconds,
+      static_cast<unsigned long long>(check_stats.hits),
+      static_cast<unsigned long long>(check_stats.misses),
+      static_cast<unsigned long long>(check_stats.dedup_joins),
+      static_cast<double>(check_stats.dedup_joins) /
+          static_cast<double>(check_stats.requests),
+      equivalent ? "true" : "false");
+  std::fclose(out);
+  if (!equivalent) {
+    std::fprintf(stderr,
+                 "FAIL: service results diverged from direct synthesis\n");
+    return 1;
+  }
+  std::printf("wrote %s (warm speedup %.1fx)\n", path, warm_speedup);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (!oasys::bench::apply_jobs_flag(argc, argv)) return 2;
+  if (const char* path = oasys::bench::parse_json_flag(argc, argv)) {
+    return emit_json(path);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

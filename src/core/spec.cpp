@@ -3,6 +3,7 @@
 #include <sstream>
 #include <vector>
 
+#include "util/fingerprint.h"
 #include "util/text.h"
 #include "util/units.h"
 
@@ -61,6 +62,31 @@ std::string OpAmpSpec::to_string() const {
     os << util::format("  noise     <= %.0f nV/rtHz\n", noise_max * 1e9);
   }
   return os.str();
+}
+
+std::string OpAmpSpec::canonical_string() const {
+  util::Fingerprint fp;
+  fp.field("name", name)
+      .field("gain_min_db", gain_min_db)
+      .field("gbw_min", gbw_min)
+      .field("pm_min_deg", pm_min_deg)
+      .field("slew_min", slew_min)
+      .field("cload", cload)
+      .field("swing_pos", swing_pos)
+      .field("swing_neg", swing_neg)
+      .field("offset_max", offset_max)
+      .field("icmr_lo", icmr_lo)
+      .field("icmr_hi", icmr_hi)
+      .field("power_max", power_max)
+      .field("area_max", area_max)
+      .field("cmrr_min_db", cmrr_min_db)
+      .field("psrr_min_db", psrr_min_db)
+      .field("noise_max", noise_max);
+  return fp.str();
+}
+
+std::uint64_t OpAmpSpec::hash() const {
+  return util::fnv1a64(canonical_string());
 }
 
 std::string OpAmpPerformance::to_string() const {

@@ -6,6 +6,7 @@
 // noted sentinel) leaves that axis unconstrained.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -46,6 +47,15 @@ struct OpAmpSpec {
 
   // Human-readable one-per-line rendering for reports.
   std::string to_string() const;
+
+  // Canonical fingerprint for cache keys (see util/fingerprint.h): equal
+  // specs render identical bytes however their fields were populated
+  // (parsed from a permuted file, assigned in any order, NaN of any
+  // payload, -0.0), and distinct specs never alias.  `name` is included:
+  // results embed the spec, so a cached result is only exact for a request
+  // with the same label.
+  std::string canonical_string() const;
+  std::uint64_t hash() const;
 };
 
 // Performance actually achieved by a design, in the same axes as the spec.

@@ -1,0 +1,79 @@
+// Bounded synchronized FIFO — the request-queue primitive of the service
+// layer, kept in exec next to the executor that drains it.
+//
+// Deliberately non-blocking: try_push refuses when full and the *caller*
+// decides the backpressure policy.  The synthesis service drains the queue
+// inline (through exec::parallel_for) when it finds it full, so a bounded
+// queue can never deadlock a single-threaded caller the way a blocking
+// push with no independent consumer would.  Tracks the depth high-water
+// mark for the service's observability surface.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace oasys::exec {
+
+template <typename T>
+class BoundedFifo {
+ public:
+  // Capacity 0 is clamped to 1: a queue that can hold nothing would turn
+  // every push into a refusal loop.
+  explicit BoundedFifo(std::size_t capacity)
+      : capacity_(std::max<std::size_t>(capacity, 1)) {}
+
+  std::size_t capacity() const { return capacity_; }
+
+  // Enqueues at the back; false when the queue is at capacity.
+  bool try_push(T value) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (items_.size() >= capacity_) return false;
+    items_.push_back(std::move(value));
+    high_water_ = std::max(high_water_, items_.size());
+    return true;
+  }
+
+  // Dequeues the front element; nullopt when empty.
+  std::optional<T> try_pop() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (items_.empty()) return std::nullopt;
+    std::optional<T> v(std::move(items_.front()));
+    items_.pop_front();
+    return v;
+  }
+
+  // Drains everything currently queued, in FIFO order.
+  std::vector<T> pop_all() {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<T> out(std::make_move_iterator(items_.begin()),
+                       std::make_move_iterator(items_.end()));
+    items_.clear();
+    return out;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  bool empty() const { return size() == 0; }
+
+  // Deepest the queue has ever been.
+  std::size_t high_water() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return high_water_;
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::deque<T> items_;
+  std::size_t high_water_ = 0;
+};
+
+}  // namespace oasys::exec

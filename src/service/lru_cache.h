@@ -1,0 +1,67 @@
+// Least-recently-used result cache for the synthesis service.
+//
+// A plain single-threaded container: the service serializes every access
+// under its own mutex, so the cache carries no locks of its own.  get()
+// promotes the entry to most-recently-used; put() evicts from the LRU end
+// once over capacity and counts the displacements for the service's stats.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <utility>
+
+namespace oasys::service {
+
+template <typename Key, typename Value>
+class LruCache {
+ public:
+  // Capacity 0 stores nothing: put() becomes a no-op (the service models
+  // "cache disabled" this way without special-casing lookups).
+  explicit LruCache(std::size_t capacity) : capacity_(capacity) {}
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const { return order_.size(); }
+  std::uint64_t evictions() const { return evictions_; }
+
+  // Pointer to the cached value (promoted to MRU), or nullptr on miss.
+  // Valid until the next put() on this cache.
+  const Value* get(const Key& key) {
+    const auto it = index_.find(key);
+    if (it == index_.end()) return nullptr;
+    order_.splice(order_.begin(), order_, it->second);
+    return &it->second->second;
+  }
+
+  // Membership probe without promotion (tests and diagnostics).
+  bool contains(const Key& key) const { return index_.count(key) != 0; }
+
+  // Inserts or overwrites; either way the entry becomes MRU.  Evicts the
+  // least-recently-used entries while over capacity.
+  void put(const Key& key, Value value) {
+    if (capacity_ == 0) return;
+    if (const auto it = index_.find(key); it != index_.end()) {
+      it->second->second = std::move(value);
+      order_.splice(order_.begin(), order_, it->second);
+      return;
+    }
+    order_.emplace_front(key, std::move(value));
+    index_[key] = order_.begin();
+    while (order_.size() > capacity_) {
+      index_.erase(order_.back().first);
+      order_.pop_back();
+      ++evictions_;
+    }
+  }
+
+ private:
+  std::size_t capacity_;
+  std::list<std::pair<Key, Value>> order_;  // front = most recently used
+  std::unordered_map<Key,
+                     typename std::list<std::pair<Key, Value>>::iterator>
+      index_;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace oasys::service

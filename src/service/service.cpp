@@ -1,0 +1,259 @@
+#include "service/service.h"
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "exec/bounded_fifo.h"
+#include "exec/executor.h"
+#include "service/lru_cache.h"
+
+namespace oasys::service {
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+// Lifecycle record of one distinct request key.  State moves strictly
+// kQueued -> kRunning -> kDone under the service mutex; tickets keep the
+// entry alive through shared_ptr, so a redeemed batch can outlive both the
+// queue and the cache entry that produced it.
+struct SynthesisService::Entry {
+  enum class State { kQueued, kRunning, kDone };
+
+  std::string key;
+  core::OpAmpSpec spec;
+  State state = State::kQueued;
+  std::shared_ptr<const synth::SynthesisResult> result;
+  std::exception_ptr error;
+  std::uint64_t waiters = 1;     // tickets attached (1 + dedup joins)
+  double service_seconds = 0.0;  // compute wall time; hits: lookup time
+};
+
+struct SynthesisService::Impl {
+  explicit Impl(const ServiceOptions& opts)
+      : queue(opts.queue_capacity),
+        cache(opts.cache_enabled ? opts.cache_capacity : 0) {}
+
+  mutable std::mutex mu;
+  // Signaled when entries complete *and* when new work is enqueued, so a
+  // wait()er parked on an empty queue re-checks for drainable work.
+  std::condition_variable cv;
+
+  exec::BoundedFifo<std::shared_ptr<Entry>> queue;
+  LruCache<std::string, std::shared_ptr<const synth::SynthesisResult>> cache;
+  std::unordered_map<std::string, std::shared_ptr<Entry>> inflight;
+  std::unordered_map<std::uint64_t, std::shared_ptr<Entry>> tickets;
+  std::uint64_t next_ticket = 1;
+
+  std::uint64_t requests = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t dedup_joins = 0;
+
+  std::uint64_t latency_count = 0;
+  double latency_sum = 0.0;
+  double latency_min = 0.0;
+  double latency_max = 0.0;
+
+  // Requires mu.  One sample per request served by this entry completion.
+  void record_latency(double seconds, std::uint64_t samples) {
+    if (samples == 0) return;
+    if (latency_count == 0 || seconds < latency_min) latency_min = seconds;
+    if (latency_count == 0 || seconds > latency_max) latency_max = seconds;
+    latency_count += samples;
+    latency_sum += seconds * static_cast<double>(samples);
+  }
+
+  // Requires mu.
+  Ticket attach_ticket(const std::shared_ptr<Entry>& entry) {
+    const std::uint64_t id = next_ticket++;
+    tickets.emplace(id, entry);
+    return Ticket{id};
+  }
+};
+
+SynthesisService::SynthesisService(tech::Technology tech,
+                                   synth::SynthOptions synth_opts,
+                                   ServiceOptions opts)
+    : tech_(std::move(tech)),
+      synth_opts_(synth_opts),
+      opts_(opts),
+      key_prefix_(tech_.canonical_string() + "|" +
+                  canonical_string(synth_opts_) + "|"),
+      impl_(std::make_unique<Impl>(opts_)) {}
+
+SynthesisService::~SynthesisService() = default;
+
+std::string SynthesisService::request_key(
+    const core::OpAmpSpec& spec) const {
+  return key_prefix_ + spec.canonical_string();
+}
+
+Ticket SynthesisService::submit(const core::OpAmpSpec& spec) {
+  const auto t0 = std::chrono::steady_clock::now();
+  std::string key = request_key(spec);
+
+  std::unique_lock<std::mutex> lock(impl_->mu);
+  ++impl_->requests;
+
+  if (opts_.cache_enabled) {
+    if (const auto* cached = impl_->cache.get(key)) {
+      ++impl_->hits;
+      auto entry = std::make_shared<Entry>();
+      entry->key = std::move(key);
+      entry->state = Entry::State::kDone;
+      entry->result = *cached;
+      entry->service_seconds = seconds_since(t0);
+      impl_->record_latency(entry->service_seconds, 1);
+      return impl_->attach_ticket(entry);
+    }
+  }
+
+  if (const auto it = impl_->inflight.find(key);
+      it != impl_->inflight.end()) {
+    ++impl_->dedup_joins;
+    ++it->second->waiters;
+    return impl_->attach_ticket(it->second);
+  }
+
+  ++impl_->misses;
+  auto entry = std::make_shared<Entry>();
+  entry->key = key;
+  entry->spec = spec;
+  impl_->inflight.emplace(std::move(key), entry);
+  const Ticket ticket = impl_->attach_ticket(entry);
+
+  // Backpressure: nothing drains the queue but callers, so a full queue is
+  // drained inline here rather than blocking.  Another thread may refill
+  // it between our drain and re-push, hence the loop.
+  while (!impl_->queue.try_push(entry)) {
+    lock.unlock();
+    drain();
+    lock.lock();
+  }
+  lock.unlock();
+  impl_->cv.notify_all();  // wake wait()ers parked on an empty queue
+  return ticket;
+}
+
+void SynthesisService::drain() {
+  std::vector<std::shared_ptr<Entry>> batch = impl_->queue.pop_all();
+  if (batch.empty()) return;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    for (const auto& e : batch) e->state = Entry::State::kRunning;
+  }
+
+  // Compute outside the service lock: one parallel_for over the batch in
+  // FIFO order, results landing by index — exactly the structure (and
+  // therefore exactly the numbers) of synthesize_opamp_batch.
+  std::vector<synth::SynthesisResult> results(batch.size());
+  std::vector<std::exception_ptr> errors(batch.size());
+  std::vector<double> seconds(batch.size(), 0.0);
+  exec::parallel_for(
+      batch.size(),
+      [&](std::size_t i) {
+        const auto t0 = std::chrono::steady_clock::now();
+        try {
+          results[i] =
+              synth::synthesize_opamp(tech_, batch[i]->spec, synth_opts_);
+        } catch (...) {
+          errors[i] = std::current_exception();
+        }
+        seconds[i] = seconds_since(t0);
+      },
+      synth_opts_.jobs);
+
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      Entry& e = *batch[i];
+      e.service_seconds = seconds[i];
+      e.error = errors[i];
+      if (!e.error) {
+        e.result = std::make_shared<const synth::SynthesisResult>(
+            std::move(results[i]));
+        // Failures (exceptions) are never cached; infeasible designs are
+        // ordinary results and are.
+        if (opts_.cache_enabled) impl_->cache.put(e.key, e.result);
+      }
+      e.state = Entry::State::kDone;
+      impl_->inflight.erase(e.key);
+      impl_->record_latency(seconds[i], e.waiters);
+    }
+  }
+  impl_->cv.notify_all();
+}
+
+synth::SynthesisResult SynthesisService::wait(const Ticket& ticket) {
+  std::unique_lock<std::mutex> lock(impl_->mu);
+  const auto it = impl_->tickets.find(ticket.id);
+  if (it == impl_->tickets.end()) {
+    throw std::out_of_range(
+        "SynthesisService::wait: unknown or already-redeemed ticket");
+  }
+  std::shared_ptr<Entry> entry = it->second;
+  impl_->tickets.erase(it);
+
+  for (;;) {
+    if (entry->state == Entry::State::kDone) {
+      if (entry->error) std::rethrow_exception(entry->error);
+      return *entry->result;
+    }
+    if (!impl_->queue.empty()) {
+      // Pending work exists (possibly our own entry): compute it on this
+      // thread instead of parking.
+      lock.unlock();
+      drain();
+      lock.lock();
+      continue;
+    }
+    // Our entry is being computed by another thread's drain (or is about
+    // to be enqueued by a submit in flight); completion or new queue work
+    // will signal.
+    impl_->cv.wait(lock);
+  }
+}
+
+std::vector<synth::SynthesisResult> SynthesisService::run_batch(
+    const std::vector<core::OpAmpSpec>& specs) {
+  std::vector<Ticket> tickets;
+  tickets.reserve(specs.size());
+  for (const auto& spec : specs) tickets.push_back(submit(spec));
+  drain();
+  std::vector<synth::SynthesisResult> out;
+  out.reserve(specs.size());
+  for (const Ticket& t : tickets) out.push_back(wait(t));
+  return out;
+}
+
+ServiceStats SynthesisService::stats() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  ServiceStats s;
+  s.requests = impl_->requests;
+  s.hits = impl_->hits;
+  s.misses = impl_->misses;
+  s.dedup_joins = impl_->dedup_joins;
+  s.evictions = impl_->cache.evictions();
+  s.queue_depth = impl_->queue.size();
+  s.queue_high_water = impl_->queue.high_water();
+  s.cache_size = impl_->cache.size();
+  s.latency.count = impl_->latency_count;
+  s.latency.min_s = impl_->latency_min;
+  s.latency.max_s = impl_->latency_max;
+  s.latency.mean_s =
+      impl_->latency_count == 0
+          ? 0.0
+          : impl_->latency_sum / static_cast<double>(impl_->latency_count);
+  return s;
+}
+
+}  // namespace oasys::service

@@ -1,0 +1,125 @@
+// SynthesisService — the batch/server front half of the synthesis stack.
+//
+// The paper frames translation as the repeated, deterministic evaluation
+// of stored circuit knowledge, which makes a synthesis result a pure
+// function of (technology, spec, options).  The service exploits that
+// purity: every request is canonicalized into a stable fingerprint key
+// (util/fingerprint.h), repeats are served from a bounded LRU result
+// cache, identical in-flight requests join one computation
+// (single-flight), and queued work drains through the exec executor so
+// every jobs setting returns bit-for-bit the numbers a direct
+// synthesize_opamp call produces.
+//
+// Threading model: caller-driven — the service owns no threads.  submit()
+// consults the cache and the in-flight table and enqueues at most one
+// computation per distinct key into a bounded FIFO.  wait()/drain() pop
+// the queue and execute pending requests through exec::parallel_for on
+// the calling thread (plus pool helpers), so work happens on the threads
+// that ask for results, the executor's determinism guarantee carries over
+// unchanged, and a full queue drains inline instead of blocking.  Every
+// public method is thread-safe.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/spec.h"
+#include "synth/oasys.h"
+#include "tech/technology.h"
+
+namespace oasys::service {
+
+struct ServiceOptions {
+  // Result cache; capacity counts distinct (technology, spec, options)
+  // keys.  Disabling leaves single-flight dedup of in-flight requests on.
+  bool cache_enabled = true;
+  std::size_t cache_capacity = 256;
+  // Pending-request FIFO bound.  A submit() that finds the queue full
+  // drains it inline (computing queued requests) before enqueueing, so
+  // the bound throttles memory, never liveness.
+  std::size_t queue_capacity = 64;
+};
+
+// Aggregate min/mean/max over per-request service times [s].
+struct LatencySummary {
+  std::uint64_t count = 0;
+  double min_s = 0.0;
+  double mean_s = 0.0;
+  double max_s = 0.0;
+};
+
+// Snapshot of the service counters; see SynthesisService::stats().
+struct ServiceStats {
+  std::uint64_t requests = 0;     // submit() calls
+  std::uint64_t hits = 0;         // served from the result cache
+  std::uint64_t misses = 0;       // enqueued a fresh computation
+  std::uint64_t dedup_joins = 0;  // joined an identical in-flight request
+  std::uint64_t evictions = 0;    // LRU entries displaced
+  std::size_t queue_depth = 0;       // pending requests right now
+  std::size_t queue_high_water = 0;  // deepest the queue has been
+  std::size_t cache_size = 0;        // resident cache entries
+  // One sample per request: the synthesis wall time of the computation
+  // that produced its result (shared by dedup joins) or the cache-lookup
+  // time for hits.  Miss/join samples land when the computation finishes.
+  LatencySummary latency;
+};
+
+// Handle for one submitted request; redeem exactly once with wait().
+struct Ticket {
+  std::uint64_t id = 0;
+};
+
+class SynthesisService {
+ public:
+  explicit SynthesisService(tech::Technology tech,
+                            synth::SynthOptions synth_opts = {},
+                            ServiceOptions opts = {});
+  ~SynthesisService();
+  SynthesisService(const SynthesisService&) = delete;
+  SynthesisService& operator=(const SynthesisService&) = delete;
+
+  // Registers a request and returns its ticket.  Cheap: a cache hit or an
+  // in-flight join never computes; a fresh key is queued for the next
+  // drain (inline only when the queue is full).
+  Ticket submit(const core::OpAmpSpec& spec);
+
+  // Returns the request's result, computing pending work as needed.
+  // Tickets are one-shot; an unknown or already-redeemed ticket throws
+  // std::out_of_range.  An exception thrown by the underlying synthesis
+  // is rethrown here, once per attached ticket.
+  synth::SynthesisResult wait(const Ticket& ticket);
+
+  // Computes everything queued right now; returns when it is done.
+  void drain();
+
+  // Synchronous batch: submit all, drain, wait all.  out[i] is bit-for-bit
+  // what synthesize_opamp(technology(), specs[i], synth_options()) returns,
+  // at every jobs setting, on the cold, warm-cache, and dedup-joined paths
+  // alike (synthesis is a pure function of the fingerprint key).
+  std::vector<synth::SynthesisResult> run_batch(
+      const std::vector<core::OpAmpSpec>& specs);
+
+  // Counter snapshot; any thread, any time.
+  ServiceStats stats() const;
+
+  const tech::Technology& technology() const { return tech_; }
+  const synth::SynthOptions& synth_options() const { return synth_opts_; }
+
+  // The cache key submit() derives for a spec: technology and options
+  // fingerprints plus the spec's canonical string.  Exposed for tests.
+  std::string request_key(const core::OpAmpSpec& spec) const;
+
+ private:
+  struct Entry;
+  struct Impl;
+
+  const tech::Technology tech_;
+  const synth::SynthOptions synth_opts_;
+  const ServiceOptions opts_;
+  const std::string key_prefix_;  // technology + options fingerprint
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace oasys::service

@@ -1,6 +1,22 @@
 #include "synth/opamp_design.h"
 
+#include "util/fingerprint.h"
+
 namespace oasys::synth {
+
+std::string canonical_string(const SynthOptions& opts) {
+  util::Fingerprint fp;
+  fp.field("rules_enabled", opts.rules_enabled)
+      .field("max_patches", static_cast<long long>(opts.max_patches))
+      .field("bias_style", static_cast<long long>(opts.bias_style))
+      .field("iref", opts.iref)
+      .field("pm_grace_deg", opts.pm_grace_deg);
+  return fp.str();
+}
+
+std::uint64_t hash(const SynthOptions& opts) {
+  return util::fnv1a64(canonical_string(opts));
+}
 
 const char* to_string(OpAmpStyle s) {
   switch (s) {

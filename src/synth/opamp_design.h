@@ -7,6 +7,7 @@
 // schematic" plus the narrative of how it was reached.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
@@ -86,5 +87,12 @@ struct SynthOptions {
   // exec/executor.h for the determinism guarantee.
   std::size_t jobs = 0;
 };
+
+// Canonical fingerprint of the options for cache keys (see
+// util/fingerprint.h).  `jobs` is deliberately excluded: the executor
+// guarantees results are identical at every jobs setting, so two requests
+// differing only in jobs must share one cache entry.
+std::string canonical_string(const SynthOptions& opts);
+std::uint64_t hash(const SynthOptions& opts);
 
 }  // namespace oasys::synth

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "util/fingerprint.h"
 #include "util/text.h"
 #include "util/units.h"
 
@@ -20,6 +21,49 @@ double MosParams::sigma_vt(double w, double l) const {
 double Technology::capacitor_area(double farads) const {
   if (cox <= 0.0) return 0.0;
   return farads / cox;
+}
+
+namespace {
+
+void fingerprint_mos(util::Fingerprint& fp, const std::string& prefix,
+                     const MosParams& p) {
+  fp.field(prefix + ".vt0", p.vt0)
+      .field(prefix + ".kp", p.kp)
+      .field(prefix + ".gamma", p.gamma)
+      .field(prefix + ".phi", p.phi)
+      .field(prefix + ".lambda_l", p.lambda_l)
+      .field(prefix + ".cgdo", p.cgdo)
+      .field(prefix + ".cgso", p.cgso)
+      .field(prefix + ".cj", p.cj)
+      .field(prefix + ".cjsw", p.cjsw)
+      .field(prefix + ".pb", p.pb)
+      .field(prefix + ".mj", p.mj)
+      .field(prefix + ".mjsw", p.mjsw)
+      .field(prefix + ".mobility", p.mobility)
+      .field(prefix + ".kf", p.kf)
+      .field(prefix + ".af", p.af)
+      .field(prefix + ".avt", p.avt);
+}
+
+}  // namespace
+
+std::string Technology::canonical_string() const {
+  util::Fingerprint fp;
+  fp.field("name", name)
+      .field("vdd", vdd)
+      .field("vss", vss)
+      .field("lmin", lmin)
+      .field("wmin", wmin)
+      .field("drain_ext", drain_ext)
+      .field("tox", tox)
+      .field("cox", cox);
+  fingerprint_mos(fp, "nmos", nmos);
+  fingerprint_mos(fp, "pmos", pmos);
+  return fp.str();
+}
+
+std::uint64_t Technology::hash() const {
+  return util::fnv1a64(canonical_string());
 }
 
 namespace {

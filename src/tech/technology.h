@@ -11,6 +11,7 @@
 // the paper (um, Angstrom, fF/um^2, uA/V^2) and the parser converts.
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 #include "util/diagnostics.h"
@@ -88,6 +89,12 @@ struct Technology {
   // Sanity checks: positive supplies span, parameters in physical ranges.
   // Problems are reported as error diagnostics.
   util::DiagnosticLog validate() const;
+
+  // Canonical fingerprint for cache keys (see util/fingerprint.h): covers
+  // every model parameter of both device types, is independent of how the
+  // struct was populated (file vs built-in), and is NaN/zero-sign safe.
+  std::string canonical_string() const;
+  std::uint64_t hash() const;
 };
 
 }  // namespace oasys::tech

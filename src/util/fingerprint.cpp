@@ -1,0 +1,84 @@
+#include "util/fingerprint.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "util/text.h"
+
+namespace oasys::util {
+
+std::string canon_double(double v) {
+  if (std::isnan(v)) return "nan";
+  if (std::isinf(v)) return v > 0.0 ? "inf" : "-inf";
+  if (v == 0.0) return "0";  // collapses -0.0, which compares equal to +0.0
+  // Hand-rolled hex: key derivation sits on the service cache-hit path, and
+  // snprintf is ~4x the cost of this loop there.
+  std::uint64_t b = std::bit_cast<std::uint64_t>(v);
+  char buf[16];
+  for (int i = 15; i >= 0; --i) {
+    buf[i] = "0123456789abcdef"[b & 0xfu];
+    b >>= 4;
+  }
+  return std::string(buf, sizeof(buf));
+}
+
+std::uint64_t fnv1a64(std::string_view bytes) {
+  std::uint64_t h = 14695981039346656037ull;  // FNV offset basis
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;  // FNV prime
+  }
+  return h;
+}
+
+Fingerprint& Fingerprint::field(std::string name, double v) {
+  fields_.emplace_back(std::move(name), canon_double(v));
+  return *this;
+}
+
+Fingerprint& Fingerprint::field(std::string name, std::string_view v) {
+  fields_.emplace_back(std::move(name), std::string(v));
+  return *this;
+}
+
+Fingerprint& Fingerprint::field(std::string name, const char* v) {
+  return field(std::move(name), std::string_view(v));
+}
+
+Fingerprint& Fingerprint::field(std::string name, bool v) {
+  fields_.emplace_back(std::move(name), v ? "1" : "0");
+  return *this;
+}
+
+Fingerprint& Fingerprint::field(std::string name, long long v) {
+  fields_.emplace_back(std::move(name), format("%lld", v));
+  return *this;
+}
+
+std::string Fingerprint::str() const {
+  // Sort pointers, not pairs: copying the field strings just to order them
+  // would double the allocation count on the cache-hit path.
+  std::vector<const std::pair<std::string, std::string>*> order;
+  order.reserve(fields_.size());
+  for (const auto& f : fields_) order.push_back(&f);
+  std::stable_sort(order.begin(), order.end(),
+                   [](const auto* a, const auto* b) {
+                     return a->first < b->first;
+                   });
+  std::size_t total = 0;
+  for (const auto* f : order) total += f->first.size() + f->second.size() + 2;
+  std::string out;
+  out.reserve(total);
+  for (const auto* f : order) {
+    out += f->first;
+    out += '=';
+    out += f->second;
+    out += ';';
+  }
+  return out;
+}
+
+std::uint64_t Fingerprint::hash() const { return fnv1a64(str()); }
+
+}  // namespace oasys::util

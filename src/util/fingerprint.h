@@ -1,0 +1,56 @@
+// Canonical fingerprints for cache keys.
+//
+// The service layer caches synthesis results keyed by (technology, spec,
+// options).  A key must be *stable*: two logically equal inputs must render
+// the same bytes regardless of which code path populated their fields, of
+// any NaN payload, or of the sign of a zero — and two different inputs must
+// never alias.  This module provides the substrate: a canonical token per
+// double (the exact IEEE-754 bit pattern in hex, with every NaN collapsed
+// to one token and both zeros to "0") and a Fingerprint builder that
+// renders named fields in name-sorted order (field-order-independent) and
+// hashes the rendering with 64-bit FNV-1a.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace oasys::util {
+
+// Canonical token for one double:
+//  * every NaN (any payload, either sign) -> "nan"
+//  * +0.0 and -0.0                        -> "0"
+//  * +/- infinity                         -> "inf" / "-inf"
+//  * everything else                      -> bit pattern as 16 hex digits
+// Bit-pattern rendering (not %g) means distinct values never collide and
+// the token never depends on locale or printf rounding.
+std::string canon_double(double v);
+
+// FNV-1a 64-bit over a byte string; the stable, dependency-free hash used
+// for every fingerprint in the repo.
+std::uint64_t fnv1a64(std::string_view bytes);
+
+// Builds `name=token;` canonical strings.  Fields are sorted by name when
+// rendered, so the fingerprint does not depend on the order call sites
+// append them.  Callers use distinct names, with dotted prefixes for
+// nesting ("nmos.vt0"); duplicates are kept and sorted stably.
+class Fingerprint {
+ public:
+  Fingerprint& field(std::string name, double v);
+  Fingerprint& field(std::string name, std::string_view v);
+  Fingerprint& field(std::string name, const char* v);
+  Fingerprint& field(std::string name, bool v);
+  Fingerprint& field(std::string name, long long v);
+
+  // The canonical rendering: "a=tok;b=tok;..." in name-sorted order.
+  std::string str() const;
+  // fnv1a64(str()).
+  std::uint64_t hash() const;
+
+ private:
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+}  // namespace oasys::util

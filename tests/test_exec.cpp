@@ -4,6 +4,7 @@
 // simulation paths wired through it.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <condition_variable>
@@ -11,6 +12,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "exec/bounded_fifo.h"
 #include "exec/executor.h"
 #include "numeric/interpolate.h"
 #include "spice/ac.h"
@@ -55,6 +57,62 @@ TEST(ThreadPool, WorkersReportPoolContext) {
   while (!done) std::this_thread::yield();
   EXPECT_TRUE(inside);
   EXPECT_FALSE(exec::in_pool_worker());
+}
+
+TEST(BoundedFifo, FifoOrderAndCapacityRefusal) {
+  exec::BoundedFifo<int> q(3);
+  EXPECT_EQ(q.capacity(), 3u);
+  EXPECT_TRUE(q.empty());
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_TRUE(q.try_push(3));
+  EXPECT_FALSE(q.try_push(4));  // full: refused, caller owns backpressure
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_EQ(q.try_pop().value(), 1);
+  EXPECT_TRUE(q.try_push(4));  // space again
+  EXPECT_EQ(q.try_pop().value(), 2);
+  EXPECT_EQ(q.try_pop().value(), 3);
+  EXPECT_EQ(q.try_pop().value(), 4);
+  EXPECT_FALSE(q.try_pop().has_value());
+}
+
+TEST(BoundedFifo, PopAllDrainsInOrderAndHighWaterSticks) {
+  exec::BoundedFifo<int> q(8);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(q.try_push(i));
+  EXPECT_EQ(q.high_water(), 5u);
+  const std::vector<int> all = q.pop_all();
+  EXPECT_EQ(all, (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.high_water(), 5u);  // high water survives the drain
+  EXPECT_TRUE(q.try_push(9));
+  EXPECT_EQ(q.pop_all(), std::vector<int>{9});
+}
+
+TEST(BoundedFifo, ZeroCapacityClampsToOne) {
+  exec::BoundedFifo<int> q(0);
+  EXPECT_EQ(q.capacity(), 1u);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_FALSE(q.try_push(2));
+}
+
+TEST(BoundedFifo, ConcurrentProducersLoseNothing) {
+  exec::BoundedFifo<int> q(256);
+  std::thread a([&] {
+    for (int i = 0; i < 100; ++i) {
+      while (!q.try_push(i)) std::this_thread::yield();
+    }
+  });
+  std::thread b([&] {
+    for (int i = 100; i < 200; ++i) {
+      while (!q.try_push(i)) std::this_thread::yield();
+    }
+  });
+  a.join();
+  b.join();
+  std::vector<int> all = q.pop_all();
+  ASSERT_EQ(all.size(), 200u);
+  std::sort(all.begin(), all.end());
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(all[i], i);
 }
 
 TEST(Jobs, DefaultAndOverride) {

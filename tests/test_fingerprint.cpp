@@ -1,0 +1,140 @@
+// Canonical-fingerprint tests: cache keys must be stable (equal inputs
+// collide however their fields were populated — permuted spec files, NaN
+// payloads, signed zeros) and collision-free across genuinely different
+// inputs (bit-pattern tokens, not printf rounding).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "core/spec_parser.h"
+#include "synth/opamp_design.h"
+#include "synth/test_cases.h"
+#include "tech/builtin.h"
+#include "util/fingerprint.h"
+
+namespace oasys {
+namespace {
+
+// ---- util::Fingerprint primitives ----------------------------------------
+
+TEST(Fingerprint, CanonDoubleCollapsesNansAndZeros) {
+  EXPECT_EQ(util::canon_double(std::nan("")), "nan");
+  EXPECT_EQ(util::canon_double(std::nan("1")), util::canon_double(std::nan("2")));
+  EXPECT_EQ(util::canon_double(-std::numeric_limits<double>::quiet_NaN()),
+            "nan");
+  EXPECT_EQ(util::canon_double(0.0), util::canon_double(-0.0));
+  EXPECT_EQ(util::canon_double(std::numeric_limits<double>::infinity()),
+            "inf");
+  EXPECT_EQ(util::canon_double(-std::numeric_limits<double>::infinity()),
+            "-inf");
+}
+
+TEST(Fingerprint, CanonDoubleSeparatesCloseValues) {
+  const double a = 1.0;
+  const double b = std::nextafter(1.0, 2.0);
+  EXPECT_NE(util::canon_double(a), util::canon_double(b));
+  EXPECT_NE(util::canon_double(1e-12), util::canon_double(1.0000001e-12));
+}
+
+TEST(Fingerprint, FieldOrderDoesNotMatter) {
+  util::Fingerprint a;
+  a.field("x", 1.5).field("y", 2.5).field("flag", true);
+  util::Fingerprint b;
+  b.field("flag", true).field("y", 2.5).field("x", 1.5);
+  EXPECT_EQ(a.str(), b.str());
+  EXPECT_EQ(a.hash(), b.hash());
+}
+
+TEST(Fingerprint, DistinctFieldsChangeHash) {
+  util::Fingerprint a;
+  a.field("x", 1.5);
+  util::Fingerprint b;
+  b.field("x", 1.5 + 1e-15);
+  EXPECT_NE(a.str(), b.str());
+  EXPECT_NE(a.hash(), b.hash());
+}
+
+// ---- OpAmpSpec -------------------------------------------------------------
+
+TEST(SpecFingerprint, PermutedSpecFilesCollide) {
+  const core::SpecParseResult a = core::parse_opamp_spec(
+      "name P\ngain_db 70\ngbw_mhz 2\npm_deg 45\ncload_pf 10\n");
+  const core::SpecParseResult b = core::parse_opamp_spec(
+      "cload_pf 10\npm_deg 45\ngbw_mhz 2\ngain_db 70\nname P\n");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.spec.canonical_string(), b.spec.canonical_string());
+  EXPECT_EQ(a.spec.hash(), b.spec.hash());
+}
+
+TEST(SpecFingerprint, RoundTripThroughSpecTextCollides) {
+  // to_spec_text renders designer units (%.6g); a spec built from such
+  // text must fingerprint like the re-parsed one.
+  const core::OpAmpSpec spec = synth::spec_case_b();
+  const core::SpecParseResult r =
+      core::parse_opamp_spec(core::to_spec_text(spec));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(spec.canonical_string(), r.spec.canonical_string());
+}
+
+TEST(SpecFingerprint, DifferingSpecsDoNotCollide) {
+  const core::OpAmpSpec a = synth::spec_case_a();
+  core::OpAmpSpec b = a;
+  b.gbw_min = std::nextafter(a.gbw_min, a.gbw_min * 2.0);
+  EXPECT_NE(a.canonical_string(), b.canonical_string());
+  EXPECT_NE(a.hash(), b.hash());
+
+  core::OpAmpSpec renamed = a;
+  renamed.name = "A2";
+  EXPECT_NE(a.canonical_string(), renamed.canonical_string());
+}
+
+TEST(SpecFingerprint, NanAndSignedZeroFieldsAreStable) {
+  core::OpAmpSpec a = synth::spec_case_a();
+  core::OpAmpSpec b = a;
+  a.noise_max = std::nan("1");
+  b.noise_max = std::nan("2");
+  EXPECT_EQ(a.canonical_string(), b.canonical_string());
+  a.noise_max = 0.0;
+  b.noise_max = -0.0;
+  EXPECT_EQ(a.canonical_string(), b.canonical_string());
+}
+
+// ---- Technology and SynthOptions ------------------------------------------
+
+TEST(TechFingerprint, BuiltinProcessesDiffer) {
+  const tech::Technology t5 = tech::five_micron();
+  const tech::Technology t3 = tech::three_micron();
+  EXPECT_EQ(t5.canonical_string(), tech::five_micron().canonical_string());
+  EXPECT_NE(t5.canonical_string(), t3.canonical_string());
+  EXPECT_NE(t5.hash(), t3.hash());
+}
+
+TEST(TechFingerprint, DeviceParameterChangesAreVisible) {
+  tech::Technology t = tech::five_micron();
+  tech::Technology u = t;
+  u.nmos.vt0 = std::nextafter(t.nmos.vt0, 10.0);
+  EXPECT_NE(t.canonical_string(), u.canonical_string());
+}
+
+TEST(OptionsFingerprint, JobsExcludedOtherKnobsIncluded) {
+  synth::SynthOptions a;
+  synth::SynthOptions b;
+  b.jobs = 7;  // results are jobs-invariant, so the key must be too
+  EXPECT_EQ(canonical_string(a), canonical_string(b));
+  EXPECT_EQ(hash(a), hash(b));
+
+  synth::SynthOptions c;
+  c.rules_enabled = false;
+  EXPECT_NE(canonical_string(a), canonical_string(c));
+  synth::SynthOptions d;
+  d.iref = a.iref * 1.5;
+  EXPECT_NE(canonical_string(a), canonical_string(d));
+  synth::SynthOptions e;
+  e.max_patches = a.max_patches + 1;
+  EXPECT_NE(canonical_string(a), canonical_string(e));
+}
+
+}  // namespace
+}  // namespace oasys

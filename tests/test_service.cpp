@@ -1,0 +1,352 @@
+// Service-layer tests.
+//
+// The load-bearing guarantee is golden equivalence: SynthesisService must
+// return bit-for-bit what a direct synthesize_opamp call returns — on the
+// cold path (computed through the queue), the warm path (copied out of the
+// LRU cache), and the dedup-joined path (one computation shared by
+// identical in-flight requests) — at every jobs setting.  "Bit-for-bit" is
+// checked through the IEEE-754 bit patterns of every sized device and
+// every predicted-performance axis, not through approximate comparison.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/lru_cache.h"
+#include "service/service.h"
+#include "synth/oasys.h"
+#include "synth/test_cases.h"
+#include "tech/builtin.h"
+
+namespace oasys {
+namespace {
+
+const tech::Technology& tech5() {
+  static const tech::Technology t = tech::five_micron();
+  return t;
+}
+
+std::uint64_t bits(double v) { return std::bit_cast<std::uint64_t>(v); }
+
+void expect_perf_bits_equal(const core::OpAmpPerformance& a,
+                            const core::OpAmpPerformance& b) {
+  EXPECT_EQ(bits(a.gain_db), bits(b.gain_db));
+  EXPECT_EQ(bits(a.gbw), bits(b.gbw));
+  EXPECT_EQ(bits(a.pm_deg), bits(b.pm_deg));
+  EXPECT_EQ(bits(a.slew), bits(b.slew));
+  EXPECT_EQ(bits(a.swing_pos), bits(b.swing_pos));
+  EXPECT_EQ(bits(a.swing_neg), bits(b.swing_neg));
+  EXPECT_EQ(bits(a.offset), bits(b.offset));
+  EXPECT_EQ(bits(a.icmr_lo), bits(b.icmr_lo));
+  EXPECT_EQ(bits(a.icmr_hi), bits(b.icmr_hi));
+  EXPECT_EQ(bits(a.power), bits(b.power));
+  EXPECT_EQ(bits(a.area), bits(b.area));
+  EXPECT_EQ(bits(a.cmrr_db), bits(b.cmrr_db));
+  EXPECT_EQ(bits(a.psrr_db), bits(b.psrr_db));
+  EXPECT_EQ(bits(a.noise_in), bits(b.noise_in));
+}
+
+void expect_design_bits_equal(const synth::OpAmpDesign& a,
+                              const synth::OpAmpDesign& b) {
+  EXPECT_EQ(a.style, b.style);
+  EXPECT_EQ(a.feasible, b.feasible);
+  EXPECT_EQ(a.soft_violations, b.soft_violations);
+  EXPECT_EQ(a.stage1_cascode, b.stage1_cascode);
+  EXPECT_EQ(a.stage2_cascode_load, b.stage2_cascode_load);
+  EXPECT_EQ(a.stage2_cascode_gm, b.stage2_cascode_gm);
+  EXPECT_EQ(a.tail_cascode, b.tail_cascode);
+  EXPECT_EQ(a.has_level_shifter, b.has_level_shifter);
+  ASSERT_EQ(a.devices.size(), b.devices.size());
+  for (std::size_t i = 0; i < a.devices.size(); ++i) {
+    EXPECT_EQ(a.devices[i].role, b.devices[i].role);
+    EXPECT_EQ(a.devices[i].type, b.devices[i].type);
+    EXPECT_EQ(bits(a.devices[i].w), bits(b.devices[i].w));
+    EXPECT_EQ(bits(a.devices[i].l), bits(b.devices[i].l));
+    EXPECT_EQ(a.devices[i].m, b.devices[i].m);
+    EXPECT_EQ(bits(a.devices[i].id), bits(b.devices[i].id));
+    EXPECT_EQ(bits(a.devices[i].vov), bits(b.devices[i].vov));
+  }
+  EXPECT_EQ(bits(a.cc), bits(b.cc));
+  EXPECT_EQ(bits(a.rref), bits(b.rref));
+  EXPECT_EQ(bits(a.iref), bits(b.iref));
+  EXPECT_EQ(bits(a.itail), bits(b.itail));
+  EXPECT_EQ(bits(a.i2), bits(b.i2));
+  EXPECT_EQ(bits(a.ils), bits(b.ils));
+  EXPECT_EQ(a.vb_cascode_n.has_value(), b.vb_cascode_n.has_value());
+  if (a.vb_cascode_n && b.vb_cascode_n) {
+    EXPECT_EQ(bits(*a.vb_cascode_n), bits(*b.vb_cascode_n));
+  }
+  EXPECT_EQ(a.vb_cascode_p.has_value(), b.vb_cascode_p.has_value());
+  if (a.vb_cascode_p && b.vb_cascode_p) {
+    EXPECT_EQ(bits(*a.vb_cascode_p), bits(*b.vb_cascode_p));
+  }
+  expect_perf_bits_equal(a.predicted, b.predicted);
+}
+
+void expect_result_bits_equal(const synth::SynthesisResult& a,
+                              const synth::SynthesisResult& b) {
+  EXPECT_EQ(a.spec.canonical_string(), b.spec.canonical_string());
+  EXPECT_EQ(a.selection.best, b.selection.best);
+  EXPECT_EQ(a.selection.ranking, b.selection.ranking);
+  EXPECT_EQ(a.selection.summary, b.selection.summary);
+  ASSERT_EQ(a.candidates.size(), b.candidates.size());
+  for (std::size_t i = 0; i < a.candidates.size(); ++i) {
+    expect_design_bits_equal(a.candidates[i], b.candidates[i]);
+  }
+}
+
+// The paper's three cases plus GBW/gain variants: enough distinct keys to
+// exercise eviction and queue bounds, each still a valid spec.
+std::vector<core::OpAmpSpec> six_specs() {
+  std::vector<core::OpAmpSpec> specs = synth::paper_test_cases();
+  core::OpAmpSpec a2 = synth::spec_case_a();
+  a2.name = "A2";
+  a2.gbw_min *= 1.25;
+  core::OpAmpSpec b2 = synth::spec_case_b();
+  b2.name = "B2";
+  b2.gain_min_db += 3.0;
+  core::OpAmpSpec c2 = synth::spec_case_a();
+  c2.name = "A3";
+  c2.slew_min *= 1.5;
+  specs.push_back(a2);
+  specs.push_back(b2);
+  specs.push_back(c2);
+  return specs;
+}
+
+// ---- golden equivalence ----------------------------------------------------
+
+TEST(ServiceGolden, ColdWarmAndDedupMatchDirectSynthesisAtJobs124) {
+  const std::vector<core::OpAmpSpec> specs = six_specs();
+  for (const std::size_t jobs : {std::size_t{1}, std::size_t{2},
+                                 std::size_t{4}}) {
+    SCOPED_TRACE("jobs=" + std::to_string(jobs));
+    synth::SynthOptions opts;
+    opts.jobs = jobs;
+
+    std::vector<synth::SynthesisResult> direct;
+    direct.reserve(specs.size());
+    for (const auto& s : specs) {
+      direct.push_back(synth::synthesize_opamp(tech5(), s, opts));
+    }
+
+    service::SynthesisService svc(tech5(), opts, {});
+    // Cold: everything computed through the queue.
+    const auto cold = svc.run_batch(specs);
+    ASSERT_EQ(cold.size(), specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      expect_result_bits_equal(cold[i], direct[i]);
+    }
+    // Warm: everything served from the LRU cache.
+    const auto warm = svc.run_batch(specs);
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      expect_result_bits_equal(warm[i], direct[i]);
+    }
+    const service::ServiceStats st = svc.stats();
+    EXPECT_EQ(st.misses, specs.size());
+    EXPECT_EQ(st.hits, specs.size());
+    EXPECT_EQ(st.dedup_joins, 0u);
+
+    // Dedup: each spec twice in one batch joins the in-flight computation.
+    service::SynthesisService svc2(tech5(), opts, {});
+    std::vector<core::OpAmpSpec> doubled;
+    for (const auto& s : specs) {
+      doubled.push_back(s);
+      doubled.push_back(s);
+    }
+    const auto joined = svc2.run_batch(doubled);
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      expect_result_bits_equal(joined[2 * i], direct[i]);
+      expect_result_bits_equal(joined[2 * i + 1], direct[i]);
+    }
+    const service::ServiceStats st2 = svc2.stats();
+    EXPECT_EQ(st2.misses, specs.size());
+    EXPECT_EQ(st2.dedup_joins, specs.size());
+    EXPECT_EQ(st2.hits, 0u);
+  }
+}
+
+TEST(ServiceGolden, RunBatchMatchesSynthesizeOpampBatch) {
+  const std::vector<core::OpAmpSpec> specs = six_specs();
+  synth::SynthOptions opts;
+  const auto batch = synth::synthesize_opamp_batch(tech5(), specs, opts);
+  service::SynthesisService svc(tech5(), opts, {});
+  const auto served = svc.run_batch(specs);
+  ASSERT_EQ(batch.size(), served.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    expect_result_bits_equal(served[i], batch[i]);
+  }
+}
+
+// ---- async API -------------------------------------------------------------
+
+TEST(ServiceAsync, SubmitWaitAndSingleRedemption) {
+  service::SynthesisService svc(tech5());
+  const service::Ticket t1 = svc.submit(synth::spec_case_a());
+  const service::Ticket t2 = svc.submit(synth::spec_case_a());  // join
+  EXPECT_NE(t1.id, t2.id);
+
+  const synth::SynthesisResult r1 = svc.wait(t1);
+  const synth::SynthesisResult r2 = svc.wait(t2);
+  expect_result_bits_equal(r1, r2);
+  EXPECT_TRUE(r1.success());
+
+  const service::ServiceStats st = svc.stats();
+  EXPECT_EQ(st.requests, 2u);
+  EXPECT_EQ(st.misses, 1u);
+  EXPECT_EQ(st.dedup_joins, 1u);
+
+  EXPECT_THROW(svc.wait(t1), std::out_of_range);           // one-shot
+  EXPECT_THROW(svc.wait(service::Ticket{9999}), std::out_of_range);
+}
+
+TEST(ServiceAsync, WaitFromAnotherThreadCompletes) {
+  service::SynthesisService svc(tech5());
+  const service::Ticket t = svc.submit(synth::spec_case_b());
+  synth::SynthesisResult from_thread;
+  std::thread waiter([&] { from_thread = svc.wait(t); });
+  waiter.join();
+  expect_result_bits_equal(from_thread,
+                           synth::synthesize_opamp(tech5(),
+                                                   synth::spec_case_b()));
+}
+
+// ---- cache and queue behaviour --------------------------------------------
+
+TEST(Service, NoCacheRecomputesEveryBatchButStaysEquivalent) {
+  service::ServiceOptions sopts;
+  sopts.cache_enabled = false;
+  service::SynthesisService svc(tech5(), {}, sopts);
+  const std::vector<core::OpAmpSpec> specs = synth::paper_test_cases();
+  const auto first = svc.run_batch(specs);
+  const auto second = svc.run_batch(specs);
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    expect_result_bits_equal(first[i], second[i]);
+  }
+  const service::ServiceStats st = svc.stats();
+  EXPECT_EQ(st.hits, 0u);
+  EXPECT_EQ(st.misses, 2 * specs.size());
+  EXPECT_EQ(st.cache_size, 0u);
+}
+
+TEST(Service, BoundedQueueDrainsInlineUnderBackpressure) {
+  service::ServiceOptions sopts;
+  sopts.queue_capacity = 2;
+  service::SynthesisService svc(tech5(), {}, sopts);
+  const std::vector<core::OpAmpSpec> specs = six_specs();
+  std::vector<service::Ticket> tickets;
+  for (const auto& s : specs) tickets.push_back(svc.submit(s));
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    expect_result_bits_equal(svc.wait(tickets[i]),
+                             synth::synthesize_opamp(tech5(), specs[i]));
+  }
+  const service::ServiceStats st = svc.stats();
+  EXPECT_LE(st.queue_high_water, 2u);
+  EXPECT_EQ(st.queue_depth, 0u);
+  EXPECT_EQ(st.misses, specs.size());
+}
+
+TEST(Service, LruEvictionForcesRecompute) {
+  service::ServiceOptions sopts;
+  sopts.cache_capacity = 2;
+  service::SynthesisService svc(tech5(), {}, sopts);
+  const core::OpAmpSpec a = synth::spec_case_a();
+  const core::OpAmpSpec b = synth::spec_case_b();
+  const core::OpAmpSpec c = synth::spec_case_c();
+
+  svc.run_batch({a, b});   // cache: {b, a}
+  svc.run_batch({c});      // evicts a -> cache: {c, b}
+  svc.run_batch({b});      // hit
+  const auto again = svc.run_batch({a});  // miss: recomputed
+  expect_result_bits_equal(again[0],
+                           synth::synthesize_opamp(tech5(), a));
+
+  const service::ServiceStats st = svc.stats();
+  EXPECT_EQ(st.evictions, 2u);  // a displaced by c, then c displaced by a
+  EXPECT_EQ(st.hits, 1u);
+  EXPECT_EQ(st.misses, 4u);
+  EXPECT_EQ(st.cache_size, 2u);
+}
+
+TEST(Service, StatsCountersAreConsistent) {
+  service::SynthesisService svc(tech5());
+  const std::vector<core::OpAmpSpec> specs = synth::paper_test_cases();
+  svc.run_batch(specs);
+  svc.run_batch(specs);
+  std::vector<core::OpAmpSpec> doubled = {specs[0], specs[0]};
+  svc.run_batch(doubled);
+
+  const service::ServiceStats st = svc.stats();
+  EXPECT_EQ(st.requests, st.hits + st.misses + st.dedup_joins);
+  EXPECT_EQ(st.latency.count, st.requests);
+  EXPECT_LE(st.latency.min_s, st.latency.mean_s);
+  EXPECT_LE(st.latency.mean_s, st.latency.max_s);
+  EXPECT_GE(st.latency.min_s, 0.0);
+}
+
+TEST(Service, RequestKeyIgnoresJobsButSeesOtherOptions) {
+  synth::SynthOptions serial;
+  serial.jobs = 1;
+  synth::SynthOptions wide;
+  wide.jobs = 8;
+  service::SynthesisService a(tech5(), serial, {});
+  service::SynthesisService b(tech5(), wide, {});
+  EXPECT_EQ(a.request_key(synth::spec_case_a()),
+            b.request_key(synth::spec_case_a()));
+
+  synth::SynthOptions norules;
+  norules.rules_enabled = false;
+  service::SynthesisService c(tech5(), norules, {});
+  EXPECT_NE(a.request_key(synth::spec_case_a()),
+            c.request_key(synth::spec_case_a()));
+  EXPECT_NE(a.request_key(synth::spec_case_a()),
+            a.request_key(synth::spec_case_b()));
+}
+
+// ---- LruCache unit behaviour ----------------------------------------------
+
+TEST(LruCache, EvictsInLeastRecentlyUsedOrder) {
+  service::LruCache<std::string, int> cache(2);
+  cache.put("a", 1);
+  cache.put("b", 2);
+  ASSERT_NE(cache.get("a"), nullptr);  // promotes a over b
+  cache.put("c", 3);                   // evicts b, the LRU entry
+  EXPECT_TRUE(cache.contains("a"));
+  EXPECT_TRUE(cache.contains("c"));
+  EXPECT_FALSE(cache.contains("b"));
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(cache.size(), 2u);
+
+  cache.put("d", 4);  // evicts a: c was promoted by the later put
+  EXPECT_FALSE(cache.contains("a"));
+  EXPECT_TRUE(cache.contains("c"));
+  EXPECT_TRUE(cache.contains("d"));
+  EXPECT_EQ(cache.evictions(), 2u);
+}
+
+TEST(LruCache, PutOverwritesAndPromotesExistingKey) {
+  service::LruCache<std::string, int> cache(2);
+  cache.put("a", 1);
+  cache.put("b", 2);
+  cache.put("a", 10);  // overwrite, promote; no eviction
+  EXPECT_EQ(cache.evictions(), 0u);
+  EXPECT_EQ(*cache.get("a"), 10);
+  cache.put("c", 3);  // evicts b
+  EXPECT_FALSE(cache.contains("b"));
+  EXPECT_TRUE(cache.contains("a"));
+}
+
+TEST(LruCache, ZeroCapacityStoresNothing) {
+  service::LruCache<std::string, int> cache(0);
+  cache.put("a", 1);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.get("a"), nullptr);
+  EXPECT_EQ(cache.evictions(), 0u);
+}
+
+}  // namespace
+}  // namespace oasys

@@ -6,30 +6,44 @@
 // Usage:
 //   oasys --spec case_b.spec [--tech tech/cmos5.tech] [--verify]
 //         [--export out.sp] [--trace] [--no-rules]
+//   oasys batch DIR-OR-SPEC... [--tech FILE] [--jobs N]
+//         [--cache-size N] [--no-cache] [--no-rules]
 //
 // With no --spec, prints the built-in paper test cases as templates.
+//
+// Exit codes (scriptable): 0 = every requested synthesis selected a
+// design; 1 = synthesis, verification, or input failure (including "no
+// feasible style" and any failed spec in a batch); 2 = usage error.
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <string>
+#include <vector>
 
 #include "core/spec_parser.h"
 #include "exec/executor.h"
 #include "netlist/spice_writer.h"
+#include "service/service.h"
 #include "synth/oasys.h"
 #include "synth/report.h"
 #include "synth/test_cases.h"
 #include "synth/testbench.h"
 #include "tech/builtin.h"
 #include "tech/tech_parser.h"
+#include "util/table.h"
+#include "util/text.h"
+#include "util/units.h"
 
 namespace {
 
 int usage() {
   std::puts(
       "usage: oasys --spec FILE [options]\n"
+      "       oasys batch DIR-OR-SPEC... [options]\n"
       "options:\n"
       "  --spec FILE     performance specification (key-value; see below)\n"
       "  --tech FILE     technology file (default: built-in 5 um CMOS)\n"
@@ -40,14 +54,203 @@ int usage() {
       "  --jobs N        worker threads for synthesis + simulation\n"
       "                  (default: hardware concurrency; 1 = serial;\n"
       "                  results are identical at every setting)\n"
-      "  --templates     print the paper's test cases as spec templates\n");
+      "  --templates     print the paper's test cases as spec templates\n"
+      "batch mode (runs every .spec through the synthesis service):\n"
+      "  --cache-size N  result-cache capacity in entries (default 256;\n"
+      "                  0 disables the cache)\n"
+      "  --no-cache      disable the result cache\n"
+      "exit codes: 0 success, 1 synthesis/verification/input failure\n"
+      "(including no feasible style), 2 usage error\n");
   return 2;
+}
+
+// Parses a non-negative integer CLI value; returns false on garbage.
+bool parse_count(const char* v, long min_value, long* out) {
+  char* end = nullptr;
+  errno = 0;
+  const long n = std::strtol(v, &end, 10);
+  if (errno == ERANGE || end == v || *end != '\0' || n < min_value) {
+    return false;
+  }
+  *out = n;
+  return true;
+}
+
+bool apply_jobs(const char* v) {
+  long n = 0;
+  if (!parse_count(v, 1, &n)) {
+    std::fprintf(stderr, "--jobs requires a positive integer, got '%s'\n",
+                 v);
+    return false;
+  }
+  oasys::exec::set_default_jobs(static_cast<std::size_t>(n));
+  return true;
+}
+
+// Loads the technology (built-in 5 um CMOS unless a file is given).
+// Returns false after printing diagnostics.
+bool load_technology(const std::string& tech_path, oasys::tech::Technology* t) {
+  *t = oasys::tech::five_micron();
+  if (tech_path.empty()) return true;
+  const oasys::tech::ParseResult r = oasys::tech::load_tech_file(tech_path);
+  if (!r.ok()) {
+    std::fprintf(stderr, "technology file errors:\n%s",
+                 r.log.to_string().c_str());
+    return false;
+  }
+  *t = r.technology;
+  return true;
+}
+
+// Expands batch operands: a directory contributes every *.spec inside it
+// (sorted by name for a stable run order), anything else is taken as a
+// spec file path.
+std::vector<std::string> expand_spec_paths(
+    const std::vector<std::string>& operands) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> paths;
+  for (const std::string& op : operands) {
+    std::error_code ec;
+    if (fs::is_directory(op, ec)) {
+      std::vector<std::string> found;
+      for (const auto& ent : fs::directory_iterator(op, ec)) {
+        if (ent.path().extension() == ".spec") {
+          found.push_back(ent.path().string());
+        }
+      }
+      std::sort(found.begin(), found.end());
+      paths.insert(paths.end(), found.begin(), found.end());
+    } else {
+      paths.push_back(op);
+    }
+  }
+  return paths;
+}
+
+// `oasys batch`: every spec file through the synthesis service, then a
+// summary table plus the service's cache/latency statistics.  Returns 1
+// when any spec fails to parse or selects no feasible style.
+int run_batch_mode(int argc, char** argv) {
+  using namespace oasys;
+
+  std::vector<std::string> operands;
+  std::string tech_path;
+  bool rules = true;
+  service::ServiceOptions sopts;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--tech") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      tech_path = v;
+    } else if (arg == "--jobs") {
+      const char* v = next();
+      if (v == nullptr || !apply_jobs(v)) return usage();
+    } else if (arg == "--cache-size") {
+      const char* v = next();
+      long n = 0;
+      if (v == nullptr || !parse_count(v, 0, &n)) {
+        std::fprintf(stderr,
+                     "--cache-size requires a non-negative integer\n");
+        return usage();
+      }
+      sopts.cache_capacity = static_cast<std::size_t>(n);
+      if (n == 0) sopts.cache_enabled = false;
+    } else if (arg == "--no-cache") {
+      sopts.cache_enabled = false;
+    } else if (arg == "--no-rules") {
+      rules = false;
+    } else if (util::starts_with(arg, "--")) {
+      std::fprintf(stderr, "unknown batch option '%s'\n", arg.c_str());
+      return usage();
+    } else {
+      operands.push_back(arg);
+    }
+  }
+  if (operands.empty()) {
+    std::fprintf(stderr, "batch mode needs at least one spec file or "
+                         "directory\n");
+    return usage();
+  }
+
+  tech::Technology t;
+  if (!load_technology(tech_path, &t)) return 1;
+
+  const std::vector<std::string> paths = expand_spec_paths(operands);
+  if (paths.empty()) {
+    std::fprintf(stderr, "no .spec files found\n");
+    return 1;
+  }
+  std::vector<std::string> spec_paths;
+  std::vector<core::OpAmpSpec> specs;
+  bool parse_failed = false;
+  for (const std::string& path : paths) {
+    const core::SpecParseResult sr = core::load_opamp_spec_file(path);
+    if (!sr.ok()) {
+      std::fprintf(stderr, "%s: spec errors:\n%s", path.c_str(),
+                   sr.log.to_string().c_str());
+      parse_failed = true;
+      continue;
+    }
+    spec_paths.push_back(path);
+    specs.push_back(sr.spec);
+  }
+
+  synth::SynthOptions opts;
+  opts.rules_enabled = rules;
+  service::SynthesisService svc(t, opts, sopts);
+  const std::vector<synth::SynthesisResult> results = svc.run_batch(specs);
+
+  util::Table table({"spec", "name", "style", "result", "area um^2"});
+  table.set_align(4, util::Align::kRight);
+  int failures = 0;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const synth::SynthesisResult& r = results[i];
+    if (r.success()) {
+      const synth::OpAmpDesign& best = *r.best();
+      table.add_row({spec_paths[i], r.spec.name, best.style_name(),
+                     best.soft_violations > 0 ? "first-cut" : "ok",
+                     util::format("%.0f", util::in_um2(best.predicted.area))});
+    } else {
+      ++failures;
+      table.add_row({spec_paths[i], r.spec.name, "-", "FAIL", "-"});
+    }
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+
+  const service::ServiceStats st = svc.stats();
+  std::printf(
+      "\nservice: %llu requests, %llu hits, %llu misses, %llu dedup joins, "
+      "%llu evictions\n"
+      "queue high-water %zu, cache entries %zu (%s)\n",
+      static_cast<unsigned long long>(st.requests),
+      static_cast<unsigned long long>(st.hits),
+      static_cast<unsigned long long>(st.misses),
+      static_cast<unsigned long long>(st.dedup_joins),
+      static_cast<unsigned long long>(st.evictions), st.queue_high_water,
+      st.cache_size, sopts.cache_enabled ? "enabled" : "disabled");
+  std::printf("latency per request: min %.3f ms, mean %.3f ms, max %.3f ms\n",
+              st.latency.min_s * 1e3, st.latency.mean_s * 1e3,
+              st.latency.max_s * 1e3);
+
+  if (failures > 0) {
+    std::printf("%d of %zu specs selected no feasible style.\n", failures,
+                results.size());
+  }
+  return (failures > 0 || parse_failed) ? 1 : 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace oasys;
+
+  if (argc > 1 && std::strcmp(argv[1], "batch") == 0) {
+    return run_batch_mode(argc - 2, argv + 2);
+  }
 
   std::string spec_path;
   std::string tech_path;
@@ -75,16 +278,7 @@ int main(int argc, char** argv) {
       export_path = v;
     } else if (arg == "--jobs") {
       const char* v = next();
-      if (v == nullptr) return usage();
-      char* end = nullptr;
-      errno = 0;
-      const long n = std::strtol(v, &end, 10);
-      if (errno == ERANGE || end == v || *end != '\0' || n < 1) {
-        std::fprintf(stderr, "--jobs requires a positive integer, got '%s'\n",
-                     v);
-        return usage();
-      }
-      exec::set_default_jobs(static_cast<std::size_t>(n));
+      if (v == nullptr || !apply_jobs(v)) return usage();
     } else if (arg == "--verify") {
       verify = true;
     } else if (arg == "--trace") {
@@ -108,16 +302,8 @@ int main(int argc, char** argv) {
   }
   if (spec_path.empty()) return usage();
 
-  tech::Technology t = tech::five_micron();
-  if (!tech_path.empty()) {
-    const tech::ParseResult r = tech::load_tech_file(tech_path);
-    if (!r.ok()) {
-      std::fprintf(stderr, "technology file errors:\n%s",
-                   r.log.to_string().c_str());
-      return 1;
-    }
-    t = r.technology;
-  }
+  tech::Technology t;
+  if (!load_technology(tech_path, &t)) return 1;
 
   const core::SpecParseResult sr = core::load_opamp_spec_file(spec_path);
   if (!sr.ok()) {
@@ -142,6 +328,8 @@ int main(int argc, char** argv) {
       std::fputs(synth::device_table(*result.best()).c_str(), stdout);
     }
   }
+  // Scriptability contract: "no feasible style" must be distinguishable
+  // from success without scraping stdout (pinned by ctest).
   if (!result.success()) {
     std::puts("no feasible design.");
     return 1;
