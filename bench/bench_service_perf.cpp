@@ -13,6 +13,8 @@
 #include <bit>
 #include <cstdio>
 
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "service/service.h"
 #include "synth/oasys.h"
 #include "synth/test_cases.h"
@@ -128,6 +130,9 @@ int emit_json(const char* path) {
       synth::synthesize_opamp_batch(tech5(), batch);
 
   // Equivalence self-check across the cold, dedup-joined, and warm paths.
+  // Runs on a freshly reset registry so the record's metrics block shows
+  // exactly this cold+warm traffic.
+  oasys::obs::Registry::global().reset();
   service::SynthesisService check_svc(tech5());
   const std::vector<synth::SynthesisResult> cold_results =
       check_svc.run_batch(batch);
@@ -139,6 +144,8 @@ int emit_json(const char* path) {
                  results_equal(warm_results[i], direct[i]);
   }
   const service::ServiceStats check_stats = check_svc.stats();
+  const std::string metrics = oasys::obs::metrics_json(
+      oasys::obs::Registry::global().snapshot());
 
   // Cold: fresh service per rep (computes every unique spec, joins the
   // repeats).  Warm: same service re-serving the batch from cache.
@@ -185,6 +192,7 @@ int emit_json(const char* path) {
       "\"twopass_cache_off_seconds\": %.6f,\n"
       " \"hits\": %llu, \"misses\": %llu, \"dedup_joins\": %llu, "
       "\"dedup_join_rate\": %.4f,\n"
+      " \"metrics\": %s,\n"
       " \"deterministic\": %s}\n",
       OASYS_BUILD_TYPE, exec::hardware_jobs(), unique, kRepeat,
       batch.size(), cold_seconds, warm_seconds, warm_speedup,
@@ -194,7 +202,7 @@ int emit_json(const char* path) {
       static_cast<unsigned long long>(check_stats.dedup_joins),
       static_cast<double>(check_stats.dedup_joins) /
           static_cast<double>(check_stats.requests),
-      equivalent ? "true" : "false");
+      metrics.c_str(), equivalent ? "true" : "false");
   std::fclose(out);
   if (!equivalent) {
     std::fprintf(stderr,

@@ -19,6 +19,8 @@
 
 #include "numeric/interpolate.h"
 #include "numeric/linear.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "spice/ac.h"
 #include "spice/dc.h"
 #include "spice/small_signal.h"
@@ -295,6 +297,22 @@ int emit_json(const char* path) {
     benchmark::DoNotOptimize(r);
   });
 
+  // Metrics block: registry contents of one canonical run of each engine
+  // (one DC operating point, one AC sweep, one transient) after a reset,
+  // so the record carries solver-effort counts alongside the timings.
+  obs::Registry::global().reset();
+  {
+    sim::OpOptions canon = warm;
+    sim::OpResult op = sim::dc_operating_point(f.circuit, f.t, canon, &ws);
+    benchmark::DoNotOptimize(op);
+    sim::AcResult ac = sim::ac_analysis(f.circuit, f.t, f.op, freqs, 1);
+    benchmark::DoNotOptimize(ac);
+    sim::TranResult tr = sim::transient(f.circuit, f.t, f.op, to);
+    benchmark::DoNotOptimize(tr);
+  }
+  const std::string metrics =
+      obs::metrics_json(obs::Registry::global().snapshot());
+
   FILE* out = std::fopen(path, "w");
   if (out == nullptr) {
     std::fprintf(stderr, "cannot open %s for writing\n", path);
@@ -320,10 +338,11 @@ int emit_json(const char* path) {
   std::fprintf(out,
                " \"determinism\": {\"dc_bitwise_equal\": %s, "
                "\"ac_bitwise_equal\": %s, \"ac_jobs_invariant\": %s, "
-               "\"tran_repeat_equal\": %s}}\n",
+               "\"tran_repeat_equal\": %s},\n",
                dc_equal ? "true" : "false", ac_equal ? "true" : "false",
                ac_jobs_invariant ? "true" : "false",
                tran_equal ? "true" : "false");
+  std::fprintf(out, " \"metrics\": %s}\n", metrics.c_str());
   std::fclose(out);
 
   if (!deterministic) {

@@ -9,6 +9,8 @@
 #include <cstdio>
 
 #include "baseline/random_sizer.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "synth/oasys.h"
 #include "synth/test_cases.h"
 #include "tech/builtin.h"
@@ -113,6 +115,18 @@ int emit_json(const char* path) {
                  c.name, seconds, r1.success() ? "true" : "false",
                  equal ? "true" : "false");
   }
+  // Metrics block: registry contents of one canonical case_b synthesis
+  // after a reset (plan steps, rule firings, style attempts).
+  oasys::obs::Registry::global().reset();
+  {
+    const synth::SynthesisResult r =
+        synth::synthesize_opamp(tech5(), synth::spec_case_b());
+    benchmark::DoNotOptimize(r);
+  }
+  std::fprintf(out, ",\n \"metrics\": %s",
+               oasys::obs::metrics_json(
+                   oasys::obs::Registry::global().snapshot())
+                   .c_str());
   std::fprintf(out, ",\n \"deterministic\": %s}\n",
                deterministic ? "true" : "false");
   std::fclose(out);

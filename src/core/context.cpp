@@ -2,7 +2,14 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.h"
+
 namespace oasys::core {
+
+int DesignContext::bump(const std::string& counter) {
+  obs::Registry::global().counter("synth.ctx." + counter).add();
+  return ++counters_[counter];
+}
 
 double DesignContext::get(const std::string& name) const {
   const auto it = vars_.find(name);

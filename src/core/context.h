@@ -36,8 +36,13 @@ class DesignContext {
   const std::map<std::string, double>& variables() const { return vars_; }
 
   // --- rule bookkeeping ----------------------------------------------------
-  // Increments and returns the new count for `counter`.
-  int bump(const std::string& counter) { return ++counters_[counter]; }
+  // Increments and returns the new count for `counter`.  The per-context
+  // count bounds rule retries ("cascode at most once per stage"); the
+  // increment is mirrored into the global metrics registry as
+  // "synth.ctx.<counter>" so aggregate per-block attribution survives the
+  // context's destruction (rules fire rarely, so the by-name lookup is off
+  // the hot path).
+  int bump(const std::string& counter);
   int count(const std::string& counter) const;
 
   // --- narrative ------------------------------------------------------------

@@ -21,6 +21,8 @@
 #include <vector>
 
 #include "core/context.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace oasys::core {
 
@@ -151,24 +153,71 @@ struct ExecutorOptions {
   bool rules_enabled = true;  // ablation hook: run plans without patching
 };
 
+namespace internal {
+
+// Registry handles for the plan executor, resolved once per process (the
+// executor template would otherwise re-resolve per context type).
+struct PlanMetrics {
+  obs::Counter& runs = obs::Registry::global().counter("plan.runs");
+  obs::Counter& steps = obs::Registry::global().counter("plan.steps_executed");
+  obs::Counter& failures =
+      obs::Registry::global().counter("plan.step_failures");
+  obs::Counter& rules = obs::Registry::global().counter("plan.rules_fired");
+  obs::Counter& restarts = obs::Registry::global().counter("plan.restarts");
+  obs::Counter& retries = obs::Registry::global().counter("plan.retries");
+  obs::Counter& aborts = obs::Registry::global().counter("plan.aborts");
+  obs::Counter& exhausted = obs::Registry::global().counter("plan.exhausted");
+  obs::Counter& successes = obs::Registry::global().counter("plan.successes");
+
+  static PlanMetrics& get() {
+    static PlanMetrics m;
+    return m;
+  }
+};
+
+}  // namespace internal
+
 template <typename Ctx>
 ExecutionTrace execute_plan(const Plan<Ctx>& plan, Ctx& ctx,
                             const ExecutorOptions& opts = {}) {
+  internal::PlanMetrics& metrics = internal::PlanMetrics::get();
+  metrics.runs.add();
+  obs::Span plan_span("plan", plan.name());
+
   ExecutionTrace trace;
+  // Every narrative event flows through here exactly once: into the
+  // ExecutionTrace (rendered by to_string, tests, and reports) and into
+  // the span tracer (rendered by `--trace`'s timeline and the JSON
+  // export).  One event stream, two renderers.
+  const char* const kEventNames[] = {"step.ok", "step.failed", "rule.fired",
+                                     "plan.aborted", "plan.exhausted"};
+  auto record = [&](TraceEvent::Kind kind, std::size_t index,
+                    const std::string& step_name, const std::string& code,
+                    const std::string& detail) {
+    trace.events.push_back({kind, index, step_name, code, detail});
+    obs::emit_instant(kEventNames[static_cast<int>(kind)], step_name, code,
+                      detail, index);
+  };
+
   const auto& steps = plan.steps();
   std::size_t i = 0;
   while (i < steps.size()) {
     const PlanStep<Ctx>& step = steps[i];
-    StepStatus status = step.run(ctx);
+    StepStatus status;
+    {
+      obs::Span step_span("step", step.name);
+      status = step.run(ctx);
+    }
     ++trace.steps_executed;
+    metrics.steps.add();
     if (status.ok) {
-      trace.events.push_back({TraceEvent::Kind::kStepOk, i, step.name, "",
-                              status.detail});
+      record(TraceEvent::Kind::kStepOk, i, step.name, "", status.detail);
       ++i;
       continue;
     }
-    trace.events.push_back({TraceEvent::Kind::kStepFailed, i, step.name,
-                            status.failure_code, status.detail});
+    metrics.failures.add();
+    record(TraceEvent::Kind::kStepFailed, i, step.name, status.failure_code,
+           status.detail);
 
     StepFailure failure{i, step.name, status.failure_code, status.detail};
     std::optional<PatchAction> action;
@@ -189,19 +238,28 @@ ExecutionTrace execute_plan(const Plan<Ctx>& plan, Ctx& ctx,
                     status.failure_code + ")"
               : "no rule patches failure '" + status.failure_code +
                     "' at step '" + step.name + "'";
-      trace.events.push_back({TraceEvent::Kind::kExhausted, i, step.name,
-                              status.failure_code, trace.abort_reason});
+      metrics.exhausted.add();
+      record(TraceEvent::Kind::kExhausted, i, step.name,
+             status.failure_code, trace.abort_reason);
+      plan_span.note(trace.abort_reason);
       return trace;
     }
 
     ++trace.rules_fired;
-    trace.events.push_back({TraceEvent::Kind::kRuleFired, i, step.name,
-                            fired_rule, action->note});
+    metrics.rules.add();
+    // Per-rule firing counts — the per-block attribution the registry
+    // exists for.  Rule firings are rare (bounded by max_patches), so the
+    // by-name lookup is off the hot path.
+    obs::Registry::global().counter("plan.rule." + fired_rule).add();
+    record(TraceEvent::Kind::kRuleFired, i, step.name, fired_rule,
+           action->note);
     switch (action->kind) {
       case PatchAction::Kind::kRestartAt:
+        metrics.restarts.add();
         i = action->restart_index;
         break;
       case PatchAction::Kind::kRetryStep:
+        metrics.retries.add();
         break;  // i unchanged
       case PatchAction::Kind::kContinue:
         ++i;
@@ -209,12 +267,15 @@ ExecutionTrace execute_plan(const Plan<Ctx>& plan, Ctx& ctx,
       case PatchAction::Kind::kAbort:
         trace.abort_reason = "rule '" + fired_rule + "' aborted: " +
                              action->note;
-        trace.events.push_back({TraceEvent::Kind::kAborted, i, step.name,
-                                fired_rule, action->note});
+        metrics.aborts.add();
+        record(TraceEvent::Kind::kAborted, i, step.name, fired_rule,
+               action->note);
+        plan_span.note(trace.abort_reason);
         return trace;
     }
   }
   trace.success = true;
+  metrics.successes.add();
   return trace;
 }
 

@@ -2,12 +2,16 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <exception>
 #include <memory>
 #include <mutex>
 #include <thread>
+
+#include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace oasys::exec {
 
@@ -16,6 +20,24 @@ namespace {
 thread_local bool t_in_pool_worker = false;
 
 std::atomic<std::size_t> g_default_jobs{0};  // 0 = hardware_jobs()
+
+// Registry handles for the executor, resolved once per process.  Region and
+// task counts depend only on the call structure, so they are deterministic;
+// lane width and queue depth are scheduling artifacts and are not.
+struct ExecMetrics {
+  obs::Counter& regions = obs::Registry::global().counter("exec.regions");
+  obs::Counter& tasks = obs::Registry::global().counter("exec.tasks");
+  obs::Gauge& lanes = obs::Registry::global().gauge("exec.lanes_max");
+  obs::Gauge& queue_depth =
+      obs::Registry::global().gauge("exec.queue_depth_max");
+  obs::Histogram& task_seconds =
+      obs::Registry::global().duration_histogram("exec.task_seconds");
+
+  static ExecMetrics& get() {
+    static ExecMetrics m;
+    return m;
+  }
+};
 
 }  // namespace
 
@@ -94,6 +116,8 @@ void ThreadPool::submit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(impl_->mu);
     impl_->queue.push_back(std::move(task));
+    ExecMetrics::get().queue_depth.set_max(
+        static_cast<double>(impl_->queue.size()));
   }
   impl_->cv.notify_one();
 }
@@ -118,6 +142,7 @@ namespace {
 struct ForState {
   const std::function<void(std::size_t, std::size_t)>* body = nullptr;
   std::size_t n = 0;
+  obs::Histogram* task_hist = nullptr;  // set when obs timing is enabled
   std::atomic<std::size_t> next{0};
   std::vector<std::exception_ptr> errors;  // slot per index
   std::mutex mu;
@@ -129,7 +154,15 @@ struct ForState {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= n) return;
       try {
-        (*body)(i, lane);
+        if (task_hist != nullptr) {
+          const auto t0 = std::chrono::steady_clock::now();
+          (*body)(i, lane);
+          task_hist->observe(std::chrono::duration<double>(
+                                 std::chrono::steady_clock::now() - t0)
+                                 .count());
+        } else {
+          (*body)(i, lane);
+        }
       } catch (...) {
         errors[i] = std::current_exception();
       }
@@ -142,11 +175,20 @@ struct ForState {
 // throwing index (here simply the first) is rethrown afterwards.  The
 // single inline lane is lane 0.
 void run_serial(std::size_t n,
-                const std::function<void(std::size_t, std::size_t)>& body) {
+                const std::function<void(std::size_t, std::size_t)>& body,
+                obs::Histogram* task_hist) {
   std::exception_ptr first_error;
   for (std::size_t i = 0; i < n; ++i) {
     try {
-      body(i, 0);
+      if (task_hist != nullptr) {
+        const auto t0 = std::chrono::steady_clock::now();
+        body(i, 0);
+        task_hist->observe(std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - t0)
+                               .count());
+      } else {
+        body(i, 0);
+      }
     } catch (...) {
       if (!first_error) first_error = std::current_exception();
     }
@@ -166,18 +208,29 @@ void parallel_for_lanes(
     std::size_t n, const std::function<void(std::size_t, std::size_t)>& body,
     std::size_t jobs) {
   if (n == 0) return;
+  ExecMetrics& metrics = ExecMetrics::get();
+  metrics.regions.add();
+  metrics.tasks.add(n);
+  // Per-task wall time is opt-in (obs::set_timing_enabled): two clock reads
+  // per task are cheap but not free, and durations are never part of the
+  // deterministic contract anyway.
+  obs::Histogram* task_hist =
+      obs::timing_enabled() ? &metrics.task_seconds : nullptr;
   const std::size_t effective = std::min(resolve_jobs(jobs), n);
   // Nested regions run inline: a pool worker waiting on further pool tasks
   // could deadlock once every worker does the same, and the serial path is
   // the determinism reference anyway.
   if (effective <= 1 || in_pool_worker()) {
-    run_serial(n, body);
+    metrics.lanes.set_max(1.0);
+    run_serial(n, body, task_hist);
     return;
   }
+  metrics.lanes.set_max(static_cast<double>(effective));
 
   auto st = std::make_shared<ForState>();
   st->body = &body;
   st->n = n;
+  st->task_hist = task_hist;
   st->errors.resize(n);
   const std::size_t helpers = effective - 1;  // caller is lane 0
   st->helpers_running = helpers;

@@ -1,0 +1,160 @@
+#include "obs/export.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/table.h"
+#include "util/text.h"
+
+namespace oasys::obs {
+
+namespace {
+
+using util::format;
+
+// Shortest round-trip decimal: integers (every deterministic value) render
+// exactly, durations keep full precision.
+std::string num(double v) { return format("%.17g", v); }
+
+std::string quote(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+void append_histogram(std::ostringstream* os, const HistogramSnapshot& h) {
+  *os << "{\"count\": " << h.count << ", \"sum\": " << num(h.sum)
+      << ", \"min\": " << num(h.min) << ", \"max\": " << num(h.max)
+      << ", \"mean\": " << num(h.mean()) << ", \"p50\": "
+      << num(h.quantile(0.5)) << ", \"p95\": " << num(h.quantile(0.95))
+      << ", \"buckets\": [";
+  for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+    if (i > 0) *os << ", ";
+    *os << "[" << num(h.bounds[i]) << ", " << h.counts[i] << "]";
+  }
+  *os << "], \"overflow\": " << h.counts.back() << "}";
+}
+
+void append_section(std::ostringstream* os,
+                    const std::vector<const MetricEntry*>& entries) {
+  *os << "{";
+  bool first_kind = true;
+  for (const MetricKind kind : {MetricKind::kCounter, MetricKind::kGauge,
+                                MetricKind::kHistogram}) {
+    const char* key = kind == MetricKind::kCounter   ? "counters"
+                      : kind == MetricKind::kGauge   ? "gauges"
+                                                     : "histograms";
+    if (!first_kind) *os << ", ";
+    first_kind = false;
+    *os << quote(key) << ": {";
+    bool first = true;
+    for (const MetricEntry* e : entries) {
+      if (e->kind != kind) continue;
+      if (!first) *os << ", ";
+      first = false;
+      *os << quote(e->name) << ": ";
+      switch (kind) {
+        case MetricKind::kCounter:
+          *os << e->counter;
+          break;
+        case MetricKind::kGauge:
+          *os << num(e->gauge);
+          break;
+        case MetricKind::kHistogram:
+          append_histogram(os, e->histogram);
+          break;
+      }
+    }
+    *os << "}";
+  }
+  *os << "}";
+}
+
+}  // namespace
+
+std::string metrics_json(const MetricsSnapshot& snapshot) {
+  std::vector<const MetricEntry*> det;
+  std::vector<const MetricEntry*> timing;
+  for (const auto& e : snapshot.entries) {
+    (e.deterministic ? det : timing).push_back(&e);
+  }
+  std::ostringstream os;
+  os << "{\"schema\": \"oasys.metrics.v1\", \"deterministic\": ";
+  append_section(&os, det);
+  os << ", \"timing\": ";
+  append_section(&os, timing);
+  os << "}";
+  return os.str();
+}
+
+bool write_metrics_json(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write metrics JSON to '%s'\n", path.c_str());
+    return false;
+  }
+  out << metrics_json(Registry::global().snapshot()) << "\n";
+  return static_cast<bool>(out);
+}
+
+std::string metrics_table(const MetricsSnapshot& snapshot) {
+  util::Table table({"metric", "kind", "value", "mean", "p50", "p95", "det"});
+  for (std::size_t c = 2; c <= 5; ++c) table.set_align(c, util::Align::kRight);
+  for (const auto& e : snapshot.entries) {
+    switch (e.kind) {
+      case MetricKind::kCounter:
+        table.add_row({e.name, "counter", format("%llu",
+                       static_cast<unsigned long long>(e.counter)),
+                       "-", "-", "-", e.deterministic ? "yes" : "no"});
+        break;
+      case MetricKind::kGauge:
+        table.add_row({e.name, "gauge", format("%g", e.gauge), "-", "-", "-",
+                       e.deterministic ? "yes" : "no"});
+        break;
+      case MetricKind::kHistogram: {
+        const HistogramSnapshot& h = e.histogram;
+        table.add_row({e.name, "histogram",
+                       format("%llu", static_cast<unsigned long long>(h.count)),
+                       format("%g", h.mean()), format("%g", h.quantile(0.5)),
+                       format("%g", h.quantile(0.95)),
+                       e.deterministic ? "yes" : "no"});
+        break;
+      }
+    }
+  }
+  return table.to_string();
+}
+
+std::string trace_text(const std::vector<TraceEvent>& events) {
+  std::ostringstream os;
+  for (const auto& e : events) {
+    for (int d = 0; d < e.depth; ++d) os << "  ";
+    switch (e.kind) {
+      case TraceEvent::Kind::kSpanBegin:
+        os << "> " << e.name << "\n";
+        break;
+      case TraceEvent::Kind::kSpanEnd:
+        os << "< " << e.name << format(" (%.3f ms)", e.seconds * 1e3);
+        if (!e.detail.empty()) os << " — " << e.detail;
+        os << "\n";
+        break;
+      case TraceEvent::Kind::kInstant:
+        os << "* " << e.name;
+        if (!e.scope.empty()) {
+          os << " [" << e.scope << " #" << e.index << "]";
+        }
+        if (!e.code.empty()) os << " (" << e.code << ")";
+        if (!e.detail.empty()) os << ": " << e.detail;
+        os << "\n";
+        break;
+    }
+  }
+  return os.str();
+}
+
+}  // namespace oasys::obs

@@ -1,0 +1,52 @@
+// Renderers over the observability state: machine JSON for `--metrics-json`
+// and the bench records, a util::Table for humans, and the plain-text span
+// timeline `oasys --trace` prints.
+//
+// JSON schema (oasys.metrics.v1): two top-level sections split by the
+// determinism contract.  Everything under "deterministic" is bit-identical
+// across `--jobs` settings (counters, count-histograms); everything under
+// "timing" may vary run to run (durations, scheduling-derived gauges).
+//
+//   {
+//     "schema": "oasys.metrics.v1",
+//     "deterministic": {
+//       "counters":   { "<name>": <uint>, ... },
+//       "gauges":     { "<name>": <number>, ... },
+//       "histograms": { "<name>": {
+//           "count": <uint>, "sum": <number>, "min": <number>,
+//           "max": <number>, "mean": <number>,
+//           "p50": <number>, "p95": <number>,
+//           "buckets": [[<upper-bound>, <count>], ...],
+//           "overflow": <uint> }, ... }
+//     },
+//     "timing": { same shape }
+//   }
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/span.h"
+
+namespace oasys::obs {
+
+// Compact one-object JSON document (no trailing newline).
+std::string metrics_json(const MetricsSnapshot& snapshot);
+
+// Convenience: snapshot the global registry and write it to `path`.
+// Returns false (after perror-style stderr output) when the file cannot
+// be written.
+bool write_metrics_json(const std::string& path);
+
+// Human rendering of a snapshot as a util::Table: one row per metric with
+// kind, value / count, mean, p50/p95 where meaningful, and the
+// determinism flag.
+std::string metrics_table(const MetricsSnapshot& snapshot);
+
+// Plain-text rendering of a trace-event stream (the `--trace` span
+// timeline): spans indent with depth and print their wall time; instants
+// print their narrative.
+std::string trace_text(const std::vector<TraceEvent>& events);
+
+}  // namespace oasys::obs

@@ -1,0 +1,220 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace oasys::obs {
+
+namespace {
+
+// Relaxed CAS add for atomic<double>: commutative, so the total is
+// order-independent whenever the addends are (exact for integral values
+// below 2^53).
+void atomic_add(std::atomic<double>* a, double v) noexcept {
+  double cur = a->load(std::memory_order_relaxed);
+  while (!a->compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_min(std::atomic<double>* a, double v) noexcept {
+  double cur = a->load(std::memory_order_relaxed);
+  while (v < cur &&
+         !a->compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>* a, double v) noexcept {
+  double cur = a->load(std::memory_order_relaxed);
+  while (v > cur &&
+         !a->compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+constexpr double kEmptyMin = 1e300;
+constexpr double kEmptyMax = -1e300;
+
+}  // namespace
+
+void Gauge::set_max(double v) noexcept { atomic_max(&v_, v); }
+
+// ---- Histogram --------------------------------------------------------------
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), counts_(bounds_.size() + 1) {
+  if (!std::is_sorted(bounds_.begin(), bounds_.end())) {
+    throw std::invalid_argument("histogram bounds must be ascending");
+  }
+  reset();
+}
+
+void Histogram::observe(double v) noexcept {
+  const std::size_t i = static_cast<std::size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+  counts_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add(&sum_, v);
+  atomic_min(&min_, v);
+  atomic_max(&max_, v);
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot s;
+  s.bounds = bounds_;
+  s.counts.reserve(counts_.size());
+  for (const auto& c : counts_) {
+    s.counts.push_back(c.load(std::memory_order_relaxed));
+  }
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum = sum_.load(std::memory_order_relaxed);
+  const double mn = min_.load(std::memory_order_relaxed);
+  const double mx = max_.load(std::memory_order_relaxed);
+  s.min = s.count == 0 || mn == kEmptyMin ? 0.0 : mn;
+  s.max = s.count == 0 || mx == kEmptyMax ? 0.0 : mx;
+  return s;
+}
+
+void Histogram::reset() noexcept {
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(kEmptyMin, std::memory_order_relaxed);
+  max_.store(kEmptyMax, std::memory_order_relaxed);
+}
+
+std::vector<double> Histogram::exponential_bounds(double lo, double hi,
+                                                  double factor) {
+  if (!(lo > 0.0) || !(factor > 1.0)) {
+    throw std::invalid_argument(
+        "exponential_bounds needs lo > 0 and factor > 1");
+  }
+  std::vector<double> bounds;
+  double b = lo;
+  while (b < hi) {
+    bounds.push_back(b);
+    b *= factor;
+  }
+  bounds.push_back(b);  // first bound >= hi
+  return bounds;
+}
+
+std::vector<double> Histogram::duration_bounds() {
+  return exponential_bounds(1e-6, 100.0, 2.0);
+}
+
+double HistogramSnapshot::quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(count);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    const double lo_edge = i == 0 ? min : bounds[i - 1];
+    const double hi_edge = i < bounds.size() ? bounds[i] : max;
+    const double lo = std::clamp(lo_edge, min, max);
+    const double hi = std::clamp(hi_edge, min, max);
+    const auto next = seen + counts[i];
+    if (rank <= static_cast<double>(next)) {
+      const double within =
+          (rank - static_cast<double>(seen)) / static_cast<double>(counts[i]);
+      return lo + (hi - lo) * std::clamp(within, 0.0, 1.0);
+    }
+    seen = next;
+  }
+  return max;
+}
+
+// ---- Registry ---------------------------------------------------------------
+
+const MetricEntry* MetricsSnapshot::find(const std::string& name) const {
+  for (const auto& e : entries) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+// Requires mu_ held by the caller.
+Registry::Entry& Registry::entry(const std::string& name, MetricKind kind,
+                                 bool deterministic) {
+  auto it = metrics_.find(name);
+  if (it == metrics_.end()) {
+    Entry e;
+    e.kind = kind;
+    e.deterministic = deterministic;
+    it = metrics_.emplace(name, std::move(e)).first;
+  } else if (it->second.kind != kind) {
+    throw std::logic_error("metric '" + name +
+                           "' already registered with a different kind");
+  }
+  return it->second;
+}
+
+Counter& Registry::counter(const std::string& name, bool deterministic) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = entry(name, MetricKind::kCounter, deterministic);
+  if (!e.counter) e.counter = std::make_unique<Counter>();
+  return *e.counter;
+}
+
+Gauge& Registry::gauge(const std::string& name, bool deterministic) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = entry(name, MetricKind::kGauge, deterministic);
+  if (!e.gauge) e.gauge = std::make_unique<Gauge>();
+  return *e.gauge;
+}
+
+Histogram& Registry::histogram(const std::string& name,
+                               std::vector<double> bounds,
+                               bool deterministic) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = entry(name, MetricKind::kHistogram, deterministic);
+  if (!e.histogram) {
+    e.histogram = std::make_unique<Histogram>(std::move(bounds));
+  }
+  return *e.histogram;
+}
+
+Histogram& Registry::count_histogram(const std::string& name,
+                                     std::vector<double> bounds) {
+  return histogram(name, std::move(bounds), /*deterministic=*/true);
+}
+
+Histogram& Registry::duration_histogram(const std::string& name) {
+  return histogram(name, Histogram::duration_bounds(),
+                   /*deterministic=*/false);
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, e] : metrics_) {
+    (void)name;
+    if (e.counter) e.counter->reset();
+    if (e.gauge) e.gauge->reset();
+    if (e.histogram) e.histogram->reset();
+  }
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot s;
+  s.entries.reserve(metrics_.size());
+  for (const auto& [name, e] : metrics_) {  // std::map: already name-sorted
+    MetricEntry m;
+    m.name = name;
+    m.kind = e.kind;
+    m.deterministic = e.deterministic;
+    if (e.counter) m.counter = e.counter->value();
+    if (e.gauge) m.gauge = e.gauge->value();
+    if (e.histogram) m.histogram = e.histogram->snapshot();
+    s.entries.push_back(std::move(m));
+  }
+  return s;
+}
+
+Registry& Registry::global() {
+  // Leaked on purpose: worker threads must be able to bump counters from
+  // any static destructor without racing the registry's teardown.
+  static Registry* r = new Registry();
+  return *r;
+}
+
+}  // namespace oasys::obs

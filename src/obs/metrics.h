@@ -1,0 +1,169 @@
+// Process-wide metrics registry: named counters, gauges, and fixed-bucket
+// histograms shared by every layer of the stack (plan execution, Newton
+// solves, the executor, the service).
+//
+// Design constraints, in order:
+//
+//  1. Hot paths stay cheap.  Instrumentation sites cache a reference once
+//     (function-local static) and then pay one relaxed atomic RMW per
+//     update — no lock, no lookup, no allocation.
+//  2. Deterministic values.  Counter totals and count-histogram contents
+//     are sums of per-work-item contributions; addition of integers is
+//     commutative, so the totals are bit-identical at every `--jobs`
+//     setting.  Only *durations* (and gauges derived from scheduling, such
+//     as lanes used) may vary; every metric carries a `deterministic` flag
+//     and the exporters separate the two groups so the cross-jobs ctest
+//     can compare the deterministic section exactly.
+//  3. Values reset, objects persist.  Registry::reset() zeroes every
+//     metric but keeps registrations, so cached references stay valid
+//     across bench reps and test cases.
+//
+// Determinism fine print: count-kind histograms must observe integral
+// values (iteration counts, batch sizes).  Integer-valued doubles sum
+// exactly in any order up to 2^53, so bucket counts, sum, min, and max all
+// stay bit-identical across thread interleavings; duration histograms make
+// no such promise and are flagged accordingly.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace oasys::obs {
+
+// Monotonic event count.  Deterministic whenever each unit of work adds a
+// value that does not depend on scheduling.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    v_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+// Last-written / high-water value.  set_max keeps the running maximum,
+// which is order-independent (and therefore deterministic when the set of
+// observed values is).
+class Gauge {
+ public:
+  void set(double v) noexcept { v_.store(v, std::memory_order_relaxed); }
+  void set_max(double v) noexcept;
+  double value() const noexcept { return v_.load(std::memory_order_relaxed); }
+  void reset() noexcept { v_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+// Point-in-time copy of a histogram, with quantile estimation.
+struct HistogramSnapshot {
+  std::vector<double> bounds;          // inclusive upper bounds, ascending
+  std::vector<std::uint64_t> counts;   // bounds.size() + 1 (last = overflow)
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;  // 0 when empty
+  double max = 0.0;
+  double mean() const {
+    return count == 0 ? 0.0 : sum / static_cast<double>(count);
+  }
+  // Linear interpolation within the target bucket, clamped to [min, max].
+  // q in [0, 1]; returns 0 for an empty histogram.
+  double quantile(double q) const;
+};
+
+// Fixed-bucket histogram: bucket i counts observations <= bounds[i]; one
+// overflow bucket catches the rest.  Thread-safe; every field is atomic.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+  void observe(double v) noexcept;
+  HistogramSnapshot snapshot() const;
+  void reset() noexcept;
+
+  // Geometric bucket ladder: lo, lo*factor, ... up to and including the
+  // first bound >= hi.  Throws std::invalid_argument on a non-positive lo
+  // or a factor <= 1.
+  static std::vector<double> exponential_bounds(double lo, double hi,
+                                                double factor);
+  // The default ladder for wall-time histograms: 1 us .. ~100 s, x2 steps.
+  static std::vector<double> duration_bounds();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> counts_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};
+  std::atomic<double> max_{0.0};
+};
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+// One metric in a registry snapshot.
+struct MetricEntry {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  bool deterministic = true;
+  std::uint64_t counter = 0;     // kCounter
+  double gauge = 0.0;            // kGauge
+  HistogramSnapshot histogram;   // kHistogram
+};
+
+// Sorted-by-name copy of every registered metric.
+struct MetricsSnapshot {
+  std::vector<MetricEntry> entries;
+  const MetricEntry* find(const std::string& name) const;
+};
+
+// Name-keyed registry.  Registration (first call per name) takes a mutex;
+// subsequent calls for the same name return the same object, so call sites
+// hoist the lookup into a function-local static and the steady-state cost
+// is a single atomic update.  Registering an existing name with a
+// different kind throws std::logic_error; the deterministic flag and
+// histogram bounds of the first registration win.
+class Registry {
+ public:
+  Counter& counter(const std::string& name, bool deterministic = true);
+  Gauge& gauge(const std::string& name, bool deterministic = false);
+  Histogram& histogram(const std::string& name, std::vector<double> bounds,
+                       bool deterministic);
+  // Count-valued histogram (iterations per solve, ...): deterministic.
+  Histogram& count_histogram(const std::string& name,
+                             std::vector<double> bounds);
+  // Wall-time histogram on the default duration ladder: never compared
+  // across jobs settings.
+  Histogram& duration_histogram(const std::string& name);
+
+  // Zeroes every metric value; registrations (and addresses) persist.
+  void reset();
+  MetricsSnapshot snapshot() const;
+
+  // Process-wide instance, leaked on purpose so late worker threads can
+  // never race static destruction.
+  static Registry& global();
+
+ private:
+  struct Entry {
+    MetricKind kind;
+    bool deterministic;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  Entry& entry(const std::string& name, MetricKind kind, bool deterministic);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> metrics_;
+};
+
+}  // namespace oasys::obs

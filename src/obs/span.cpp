@@ -1,0 +1,123 @@
+#include "obs/span.h"
+
+#include <atomic>
+#include <mutex>
+
+namespace oasys::obs {
+
+namespace {
+
+thread_local TraceSink* t_sink = nullptr;
+thread_local int t_depth = 0;
+
+std::atomic<bool> g_tracing{false};
+std::atomic<bool> g_timing{false};
+
+// Global collector; leaked like Registry so late worker-thread events can
+// never race static destruction.
+struct Collector {
+  std::mutex mu;
+  std::vector<TraceEvent> events;
+};
+
+Collector& collector() {
+  static Collector* c = new Collector();
+  return *c;
+}
+
+void dispatch(const TraceEvent& e) {
+  if (t_sink != nullptr) t_sink->on_event(e);
+  if (g_tracing.load(std::memory_order_relaxed)) {
+    Collector& c = collector();
+    std::lock_guard<std::mutex> lock(c.mu);
+    c.events.push_back(e);
+  }
+}
+
+std::string join_name(std::string_view scope, std::string_view name) {
+  if (scope.empty()) return std::string(name);
+  std::string out;
+  out.reserve(scope.size() + 1 + name.size());
+  out.append(scope);
+  out.push_back('/');
+  out.append(name);
+  return out;
+}
+
+}  // namespace
+
+ScopedSink::ScopedSink(TraceSink* sink) : prev_(t_sink) { t_sink = sink; }
+ScopedSink::~ScopedSink() { t_sink = prev_; }
+
+void set_tracing_enabled(bool enabled) {
+  g_tracing.store(enabled, std::memory_order_relaxed);
+}
+bool tracing_enabled() { return g_tracing.load(std::memory_order_relaxed); }
+
+std::vector<TraceEvent> drain_global_trace() {
+  Collector& c = collector();
+  std::lock_guard<std::mutex> lock(c.mu);
+  std::vector<TraceEvent> out = std::move(c.events);
+  c.events.clear();
+  return out;
+}
+
+void set_timing_enabled(bool enabled) {
+  g_timing.store(enabled, std::memory_order_relaxed);
+}
+bool timing_enabled() { return g_timing.load(std::memory_order_relaxed); }
+
+bool trace_active() {
+  return t_sink != nullptr || g_tracing.load(std::memory_order_relaxed);
+}
+
+void emit_instant(std::string_view name, std::string_view scope,
+                  std::string_view code, std::string_view detail,
+                  std::uint64_t index) {
+  if (!trace_active()) return;
+  TraceEvent e;
+  e.kind = TraceEvent::Kind::kInstant;
+  e.depth = t_depth;
+  e.name = std::string(name);
+  e.scope = std::string(scope);
+  e.code = std::string(code);
+  e.detail = std::string(detail);
+  e.index = index;
+  dispatch(e);
+}
+
+Span::Span(std::string_view scope, std::string_view name) {
+  if (!trace_active()) return;
+  active_ = true;
+  name_ = join_name(scope, name);
+  TraceEvent e;
+  e.kind = TraceEvent::Kind::kSpanBegin;
+  e.depth = t_depth;
+  e.name = name_;
+  dispatch(e);
+  ++t_depth;
+  t0_ = std::chrono::steady_clock::now();
+}
+
+Span::~Span() {
+  if (!active_) return;
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0_)
+          .count();
+  --t_depth;
+  TraceEvent e;
+  e.kind = TraceEvent::Kind::kSpanEnd;
+  e.depth = t_depth;
+  e.name = std::move(name_);
+  e.detail = std::move(detail_);
+  e.seconds = seconds;
+  dispatch(e);
+}
+
+void Span::note(std::string_view detail) {
+  if (!active_) return;
+  if (!detail_.empty()) detail_.append("; ");
+  detail_.append(detail);
+}
+
+}  // namespace oasys::obs

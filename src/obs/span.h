@@ -1,0 +1,132 @@
+// Scoped-span tracer: the one event stream behind both the plan-execution
+// narrative (`--trace`, rendered by core::ExecutionTrace) and the
+// machine-readable span/metrics export.
+//
+// A Span is an RAII scope: construction emits kSpanBegin, destruction
+// emits kSpanEnd with the measured wall time — including during stack
+// unwinding, so spans close on throw.  Instant events carry the
+// plan-executor narrative (step ok/failed, rule fired, abort) through the
+// same stream.
+//
+// Event routing, per emission:
+//   * the calling thread's installed sink (ScopedSink), if any — this is
+//     how execute_plan captures its own narrative regardless of which
+//     pool thread runs it; and
+//   * the process-wide collector, when set_tracing_enabled(true) — this is
+//     what `oasys --trace` renders as a span timeline.
+//
+// Overhead contract: when no sink is installed and tracing is disabled, a
+// Span costs two thread-local reads plus one relaxed atomic load and
+// performs no heap allocation (guarded by tests/test_obs_alloc.cpp).
+// Compiling with OASYS_OBS_DISABLE removes OBS_SPAN sites entirely.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace oasys::obs {
+
+struct TraceEvent {
+  enum class Kind { kSpanBegin, kSpanEnd, kInstant };
+  Kind kind = Kind::kInstant;
+  int depth = 0;        // nesting depth on the emitting thread
+  std::string name;     // span name or instant-event name
+  std::string scope;    // e.g. the plan step the event belongs to
+  std::string code;     // classifier: failure code, rule name, ...
+  std::string detail;   // free-text narrative
+  std::uint64_t index = 0;  // e.g. plan step index
+  double seconds = 0.0;     // kSpanEnd: measured wall time
+};
+
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void on_event(const TraceEvent& e) = 0;
+};
+
+// Vector-backed sink for single-threaded capture (plan execution, tests).
+class TraceBuffer : public TraceSink {
+ public:
+  void on_event(const TraceEvent& e) override { events_.push_back(e); }
+  const std::vector<TraceEvent>& events() const { return events_; }
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+// Installs `sink` as the calling thread's trace sink for its lifetime and
+// restores the previous sink on destruction; sinks nest.
+class ScopedSink {
+ public:
+  explicit ScopedSink(TraceSink* sink);
+  ~ScopedSink();
+  ScopedSink(const ScopedSink&) = delete;
+  ScopedSink& operator=(const ScopedSink&) = delete;
+
+ private:
+  TraceSink* prev_;
+};
+
+// Process-wide collector toggle (off by default).  Draining returns and
+// clears everything collected so far; events from concurrent threads
+// interleave in completion order (durations vary by scheduling anyway).
+void set_tracing_enabled(bool enabled);
+bool tracing_enabled();
+std::vector<TraceEvent> drain_global_trace();
+
+// Fine-grained timing instrumentation toggle (per-task latency in the
+// executor).  Off by default: the clock reads would tax sub-microsecond
+// tasks on the simulation hot paths.
+void set_timing_enabled(bool enabled);
+bool timing_enabled();
+
+// True when at least one destination would receive an event from this
+// thread right now.
+bool trace_active();
+
+// Emits one instant event to the active destinations; a no-op (and
+// allocation-free) when none are active.
+void emit_instant(std::string_view name, std::string_view scope,
+                  std::string_view code, std::string_view detail,
+                  std::uint64_t index = 0);
+
+// RAII scoped span.  Both constructors are no-ops when inactive; the
+// two-argument form joins "scope/name" only when the event is actually
+// emitted, so call sites can pass runtime strings without paying for them
+// in the disabled mode.
+class Span {
+ public:
+  explicit Span(std::string_view name) : Span(std::string_view{}, name) {}
+  Span(std::string_view scope, std::string_view name);
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  bool active() const { return active_; }
+  // Attaches narrative to the closing kSpanEnd event; no-op when inactive.
+  void note(std::string_view detail);
+
+ private:
+  bool active_ = false;
+  std::string name_;
+  std::string detail_;
+  std::chrono::steady_clock::time_point t0_;
+};
+
+}  // namespace oasys::obs
+
+// Statement macro for static span names: OBS_SPAN("sim/dc_op");
+// compile out every site with -DOASYS_OBS_DISABLE.
+#ifdef OASYS_OBS_DISABLE
+#define OBS_SPAN(name) \
+  do {                 \
+  } while (0)
+#else
+#define OBS_SPAN_CONCAT2(a, b) a##b
+#define OBS_SPAN_CONCAT(a, b) OBS_SPAN_CONCAT2(a, b)
+#define OBS_SPAN(name) \
+  ::oasys::obs::Span OBS_SPAN_CONCAT(obs_span_, __LINE__) { name }
+#endif

@@ -8,6 +8,8 @@
 
 #include "exec/bounded_fifo.h"
 #include "exec/executor.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "service/lru_cache.h"
 
 namespace oasys::service {
@@ -18,6 +20,29 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
       .count();
 }
+
+// Process-wide mirrors of the per-service counters, so `--metrics-json`
+// sees service traffic without a SynthesisService handle.  Request/hit/miss
+// splits depend only on the submitted workload (not on --jobs), so they are
+// deterministic; queue depth and latency are not.
+struct ServiceMetrics {
+  obs::Counter& requests = obs::Registry::global().counter("service.requests");
+  obs::Counter& hits = obs::Registry::global().counter("service.hits");
+  obs::Counter& misses = obs::Registry::global().counter("service.misses");
+  obs::Counter& dedup_joins =
+      obs::Registry::global().counter("service.dedup_joins");
+  obs::Counter& evictions =
+      obs::Registry::global().counter("service.evictions");
+  obs::Gauge& queue_high_water =
+      obs::Registry::global().gauge("service.queue_high_water");
+  obs::Histogram& latency =
+      obs::Registry::global().duration_histogram("service.latency_seconds");
+
+  static ServiceMetrics& get() {
+    static ServiceMetrics m;
+    return m;
+  }
+};
 
 }  // namespace
 
@@ -58,18 +83,17 @@ struct SynthesisService::Impl {
   std::uint64_t misses = 0;
   std::uint64_t dedup_joins = 0;
 
-  std::uint64_t latency_count = 0;
-  double latency_sum = 0.0;
-  double latency_min = 0.0;
-  double latency_max = 0.0;
+  // Per-service latency distribution on the shared histogram type; stats()
+  // derives count/min/mean/max/p50/p95 from one snapshot of it.
+  obs::Histogram latency{obs::Histogram::duration_bounds()};
 
-  // Requires mu.  One sample per request served by this entry completion.
+  // Requires mu.  One sample per request served by this entry completion
+  // (dedup joins share the computation's wall time, once per waiter).
   void record_latency(double seconds, std::uint64_t samples) {
-    if (samples == 0) return;
-    if (latency_count == 0 || seconds < latency_min) latency_min = seconds;
-    if (latency_count == 0 || seconds > latency_max) latency_max = seconds;
-    latency_count += samples;
-    latency_sum += seconds * static_cast<double>(samples);
+    for (std::uint64_t k = 0; k < samples; ++k) {
+      latency.observe(seconds);
+      ServiceMetrics::get().latency.observe(seconds);
+    }
   }
 
   // Requires mu.
@@ -102,11 +126,14 @@ Ticket SynthesisService::submit(const core::OpAmpSpec& spec) {
   std::string key = request_key(spec);
 
   std::unique_lock<std::mutex> lock(impl_->mu);
+  ServiceMetrics& metrics = ServiceMetrics::get();
   ++impl_->requests;
+  metrics.requests.add();
 
   if (opts_.cache_enabled) {
     if (const auto* cached = impl_->cache.get(key)) {
       ++impl_->hits;
+      metrics.hits.add();
       auto entry = std::make_shared<Entry>();
       entry->key = std::move(key);
       entry->state = Entry::State::kDone;
@@ -120,11 +147,13 @@ Ticket SynthesisService::submit(const core::OpAmpSpec& spec) {
   if (const auto it = impl_->inflight.find(key);
       it != impl_->inflight.end()) {
     ++impl_->dedup_joins;
+    metrics.dedup_joins.add();
     ++it->second->waiters;
     return impl_->attach_ticket(it->second);
   }
 
   ++impl_->misses;
+  metrics.misses.add();
   auto entry = std::make_shared<Entry>();
   entry->key = key;
   entry->spec = spec;
@@ -139,6 +168,8 @@ Ticket SynthesisService::submit(const core::OpAmpSpec& spec) {
     drain();
     lock.lock();
   }
+  metrics.queue_high_water.set_max(
+      static_cast<double>(impl_->queue.high_water()));
   lock.unlock();
   impl_->cv.notify_all();  // wake wait()ers parked on an empty queue
   return ticket;
@@ -147,6 +178,7 @@ Ticket SynthesisService::submit(const core::OpAmpSpec& spec) {
 void SynthesisService::drain() {
   std::vector<std::shared_ptr<Entry>> batch = impl_->queue.pop_all();
   if (batch.empty()) return;
+  OBS_SPAN("service/drain");
   {
     std::lock_guard<std::mutex> lock(impl_->mu);
     for (const auto& e : batch) e->state = Entry::State::kRunning;
@@ -174,6 +206,7 @@ void SynthesisService::drain() {
 
   {
     std::lock_guard<std::mutex> lock(impl_->mu);
+    const std::uint64_t evictions_before = impl_->cache.evictions();
     for (std::size_t i = 0; i < batch.size(); ++i) {
       Entry& e = *batch[i];
       e.service_seconds = seconds[i];
@@ -189,6 +222,8 @@ void SynthesisService::drain() {
       impl_->inflight.erase(e.key);
       impl_->record_latency(seconds[i], e.waiters);
     }
+    ServiceMetrics::get().evictions.add(impl_->cache.evictions() -
+                                        evictions_before);
   }
   impl_->cv.notify_all();
 }
@@ -246,13 +281,13 @@ ServiceStats SynthesisService::stats() const {
   s.queue_depth = impl_->queue.size();
   s.queue_high_water = impl_->queue.high_water();
   s.cache_size = impl_->cache.size();
-  s.latency.count = impl_->latency_count;
-  s.latency.min_s = impl_->latency_min;
-  s.latency.max_s = impl_->latency_max;
-  s.latency.mean_s =
-      impl_->latency_count == 0
-          ? 0.0
-          : impl_->latency_sum / static_cast<double>(impl_->latency_count);
+  const obs::HistogramSnapshot h = impl_->latency.snapshot();
+  s.latency.count = h.count;
+  s.latency.min_s = h.min;
+  s.latency.max_s = h.max;
+  s.latency.mean_s = h.mean();
+  s.latency.p50_s = h.quantile(0.5);
+  s.latency.p95_s = h.quantile(0.95);
   return s;
 }
 

@@ -42,12 +42,17 @@ struct ServiceOptions {
   std::size_t queue_capacity = 64;
 };
 
-// Aggregate min/mean/max over per-request service times [s].
+// Aggregate over per-request service times [s], computed from the shared
+// obs::Histogram the service records into.  count/min/mean/max are exact
+// (tracked atomically alongside the buckets); the percentiles are
+// bucket-interpolated estimates clamped to [min, max].
 struct LatencySummary {
   std::uint64_t count = 0;
   double min_s = 0.0;
   double mean_s = 0.0;
   double max_s = 0.0;
+  double p50_s = 0.0;
+  double p95_s = 0.0;
 };
 
 // Snapshot of the service counters; see SynthesisService::stats().

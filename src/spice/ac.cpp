@@ -4,10 +4,27 @@
 
 #include "exec/executor.h"
 #include "numeric/linear.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "spice/small_signal.h"
 #include "util/units.h"
 
 namespace oasys::sim {
+
+namespace {
+
+// Registry handles for the AC engine, resolved once per process.
+struct AcMetrics {
+  obs::Counter& sweeps = obs::Registry::global().counter("sim.ac.sweeps");
+  obs::Counter& points = obs::Registry::global().counter("sim.ac.points");
+
+  static AcMetrics& get() {
+    static AcMetrics m;
+    return m;
+  }
+};
+
+}  // namespace
 
 void build_small_signal_matrices(const ckt::Circuit& c,
                                  const MnaLayout& layout, const OpResult& op,
@@ -105,6 +122,9 @@ struct AcLaneWorkspace {
 AcResult ac_analysis(const ckt::Circuit& c, const tech::Technology& t,
                      const OpResult& op, const std::vector<double>& freqs,
                      std::size_t jobs) {
+  AcMetrics& metrics = AcMetrics::get();
+  metrics.sweeps.add();
+  OBS_SPAN("sim/ac_analysis");
   AcResult result;
   if (!op.converged) {
     result.error = "operating point did not converge";
@@ -161,6 +181,7 @@ AcResult ac_analysis(const ckt::Circuit& c, const tech::Technology& t,
   // is allocation-free in steady state.  A lane's scratch is fully
   // overwritten per point, so results stay bit-for-bit identical at every
   // jobs setting.
+  metrics.points.add(freqs.size());
   result.freqs = freqs;
   result.solutions.assign(freqs.size(), std::vector<Cplx>(n));
   std::vector<char> singular(freqs.size(), 0);

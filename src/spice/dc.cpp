@@ -4,10 +4,36 @@
 #include <cmath>
 
 #include "numeric/linear.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace oasys::sim {
 
 namespace {
+
+// Registry handles for the DC solver, resolved once per process.
+struct DcMetrics {
+  obs::Counter& solves = obs::Registry::global().counter("sim.newton.solves");
+  obs::Counter& iterations =
+      obs::Registry::global().counter("sim.newton.iterations");
+  obs::Counter& nonconverged =
+      obs::Registry::global().counter("sim.newton.nonconverged");
+  obs::Counter& op_calls = obs::Registry::global().counter("sim.op.calls");
+  obs::Counter& gmin_escalations =
+      obs::Registry::global().counter("sim.op.gmin_escalations");
+  obs::Counter& source_escalations =
+      obs::Registry::global().counter("sim.op.source_escalations");
+  obs::Counter& op_failures =
+      obs::Registry::global().counter("sim.op.nonconverged");
+  obs::Histogram& iters_per_op = obs::Registry::global().count_histogram(
+      "sim.op.iterations_per_solve",
+      obs::Histogram::exponential_bounds(1.0, 512.0, 2.0));
+
+  static DcMetrics& get() {
+    static DcMetrics m;
+    return m;
+  }
+};
 
 // One Newton solve at fixed (source_scale, gmin).  Returns true on
 // convergence; x is updated in place with the best iterate either way.
@@ -15,6 +41,8 @@ namespace {
 bool newton_solve(const NonlinearSystem& sys, double source_scale,
                   double gmin, const OpOptions& opts, SimWorkspace* ws,
                   std::vector<double>* x, int* iterations_used) {
+  DcMetrics& metrics = DcMetrics::get();
+  metrics.solves.add();
   const std::size_t n = sys.layout().size();
   const std::size_t nv = sys.layout().num_node_unknowns();
   num::RealMatrix& jac = ws->jac;          // eval sizes and refills
@@ -27,10 +55,14 @@ bool newton_solve(const NonlinearSystem& sys, double source_scale,
 
   for (int iter = 0; iter < opts.max_iterations; ++iter) {
     ++*iterations_used;
+    metrics.iterations.add();
     sys.eval(*x, eval_opts, &jac, &f);
 
     num::lu_factor_in_place(&jac, &ws->lu);
-    if (ws->lu.singular) return false;
+    if (ws->lu.singular) {
+      metrics.nonconverged.add();
+      return false;
+    }
     // Newton step: J dx = -f, solved in place in the RHS buffer.
     dx.resize(n);
     for (std::size_t i = 0; i < n; ++i) dx[i] = -f[i];
@@ -57,6 +89,7 @@ bool newton_solve(const NonlinearSystem& sys, double source_scale,
       if (max_node_residual < opts.abstol) return true;
     }
   }
+  metrics.nonconverged.add();
   return false;
 }
 
@@ -64,6 +97,9 @@ bool newton_solve(const NonlinearSystem& sys, double source_scale,
 
 OpResult dc_operating_point(const ckt::Circuit& c, const tech::Technology& t,
                             const OpOptions& opts, SimWorkspace* workspace) {
+  DcMetrics& metrics = DcMetrics::get();
+  metrics.op_calls.add();
+  OBS_SPAN("sim/dc_operating_point");
   NonlinearSystem sys(c, t);
   const std::size_t n = sys.layout().size();
   SimWorkspace local_ws;
@@ -90,6 +126,7 @@ OpResult dc_operating_point(const ckt::Circuit& c, const tech::Technology& t,
 
   // Strategy 2: gmin stepping, from strongly shunted to the floor.
   if (!result.converged && opts.try_gmin_stepping) {
+    metrics.gmin_escalations.add();
     std::vector<double> trial(n, 0.0);
     bool ok = true;
     int iters = 0;
@@ -110,6 +147,7 @@ OpResult dc_operating_point(const ckt::Circuit& c, const tech::Technology& t,
 
   // Strategy 3: source stepping with adaptive increments.
   if (!result.converged && opts.try_source_stepping) {
+    metrics.source_escalations.add();
     std::vector<double> trial(n, 0.0);
     double scale = 0.0;
     double step = opts.source_step_initial;
@@ -135,12 +173,14 @@ OpResult dc_operating_point(const ckt::Circuit& c, const tech::Technology& t,
     result.total_iterations += iters;
   }
 
+  metrics.iters_per_op.observe(static_cast<double>(result.total_iterations));
   if (result.converged) {
     // Final bookkeeping pass to capture per-device operating info.
     NonlinearSystem::EvalOptions eval_opts;
     eval_opts.gmin = opts.gmin;
     sys.eval(result.solution, eval_opts, nullptr, nullptr, &result.devices);
   } else {
+    metrics.op_failures.add();
     result.solution = std::move(x);
   }
   return result;

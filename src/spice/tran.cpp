@@ -4,9 +4,31 @@
 #include <cmath>
 
 #include "numeric/linear.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "spice/workspace.h"
 
 namespace oasys::sim {
+
+namespace {
+
+// Registry handles for the transient engine, resolved once per process.
+struct TranMetrics {
+  obs::Counter& runs = obs::Registry::global().counter("sim.tran.runs");
+  obs::Counter& steps =
+      obs::Registry::global().counter("sim.tran.steps_accepted");
+  obs::Counter& iterations =
+      obs::Registry::global().counter("sim.tran.newton_iterations");
+  obs::Counter& rejections =
+      obs::Registry::global().counter("sim.tran.step_rejections");
+
+  static TranMetrics& get() {
+    static TranMetrics m;
+    return m;
+  }
+};
+
+}  // namespace
 
 std::vector<double> TranResult::node_waveform(const MnaLayout& layout,
                                               ckt::NodeId n) const {
@@ -63,6 +85,9 @@ void build_cap_matrix(const NonlinearSystem& sys,
 
 TranResult transient(const ckt::Circuit& c, const tech::Technology& t,
                      const OpResult& op, const TranOptions& opts) {
+  TranMetrics& metrics = TranMetrics::get();
+  metrics.runs.add();
+  OBS_SPAN("sim/transient");
   TranResult result;
   if (!op.converged) {
     result.error = "initial operating point did not converge";
@@ -119,6 +144,7 @@ TranResult transient(const ckt::Circuit& c, const tech::Technology& t,
 
     bool converged = false;
     for (int iter = 0; iter < opts.max_newton; ++iter) {
+      metrics.iterations.add();
       sys.eval(x, eval_opts, &jac, &f);
       // Add capacitive currents: f += C*(a*(x - x_prev)) - hist
       // where hist = C*dvdt_prev for trapezoidal, 0 for BE.
@@ -157,6 +183,10 @@ TranResult transient(const ckt::Circuit& c, const tech::Technology& t,
       }
     }
     if (!converged) {
+      // The fixed-step integrator has no retry-with-smaller-h path yet, so
+      // a rejected step ends the run; the counter still attributes the
+      // failure mode.
+      metrics.rejections.add();
       result.error = "transient Newton failed at t=" + std::to_string(time);
       return result;
     }
@@ -173,6 +203,7 @@ TranResult transient(const ckt::Circuit& c, const tech::Technology& t,
 
     result.time.push_back(time);
     result.states.push_back(x);
+    metrics.steps.add();
   }
   result.ok = true;
   return result;

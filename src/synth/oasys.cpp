@@ -1,25 +1,62 @@
 #include "synth/oasys.h"
 
 #include "exec/executor.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace oasys::synth {
+
+namespace {
+
+// Registry handles for the synthesis front door, resolved once per process.
+struct SynthMetrics {
+  obs::Counter& syntheses =
+      obs::Registry::global().counter("synth.syntheses");
+  obs::Counter& style_attempts =
+      obs::Registry::global().counter("synth.style_attempts");
+  obs::Counter& feasible =
+      obs::Registry::global().counter("synth.feasible_candidates");
+  obs::Counter& infeasible =
+      obs::Registry::global().counter("synth.infeasible_candidates");
+
+  static SynthMetrics& get() {
+    static SynthMetrics m;
+    return m;
+  }
+};
+
+}  // namespace
 
 SynthesisResult synthesize_opamp(const tech::Technology& t,
                                  const core::OpAmpSpec& spec,
                                  const SynthOptions& opts) {
+  SynthMetrics& metrics = SynthMetrics::get();
+  metrics.syntheses.add();
+  OBS_SPAN("synth/synthesize_opamp");
   SynthesisResult result;
   result.spec = spec;
 
   // Breadth-first style enumeration: the three designers are independent,
   // so they run as one parallel_invoke.  Each writes its fixed slot, which
   // keeps the candidate order (and everything downstream of it) identical
-  // to the serial evaluation.
+  // to the serial evaluation.  Each attempt gets its own span so the trace
+  // timeline shows the per-style cost.
   result.candidates.resize(3);
   exec::invoke_all(
       opts.jobs,
-      [&] { result.candidates[0] = design_one_stage_ota(t, spec, opts); },
-      [&] { result.candidates[1] = design_two_stage(t, spec, opts); },
-      [&] { result.candidates[2] = design_folded_cascode(t, spec, opts); });
+      [&] {
+        obs::Span span("style", "one_stage_ota");
+        result.candidates[0] = design_one_stage_ota(t, spec, opts);
+      },
+      [&] {
+        obs::Span span("style", "two_stage");
+        result.candidates[1] = design_two_stage(t, spec, opts);
+      },
+      [&] {
+        obs::Span span("style", "folded_cascode");
+        result.candidates[2] = design_folded_cascode(t, spec, opts);
+      });
+  metrics.style_attempts.add(result.candidates.size());
 
   std::vector<core::StyleScore> scores;
   scores.reserve(result.candidates.size());
@@ -29,6 +66,7 @@ SynthesisResult synthesize_opamp(const tech::Technology& t,
     s.feasible = c.feasible;
     s.violations = c.soft_violations;
     s.area = c.predicted.area;
+    (c.feasible ? metrics.feasible : metrics.infeasible).add();
     scores.push_back(std::move(s));
   }
   result.selection = core::select_style(scores);
@@ -38,6 +76,7 @@ SynthesisResult synthesize_opamp(const tech::Technology& t,
 std::vector<SynthesisResult> synthesize_opamp_batch(
     const tech::Technology& t, const std::vector<core::OpAmpSpec>& specs,
     const SynthOptions& opts) {
+  OBS_SPAN("synth/synthesize_opamp_batch");
   std::vector<SynthesisResult> out(specs.size());
   // Parallelism across specs; the per-spec style fan-out nests and
   // therefore runs inline on whichever lane picked the spec up.

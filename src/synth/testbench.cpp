@@ -5,6 +5,8 @@
 
 #include "exec/executor.h"
 #include "numeric/interpolate.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "numeric/rootfind.h"
 #include "spice/ac.h"
 #include "spice/dc.h"
@@ -60,6 +62,10 @@ struct OpenLoopBench {
 MeasuredOpAmp measure_opamp(const OpAmpDesign& design,
                             const tech::Technology& t,
                             const MeasureOptions& opts) {
+  static obs::Counter& measurements =
+      obs::Registry::global().counter("synth.measurements");
+  measurements.add();
+  OBS_SPAN("synth/measure_opamp");
   MeasuredOpAmp m;
   OpenLoopBench bench(design, t);
   sim::MnaLayout layout(bench.circuit);

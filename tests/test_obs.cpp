@@ -1,0 +1,395 @@
+// Observability subsystem: registry semantics, span tracing, the plan
+// narrative mirror, and the cross-jobs determinism contract the JSON
+// exporter splits its sections on.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/context.h"
+#include "core/plan.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+#include "synth/oasys.h"
+#include "synth/test_cases.h"
+#include "synth/testbench.h"
+#include "tech/builtin.h"
+
+namespace oasys {
+namespace {
+
+const tech::Technology& tech5() {
+  static const tech::Technology t = tech::five_micron();
+  return t;
+}
+
+// ---- counters / gauges / histograms -----------------------------------------
+
+TEST(ObsMetrics, CounterAddsAndResets) {
+  obs::Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(ObsMetrics, GaugeSetMaxKeepsRunningMaximum) {
+  obs::Gauge g;
+  g.set_max(3.0);
+  g.set_max(1.0);
+  EXPECT_DOUBLE_EQ(g.value(), 3.0);
+  g.set_max(7.5);
+  EXPECT_DOUBLE_EQ(g.value(), 7.5);
+  g.set(2.0);  // plain set overwrites
+  EXPECT_DOUBLE_EQ(g.value(), 2.0);
+}
+
+TEST(ObsMetrics, HistogramBucketsStatsAndOverflow) {
+  obs::Histogram h({1.0, 2.0, 4.0});
+  for (const double v : {0.5, 1.0, 1.5, 3.0, 100.0}) h.observe(v);
+  const obs::HistogramSnapshot s = h.snapshot();
+  ASSERT_EQ(s.counts.size(), 4u);  // 3 bounds + overflow
+  EXPECT_EQ(s.counts[0], 2u);      // 0.5, 1.0 (bounds are inclusive)
+  EXPECT_EQ(s.counts[1], 1u);      // 1.5
+  EXPECT_EQ(s.counts[2], 1u);      // 3.0
+  EXPECT_EQ(s.counts[3], 1u);      // 100.0 overflows
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.sum, 106.0);
+  EXPECT_DOUBLE_EQ(s.min, 0.5);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 21.2);
+}
+
+TEST(ObsMetrics, HistogramQuantilesAreOrderedAndClamped) {
+  obs::Histogram h(obs::Histogram::exponential_bounds(1.0, 1024.0, 2.0));
+  for (int i = 1; i <= 100; ++i) h.observe(static_cast<double>(i));
+  const obs::HistogramSnapshot s = h.snapshot();
+  const double p50 = s.quantile(0.5);
+  const double p95 = s.quantile(0.95);
+  EXPECT_GE(p50, s.min);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, s.max);
+  // Bucket interpolation keeps the estimates in the right neighborhood.
+  EXPECT_GT(p50, 20.0);
+  EXPECT_LT(p50, 80.0);
+  EXPECT_GT(p95, 64.0);
+  // Degenerate quantiles clamp to the observed extremes.
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), s.min);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), s.max);
+  const obs::HistogramSnapshot empty = obs::Histogram({1.0}).snapshot();
+  EXPECT_DOUBLE_EQ(empty.quantile(0.5), 0.0);
+}
+
+TEST(ObsMetrics, ExponentialBoundsLadder) {
+  const std::vector<double> b = obs::Histogram::exponential_bounds(1.0, 8.0,
+                                                                   2.0);
+  ASSERT_EQ(b.size(), 4u);
+  EXPECT_DOUBLE_EQ(b[0], 1.0);
+  EXPECT_DOUBLE_EQ(b[1], 2.0);
+  EXPECT_DOUBLE_EQ(b[2], 4.0);
+  EXPECT_DOUBLE_EQ(b[3], 8.0);
+  EXPECT_THROW(obs::Histogram::exponential_bounds(0.0, 8.0, 2.0),
+               std::invalid_argument);
+  EXPECT_THROW(obs::Histogram::exponential_bounds(1.0, 8.0, 1.0),
+               std::invalid_argument);
+}
+
+// ---- registry ----------------------------------------------------------------
+
+TEST(ObsRegistry, SameNameReturnsSameObject) {
+  obs::Registry r;
+  obs::Counter& a = r.counter("x");
+  obs::Counter& b = r.counter("x");
+  EXPECT_EQ(&a, &b);
+  obs::Gauge& g1 = r.gauge("g");
+  obs::Gauge& g2 = r.gauge("g");
+  EXPECT_EQ(&g1, &g2);
+}
+
+TEST(ObsRegistry, KindMismatchThrows) {
+  obs::Registry r;
+  r.counter("x");
+  EXPECT_THROW(r.gauge("x"), std::logic_error);
+  EXPECT_THROW(r.histogram("x", {1.0}, true), std::logic_error);
+}
+
+TEST(ObsRegistry, ResetZeroesValuesButKeepsRegistrations) {
+  obs::Registry r;
+  obs::Counter& c = r.counter("c");
+  obs::Histogram& h = r.count_histogram("h", {1.0, 2.0});
+  c.add(5);
+  h.observe(1.5);
+  r.reset();
+  EXPECT_EQ(&r.counter("c"), &c);  // address stable across reset
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(h.snapshot().count, 0u);
+}
+
+TEST(ObsRegistry, SnapshotIsSortedAndCarriesDeterminismFlags) {
+  obs::Registry r;
+  r.counter("b.count");
+  r.gauge("a.gauge");
+  r.duration_histogram("c.seconds");
+  r.count_histogram("d.sizes", {1.0, 2.0});
+  const obs::MetricsSnapshot s = r.snapshot();
+  ASSERT_EQ(s.entries.size(), 4u);
+  for (std::size_t i = 1; i < s.entries.size(); ++i) {
+    EXPECT_LT(s.entries[i - 1].name, s.entries[i].name);
+  }
+  EXPECT_TRUE(s.find("b.count")->deterministic);
+  EXPECT_FALSE(s.find("a.gauge")->deterministic);
+  EXPECT_FALSE(s.find("c.seconds")->deterministic);
+  EXPECT_TRUE(s.find("d.sizes")->deterministic);
+  EXPECT_EQ(s.find("nope"), nullptr);
+}
+
+// ---- spans -------------------------------------------------------------------
+
+TEST(ObsSpan, NestedSpansEmitBalancedEventsWithDepths) {
+  obs::TraceBuffer buf;
+  {
+    obs::ScopedSink sink(&buf);
+    obs::Span outer("outer");
+    {
+      obs::Span inner("scope", "inner");
+      obs::emit_instant("tick", "inner", "", "note");
+    }
+  }
+  const auto& ev = buf.events();
+  ASSERT_EQ(ev.size(), 5u);
+  EXPECT_EQ(ev[0].kind, obs::TraceEvent::Kind::kSpanBegin);
+  EXPECT_EQ(ev[0].name, "outer");
+  EXPECT_EQ(ev[0].depth, 0);
+  EXPECT_EQ(ev[1].kind, obs::TraceEvent::Kind::kSpanBegin);
+  EXPECT_EQ(ev[1].name, "scope/inner");
+  EXPECT_EQ(ev[1].depth, 1);
+  EXPECT_EQ(ev[2].kind, obs::TraceEvent::Kind::kInstant);
+  EXPECT_EQ(ev[2].name, "tick");
+  EXPECT_EQ(ev[3].kind, obs::TraceEvent::Kind::kSpanEnd);
+  EXPECT_EQ(ev[3].name, "scope/inner");
+  EXPECT_GE(ev[3].seconds, 0.0);
+  EXPECT_EQ(ev[4].kind, obs::TraceEvent::Kind::kSpanEnd);
+  EXPECT_EQ(ev[4].name, "outer");
+}
+
+TEST(ObsSpan, SpanClosesOnThrow) {
+  obs::TraceBuffer buf;
+  obs::ScopedSink sink(&buf);
+  try {
+    obs::Span span("doomed");
+    throw std::runtime_error("boom");
+  } catch (const std::runtime_error&) {
+  }
+  ASSERT_EQ(buf.events().size(), 2u);
+  EXPECT_EQ(buf.events()[1].kind, obs::TraceEvent::Kind::kSpanEnd);
+  EXPECT_EQ(buf.events()[1].name, "doomed");
+  // The next span starts back at depth 0: unwinding restored the counter.
+  obs::Span after("after");
+  ASSERT_EQ(buf.events().size(), 3u);
+  EXPECT_EQ(buf.events()[2].depth, 0);
+}
+
+TEST(ObsSpan, GlobalCollectorDrainsOnce) {
+  obs::set_tracing_enabled(true);
+  { OBS_SPAN("collected"); }
+  obs::set_tracing_enabled(false);
+  const std::vector<obs::TraceEvent> events = obs::drain_global_trace();
+  ASSERT_GE(events.size(), 2u);
+  bool saw_begin = false;
+  for (const auto& e : events) {
+    if (e.kind == obs::TraceEvent::Kind::kSpanBegin &&
+        e.name == "collected") {
+      saw_begin = true;
+    }
+  }
+  EXPECT_TRUE(saw_begin);
+  EXPECT_TRUE(obs::drain_global_trace().empty());  // drained means drained
+}
+
+TEST(ObsSpan, InactiveSpanReportsInactive) {
+  ASSERT_FALSE(obs::tracing_enabled());
+  obs::Span span("idle");
+  EXPECT_FALSE(span.active());
+  span.note("dropped");  // must be a safe no-op
+}
+
+// ---- plan narrative mirror ---------------------------------------------------
+
+struct MirrorContext : core::DesignContext {
+  explicit MirrorContext(const tech::Technology& t) : DesignContext(t) {}
+};
+
+TEST(ObsPlan, ExecutionTraceAndSpanStreamCarryTheSameNarrative) {
+  core::Plan<MirrorContext> plan("mirror");
+  plan.add_step("warmup", [](MirrorContext&) {
+    return core::StepStatus::success();
+  });
+  plan.add_step("fragile", [](MirrorContext& ctx) {
+    if (ctx.bump("tries") < 2) {
+      return core::StepStatus::fail("too-cold", "needs a retry");
+    }
+    return core::StepStatus::success();
+  });
+  plan.add_rule("warm-it-up", [](MirrorContext&,
+                                 const core::StepFailure& f)
+                    -> std::optional<core::PatchAction> {
+    if (f.code != "too-cold") return std::nullopt;
+    return core::PatchAction::retry_step("warming");
+  });
+
+  obs::TraceBuffer buf;
+  core::ExecutionTrace trace;
+  {
+    obs::ScopedSink sink(&buf);
+    MirrorContext ctx(tech5());
+    trace = core::execute_plan(plan, ctx);
+  }
+  ASSERT_TRUE(trace.success);
+  EXPECT_EQ(trace.rules_fired, 1);
+
+  // Every ExecutionTrace event has a same-named instant in the span
+  // stream, in order: one stream, two renderers.
+  std::vector<const obs::TraceEvent*> instants;
+  for (const auto& e : buf.events()) {
+    if (e.kind == obs::TraceEvent::Kind::kInstant) instants.push_back(&e);
+  }
+  ASSERT_EQ(instants.size(), trace.events.size());
+  const std::map<core::TraceEvent::Kind, std::string> names = {
+      {core::TraceEvent::Kind::kStepOk, "step.ok"},
+      {core::TraceEvent::Kind::kStepFailed, "step.failed"},
+      {core::TraceEvent::Kind::kRuleFired, "rule.fired"},
+      {core::TraceEvent::Kind::kAborted, "plan.aborted"},
+      {core::TraceEvent::Kind::kExhausted, "plan.exhausted"},
+  };
+  for (std::size_t i = 0; i < trace.events.size(); ++i) {
+    EXPECT_EQ(instants[i]->name, names.at(trace.events[i].kind));
+    EXPECT_EQ(instants[i]->scope, trace.events[i].step_name);
+    EXPECT_EQ(instants[i]->code, trace.events[i].code);
+    EXPECT_EQ(instants[i]->index, trace.events[i].step_index);
+  }
+
+  // The span stream adds structure on top: a plan span around step spans.
+  ASSERT_FALSE(buf.events().empty());
+  EXPECT_EQ(buf.events().front().name, "plan/mirror");
+  EXPECT_EQ(buf.events().back().name, "plan/mirror");
+  int step_spans = 0;
+  for (const auto& e : buf.events()) {
+    if (e.kind == obs::TraceEvent::Kind::kSpanBegin &&
+        e.name.rfind("step/", 0) == 0) {
+      ++step_spans;
+    }
+  }
+  EXPECT_EQ(step_spans, trace.steps_executed);
+}
+
+// ---- exporters ---------------------------------------------------------------
+
+TEST(ObsExport, JsonSplitsDeterministicFromTiming) {
+  obs::Registry r;
+  r.counter("det.count").add(3);
+  r.gauge("sched.lanes").set(2.0);
+  r.count_histogram("det.sizes", {1.0, 2.0}).observe(1.0);
+  r.duration_histogram("time.seconds").observe(0.25);
+  const std::string json = obs::metrics_json(r.snapshot());
+  EXPECT_NE(json.find("\"schema\": \"oasys.metrics.v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"det.count\": 3"), std::string::npos);
+  // The deterministic section precedes the timing section, and the
+  // scheduling-derived entries land in the latter.
+  const std::size_t det = json.find("\"deterministic\"");
+  const std::size_t timing = json.find("\"timing\"");
+  ASSERT_NE(det, std::string::npos);
+  ASSERT_NE(timing, std::string::npos);
+  EXPECT_LT(det, timing);
+  EXPECT_GT(json.find("\"sched.lanes\""), timing);
+  EXPECT_GT(json.find("\"time.seconds\""), timing);
+  EXPECT_LT(json.find("\"det.sizes\""), timing);
+}
+
+TEST(ObsExport, TraceTextRendersSpansAndInstants) {
+  obs::TraceBuffer buf;
+  {
+    obs::ScopedSink sink(&buf);
+    obs::Span outer("outer");
+    obs::emit_instant("step.ok", "derive", "", "fine", 3);
+  }
+  const std::string text = obs::trace_text(buf.events());
+  EXPECT_NE(text.find("> outer"), std::string::npos);
+  EXPECT_NE(text.find("< outer"), std::string::npos);
+  EXPECT_NE(text.find("step.ok"), std::string::npos);
+  EXPECT_NE(text.find("derive"), std::string::npos);
+}
+
+// ---- cross-jobs determinism --------------------------------------------------
+
+// The deterministic projection of a snapshot: every counter value and
+// every deterministic histogram's exact contents.  Durations and gauges
+// are excluded by the same flag the JSON exporter splits on.
+std::map<std::string, std::string> deterministic_projection(
+    const obs::MetricsSnapshot& snap) {
+  std::map<std::string, std::string> out;
+  for (const auto& e : snap.entries) {
+    if (!e.deterministic) continue;
+    if (e.kind == obs::MetricKind::kCounter) {
+      out[e.name] = std::to_string(e.counter);
+    } else if (e.kind == obs::MetricKind::kHistogram) {
+      std::string v = std::to_string(e.histogram.count) + "|" +
+                      std::to_string(e.histogram.sum) + "|" +
+                      std::to_string(e.histogram.min) + "|" +
+                      std::to_string(e.histogram.max);
+      for (const auto c : e.histogram.counts) {
+        v += "|" + std::to_string(c);
+      }
+      out[e.name] = v;
+    } else {
+      out[e.name] = std::to_string(e.gauge);
+    }
+  }
+  return out;
+}
+
+TEST(ObsDeterminism, NonDurationMetricsAreIdenticalAcrossJobs) {
+  obs::Registry& reg = obs::Registry::global();
+  const std::vector<core::OpAmpSpec> specs = {synth::spec_case_a(),
+                                              synth::spec_case_b()};
+
+  // One synthesis batch plus one full measurement per jobs setting: plan
+  // executor, all three sim engines, and the executor lanes all run.
+  auto workload = [&](std::size_t jobs) {
+    synth::SynthOptions opts;
+    opts.jobs = jobs;
+    const auto results = synth::synthesize_opamp_batch(tech5(), specs, opts);
+    for (const auto& r : results) {
+      if (!r.success()) continue;
+      synth::MeasureOptions mo;
+      mo.jobs = jobs;
+      const synth::MeasuredOpAmp m = synth::measure_opamp(*r.best(), tech5(),
+                                                          mo);
+      ASSERT_TRUE(m.ok) << m.error;
+    }
+  };
+
+  reg.reset();
+  workload(1);
+  const std::map<std::string, std::string> reference =
+      deterministic_projection(reg.snapshot());
+  ASSERT_FALSE(reference.empty());
+  EXPECT_GT(reference.count("sim.newton.iterations"), 0u);
+  EXPECT_GT(reference.count("plan.steps_executed"), 0u);
+
+  for (const std::size_t jobs : {std::size_t{2}, std::size_t{4}}) {
+    reg.reset();
+    workload(jobs);
+    const std::map<std::string, std::string> got =
+        deterministic_projection(reg.snapshot());
+    EXPECT_EQ(got, reference) << "deterministic metrics diverged at jobs="
+                              << jobs;
+  }
+}
+
+}  // namespace
+}  // namespace oasys

@@ -1,0 +1,109 @@
+// Overhead proof for the disabled-mode observability hot path.
+//
+// Same counting operator new/delete scheme as test_alloc_free.cpp: with no
+// trace sink installed and global tracing off, spans, instants, counter
+// adds, gauge updates, and histogram observes must perform zero heap
+// allocations — that is the contract that lets OBS_SPAN and the metric
+// handles sit inside the Newton and plan-execution hot loops.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "obs/metrics.h"
+#include "obs/span.h"
+
+namespace {
+
+std::atomic<bool> g_counting{false};
+std::atomic<std::size_t> g_allocations{0};
+
+void* counted_alloc(std::size_t size) {
+  if (g_counting.load(std::memory_order_relaxed)) {
+    g_allocations.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (size == 0) size = 1;
+  void* p = std::malloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* counted_aligned_alloc(std::size_t size, std::size_t align) {
+  if (g_counting.load(std::memory_order_relaxed)) {
+    g_allocations.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (size == 0) size = align;
+  void* p = nullptr;
+  if (posix_memalign(&p, align, size) != 0) throw std::bad_alloc();
+  return p;
+}
+
+template <typename Fn>
+std::size_t count_allocations(const Fn& body) {
+  g_allocations.store(0, std::memory_order_relaxed);
+  g_counting.store(true, std::memory_order_relaxed);
+  body();
+  g_counting.store(false, std::memory_order_relaxed);
+  return g_allocations.load(std::memory_order_relaxed);
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(align));
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace oasys::obs {
+namespace {
+
+TEST(ObsAlloc, DisabledSpansAreAllocationFree) {
+  ASSERT_FALSE(tracing_enabled());
+  const std::size_t allocs = count_allocations([] {
+    for (int i = 0; i < 1000; ++i) {
+      OBS_SPAN("hot/loop");
+      Span named("scope", "runtime-name");  // two-arg form joins lazily
+      emit_instant("step.ok", "scope", "code", "detail", 7);
+    }
+  });
+  EXPECT_EQ(allocs, 0u)
+      << "disabled-mode spans performed heap allocations";
+}
+
+TEST(ObsAlloc, MetricUpdatesAreAllocationFree) {
+  // Registration allocates (by design, once per name); updates through the
+  // cached references must not.
+  Registry registry;
+  Counter& c = registry.counter("hot.counter");
+  Gauge& g = registry.gauge("hot.gauge");
+  Histogram& h =
+      registry.count_histogram("hot.hist", {1.0, 4.0, 16.0, 64.0});
+  const std::size_t allocs = count_allocations([&] {
+    for (int i = 0; i < 1000; ++i) {
+      c.add();
+      g.set_max(static_cast<double>(i));
+      h.observe(static_cast<double>(i % 100));
+    }
+  });
+  EXPECT_EQ(allocs, 0u) << "metric updates performed heap allocations";
+}
+
+}  // namespace
+}  // namespace oasys::obs

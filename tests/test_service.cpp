@@ -286,6 +286,11 @@ TEST(Service, StatsCountersAreConsistent) {
   EXPECT_LE(st.latency.min_s, st.latency.mean_s);
   EXPECT_LE(st.latency.mean_s, st.latency.max_s);
   EXPECT_GE(st.latency.min_s, 0.0);
+  // Percentiles come from the shared histogram: ordered and clamped to the
+  // exact [min, max] the service observed.
+  EXPECT_GE(st.latency.p50_s, st.latency.min_s);
+  EXPECT_LE(st.latency.p50_s, st.latency.p95_s);
+  EXPECT_LE(st.latency.p95_s, st.latency.max_s);
 }
 
 TEST(Service, RequestKeyIgnoresJobsButSeesOtherOptions) {

@@ -27,6 +27,9 @@
 #include "core/spec_parser.h"
 #include "exec/executor.h"
 #include "netlist/spice_writer.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "service/service.h"
 #include "synth/oasys.h"
 #include "synth/report.h"
@@ -49,7 +52,9 @@ int usage() {
       "  --tech FILE     technology file (default: built-in 5 um CMOS)\n"
       "  --verify        run the circuit-simulator measurement suite\n"
       "  --export FILE   write the synthesized design as a SPICE deck\n"
-      "  --trace         print the full plan-execution narrative\n"
+      "  --trace         print the full plan-execution narrative and the\n"
+      "                  span timeline\n"
+      "  --metrics-json F  write the process metrics registry as JSON to F\n"
       "  --no-rules      disable plan-patching rules (ablation)\n"
       "  --jobs N        worker threads for synthesis + simulation\n"
       "                  (default: hardware concurrency; 1 = serial;\n"
@@ -84,6 +89,15 @@ bool apply_jobs(const char* v) {
     return false;
   }
   oasys::exec::set_default_jobs(static_cast<std::size_t>(n));
+  return true;
+}
+
+// Writes the metrics registry as JSON when a --metrics-json path was
+// given.  Returns false (exit code 1) when the file cannot be written.
+bool write_metrics(const std::string& path) {
+  if (path.empty()) return true;
+  if (!oasys::obs::write_metrics_json(path)) return false;
+  std::printf("metrics written to %s\n", path.c_str());
   return true;
 }
 
@@ -135,6 +149,7 @@ int run_batch_mode(int argc, char** argv) {
 
   std::vector<std::string> operands;
   std::string tech_path;
+  std::string metrics_path;
   bool rules = true;
   service::ServiceOptions sopts;
   for (int i = 0; i < argc; ++i) {
@@ -161,6 +176,10 @@ int run_batch_mode(int argc, char** argv) {
       if (n == 0) sopts.cache_enabled = false;
     } else if (arg == "--no-cache") {
       sopts.cache_enabled = false;
+    } else if (arg == "--metrics-json") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      metrics_path = v;
     } else if (arg == "--no-rules") {
       rules = false;
     } else if (util::starts_with(arg, "--")) {
@@ -222,24 +241,40 @@ int run_batch_mode(int argc, char** argv) {
   std::fputs(table.to_string().c_str(), stdout);
 
   const service::ServiceStats st = svc.stats();
+  const double hit_ratio =
+      st.requests == 0
+          ? 0.0
+          : static_cast<double>(st.hits) / static_cast<double>(st.requests);
   std::printf(
       "\nservice: %llu requests, %llu hits, %llu misses, %llu dedup joins, "
       "%llu evictions\n"
-      "queue high-water %zu, cache entries %zu (%s)\n",
+      "cache hit ratio %.1f%%, queue high-water %zu, cache entries %zu "
+      "(%s)\n",
       static_cast<unsigned long long>(st.requests),
       static_cast<unsigned long long>(st.hits),
       static_cast<unsigned long long>(st.misses),
       static_cast<unsigned long long>(st.dedup_joins),
-      static_cast<unsigned long long>(st.evictions), st.queue_high_water,
-      st.cache_size, sopts.cache_enabled ? "enabled" : "disabled");
-  std::printf("latency per request: min %.3f ms, mean %.3f ms, max %.3f ms\n",
-              st.latency.min_s * 1e3, st.latency.mean_s * 1e3,
-              st.latency.max_s * 1e3);
+      static_cast<unsigned long long>(st.evictions), hit_ratio * 100.0,
+      st.queue_high_water, st.cache_size,
+      sopts.cache_enabled ? "enabled" : "disabled");
+  std::printf(
+      "latency per request: min %.3f ms, p50 %.3f ms, mean %.3f ms, "
+      "p95 %.3f ms, max %.3f ms\n",
+      st.latency.min_s * 1e3, st.latency.p50_s * 1e3,
+      st.latency.mean_s * 1e3, st.latency.p95_s * 1e3,
+      st.latency.max_s * 1e3);
+
+  // Per-layer metrics summary: what the batch actually did downstream of
+  // the service (plan steps, Newton iterations, executor traffic).
+  std::puts("\nmetrics:");
+  std::fputs(obs::metrics_table(obs::Registry::global().snapshot()).c_str(),
+             stdout);
 
   if (failures > 0) {
     std::printf("%d of %zu specs selected no feasible style.\n", failures,
                 results.size());
   }
+  if (!write_metrics(metrics_path)) return 1;
   return (failures > 0 || parse_failed) ? 1 : 0;
 }
 
@@ -255,6 +290,7 @@ int main(int argc, char** argv) {
   std::string spec_path;
   std::string tech_path;
   std::string export_path;
+  std::string metrics_path;
   bool verify = false;
   bool trace = false;
   bool rules = true;
@@ -279,6 +315,10 @@ int main(int argc, char** argv) {
     } else if (arg == "--jobs") {
       const char* v = next();
       if (v == nullptr || !apply_jobs(v)) return usage();
+    } else if (arg == "--metrics-json") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      metrics_path = v;
     } else if (arg == "--verify") {
       verify = true;
     } else if (arg == "--trace") {
@@ -314,11 +354,16 @@ int main(int argc, char** argv) {
 
   synth::SynthOptions opts;
   opts.rules_enabled = rules;
+  // --trace turns on the process-wide span collector: the plan narrative
+  // and the span timeline below are two renderings of one event stream.
+  if (trace) obs::set_tracing_enabled(true);
   const synth::SynthesisResult result =
       synth::synthesize_opamp(t, sr.spec, opts);
 
   if (trace) {
     std::fputs(synth::synthesis_report(result).c_str(), stdout);
+    std::puts("\nspan timeline:");
+    std::fputs(obs::trace_text(obs::drain_global_trace()).c_str(), stdout);
   } else {
     std::fputs(sr.spec.to_string().c_str(), stdout);
     std::puts("style selection:");
@@ -328,11 +373,18 @@ int main(int argc, char** argv) {
       std::fputs(synth::device_table(*result.best()).c_str(), stdout);
     }
   }
+  // Every post-synthesis exit writes the metrics registry (a failed run's
+  // counters are exactly what a failure investigation wants to see).
+  auto done = [&](int code) {
+    if (!write_metrics(metrics_path)) return 1;
+    return code;
+  };
+
   // Scriptability contract: "no feasible style" must be distinguishable
   // from success without scraping stdout (pinned by ctest).
   if (!result.success()) {
     std::puts("no feasible design.");
-    return 1;
+    return done(1);
   }
 
   const synth::OpAmpDesign& best = *result.best();
@@ -340,7 +392,7 @@ int main(int argc, char** argv) {
     const synth::MeasuredOpAmp m = synth::measure_opamp(best, t);
     if (!m.ok) {
       std::fprintf(stderr, "verification failed: %s\n", m.error.c_str());
-      return 1;
+      return done(1);
     }
     std::puts("\nspec vs predicted vs simulated:");
     std::fputs(synth::comparison_table(best, &m).c_str(), stdout);
@@ -351,11 +403,11 @@ int main(int argc, char** argv) {
     std::ofstream out(export_path);
     if (!out) {
       std::fprintf(stderr, "cannot write '%s'\n", export_path.c_str());
-      return 1;
+      return done(1);
     }
     out << ckt::to_spice_deck(synth::build_standalone_opamp(best, t), t,
                               wo);
     std::printf("\nSPICE deck written to %s\n", export_path.c_str());
   }
-  return 0;
+  return done(0);
 }
