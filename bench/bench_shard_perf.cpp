@@ -1,0 +1,193 @@
+// Cross-process sharded-serving benchmarks (google-benchmark).
+//
+// Workload shape: the same repeated-spec sweep traffic as
+// bench_service_perf, pushed through shard::run_sharded_batch at worker
+// counts 1/2/4.  Workers are real processes (`oasys shard-worker`
+// spawned fork+exec), so the timings include process spawn, wire
+// serialization, and the coordinator's merge — the honest cost of the
+// process boundary, not just the synthesis math.
+//
+// `--json <path>` writes the perf-trajectory record instead: per-worker-
+// count wall times, the coordinator overhead (1-worker shard vs a direct
+// in-process SynthesisService on identical traffic), and the 4-over-1
+// process-scaling ratio.  The embedded equivalence self-check re-renders
+// every shard outcome through synth::result_json and requires it
+// byte-identical to the direct service result at every worker count —
+// the record fails loudly (non-zero exit) on any divergence while the
+// timings stay informational.  See perf_json.h.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "service/service.h"
+#include "shard/coordinator.h"
+#include "synth/oasys.h"
+#include "synth/result_json.h"
+#include "synth/test_cases.h"
+#include "tech/builtin.h"
+
+#include "perf_json.h"
+
+// Path to the oasys CLI, stamped by bench/CMakeLists.txt; the coordinator
+// execs it as `oasys shard-worker`.
+#ifndef OASYS_CLI_PATH
+#error "bench_shard_perf requires OASYS_CLI_PATH (see bench/CMakeLists.txt)"
+#endif
+
+namespace {
+
+using namespace oasys;
+
+constexpr int kRepeat = 2;
+
+const tech::Technology& tech5() {
+  static const tech::Technology t = tech::five_micron();
+  return t;
+}
+
+// Twelve distinct keys (paper corpus plus perturbed variants), so every
+// worker count in {1,2,4} has several specs per shard and the repeats
+// exercise each worker's private dedup/cache path.
+std::vector<core::OpAmpSpec> unique_specs() {
+  std::vector<core::OpAmpSpec> specs = synth::paper_test_cases();
+  const std::size_t base = specs.size();
+  for (std::size_t v = 1; v <= 3; ++v) {
+    for (std::size_t i = 0; i < base; ++i) {
+      core::OpAmpSpec s = specs[i];
+      s.name += "-v" + std::to_string(v);
+      s.gbw_min *= 1.0 + 0.01 * static_cast<double>(v);
+      specs.push_back(s);
+    }
+  }
+  return specs;
+}
+
+std::vector<core::OpAmpSpec> repeated_batch() {
+  const std::vector<core::OpAmpSpec> uniq = unique_specs();
+  std::vector<core::OpAmpSpec> batch;
+  batch.reserve(uniq.size() * kRepeat);
+  for (int r = 0; r < kRepeat; ++r) {
+    batch.insert(batch.end(), uniq.begin(), uniq.end());
+  }
+  return batch;
+}
+
+// Workers synthesize serially; the parallelism under measurement is the
+// process fan-out, not the executor inside each worker.
+synth::SynthOptions serial_opts() {
+  synth::SynthOptions o;
+  o.jobs = 1;
+  return o;
+}
+
+shard::ShardOptions shard_opts(std::size_t workers) {
+  shard::ShardOptions o;
+  o.workers = workers;
+  o.worker_command = OASYS_CLI_PATH;
+  return o;
+}
+
+void BM_ShardBatch(benchmark::State& state) {
+  const std::vector<core::OpAmpSpec> batch = repeated_batch();
+  const shard::ShardOptions opts =
+      shard_opts(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        shard::run_sharded_batch(tech5(), serial_opts(), batch, opts));
+  }
+}
+BENCHMARK(BM_ShardBatch)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_DirectServiceBatch(benchmark::State& state) {
+  const std::vector<core::OpAmpSpec> batch = repeated_batch();
+  for (auto _ : state) {
+    service::SynthesisService svc(tech5(), serial_opts());
+    benchmark::DoNotOptimize(svc.run_batch(batch));
+  }
+}
+BENCHMARK(BM_DirectServiceBatch);
+
+int emit_json(const char* path) {
+  const std::vector<core::OpAmpSpec> batch = repeated_batch();
+  const std::size_t unique = unique_specs().size();
+  const synth::SynthOptions sopts = serial_opts();
+
+  // Reference: one in-process service over the same traffic.
+  service::SynthesisService ref_svc(tech5(), sopts);
+  const std::vector<service::BatchOutcome> ref =
+      ref_svc.run_batch_outcomes(batch);
+  std::vector<std::string> expected;
+  expected.reserve(ref.size());
+  for (const service::BatchOutcome& o : ref) {
+    expected.push_back(o.ok() ? synth::result_json(o.result) : o.error);
+  }
+
+  // Equivalence self-check: every outcome at every worker count must
+  // render to the reference bytes, and the infrastructure must be clean.
+  bool equivalent = true;
+  const std::size_t worker_counts[] = {1, 2, 4};
+  double seconds[3] = {0.0, 0.0, 0.0};
+  for (std::size_t wi = 0; wi < 3; ++wi) {
+    const shard::ShardReport report = shard::run_sharded_batch(
+        tech5(), sopts, batch, shard_opts(worker_counts[wi]));
+    equivalent = equivalent && report.infra_ok() &&
+                 report.outcomes.size() == expected.size();
+    for (std::size_t i = 0; equivalent && i < expected.size(); ++i) {
+      const shard::ShardOutcome& o = report.outcomes[i];
+      equivalent = o.ok() && synth::result_json(o.result) == expected[i];
+    }
+    seconds[wi] = oasys::bench::time_best_of(3, [&] {
+      benchmark::DoNotOptimize(shard::run_sharded_batch(
+          tech5(), sopts, batch, shard_opts(worker_counts[wi])));
+    });
+  }
+
+  const double direct_seconds = oasys::bench::time_best_of(3, [&] {
+    service::SynthesisService svc(tech5(), sopts);
+    benchmark::DoNotOptimize(svc.run_batch(batch));
+  });
+
+  const double overhead =
+      direct_seconds > 0.0 ? seconds[0] / direct_seconds : 0.0;
+  const double scaling = seconds[2] > 0.0 ? seconds[0] / seconds[2] : 0.0;
+
+  FILE* out = std::fopen(path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path);
+    return 2;
+  }
+  std::fprintf(
+      out,
+      "{\"bench\": \"shard_perf\", \"build_type\": \"%s\",\n"
+      " \"unique_specs\": %zu, \"repeat\": %d, \"requests\": %zu,\n"
+      " \"direct_service_seconds\": %.6f,\n"
+      " \"shard_w1_seconds\": %.6f, \"shard_w2_seconds\": %.6f, "
+      "\"shard_w4_seconds\": %.6f,\n"
+      " \"coordinator_overhead_w1\": %.2f, \"scaling_w4_over_w1\": %.2f,\n"
+      " \"equivalent\": %s}\n",
+      OASYS_BUILD_TYPE, unique, kRepeat, batch.size(), direct_seconds,
+      seconds[0], seconds[1], seconds[2], overhead, scaling,
+      equivalent ? "true" : "false");
+  std::fclose(out);
+  if (!equivalent) {
+    std::fprintf(stderr,
+                 "FAIL: shard outcomes diverged from the direct service\n");
+    return 1;
+  }
+  std::printf("wrote %s (w1 %.3fs, w4 %.3fs, scaling %.2fx)\n", path,
+              seconds[0], seconds[2], scaling);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (const char* path = oasys::bench::parse_json_flag(argc, argv)) {
+    return emit_json(path);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -132,6 +132,59 @@ const MetricEntry* MetricsSnapshot::find(const std::string& name) const {
   return nullptr;
 }
 
+MetricsSnapshot merge_snapshots(const std::vector<MetricsSnapshot>& parts) {
+  // std::map keeps the merged result name-sorted, matching Registry
+  // snapshots (and therefore the JSON exporter's ordering contract).
+  std::map<std::string, MetricEntry> merged;
+  for (const MetricsSnapshot& part : parts) {
+    for (const MetricEntry& e : part.entries) {
+      auto [it, inserted] = merged.emplace(e.name, e);
+      if (inserted) continue;
+      MetricEntry& m = it->second;
+      if (m.kind != e.kind) {
+        throw std::logic_error("merge_snapshots: metric '" + e.name +
+                               "' has conflicting kinds across parts");
+      }
+      m.deterministic = m.deterministic && e.deterministic;
+      switch (e.kind) {
+        case MetricKind::kCounter:
+          m.counter += e.counter;
+          break;
+        case MetricKind::kGauge:
+          m.gauge = std::max(m.gauge, e.gauge);
+          break;
+        case MetricKind::kHistogram: {
+          if (m.histogram.bounds != e.histogram.bounds) {
+            throw std::logic_error("merge_snapshots: histogram '" + e.name +
+                                   "' has conflicting bounds across parts");
+          }
+          for (std::size_t i = 0; i < m.histogram.counts.size(); ++i) {
+            m.histogram.counts[i] += e.histogram.counts[i];
+          }
+          if (e.histogram.count > 0) {
+            m.histogram.min = m.histogram.count == 0
+                                  ? e.histogram.min
+                                  : std::min(m.histogram.min, e.histogram.min);
+            m.histogram.max = m.histogram.count == 0
+                                  ? e.histogram.max
+                                  : std::max(m.histogram.max, e.histogram.max);
+          }
+          m.histogram.count += e.histogram.count;
+          m.histogram.sum += e.histogram.sum;
+          break;
+        }
+      }
+    }
+  }
+  MetricsSnapshot out;
+  out.entries.reserve(merged.size());
+  for (auto& [name, e] : merged) {
+    (void)name;
+    out.entries.push_back(std::move(e));
+  }
+  return out;
+}
+
 // Requires mu_ held by the caller.
 Registry::Entry& Registry::entry(const std::string& name, MetricKind kind,
                                  bool deterministic) {

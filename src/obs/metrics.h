@@ -125,6 +125,16 @@ struct MetricsSnapshot {
   const MetricEntry* find(const std::string& name) const;
 };
 
+// Cross-process aggregation (the shard coordinator merges one snapshot per
+// worker).  Entries are united by name: counters add, gauges keep the
+// maximum (every multi-process gauge in the repo is a high-water mark),
+// histograms add bucket-wise and combine count/sum/min/max.  A name
+// registered with different kinds or different histogram bounds across
+// parts throws std::logic_error (schema drift, never silent).  The merged
+// `deterministic` flag is the AND of the parts' flags.  The result is
+// name-sorted, so it renders through metrics_json like any snapshot.
+MetricsSnapshot merge_snapshots(const std::vector<MetricsSnapshot>& parts);
+
 // Name-keyed registry.  Registration (first call per name) takes a mutex;
 // subsequent calls for the same name return the same object, so call sites
 // hoist the lookup into a function-local static and the steady-state cost

@@ -270,6 +270,26 @@ std::vector<synth::SynthesisResult> SynthesisService::run_batch(
   return out;
 }
 
+std::vector<BatchOutcome> SynthesisService::run_batch_outcomes(
+    const std::vector<core::OpAmpSpec>& specs) {
+  std::vector<Ticket> tickets;
+  tickets.reserve(specs.size());
+  for (const auto& spec : specs) tickets.push_back(submit(spec));
+  drain();
+  std::vector<BatchOutcome> out;
+  out.reserve(specs.size());
+  for (const Ticket& t : tickets) {
+    BatchOutcome o;
+    try {
+      o.result = wait(t);
+    } catch (const std::exception& e) {
+      o.error = e.what();
+    }
+    out.push_back(std::move(o));
+  }
+  return out;
+}
+
 ServiceStats SynthesisService::stats() const {
   std::lock_guard<std::mutex> lock(impl_->mu);
   ServiceStats s;

@@ -76,6 +76,16 @@ struct Ticket {
   std::uint64_t id = 0;
 };
 
+// Per-spec outcome of run_batch_outcomes().  `error` is empty when the
+// synthesis ran to completion — the result may still have selected no
+// feasible style, which is an ordinary result, not an error — and holds
+// the exception's what() when the underlying synthesis threw.
+struct BatchOutcome {
+  synth::SynthesisResult result;
+  std::string error;
+  bool ok() const { return error.empty(); }
+};
+
 class SynthesisService {
  public:
   explicit SynthesisService(tech::Technology tech,
@@ -104,6 +114,15 @@ class SynthesisService {
   // at every jobs setting, on the cold, warm-cache, and dedup-joined paths
   // alike (synthesis is a pure function of the fingerprint key).
   std::vector<synth::SynthesisResult> run_batch(
+      const std::vector<core::OpAmpSpec>& specs);
+
+  // run_batch with per-spec failure capture: an exception thrown by the
+  // underlying synthesis becomes that spec's error string, in submission
+  // order, instead of aborting the whole batch at the first wait().  The
+  // ok() items are bit-for-bit what run_batch returns for them.  Batch
+  // front-ends (CLI summary tables, shard workers) report through this so
+  // one poisoned spec cannot mask the rest of the batch.
+  std::vector<BatchOutcome> run_batch_outcomes(
       const std::vector<core::OpAmpSpec>& specs);
 
   // Counter snapshot; any thread, any time.

@@ -1,0 +1,336 @@
+#include "shard/coordinator.h"
+
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <csignal>
+#include <cstdlib>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/span.h"
+#include "shard/wire.h"
+#include "synth/opamp_design.h"
+#include "util/fingerprint.h"
+#include "util/text.h"
+
+namespace oasys::shard {
+
+namespace {
+
+struct WorkerProc {
+  pid_t pid = -1;
+  int to_fd = -1;    // coordinator -> worker stdin
+  int from_fd = -1;  // worker stdout -> coordinator
+  bool write_ok = true;
+};
+
+void close_fd(int& fd) {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+// Parent-held pipe ends must not leak into later-spawned workers: a sibling
+// holding the write end of a crashed worker's stdout would keep the
+// coordinator's read from ever seeing EOF, turning a dead worker into a
+// hang.  CLOEXEC closes them at the sibling's exec.
+void set_cloexec(int fd) { ::fcntl(fd, F_SETFD, FD_CLOEXEC); }
+
+WorkerProc spawn_worker(const std::string& command) {
+  int to_child[2] = {-1, -1};
+  int from_child[2] = {-1, -1};
+  if (::pipe(to_child) != 0) {
+    throw std::runtime_error("shard: pipe() failed");
+  }
+  if (::pipe(from_child) != 0) {
+    ::close(to_child[0]);
+    ::close(to_child[1]);
+    throw std::runtime_error("shard: pipe() failed");
+  }
+  set_cloexec(to_child[1]);
+  set_cloexec(from_child[0]);
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(to_child[0]);
+    ::close(to_child[1]);
+    ::close(from_child[0]);
+    ::close(from_child[1]);
+    throw std::runtime_error("shard: fork() failed");
+  }
+  if (pid == 0) {
+    // Child: wire the conversation onto stdin/stdout and become a worker.
+    // stderr stays inherited so worker diagnostics reach the operator.
+    ::dup2(to_child[0], STDIN_FILENO);
+    ::dup2(from_child[1], STDOUT_FILENO);
+    ::close(to_child[0]);
+    ::close(from_child[1]);
+    ::execl(command.c_str(), command.c_str(), "shard-worker",
+            static_cast<char*>(nullptr));
+    const char msg[] = "oasys shard: exec of worker command failed\n";
+    const ssize_t ignored = ::write(STDERR_FILENO, msg, sizeof(msg) - 1);
+    (void)ignored;
+    std::_Exit(127);
+  }
+
+  WorkerProc p;
+  p.pid = pid;
+  p.to_fd = to_child[1];
+  p.from_fd = from_child[0];
+  ::close(to_child[0]);
+  ::close(from_child[1]);
+  return p;
+}
+
+std::string describe_exit(int status) {
+  if (WIFEXITED(status)) {
+    return util::format("exited with status %d", WEXITSTATUS(status));
+  }
+  if (WIFSIGNALED(status)) {
+    return util::format("killed by signal %d", WTERMSIG(status));
+  }
+  return util::format("ended with raw wait status %d", status);
+}
+
+}  // namespace
+
+bool ShardReport::infra_ok() const {
+  for (const WorkerSummary& w : workers) {
+    if (!w.ok()) return false;
+  }
+  return true;
+}
+
+std::size_t route(const std::string& request_key, std::size_t workers) {
+  return util::shard_index(util::fnv1a64(request_key), workers);
+}
+
+ShardReport run_sharded_batch(const tech::Technology& tech,
+                              const synth::SynthOptions& synth_opts,
+                              const std::vector<core::OpAmpSpec>& specs,
+                              const ShardOptions& options) {
+  if (options.workers == 0) {
+    throw std::invalid_argument("shard: workers must be >= 1");
+  }
+  if (options.worker_command.empty()) {
+    throw std::invalid_argument("shard: worker_command must be set");
+  }
+  OBS_SPAN("shard/run_sharded_batch");
+  // A worker that dies mid-send must surface as write_frame returning
+  // false, not as SIGPIPE killing the coordinator.
+  std::signal(SIGPIPE, SIG_IGN);
+
+  const std::string tech_canon = tech.canonical_string();
+  const std::string opts_canon = synth::canonical_string(synth_opts);
+  // Must build the same bytes as SynthesisService::request_key, or routing
+  // would stop co-locating identical requests.
+  const std::string key_prefix = tech_canon + "|" + opts_canon + "|";
+
+  ShardReport report;
+  report.outcomes.resize(specs.size());
+  report.workers.resize(options.workers);
+
+  std::vector<WorkerProc> procs;
+  procs.reserve(options.workers);
+  for (std::size_t i = 0; i < options.workers; ++i) {
+    procs.push_back(spawn_worker(options.worker_command));
+    report.workers[i].shard = i;
+    report.workers[i].pid = static_cast<long>(procs[i].pid);
+  }
+
+  const auto send = [&](std::size_t i, FrameType type,
+                        std::string_view payload) {
+    if (!procs[i].write_ok) return;
+    if (!write_frame(procs[i].to_fd, type, payload)) {
+      procs[i].write_ok = false;
+    }
+  };
+
+  for (std::size_t i = 0; i < options.workers; ++i) {
+    WorkerConfig config;
+    config.shard = i;
+    config.tech = tech;
+    config.synth = synth_opts;
+    config.service = options.service;
+    config.tech_hash = util::fnv1a64(tech_canon);
+    config.opts_hash = util::fnv1a64(opts_canon);
+    Writer w;
+    put_config(w, config);
+    send(i, FrameType::kConfig, w.bytes());
+  }
+
+  // Route every request in global submission order; workers see their
+  // subsequence in that same order, which is what makes per-shard cache
+  // and dedup behavior independent of the worker count.
+  std::vector<std::size_t> spec_shard(specs.size(), 0);
+  for (std::size_t s = 0; s < specs.size(); ++s) {
+    const std::size_t i =
+        route(key_prefix + specs[s].canonical_string(), options.workers);
+    spec_shard[s] = i;
+    report.outcomes[s].shard = i;
+    ++report.workers[i].requests;
+    Writer w;
+    w.u64(s);
+    put_spec(w, specs[s]);
+    send(i, FrameType::kRequest, w.bytes());
+  }
+
+  for (std::size_t i = 0; i < options.workers; ++i) {
+    send(i, FrameType::kRun, {});
+    // Nothing more flows downstream; EOF here also bounds a worker that
+    // never got a complete kRun (it reads EOF and exits with an error).
+    close_fd(procs[i].to_fd);
+  }
+
+  // Collect worker by worker.  Workers compute concurrently regardless of
+  // read order — a not-yet-read worker parks on its full stdout pipe at
+  // worst — and there is no circular wait: the coordinator always drains
+  // the worker it is blocked on.
+  std::vector<obs::MetricsSnapshot> worker_snaps(options.workers);
+  std::vector<bool> have_snap(options.workers, false);
+  std::vector<bool> have_result(specs.size(), false);
+  for (std::size_t i = 0; i < options.workers; ++i) {
+    WorkerSummary& ws = report.workers[i];
+    bool done = false;
+    try {
+      Frame frame;
+      while (!done && read_frame(procs[i].from_fd, &frame)) {
+        switch (frame.type) {
+          case FrameType::kResult: {
+            Reader r(frame.payload);
+            const std::uint64_t seq = r.u64();
+            if (seq >= specs.size() || spec_shard[seq] != i ||
+                have_result[seq]) {
+              throw WireError(util::format(
+                  "worker %zu sent an unexpected sequence id %llu", i,
+                  static_cast<unsigned long long>(seq)));
+            }
+            const bool result_ok = r.boolean();
+            ShardOutcome& o = report.outcomes[seq];
+            if (result_ok) {
+              o.result = get_result(r);
+            } else {
+              o.error = r.str();
+              if (o.error.empty()) o.error = "unspecified worker error";
+            }
+            r.expect_end();
+            have_result[seq] = true;
+            break;
+          }
+          case FrameType::kMetrics: {
+            Reader r(frame.payload);
+            worker_snaps[i] = get_metrics_snapshot(r);
+            ws.stats = get_service_stats(r);
+            r.expect_end();
+            have_snap[i] = true;
+            break;
+          }
+          case FrameType::kDone: {
+            Reader r(frame.payload);
+            r.expect_end();
+            done = true;
+            break;
+          }
+          default:
+            throw WireError(
+                util::format("worker %zu sent unexpected frame type %u", i,
+                             static_cast<unsigned>(frame.type)));
+        }
+      }
+      if (done && have_snap[i]) {
+        ws.protocol_ok = true;
+      } else if (ws.error.empty()) {
+        ws.error = util::format(
+            "worker %zu closed its pipe before completing the protocol", i);
+      }
+    } catch (const WireError& e) {
+      ws.error = util::format("worker %zu: %s", i, e.what());
+    }
+    close_fd(procs[i].from_fd);
+  }
+
+  for (std::size_t i = 0; i < options.workers; ++i) {
+    WorkerSummary& ws = report.workers[i];
+    int status = 0;
+    pid_t r;
+    do {
+      r = ::waitpid(procs[i].pid, &status, 0);
+    } while (r < 0 && errno == EINTR);
+    if (r < 0) {
+      if (ws.error.empty()) {
+        ws.error = util::format("worker %zu: waitpid failed", i);
+      }
+      continue;
+    }
+    ws.exit_status = status;
+    if (!(WIFEXITED(status) && WEXITSTATUS(status) == 0) &&
+        ws.error.empty()) {
+      ws.error =
+          util::format("worker %zu %s", i, describe_exit(status).c_str());
+    }
+  }
+
+  // Deterministic per-spec errors for everything a dead worker never
+  // returned: no pids, no exit statuses, so the text is stable run-to-run
+  // (the WorkerSummary carries the forensic detail).
+  for (std::size_t s = 0; s < specs.size(); ++s) {
+    if (have_result[s] || !report.outcomes[s].error.empty()) continue;
+    report.outcomes[s].error = util::format(
+        "shard worker %zu died before returning a result for this spec",
+        spec_shard[s]);
+  }
+
+  std::vector<obs::MetricsSnapshot> parts;
+  for (std::size_t i = 0; i < options.workers; ++i) {
+    if (have_snap[i]) parts.push_back(worker_snaps[i]);
+  }
+  obs::MetricsSnapshot merged = obs::merge_snapshots(parts);
+  // exec.regions counts parallel_for invocations — one batch drain per
+  // worker — so it is the one deterministic counter whose merged total
+  // varies with the worker count.  Reflag it; every other entry in the
+  // deterministic section is worker-count-invariant.
+  for (obs::MetricEntry& e : merged.entries) {
+    if (e.name == "exec.regions") e.deterministic = false;
+  }
+  // Per-shard telemetry lives in the timing section by construction: the
+  // split of one workload across k caches depends on k.
+  for (std::size_t i = 0; i < options.workers; ++i) {
+    const WorkerSummary& ws = report.workers[i];
+    const std::string prefix = util::format("shard.%zu.", i);
+    const auto counter = [&](const char* name, std::uint64_t v) {
+      obs::MetricEntry e;
+      e.name = prefix + name;
+      e.kind = obs::MetricKind::kCounter;
+      e.deterministic = false;
+      e.counter = v;
+      merged.entries.push_back(std::move(e));
+    };
+    counter("requests", ws.stats.requests);
+    counter("hits", ws.stats.hits);
+    counter("misses", ws.stats.misses);
+    counter("dedup_joins", ws.stats.dedup_joins);
+    counter("evictions", ws.stats.evictions);
+    if (have_snap[i]) {
+      if (const obs::MetricEntry* lat =
+              worker_snaps[i].find("service.latency_seconds")) {
+        obs::MetricEntry e = *lat;
+        e.name = prefix + "latency_seconds";
+        e.deterministic = false;
+        merged.entries.push_back(std::move(e));
+      }
+    }
+  }
+  std::sort(merged.entries.begin(), merged.entries.end(),
+            [](const obs::MetricEntry& a, const obs::MetricEntry& b) {
+              return a.name < b.name;
+            });
+  report.merged_metrics = std::move(merged);
+  return report;
+}
+
+}  // namespace oasys::shard

@@ -1,0 +1,103 @@
+// Coordinator half of cross-process sharded serving.
+//
+// run_sharded_batch partitions a batch of specs across N worker processes
+// by canonical request key: the same (technology, options, spec)
+// fingerprint the service layer caches under, finalized through
+// util::mix64 and reduced modulo the worker count.  Identical requests
+// therefore always co-locate — each worker's private LRU cache sees
+// exactly the hits, misses, and dedup joins the key stream implies, with
+// no cross-process locks and no shared state beyond the pipes.
+//
+// Determinism contract: outcomes are merged in global submission order,
+// and each ok() outcome is bit-for-bit what a single SynthesisService
+// (and therefore a direct synthesize_opamp call) returns for that spec —
+// at every worker count.  The conformance suite pins `oasys shard
+// --workers k` stdout byte-identical to `oasys batch` for k in {1,2,4}.
+//
+// Fault model: a worker that dies mid-batch (crash, kill, malformed
+// frame) never hangs the coordinator and never masquerades as success —
+// its unreturned specs get deterministic per-spec errors, its summary
+// records the decoded exit status, and ShardReport::infra_ok() goes
+// false.  Workers are spawned fork+exec (`<worker_command> shard-worker`)
+// rather than bare fork so sanitizer runtimes (TSan) see a clean process.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/spec.h"
+#include "obs/metrics.h"
+#include "service/service.h"
+#include "synth/oasys.h"
+#include "tech/technology.h"
+
+namespace oasys::shard {
+
+struct ShardOptions {
+  // Worker process count (>= 1).  Results are identical at every value;
+  // only wall time and per-shard load change.
+  std::size_t workers = 2;
+  // Executable spawned per worker, invoked as `<worker_command>
+  // shard-worker` with the wire conversation on its stdin/stdout.  The
+  // CLI passes its own binary path.
+  std::string worker_command;
+  // Per-worker service configuration (each worker owns a private cache).
+  service::ServiceOptions service;
+};
+
+// Per-spec outcome, in global submission order.  Mirrors
+// service::BatchOutcome plus the shard that served (or lost) the spec.
+struct ShardOutcome {
+  synth::SynthesisResult result;
+  std::string error;       // empty <=> `result` is valid
+  std::size_t shard = 0;   // worker index the spec was routed to
+  bool ok() const { return error.empty(); }
+};
+
+// What happened to one worker process, end to end.
+struct WorkerSummary {
+  std::size_t shard = 0;
+  long pid = -1;
+  std::size_t requests = 0;       // specs routed to this worker
+  bool protocol_ok = false;       // full conversation through kDone
+  int exit_status = -1;           // raw waitpid() status
+  std::string error;              // empty when clean; first failure wins
+  service::ServiceStats stats;    // worker-reported service counters
+  bool ok() const { return error.empty(); }
+};
+
+struct ShardReport {
+  std::vector<ShardOutcome> outcomes;  // one per spec, submission order
+  std::vector<WorkerSummary> workers;
+  // merge_snapshots over the worker registries, with `exec.regions`
+  // reflagged non-deterministic (it counts one drain per worker, so it is
+  // the one deterministic counter that varies with the worker count) and
+  // per-shard `shard.<i>.*` counters plus a shard-tagged copy of each
+  // worker's service.latency_seconds appended in the timing section.
+  // The deterministic section is worker-count-invariant and matches a
+  // single-process `oasys batch` run of the same specs.
+  obs::MetricsSnapshot merged_metrics;
+
+  // Every worker completed the protocol and exited 0.  Per-spec synthesis
+  // failures (an outcome with ok() false under a healthy worker) are
+  // ordinary results at this level; callers combine both for exit codes.
+  bool infra_ok() const;
+};
+
+// The canonical routing rule, exposed for tests: which worker serves a
+// request key, for a given worker count.  Must stay in lockstep with
+// SynthesisService::request_key so co-location (and thus cache behavior)
+// is exact.
+std::size_t route(const std::string& request_key, std::size_t workers);
+
+// Spawns options.workers processes, routes and runs the batch, merges
+// results and metrics, reaps every child.  Throws std::invalid_argument
+// on workers == 0 or an empty worker_command; worker failures are
+// reported in the ShardReport, never thrown.
+ShardReport run_sharded_batch(const tech::Technology& tech,
+                              const synth::SynthOptions& synth_opts,
+                              const std::vector<core::OpAmpSpec>& specs,
+                              const ShardOptions& options);
+
+}  // namespace oasys::shard

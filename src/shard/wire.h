@@ -1,0 +1,169 @@
+// Wire protocol for cross-process sharded serving.
+//
+// The coordinator and its worker processes exchange length-prefixed binary
+// frames over pipes.  Every frame is
+//
+//   magic   u32   0x4f415359 ("OASY")
+//   type    u32   FrameType
+//   length  u64   payload byte count (sanity-capped, see kMaxPayload)
+//   payload length bytes
+//
+// with all integers little-endian and every double carried as its exact
+// IEEE-754 bit pattern (u64), so a value round-trips bit-for-bit — the
+// determinism contract ("`oasys shard` output is byte-identical to `oasys
+// batch`") starts here.  Malformed input (bad magic, oversized length,
+// truncation mid-frame, a payload shorter than its fields claim) raises
+// WireError; a clean EOF at a frame boundary is reported as absence of a
+// frame, never as an error.  Readers must treat the peer as untrusted: a
+// crashed worker can leave a half-written frame behind, and the coordinator
+// has to reject it, not crash on it.
+//
+// Conversation (coordinator -> worker on the worker's stdin, worker ->
+// coordinator on its stdout):
+//
+//   kConfig    technology + synthesis/service options (+ fingerprint
+//              hashes the worker re-derives and verifies: schema drift
+//              between serializer and struct fails loudly)
+//   kRequest*  (sequence id, OpAmpSpec), in global submission order
+//   kRun       end of requests; worker computes its batch
+//   kResult*   (sequence id, outcome), in the order requests arrived
+//   kMetrics   worker's obs registry snapshot + its service counters
+//   kDone      clean end of stream
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "core/spec.h"
+#include "obs/metrics.h"
+#include "service/service.h"
+#include "synth/oasys.h"
+#include "tech/technology.h"
+
+namespace oasys::shard {
+
+inline constexpr std::uint32_t kWireMagic = 0x4f415359u;  // "OASY"
+inline constexpr std::uint32_t kWireVersion = 1;
+// Upper bound on one frame's payload.  A full SynthesisResult with traces
+// is tens of kilobytes; anything near this cap is corruption, not data.
+inline constexpr std::uint64_t kMaxPayload = 64ull << 20;  // 64 MiB
+
+enum class FrameType : std::uint32_t {
+  kConfig = 1,
+  kRequest = 2,
+  kRun = 3,
+  kResult = 4,
+  kMetrics = 5,
+  kDone = 6,
+};
+
+// Malformed or truncated wire data.  Protocol errors are I/O-shaped and
+// caller-recoverable (mark the worker dead, fail its requests), so they are
+// exceptions, not diagnostics.
+class WireError : public std::runtime_error {
+ public:
+  explicit WireError(const std::string& what) : std::runtime_error(what) {}
+};
+
+// Append-only payload builder.
+class Writer {
+ public:
+  void u8(std::uint8_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void f64(double v);  // exact bit pattern
+  void str(std::string_view v);
+  void boolean(bool v) { u8(v ? 1 : 0); }
+
+  const std::string& bytes() const { return buf_; }
+  std::string take() { return std::move(buf_); }
+
+ private:
+  std::string buf_;
+};
+
+// Bounds-checked payload reader over one frame's bytes; every getter
+// throws WireError instead of reading past the end.
+class Reader {
+ public:
+  explicit Reader(std::string_view bytes) : bytes_(bytes) {}
+
+  std::uint8_t u8();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  double f64();
+  std::string str();
+  bool boolean() { return u8() != 0; }
+
+  bool at_end() const { return pos_ == bytes_.size(); }
+  // Call after parsing a payload: trailing garbage is a malformed frame.
+  void expect_end() const;
+
+ private:
+  void need(std::size_t n) const;
+  std::string_view bytes_;
+  std::size_t pos_ = 0;
+};
+
+// ---- struct serialization ---------------------------------------------------
+// Field-complete by hand; the kConfig fingerprint check (the worker
+// re-derives canonical hashes from the decoded structs and compares them to
+// the coordinator's) catches a struct gaining a field without its
+// serializer keeping up.
+
+// kConfig payload.  The hashes are the coordinator's canonical fingerprints
+// of the tech and options it serialized; the worker re-derives both from
+// the decoded structs and refuses to serve on a mismatch, so a round-trip
+// that loses a field can never silently produce divergent results.
+struct WorkerConfig {
+  std::uint32_t version = kWireVersion;
+  std::uint64_t shard = 0;  // this worker's shard index (logs/diagnostics)
+  tech::Technology tech;
+  synth::SynthOptions synth;
+  service::ServiceOptions service;
+  std::uint64_t tech_hash = 0;  // fnv1a64(tech.canonical_string())
+  std::uint64_t opts_hash = 0;  // fnv1a64(canonical_string(synth))
+};
+
+void put_config(Writer& w, const WorkerConfig& c);
+WorkerConfig get_config(Reader& r);
+
+void put_spec(Writer& w, const core::OpAmpSpec& spec);
+core::OpAmpSpec get_spec(Reader& r);
+
+void put_technology(Writer& w, const tech::Technology& t);
+tech::Technology get_technology(Reader& r);
+
+void put_synth_options(Writer& w, const synth::SynthOptions& o);
+synth::SynthOptions get_synth_options(Reader& r);
+
+void put_service_options(Writer& w, const service::ServiceOptions& o);
+service::ServiceOptions get_service_options(Reader& r);
+
+void put_result(Writer& w, const synth::SynthesisResult& result);
+synth::SynthesisResult get_result(Reader& r);
+
+void put_metrics_snapshot(Writer& w, const obs::MetricsSnapshot& s);
+obs::MetricsSnapshot get_metrics_snapshot(Reader& r);
+
+void put_service_stats(Writer& w, const service::ServiceStats& s);
+service::ServiceStats get_service_stats(Reader& r);
+
+// ---- frame I/O over file descriptors ---------------------------------------
+
+struct Frame {
+  FrameType type = FrameType::kDone;
+  std::string payload;
+};
+
+// Writes one frame; retries short writes and EINTR.  Returns false when the
+// peer is gone (EPIPE/closed fd) — callers treat that as a dead worker, so
+// SIGPIPE must be ignored or blocked in the writing process.
+bool write_frame(int fd, FrameType type, std::string_view payload);
+
+// Reads one frame.  Returns false on clean EOF at a frame boundary; throws
+// WireError on bad magic, an oversized length, or truncation mid-frame.
+bool read_frame(int fd, Frame* out);
+
+}  // namespace oasys::shard

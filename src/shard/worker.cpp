@@ -1,0 +1,151 @@
+#include "shard/worker.h"
+
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/spec.h"
+#include "obs/metrics.h"
+#include "service/service.h"
+#include "shard/wire.h"
+#include "synth/opamp_design.h"
+#include "util/fingerprint.h"
+
+namespace oasys::shard {
+
+namespace {
+
+// Deterministic crash injection for the fault-path tests; see worker.h.
+struct CrashHook {
+  std::string spec_name;
+  bool on_receive = false;
+
+  bool hits(const std::string& name) const {
+    return !spec_name.empty() && name == spec_name;
+  }
+
+  static CrashHook from_env() {
+    CrashHook h;
+    const char* v = std::getenv("OASYS_SHARD_TEST_CRASH");
+    if (v == nullptr || *v == '\0') return h;
+    std::string s(v);
+    const std::string_view suffix = ":recv";
+    if (s.size() > suffix.size() &&
+        std::string_view(s).substr(s.size() - suffix.size()) == suffix) {
+      h.on_receive = true;
+      s.resize(s.size() - suffix.size());
+    }
+    h.spec_name = std::move(s);
+    return h;
+  }
+};
+
+// stderr is inherited from the coordinator, so the operator sees why a
+// worker refused; write(2) directly because the process is about to exit.
+int die(const std::string& msg) {
+  const std::string line = "oasys shard-worker: " + msg + "\n";
+  const ssize_t ignored = ::write(2, line.data(), line.size());
+  (void)ignored;
+  return 3;
+}
+
+}  // namespace
+
+int worker_main(int in_fd, int out_fd) {
+  // write_frame reports a vanished peer by returning false; that only works
+  // if a write to a closed pipe raises EPIPE instead of killing us.
+  std::signal(SIGPIPE, SIG_IGN);
+  const CrashHook crash = CrashHook::from_env();
+
+  try {
+    Frame frame;
+    if (!read_frame(in_fd, &frame)) {
+      return die("coordinator closed the pipe before sending kConfig");
+    }
+    if (frame.type != FrameType::kConfig) {
+      return die("first frame was not kConfig");
+    }
+    Reader config_reader(frame.payload);
+    const WorkerConfig config = get_config(config_reader);
+    config_reader.expect_end();
+
+    // Schema-drift guard: re-derive the canonical fingerprints from what
+    // actually survived the round trip.  A serializer that dropped or
+    // reordered a field produces a different canonical string here, and a
+    // worker computing on drifted inputs must never serve.
+    if (util::fnv1a64(config.tech.canonical_string()) != config.tech_hash ||
+        util::fnv1a64(synth::canonical_string(config.synth)) !=
+            config.opts_hash) {
+      return die(
+          "config fingerprint mismatch: decoded technology/options do not "
+          "hash to the coordinator's canonical fingerprints (wire schema "
+          "drift)");
+    }
+
+    std::vector<std::uint64_t> seqs;
+    std::vector<core::OpAmpSpec> specs;
+    for (;;) {
+      if (!read_frame(in_fd, &frame)) {
+        return die("coordinator closed the pipe before sending kRun");
+      }
+      if (frame.type == FrameType::kRun) {
+        Reader r(frame.payload);
+        r.expect_end();
+        break;
+      }
+      if (frame.type != FrameType::kRequest) {
+        return die("unexpected frame before kRun");
+      }
+      Reader r(frame.payload);
+      const std::uint64_t seq = r.u64();
+      core::OpAmpSpec spec = get_spec(r);
+      r.expect_end();
+      if (crash.on_receive && crash.hits(spec.name)) {
+        std::_Exit(kCrashHookExitCode);
+      }
+      seqs.push_back(seq);
+      specs.push_back(std::move(spec));
+    }
+
+    service::SynthesisService service(config.tech, config.synth,
+                                      config.service);
+    const std::vector<service::BatchOutcome> outcomes =
+        service.run_batch_outcomes(specs);
+
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+      if (!crash.on_receive && crash.hits(specs[i].name)) {
+        std::_Exit(kCrashHookExitCode);
+      }
+      Writer w;
+      w.u64(seqs[i]);
+      w.boolean(outcomes[i].ok());
+      if (outcomes[i].ok()) {
+        put_result(w, outcomes[i].result);
+      } else {
+        w.str(outcomes[i].error);
+      }
+      if (!write_frame(out_fd, FrameType::kResult, w.bytes())) {
+        return die("coordinator pipe closed while sending results");
+      }
+    }
+
+    Writer w;
+    put_metrics_snapshot(w, obs::Registry::global().snapshot());
+    put_service_stats(w, service.stats());
+    if (!write_frame(out_fd, FrameType::kMetrics, w.bytes()) ||
+        !write_frame(out_fd, FrameType::kDone, {})) {
+      return die("coordinator pipe closed while finishing");
+    }
+    return 0;
+  } catch (const WireError& e) {
+    return die(std::string("malformed frame from coordinator: ") + e.what());
+  } catch (const std::exception& e) {
+    return die(std::string("fatal: ") + e.what());
+  }
+}
+
+}  // namespace oasys::shard

@@ -1,0 +1,31 @@
+// Worker half of cross-process sharded serving.
+//
+// One worker process serves one shard of the request key space.  It speaks
+// the wire protocol (shard/wire.h) on a pair of file descriptors: reads
+// kConfig, then kRequest frames until kRun, computes the batch through its
+// own SynthesisService (private LRU cache, no cross-process locks), and
+// replies kResult per request in arrival order, then kMetrics (its obs
+// registry snapshot plus its service counters), then kDone.
+//
+// The kConfig fingerprint hashes are re-derived from the decoded structs
+// and verified before any work runs, so serializer/struct schema drift
+// fails loudly instead of silently diverging from `oasys batch`.
+//
+// Test hook: OASYS_SHARD_TEST_CRASH="<spec-name>" makes the worker
+// _exit(57) immediately before writing that spec's kResult;
+// "<spec-name>:recv" exits on receipt of the request instead.  Both give
+// the fault-path tests a deterministic mid-batch worker death.
+#pragma once
+
+namespace oasys::shard {
+
+// Exit code of the crash-injection test hook.
+inline constexpr int kCrashHookExitCode = 57;
+
+// Runs one worker conversation over the given descriptors (the CLI's
+// `shard-worker` mode passes stdin/stdout).  Returns the process exit
+// code: 0 after a clean kDone, nonzero after a protocol or fatal error
+// (diagnostics go to stderr, which the coordinator leaves inherited).
+int worker_main(int in_fd, int out_fd);
+
+}  // namespace oasys::shard

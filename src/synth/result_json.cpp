@@ -1,0 +1,153 @@
+#include "synth/result_json.h"
+
+#include <sstream>
+
+#include "util/text.h"
+
+namespace oasys::synth {
+
+namespace {
+
+using util::format;
+
+// Shortest round-trip decimal; bit-identical doubles render identical text.
+std::string num(double v) { return format("%.17g", v); }
+
+std::string quote(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out += format("\\u%04x", static_cast<unsigned>(c));
+    } else {
+      out.push_back(c);
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+void append_spec(std::ostringstream* os, const core::OpAmpSpec& s) {
+  *os << "{\"name\": " << quote(s.name)
+      << ", \"gain_min_db\": " << num(s.gain_min_db)
+      << ", \"gbw_min\": " << num(s.gbw_min)
+      << ", \"pm_min_deg\": " << num(s.pm_min_deg)
+      << ", \"slew_min\": " << num(s.slew_min)
+      << ", \"cload\": " << num(s.cload)
+      << ", \"swing_pos\": " << num(s.swing_pos)
+      << ", \"swing_neg\": " << num(s.swing_neg)
+      << ", \"offset_max\": " << num(s.offset_max)
+      << ", \"icmr_lo\": " << num(s.icmr_lo)
+      << ", \"icmr_hi\": " << num(s.icmr_hi)
+      << ", \"power_max\": " << num(s.power_max)
+      << ", \"area_max\": " << num(s.area_max)
+      << ", \"cmrr_min_db\": " << num(s.cmrr_min_db)
+      << ", \"psrr_min_db\": " << num(s.psrr_min_db)
+      << ", \"noise_max\": " << num(s.noise_max) << "}";
+}
+
+void append_performance(std::ostringstream* os,
+                        const core::OpAmpPerformance& p) {
+  *os << "{\"gain_db\": " << num(p.gain_db) << ", \"gbw\": " << num(p.gbw)
+      << ", \"pm_deg\": " << num(p.pm_deg) << ", \"slew\": " << num(p.slew)
+      << ", \"swing_pos\": " << num(p.swing_pos)
+      << ", \"swing_neg\": " << num(p.swing_neg)
+      << ", \"offset\": " << num(p.offset)
+      << ", \"icmr_lo\": " << num(p.icmr_lo)
+      << ", \"icmr_hi\": " << num(p.icmr_hi)
+      << ", \"power\": " << num(p.power) << ", \"area\": " << num(p.area)
+      << ", \"cmrr_db\": " << num(p.cmrr_db)
+      << ", \"psrr_db\": " << num(p.psrr_db)
+      << ", \"noise_in\": " << num(p.noise_in) << "}";
+}
+
+void append_optional(std::ostringstream* os, const std::optional<double>& v) {
+  if (v) {
+    *os << num(*v);
+  } else {
+    *os << "null";
+  }
+}
+
+void append_design(std::ostringstream* os, const OpAmpDesign& d) {
+  *os << "{\"style\": " << quote(to_string(d.style))
+      << ", \"feasible\": " << (d.feasible ? "true" : "false")
+      << ", \"soft_violations\": " << d.soft_violations
+      << ",\n   \"structure\": {\"stage1_cascode\": "
+      << (d.stage1_cascode ? "true" : "false")
+      << ", \"stage2_cascode_load\": "
+      << (d.stage2_cascode_load ? "true" : "false")
+      << ", \"stage2_cascode_gm\": "
+      << (d.stage2_cascode_gm ? "true" : "false")
+      << ", \"tail_cascode\": " << (d.tail_cascode ? "true" : "false")
+      << ", \"has_level_shifter\": "
+      << (d.has_level_shifter ? "true" : "false") << "}"
+      << ",\n   \"bias\": {\"style\": " << quote(blocks::to_string(d.bias_style))
+      << ", \"ideal_reference\": "
+      << (d.ideal_bias_reference ? "true" : "false")
+      << ", \"iref\": " << num(d.iref) << ", \"itail\": " << num(d.itail)
+      << ", \"i2\": " << num(d.i2) << ", \"ils\": " << num(d.ils)
+      << ", \"rref\": " << num(d.rref) << ", \"vb_cascode_n\": ";
+  append_optional(os, d.vb_cascode_n);
+  *os << ", \"vb_cascode_p\": ";
+  append_optional(os, d.vb_cascode_p);
+  *os << "}, \"cc\": " << num(d.cc) << ",\n   \"devices\": [";
+  for (std::size_t i = 0; i < d.devices.size(); ++i) {
+    const blocks::SizedDevice& dev = d.devices[i];
+    if (i > 0) *os << ",\n               ";
+    *os << "{\"role\": " << quote(dev.role)
+        << ", \"type\": " << quote(mos::to_string(dev.type))
+        << ", \"w\": " << num(dev.w) << ", \"l\": " << num(dev.l)
+        << ", \"m\": " << dev.m << ", \"id\": " << num(dev.id)
+        << ", \"vov\": " << num(dev.vov) << "}";
+  }
+  *os << "],\n   \"predicted\": ";
+  append_performance(os, d.predicted);
+  *os << "}";
+}
+
+}  // namespace
+
+std::string result_json(const SynthesisResult& result) {
+  std::ostringstream os;
+  os << "{\"schema\": \"oasys.result.v1\",\n \"spec\": ";
+  append_spec(&os, result.spec);
+  os << ",\n \"selection\": {\"best_index\": ";
+  if (result.selection.best) {
+    os << *result.selection.best << ", \"best_style\": "
+       << quote(to_string(result.candidates[*result.selection.best].style));
+  } else {
+    os << "null, \"best_style\": null";
+  }
+  os << ", \"ranking\": [";
+  for (std::size_t i = 0; i < result.selection.ranking.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << result.selection.ranking[i];
+  }
+  os << "]},\n \"candidates\": [\n  ";
+  for (std::size_t i = 0; i < result.candidates.size(); ++i) {
+    if (i > 0) os << ",\n  ";
+    append_design(&os, result.candidates[i]);
+  }
+  os << "\n ]}";
+  return os.str();
+}
+
+std::string failure_brief(const SynthesisResult& result) {
+  if (result.success()) return "";
+  std::string brief = "no feasible style (";
+  for (std::size_t i = 0; i < result.candidates.size(); ++i) {
+    const OpAmpDesign& c = result.candidates[i];
+    if (i > 0) brief += "; ";
+    brief += to_string(c.style);
+    brief += ": ";
+    const util::Diagnostic* err = c.log.first_error();
+    brief += err != nullptr ? err->code : "infeasible";
+  }
+  brief += ")";
+  return brief;
+}
+
+}  // namespace oasys::synth

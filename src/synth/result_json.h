@@ -1,0 +1,32 @@
+// Canonical JSON rendering of a synthesis result (oasys.result.v1).
+//
+// One deterministic byte string per result: doubles render with %.17g
+// (shortest round-trip precision, locale-free), fields emit in a fixed
+// order, and nothing timing- or host-dependent is included.  Two results
+// are bit-for-bit equal exactly when their renderings are byte-equal, which
+// is what the golden regression suite (tests/golden/), the shard
+// conformance tests, and the bench equivalence self-checks compare.
+//
+// The rendering covers the paper's deliverable — the sized transistor-level
+// schematic: selection, per-style structure, every sized device, passives,
+// bias currents, and predicted performance.  The plan-execution narrative
+// (DiagnosticLog, ExecutionTrace) is deliberately excluded: it is
+// deterministic too, but it is prose, and goldens should pin the numbers a
+// wording tweak does not change.
+#pragma once
+
+#include <string>
+
+#include "synth/oasys.h"
+
+namespace oasys::synth {
+
+// Canonical JSON document for one result (no trailing newline).
+std::string result_json(const SynthesisResult& result);
+
+// One-line machine-stable failure description for summary tables: empty
+// for a successful selection, otherwise "no feasible style (<style>:
+// <first-error-code>; ...)" built from each candidate's diagnostics.
+std::string failure_brief(const SynthesisResult& result);
+
+}  // namespace oasys::synth

@@ -32,6 +32,20 @@ std::uint64_t fnv1a64(std::string_view bytes) {
   return h;
 }
 
+std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x;
+}
+
+std::size_t shard_index(std::uint64_t hash, std::size_t shards) {
+  return static_cast<std::size_t>(mix64(hash) %
+                                  static_cast<std::uint64_t>(shards));
+}
+
 Fingerprint& Fingerprint::field(std::string name, double v) {
   fields_.emplace_back(std::move(name), canon_double(v));
   return *this;

@@ -32,6 +32,18 @@ std::string canon_double(double v);
 // for every fingerprint in the repo.
 std::uint64_t fnv1a64(std::string_view bytes);
 
+// SplitMix64 finalizer: a full-avalanche bijection over 64-bit values.
+// FNV-1a is byte-serial and its low bits alone are weakly mixed; finalizing
+// through this before any modulo keeps small-modulus partitions (the shard
+// router's `hash % workers`) unbiased without changing key identity.
+std::uint64_t mix64(std::uint64_t x);
+
+// Key-space partition used by cross-process sharding: which of `shards`
+// partitions a canonical fingerprint hash belongs to.  Stable by
+// construction — the same hash maps to the same shard for a given shard
+// count on every platform and in every process.  `shards` must be >= 1.
+std::size_t shard_index(std::uint64_t hash, std::size_t shards);
+
 // Builds `name=token;` canonical strings.  Fields are sorted by name when
 // rendered, so the fingerprint does not depend on the order call sites
 // append them.  Callers use distinct names, with dotted prefixes for

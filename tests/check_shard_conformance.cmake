@@ -1,0 +1,65 @@
+# Cross-process conformance check for sharded serving (ctest script).
+#
+# Pins the tentpole contract end to end, through the shipped CLI:
+#   1. `oasys shard --workers k` stdout is BYTE-IDENTICAL to `oasys batch`
+#      for k in 1, 2, 4 (both under --no-stats, which drops the
+#      timing-bearing footer from each).
+#   2. The deterministic section of the shard --metrics-json export is
+#      byte-identical across those worker counts (per-shard counters and
+#      exec.regions live in the timing section, by design).
+#
+# Expects: OASYS_CLI (path to the oasys binary), SPEC_DIR (directory of
+# .spec files), TECH (technology file), WORK_DIR (writable scratch).
+execute_process(
+  COMMAND ${OASYS_CLI} batch ${SPEC_DIR} --tech ${TECH} --no-stats
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE batch_out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "oasys batch failed (exit ${rc})")
+endif()
+
+foreach(workers 1 2 4)
+  execute_process(
+    COMMAND ${OASYS_CLI} shard ${SPEC_DIR} --tech ${TECH} --no-stats
+            --workers ${workers}
+            --metrics-json ${WORK_DIR}/shard_metrics_w${workers}.json
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE shard_out)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "oasys shard --workers ${workers} failed "
+                        "(exit ${rc})")
+  endif()
+  # --metrics-json appends its confirmation line to stdout; the byte
+  # comparison covers everything before it (the full summary output).
+  string(FIND "${shard_out}" "metrics written to" cut)
+  if(cut EQUAL -1)
+    message(FATAL_ERROR "shard run did not confirm its metrics export")
+  endif()
+  string(SUBSTRING "${shard_out}" 0 ${cut} shard_summary)
+  if(NOT shard_summary STREQUAL batch_out)
+    message(FATAL_ERROR
+            "shard --workers ${workers} output differs from batch:\n"
+            "--- batch ---\n${batch_out}\n"
+            "--- shard ---\n${shard_summary}")
+  endif()
+
+  file(READ ${WORK_DIR}/shard_metrics_w${workers}.json doc)
+  string(FIND "${doc}" "\"timing\"" mcut)
+  if(mcut EQUAL -1)
+    message(FATAL_ERROR "shard metrics JSON has no timing section")
+  endif()
+  string(SUBSTRING "${doc}" 0 ${mcut} prefix)
+  set(det_${workers} "${prefix}")
+endforeach()
+
+foreach(workers 2 4)
+  if(NOT det_${workers} STREQUAL det_1)
+    message(FATAL_ERROR
+            "merged deterministic metrics differ between --workers 1 and "
+            "--workers ${workers}:\n--- workers 1 ---\n${det_1}\n"
+            "--- workers ${workers} ---\n${det_${workers}}")
+  endif()
+endforeach()
+
+message(STATUS "shard output byte-identical to batch at --workers 1/2/4; "
+               "merged deterministic metrics invariant")

@@ -1,0 +1,144 @@
+// Stress suite (ctest label: stress): SynthesisService under genuine
+// multi-threaded contention, with a cache small enough to force
+// evictions while requests are in flight.
+//
+// The sanitizer CI jobs run this under ASan/UBSan and TSan, which is the
+// point: the assertions here are mostly "still correct under fire" —
+// every wait() returns the bit-exact result direct synthesis produces,
+// and the counter identities hold — while the sanitizers watch the
+// interleavings themselves.
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "service/service.h"
+#include "synth/oasys.h"
+#include "synth/result_json.h"
+#include "synth/test_cases.h"
+#include "tech/builtin.h"
+
+namespace oasys {
+namespace {
+
+constexpr std::size_t kThreads = 8;
+
+// A workload wider than the cache: the paper corpus plus perturbed
+// variants (distinct canonical keys), so a 4-entry LRU must evict while
+// other threads still hold tickets to the displaced keys.
+std::vector<core::OpAmpSpec> stress_specs() {
+  std::vector<core::OpAmpSpec> specs = synth::paper_test_cases();
+  const std::size_t base = specs.size();
+  for (std::size_t v = 1; v <= 3; ++v) {
+    for (std::size_t i = 0; i < base; ++i) {
+      core::OpAmpSpec s = specs[i];
+      s.name += "-v" + std::to_string(v);
+      s.gbw_min *= 1.0 + 0.01 * static_cast<double>(v);
+      specs.push_back(s);
+    }
+  }
+  return specs;  // 12 distinct keys
+}
+
+synth::SynthOptions serial_opts() {
+  // Each synthesis runs serially; the concurrency under test is the
+  // 8 caller threads hammering the service, not the executor beneath it.
+  synth::SynthOptions o;
+  o.jobs = 1;
+  return o;
+}
+
+TEST(ServiceStress, EightThreadsSmallCacheBitExactResults) {
+  const tech::Technology t = tech::five_micron();
+  const std::vector<core::OpAmpSpec> specs = stress_specs();
+  const synth::SynthOptions opts = serial_opts();
+
+  // Reference renderings, computed serially up front.
+  std::vector<std::string> expected;
+  expected.reserve(specs.size());
+  for (const core::OpAmpSpec& s : specs) {
+    expected.push_back(
+        synth::result_json(synth::synthesize_opamp(t, s, opts)));
+  }
+
+  service::ServiceOptions sopts;
+  sopts.cache_capacity = 4;  // 12 distinct keys -> guaranteed evictions
+  sopts.queue_capacity = 8;  // small bound -> inline drains under load
+  service::SynthesisService svc(t, opts, sopts);
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t tid = 0; tid < kThreads; ++tid) {
+    threads.emplace_back([&, tid] {
+      // Each thread walks the workload from a different phase, so at any
+      // instant different threads want different keys and the small LRU
+      // churns.  3 rounds: cold, partially cached, repeatedly evicted.
+      for (int round = 0; round < 3; ++round) {
+        for (std::size_t k = 0; k < specs.size(); ++k) {
+          const std::size_t i = (tid * 5 + k) % specs.size();
+          const service::Ticket ticket = svc.submit(specs[i]);
+          const synth::SynthesisResult r = svc.wait(ticket);
+          if (synth::result_json(r) != expected[i]) {
+            mismatches.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  EXPECT_EQ(mismatches.load(), 0)
+      << "a cached/deduped/evicted path returned different bytes than "
+         "direct synthesis";
+
+  const service::ServiceStats st = svc.stats();
+  EXPECT_EQ(st.requests, kThreads * 3 * specs.size());
+  EXPECT_EQ(st.requests, st.hits + st.misses + st.dedup_joins);
+  EXPECT_GT(st.evictions, 0u) << "cache never churned; stress is not "
+                                 "exercising the eviction path";
+  EXPECT_LE(st.cache_size, sopts.cache_capacity);
+  EXPECT_EQ(st.latency.count, st.requests);
+}
+
+TEST(ServiceStress, MixedSubmittersAndDrainersKeepCountersConsistent) {
+  const tech::Technology t = tech::five_micron();
+  const std::vector<core::OpAmpSpec> specs = stress_specs();
+  const synth::SynthOptions opts = serial_opts();
+
+  service::ServiceOptions sopts;
+  sopts.cache_capacity = 2;
+  sopts.queue_capacity = 4;
+  service::SynthesisService svc(t, opts, sopts);
+
+  // Half the threads batch-submit then wait; half drain aggressively.
+  // Tickets are redeemed exactly once each, so every submit must resolve.
+  std::vector<std::thread> threads;
+  for (std::size_t tid = 0; tid < kThreads; ++tid) {
+    threads.emplace_back([&, tid] {
+      if (tid % 2 == 0) {
+        std::vector<service::Ticket> tickets;
+        for (std::size_t k = 0; k < specs.size(); ++k) {
+          tickets.push_back(svc.submit(specs[(tid + k) % specs.size()]));
+        }
+        for (const service::Ticket& ticket : tickets) {
+          (void)svc.wait(ticket);
+        }
+      } else {
+        for (int j = 0; j < 50; ++j) svc.drain();
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  const service::ServiceStats st = svc.stats();
+  EXPECT_EQ(st.requests, (kThreads / 2) * specs.size());
+  EXPECT_EQ(st.requests, st.hits + st.misses + st.dedup_joins);
+  EXPECT_EQ(st.queue_depth, 0u);
+  EXPECT_EQ(st.latency.count, st.requests);
+}
+
+}  // namespace
+}  // namespace oasys

@@ -7,13 +7,27 @@
 //   oasys --spec case_b.spec [--tech tech/cmos5.tech] [--verify]
 //         [--export out.sp] [--trace] [--no-rules]
 //   oasys batch DIR-OR-SPEC... [--tech FILE] [--jobs N]
-//         [--cache-size N] [--no-cache] [--no-rules]
+//         [--cache-size N] [--no-cache] [--no-rules] [--no-stats]
+//   oasys shard DIR-OR-SPEC... [--workers N] [batch options]
+//   oasys golden DIR-OR-SPEC... [--tech FILE] [--dir DIR] [--no-rules]
+//
+// `shard` is `batch` across N worker processes: requests partition by
+// canonical fingerprint, each worker runs a private SynthesisService, and
+// the merged output is byte-identical to `batch` (compare with --no-stats,
+// which drops the timing-bearing footer from both).  `shard-worker` is the
+// internal child mode the coordinator spawns; it speaks the wire protocol
+// on stdin/stdout and is not for interactive use.  `golden` writes the
+// canonical result JSON (oasys.result.v1) per spec — the regeneration
+// path for tests/golden/.
 //
 // With no --spec, prints the built-in paper test cases as templates.
 //
 // Exit codes (scriptable): 0 = every requested synthesis selected a
 // design; 1 = synthesis, verification, or input failure (including "no
-// feasible style" and any failed spec in a batch); 2 = usage error.
+// feasible style", any failed spec in a batch, and any shard worker
+// failure); 2 = usage error.
+#include <unistd.h>
+
 #include <algorithm>
 #include <cerrno>
 #include <cstdio>
@@ -31,8 +45,11 @@
 #include "obs/metrics.h"
 #include "obs/span.h"
 #include "service/service.h"
+#include "shard/coordinator.h"
+#include "shard/worker.h"
 #include "synth/oasys.h"
 #include "synth/report.h"
+#include "synth/result_json.h"
 #include "synth/test_cases.h"
 #include "synth/testbench.h"
 #include "tech/builtin.h"
@@ -47,6 +64,8 @@ int usage() {
   std::puts(
       "usage: oasys --spec FILE [options]\n"
       "       oasys batch DIR-OR-SPEC... [options]\n"
+      "       oasys shard DIR-OR-SPEC... [--workers N] [batch options]\n"
+      "       oasys golden DIR-OR-SPEC... [--dir DIR] [options]\n"
       "options:\n"
       "  --spec FILE     performance specification (key-value; see below)\n"
       "  --tech FILE     technology file (default: built-in 5 um CMOS)\n"
@@ -64,6 +83,14 @@ int usage() {
       "  --cache-size N  result-cache capacity in entries (default 256;\n"
       "                  0 disables the cache)\n"
       "  --no-cache      disable the result cache\n"
+      "  --no-stats      omit the timing-bearing service/metrics footer,\n"
+      "                  leaving only deterministic output (batch and\n"
+      "                  shard print identical bytes under this flag)\n"
+      "shard mode (batch across worker processes; same results, same\n"
+      "output):\n"
+      "  --workers N     worker process count (default 2)\n"
+      "golden mode (canonical result JSON per spec, for tests/golden/):\n"
+      "  --dir DIR       write DIR/<tech>_<spec>.json instead of stdout\n"
       "exit codes: 0 success, 1 synthesis/verification/input failure\n"
       "(including no feasible style), 2 usage error\n");
   return 2;
@@ -81,7 +108,7 @@ bool parse_count(const char* v, long min_value, long* out) {
   return true;
 }
 
-bool apply_jobs(const char* v) {
+bool apply_jobs(const char* v, long* out = nullptr) {
   long n = 0;
   if (!parse_count(v, 1, &n)) {
     std::fprintf(stderr, "--jobs requires a positive integer, got '%s'\n",
@@ -89,6 +116,7 @@ bool apply_jobs(const char* v) {
     return false;
   }
   oasys::exec::set_default_jobs(static_cast<std::size_t>(n));
+  if (out != nullptr) *out = n;
   return true;
 }
 
@@ -97,6 +125,22 @@ bool apply_jobs(const char* v) {
 bool write_metrics(const std::string& path) {
   if (path.empty()) return true;
   if (!oasys::obs::write_metrics_json(path)) return false;
+  std::printf("metrics written to %s\n", path.c_str());
+  return true;
+}
+
+// Shard mode writes the coordinator's merged snapshot, not this process's
+// registry (the coordinator itself synthesizes nothing).
+bool write_metrics_snapshot(const std::string& path,
+                            const oasys::obs::MetricsSnapshot& snapshot) {
+  if (path.empty()) return true;
+  std::ofstream out(path);
+  if (out) out << oasys::obs::metrics_json(snapshot) << "\n";
+  if (!out) {
+    std::fprintf(stderr, "cannot write metrics JSON to '%s'\n",
+                 path.c_str());
+    return false;
+  }
   std::printf("metrics written to %s\n", path.c_str());
   return true;
 }
@@ -141,17 +185,322 @@ std::vector<std::string> expand_spec_paths(
   return paths;
 }
 
-// `oasys batch`: every spec file through the synthesis service, then a
-// summary table plus the service's cache/latency statistics.  Returns 1
-// when any spec fails to parse or selects no feasible style.
-int run_batch_mode(int argc, char** argv) {
-  using namespace oasys;
+// Parses the spec files named by `operands`; parse failures go to stderr
+// and set *parse_failed without aborting the rest of the batch.
+bool load_specs(const std::vector<std::string>& operands,
+                std::vector<std::string>* spec_paths,
+                std::vector<oasys::core::OpAmpSpec>* specs,
+                bool* parse_failed) {
+  const std::vector<std::string> paths = expand_spec_paths(operands);
+  if (paths.empty()) {
+    std::fprintf(stderr, "no .spec files found\n");
+    return false;
+  }
+  for (const std::string& path : paths) {
+    const oasys::core::SpecParseResult sr =
+        oasys::core::load_opamp_spec_file(path);
+    if (!sr.ok()) {
+      std::fprintf(stderr, "%s: spec errors:\n%s", path.c_str(),
+                   sr.log.to_string().c_str());
+      *parse_failed = true;
+      continue;
+    }
+    spec_paths->push_back(path);
+    specs->push_back(sr.spec);
+  }
+  return true;
+}
 
+// Renders the per-spec summary table shared by batch and shard mode —
+// identical outcomes must print identical bytes, since the shard
+// conformance tests byte-compare the two.  An outcome is any type with
+// `result`, `error`, and ok() (service::BatchOutcome, shard::ShardOutcome).
+// `failures` counts specs that selected no feasible style; `errors` counts
+// specs whose synthesis (or worker) failed outright.
+template <typename Outcome>
+void print_summary(const std::vector<std::string>& spec_paths,
+                   const std::vector<oasys::core::OpAmpSpec>& specs,
+                   const std::vector<Outcome>& outcomes, int* failures,
+                   int* errors) {
+  using namespace oasys;
+  util::Table table({"spec", "name", "style", "result", "area um^2",
+                     "detail"});
+  table.set_align(4, util::Align::kRight);
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const Outcome& o = outcomes[i];
+    if (!o.ok()) {
+      ++*errors;
+      table.add_row({spec_paths[i], specs[i].name, "-", "ERROR", "-",
+                     o.error});
+      continue;
+    }
+    const synth::SynthesisResult& r = o.result;
+    if (r.success()) {
+      const synth::OpAmpDesign& best = *r.best();
+      table.add_row({spec_paths[i], r.spec.name, best.style_name(),
+                     best.soft_violations > 0 ? "first-cut" : "ok",
+                     util::format("%.0f", util::in_um2(best.predicted.area)),
+                     ""});
+    } else {
+      ++*failures;
+      table.add_row({spec_paths[i], r.spec.name, "-", "FAIL", "-",
+                     synth::failure_brief(r)});
+    }
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+  if (*failures > 0) {
+    std::printf("%d of %zu specs selected no feasible style.\n", *failures,
+                outcomes.size());
+  }
+  if (*errors > 0) {
+    std::printf("%d of %zu specs failed with errors.\n", *errors,
+                outcomes.size());
+  }
+}
+
+// Options shared by batch and shard mode.
+struct BatchArgs {
   std::vector<std::string> operands;
   std::string tech_path;
   std::string metrics_path;
   bool rules = true;
-  service::ServiceOptions sopts;
+  bool show_stats = true;
+  long jobs = 0;     // 0 = default concurrency
+  long workers = 2;  // shard mode only
+  oasys::service::ServiceOptions sopts;
+};
+
+// Returns 0 on success, 2 (after usage()) on a bad command line.
+int parse_batch_args(int argc, char** argv, bool shard_mode,
+                     BatchArgs* out) {
+  using oasys::util::starts_with;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--tech") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      out->tech_path = v;
+    } else if (arg == "--jobs") {
+      const char* v = next();
+      if (v == nullptr || !apply_jobs(v, &out->jobs)) return usage();
+    } else if (arg == "--cache-size") {
+      const char* v = next();
+      long n = 0;
+      if (v == nullptr || !parse_count(v, 0, &n)) {
+        std::fprintf(stderr,
+                     "--cache-size requires a non-negative integer\n");
+        return usage();
+      }
+      out->sopts.cache_capacity = static_cast<std::size_t>(n);
+      if (n == 0) out->sopts.cache_enabled = false;
+    } else if (arg == "--no-cache") {
+      out->sopts.cache_enabled = false;
+    } else if (arg == "--metrics-json") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      out->metrics_path = v;
+    } else if (arg == "--no-rules") {
+      out->rules = false;
+    } else if (arg == "--no-stats") {
+      out->show_stats = false;
+    } else if (shard_mode && arg == "--workers") {
+      const char* v = next();
+      if (v == nullptr || !parse_count(v, 1, &out->workers)) {
+        std::fprintf(stderr, "--workers requires a positive integer\n");
+        return usage();
+      }
+    } else if (starts_with(arg, "--")) {
+      std::fprintf(stderr, "unknown %s option '%s'\n",
+                   shard_mode ? "shard" : "batch", arg.c_str());
+      return usage();
+    } else {
+      out->operands.push_back(arg);
+    }
+  }
+  if (out->operands.empty()) {
+    std::fprintf(stderr, "%s mode needs at least one spec file or "
+                         "directory\n",
+                 shard_mode ? "shard" : "batch");
+    return usage();
+  }
+  return 0;
+}
+
+// `oasys batch`: every spec file through the synthesis service, then a
+// summary table plus (unless --no-stats) the service's cache/latency
+// statistics.  Returns 1 when any spec fails to parse, errors out, or
+// selects no feasible style.
+int run_batch_mode(int argc, char** argv) {
+  using namespace oasys;
+
+  BatchArgs args;
+  if (const int rc = parse_batch_args(argc, argv, /*shard_mode=*/false,
+                                      &args);
+      rc != 0) {
+    return rc;
+  }
+
+  tech::Technology t;
+  if (!load_technology(args.tech_path, &t)) return 1;
+
+  std::vector<std::string> spec_paths;
+  std::vector<core::OpAmpSpec> specs;
+  bool parse_failed = false;
+  if (!load_specs(args.operands, &spec_paths, &specs, &parse_failed)) {
+    return 1;
+  }
+
+  synth::SynthOptions opts;
+  opts.rules_enabled = args.rules;
+  service::SynthesisService svc(t, opts, args.sopts);
+  const std::vector<service::BatchOutcome> outcomes =
+      svc.run_batch_outcomes(specs);
+
+  int failures = 0;
+  int errors = 0;
+  print_summary(spec_paths, specs, outcomes, &failures, &errors);
+
+  if (args.show_stats) {
+    const service::ServiceStats st = svc.stats();
+    const double hit_ratio =
+        st.requests == 0
+            ? 0.0
+            : static_cast<double>(st.hits) /
+                  static_cast<double>(st.requests);
+    std::printf(
+        "\nservice: %llu requests, %llu hits, %llu misses, %llu dedup "
+        "joins, %llu evictions\n"
+        "cache hit ratio %.1f%%, queue high-water %zu, cache entries %zu "
+        "(%s)\n",
+        static_cast<unsigned long long>(st.requests),
+        static_cast<unsigned long long>(st.hits),
+        static_cast<unsigned long long>(st.misses),
+        static_cast<unsigned long long>(st.dedup_joins),
+        static_cast<unsigned long long>(st.evictions), hit_ratio * 100.0,
+        st.queue_high_water, st.cache_size,
+        args.sopts.cache_enabled ? "enabled" : "disabled");
+    std::printf(
+        "latency per request: min %.3f ms, p50 %.3f ms, mean %.3f ms, "
+        "p95 %.3f ms, max %.3f ms\n",
+        st.latency.min_s * 1e3, st.latency.p50_s * 1e3,
+        st.latency.mean_s * 1e3, st.latency.p95_s * 1e3,
+        st.latency.max_s * 1e3);
+
+    // Per-layer metrics summary: what the batch actually did downstream
+    // of the service (plan steps, Newton iterations, executor traffic).
+    std::puts("\nmetrics:");
+    std::fputs(
+        obs::metrics_table(obs::Registry::global().snapshot()).c_str(),
+        stdout);
+  }
+
+  if (!write_metrics(args.metrics_path)) return 1;
+  return (failures > 0 || errors > 0 || parse_failed) ? 1 : 0;
+}
+
+// Path of the running binary, for respawning as `oasys shard-worker`.
+std::string self_executable(const char* argv0) {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n > 0) {
+    buf[n] = '\0';
+    return std::string(buf);
+  }
+  return argv0 != nullptr ? std::string(argv0) : std::string();
+}
+
+// `oasys shard`: the batch workload partitioned across worker processes.
+// The summary table is byte-identical to batch mode; the footer reports
+// per-worker traffic and the merged metrics instead of one service's.
+int run_shard_mode(int argc, char** argv, const char* argv0) {
+  using namespace oasys;
+
+  BatchArgs args;
+  if (const int rc = parse_batch_args(argc, argv, /*shard_mode=*/true,
+                                      &args);
+      rc != 0) {
+    return rc;
+  }
+
+  tech::Technology t;
+  if (!load_technology(args.tech_path, &t)) return 1;
+
+  std::vector<std::string> spec_paths;
+  std::vector<core::OpAmpSpec> specs;
+  bool parse_failed = false;
+  if (!load_specs(args.operands, &spec_paths, &specs, &parse_failed)) {
+    return 1;
+  }
+
+  synth::SynthOptions opts;
+  opts.rules_enabled = args.rules;
+  // Workers are separate processes: the coordinator's thread default does
+  // not reach them, so --jobs travels in the options instead.
+  opts.jobs = static_cast<std::size_t>(args.jobs);
+
+  shard::ShardOptions shopts;
+  shopts.workers = static_cast<std::size_t>(args.workers);
+  shopts.service = args.sopts;
+  shopts.worker_command = self_executable(argv0);
+  if (shopts.worker_command.empty()) {
+    std::fprintf(stderr, "shard: cannot determine own executable path\n");
+    return 1;
+  }
+
+  const shard::ShardReport report =
+      shard::run_sharded_batch(t, opts, specs, shopts);
+
+  int failures = 0;
+  int errors = 0;
+  print_summary(spec_paths, specs, report.outcomes, &failures, &errors);
+
+  if (args.show_stats) {
+    std::printf("\nshard: %zu workers\n", report.workers.size());
+    for (const shard::WorkerSummary& w : report.workers) {
+      const service::ServiceStats& st = w.stats;
+      std::printf(
+          "  worker %zu: %zu requests routed, %llu hits, %llu misses, "
+          "%llu dedup joins, %llu evictions — %s\n",
+          w.shard, w.requests, static_cast<unsigned long long>(st.hits),
+          static_cast<unsigned long long>(st.misses),
+          static_cast<unsigned long long>(st.dedup_joins),
+          static_cast<unsigned long long>(st.evictions),
+          w.ok() ? "ok" : w.error.c_str());
+    }
+    std::puts("\nmetrics (merged across workers):");
+    std::fputs(obs::metrics_table(report.merged_metrics).c_str(), stdout);
+  }
+
+  if (!report.infra_ok()) {
+    for (const shard::WorkerSummary& w : report.workers) {
+      if (!w.ok()) {
+        std::fprintf(stderr, "shard: %s\n", w.error.c_str());
+      }
+    }
+  }
+
+  if (!write_metrics_snapshot(args.metrics_path, report.merged_metrics)) {
+    return 1;
+  }
+  return (failures > 0 || errors > 0 || parse_failed ||
+          !report.infra_ok())
+             ? 1
+             : 0;
+}
+
+// `oasys golden`: canonical result JSON (oasys.result.v1) per spec.  With
+// --dir, writes DIR/<tech>_<spec>.json per spec (the regeneration path
+// for tests/golden/); otherwise the documents stream to stdout.
+int run_golden_mode(int argc, char** argv) {
+  using namespace oasys;
+
+  std::vector<std::string> operands;
+  std::string tech_path;
+  std::string out_dir;
+  bool rules = true;
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -161,121 +510,65 @@ int run_batch_mode(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return usage();
       tech_path = v;
+    } else if (arg == "--dir") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      out_dir = v;
     } else if (arg == "--jobs") {
       const char* v = next();
       if (v == nullptr || !apply_jobs(v)) return usage();
-    } else if (arg == "--cache-size") {
-      const char* v = next();
-      long n = 0;
-      if (v == nullptr || !parse_count(v, 0, &n)) {
-        std::fprintf(stderr,
-                     "--cache-size requires a non-negative integer\n");
-        return usage();
-      }
-      sopts.cache_capacity = static_cast<std::size_t>(n);
-      if (n == 0) sopts.cache_enabled = false;
-    } else if (arg == "--no-cache") {
-      sopts.cache_enabled = false;
-    } else if (arg == "--metrics-json") {
-      const char* v = next();
-      if (v == nullptr) return usage();
-      metrics_path = v;
     } else if (arg == "--no-rules") {
       rules = false;
     } else if (util::starts_with(arg, "--")) {
-      std::fprintf(stderr, "unknown batch option '%s'\n", arg.c_str());
+      std::fprintf(stderr, "unknown golden option '%s'\n", arg.c_str());
       return usage();
     } else {
       operands.push_back(arg);
     }
   }
   if (operands.empty()) {
-    std::fprintf(stderr, "batch mode needs at least one spec file or "
-                         "directory\n");
+    std::fprintf(stderr,
+                 "golden mode needs at least one spec file or directory\n");
     return usage();
   }
 
   tech::Technology t;
   if (!load_technology(tech_path, &t)) return 1;
+  const std::string tech_tag =
+      tech_path.empty()
+          ? "builtin"
+          : std::filesystem::path(tech_path).stem().string();
 
-  const std::vector<std::string> paths = expand_spec_paths(operands);
-  if (paths.empty()) {
-    std::fprintf(stderr, "no .spec files found\n");
-    return 1;
-  }
   std::vector<std::string> spec_paths;
   std::vector<core::OpAmpSpec> specs;
   bool parse_failed = false;
-  for (const std::string& path : paths) {
-    const core::SpecParseResult sr = core::load_opamp_spec_file(path);
-    if (!sr.ok()) {
-      std::fprintf(stderr, "%s: spec errors:\n%s", path.c_str(),
-                   sr.log.to_string().c_str());
-      parse_failed = true;
-      continue;
-    }
-    spec_paths.push_back(path);
-    specs.push_back(sr.spec);
-  }
+  if (!load_specs(operands, &spec_paths, &specs, &parse_failed)) return 1;
 
   synth::SynthOptions opts;
   opts.rules_enabled = rules;
-  service::SynthesisService svc(t, opts, sopts);
-  const std::vector<synth::SynthesisResult> results = svc.run_batch(specs);
-
-  util::Table table({"spec", "name", "style", "result", "area um^2"});
-  table.set_align(4, util::Align::kRight);
-  int failures = 0;
-  for (std::size_t i = 0; i < results.size(); ++i) {
-    const synth::SynthesisResult& r = results[i];
-    if (r.success()) {
-      const synth::OpAmpDesign& best = *r.best();
-      table.add_row({spec_paths[i], r.spec.name, best.style_name(),
-                     best.soft_violations > 0 ? "first-cut" : "ok",
-                     util::format("%.0f", util::in_um2(best.predicted.area))});
-    } else {
-      ++failures;
-      table.add_row({spec_paths[i], r.spec.name, "-", "FAIL", "-"});
+  bool write_failed = false;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const synth::SynthesisResult result =
+        synth::synthesize_opamp(t, specs[i], opts);
+    const std::string json = synth::result_json(result) + "\n";
+    if (out_dir.empty()) {
+      std::fputs(json.c_str(), stdout);
+      continue;
     }
+    const std::string name =
+        tech_tag + "_" +
+        std::filesystem::path(spec_paths[i]).stem().string() + ".json";
+    const std::string path = out_dir + "/" + name;
+    std::ofstream out(path);
+    if (out) out << json;
+    if (!out) {
+      std::fprintf(stderr, "cannot write '%s'\n", path.c_str());
+      write_failed = true;
+      continue;
+    }
+    std::printf("wrote %s\n", path.c_str());
   }
-  std::fputs(table.to_string().c_str(), stdout);
-
-  const service::ServiceStats st = svc.stats();
-  const double hit_ratio =
-      st.requests == 0
-          ? 0.0
-          : static_cast<double>(st.hits) / static_cast<double>(st.requests);
-  std::printf(
-      "\nservice: %llu requests, %llu hits, %llu misses, %llu dedup joins, "
-      "%llu evictions\n"
-      "cache hit ratio %.1f%%, queue high-water %zu, cache entries %zu "
-      "(%s)\n",
-      static_cast<unsigned long long>(st.requests),
-      static_cast<unsigned long long>(st.hits),
-      static_cast<unsigned long long>(st.misses),
-      static_cast<unsigned long long>(st.dedup_joins),
-      static_cast<unsigned long long>(st.evictions), hit_ratio * 100.0,
-      st.queue_high_water, st.cache_size,
-      sopts.cache_enabled ? "enabled" : "disabled");
-  std::printf(
-      "latency per request: min %.3f ms, p50 %.3f ms, mean %.3f ms, "
-      "p95 %.3f ms, max %.3f ms\n",
-      st.latency.min_s * 1e3, st.latency.p50_s * 1e3,
-      st.latency.mean_s * 1e3, st.latency.p95_s * 1e3,
-      st.latency.max_s * 1e3);
-
-  // Per-layer metrics summary: what the batch actually did downstream of
-  // the service (plan steps, Newton iterations, executor traffic).
-  std::puts("\nmetrics:");
-  std::fputs(obs::metrics_table(obs::Registry::global().snapshot()).c_str(),
-             stdout);
-
-  if (failures > 0) {
-    std::printf("%d of %zu specs selected no feasible style.\n", failures,
-                results.size());
-  }
-  if (!write_metrics(metrics_path)) return 1;
-  return (failures > 0 || parse_failed) ? 1 : 0;
+  return (parse_failed || write_failed) ? 1 : 0;
 }
 
 }  // namespace
@@ -285,6 +578,15 @@ int main(int argc, char** argv) {
 
   if (argc > 1 && std::strcmp(argv[1], "batch") == 0) {
     return run_batch_mode(argc - 2, argv + 2);
+  }
+  if (argc > 1 && std::strcmp(argv[1], "shard") == 0) {
+    return run_shard_mode(argc - 2, argv + 2, argv[0]);
+  }
+  if (argc > 1 && std::strcmp(argv[1], "shard-worker") == 0) {
+    return shard::worker_main(STDIN_FILENO, STDOUT_FILENO);
+  }
+  if (argc > 1 && std::strcmp(argv[1], "golden") == 0) {
+    return run_golden_mode(argc - 2, argv + 2);
   }
 
   std::string spec_path;
