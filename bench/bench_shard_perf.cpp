@@ -9,18 +9,30 @@
 //
 // `--json <path>` writes the perf-trajectory record instead: per-worker-
 // count wall times, the coordinator overhead (1-worker shard vs a direct
-// in-process SynthesisService on identical traffic), and the 4-over-1
-// process-scaling ratio.  The embedded equivalence self-check re-renders
-// every shard outcome through synth::result_json and requires it
+// in-process SynthesisService on identical traffic), the 4-over-1
+// process-scaling ratio, and the resident-pool comparison — a serve::
+// Server daemon held on a background thread answering three consecutive
+// client batches, recording the cold (first, pool spin-up + all misses)
+// and warm (later, resident workers + shared tier) request times and the
+// daemon-vs-spawn speedup over a per-batch `oasys shard` fleet.  The
+// embedded equivalence self-check re-renders every shard AND every
+// daemon outcome through synth::result_json and requires it
 // byte-identical to the direct service result at every worker count —
 // the record fails loudly (non-zero exit) on any divergence while the
 // timings stay informational.  See perf_json.h.
 #include <benchmark/benchmark.h>
 
+#include <unistd.h>
+
+#include <chrono>
 #include <cstdio>
+#include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "serve/client.h"
+#include "serve/server.h"
 #include "service/service.h"
 #include "shard/coordinator.h"
 #include "synth/oasys.h"
@@ -89,6 +101,50 @@ shard::ShardOptions shard_opts(std::size_t workers) {
   return o;
 }
 
+// Resident daemon pool for the serve-mode measurements: a Server on a
+// background thread, clients connecting per batch.  The first connect
+// races the daemon's bind, so it retries.
+struct ResidentPool {
+  serve::Server server;
+  std::thread th;
+
+  explicit ResidentPool(std::size_t workers)
+      : server(tech5(), serial_opts(), serve_options(workers)) {
+    th = std::thread([this] { server.run(); });
+  }
+  ~ResidentPool() {
+    server.request_stop();
+    if (th.joinable()) th.join();
+    ::unlink(server.options().socket_path.c_str());
+  }
+
+  static serve::ServeOptions serve_options(std::size_t workers) {
+    static int counter = 0;
+    serve::ServeOptions o;
+    o.socket_path =
+        "/tmp/oasys-bench-serve-" + std::to_string(::getpid()) + "-" +
+        std::to_string(counter++) + ".sock";
+    o.workers = workers;
+    o.worker_command = OASYS_CLI_PATH;
+    return o;
+  }
+
+  serve::ConnectReport batch(const std::vector<core::OpAmpSpec>& specs) {
+    for (int attempt = 0;; ++attempt) {
+      try {
+        return serve::run_connected_batch(server.options().socket_path,
+                                          tech5(), serial_opts(), specs);
+      } catch (const std::runtime_error& e) {
+        if (attempt >= 1000 || std::string(e.what()).find(
+                                   "cannot connect") == std::string::npos) {
+          throw;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
+    }
+  }
+};
+
 void BM_ShardBatch(benchmark::State& state) {
   const std::vector<core::OpAmpSpec> batch = repeated_batch();
   const shard::ShardOptions opts =
@@ -99,6 +155,20 @@ void BM_ShardBatch(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ShardBatch)->Arg(1)->Arg(2)->Arg(4);
+
+// Same traffic against a resident daemon pool: the fleet is spawned once
+// outside the timing loop, so iterations measure the steady-state cost a
+// long-lived `oasys serve` answers requests at (wire round trip + shared
+// cache) rather than per-batch process spawn.
+void BM_ResidentPoolBatch(benchmark::State& state) {
+  const std::vector<core::OpAmpSpec> batch = repeated_batch();
+  ResidentPool pool(static_cast<std::size_t>(state.range(0)));
+  benchmark::DoNotOptimize(pool.batch(batch));  // spin-up + cold caches
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pool.batch(batch));
+  }
+}
+BENCHMARK(BM_ResidentPoolBatch)->Arg(1)->Arg(4);
 
 void BM_DirectServiceBatch(benchmark::State& state) {
   const std::vector<core::OpAmpSpec> batch = repeated_batch();
@@ -149,9 +219,44 @@ int emit_json(const char* path) {
     benchmark::DoNotOptimize(svc.run_batch(batch));
   });
 
+  // Resident-pool mode: one daemon per worker count, three consecutive
+  // client batches.  The first request pays pool spin-up and cold caches;
+  // the later ones are the daemon's steady state (resident workers plus
+  // the coordinator's shared tier).  Every outcome of every request is
+  // held to the same byte-equivalence bar as the spawn-per-batch path.
+  const std::size_t serve_counts[] = {1, 4};
+  double serve_cold[2] = {0.0, 0.0};
+  double serve_warm[2] = {0.0, 0.0};
+  for (std::size_t si = 0; si < 2; ++si) {
+    ResidentPool pool(serve_counts[si]);
+    for (int request = 0; request < 3; ++request) {
+      const auto t0 = std::chrono::steady_clock::now();
+      const serve::ConnectReport report = pool.batch(batch);
+      const double elapsed =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        t0)
+              .count();
+      if (request == 0) {
+        serve_cold[si] = elapsed;
+        serve_warm[si] = 0.0;
+      } else if (serve_warm[si] == 0.0 || elapsed < serve_warm[si]) {
+        serve_warm[si] = elapsed;
+      }
+      equivalent =
+          equivalent && report.outcomes.size() == expected.size();
+      for (std::size_t i = 0; equivalent && i < expected.size(); ++i) {
+        const service::BatchOutcome& o = report.outcomes[i];
+        equivalent = o.ok() && synth::result_json(o.result) == expected[i];
+      }
+    }
+  }
+
   const double overhead =
       direct_seconds > 0.0 ? seconds[0] / direct_seconds : 0.0;
   const double scaling = seconds[2] > 0.0 ? seconds[0] / seconds[2] : 0.0;
+  // Spawn-per-batch w4 vs a warm resident w4 pool on identical traffic.
+  const double daemon_speedup =
+      serve_warm[1] > 0.0 ? seconds[2] / serve_warm[1] : 0.0;
 
   FILE* out = std::fopen(path, "w");
   if (out == nullptr) {
@@ -165,19 +270,26 @@ int emit_json(const char* path) {
       " \"direct_service_seconds\": %.6f,\n"
       " \"shard_w1_seconds\": %.6f, \"shard_w2_seconds\": %.6f, "
       "\"shard_w4_seconds\": %.6f,\n"
+      " \"serve_w1_cold_seconds\": %.6f, \"serve_w1_warm_seconds\": %.6f,\n"
+      " \"serve_w4_cold_seconds\": %.6f, \"serve_w4_warm_seconds\": %.6f,\n"
       " \"coordinator_overhead_w1\": %.2f, \"scaling_w4_over_w1\": %.2f,\n"
+      " \"daemon_speedup_w4\": %.2f,\n"
       " \"equivalent\": %s}\n",
       OASYS_BUILD_TYPE, unique, kRepeat, batch.size(), direct_seconds,
-      seconds[0], seconds[1], seconds[2], overhead, scaling,
+      seconds[0], seconds[1], seconds[2], serve_cold[0], serve_warm[0],
+      serve_cold[1], serve_warm[1], overhead, scaling, daemon_speedup,
       equivalent ? "true" : "false");
   std::fclose(out);
   if (!equivalent) {
     std::fprintf(stderr,
-                 "FAIL: shard outcomes diverged from the direct service\n");
+                 "FAIL: shard or daemon outcomes diverged from the direct "
+                 "service\n");
     return 1;
   }
-  std::printf("wrote %s (w1 %.3fs, w4 %.3fs, scaling %.2fx)\n", path,
-              seconds[0], seconds[2], scaling);
+  std::printf(
+      "wrote %s (w1 %.3fs, w4 %.3fs, scaling %.2fx, daemon warm w4 %.3fs, "
+      "speedup %.2fx)\n",
+      path, seconds[0], seconds[2], scaling, serve_warm[1], daemon_speedup);
   return 0;
 }
 

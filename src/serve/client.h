@@ -1,0 +1,47 @@
+// Client half of daemon-mode serving: runs one batch through a running
+// `oasys serve` daemon over its unix-domain socket.
+//
+// The conversation is the shard wire protocol as a session: kConfig
+// (carrying the client's technology/options fingerprints, which the
+// daemon verifies against its own before serving), kRequest per spec,
+// kRun, then kResult per spec, kMetrics, kDone.  Outcomes come back in
+// submission order and are bit-for-bit what a local `oasys batch` (and
+// therefore a direct synthesize_opamp call) produces for the same specs
+// — daemon serving changes where the work runs, never what it returns.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/spec.h"
+#include "obs/metrics.h"
+#include "service/service.h"
+#include "synth/oasys.h"
+#include "tech/technology.h"
+
+namespace oasys::serve {
+
+struct ConnectReport {
+  // One per spec, submission order; ok() items are byte-identical to the
+  // local batch path.
+  std::vector<service::BatchOutcome> outcomes;
+  // The daemon's merged snapshot: per-cycle worker deltas plus `serve.*`
+  // daemon counters (all flagged non-deterministic — they depend on the
+  // daemon's history, not this batch).
+  obs::MetricsSnapshot metrics;
+  // Cumulative worker service counters summed across the workers that
+  // served this batch.  count/min/mean/max of the latency summary merge;
+  // the percentile fields do not and are left 0.
+  service::ServiceStats stats;
+};
+
+// Connects, runs the batch, disconnects.  Throws std::runtime_error when
+// the daemon is unreachable, refuses the configuration (kError), or
+// breaks the protocol; per-spec failures (including deterministic
+// worker-death errors) are ordinary outcomes, never thrown.
+ConnectReport run_connected_batch(const std::string& socket_path,
+                                  const tech::Technology& tech,
+                                  const synth::SynthOptions& synth_opts,
+                                  const std::vector<core::OpAmpSpec>& specs);
+
+}  // namespace oasys::serve

@@ -8,6 +8,7 @@
 #include <cerrno>
 #include <csignal>
 #include <cstdlib>
+#include <cstring>
 #include <stdexcept>
 #include <utility>
 
@@ -41,7 +42,27 @@ void close_fd(int& fd) {
 // hang.  CLOEXEC closes them at the sibling's exec.
 void set_cloexec(int fd) { ::fcntl(fd, F_SETFD, FD_CLOEXEC); }
 
-WorkerProc spawn_worker(const std::string& command) {
+// dup2 with EINTR retry; < 0 on any other failure (EMFILE and friends).
+int dup2_retry(int oldfd, int newfd) {
+  int rc;
+  do {
+    rc = ::dup2(oldfd, newfd);
+  } while (rc < 0 && errno == EINTR);
+  return rc;
+}
+
+// Child-side exit note: async-signal-safe (write(2) only), since we are
+// between fork and exec in a possibly multi-threaded parent's child.
+void child_die(const char* msg) {
+  const ssize_t ignored = ::write(STDERR_FILENO, msg, std::strlen(msg));
+  (void)ignored;
+  std::_Exit(127);
+}
+
+}  // namespace
+
+SpawnedWorker spawn_worker_process(const std::string& command,
+                                   bool session) {
   int to_child[2] = {-1, -1};
   int from_child[2] = {-1, -1};
   if (::pipe(to_child) != 0) {
@@ -66,24 +87,41 @@ WorkerProc spawn_worker(const std::string& command) {
   if (pid == 0) {
     // Child: wire the conversation onto stdin/stdout and become a worker.
     // stderr stays inherited so worker diagnostics reach the operator.
-    ::dup2(to_child[0], STDIN_FILENO);
-    ::dup2(from_child[1], STDOUT_FILENO);
+    // A failed dup2 (EMFILE, ...) must not exec with mis-wired stdio —
+    // the frame protocol would desync on whatever fd 0/1 happened to be.
+    if (dup2_retry(to_child[0], STDIN_FILENO) < 0 ||
+        dup2_retry(from_child[1], STDOUT_FILENO) < 0) {
+      child_die("oasys shard: dup2 failed wiring worker stdio\n");
+    }
     ::close(to_child[0]);
     ::close(from_child[1]);
-    ::execl(command.c_str(), command.c_str(), "shard-worker",
-            static_cast<char*>(nullptr));
-    const char msg[] = "oasys shard: exec of worker command failed\n";
-    const ssize_t ignored = ::write(STDERR_FILENO, msg, sizeof(msg) - 1);
-    (void)ignored;
-    std::_Exit(127);
+    if (session) {
+      ::execl(command.c_str(), command.c_str(), "shard-worker",
+              "--session", static_cast<char*>(nullptr));
+    } else {
+      ::execl(command.c_str(), command.c_str(), "shard-worker",
+              static_cast<char*>(nullptr));
+    }
+    child_die("oasys shard: exec of worker command failed\n");
   }
 
-  WorkerProc p;
+  SpawnedWorker p;
   p.pid = pid;
   p.to_fd = to_child[1];
   p.from_fd = from_child[0];
   ::close(to_child[0]);
   ::close(from_child[1]);
+  return p;
+}
+
+namespace {
+
+WorkerProc spawn_worker(const std::string& command) {
+  const SpawnedWorker s = spawn_worker_process(command, /*session=*/false);
+  WorkerProc p;
+  p.pid = s.pid;
+  p.to_fd = s.to_fd;
+  p.from_fd = s.from_fd;
   return p;
 }
 
@@ -122,8 +160,10 @@ ShardReport run_sharded_batch(const tech::Technology& tech,
   }
   OBS_SPAN("shard/run_sharded_batch");
   // A worker that dies mid-send must surface as write_frame returning
-  // false, not as SIGPIPE killing the coordinator.
-  std::signal(SIGPIPE, SIG_IGN);
+  // false, not as SIGPIPE killing the coordinator.  Scoped: this is a
+  // library entry point, so the embedding application's handler is
+  // restored on every exit path.
+  const ScopedSigpipeIgnore sigpipe_guard;
 
   const std::string tech_canon = tech.canonical_string();
   const std::string opts_canon = synth::canonical_string(synth_opts);
@@ -199,7 +239,29 @@ ShardReport run_sharded_batch(const tech::Technology& tech,
     bool done = false;
     try {
       Frame frame;
-      while (!done && read_frame(procs[i].from_fd, &frame)) {
+      FrameDecoder decoder;
+      // With a deadline, a worker that stops producing frames (alive but
+      // wedged) is killed and reported; read_frame alone would block the
+      // coordinator forever.
+      const auto next_frame = [&]() -> bool {
+        if (options.worker_timeout_s <= 0.0) {
+          return read_frame(procs[i].from_fd, &frame);
+        }
+        const int rc = read_frame_deadline(procs[i].from_fd, decoder,
+                                           &frame,
+                                           options.worker_timeout_s);
+        if (rc < 0) {
+          ::kill(procs[i].pid, SIGKILL);
+          ws.timed_out = true;
+          // The catch below prefixes "worker %zu: ".
+          throw WireError(util::format(
+              "produced no frame within its %.3g s deadline and was "
+              "killed",
+              options.worker_timeout_s));
+        }
+        return rc == 1;
+      };
+      while (!done && next_frame()) {
         switch (frame.type) {
           case FrameType::kResult: {
             Reader r(frame.payload);
@@ -277,12 +339,18 @@ ShardReport run_sharded_batch(const tech::Technology& tech,
 
   // Deterministic per-spec errors for everything a dead worker never
   // returned: no pids, no exit statuses, so the text is stable run-to-run
-  // (the WorkerSummary carries the forensic detail).
+  // (the WorkerSummary carries the forensic detail).  Wedged-and-killed
+  // workers get their own text so operators can tell a crash from a hang.
   for (std::size_t s = 0; s < specs.size(); ++s) {
     if (have_result[s] || !report.outcomes[s].error.empty()) continue;
-    report.outcomes[s].error = util::format(
-        "shard worker %zu died before returning a result for this spec",
-        spec_shard[s]);
+    report.outcomes[s].error =
+        report.workers[spec_shard[s]].timed_out
+            ? util::format("shard worker %zu timed out before returning a "
+                           "result for this spec",
+                           spec_shard[s])
+            : util::format("shard worker %zu died before returning a "
+                           "result for this spec",
+                           spec_shard[s]);
   }
 
   std::vector<obs::MetricsSnapshot> parts;

@@ -22,6 +22,8 @@
 // rather than bare fork so sanitizer runtimes (TSan) see a clean process.
 #pragma once
 
+#include <sys/types.h>
+
 #include <cstddef>
 #include <string>
 #include <vector>
@@ -44,6 +46,13 @@ struct ShardOptions {
   std::string worker_command;
   // Per-worker service configuration (each worker owns a private cache).
   service::ServiceOptions service;
+  // Per-worker progress deadline [s]; 0 disables it.  When set, a worker
+  // that produces no frame for this long is presumed wedged (alive but
+  // never writing): it is killed, its unreturned specs become
+  // deterministic per-spec errors, and the batch completes instead of
+  // hanging.  The deadline re-arms on every frame received, so a slow but
+  // progressing worker is never killed.
+  double worker_timeout_s = 0.0;
 };
 
 // Per-spec outcome, in global submission order.  Mirrors
@@ -61,6 +70,7 @@ struct WorkerSummary {
   long pid = -1;
   std::size_t requests = 0;       // specs routed to this worker
   bool protocol_ok = false;       // full conversation through kDone
+  bool timed_out = false;         // killed by the worker_timeout_s deadline
   int exit_status = -1;           // raw waitpid() status
   std::string error;              // empty when clean; first failure wins
   service::ServiceStats stats;    // worker-reported service counters
@@ -90,6 +100,20 @@ struct ShardReport {
 // SynthesisService::request_key so co-location (and thus cache behavior)
 // is exact.
 std::size_t route(const std::string& request_key, std::size_t workers);
+
+// One fork+exec'd worker process and the coordinator ends of its pipes
+// (to_fd = its stdin, from_fd = its stdout; both CLOEXEC so siblings
+// spawned later cannot hold a dead worker's pipe open and mask its EOF).
+// `session` spawns `<command> shard-worker --session` (the resident
+// daemon-pool mode, src/serve/) instead of the one-shot batch worker.
+// Throws std::runtime_error when pipe() or fork() fails; an exec or
+// stdio-wiring failure in the child surfaces as exit status 127.
+struct SpawnedWorker {
+  pid_t pid = -1;
+  int to_fd = -1;
+  int from_fd = -1;
+};
+SpawnedWorker spawn_worker_process(const std::string& command, bool session);
 
 // Spawns options.workers processes, routes and runs the batch, merges
 // results and metrics, reaps every child.  Throws std::invalid_argument

@@ -1,9 +1,12 @@
 #include "shard/wire.h"
 
+#include <poll.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <bit>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
 #include "util/text.h"
@@ -660,16 +663,43 @@ int read_exact(int fd, char* data, std::size_t n, const char* what) {
   return 1;
 }
 
+// Validates the 16 header bytes shared by every reader path.
+void parse_frame_header(std::string_view header, FrameType* type,
+                        std::uint64_t* len) {
+  Reader r(header);
+  const std::uint32_t magic = r.u32();
+  if (magic != kWireMagic) {
+    throw WireError(util::format("wire: bad frame magic 0x%08x", magic));
+  }
+  const std::uint32_t t = r.u32();
+  if (t < static_cast<std::uint32_t>(FrameType::kConfig) ||
+      t > static_cast<std::uint32_t>(FrameType::kError)) {
+    throw WireError(util::format("wire: unknown frame type %u", t));
+  }
+  const std::uint64_t n = r.u64();
+  if (n > kMaxPayload) {
+    throw WireError(util::format("wire: frame length %llu exceeds cap",
+                                 static_cast<unsigned long long>(n)));
+  }
+  *type = static_cast<FrameType>(t);
+  *len = n;
+}
+
 }  // namespace
 
 bool write_frame(int fd, FrameType type, std::string_view payload) {
+  const std::string buf = frame_bytes(type, payload);
+  return write_all(fd, buf.data(), buf.size());
+}
+
+std::string frame_bytes(FrameType type, std::string_view payload) {
   Writer header;
   header.u32(kWireMagic);
   header.u32(static_cast<std::uint32_t>(type));
   header.u64(payload.size());
   std::string buf = header.take();
   buf.append(payload.data(), payload.size());
-  return write_all(fd, buf.data(), buf.size());
+  return buf;
 }
 
 bool read_frame(int fd, Frame* out) {
@@ -677,22 +707,10 @@ bool read_frame(int fd, Frame* out) {
   if (read_exact(fd, header, sizeof(header), "frame header") == 0) {
     return false;  // clean EOF at a frame boundary
   }
-  Reader r(std::string_view(header, sizeof(header)));
-  const std::uint32_t magic = r.u32();
-  if (magic != kWireMagic) {
-    throw WireError(util::format("wire: bad frame magic 0x%08x", magic));
-  }
-  const std::uint32_t type = r.u32();
-  if (type < static_cast<std::uint32_t>(FrameType::kConfig) ||
-      type > static_cast<std::uint32_t>(FrameType::kDone)) {
-    throw WireError(util::format("wire: unknown frame type %u", type));
-  }
-  const std::uint64_t len = r.u64();
-  if (len > kMaxPayload) {
-    throw WireError(util::format("wire: frame length %llu exceeds cap",
-                                 static_cast<unsigned long long>(len)));
-  }
-  out->type = static_cast<FrameType>(type);
+  FrameType type;
+  std::uint64_t len = 0;
+  parse_frame_header(std::string_view(header, sizeof(header)), &type, &len);
+  out->type = type;
   out->payload.resize(static_cast<std::size_t>(len));
   if (len > 0 &&
       read_exact(fd, out->payload.data(), out->payload.size(),
@@ -700,6 +718,62 @@ bool read_frame(int fd, Frame* out) {
     throw WireError("wire: stream truncated before frame payload");
   }
   return true;
+}
+
+bool FrameDecoder::next(Frame* out) {
+  constexpr std::size_t kHeader = 16;
+  if (buf_.size() < kHeader) return false;
+  FrameType type;
+  std::uint64_t len = 0;
+  parse_frame_header(std::string_view(buf_.data(), kHeader), &type, &len);
+  if (buf_.size() - kHeader < len) return false;
+  out->type = type;
+  out->payload.assign(buf_, kHeader, static_cast<std::size_t>(len));
+  buf_.erase(0, kHeader + static_cast<std::size_t>(len));
+  return true;
+}
+
+int read_frame_deadline(int fd, FrameDecoder& decoder, Frame* out,
+                        double timeout_s) {
+  using clock = std::chrono::steady_clock;
+  const clock::time_point deadline =
+      clock::now() + std::chrono::duration_cast<clock::duration>(
+                         std::chrono::duration<double>(timeout_s));
+  char buf[65536];
+  for (;;) {
+    if (decoder.next(out)) return 1;
+    const auto remaining = deadline - clock::now();
+    if (remaining <= clock::duration::zero()) return -1;
+    const int remaining_ms = static_cast<int>(std::min<std::int64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(remaining)
+                .count() +
+            1,
+        60'000));
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    const int pr = ::poll(&pfd, 1, remaining_ms);
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      throw WireError(util::format("wire: poll failed: %s",
+                                   std::strerror(errno)));
+    }
+    if (pr == 0) continue;  // re-check the deadline, then give up
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw WireError(util::format("wire: read error: %s",
+                                   std::strerror(errno)));
+    }
+    if (n == 0) {
+      if (decoder.mid_frame()) {
+        throw WireError("wire: stream truncated mid-frame");
+      }
+      return 0;  // clean EOF at a frame boundary
+    }
+    decoder.feed(std::string_view(buf, static_cast<std::size_t>(n)));
+  }
 }
 
 }  // namespace oasys::shard

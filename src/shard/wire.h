@@ -29,8 +29,16 @@
 //   kResult*   (sequence id, outcome), in the order requests arrived
 //   kMetrics   worker's obs registry snapshot + its service counters
 //   kDone      clean end of stream
+//
+// The same frames double as the daemon's session protocol (src/serve/):
+// a resident worker loops kRequest*..kRun -> kResult*..kMetrics..kDone
+// cycles instead of exiting after the first, a client speaks the
+// identical conversation to `oasys serve` over its unix socket, and
+// kError carries a session-level refusal (e.g. a technology fingerprint
+// that does not match the daemon's) back to the client.
 #pragma once
 
+#include <csignal>
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -56,6 +64,9 @@ enum class FrameType : std::uint32_t {
   kResult = 4,
   kMetrics = 5,
   kDone = 6,
+  // Session-level refusal (payload: one string).  Daemon protocol only;
+  // the batch-mode coordinator/worker conversation never sends it.
+  kError = 7,
 };
 
 // Malformed or truncated wire data.  Protocol errors are I/O-shaped and
@@ -162,8 +173,60 @@ struct Frame {
 // SIGPIPE must be ignored or blocked in the writing process.
 bool write_frame(int fd, FrameType type, std::string_view payload);
 
+// One frame as raw stream bytes (header + payload), for callers that
+// buffer writes themselves (the serve event loop's non-blocking queues).
+std::string frame_bytes(FrameType type, std::string_view payload);
+
 // Reads one frame.  Returns false on clean EOF at a frame boundary; throws
 // WireError on bad magic, an oversized length, or truncation mid-frame.
 bool read_frame(int fd, Frame* out);
+
+// Incremental frame parser for event-loop readers: feed() whatever bytes
+// poll() made available, then drain complete frames with next().  Header
+// validation (magic, type, length cap) happens as soon as the 16 header
+// bytes are buffered, so garbage fails before its claimed payload is ever
+// awaited.  Throws WireError exactly where read_frame would.
+class FrameDecoder {
+ public:
+  void feed(std::string_view bytes) { buf_.append(bytes); }
+  // Extracts the next complete frame; false when more bytes are needed.
+  bool next(Frame* out);
+  // True when buffered bytes end mid-frame — EOF here is a truncation,
+  // not a clean close.
+  bool mid_frame() const { return !buf_.empty(); }
+
+ private:
+  std::string buf_;
+};
+
+// read_frame with a progress deadline, for reading from a worker that may
+// be alive but wedged.  Waits up to `timeout_s` for the *next* frame (the
+// deadline re-arms per call, so a peer that keeps producing frames is
+// never killed mid-stream).  Returns 1 with a frame, 0 on clean EOF at a
+// frame boundary, -1 on deadline expiry; throws WireError on malformed or
+// truncated input.  The decoder carries partial bytes across calls and
+// must be reused for every read from the same fd.
+int read_frame_deadline(int fd, FrameDecoder& decoder, Frame* out,
+                        double timeout_s);
+
+// Scoped SIGPIPE suppression for frame writers.  write_frame reports a
+// vanished peer by returning false, which requires EPIPE instead of a
+// fatal signal — but signal dispositions are process-global, and a
+// library entry point must not clobber the embedding application's
+// handler.  This saves the previous disposition and restores it on scope
+// exit (run_sharded_batch and the serve client/server all write frames
+// under one of these).
+class ScopedSigpipeIgnore {
+ public:
+  ScopedSigpipeIgnore() : prev_(std::signal(SIGPIPE, SIG_IGN)) {}
+  ~ScopedSigpipeIgnore() {
+    if (prev_ != SIG_ERR) std::signal(SIGPIPE, prev_);
+  }
+  ScopedSigpipeIgnore(const ScopedSigpipeIgnore&) = delete;
+  ScopedSigpipeIgnore& operator=(const ScopedSigpipeIgnore&) = delete;
+
+ private:
+  void (*prev_)(int);
+};
 
 }  // namespace oasys::shard

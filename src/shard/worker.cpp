@@ -23,9 +23,20 @@ namespace {
 struct CrashHook {
   std::string spec_name;
   bool on_receive = false;
+  bool wedge = false;
 
   bool hits(const std::string& name) const {
     return !spec_name.empty() && name == spec_name;
+  }
+
+  // Fires the pre-result hook: exits, or wedges (alive, never writing
+  // again) so the coordinator's worker-timeout deadline has something
+  // real to kill.
+  [[noreturn]] void fire() const {
+    if (wedge) {
+      for (;;) ::pause();
+    }
+    std::_Exit(kCrashHookExitCode);
   }
 
   static CrashHook from_env() {
@@ -33,12 +44,16 @@ struct CrashHook {
     const char* v = std::getenv("OASYS_SHARD_TEST_CRASH");
     if (v == nullptr || *v == '\0') return h;
     std::string s(v);
-    const std::string_view suffix = ":recv";
-    if (s.size() > suffix.size() &&
-        std::string_view(s).substr(s.size() - suffix.size()) == suffix) {
-      h.on_receive = true;
-      s.resize(s.size() - suffix.size());
-    }
+    const auto strip = [&s](std::string_view suffix) {
+      if (s.size() > suffix.size() &&
+          std::string_view(s).substr(s.size() - suffix.size()) == suffix) {
+        s.resize(s.size() - suffix.size());
+        return true;
+      }
+      return false;
+    };
+    h.on_receive = strip(":recv");
+    if (!h.on_receive) h.wedge = strip(":wedge");
     h.spec_name = std::move(s);
     return h;
   }
@@ -104,9 +119,7 @@ int worker_main(int in_fd, int out_fd) {
       const std::uint64_t seq = r.u64();
       core::OpAmpSpec spec = get_spec(r);
       r.expect_end();
-      if (crash.on_receive && crash.hits(spec.name)) {
-        std::_Exit(kCrashHookExitCode);
-      }
+      if (crash.on_receive && crash.hits(spec.name)) crash.fire();
       seqs.push_back(seq);
       specs.push_back(std::move(spec));
     }
@@ -117,9 +130,7 @@ int worker_main(int in_fd, int out_fd) {
         service.run_batch_outcomes(specs);
 
     for (std::size_t i = 0; i < outcomes.size(); ++i) {
-      if (!crash.on_receive && crash.hits(specs[i].name)) {
-        std::_Exit(kCrashHookExitCode);
-      }
+      if (!crash.on_receive && crash.hits(specs[i].name)) crash.fire();
       Writer w;
       w.u64(seqs[i]);
       w.boolean(outcomes[i].ok());
@@ -143,6 +154,99 @@ int worker_main(int in_fd, int out_fd) {
     return 0;
   } catch (const WireError& e) {
     return die(std::string("malformed frame from coordinator: ") + e.what());
+  } catch (const std::exception& e) {
+    return die(std::string("fatal: ") + e.what());
+  }
+}
+
+int worker_session_main(int in_fd, int out_fd) {
+  std::signal(SIGPIPE, SIG_IGN);
+  const CrashHook crash = CrashHook::from_env();
+
+  try {
+    Frame frame;
+    if (!read_frame(in_fd, &frame)) {
+      return die("peer closed the pipe before sending kConfig");
+    }
+    if (frame.type != FrameType::kConfig) {
+      return die("first frame was not kConfig");
+    }
+    Reader config_reader(frame.payload);
+    const WorkerConfig config = get_config(config_reader);
+    config_reader.expect_end();
+    if (util::fnv1a64(config.tech.canonical_string()) != config.tech_hash ||
+        util::fnv1a64(synth::canonical_string(config.synth)) !=
+            config.opts_hash) {
+      return die(
+          "config fingerprint mismatch: decoded technology/options do not "
+          "hash to the coordinator's canonical fingerprints (wire schema "
+          "drift)");
+    }
+
+    // One resident service for the whole session: its private LRU cache is
+    // the warm tier that makes the daemon pay off across requests.
+    service::SynthesisService service(config.tech, config.synth,
+                                      config.service);
+
+    for (;;) {
+      std::vector<std::uint64_t> seqs;
+      std::vector<core::OpAmpSpec> specs;
+      bool cycle_started = false;
+      for (;;) {
+        if (!read_frame(in_fd, &frame)) {
+          if (!cycle_started) return 0;  // clean drain at a cycle boundary
+          return die("peer closed the pipe mid-cycle before kRun");
+        }
+        cycle_started = true;
+        if (frame.type == FrameType::kRun) {
+          Reader r(frame.payload);
+          r.expect_end();
+          break;
+        }
+        if (frame.type != FrameType::kRequest) {
+          return die("unexpected frame before kRun");
+        }
+        Reader r(frame.payload);
+        const std::uint64_t seq = r.u64();
+        core::OpAmpSpec spec = get_spec(r);
+        r.expect_end();
+        if (crash.on_receive && crash.hits(spec.name)) crash.fire();
+        seqs.push_back(seq);
+        specs.push_back(std::move(spec));
+      }
+
+      // Each kMetrics frame carries this cycle's deltas only, so the
+      // coordinator can accumulate across cycles without double counting;
+      // ServiceStats stay cumulative (the resident cache's whole history).
+      obs::Registry::global().reset();
+      const std::vector<service::BatchOutcome> outcomes =
+          service.run_batch_outcomes(specs);
+
+      for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        if (!crash.on_receive && crash.hits(specs[i].name)) crash.fire();
+        Writer w;
+        w.u64(seqs[i]);
+        w.boolean(outcomes[i].ok());
+        if (outcomes[i].ok()) {
+          put_result(w, outcomes[i].result);
+        } else {
+          w.str(outcomes[i].error);
+        }
+        if (!write_frame(out_fd, FrameType::kResult, w.bytes())) {
+          return die("peer pipe closed while sending results");
+        }
+      }
+
+      Writer w;
+      put_metrics_snapshot(w, obs::Registry::global().snapshot());
+      put_service_stats(w, service.stats());
+      if (!write_frame(out_fd, FrameType::kMetrics, w.bytes()) ||
+          !write_frame(out_fd, FrameType::kDone, {})) {
+        return die("peer pipe closed while finishing a cycle");
+      }
+    }
+  } catch (const WireError& e) {
+    return die(std::string("malformed frame from peer: ") + e.what());
   } catch (const std::exception& e) {
     return die(std::string("fatal: ") + e.what());
   }

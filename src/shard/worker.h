@@ -13,8 +13,12 @@
 //
 // Test hook: OASYS_SHARD_TEST_CRASH="<spec-name>" makes the worker
 // _exit(57) immediately before writing that spec's kResult;
-// "<spec-name>:recv" exits on receipt of the request instead.  Both give
-// the fault-path tests a deterministic mid-batch worker death.
+// "<spec-name>:recv" exits on receipt of the request instead, and
+// "<spec-name>:wedge" hangs forever (alive but never writing) at the
+// pre-result site.  The first two give the fault-path tests a
+// deterministic mid-batch worker death; the last one exercises the
+// worker-timeout deadline, which must kill the wedged process rather
+// than let the coordinator hang.
 #pragma once
 
 namespace oasys::shard {
@@ -27,5 +31,14 @@ inline constexpr int kCrashHookExitCode = 57;
 // code: 0 after a clean kDone, nonzero after a protocol or fatal error
 // (diagnostics go to stderr, which the coordinator leaves inherited).
 int worker_main(int in_fd, int out_fd);
+
+// Session (daemon-pool) variant: reads kConfig once, then serves repeated
+// [kRequest* kRun -> kResult* kMetrics kDone] cycles with one resident
+// SynthesisService, so its private LRU cache stays warm across requests.
+// The obs registry is reset at the start of every cycle (each kMetrics
+// frame carries per-cycle deltas the coordinator can accumulate);
+// ServiceStats are cumulative for the session.  EOF at a cycle boundary
+// is a clean drain (returns 0); EOF mid-cycle is an error.
+int worker_session_main(int in_fd, int out_fd);
 
 }  // namespace oasys::shard

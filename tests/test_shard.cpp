@@ -17,6 +17,7 @@
 
 #include <bit>
 #include <cmath>
+#include <csignal>
 #include <cstdlib>
 #include <set>
 #include <string>
@@ -571,6 +572,60 @@ TEST(ShardFaults, WorkerKilledOnReceiveFailsItsWholeShard) {
   }
 }
 
+void noop_sigpipe_handler(int) {}
+
+TEST(ShardFaults, CallerSigpipeHandlerSurvivesTheBatch) {
+  // run_sharded_batch ignores SIGPIPE for the duration of the run so a
+  // dying worker surfaces as EPIPE, but an embedding application's own
+  // handler must be back in place when it returns.
+  using Handler = void (*)(int);
+  const Handler prev = std::signal(SIGPIPE, &noop_sigpipe_handler);
+  ASSERT_NE(prev, SIG_ERR);
+  const tech::Technology t = tech::five_micron();
+  const std::vector<core::OpAmpSpec> specs = {synth::paper_test_cases()[0]};
+  const shard::ShardReport report =
+      shard::run_sharded_batch(t, {}, specs, cli_shard_options(1));
+  EXPECT_TRUE(report.infra_ok());
+  const Handler after = std::signal(SIGPIPE, prev);
+  EXPECT_EQ(after, &noop_sigpipe_handler);
+}
+
+TEST(ShardFaults, WedgedWorkerIsKilledAtTheDeadline) {
+  // A worker that is alive but silent (the `:wedge` hook parks it in a
+  // pause() loop before its first result) must not block collection
+  // forever: with --worker-timeout armed the coordinator kills it at the
+  // deadline and answers its specs with a deterministic timeout error.
+  const ScopedEnv crash("OASYS_SHARD_TEST_CRASH", "A:wedge");
+  const tech::Technology t = tech::five_micron();
+  const std::vector<core::OpAmpSpec> specs = synth::paper_test_cases();
+  shard::ShardOptions o = cli_shard_options(2);
+  o.worker_timeout_s = 1.0;
+  const shard::ShardReport report =
+      shard::run_sharded_batch(t, {}, specs, o);
+
+  EXPECT_FALSE(report.infra_ok());
+  std::size_t victim_shard = 2;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    if (specs[i].name == "A") victim_shard = report.outcomes[i].shard;
+  }
+  ASSERT_LT(victim_shard, 2u);
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const shard::ShardOutcome& out = report.outcomes[i];
+    if (out.shard == victim_shard) {
+      EXPECT_FALSE(out.ok()) << specs[i].name;
+      EXPECT_NE(out.error.find("timed out"), std::string::npos)
+          << out.error;
+    } else {
+      EXPECT_TRUE(out.ok()) << out.error;
+    }
+  }
+  const shard::WorkerSummary& victim = report.workers[victim_shard];
+  EXPECT_FALSE(victim.ok());
+  EXPECT_TRUE(victim.timed_out);
+  // The deadline kill is SIGKILL, so the wait status records a signal.
+  EXPECT_TRUE(WIFSIGNALED(victim.exit_status));
+}
+
 TEST(ShardFaults, GarbageSpeakingWorkerIsRejectedNotCrashedOn) {
   // /bin/echo prints its argument and exits: the coordinator reads bytes
   // that are not a frame, and must fail that worker cleanly.
@@ -631,7 +686,7 @@ int run_worker_on_bytes(const std::string& bytes) {
   return rc;
 }
 
-std::string frame_bytes(shard::FrameType type, const std::string& payload) {
+std::string piped_frame_bytes(shard::FrameType type, const std::string& payload) {
   Pipe p;
   EXPECT_TRUE(shard::write_frame(p.write_fd(), type, payload));
   p.close_write();
@@ -650,7 +705,7 @@ TEST(ShardWorker, RejectsGarbageInsteadOfCrashing) {
 
 TEST(ShardWorker, RejectsTruncatedConfig) {
   std::string bytes =
-      frame_bytes(shard::FrameType::kConfig, std::string(40, '\0'));
+      piped_frame_bytes(shard::FrameType::kConfig, std::string(40, '\0'));
   EXPECT_NE(run_worker_on_bytes(bytes), 0);
   // Truncation mid-frame, too.
   bytes.resize(bytes.size() / 2);
@@ -658,7 +713,7 @@ TEST(ShardWorker, RejectsTruncatedConfig) {
 }
 
 TEST(ShardWorker, RejectsWrongFirstFrame) {
-  EXPECT_NE(run_worker_on_bytes(frame_bytes(shard::FrameType::kRun, "")),
+  EXPECT_NE(run_worker_on_bytes(piped_frame_bytes(shard::FrameType::kRun, "")),
             0);
 }
 
@@ -670,7 +725,7 @@ TEST(ShardWorker, RefusesOnFingerprintMismatch) {
   shard::Writer w;
   shard::put_config(w, c);
   EXPECT_NE(run_worker_on_bytes(
-                frame_bytes(shard::FrameType::kConfig, w.bytes())),
+                piped_frame_bytes(shard::FrameType::kConfig, w.bytes())),
             0);
 }
 
@@ -682,7 +737,7 @@ TEST(ShardWorker, EofBeforeRunIsAnError) {
   shard::Writer w;
   shard::put_config(w, c);
   EXPECT_NE(run_worker_on_bytes(
-                frame_bytes(shard::FrameType::kConfig, w.bytes())),
+                piped_frame_bytes(shard::FrameType::kConfig, w.bytes())),
             0);
 }
 

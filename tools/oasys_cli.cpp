@@ -8,17 +8,23 @@
 //         [--export out.sp] [--trace] [--no-rules]
 //   oasys batch DIR-OR-SPEC... [--tech FILE] [--jobs N]
 //         [--cache-size N] [--no-cache] [--no-rules] [--no-stats]
-//   oasys shard DIR-OR-SPEC... [--workers N] [batch options]
+//         [--connect SOCKET]
+//   oasys shard DIR-OR-SPEC... [--workers N] [--worker-timeout S]
+//         [batch options]
+//   oasys serve --socket PATH [--workers N] [serve options]
 //   oasys golden DIR-OR-SPEC... [--tech FILE] [--dir DIR] [--no-rules]
 //
 // `shard` is `batch` across N worker processes: requests partition by
 // canonical fingerprint, each worker runs a private SynthesisService, and
 // the merged output is byte-identical to `batch` (compare with --no-stats,
-// which drops the timing-bearing footer from both).  `shard-worker` is the
-// internal child mode the coordinator spawns; it speaks the wire protocol
-// on stdin/stdout and is not for interactive use.  `golden` writes the
-// canonical result JSON (oasys.result.v1) per spec — the regeneration
-// path for tests/golden/.
+// which drops the timing-bearing footer from both).  `serve` keeps that
+// worker fleet resident behind a unix-domain socket; `batch --connect`
+// routes the batch through the daemon with the same byte-identical
+// output.  `shard-worker` is the internal child mode the coordinator
+// spawns (`--session` is the daemon-pool variant); it speaks the wire
+// protocol on stdin/stdout and is not for interactive use.  `golden`
+// writes the canonical result JSON (oasys.result.v1) per spec — the
+// regeneration path for tests/golden/.
 //
 // With no --spec, prints the built-in paper test cases as templates.
 //
@@ -30,6 +36,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -44,6 +51,8 @@
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
+#include "serve/client.h"
+#include "serve/server.h"
 #include "service/service.h"
 #include "shard/coordinator.h"
 #include "shard/worker.h"
@@ -65,6 +74,7 @@ int usage() {
       "usage: oasys --spec FILE [options]\n"
       "       oasys batch DIR-OR-SPEC... [options]\n"
       "       oasys shard DIR-OR-SPEC... [--workers N] [batch options]\n"
+      "       oasys serve --socket PATH [--workers N] [serve options]\n"
       "       oasys golden DIR-OR-SPEC... [--dir DIR] [options]\n"
       "options:\n"
       "  --spec FILE     performance specification (key-value; see below)\n"
@@ -86,9 +96,24 @@ int usage() {
       "  --no-stats      omit the timing-bearing service/metrics footer,\n"
       "                  leaving only deterministic output (batch and\n"
       "                  shard print identical bytes under this flag)\n"
+      "  --connect SOCK  route the batch through a running `oasys serve`\n"
+      "                  daemon at the unix socket SOCK (output stays\n"
+      "                  byte-identical to a local batch)\n"
       "shard mode (batch across worker processes; same results, same\n"
       "output):\n"
       "  --workers N     worker process count (default 2)\n"
+      "  --worker-timeout S  per-worker progress deadline in seconds; a\n"
+      "                  worker silent for S seconds is killed and its\n"
+      "                  specs get deterministic errors (default: off)\n"
+      "serve mode (resident daemon; clients attach via batch --connect):\n"
+      "  --socket PATH   unix-domain socket to listen on (required)\n"
+      "  --workers N     resident worker process count (default 2)\n"
+      "  --worker-timeout S  per-worker progress deadline (default 30)\n"
+      "  --shared-cache-size N  coordinator-owned shared result-cache\n"
+      "                  entries consulted before routing (default 256;\n"
+      "                  0 disables the shared tier)\n"
+      "  SIGTERM/SIGINT drain gracefully: in-flight batches finish,\n"
+      "  workers exit at cycle boundaries, then the daemon exits 0\n"
       "golden mode (canonical result JSON per spec, for tests/golden/):\n"
       "  --dir DIR       write DIR/<tech>_<spec>.json instead of stdout\n"
       "exit codes: 0 success, 1 synthesis/verification/input failure\n"
@@ -105,6 +130,20 @@ bool parse_count(const char* v, long min_value, long* out) {
     return false;
   }
   *out = n;
+  return true;
+}
+
+// Parses a non-negative seconds value (fractions allowed; 0 disables the
+// deadline it configures).
+bool parse_seconds(const char* v, double* out) {
+  char* end = nullptr;
+  errno = 0;
+  const double s = std::strtod(v, &end);
+  if (errno == ERANGE || end == v || *end != '\0' || s < 0.0 ||
+      !(s == s)) {
+    return false;
+  }
+  *out = s;
   return true;
 }
 
@@ -263,10 +302,12 @@ struct BatchArgs {
   std::vector<std::string> operands;
   std::string tech_path;
   std::string metrics_path;
+  std::string connect_path;  // batch mode only: route through a daemon
   bool rules = true;
   bool show_stats = true;
-  long jobs = 0;     // 0 = default concurrency
-  long workers = 2;  // shard mode only
+  long jobs = 0;               // 0 = default concurrency
+  long workers = 2;            // shard mode only
+  double worker_timeout = 0.0;  // shard mode only; 0 = no deadline
   oasys::service::ServiceOptions sopts;
 };
 
@@ -312,6 +353,18 @@ int parse_batch_args(int argc, char** argv, bool shard_mode,
         std::fprintf(stderr, "--workers requires a positive integer\n");
         return usage();
       }
+    } else if (shard_mode && arg == "--worker-timeout") {
+      const char* v = next();
+      if (v == nullptr || !parse_seconds(v, &out->worker_timeout)) {
+        std::fprintf(stderr,
+                     "--worker-timeout requires a non-negative number of "
+                     "seconds\n");
+        return usage();
+      }
+    } else if (!shard_mode && arg == "--connect") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      out->connect_path = v;
     } else if (starts_with(arg, "--")) {
       std::fprintf(stderr, "unknown %s option '%s'\n",
                    shard_mode ? "shard" : "batch", arg.c_str());
@@ -355,6 +408,42 @@ int run_batch_mode(int argc, char** argv) {
 
   synth::SynthOptions opts;
   opts.rules_enabled = args.rules;
+
+  // --connect: same specs, same outcomes, same summary bytes — the work
+  // just runs in the daemon's resident worker pool instead of here.
+  if (!args.connect_path.empty()) {
+    serve::ConnectReport report;
+    try {
+      report = serve::run_connected_batch(args.connect_path, t, opts,
+                                          specs);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 1;
+    }
+    int failures = 0;
+    int errors = 0;
+    print_summary(spec_paths, specs, report.outcomes, &failures, &errors);
+    if (args.show_stats) {
+      const service::ServiceStats& st = report.stats;
+      std::printf(
+          "\nserve: daemon at %s\n"
+          "workers (cumulative): %llu requests, %llu hits, %llu misses, "
+          "%llu dedup joins, %llu evictions\n",
+          args.connect_path.c_str(),
+          static_cast<unsigned long long>(st.requests),
+          static_cast<unsigned long long>(st.hits),
+          static_cast<unsigned long long>(st.misses),
+          static_cast<unsigned long long>(st.dedup_joins),
+          static_cast<unsigned long long>(st.evictions));
+      std::puts("\nmetrics (daemon merged):");
+      std::fputs(obs::metrics_table(report.metrics).c_str(), stdout);
+    }
+    if (!write_metrics_snapshot(args.metrics_path, report.metrics)) {
+      return 1;
+    }
+    return (failures > 0 || errors > 0 || parse_failed) ? 1 : 0;
+  }
+
   service::SynthesisService svc(t, opts, args.sopts);
   const std::vector<service::BatchOutcome> outcomes =
       svc.run_batch_outcomes(specs);
@@ -444,6 +533,7 @@ int run_shard_mode(int argc, char** argv, const char* argv0) {
   shard::ShardOptions shopts;
   shopts.workers = static_cast<std::size_t>(args.workers);
   shopts.service = args.sopts;
+  shopts.worker_timeout_s = args.worker_timeout;
   shopts.worker_command = self_executable(argv0);
   if (shopts.worker_command.empty()) {
     std::fprintf(stderr, "shard: cannot determine own executable path\n");
@@ -489,6 +579,128 @@ int run_shard_mode(int argc, char** argv, const char* argv0) {
           !report.infra_ok())
              ? 1
              : 0;
+}
+
+// SIGTERM/SIGINT must trigger a graceful drain; request_stop is
+// async-signal-safe (one write to the server's self-pipe).
+oasys::serve::Server* g_serve_server = nullptr;
+
+void serve_signal_handler(int) {
+  if (g_serve_server != nullptr) g_serve_server->request_stop();
+}
+
+// `oasys serve`: resident daemon behind a unix-domain socket.  Clients
+// attach with `oasys batch --connect SOCKET`; output over there is
+// byte-identical to a local batch.  Runs until SIGTERM/SIGINT, then
+// drains gracefully and exits 0.
+int run_serve_mode(int argc, char** argv, const char* argv0) {
+  using namespace oasys;
+
+  serve::ServeOptions sv;
+  std::string tech_path;
+  bool rules = true;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--socket") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      sv.socket_path = v;
+    } else if (arg == "--workers") {
+      long n = 0;
+      const char* v = next();
+      if (v == nullptr || !parse_count(v, 1, &n)) {
+        std::fprintf(stderr, "--workers requires a positive integer\n");
+        return usage();
+      }
+      sv.workers = static_cast<std::size_t>(n);
+    } else if (arg == "--worker-timeout") {
+      const char* v = next();
+      if (v == nullptr || !parse_seconds(v, &sv.worker_timeout_s)) {
+        std::fprintf(stderr,
+                     "--worker-timeout requires a non-negative number of "
+                     "seconds\n");
+        return usage();
+      }
+    } else if (arg == "--shared-cache-size") {
+      long n = 0;
+      const char* v = next();
+      if (v == nullptr || !parse_count(v, 0, &n)) {
+        std::fprintf(stderr,
+                     "--shared-cache-size requires a non-negative "
+                     "integer\n");
+        return usage();
+      }
+      sv.shared_cache_capacity = static_cast<std::size_t>(n);
+    } else if (arg == "--cache-size") {
+      long n = 0;
+      const char* v = next();
+      if (v == nullptr || !parse_count(v, 0, &n)) {
+        std::fprintf(stderr,
+                     "--cache-size requires a non-negative integer\n");
+        return usage();
+      }
+      sv.service.cache_capacity = static_cast<std::size_t>(n);
+      if (n == 0) sv.service.cache_enabled = false;
+    } else if (arg == "--no-cache") {
+      sv.service.cache_enabled = false;
+    } else if (arg == "--tech") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      tech_path = v;
+    } else if (arg == "--jobs") {
+      const char* v = next();
+      if (v == nullptr || !apply_jobs(v)) return usage();
+    } else if (arg == "--no-rules") {
+      rules = false;
+    } else {
+      std::fprintf(stderr, "unknown serve option '%s'\n", arg.c_str());
+      return usage();
+    }
+  }
+  if (sv.socket_path.empty()) {
+    std::fprintf(stderr, "serve mode requires --socket PATH\n");
+    return usage();
+  }
+
+  tech::Technology t;
+  if (!load_technology(tech_path, &t)) return 1;
+
+  synth::SynthOptions opts;
+  opts.rules_enabled = rules;
+  sv.worker_command = self_executable(argv0);
+  if (sv.worker_command.empty()) {
+    std::fprintf(stderr, "serve: cannot determine own executable path\n");
+    return 1;
+  }
+
+  try {
+    serve::Server server(std::move(t), opts, std::move(sv));
+    g_serve_server = &server;
+    std::signal(SIGTERM, serve_signal_handler);
+    std::signal(SIGINT, serve_signal_handler);
+    std::printf("oasys serve: %zu workers on %s\n",
+                server.options().workers,
+                server.options().socket_path.c_str());
+    std::fflush(stdout);
+    const int rc = server.run();
+    g_serve_server = nullptr;
+    const serve::ServeStats st = server.stats();
+    std::printf(
+        "oasys serve: drained in %.3f s (%llu sessions, %llu batches, "
+        "%llu shared-cache hits, %llu respawns)\n",
+        st.drain_seconds, static_cast<unsigned long long>(st.sessions),
+        static_cast<unsigned long long>(st.batches),
+        static_cast<unsigned long long>(st.shared_cache_hits),
+        static_cast<unsigned long long>(st.respawns));
+    return rc;
+  } catch (const std::exception& e) {
+    g_serve_server = nullptr;
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
 }
 
 // `oasys golden`: canonical result JSON (oasys.result.v1) per spec.  With
@@ -583,7 +795,13 @@ int main(int argc, char** argv) {
     return run_shard_mode(argc - 2, argv + 2, argv[0]);
   }
   if (argc > 1 && std::strcmp(argv[1], "shard-worker") == 0) {
+    if (argc > 2 && std::strcmp(argv[2], "--session") == 0) {
+      return shard::worker_session_main(STDIN_FILENO, STDOUT_FILENO);
+    }
     return shard::worker_main(STDIN_FILENO, STDOUT_FILENO);
+  }
+  if (argc > 1 && std::strcmp(argv[1], "serve") == 0) {
+    return run_serve_mode(argc - 2, argv + 2, argv[0]);
   }
   if (argc > 1 && std::strcmp(argv[1], "golden") == 0) {
     return run_golden_mode(argc - 2, argv + 2);
