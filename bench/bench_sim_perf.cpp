@@ -7,10 +7,13 @@
 //  * --json <path> — the perf-trajectory record: measures the pre-workspace
 //    baseline kernels (by-value LU, per-iteration heap allocation, exactly
 //    the code shape this repo shipped before workspace reuse) against the
-//    production workspace-reusing paths in the same binary, self-checks that
-//    both produce bit-for-bit identical numbers (also across --jobs 1/2/4),
-//    and writes the JSON record.  Exit is non-zero only when the
-//    determinism self-check fails; timings are informational.
+//    production workspace-reusing paths in the same binary, plus paired
+//    scalar-vs-batch device-eval timings (DC Newton, transient, and the AC
+//    sweep at 1/2/4 lanes) in the CASPI SIMD-vs-scalar bench style.
+//    Self-checks that every pairing produces bit-for-bit identical numbers
+//    (also across --jobs 1/2/4) and writes the JSON record.  Exit is
+//    non-zero only when an equivalence/determinism self-check fails;
+//    timings are informational.
 #include <benchmark/benchmark.h>
 
 #include <cmath>
@@ -24,6 +27,7 @@
 #include "spice/ac.h"
 #include "spice/dc.h"
 #include "spice/small_signal.h"
+#include "spice/sweep.h"
 #include "spice/tran.h"
 #include "synth/netlist_builder.h"
 #include "synth/oasys.h"
@@ -85,6 +89,34 @@ void BM_OperatingPointWarm(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_OperatingPointWarm);
+
+// Paired device-eval loops (CASPI style): identical warm solve, only the
+// MOS evaluation path differs.  Results are bit-for-bit identical.
+void BM_OperatingPointWarmScalarEval(benchmark::State& state) {
+  Fixture& f = fixture();
+  sim::OpOptions opts;
+  opts.initial_guess = f.op.solution;
+  opts.device_eval = sim::DeviceEval::kScalar;
+  sim::SimWorkspace ws;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sim::dc_operating_point(f.circuit, f.t, opts, &ws));
+  }
+}
+BENCHMARK(BM_OperatingPointWarmScalarEval);
+
+void BM_OperatingPointWarmBatchEval(benchmark::State& state) {
+  Fixture& f = fixture();
+  sim::OpOptions opts;
+  opts.initial_guess = f.op.solution;
+  opts.device_eval = sim::DeviceEval::kBatch;
+  sim::SimWorkspace ws;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sim::dc_operating_point(f.circuit, f.t, opts, &ws));
+  }
+}
+BENCHMARK(BM_OperatingPointWarmBatchEval);
 
 void BM_AcSweep61Points(benchmark::State& state) {
   Fixture& f = fixture();
@@ -297,6 +329,130 @@ int emit_json(const char* path) {
     benchmark::DoNotOptimize(r);
   });
 
+  // ---- Device eval: scalar reference vs SoA batch kernel ------------------
+  // Same solves, same inputs, separate workspaces (each keeps its own
+  // device table); every pairing must agree bit for bit.
+  auto device_ops_equal = [](const std::vector<sim::DeviceOp>& a,
+                             const std::vector<sim::DeviceOp>& b) {
+    if (a.size() != b.size()) return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      const sim::DeviceOp& p = a[i];
+      const sim::DeviceOp& q = b[i];
+      if (p.region != q.region || p.vgs != q.vgs || p.vds != q.vds ||
+          p.vbs != q.vbs || p.id != q.id || p.vth != q.vth ||
+          p.vov != q.vov || p.vdsat != q.vdsat || p.gm != q.gm ||
+          p.gds != q.gds || p.gmb != q.gmb || p.id_ds != q.id_ds ||
+          p.di_dvg != q.di_dvg || p.di_dvd != q.di_dvd ||
+          p.di_dvs != q.di_dvs || p.di_dvb != q.di_dvb || p.cgs != q.cgs ||
+          p.cgd != q.cgd || p.cgb != q.cgb || p.cdb != q.cdb ||
+          p.csb != q.csb) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  sim::OpOptions warm_scalar = warm;
+  warm_scalar.device_eval = sim::DeviceEval::kScalar;
+  sim::OpOptions warm_batch = warm;
+  warm_batch.device_eval = sim::DeviceEval::kBatch;
+  sim::SimWorkspace ws_scalar;
+  sim::SimWorkspace ws_batch;
+
+  const sim::OpResult de_dc_scalar =
+      sim::dc_operating_point(f.circuit, f.t, warm_scalar, &ws_scalar);
+  const sim::OpResult de_dc_batch =
+      sim::dc_operating_point(f.circuit, f.t, warm_batch, &ws_batch);
+  bool de_equal =
+      de_dc_scalar.converged && de_dc_batch.converged &&
+      de_dc_scalar.strategy == de_dc_batch.strategy &&
+      de_dc_scalar.total_iterations == de_dc_batch.total_iterations &&
+      de_dc_scalar.solution == de_dc_batch.solution &&
+      device_ops_equal(de_dc_scalar.devices, de_dc_batch.devices);
+
+  const double de_dc_scalar_s = oasys::bench::time_best_of(7, [&] {
+    for (int i = 0; i < dc_solves; ++i) {
+      sim::OpResult r =
+          sim::dc_operating_point(f.circuit, f.t, warm_scalar, &ws_scalar);
+      benchmark::DoNotOptimize(r);
+    }
+  });
+  const double de_dc_batch_s = oasys::bench::time_best_of(7, [&] {
+    for (int i = 0; i < dc_solves; ++i) {
+      sim::OpResult r =
+          sim::dc_operating_point(f.circuit, f.t, warm_batch, &ws_batch);
+      benchmark::DoNotOptimize(r);
+    }
+  });
+
+  sim::TranOptions to_scalar = to;
+  to_scalar.device_eval = sim::DeviceEval::kScalar;
+  sim::TranOptions to_batch = to;
+  to_batch.device_eval = sim::DeviceEval::kBatch;
+  const sim::TranResult de_tr_scalar =
+      sim::transient(f.circuit, f.t, f.op, to_scalar);
+  const sim::TranResult de_tr_batch =
+      sim::transient(f.circuit, f.t, f.op, to_batch);
+  de_equal &= de_tr_scalar.ok && de_tr_batch.ok &&
+              de_tr_scalar.states == de_tr_batch.states;
+  const double de_tran_scalar_s = oasys::bench::time_best_of(3, [&] {
+    sim::TranResult r = sim::transient(f.circuit, f.t, f.op, to_scalar);
+    benchmark::DoNotOptimize(r);
+  });
+  const double de_tran_batch_s = oasys::bench::time_best_of(3, [&] {
+    sim::TranResult r = sim::transient(f.circuit, f.t, f.op, to_batch);
+    benchmark::DoNotOptimize(r);
+  });
+
+  // AC sweep over the input common-mode at 1/2/4 lanes: each lane runs
+  // cold DC + 61-point AC per value, so both the Newton loop and the
+  // lane-parallel fan-out exercise the selected device-eval path.
+  const std::vector<double> sweep_vals = {-0.01, 0.0, 0.01, 0.02};
+  sim::OpOptions sweep_scalar;
+  sweep_scalar.device_eval = sim::DeviceEval::kScalar;
+  sim::OpOptions sweep_batch;
+  sweep_batch.device_eval = sim::DeviceEval::kBatch;
+  auto sweep_equal = [](const sim::AcSweepResult& a,
+                        const sim::AcSweepResult& b) {
+    if (!a.ok || !b.ok || a.ops.size() != b.ops.size()) return false;
+    for (std::size_t i = 0; i < a.ops.size(); ++i) {
+      if (a.ops[i].solution != b.ops[i].solution) return false;
+      if (a.points[i].solutions != b.points[i].solutions) return false;
+    }
+    return true;
+  };
+  const sim::AcSweepResult de_sweep_ref = sim::ac_sweep_vsource(
+      f.circuit, f.t, "VIP", sweep_vals, freqs, sweep_scalar, 1);
+  struct LanePair {
+    std::size_t jobs = 0;
+    double scalar_s = 0.0;
+    double batch_s = 0.0;
+  };
+  std::vector<LanePair> lane_pairs;
+  for (const std::size_t jobs :
+       {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    const sim::AcSweepResult rs = sim::ac_sweep_vsource(
+        f.circuit, f.t, "VIP", sweep_vals, freqs, sweep_scalar, jobs);
+    const sim::AcSweepResult rb = sim::ac_sweep_vsource(
+        f.circuit, f.t, "VIP", sweep_vals, freqs, sweep_batch, jobs);
+    de_equal &= sweep_equal(rs, de_sweep_ref) &&
+                sweep_equal(rb, de_sweep_ref);
+    LanePair pair;
+    pair.jobs = jobs;
+    pair.scalar_s = oasys::bench::time_best_of(5, [&] {
+      sim::AcSweepResult r = sim::ac_sweep_vsource(
+          f.circuit, f.t, "VIP", sweep_vals, freqs, sweep_scalar, jobs);
+      benchmark::DoNotOptimize(r);
+    });
+    pair.batch_s = oasys::bench::time_best_of(5, [&] {
+      sim::AcSweepResult r = sim::ac_sweep_vsource(
+          f.circuit, f.t, "VIP", sweep_vals, freqs, sweep_batch, jobs);
+      benchmark::DoNotOptimize(r);
+    });
+    lane_pairs.push_back(pair);
+  }
+  deterministic &= de_equal;
+
   // Metrics block: registry contents of one canonical run of each engine
   // (one DC operating point, one AC sweep, one transient) after a reset,
   // so the record carries solver-effort counts alongside the timings.
@@ -336,12 +492,37 @@ int emit_json(const char* path) {
                " \"transient\": {\"steps\": %zu, \"seconds\": %.6f},\n",
                tr1.time.size() - 1, tran_s);
   std::fprintf(out,
+               " \"device_eval\": {\"equivalence\": \"bitwise\", "
+               "\"bitwise_equal\": %s,\n",
+               de_equal ? "true" : "false");
+  std::fprintf(out,
+               "  \"dc\": {\"solves\": %d, \"scalar_seconds\": %.6f, "
+               "\"batch_seconds\": %.6f, \"speedup\": %.3f},\n",
+               dc_solves, de_dc_scalar_s, de_dc_batch_s,
+               de_dc_scalar_s / de_dc_batch_s);
+  std::fprintf(out,
+               "  \"transient\": {\"scalar_seconds\": %.6f, "
+               "\"batch_seconds\": %.6f, \"speedup\": %.3f},\n",
+               de_tran_scalar_s, de_tran_batch_s,
+               de_tran_scalar_s / de_tran_batch_s);
+  std::fprintf(out, "  \"ac_sweep\": [");
+  for (std::size_t i = 0; i < lane_pairs.size(); ++i) {
+    std::fprintf(out,
+                 "%s{\"jobs\": %zu, \"scalar_seconds\": %.6f, "
+                 "\"batch_seconds\": %.6f, \"speedup\": %.3f}",
+                 i == 0 ? "" : ", ", lane_pairs[i].jobs,
+                 lane_pairs[i].scalar_s, lane_pairs[i].batch_s,
+                 lane_pairs[i].scalar_s / lane_pairs[i].batch_s);
+  }
+  std::fprintf(out, "]},\n");
+  std::fprintf(out,
                " \"determinism\": {\"dc_bitwise_equal\": %s, "
                "\"ac_bitwise_equal\": %s, \"ac_jobs_invariant\": %s, "
-               "\"tran_repeat_equal\": %s},\n",
+               "\"tran_repeat_equal\": %s, "
+               "\"device_eval_bitwise_equal\": %s},\n",
                dc_equal ? "true" : "false", ac_equal ? "true" : "false",
                ac_jobs_invariant ? "true" : "false",
-               tran_equal ? "true" : "false");
+               tran_equal ? "true" : "false", de_equal ? "true" : "false");
   std::fprintf(out, " \"metrics\": %s}\n", metrics.c_str());
   std::fclose(out);
 
@@ -349,8 +530,10 @@ int emit_json(const char* path) {
     std::fprintf(stderr, "FAIL: determinism self-check failed\n");
     return 1;
   }
-  std::printf("wrote %s (dc speedup %.2fx, ac speedup %.2fx)\n", path,
-              dc_base_s / dc_ws_s, ac_base_s / ac_ws_s);
+  std::printf(
+      "wrote %s (dc speedup %.2fx, ac speedup %.2fx, batch dc %.2fx)\n",
+      path, dc_base_s / dc_ws_s, ac_base_s / ac_ws_s,
+      de_dc_scalar_s / de_dc_batch_s);
   return 0;
 }
 

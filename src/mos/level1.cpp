@@ -2,11 +2,33 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
+#include <string>
 
 namespace oasys::mos {
 
 const char* to_string(MosType t) {
   return t == MosType::kNmos ? "nmos" : "pmos";
+}
+
+void validate_geometry(const Geometry& g) {
+  if (!std::isfinite(g.w) || g.w <= 0.0) {
+    throw std::invalid_argument("mos geometry: w must be finite and > 0, got " +
+                                std::to_string(g.w));
+  }
+  if (!std::isfinite(g.l) || g.l <= 0.0) {
+    throw std::invalid_argument("mos geometry: l must be finite and > 0, got " +
+                                std::to_string(g.l));
+  }
+  if (g.m < 1) {
+    throw std::invalid_argument("mos geometry: m must be >= 1, got " +
+                                std::to_string(g.m));
+  }
+}
+
+double Geometry::wl_ratio() const {
+  validate_geometry(*this);
+  return (w / l) * m;
 }
 
 const char* to_string(Region r) {

@@ -31,8 +31,16 @@ struct Geometry {
   double l = 0.0;  // channel length [m]
   int m = 1;
 
-  double wl_ratio() const { return (l > 0.0) ? (w / l) * m : 0.0; }
+  // W/L including multiplicity.  Invalid geometry is a modelling error, not
+  // a zero-ratio device: throws std::invalid_argument (via
+  // validate_geometry) instead of the old silent `return 0.0` for l <= 0,
+  // which let a dead device propagate into the MNA stamp.
+  double wl_ratio() const;
 };
+
+// Throws std::invalid_argument naming the offending field when the
+// geometry is unusable: w <= 0, l <= 0, m < 1, or a non-finite dimension.
+void validate_geometry(const Geometry& g);
 
 // Source-referenced terminal voltages in the *NMOS-like* frame, i.e. for a
 // PMOS these are already sign-flipped so that vgs > vt means "on".

@@ -1,0 +1,131 @@
+#include "mos/level1_batch.h"
+
+#include <cmath>
+#include <cstddef>
+
+#include "tech/technology.h"
+
+namespace oasys::mos {
+
+void CoreEvalBatch::resize(std::size_t n) {
+  vgs.resize(n);
+  vds.resize(n);
+  vbs.resize(n);
+  w.resize(n);
+  l.resize(n);
+  m.resize(n);
+  kp.resize(n);
+  vt0.resize(n);
+  gamma.resize(n);
+  phi.resize(n);
+  sqrt_phi.resize(n);
+  lambda.resize(n);
+  id.resize(n);
+  gm.resize(n);
+  gds.resize(n);
+  gmb.resize(n);
+  vth.resize(n);
+  vov.resize(n);
+  vdsat.resize(n);
+  region.resize(n);
+}
+
+void CoreEvalBatch::load_device(std::size_t i, const tech::MosParams& p,
+                                const Geometry& g, double dvt) {
+  validate_geometry(g);
+  w[i] = g.w;
+  l[i] = g.l;
+  m[i] = static_cast<double>(g.m);
+  kp[i] = p.kp;
+  vt0[i] = p.vt0 + dvt;
+  gamma[i] = p.gamma;
+  phi[i] = p.phi;
+  sqrt_phi[i] = std::sqrt(p.phi);
+  lambda[i] = p.lambda_at(g.l);
+}
+
+// One flat pass over every slot.  Each line mirrors the corresponding
+// expression of scalar `evaluate_core` exactly (operand order included):
+// both region results are computed unconditionally — the arithmetic is
+// total, there is no division and the sqrt argument is clamped — and
+// ternary selects pick the stored result, so the loop body is branchless
+// and auto-vectorizable while staying bit-for-bit equal to the scalar
+// reference per slot.
+void evaluate_core_batch(CoreEvalBatch* b) {
+  const std::size_t n = b->size();
+  const double* __restrict vgs = b->vgs.data();
+  const double* __restrict vds_a = b->vds.data();
+  const double* __restrict vbs = b->vbs.data();
+  const double* __restrict w = b->w.data();
+  const double* __restrict l = b->l.data();
+  const double* __restrict m = b->m.data();
+  const double* __restrict kp = b->kp.data();
+  const double* __restrict vt0 = b->vt0.data();
+  const double* __restrict gamma = b->gamma.data();
+  const double* __restrict phi = b->phi.data();
+  const double* __restrict sqrt_phi = b->sqrt_phi.data();
+  const double* __restrict lambda_a = b->lambda.data();
+  double* __restrict out_id = b->id.data();
+  double* __restrict out_gm = b->gm.data();
+  double* __restrict out_gds = b->gds.data();
+  double* __restrict out_gmb = b->gmb.data();
+  double* __restrict out_vth = b->vth.data();
+  double* __restrict out_vov = b->vov.data();
+  double* __restrict out_vdsat = b->vdsat.data();
+  std::uint8_t* __restrict out_region = b->region.data();
+
+  constexpr double kMinArg = 0.01;  // V, same clamp as threshold()
+  for (std::size_t i = 0; i < n; ++i) {
+    const double vsb = -vbs[i];
+    // threshold(): arg = std::max(phi + vsb, kMinArg), i.e. (a < b) ? b : a
+    // — that operand order preserves the sign of zero exactly as std::max.
+    const double phi_vsb = phi[i] + vsb;
+    const double arg = (phi_vsb < kMinArg) ? kMinArg : phi_vsb;
+    const double sqrt_arg = std::sqrt(arg);
+    const double vth = vt0[i] + gamma[i] * (sqrt_arg - sqrt_phi[i]);
+    const double vov = vgs[i] - vth;
+    // std::max(vov, 0.0) with std::max's operand order.
+    const double vdsat = (vov < 0.0) ? 0.0 : vov;
+
+    const double beta = kp[i] * ((w[i] / l[i]) * m[i]);
+    const double lambda = lambda_a[i];
+    const double vds = vds_a[i];
+
+    const double body_factor =
+        (phi_vsb > kMinArg) ? gamma[i] / (2.0 * sqrt_arg) : 0.0;
+    const double clm = 1.0 + lambda * vds;
+
+    // Saturation-region results.
+    const double id_sat = 0.5 * beta * vov * vov * clm;
+    const double gm_sat = beta * vov * clm;
+    const double gds_sat = 0.5 * beta * vov * vov * lambda;
+
+    // Triode-region results.
+    const double core = (vov - 0.5 * vds) * vds;
+    const double id_tri = beta * core * clm;
+    const double gm_tri = beta * vds * clm;
+    const double gds_tri = beta * ((vov - vds) * clm + core * lambda);
+
+    const bool off = (vov <= 0.0) || (beta <= 0.0);
+    const bool sat = vds >= vov;
+
+    const double id_on = sat ? id_sat : id_tri;
+    const double gm_on = sat ? gm_sat : gm_tri;
+    const double gds_on = sat ? gds_sat : gds_tri;
+    const double gmb_on = gm_on * body_factor;
+
+    out_vth[i] = vth;
+    out_vov[i] = vov;
+    out_vdsat[i] = vdsat;
+    out_id[i] = off ? 0.0 : id_on;
+    out_gm[i] = off ? 0.0 : gm_on;
+    out_gds[i] = off ? 0.0 : gds_on;
+    out_gmb[i] = off ? 0.0 : gmb_on;
+    out_region[i] =
+        off ? static_cast<std::uint8_t>(Region::kCutoff)
+            : (sat ? static_cast<std::uint8_t>(Region::kSaturation)
+                   : static_cast<std::uint8_t>(Region::kTriode));
+  }
+}
+
+}  // namespace oasys::mos

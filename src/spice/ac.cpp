@@ -194,10 +194,7 @@ AcResult ac_analysis(const ckt::Circuit& c, const tech::Technology& t,
         if (ws.y.rows() != n || ws.y.cols() != n) {
           ws.y = num::ComplexMatrix(n, n);
         }
-        Cplx* y = ws.y.data();
-        for (std::size_t k = 0; k < n * n; ++k) {
-          y[k] = Cplx(g_flat[k], w * cap_flat[k]);
-        }
+        fill_complex_mna(ws.y.data(), g_flat, cap_flat, w, n * n);
         num::lu_factor_in_place(&ws.y, &ws.lu);
         if (ws.lu.singular) {
           singular[i] = 1;

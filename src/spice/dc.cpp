@@ -37,10 +37,12 @@ struct DcMetrics {
 
 // One Newton solve at fixed (source_scale, gmin).  Returns true on
 // convergence; x is updated in place with the best iterate either way.
-// All scratch lives in `ws`, so a warm iteration allocates nothing.
+// All scratch lives in `ws` — including the batch device table when
+// `device_eval` is kBatch — so a warm iteration allocates nothing.
 bool newton_solve(const NonlinearSystem& sys, double source_scale,
-                  double gmin, const OpOptions& opts, SimWorkspace* ws,
-                  std::vector<double>* x, int* iterations_used) {
+                  double gmin, const OpOptions& opts, DeviceEval device_eval,
+                  SimWorkspace* ws, std::vector<double>* x,
+                  int* iterations_used) {
   DcMetrics& metrics = DcMetrics::get();
   metrics.solves.add();
   const std::size_t n = sys.layout().size();
@@ -52,11 +54,12 @@ bool newton_solve(const NonlinearSystem& sys, double source_scale,
   NonlinearSystem::EvalOptions eval_opts;
   eval_opts.source_scale = source_scale;
   eval_opts.gmin = gmin;
+  eval_opts.device_eval = device_eval;
 
   for (int iter = 0; iter < opts.max_iterations; ++iter) {
     ++*iterations_used;
     metrics.iterations.add();
-    sys.eval(*x, eval_opts, &jac, &f);
+    sys.eval(*x, eval_opts, &jac, &f, nullptr, &ws->devices);
 
     num::lu_factor_in_place(&jac, &ws->lu);
     if (ws->lu.singular) {
@@ -81,7 +84,7 @@ bool newton_solve(const NonlinearSystem& sys, double source_scale,
     // Converged when the (undamped) voltage update and the residual are
     // both small.
     if (max_dv < opts.vntol) {
-      sys.eval(*x, eval_opts, nullptr, &f);
+      sys.eval(*x, eval_opts, nullptr, &f, nullptr, &ws->devices);
       double max_node_residual = 0.0;
       for (std::size_t i = 0; i < nv; ++i) {
         max_node_residual = std::max(max_node_residual, std::abs(f[i]));
@@ -105,6 +108,15 @@ OpResult dc_operating_point(const ckt::Circuit& c, const tech::Technology& t,
   SimWorkspace local_ws;
   SimWorkspace* ws = workspace != nullptr ? workspace : &local_ws;
 
+  // Resolve the MOS evaluation path once per solve and, for the batch
+  // path, (re)build the SoA device table into the workspace.  Workspaces
+  // may be reused across different circuits, so the table is always
+  // rebuilt here — a constant fill that allocates only when it grows.
+  const DeviceEval device_eval = resolve_device_eval(opts.device_eval);
+  if (device_eval == DeviceEval::kBatch) {
+    sys.build_device_table(&ws->devices);
+  }
+
   OpResult result;
   std::vector<double> x =
       opts.initial_guess.size() == n ? opts.initial_guess
@@ -114,7 +126,8 @@ OpResult dc_operating_point(const ckt::Circuit& c, const tech::Technology& t,
   {
     std::vector<double> trial = x;
     int iters = 0;
-    if (newton_solve(sys, 1.0, opts.gmin, opts, ws, &trial, &iters)) {
+    if (newton_solve(sys, 1.0, opts.gmin, opts, device_eval, ws, &trial,
+                     &iters)) {
       result.converged = true;
       result.strategy = "newton";
       result.total_iterations = iters;
@@ -132,12 +145,14 @@ OpResult dc_operating_point(const ckt::Circuit& c, const tech::Technology& t,
     int iters = 0;
     for (double gmin = opts.gmin_step_start; gmin >= opts.gmin * 0.99;
          gmin *= opts.gmin_step_ratio) {
-      if (!newton_solve(sys, 1.0, gmin, opts, ws, &trial, &iters)) {
+      if (!newton_solve(sys, 1.0, gmin, opts, device_eval, ws, &trial,
+                        &iters)) {
         ok = false;
         break;
       }
     }
-    if (ok && newton_solve(sys, 1.0, opts.gmin, opts, ws, &trial, &iters)) {
+    if (ok && newton_solve(sys, 1.0, opts.gmin, opts, device_eval, ws,
+                           &trial, &iters)) {
       result.converged = true;
       result.strategy = "gmin-step";
       result.solution = std::move(trial);
@@ -156,7 +171,8 @@ OpResult dc_operating_point(const ckt::Circuit& c, const tech::Technology& t,
     while (scale < 1.0 && ok) {
       const double next = std::min(scale + step, 1.0);
       std::vector<double> attempt = trial;
-      if (newton_solve(sys, next, opts.gmin, opts, ws, &attempt, &iters)) {
+      if (newton_solve(sys, next, opts.gmin, opts, device_eval, ws, &attempt,
+                       &iters)) {
         trial = std::move(attempt);
         scale = next;
         step = std::min(step * 2.0, opts.source_step_max);
@@ -178,7 +194,9 @@ OpResult dc_operating_point(const ckt::Circuit& c, const tech::Technology& t,
     // Final bookkeeping pass to capture per-device operating info.
     NonlinearSystem::EvalOptions eval_opts;
     eval_opts.gmin = opts.gmin;
-    sys.eval(result.solution, eval_opts, nullptr, nullptr, &result.devices);
+    eval_opts.device_eval = device_eval;
+    sys.eval(result.solution, eval_opts, nullptr, nullptr, &result.devices,
+             &ws->devices);
   } else {
     metrics.op_failures.add();
     result.solution = std::move(x);

@@ -2,8 +2,31 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "obs/metrics.h"
 
 namespace oasys::sim {
+
+namespace {
+
+// Registry handles for the batched device-eval path, resolved once per
+// process.  Both counters are per-work-item sums (one batch per eval call,
+// one unit per device slot), so they are deterministic and jobs-invariant.
+struct DeviceEvalMetrics {
+  obs::Counter& batches =
+      obs::Registry::global().counter("sim.device_eval.batches");
+  obs::Counter& devices =
+      obs::Registry::global().counter("sim.device_eval.devices");
+
+  static DeviceEvalMetrics& get() {
+    static DeviceEvalMetrics m;
+    return m;
+  }
+};
+
+}  // namespace
 
 MnaLayout::MnaLayout(const ckt::Circuit& c)
     : num_nodes_(c.num_nodes()),
@@ -67,10 +90,39 @@ void fill_device_caps(const tech::Technology& t, const ckt::Mosfet& m,
                               sign * (vs - vb));
 }
 
+void NonlinearSystem::build_device_table(DeviceTable* table) const {
+  const auto& mosfets = circuit_->mosfets();
+  const std::size_t n = mosfets.size();
+  table->batch.resize(n);
+  table->sign.resize(n);
+  table->d.resize(n);
+  table->g.resize(n);
+  table->s.resize(n);
+  table->b.resize(n);
+  table->swapped.resize(n);
+  const tech::Technology& t = *tech_;
+  for (std::size_t k = 0; k < n; ++k) {
+    const auto& m = mosfets[k];
+    const tech::MosParams& p =
+        m.type == mos::MosType::kNmos ? t.nmos : t.pmos;
+    try {
+      table->batch.load_device(k, p, m.geom, m.dvt);
+    } catch (const std::invalid_argument& err) {
+      throw std::invalid_argument("device '" + m.name + "': " + err.what());
+    }
+    table->sign[k] = m.type == mos::MosType::kNmos ? 1.0 : -1.0;
+    table->d[k] = layout_.node_index(m.d);
+    table->g[k] = layout_.node_index(m.g);
+    table->s[k] = layout_.node_index(m.s);
+    table->b[k] = layout_.node_index(m.b);
+  }
+}
+
 void NonlinearSystem::eval(const std::vector<double>& x,
                            const EvalOptions& opts, num::RealMatrix* jac,
                            std::vector<double>* residual,
-                           std::vector<DeviceOp>* device_ops) const {
+                           std::vector<DeviceOp>* device_ops,
+                           DeviceTable* devices) const {
   const std::size_t n = layout_.size();
   if (x.size() != n) {
     throw std::invalid_argument("eval: state vector size mismatch");
@@ -153,6 +205,109 @@ void NonlinearSystem::eval(const std::vector<double>& x,
   }
 
   const tech::Technology& t = *tech_;
+  if (opts.device_eval == DeviceEval::kBatch) {
+    if (devices == nullptr ||
+        devices->size() != circuit_->mosfets().size()) {
+      throw std::logic_error(
+          "eval: batch device path requires a device table built for this "
+          "circuit (see NonlinearSystem::build_device_table)");
+    }
+    DeviceTable& tab = *devices;
+    mos::CoreEvalBatch& bat = tab.batch;
+    const std::size_t ndev = tab.size();
+
+    // Re-bias pass: map node voltages into the NMOS-like frame per slot
+    // (PMOS sign flip, then drain/source exchange when cvd < cvs), exactly
+    // the frame mapping at the top of mos::evaluate_terminal.
+    auto node_voltage = [&](int idx) {
+      return idx < 0 ? 0.0 : x[static_cast<std::size_t>(idx)];
+    };
+    for (std::size_t k = 0; k < ndev; ++k) {
+      const double sign = tab.sign[k];
+      const double cvg = sign * node_voltage(tab.g[k]);
+      double cvd = sign * node_voltage(tab.d[k]);
+      double cvs = sign * node_voltage(tab.s[k]);
+      const double cvb = sign * node_voltage(tab.b[k]);
+      const bool swapped = cvd < cvs;
+      if (swapped) std::swap(cvd, cvs);
+      tab.swapped[k] = swapped ? 1 : 0;
+      bat.vgs[k] = cvg - cvs;
+      bat.vds[k] = cvd - cvs;
+      bat.vbs[k] = cvb - cvs;
+    }
+
+    mos::evaluate_core_batch(&bat);
+    DeviceEvalMetrics& dm = DeviceEvalMetrics::get();
+    dm.batches.add();
+    dm.devices.add(static_cast<std::uint64_t>(ndev));
+
+    // Stamp pass, in device index order from the flat outputs — the same
+    // accumulation order as the scalar loop, so every Jacobian/residual
+    // sum is bit-identical.  The swap/sign unwinding below mirrors the
+    // tail of mos::evaluate_terminal line for line.
+    for (std::size_t k = 0; k < ndev; ++k) {
+      const double sign = tab.sign[k];
+      double id = bat.id[k];
+      double di_dvg = bat.gm[k];
+      double di_dvd = bat.gds[k];
+      double di_dvs = -(bat.gm[k] + bat.gds[k] + bat.gmb[k]);
+      double di_dvb = bat.gmb[k];
+      if (tab.swapped[k] != 0) {
+        id = -id;
+        const double orig_dvd = -di_dvs;
+        const double orig_dvs = -di_dvd;
+        di_dvd = orig_dvd;
+        di_dvs = orig_dvs;
+        di_dvg = -di_dvg;
+        di_dvb = -di_dvb;
+      }
+      const double id_ds = sign * id;
+
+      const int id_ = tab.d[k];
+      const int ig = tab.g[k];
+      const int is = tab.s[k];
+      const int ib = tab.b[k];
+
+      add_f(id_, id_ds);
+      add_f(is, -id_ds);
+      add_j(id_, ig, di_dvg);
+      add_j(id_, id_, di_dvd);
+      add_j(id_, is, di_dvs);
+      add_j(id_, ib, di_dvb);
+      add_j(is, ig, -di_dvg);
+      add_j(is, id_, -di_dvd);
+      add_j(is, is, -di_dvs);
+      add_j(is, ib, -di_dvb);
+
+      if (device_ops != nullptr) {
+        const auto& m = circuit_->mosfets()[k];
+        const double vd = node_voltage(id_);
+        const double vg = node_voltage(ig);
+        const double vs = node_voltage(is);
+        const double vb = node_voltage(ib);
+        DeviceOp& op = (*device_ops)[k];
+        op.region = bat.region_at(k);
+        op.vgs = sign * (vg - vs);
+        op.vds = sign * (vd - vs);
+        op.vbs = sign * (vb - vs);
+        op.id = std::abs(id_ds);
+        op.vth = bat.vth[k];
+        op.vov = bat.vov[k];
+        op.vdsat = bat.vdsat[k];
+        op.gm = bat.gm[k];
+        op.gds = bat.gds[k];
+        op.gmb = bat.gmb[k];
+        op.id_ds = id_ds;
+        op.di_dvg = di_dvg;
+        op.di_dvd = di_dvd;
+        op.di_dvs = di_dvs;
+        op.di_dvb = di_dvb;
+        fill_device_caps(t, m, vd, vg, vs, vb, &op);
+      }
+    }
+    return;
+  }
+
   for (std::size_t k = 0; k < circuit_->mosfets().size(); ++k) {
     const auto& m = circuit_->mosfets()[k];
     tech::MosParams p = m.type == mos::MosType::kNmos ? t.nmos : t.pmos;

@@ -10,10 +10,13 @@
 // sums the currents *leaving* the node.  Newton solves J dx = -f.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
+#include "mos/level1_batch.h"
 #include "netlist/circuit.h"
 #include "numeric/matrix.h"
+#include "spice/sim_options.h"
 #include "tech/technology.h"
 
 namespace oasys::sim {
@@ -58,6 +61,21 @@ struct DeviceOp {
   double cgs = 0.0, cgd = 0.0, cgb = 0.0, cdb = 0.0, csb = 0.0;
 };
 
+// Structure-of-arrays device table for the batched MOS evaluation path.
+// Built once per (circuit, solve) by NonlinearSystem::build_device_table —
+// device constants and MNA node indices in Circuit::mosfets() order — then
+// re-biased in place every eval.  Lives inside sim::SimWorkspace so the
+// arrays persist across Newton iterations, timesteps, and warm-started
+// sweep points without reallocating (resize only grows capacity).
+struct DeviceTable {
+  mos::CoreEvalBatch batch;           // constants + per-eval bias/results
+  std::vector<double> sign;           // +1 NMOS, -1 PMOS (frame flip)
+  std::vector<int> d, g, s, b;        // MNA node indices; -1 = ground
+  std::vector<std::uint8_t> swapped;  // per-eval scratch: D/S exchanged
+
+  std::size_t size() const { return batch.size(); }
+};
+
 // Assembles residual/Jacobian for the resistive (non-capacitive) part of
 // the circuit.  Capacitor companion models are added by the transient
 // analysis on top of this.
@@ -73,14 +91,31 @@ class NonlinearSystem {
     double source_scale = 1.0;  // multiplies every independent source
     double gmin = 1e-12;        // shunt conductance to ground on every node
     double time = -1.0;         // <0: DC values; >=0: waveform value(time)
+    // Already-resolved MOS evaluation path (kDefault is treated as
+    // kScalar here — callers resolve the process default up front).
+    // kBatch requires a matching `devices` table in the eval call.
+    DeviceEval device_eval = DeviceEval::kScalar;
   };
 
   // Computes f(x) into `residual` and J(x) into `jac` (either may be null).
   // When `device_ops` is non-null it is resized/filled with per-MOSFET
   // operating info including bias-dependent capacitances.
+  //
+  // With opts.device_eval == kBatch, `devices` must point at a table built
+  // by build_device_table() for this circuit (throws std::logic_error
+  // otherwise); its bias arrays and swapped flags are rewritten, the SoA
+  // kernel runs once, and the stamps are applied from the flat outputs in
+  // device index order — bit-for-bit identical to the scalar path.
   void eval(const std::vector<double>& x, const EvalOptions& opts,
             num::RealMatrix* jac, std::vector<double>* residual,
-            std::vector<DeviceOp>* device_ops = nullptr) const;
+            std::vector<DeviceOp>* device_ops = nullptr,
+            DeviceTable* devices = nullptr) const;
+
+  // Fills `table` with this circuit's MOS devices (constants, effective
+  // parameters including per-device mismatch, MNA node indices).  Validates
+  // every geometry — throws std::invalid_argument naming the device on
+  // w <= 0, l <= 0, or m < 1.  Only allocates when the table grows.
+  void build_device_table(DeviceTable* table) const;
 
   // Lumped linear capacitance matrix contribution C (for transient): stamps
   // the circuit's explicit capacitors only.  Device capacitances are

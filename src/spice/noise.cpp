@@ -126,10 +126,7 @@ NoiseResult noise_analysis(const ckt::Circuit& c, const tech::Technology& t,
     }
     const double w = util::kTwoPi * f;
     if (y.rows() != n || y.cols() != n) y = num::ComplexMatrix(n, n);
-    Cplx* yd = y.data();
-    for (std::size_t k = 0; k < n * n; ++k) {
-      yd[k] = Cplx(g_flat[k], w * cap_flat[k]);
-    }
+    fill_complex_mna(y.data(), g_flat, cap_flat, w, n * n);
     num::lu_factor_in_place(&y, &lu);
     if (lu.singular) {
       result.error = "singular noise matrix";

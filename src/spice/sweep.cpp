@@ -25,7 +25,11 @@ DcSweepResult dc_sweep_vsource(ckt::Circuit& c, const tech::Technology& t,
   const ckt::Waveform original = c.vsource(*idx).wave;
 
   OpOptions opts = base_opts;
-  SimWorkspace ws;  // shared by every point of the warm-started sweep
+  // One workspace shared by every point of the warm-started sweep.  With
+  // the batch device path this includes the SoA device table: each point
+  // rebuilds its constants in place (sizes never change mid-sweep), so the
+  // whole sweep stays allocation-free after the first point.
+  SimWorkspace ws;
   for (const double v : values) {
     c.vsource(*idx).wave = original.with_dc(v);
     OpResult op = dc_operating_point(c, t, opts, &ws);

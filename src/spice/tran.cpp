@@ -126,6 +126,11 @@ TranResult transient(const ckt::Circuit& c, const tech::Technology& t,
   std::vector<double>& f = ws.residual;
   std::vector<double>& dx = ws.step;
 
+  const DeviceEval device_eval = resolve_device_eval(opts.device_eval);
+  if (device_eval == DeviceEval::kBatch) {
+    sys.build_device_table(&ws.devices);
+  }
+
   const std::size_t steps =
       static_cast<std::size_t>(std::ceil(opts.tstop / opts.dt));
   for (std::size_t step = 1; step <= steps; ++step) {
@@ -138,6 +143,7 @@ TranResult transient(const ckt::Circuit& c, const tech::Technology& t,
     NonlinearSystem::EvalOptions eval_opts;
     eval_opts.gmin = opts.gmin;
     eval_opts.time = time;
+    eval_opts.device_eval = device_eval;
 
     // Companion coefficients.
     const double a = opts.trapezoidal ? 2.0 / h : 1.0 / h;
@@ -145,7 +151,7 @@ TranResult transient(const ckt::Circuit& c, const tech::Technology& t,
     bool converged = false;
     for (int iter = 0; iter < opts.max_newton; ++iter) {
       metrics.iterations.add();
-      sys.eval(x, eval_opts, &jac, &f);
+      sys.eval(x, eval_opts, &jac, &f, nullptr, &ws.devices);
       // Add capacitive currents: f += C*(a*(x - x_prev)) - hist
       // where hist = C*dvdt_prev for trapezoidal, 0 for BE.
       for (std::size_t r = 0; r < n; ++r) {
@@ -198,7 +204,7 @@ TranResult transient(const ckt::Circuit& c, const tech::Technology& t,
       }
     }
     // Refresh device capacitances at the new bias for the next step.
-    sys.eval(x, eval_opts, nullptr, nullptr, &device_ops);
+    sys.eval(x, eval_opts, nullptr, nullptr, &device_ops, &ws.devices);
     build_cap_matrix(sys, device_ops, &cmat);
 
     result.time.push_back(time);

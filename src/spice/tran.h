@@ -22,6 +22,9 @@ struct TranOptions {
   double vntol = 1e-6;
   double gmin = 1e-12;
   double vlimit_step = 0.6;
+  // MOS evaluation path (see spice/sim_options.h); kDefault resolves to
+  // the process-wide default.  Scalar and batch are bit-for-bit identical.
+  DeviceEval device_eval = DeviceEval::kDefault;
 };
 
 struct TranResult {

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "numeric/linear.h"
+#include "spice/mna.h"
 
 namespace oasys::sim {
 
@@ -26,6 +27,11 @@ struct SimWorkspace {
   std::vector<double> residual;  // f(x)
   std::vector<double> step;      // RHS -f on entry to the solve, dx after
   num::LuFactors<double> lu;     // factorization of jac
+  // SoA device table for the batched MOS path (DeviceEval::kBatch).
+  // Rebuilt by each analysis for its own circuit before solving — cheap
+  // constant fills, allocation-free at steady sizes — and re-biased in
+  // place every eval.  Holds no cross-solve numeric state.
+  DeviceTable devices;
 };
 
 }  // namespace oasys::sim

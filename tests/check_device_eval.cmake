@@ -1,0 +1,28 @@
+# Scalar-vs-batch conformance through the CLI (ctest script).
+#
+# Runs the same synthesis + verification once with --device-eval scalar and
+# once with --device-eval batch and asserts the stdout reports are
+# byte-identical.  The two MOS evaluation paths are bit-for-bit equivalent
+# by contract (see src/spice/sim_options.h), so every simulated number in
+# the report — operating points, gains, margins — must survive the switch
+# unchanged.
+#
+# Expects: OASYS_CLI (path to the oasys binary), SPEC (spec file),
+# WORK_DIR (writable scratch directory).
+foreach(mode scalar batch)
+  execute_process(
+    COMMAND ${OASYS_CLI} --spec ${SPEC} --verify --device-eval ${mode}
+    RESULT_VARIABLE rc
+    OUTPUT_FILE ${WORK_DIR}/device_eval_${mode}.out)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "oasys --device-eval ${mode} failed (exit ${rc})")
+  endif()
+  file(READ ${WORK_DIR}/device_eval_${mode}.out out_${mode})
+endforeach()
+
+if(NOT out_batch STREQUAL out_scalar)
+  message(FATAL_ERROR
+          "stdout differs between --device-eval scalar and batch:\n"
+          "--- scalar ---\n${out_scalar}\n--- batch ---\n${out_batch}")
+endif()
+message(STATUS "scalar and batch device-eval reports are byte-identical")

@@ -167,6 +167,61 @@ TEST(AllocFree, NewtonKernelLoopIsAllocationFreeWhenWarm) {
       << "warm Newton kernel loop performed heap allocations";
 }
 
+TEST(AllocFree, BatchedDeviceEvalNewtonLoopIsAllocationFreeWhenWarm) {
+  // Same warm Newton kernel loop as above, but through the SoA batch
+  // device path: re-biasing the device table, running the batch kernel,
+  // and stamping from the flat arrays must all be allocation-free once
+  // the table and workspace have their steady sizes.
+  const tech::Technology t = tech::five_micron();
+  const Circuit c = amp_circuit(t);
+  NonlinearSystem sys(c, t);
+  const std::size_t n = sys.layout().size();
+  const std::size_t nv = sys.layout().num_node_unknowns();
+  SimWorkspace ws;
+  NonlinearSystem::EvalOptions eval_opts;
+  eval_opts.device_eval = DeviceEval::kBatch;
+  std::vector<double> x(n);
+
+  bool converged = false;
+  const OpOptions opts;
+  auto newton_pass = [&] {
+    sys.build_device_table(&ws.devices);  // in-place refresh at steady size
+    for (std::size_t i = 0; i < n; ++i) x[i] = 0.0;
+    converged = false;
+    for (int iter = 0; iter < opts.max_iterations && !converged; ++iter) {
+      sys.eval(x, eval_opts, &ws.jac, &ws.residual, nullptr, &ws.devices);
+      num::lu_factor_in_place(&ws.jac, &ws.lu);
+      if (ws.lu.singular) return;
+      ws.step.resize(n);
+      for (std::size_t i = 0; i < n; ++i) ws.step[i] = -ws.residual[i];
+      num::lu_solve_in_place(ws.lu, &ws.step);
+      double max_dv = 0.0;
+      for (std::size_t i = 0; i < nv; ++i) {
+        max_dv = std::max(max_dv, std::abs(ws.step[i]));
+      }
+      double scale = 1.0;
+      if (max_dv > opts.vlimit_step) scale = opts.vlimit_step / max_dv;
+      for (std::size_t i = 0; i < n; ++i) x[i] += scale * ws.step[i];
+      if (max_dv < opts.vntol) {
+        sys.eval(x, eval_opts, nullptr, &ws.residual, nullptr, &ws.devices);
+        double max_node_residual = 0.0;
+        for (std::size_t i = 0; i < nv; ++i) {
+          max_node_residual =
+              std::max(max_node_residual, std::abs(ws.residual[i]));
+        }
+        if (max_node_residual < opts.abstol) converged = true;
+      }
+    }
+  };
+
+  newton_pass();  // grows the workspace buffers and the device table
+  ASSERT_TRUE(converged);
+  const std::size_t allocs = count_allocations(newton_pass);
+  ASSERT_TRUE(converged);
+  EXPECT_EQ(allocs, 0u)
+      << "warm batched-device-eval Newton loop performed heap allocations";
+}
+
 TEST(AllocFree, AcSweepKernelLoopIsAllocationFreeWhenWarm) {
   const tech::Technology t = tech::five_micron();
   const Circuit c = amp_circuit(t);

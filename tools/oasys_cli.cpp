@@ -56,6 +56,7 @@
 #include "service/service.h"
 #include "shard/coordinator.h"
 #include "shard/worker.h"
+#include "spice/sim_options.h"
 #include "synth/oasys.h"
 #include "synth/report.h"
 #include "synth/result_json.h"
@@ -88,6 +89,9 @@ int usage() {
       "  --jobs N        worker threads for synthesis + simulation\n"
       "                  (default: hardware concurrency; 1 = serial;\n"
       "                  results are identical at every setting)\n"
+      "  --device-eval M MOS evaluation path: 'batch' (SoA kernel,\n"
+      "                  default) or 'scalar' (per-device reference);\n"
+      "                  bit-for-bit identical results either way\n"
       "  --templates     print the paper's test cases as spec templates\n"
       "batch mode (runs every .spec through the synthesis service):\n"
       "  --cache-size N  result-cache capacity in entries (default 256;\n"
@@ -156,6 +160,20 @@ bool apply_jobs(const char* v, long* out = nullptr) {
   }
   oasys::exec::set_default_jobs(static_cast<std::size_t>(n));
   if (out != nullptr) *out = n;
+  return true;
+}
+
+// Sets the process-wide MOS device-evaluation path (scalar reference or
+// SoA batch kernel).  The two are bit-for-bit identical, so this is a
+// performance knob only; output never depends on it.
+bool apply_device_eval(const char* v) {
+  oasys::sim::DeviceEval mode = oasys::sim::DeviceEval::kDefault;
+  if (!oasys::sim::parse_device_eval(v, &mode)) {
+    std::fprintf(stderr,
+                 "--device-eval must be 'scalar' or 'batch', got '%s'\n", v);
+    return false;
+  }
+  oasys::sim::set_device_eval_default(mode);
   return true;
 }
 
@@ -327,6 +345,9 @@ int parse_batch_args(int argc, char** argv, bool shard_mode,
     } else if (arg == "--jobs") {
       const char* v = next();
       if (v == nullptr || !apply_jobs(v, &out->jobs)) return usage();
+    } else if (arg == "--device-eval") {
+      const char* v = next();
+      if (v == nullptr || !apply_device_eval(v)) return usage();
     } else if (arg == "--cache-size") {
       const char* v = next();
       long n = 0;
@@ -653,6 +674,9 @@ int run_serve_mode(int argc, char** argv, const char* argv0) {
     } else if (arg == "--jobs") {
       const char* v = next();
       if (v == nullptr || !apply_jobs(v)) return usage();
+    } else if (arg == "--device-eval") {
+      const char* v = next();
+      if (v == nullptr || !apply_device_eval(v)) return usage();
     } else if (arg == "--no-rules") {
       rules = false;
     } else {
@@ -729,6 +753,9 @@ int run_golden_mode(int argc, char** argv) {
     } else if (arg == "--jobs") {
       const char* v = next();
       if (v == nullptr || !apply_jobs(v)) return usage();
+    } else if (arg == "--device-eval") {
+      const char* v = next();
+      if (v == nullptr || !apply_device_eval(v)) return usage();
     } else if (arg == "--no-rules") {
       rules = false;
     } else if (util::starts_with(arg, "--")) {
@@ -835,6 +862,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--jobs") {
       const char* v = next();
       if (v == nullptr || !apply_jobs(v)) return usage();
+    } else if (arg == "--device-eval") {
+      const char* v = next();
+      if (v == nullptr || !apply_device_eval(v)) return usage();
     } else if (arg == "--metrics-json") {
       const char* v = next();
       if (v == nullptr) return usage();
