@@ -1,0 +1,321 @@
+// Yield-analysis benchmarks (google-benchmark).
+//
+// Workload shape: the "millions of users" traffic the ROADMAP predicts —
+// thousands of cheap correlated mismatch samples per expensive synthesis.
+// BM_YieldAnalysis measures samples/sec for one spec's Monte-Carlo sweep
+// at jobs 1/2/4 (the fan-out is across samples, through the batched
+// device-eval + SimWorkspace hot path); BM_MixedBatch measures a mixed
+// synth/yield batch through the same yield::YieldService the shard
+// workers run.
+//
+// `--json <path>` writes the perf-trajectory record instead: per-jobs
+// samples/sec, shard wall times at worker counts 1/2/4, the resident-
+// daemon round trip, and a mixed-traffic measurement.  The embedded
+// determinism self-check re-renders every yield result through
+// yield::yield_result_json and requires it byte-identical to a jobs=1
+// local reference — across jobs 1/2/4, shard workers 1/2/4, and daemon
+// vs. local — failing loudly (non-zero exit) on any divergence while the
+// timings stay informational.  See perf_json.h.
+#include <benchmark/benchmark.h>
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/client.h"
+#include "serve/server.h"
+#include "shard/coordinator.h"
+#include "synth/oasys.h"
+#include "synth/test_cases.h"
+#include "tech/builtin.h"
+#include "yield/service.h"
+#include "yield/yield.h"
+
+#include "perf_json.h"
+
+// Path to the oasys CLI, stamped by bench/CMakeLists.txt; the coordinator
+// execs it as `oasys shard-worker`.
+#ifndef OASYS_CLI_PATH
+#error "bench_yield_perf requires OASYS_CLI_PATH (see bench/CMakeLists.txt)"
+#endif
+
+namespace {
+
+using namespace oasys;
+
+constexpr int kSamples = 64;
+constexpr std::uint64_t kSeed = 1;
+
+const tech::Technology& tech5() {
+  static const tech::Technology t = tech::five_micron();
+  return t;
+}
+
+// Workers and the local reference both synthesize serially; the
+// parallelism under measurement is the per-sample fan-out (and, for
+// shard, the process fan-out).
+synth::SynthOptions serial_opts() {
+  synth::SynthOptions o;
+  o.jobs = 1;
+  return o;
+}
+
+yield::YieldParams params(std::size_t jobs) {
+  yield::YieldParams p;
+  p.samples = kSamples;
+  p.seed = kSeed;
+  p.jobs = jobs;
+  return p;
+}
+
+// One yield request per paper test case.
+std::vector<yield::Request> yield_batch() {
+  std::vector<yield::Request> requests;
+  for (const core::OpAmpSpec& spec : synth::paper_test_cases()) {
+    yield::Request r;
+    r.spec = spec;
+    r.is_yield = true;
+    r.params = params(1);
+    requests.push_back(std::move(r));
+  }
+  return requests;
+}
+
+// Mixed traffic: for each paper case, one plain synthesis and one yield
+// analysis of the same spec (they co-locate on one shard by design).
+std::vector<yield::Request> mixed_batch() {
+  std::vector<yield::Request> requests;
+  for (const core::OpAmpSpec& spec : synth::paper_test_cases()) {
+    yield::Request synth_req;
+    synth_req.spec = spec;
+    requests.push_back(synth_req);
+    yield::Request yield_req;
+    yield_req.spec = spec;
+    yield_req.is_yield = true;
+    yield_req.params = params(1);
+    requests.push_back(std::move(yield_req));
+  }
+  return requests;
+}
+
+shard::ShardOptions shard_opts(std::size_t workers) {
+  shard::ShardOptions o;
+  o.workers = workers;
+  o.worker_command = OASYS_CLI_PATH;
+  return o;
+}
+
+// Resident daemon pool (mirrors bench_shard_perf::ResidentPool).  The
+// first connect races the daemon's bind, so it retries.
+struct ResidentPool {
+  serve::Server server;
+  std::thread th;
+
+  explicit ResidentPool(std::size_t workers)
+      : server(tech5(), serial_opts(), serve_options(workers)) {
+    th = std::thread([this] { server.run(); });
+  }
+  ~ResidentPool() {
+    server.request_stop();
+    if (th.joinable()) th.join();
+    ::unlink(server.options().socket_path.c_str());
+  }
+
+  static serve::ServeOptions serve_options(std::size_t workers) {
+    static int counter = 0;
+    serve::ServeOptions o;
+    o.socket_path =
+        "/tmp/oasys-bench-yield-" + std::to_string(::getpid()) + "-" +
+        std::to_string(counter++) + ".sock";
+    o.workers = workers;
+    o.worker_command = OASYS_CLI_PATH;
+    return o;
+  }
+
+  serve::MixedConnectReport run(const std::vector<yield::Request>& reqs) {
+    for (int attempt = 0;; ++attempt) {
+      try {
+        return serve::run_connected_mixed(server.options().socket_path,
+                                          tech5(), serial_opts(), reqs);
+      } catch (const std::runtime_error& e) {
+        if (attempt >= 1000 || std::string(e.what()).find(
+                                   "cannot connect") == std::string::npos) {
+          throw;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
+    }
+  }
+};
+
+void BM_YieldAnalysis(benchmark::State& state) {
+  const core::OpAmpSpec spec = synth::paper_test_cases()[0];
+  const synth::SynthesisResult synthesis =
+      synth::synthesize_opamp(tech5(), spec, serial_opts());
+  const yield::YieldParams p =
+      params(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(yield::analyze_yield(tech5(), synthesis, p));
+  }
+  state.SetItemsProcessed(state.iterations() * kSamples);
+}
+BENCHMARK(BM_YieldAnalysis)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_MixedBatch(benchmark::State& state) {
+  const std::vector<yield::Request> batch = mixed_batch();
+  for (auto _ : state) {
+    yield::YieldService svc(tech5(), serial_opts());
+    benchmark::DoNotOptimize(svc.run_mixed(batch));
+  }
+}
+BENCHMARK(BM_MixedBatch);
+
+int emit_json(const char* path) {
+  const std::vector<yield::Request> batch = yield_batch();
+  const synth::SynthOptions sopts = serial_opts();
+
+  // Reference: jobs=1 local analyses, rendered to canonical JSON bytes.
+  std::vector<std::string> expected;
+  for (const yield::Request& r : batch) {
+    expected.push_back(yield::yield_result_json(
+        yield::run_yield(tech5(), r.spec, r.params, sopts)));
+  }
+
+  bool deterministic = true;
+
+  // Jobs scaling: the same analyses at jobs 1/2/4 must render to the
+  // reference bytes.  Timings run analyze_yield on pre-synthesized
+  // designs so samples/sec reflects the Monte-Carlo fan-out, not the
+  // (serial, shared) synthesis in front of it.
+  std::vector<synth::SynthesisResult> syntheses;
+  for (const yield::Request& r : batch) {
+    syntheses.push_back(synth::synthesize_opamp(tech5(), r.spec, sopts));
+  }
+  const std::size_t jobs_counts[] = {1, 2, 4};
+  double jobs_seconds[3] = {0.0, 0.0, 0.0};
+  for (std::size_t ji = 0; ji < 3; ++ji) {
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const yield::YieldResult r = yield::run_yield(
+          tech5(), batch[i].spec, params(jobs_counts[ji]), sopts);
+      deterministic =
+          deterministic && yield::yield_result_json(r) == expected[i];
+    }
+    jobs_seconds[ji] = oasys::bench::time_best_of(3, [&] {
+      for (const synth::SynthesisResult& s : syntheses) {
+        benchmark::DoNotOptimize(
+            yield::analyze_yield(tech5(), s, params(jobs_counts[ji])));
+      }
+    });
+  }
+  const double total_samples =
+      static_cast<double>(kSamples) * static_cast<double>(batch.size());
+
+  // Shard: the same yield requests across real worker processes at 1/2/4
+  // workers, each outcome held to the reference bytes.
+  const std::size_t worker_counts[] = {1, 2, 4};
+  double shard_seconds[3] = {0.0, 0.0, 0.0};
+  for (std::size_t wi = 0; wi < 3; ++wi) {
+    const shard::ShardReport report = shard::run_sharded_requests(
+        tech5(), sopts, batch, shard_opts(worker_counts[wi]));
+    deterministic = deterministic && report.infra_ok() &&
+                    report.outcomes.size() == expected.size();
+    for (std::size_t i = 0; deterministic && i < expected.size(); ++i) {
+      const shard::ShardOutcome& o = report.outcomes[i];
+      deterministic = o.ok() && o.is_yield &&
+                      yield::yield_result_json(o.yield) == expected[i];
+    }
+    shard_seconds[wi] = oasys::bench::time_best_of(2, [&] {
+      benchmark::DoNotOptimize(shard::run_sharded_requests(
+          tech5(), sopts, batch, shard_opts(worker_counts[wi])));
+    });
+  }
+
+  // Daemon: the same requests through a resident pool; the second run is
+  // the warm (shared-cache) round trip.
+  double serve_cold = 0.0;
+  double serve_warm = 0.0;
+  {
+    ResidentPool pool(2);
+    for (int request = 0; request < 3; ++request) {
+      const auto t0 = std::chrono::steady_clock::now();
+      const serve::MixedConnectReport report = pool.run(batch);
+      const double elapsed =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        t0)
+              .count();
+      if (request == 0) {
+        serve_cold = elapsed;
+      } else if (serve_warm == 0.0 || elapsed < serve_warm) {
+        serve_warm = elapsed;
+      }
+      deterministic =
+          deterministic && report.outcomes.size() == expected.size();
+      for (std::size_t i = 0; deterministic && i < expected.size(); ++i) {
+        const yield::Outcome& o = report.outcomes[i];
+        deterministic = o.ok() && o.is_yield &&
+                        yield::yield_result_json(o.yield) == expected[i];
+      }
+    }
+  }
+
+  // Mixed traffic through the local YieldService (what one shard worker
+  // actually runs).
+  const std::vector<yield::Request> mixed = mixed_batch();
+  const double mixed_seconds = oasys::bench::time_best_of(3, [&] {
+    yield::YieldService svc(tech5(), sopts);
+    benchmark::DoNotOptimize(svc.run_mixed(mixed));
+  });
+
+  FILE* out = std::fopen(path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path);
+    return 2;
+  }
+  std::fprintf(
+      out,
+      "{\"bench\": \"yield_perf\", \"build_type\": \"%s\",\n"
+      " \"specs\": %zu, \"samples_per_spec\": %d,\n"
+      " \"jobs1_seconds\": %.6f, \"jobs2_seconds\": %.6f, "
+      "\"jobs4_seconds\": %.6f,\n"
+      " \"jobs1_samples_per_sec\": %.1f, \"jobs2_samples_per_sec\": %.1f, "
+      "\"jobs4_samples_per_sec\": %.1f,\n"
+      " \"shard_w1_seconds\": %.6f, \"shard_w2_seconds\": %.6f, "
+      "\"shard_w4_seconds\": %.6f,\n"
+      " \"serve_cold_seconds\": %.6f, \"serve_warm_seconds\": %.6f,\n"
+      " \"mixed_batch_seconds\": %.6f,\n"
+      " \"deterministic\": %s}\n",
+      OASYS_BUILD_TYPE, batch.size(), kSamples, jobs_seconds[0],
+      jobs_seconds[1], jobs_seconds[2], total_samples / jobs_seconds[0],
+      total_samples / jobs_seconds[1], total_samples / jobs_seconds[2],
+      shard_seconds[0], shard_seconds[1], shard_seconds[2], serve_cold,
+      serve_warm, mixed_seconds, deterministic ? "true" : "false");
+  std::fclose(out);
+  if (!deterministic) {
+    std::fprintf(stderr,
+                 "FAIL: yield results diverged across jobs, shard worker "
+                 "counts, or daemon vs. local\n");
+    return 1;
+  }
+  std::printf(
+      "wrote %s (jobs1 %.0f samples/s, jobs4 %.0f samples/s, shard w4 "
+      "%.3fs, serve warm %.3fs)\n",
+      path, total_samples / jobs_seconds[0],
+      total_samples / jobs_seconds[2], shard_seconds[2], serve_warm);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (const char* path = oasys::bench::parse_json_flag(argc, argv)) {
+    return emit_json(path);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

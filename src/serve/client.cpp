@@ -53,10 +53,10 @@ int connect_unix(const std::string& path) {
 
 }  // namespace
 
-ConnectReport run_connected_batch(const std::string& socket_path,
-                                  const tech::Technology& tech,
-                                  const synth::SynthOptions& synth_opts,
-                                  const std::vector<core::OpAmpSpec>& specs) {
+MixedConnectReport run_connected_mixed(
+    const std::string& socket_path, const tech::Technology& tech,
+    const synth::SynthOptions& synth_opts,
+    const std::vector<yield::Request>& requests) {
   // A daemon that exits mid-conversation must surface as a thrown error,
   // not SIGPIPE; scoped so a caller-installed handler survives.
   const shard::ScopedSigpipeIgnore sigpipe_guard;
@@ -79,20 +79,24 @@ ConnectReport run_connected_batch(const std::string& socket_path,
     peer_closed =
         !shard::write_frame(sock.fd, shard::FrameType::kConfig, w.bytes());
   }
-  for (std::size_t i = 0; i < specs.size() && !peer_closed; ++i) {
+  for (std::size_t i = 0; i < requests.size() && !peer_closed; ++i) {
     shard::Writer w;
     w.u64(i);
-    shard::put_spec(w, specs[i]);
-    peer_closed =
-        !shard::write_frame(sock.fd, shard::FrameType::kRequest, w.bytes());
+    shard::put_spec(w, requests[i].spec);
+    if (requests[i].is_yield) shard::put_yield_params(w, requests[i].params);
+    peer_closed = !shard::write_frame(
+        sock.fd,
+        requests[i].is_yield ? shard::FrameType::kYieldRequest
+                             : shard::FrameType::kRequest,
+        w.bytes());
   }
   if (!peer_closed) {
     peer_closed = !shard::write_frame(sock.fd, shard::FrameType::kRun, {});
   }
 
-  ConnectReport report;
-  report.outcomes.resize(specs.size());
-  std::vector<bool> have(specs.size(), false);
+  MixedConnectReport report;
+  report.outcomes.resize(requests.size());
+  std::vector<bool> have(requests.size(), false);
   bool done = false;
   bool have_metrics = false;
   shard::Frame frame;
@@ -103,21 +107,32 @@ ConnectReport run_connected_batch(const std::string& socket_path,
         throw std::runtime_error("serve: daemon refused the request: " +
                                  r.str());
       }
-      case shard::FrameType::kResult: {
+      case shard::FrameType::kResult:
+      case shard::FrameType::kYieldResult: {
+        const bool is_yield = frame.type == shard::FrameType::kYieldResult;
         shard::Reader r(frame.payload);
         const std::uint64_t seq = r.u64();
-        if (seq >= specs.size() || have[seq]) {
+        if (seq >= requests.size() || have[seq]) {
           throw shard::WireError(util::format(
               "serve: daemon sent an unexpected sequence id %llu",
               static_cast<unsigned long long>(seq)));
         }
+        if (requests[seq].is_yield != is_yield) {
+          throw shard::WireError(util::format(
+              "serve: daemon answered sequence id %llu with the wrong "
+              "result kind",
+              static_cast<unsigned long long>(seq)));
+        }
         const bool result_ok = r.boolean();
-        service::BatchOutcome& o = report.outcomes[seq];
-        if (result_ok) {
-          o.result = shard::get_result(r);
-        } else {
+        yield::Outcome& o = report.outcomes[seq];
+        o.is_yield = is_yield;
+        if (!result_ok) {
           o.error = r.str();
           if (o.error.empty()) o.error = "unspecified daemon error";
+        } else if (is_yield) {
+          o.yield = shard::get_yield_result(r);
+        } else {
+          o.result = shard::get_result(r);
         }
         r.expect_end();
         have[seq] = true;
@@ -147,13 +162,34 @@ ConnectReport run_connected_batch(const std::string& socket_path,
     throw std::runtime_error(
         "serve: daemon closed the connection mid-batch");
   }
-  for (std::size_t i = 0; i < specs.size(); ++i) {
+  for (std::size_t i = 0; i < requests.size(); ++i) {
     if (!have[i]) {
       throw std::runtime_error(util::format(
           "serve: daemon completed the batch without answering spec %zu",
           i));
     }
   }
+  return report;
+}
+
+ConnectReport run_connected_batch(const std::string& socket_path,
+                                  const tech::Technology& tech,
+                                  const synth::SynthOptions& synth_opts,
+                                  const std::vector<core::OpAmpSpec>& specs) {
+  std::vector<yield::Request> requests(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    requests[i].spec = specs[i];
+  }
+  MixedConnectReport mixed =
+      run_connected_mixed(socket_path, tech, synth_opts, requests);
+  ConnectReport report;
+  report.outcomes.resize(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    report.outcomes[i].result = std::move(mixed.outcomes[i].result);
+    report.outcomes[i].error = std::move(mixed.outcomes[i].error);
+  }
+  report.metrics = std::move(mixed.metrics);
+  report.stats = mixed.stats;
   return report;
 }
 

@@ -18,6 +18,7 @@
 #include "service/service.h"
 #include "synth/oasys.h"
 #include "tech/technology.h"
+#include "yield/service.h"
 
 namespace oasys::serve {
 
@@ -35,9 +36,28 @@ struct ConnectReport {
   service::ServiceStats stats;
 };
 
-// Connects, runs the batch, disconnects.  Throws std::runtime_error when
-// the daemon is unreachable, refuses the configuration (kError), or
-// breaks the protocol; per-spec failures (including deterministic
+// ConnectReport for a mixed synthesis/yield cycle: one yield::Outcome per
+// request, submission order.  ok() items are bit-identical to what the
+// local yield::YieldService produces for the same requests.
+struct MixedConnectReport {
+  std::vector<yield::Outcome> outcomes;
+  obs::MetricsSnapshot metrics;
+  service::ServiceStats stats;
+};
+
+// Connects, runs one mixed synthesis/yield cycle, disconnects.  Each
+// request travels as kRequest or kYieldRequest and is answered by the
+// matching result frame type (a mismatch is a protocol error and
+// throws).  Throws std::runtime_error when the daemon is unreachable,
+// refuses the configuration (kError), or breaks the protocol; per-request
+// failures are ordinary outcomes, never thrown.
+MixedConnectReport run_connected_mixed(
+    const std::string& socket_path, const tech::Technology& tech,
+    const synth::SynthOptions& synth_opts,
+    const std::vector<yield::Request>& requests);
+
+// Synthesis-only wrapper over run_connected_mixed.  Throws under the
+// same conditions; per-spec failures (including deterministic
 // worker-death errors) are ordinary outcomes, never thrown.
 ConnectReport run_connected_batch(const std::string& socket_path,
                                   const tech::Technology& tech,

@@ -24,6 +24,7 @@
 #include "synth/opamp_design.h"
 #include "util/fingerprint.h"
 #include "util/text.h"
+#include "yield/yield.h"
 
 namespace oasys::serve {
 
@@ -135,12 +136,22 @@ class ServerLoop {
     std::vector<service::ServiceStats> wstats;     // cumulative, per worker
   };
 
-  // Routing record for one spec handed to a worker.
+  // Routing record for one request handed to a worker.  `key` is the
+  // shared-cache key (for yield requests: the spec key extended with the
+  // analysis parameters); routing always used the plain spec key.
   struct PendingSpec {
     std::uint64_t session_id = 0;
     std::uint64_t client_seq = 0;
     std::string key;
     std::size_t worker = 0;
+    bool is_yield = false;
+  };
+
+  // One shared-cache entry: which result frame type to replay, plus the
+  // payload bytes after the sequence id (ok flag + encoded result).
+  struct CachedAnswer {
+    shard::FrameType type = shard::FrameType::kResult;
+    std::string rest;
   };
 
   template <typename Fn>
@@ -163,7 +174,7 @@ class ServerLoop {
   void accept_clients();
   void close_session(std::uint64_t id);
   void session_error(Session& s, const std::string& msg);
-  void error_result(Session& s, std::uint64_t client_seq,
+  void error_result(Session& s, std::uint64_t client_seq, bool is_yield,
                     const std::string& msg);
   // Returns false when the session entered a terminal state and later
   // buffered frames must not be processed.
@@ -185,10 +196,12 @@ class ServerLoop {
   std::uint64_t next_session_id_ = 1;
   std::uint64_t next_gid_ = 1;
   std::map<std::uint64_t, PendingSpec> pending_;
-  // Shared result tier: full request key -> the result's wire bytes (the
-  // kResult payload after the sequence id: ok flag + encoded result), so
-  // a hit replays the identical bytes a worker would have produced.
-  service::LruCache<std::string, std::string> shared_cache_;
+  // Shared result tier: full request key -> the answer's frame type plus
+  // its wire bytes after the sequence id, so a hit replays the identical
+  // bytes a worker would have produced.  Synthesis answers key on the
+  // plain request fingerprint; yield answers on that fingerprint extended
+  // with the yield parameters, so both kinds for one spec coexist.
+  service::LruCache<std::string, CachedAnswer> shared_cache_;
 };
 
 std::string ServerLoop::config_frame_bytes(std::size_t shard_index) const {
@@ -264,7 +277,7 @@ void ServerLoop::fail_worker_cycles(std::size_t i, bool timed_out) {
       const auto it = pending_.find(gid);
       if (it == pending_.end()) continue;  // already answered
       if (s != nullptr) {
-        error_result(*s, it->second.client_seq, text);
+        error_result(*s, it->second.client_seq, it->second.is_yield, text);
         bump([](ServeStats& st) { ++st.worker_errors; });
       }
       pending_.erase(it);
@@ -306,7 +319,8 @@ void ServerLoop::handle_worker_frame(std::size_t i,
     wk.deadline = now_s() + options_.worker_timeout_s;
   }
   switch (frame.type) {
-    case shard::FrameType::kResult: {
+    case shard::FrameType::kResult:
+    case shard::FrameType::kYieldResult: {
       shard::Reader r(frame.payload);
       const std::uint64_t gid = r.u64();
       const bool result_ok = r.boolean();
@@ -316,19 +330,26 @@ void ServerLoop::handle_worker_frame(std::size_t i,
             "unexpected sequence id %llu",
             static_cast<unsigned long long>(gid)));
       }
+      if (it->second.is_yield !=
+          (frame.type == shard::FrameType::kYieldResult)) {
+        throw shard::WireError(util::format(
+            "worker %zu answered sequence id %llu with the wrong result "
+            "kind",
+            i, static_cast<unsigned long long>(gid)));
+      }
       // The bytes after the gid (ok flag + encoded result) pass through
       // verbatim: same binary on both ends, and the client validates on
       // parse.  Only successes are cached — errors must re-run.
       const std::string rest = frame.payload.substr(8);
       if (result_ok && shared_cache_.capacity() > 0) {
-        shared_cache_.put(it->second.key, rest);
+        shared_cache_.put(it->second.key, CachedAnswer{frame.type, rest});
       }
       if (Session* s = find_session(it->second.session_id)) {
         shard::Writer w;
         w.u64(it->second.client_seq);
         std::string payload = w.take();
         payload += rest;
-        s->out_buf += shard::frame_bytes(shard::FrameType::kResult, payload);
+        s->out_buf += shard::frame_bytes(frame.type, payload);
         ++s->returned;
       }
       pending_.erase(it);
@@ -364,7 +385,7 @@ void ServerLoop::handle_worker_frame(std::size_t i,
         const auto it = pending_.find(gid);
         if (it == pending_.end()) continue;
         if (s != nullptr) {
-          error_result(*s, it->second.client_seq,
+          error_result(*s, it->second.client_seq, it->second.is_yield,
                        util::format("serve worker %zu completed a cycle "
                                     "without returning a result for this "
                                     "spec",
@@ -420,12 +441,14 @@ void ServerLoop::session_error(Session& s, const std::string& msg) {
 }
 
 void ServerLoop::error_result(Session& s, std::uint64_t client_seq,
-                              const std::string& msg) {
+                              bool is_yield, const std::string& msg) {
   shard::Writer w;
   w.u64(client_seq);
   w.boolean(false);
   w.str(msg);
-  s.out_buf += shard::frame_bytes(shard::FrameType::kResult, w.bytes());
+  s.out_buf += shard::frame_bytes(
+      is_yield ? shard::FrameType::kYieldResult : shard::FrameType::kResult,
+      w.bytes());
   ++s.returned;
 }
 
@@ -450,7 +473,9 @@ bool ServerLoop::handle_session_frame(Session& s, const shard::Frame& frame) {
       s.got_config = true;
       return true;
     }
-    case shard::FrameType::kRequest: {
+    case shard::FrameType::kRequest:
+    case shard::FrameType::kYieldRequest: {
+      const bool is_yield = frame.type == shard::FrameType::kYieldRequest;
       if (!s.got_config || s.run_seen) {
         session_error(s, s.run_seen
                              ? "kRequest while a cycle is still in flight "
@@ -461,33 +486,41 @@ bool ServerLoop::handle_session_frame(Session& s, const shard::Frame& frame) {
       shard::Reader r(frame.payload);
       const std::uint64_t seq = r.u64();
       const core::OpAmpSpec spec = shard::get_spec(r);
+      yield::YieldParams params;
+      if (is_yield) params = shard::get_yield_params(r);
       r.expect_end();
       bump([](ServeStats& st) { ++st.requests; });
       ++s.expected;
-      const std::string key = key_prefix_ + spec.canonical_string();
+      // Routing always uses the plain spec key, so synth and yield
+      // traffic for one spec co-locate on one worker and share its
+      // caches; the shared tier distinguishes them by cache key.
+      const std::string route_key = key_prefix_ + spec.canonical_string();
+      const std::string cache_key =
+          is_yield ? route_key + "|yield;" + params.canonical_string()
+                   : route_key;
       if (shared_cache_.capacity() > 0) {
-        if (const std::string* cached = shared_cache_.get(key)) {
+        if (const CachedAnswer* cached = shared_cache_.get(cache_key)) {
           bump([](ServeStats& st) { ++st.shared_cache_hits; });
           shard::Writer w;
           w.u64(seq);
           std::string payload = w.take();
-          payload += *cached;
-          s.out_buf +=
-              shard::frame_bytes(shard::FrameType::kResult, payload);
+          payload += cached->rest;
+          s.out_buf += shard::frame_bytes(cached->type, payload);
           ++s.returned;
           return true;
         }
         bump([](ServeStats& st) { ++st.shared_cache_misses; });
       }
-      const std::size_t widx = shard::route(key, options_.workers);
+      const std::size_t widx = shard::route(route_key, options_.workers);
       const std::uint64_t gid = next_gid_++;
-      pending_[gid] = PendingSpec{s.id, seq, key, widx};
+      pending_[gid] = PendingSpec{s.id, seq, cache_key, widx, is_yield};
       OpenCycle& oc = s.open[widx];
       oc.gids.push_back(gid);
       shard::Writer w;
       w.u64(gid);
       shard::put_spec(w, spec);
-      oc.bytes += shard::frame_bytes(shard::FrameType::kRequest, w.bytes());
+      if (is_yield) shard::put_yield_params(w, params);
+      oc.bytes += shard::frame_bytes(frame.type, w.bytes());
       return true;
     }
     case shard::FrameType::kRun: {

@@ -17,8 +17,10 @@
 // shared result-cache tier keyed by the full request fingerprint and
 // consulted before routing, so a key that repeats across requests stops
 // costing one miss per worker.  Only ok() results are cached; the cached
-// value is the result's exact wire bytes, so a shared-tier hit replays
-// the identical payload a worker would have produced.
+// value is the result's exact wire bytes (plus which result frame type
+// to replay — yield analyses cache under the spec key extended with
+// their parameters), so a shared-tier hit replays the identical payload
+// a worker would have produced.
 //
 // Fault model.  The event loop is poll(2)-based and single-threaded;
 // every fd is non-blocking and every write is buffered, so no peer can

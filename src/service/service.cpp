@@ -229,6 +229,11 @@ void SynthesisService::drain() {
 }
 
 synth::SynthesisResult SynthesisService::wait(const Ticket& ticket) {
+  return wait(ticket, nullptr);
+}
+
+synth::SynthesisResult SynthesisService::wait(const Ticket& ticket,
+                                              double* seconds_out) {
   std::unique_lock<std::mutex> lock(impl_->mu);
   const auto it = impl_->tickets.find(ticket.id);
   if (it == impl_->tickets.end()) {
@@ -241,6 +246,7 @@ synth::SynthesisResult SynthesisService::wait(const Ticket& ticket) {
   for (;;) {
     if (entry->state == Entry::State::kDone) {
       if (entry->error) std::rethrow_exception(entry->error);
+      if (seconds_out != nullptr) *seconds_out = entry->service_seconds;
       return *entry->result;
     }
     if (!impl_->queue.empty()) {
@@ -281,7 +287,7 @@ std::vector<BatchOutcome> SynthesisService::run_batch_outcomes(
   for (const Ticket& t : tickets) {
     BatchOutcome o;
     try {
-      o.result = wait(t);
+      o.result = wait(t, &o.seconds);
     } catch (const std::exception& e) {
       o.error = e.what();
     }

@@ -83,6 +83,11 @@ struct Ticket {
 struct BatchOutcome {
   synth::SynthesisResult result;
   std::string error;
+  // Service time [s] for this request: compute wall time for misses
+  // (shared by dedup joins), cache-lookup time for hits; 0 when the
+  // synthesis threw.  Timing-bearing — never part of deterministic
+  // output, but batch front-ends may sort their summaries by it.
+  double seconds = 0.0;
   bool ok() const { return error.empty(); }
 };
 
@@ -105,6 +110,10 @@ class SynthesisService {
   // std::out_of_range.  An exception thrown by the underlying synthesis
   // is rethrown here, once per attached ticket.
   synth::SynthesisResult wait(const Ticket& ticket);
+
+  // wait() that also reports the request's service time [s] (see
+  // BatchOutcome::seconds).  Left untouched when the synthesis throws.
+  synth::SynthesisResult wait(const Ticket& ticket, double* seconds_out);
 
   // Computes everything queued right now; returns when it is done.
   void drain();

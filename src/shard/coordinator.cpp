@@ -148,10 +148,10 @@ std::size_t route(const std::string& request_key, std::size_t workers) {
   return util::shard_index(util::fnv1a64(request_key), workers);
 }
 
-ShardReport run_sharded_batch(const tech::Technology& tech,
-                              const synth::SynthOptions& synth_opts,
-                              const std::vector<core::OpAmpSpec>& specs,
-                              const ShardOptions& options) {
+ShardReport run_sharded_requests(const tech::Technology& tech,
+                                 const synth::SynthOptions& synth_opts,
+                                 const std::vector<yield::Request>& requests,
+                                 const ShardOptions& options) {
   if (options.workers == 0) {
     throw std::invalid_argument("shard: workers must be >= 1");
   }
@@ -172,7 +172,7 @@ ShardReport run_sharded_batch(const tech::Technology& tech,
   const std::string key_prefix = tech_canon + "|" + opts_canon + "|";
 
   ShardReport report;
-  report.outcomes.resize(specs.size());
+  report.outcomes.resize(requests.size());
   report.workers.resize(options.workers);
 
   std::vector<WorkerProc> procs;
@@ -206,18 +206,26 @@ ShardReport run_sharded_batch(const tech::Technology& tech,
 
   // Route every request in global submission order; workers see their
   // subsequence in that same order, which is what makes per-shard cache
-  // and dedup behavior independent of the worker count.
-  std::vector<std::size_t> spec_shard(specs.size(), 0);
-  for (std::size_t s = 0; s < specs.size(); ++s) {
-    const std::size_t i =
-        route(key_prefix + specs[s].canonical_string(), options.workers);
+  // and dedup behavior independent of the worker count.  Yield requests
+  // route by the same plain spec key as syntheses — deliberately ignoring
+  // the yield params — so both traffic kinds for one spec co-locate.
+  std::vector<std::size_t> spec_shard(requests.size(), 0);
+  for (std::size_t s = 0; s < requests.size(); ++s) {
+    const std::size_t i = route(
+        key_prefix + requests[s].spec.canonical_string(), options.workers);
     spec_shard[s] = i;
     report.outcomes[s].shard = i;
+    report.outcomes[s].is_yield = requests[s].is_yield;
     ++report.workers[i].requests;
     Writer w;
     w.u64(s);
-    put_spec(w, specs[s]);
-    send(i, FrameType::kRequest, w.bytes());
+    put_spec(w, requests[s].spec);
+    if (requests[s].is_yield) {
+      put_yield_params(w, requests[s].params);
+      send(i, FrameType::kYieldRequest, w.bytes());
+    } else {
+      send(i, FrameType::kRequest, w.bytes());
+    }
   }
 
   for (std::size_t i = 0; i < options.workers; ++i) {
@@ -233,7 +241,7 @@ ShardReport run_sharded_batch(const tech::Technology& tech,
   // the worker it is blocked on.
   std::vector<obs::MetricsSnapshot> worker_snaps(options.workers);
   std::vector<bool> have_snap(options.workers, false);
-  std::vector<bool> have_result(specs.size(), false);
+  std::vector<bool> have_result(requests.size(), false);
   for (std::size_t i = 0; i < options.workers; ++i) {
     WorkerSummary& ws = report.workers[i];
     bool done = false;
@@ -263,22 +271,33 @@ ShardReport run_sharded_batch(const tech::Technology& tech,
       };
       while (!done && next_frame()) {
         switch (frame.type) {
-          case FrameType::kResult: {
+          case FrameType::kResult:
+          case FrameType::kYieldResult: {
             Reader r(frame.payload);
             const std::uint64_t seq = r.u64();
-            if (seq >= specs.size() || spec_shard[seq] != i ||
+            if (seq >= requests.size() || spec_shard[seq] != i ||
                 have_result[seq]) {
               throw WireError(util::format(
                   "worker %zu sent an unexpected sequence id %llu", i,
                   static_cast<unsigned long long>(seq)));
             }
-            const bool result_ok = r.boolean();
             ShardOutcome& o = report.outcomes[seq];
-            if (result_ok) {
-              o.result = get_result(r);
-            } else {
+            // A result frame of the wrong kind is protocol desync, not a
+            // recoverable outcome.
+            if (o.is_yield != (frame.type == FrameType::kYieldResult)) {
+              throw WireError(util::format(
+                  "worker %zu answered sequence id %llu with the wrong "
+                  "result kind",
+                  i, static_cast<unsigned long long>(seq)));
+            }
+            const bool result_ok = r.boolean();
+            if (!result_ok) {
               o.error = r.str();
               if (o.error.empty()) o.error = "unspecified worker error";
+            } else if (o.is_yield) {
+              o.yield = get_yield_result(r);
+            } else {
+              o.result = get_result(r);
             }
             r.expect_end();
             have_result[seq] = true;
@@ -341,7 +360,7 @@ ShardReport run_sharded_batch(const tech::Technology& tech,
   // returned: no pids, no exit statuses, so the text is stable run-to-run
   // (the WorkerSummary carries the forensic detail).  Wedged-and-killed
   // workers get their own text so operators can tell a crash from a hang.
-  for (std::size_t s = 0; s < specs.size(); ++s) {
+  for (std::size_t s = 0; s < requests.size(); ++s) {
     if (have_result[s] || !report.outcomes[s].error.empty()) continue;
     report.outcomes[s].error =
         report.workers[spec_shard[s]].timed_out
@@ -399,6 +418,20 @@ ShardReport run_sharded_batch(const tech::Technology& tech,
             });
   report.merged_metrics = std::move(merged);
   return report;
+}
+
+ShardReport run_sharded_batch(const tech::Technology& tech,
+                              const synth::SynthOptions& synth_opts,
+                              const std::vector<core::OpAmpSpec>& specs,
+                              const ShardOptions& options) {
+  std::vector<yield::Request> requests;
+  requests.reserve(specs.size());
+  for (const core::OpAmpSpec& s : specs) {
+    yield::Request r;
+    r.spec = s;
+    requests.push_back(std::move(r));
+  }
+  return run_sharded_requests(tech, synth_opts, requests, options);
 }
 
 }  // namespace oasys::shard

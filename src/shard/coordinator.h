@@ -33,6 +33,7 @@
 #include "service/service.h"
 #include "synth/oasys.h"
 #include "tech/technology.h"
+#include "yield/service.h"
 
 namespace oasys::shard {
 
@@ -55,12 +56,15 @@ struct ShardOptions {
   double worker_timeout_s = 0.0;
 };
 
-// Per-spec outcome, in global submission order.  Mirrors
-// service::BatchOutcome plus the shard that served (or lost) the spec.
+// Per-request outcome, in global submission order.  Mirrors
+// yield::Outcome plus the shard that served (or lost) the request:
+// `result` answers a synthesis request, `yield` answers a yield request.
 struct ShardOutcome {
+  bool is_yield = false;
   synth::SynthesisResult result;
-  std::string error;       // empty <=> `result` is valid
-  std::size_t shard = 0;   // worker index the spec was routed to
+  yield::YieldResult yield;
+  std::string error;       // empty <=> the answer field is valid
+  std::size_t shard = 0;   // worker index the request was routed to
   bool ok() const { return error.empty(); }
 };
 
@@ -115,10 +119,21 @@ struct SpawnedWorker {
 };
 SpawnedWorker spawn_worker_process(const std::string& command, bool session);
 
-// Spawns options.workers processes, routes and runs the batch, merges
-// results and metrics, reaps every child.  Throws std::invalid_argument
-// on workers == 0 or an empty worker_command; worker failures are
-// reported in the ShardReport, never thrown.
+// Spawns options.workers processes, routes and runs a mixed batch of
+// synthesis and yield requests, merges results and metrics, reaps every
+// child.  Yield requests are routed by their spec's plain request key —
+// the same key a synthesis of that spec routes by — so the two kinds of
+// traffic for one spec always co-locate on one worker and share its
+// caches (which is also what keeps the merged deterministic counters
+// worker-count-invariant).  Throws std::invalid_argument on workers == 0
+// or an empty worker_command; worker failures are reported in the
+// ShardReport, never thrown.
+ShardReport run_sharded_requests(const tech::Technology& tech,
+                                 const synth::SynthOptions& synth_opts,
+                                 const std::vector<yield::Request>& requests,
+                                 const ShardOptions& options);
+
+// Synthesis-only convenience wrapper over run_sharded_requests.
 ShardReport run_sharded_batch(const tech::Technology& tech,
                               const synth::SynthOptions& synth_opts,
                               const std::vector<core::OpAmpSpec>& specs,

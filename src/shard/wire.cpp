@@ -518,6 +518,79 @@ synth::SynthesisResult get_result(Reader& r) {
   return result;
 }
 
+void put_yield_params(Writer& w, const yield::YieldParams& p) {
+  w.u64(static_cast<std::uint64_t>(p.samples));
+  w.u64(p.seed);
+}
+
+yield::YieldParams get_yield_params(Reader& r) {
+  yield::YieldParams p;
+  const std::uint64_t samples = r.u64();
+  // Sample counts are caller-chosen but bounded: anything above 2^31-1
+  // cannot have come from the CLI's int parse and is corruption.
+  if (samples == 0 || samples > 0x7fffffffull) {
+    throw WireError("wire: YieldParams.samples out of range");
+  }
+  p.samples = static_cast<int>(samples);
+  p.seed = r.u64();
+  return p;
+}
+
+void put_yield_result(Writer& w, const yield::YieldResult& result) {
+  w.boolean(result.ok);
+  w.str(result.error);
+  put_result(w, result.synthesis);
+  w.u64(static_cast<std::uint64_t>(result.samples_requested));
+  w.u64(static_cast<std::uint64_t>(result.samples_converged));
+  w.u64(result.seed);
+  w.u64(result.pass_count);
+  w.f64(result.yield);
+  w.u64(result.metrics.size());
+  for (const yield::MetricStats& m : result.metrics) {
+    w.str(m.name);
+    w.boolean(m.constrained);
+    w.f64(m.bound);
+    w.u64(m.pass);
+    w.f64(m.mean);
+    w.f64(m.sigma);
+    w.f64(m.min);
+    w.f64(m.max);
+    w.f64(m.p05);
+    w.f64(m.p50);
+    w.f64(m.p95);
+  }
+}
+
+yield::YieldResult get_yield_result(Reader& r) {
+  yield::YieldResult result;
+  result.ok = r.boolean();
+  result.error = r.str();
+  result.synthesis = get_result(r);
+  result.samples_requested = static_cast<int>(r.u64());
+  result.samples_converged = static_cast<int>(r.u64());
+  result.seed = r.u64();
+  result.pass_count = r.u64();
+  result.yield = r.f64();
+  const std::uint64_t nm = checked_len(r.u64(), 75, "yield metric");
+  result.metrics.reserve(static_cast<std::size_t>(nm));
+  for (std::uint64_t i = 0; i < nm; ++i) {
+    yield::MetricStats m;
+    m.name = r.str();
+    m.constrained = r.boolean();
+    m.bound = r.f64();
+    m.pass = r.u64();
+    m.mean = r.f64();
+    m.sigma = r.f64();
+    m.min = r.f64();
+    m.max = r.f64();
+    m.p05 = r.f64();
+    m.p50 = r.f64();
+    m.p95 = r.f64();
+    result.metrics.push_back(std::move(m));
+  }
+  return result;
+}
+
 void put_metrics_snapshot(Writer& w, const obs::MetricsSnapshot& s) {
   w.u64(s.entries.size());
   for (const obs::MetricEntry& e : s.entries) {
@@ -673,7 +746,7 @@ void parse_frame_header(std::string_view header, FrameType* type,
   }
   const std::uint32_t t = r.u32();
   if (t < static_cast<std::uint32_t>(FrameType::kConfig) ||
-      t > static_cast<std::uint32_t>(FrameType::kError)) {
+      t > static_cast<std::uint32_t>(FrameType::kYieldResult)) {
     throw WireError(util::format("wire: unknown frame type %u", t));
   }
   const std::uint64_t n = r.u64();

@@ -48,6 +48,7 @@
 #include "service/service.h"
 #include "synth/oasys.h"
 #include "tech/technology.h"
+#include "yield/yield.h"
 
 namespace oasys::shard {
 
@@ -67,6 +68,13 @@ enum class FrameType : std::uint32_t {
   // Session-level refusal (payload: one string).  Daemon protocol only;
   // the batch-mode coordinator/worker conversation never sends it.
   kError = 7,
+  // Yield traffic, interleaved with kRequest in the same cycle:
+  // kYieldRequest carries (sequence id, OpAmpSpec, YieldParams) and is
+  // answered by a kYieldResult (sequence id, outcome) in arrival order.
+  // Routing uses the *plain* request key of the spec, so synth and yield
+  // traffic for one spec co-locate on one worker and share its caches.
+  kYieldRequest = 8,
+  kYieldResult = 9,
 };
 
 // Malformed or truncated wire data.  Protocol errors are I/O-shaped and
@@ -154,6 +162,14 @@ service::ServiceOptions get_service_options(Reader& r);
 
 void put_result(Writer& w, const synth::SynthesisResult& result);
 synth::SynthesisResult get_result(Reader& r);
+
+// Yield params travel without their jobs field: jobs never changes result
+// bytes, and each worker applies its own configured jobs setting.
+void put_yield_params(Writer& w, const yield::YieldParams& p);
+yield::YieldParams get_yield_params(Reader& r);
+
+void put_yield_result(Writer& w, const yield::YieldResult& result);
+yield::YieldResult get_yield_result(Reader& r);
 
 void put_metrics_snapshot(Writer& w, const obs::MetricsSnapshot& s);
 obs::MetricsSnapshot get_metrics_snapshot(Reader& r);

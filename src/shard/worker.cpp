@@ -10,10 +10,10 @@
 
 #include "core/spec.h"
 #include "obs/metrics.h"
-#include "service/service.h"
 #include "shard/wire.h"
 #include "synth/opamp_design.h"
 #include "util/fingerprint.h"
+#include "yield/service.h"
 
 namespace oasys::shard {
 
@@ -68,6 +68,37 @@ int die(const std::string& msg) {
   return 3;
 }
 
+// Decodes one kRequest or kYieldRequest payload into (seq, mixed request).
+void decode_request(const Frame& frame, std::uint64_t* seq,
+                    yield::Request* req) {
+  Reader r(frame.payload);
+  *seq = r.u64();
+  req->spec = get_spec(r);
+  if (frame.type == FrameType::kYieldRequest) {
+    req->is_yield = true;
+    req->params = get_yield_params(r);
+  }
+  r.expect_end();
+}
+
+// Writes one outcome back: kResult for synthesis, kYieldResult for yield,
+// both carrying (seq, ok, result-or-error).
+bool write_outcome(int out_fd, std::uint64_t seq, const yield::Outcome& o) {
+  Writer w;
+  w.u64(seq);
+  w.boolean(o.ok());
+  if (!o.ok()) {
+    w.str(o.error);
+  } else if (o.is_yield) {
+    put_yield_result(w, o.yield);
+  } else {
+    put_result(w, o.result);
+  }
+  return write_frame(
+      out_fd, o.is_yield ? FrameType::kYieldResult : FrameType::kResult,
+      w.bytes());
+}
+
 }  // namespace
 
 int worker_main(int in_fd, int out_fd) {
@@ -102,7 +133,7 @@ int worker_main(int in_fd, int out_fd) {
     }
 
     std::vector<std::uint64_t> seqs;
-    std::vector<core::OpAmpSpec> specs;
+    std::vector<yield::Request> requests;
     for (;;) {
       if (!read_frame(in_fd, &frame)) {
         return die("coordinator closed the pipe before sending kRun");
@@ -112,34 +143,26 @@ int worker_main(int in_fd, int out_fd) {
         r.expect_end();
         break;
       }
-      if (frame.type != FrameType::kRequest) {
+      if (frame.type != FrameType::kRequest &&
+          frame.type != FrameType::kYieldRequest) {
         return die("unexpected frame before kRun");
       }
-      Reader r(frame.payload);
-      const std::uint64_t seq = r.u64();
-      core::OpAmpSpec spec = get_spec(r);
-      r.expect_end();
-      if (crash.on_receive && crash.hits(spec.name)) crash.fire();
+      std::uint64_t seq = 0;
+      yield::Request req;
+      decode_request(frame, &seq, &req);
+      if (crash.on_receive && crash.hits(req.spec.name)) crash.fire();
       seqs.push_back(seq);
-      specs.push_back(std::move(spec));
+      requests.push_back(std::move(req));
     }
 
-    service::SynthesisService service(config.tech, config.synth,
-                                      config.service);
-    const std::vector<service::BatchOutcome> outcomes =
-        service.run_batch_outcomes(specs);
+    yield::YieldService service(config.tech, config.synth, config.service);
+    const std::vector<yield::Outcome> outcomes = service.run_mixed(requests);
 
     for (std::size_t i = 0; i < outcomes.size(); ++i) {
-      if (!crash.on_receive && crash.hits(specs[i].name)) crash.fire();
-      Writer w;
-      w.u64(seqs[i]);
-      w.boolean(outcomes[i].ok());
-      if (outcomes[i].ok()) {
-        put_result(w, outcomes[i].result);
-      } else {
-        w.str(outcomes[i].error);
+      if (!crash.on_receive && crash.hits(requests[i].spec.name)) {
+        crash.fire();
       }
-      if (!write_frame(out_fd, FrameType::kResult, w.bytes())) {
+      if (!write_outcome(out_fd, seqs[i], outcomes[i])) {
         return die("coordinator pipe closed while sending results");
       }
     }
@@ -183,14 +206,14 @@ int worker_session_main(int in_fd, int out_fd) {
           "drift)");
     }
 
-    // One resident service for the whole session: its private LRU cache is
-    // the warm tier that makes the daemon pay off across requests.
-    service::SynthesisService service(config.tech, config.synth,
-                                      config.service);
+    // One resident service for the whole session: its private LRU caches
+    // (synthesis results and completed yield analyses) are the warm tier
+    // that makes the daemon pay off across requests.
+    yield::YieldService service(config.tech, config.synth, config.service);
 
     for (;;) {
       std::vector<std::uint64_t> seqs;
-      std::vector<core::OpAmpSpec> specs;
+      std::vector<yield::Request> requests;
       bool cycle_started = false;
       for (;;) {
         if (!read_frame(in_fd, &frame)) {
@@ -203,36 +226,30 @@ int worker_session_main(int in_fd, int out_fd) {
           r.expect_end();
           break;
         }
-        if (frame.type != FrameType::kRequest) {
+        if (frame.type != FrameType::kRequest &&
+            frame.type != FrameType::kYieldRequest) {
           return die("unexpected frame before kRun");
         }
-        Reader r(frame.payload);
-        const std::uint64_t seq = r.u64();
-        core::OpAmpSpec spec = get_spec(r);
-        r.expect_end();
-        if (crash.on_receive && crash.hits(spec.name)) crash.fire();
+        std::uint64_t seq = 0;
+        yield::Request req;
+        decode_request(frame, &seq, &req);
+        if (crash.on_receive && crash.hits(req.spec.name)) crash.fire();
         seqs.push_back(seq);
-        specs.push_back(std::move(spec));
+        requests.push_back(std::move(req));
       }
 
       // Each kMetrics frame carries this cycle's deltas only, so the
       // coordinator can accumulate across cycles without double counting;
       // ServiceStats stay cumulative (the resident cache's whole history).
       obs::Registry::global().reset();
-      const std::vector<service::BatchOutcome> outcomes =
-          service.run_batch_outcomes(specs);
+      const std::vector<yield::Outcome> outcomes =
+          service.run_mixed(requests);
 
       for (std::size_t i = 0; i < outcomes.size(); ++i) {
-        if (!crash.on_receive && crash.hits(specs[i].name)) crash.fire();
-        Writer w;
-        w.u64(seqs[i]);
-        w.boolean(outcomes[i].ok());
-        if (outcomes[i].ok()) {
-          put_result(w, outcomes[i].result);
-        } else {
-          w.str(outcomes[i].error);
+        if (!crash.on_receive && crash.hits(requests[i].spec.name)) {
+          crash.fire();
         }
-        if (!write_frame(out_fd, FrameType::kResult, w.bytes())) {
+        if (!write_outcome(out_fd, seqs[i], outcomes[i])) {
           return die("peer pipe closed while sending results");
         }
       }

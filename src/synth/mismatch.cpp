@@ -1,12 +1,12 @@
 #include "synth/mismatch.h"
 
 #include <cmath>
-#include <random>
 
 #include "mos/design_eqs.h"
 #include "numeric/rootfind.h"
 #include "spice/dc.h"
 #include "synth/netlist_builder.h"
+#include "util/rng.h"
 
 namespace oasys::synth {
 
@@ -65,20 +65,22 @@ MismatchResult monte_carlo_offset(const OpAmpDesign& design,
   const std::size_t vin = *c.find_vsource("VIN");
   const double mid = t.mid_supply();
 
-  std::mt19937_64 rng(opts.seed);
-  std::normal_distribution<double> gauss(0.0, 1.0);
-
   std::vector<double> offsets;
   std::vector<double> warm;
   for (int sample = 0; sample < opts.samples; ++sample) {
     // Draw per-device threshold perturbations from each device's own
-    // area-law sigma.
+    // area-law sigma.  Each sample owns the counter-based stream
+    // (seed, sample) — the same streams the yield subsystem draws from —
+    // so a sample's perturbation is a pure function of (seed, sample
+    // index), independent of how samples are partitioned or ordered.
+    util::RngStream rng(opts.seed,
+                        static_cast<std::uint64_t>(sample));
     for (const auto& m : c.mosfets()) {
       const tech::MosParams& p =
           m.type == mos::MosType::kNmos ? t.nmos : t.pmos;
       const double sigma =
           p.sigma_vt(m.geom.w * m.geom.m, m.geom.l);
-      c.set_mosfet_dvt(m.name, sigma * gauss(rng));
+      c.set_mosfet_dvt(m.name, sigma * rng.next_gauss());
     }
 
     auto out_error = [&](double vid) {

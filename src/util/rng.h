@@ -1,0 +1,77 @@
+// Counter-based deterministic random streams.
+//
+// Monte-Carlo workloads (yield analysis, mismatch sampling) must reproduce
+// bit-identically no matter how the samples are partitioned: across
+// `--jobs` threads, across shard workers, across chunk sizes, across
+// daemon vs. local execution.  A stateful generator shared between samples
+// cannot give that — the draw a sample sees would depend on which samples
+// ran before it.  `RngStream` therefore has no cross-sample state at all:
+// a stream is a pure function of (seed, stream index), and every draw is a
+// pure function of (seed, stream index, draw index).  Sample i always
+// constructs `RngStream(seed, i)` and always sees the same values, whether
+// it is the only sample evaluated or the millionth.
+//
+// The construction is SplitMix64 over the repo's existing full-avalanche
+// finalizer `util::mix64`: the state walks a Weyl sequence (+= the golden
+// gamma) and each output is the finalizer of the new state.  Seed and
+// stream index are both avalanched (with distinct salts) before being
+// combined, so adjacent seeds and adjacent stream indices yield unrelated
+// sequences.  Uniform doubles use the top 53 bits (exactly representable,
+// in [0, 1)); gaussians are Box-Muller with the second value of each pair
+// cached, and the log() argument drawn from (0, 1] so it is never zero.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "util/fingerprint.h"
+
+namespace oasys::util {
+
+class RngStream {
+ public:
+  RngStream(std::uint64_t seed, std::uint64_t stream)
+      : state_(mix64(seed ^ kSeedSalt) ^ mix64(stream ^ kStreamSalt)) {}
+
+  // Next 64 uniform bits: advance the Weyl state, finalize.
+  std::uint64_t next_u64() {
+    state_ += kGamma;
+    return mix64(state_);
+  }
+
+  // Uniform in [0, 1): top 53 bits scaled by 2^-53.
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  // Standard normal via Box-Muller.  Consumes two uniforms per pair and
+  // caches the second value, so draw order (and therefore every consumer
+  // downstream) is fully deterministic.
+  double next_gauss() {
+    if (has_spare_) {
+      has_spare_ = false;
+      return spare_;
+    }
+    // u1 in (0, 1] keeps log() finite; u2 in [0, 1).
+    const double u1 =
+        static_cast<double>((next_u64() >> 11) + 1) * 0x1.0p-53;
+    const double u2 = next_double();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double a = kTwoPi * u2;
+    spare_ = r * std::sin(a);
+    has_spare_ = true;
+    return r * std::cos(a);
+  }
+
+ private:
+  static constexpr std::uint64_t kGamma = 0x9E3779B97F4A7C15ull;
+  static constexpr std::uint64_t kSeedSalt = 0x5A75D9F3C1B20E4Dull;
+  static constexpr std::uint64_t kStreamSalt = 0xA3C59AC2F0D9B1E7ull;
+  static constexpr double kTwoPi = 6.283185307179586476925286766559;
+
+  std::uint64_t state_;
+  double spare_ = 0.0;
+  bool has_spare_ = false;
+};
+
+}  // namespace oasys::util

@@ -1,0 +1,73 @@
+#include "yield/service.h"
+
+#include "synth/result_json.h"
+
+namespace oasys::yield {
+
+std::string outcome_json(const Outcome& o) {
+  return o.is_yield ? yield_result_json(o.yield)
+                    : synth::result_json(o.result);
+}
+
+YieldService::YieldService(tech::Technology tech,
+                           synth::SynthOptions synth_opts,
+                           service::ServiceOptions opts)
+    : service_(std::move(tech), std::move(synth_opts), opts),
+      cache_(opts.cache_enabled ? opts.cache_capacity : 0) {}
+
+std::string YieldService::yield_key(const core::OpAmpSpec& spec,
+                                    const YieldParams& params) const {
+  return service_.request_key(spec) + "|yield;" + params.canonical_string();
+}
+
+std::vector<Outcome> YieldService::run_mixed(
+    const std::vector<Request>& requests) {
+  // Phase 1: every request's underlying synthesis, through the synthesis
+  // service — repeats and yield-over-synth pairs dedup to one computation
+  // per distinct spec.
+  std::vector<core::OpAmpSpec> specs;
+  specs.reserve(requests.size());
+  for (const Request& r : requests) specs.push_back(r.spec);
+  const std::vector<service::BatchOutcome> syn =
+      service_.run_batch_outcomes(specs);
+
+  // Phase 2: yield analyses, serially in submission order (the sample
+  // fan-out inside analyze_yield is the parallel part).
+  std::vector<Outcome> out(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    Outcome& o = out[i];
+    o.is_yield = requests[i].is_yield;
+    if (!syn[i].ok()) {
+      o.error = syn[i].error;
+      continue;
+    }
+    if (!o.is_yield) {
+      o.result = syn[i].result;
+      continue;
+    }
+    // Workers and batch front-ends parallelize the sample loop with the
+    // same jobs setting the synthesis ran at; jobs is excluded from the
+    // cache key because it never changes the result bytes.
+    YieldParams params = requests[i].params;
+    params.jobs = service_.synth_options().jobs;
+    const std::string key = yield_key(requests[i].spec, params);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (const YieldResult* hit = cache_.get(key)) {
+        o.yield = *hit;
+        continue;
+      }
+    }
+    try {
+      o.yield = analyze_yield(service_.technology(), syn[i].result, params);
+    } catch (const std::exception& e) {
+      o.error = e.what();
+      continue;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    cache_.put(key, o.yield);
+  }
+  return out;
+}
+
+}  // namespace oasys::yield

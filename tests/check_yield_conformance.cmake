@@ -1,0 +1,71 @@
+# Cross-process conformance check for yield analysis (ctest script).
+#
+# Pins the yield determinism contract end to end, through the shipped CLI:
+#   1. `oasys yield --json` is BYTE-IDENTICAL at --jobs 1, 2, 4 (any
+#      partitioning of the sample space sees the same counter-based
+#      draws).
+#   2. `oasys shard --yield-samples N --workers k` stdout is
+#      BYTE-IDENTICAL to `oasys batch --yield-samples N` for k in 1, 2, 4
+#      (both under --no-stats, which drops the timing-bearing footer).
+#
+# Expects: OASYS_CLI (path to the oasys binary), SPEC_DIR (directory of
+# .spec files), TECH (technology file), WORK_DIR (writable scratch).
+execute_process(
+  COMMAND ${OASYS_CLI} yield ${SPEC_DIR}/caseA.spec --tech ${TECH}
+          --samples 8 --seed 3 --jobs 1 --json
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE yield_jobs1)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "oasys yield --jobs 1 failed (exit ${rc})")
+endif()
+foreach(jobs 2 4)
+  execute_process(
+    COMMAND ${OASYS_CLI} yield ${SPEC_DIR}/caseA.spec --tech ${TECH}
+            --samples 8 --seed 3 --jobs ${jobs} --json
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE yield_out)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "oasys yield --jobs ${jobs} failed (exit ${rc})")
+  endif()
+  if(NOT yield_out STREQUAL yield_jobs1)
+    message(FATAL_ERROR
+            "yield --jobs ${jobs} output differs from --jobs 1:\n"
+            "--- jobs 1 ---\n${yield_jobs1}\n"
+            "--- jobs ${jobs} ---\n${yield_out}")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${OASYS_CLI} batch ${SPEC_DIR} --tech ${TECH} --no-stats
+          --yield-samples 8 --yield-seed 3
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE batch_out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "oasys batch --yield-samples failed (exit ${rc})")
+endif()
+if(NOT batch_out MATCHES "yield")
+  message(FATAL_ERROR "batch --yield-samples printed no yield column:\n"
+                      "${batch_out}")
+endif()
+
+foreach(workers 1 2 4)
+  execute_process(
+    COMMAND ${OASYS_CLI} shard ${SPEC_DIR} --tech ${TECH} --no-stats
+            --yield-samples 8 --yield-seed 3 --workers ${workers}
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE shard_out)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "oasys shard --yield-samples --workers ${workers} "
+                        "failed (exit ${rc})")
+  endif()
+  if(NOT shard_out STREQUAL batch_out)
+    message(FATAL_ERROR
+            "shard --workers ${workers} yield output differs from batch:\n"
+            "--- batch ---\n${batch_out}\n"
+            "--- shard ---\n${shard_out}")
+  endif()
+endforeach()
+
+message(STATUS "yield --json byte-identical at --jobs 1/2/4; "
+               "shard yield output byte-identical to batch at "
+               "--workers 1/2/4")

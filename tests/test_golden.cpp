@@ -25,6 +25,7 @@
 #include "synth/oasys.h"
 #include "synth/result_json.h"
 #include "tech/tech_parser.h"
+#include "yield/yield.h"
 
 namespace oasys {
 namespace {
@@ -86,6 +87,58 @@ INSTANTIATE_TEST_SUITE_P(
                       GoldenCase{"cmos3", "caseA"},
                       GoldenCase{"cmos3", "caseB"},
                       GoldenCase{"cmos3", "caseC"}),
+    [](const ::testing::TestParamInfo<GoldenCase>& info) {
+      return std::string(info.param.tech) + "_" + info.param.spec;
+    });
+
+// Yield goldens: the full Monte-Carlo analysis pinned byte-for-byte at a
+// fixed (samples, seed).  A drift here means the RNG streams, the sample
+// measurement bench, or the statistics reduction changed.  Regenerate
+// intentional changes with:
+//
+//   build/tools/oasys golden specs/caseA.spec specs/caseB.spec
+//       --tech tech/cmos5.tech --yield-samples 16 --yield-seed 1
+//       --dir tests/golden
+//
+// (one command line; wrapped here for width)
+class YieldGoldenTest : public ::testing::TestWithParam<GoldenCase> {};
+
+TEST_P(YieldGoldenTest, YieldJsonMatchesGoldenByteForByte) {
+  const GoldenCase& c = GetParam();
+
+  const tech::ParseResult tr = tech::load_tech_file(
+      source_path(std::string("tech/") + c.tech + ".tech"));
+  ASSERT_TRUE(tr.ok()) << tr.log.to_string();
+  const core::SpecParseResult sr = core::load_opamp_spec_file(
+      source_path(std::string("specs/") + c.spec + ".spec"));
+  ASSERT_TRUE(sr.ok()) << sr.log.to_string();
+
+  yield::YieldParams params;
+  params.samples = 16;
+  params.seed = 1;
+  const yield::YieldResult result =
+      yield::run_yield(tr.technology, sr.spec, params);
+  const std::string rendered = yield::yield_result_json(result) + "\n";
+
+  const std::string golden_rel = std::string("tests/golden/") + c.tech +
+                                 "_" + c.spec + "_yield.json";
+  std::string golden;
+  ASSERT_TRUE(read_file(source_path(golden_rel), &golden))
+      << "missing golden " << golden_rel;
+
+  EXPECT_EQ(rendered, golden)
+      << "yield output drifted from " << golden_rel
+      << ".  If the change is intentional, regenerate with `oasys golden "
+         "specs/"
+      << c.spec << ".spec --tech tech/" << c.tech
+      << ".tech --yield-samples 16 --yield-seed 1 --dir tests/golden` "
+         "and commit the diff.";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, YieldGoldenTest,
+    ::testing::Values(GoldenCase{"cmos5", "caseA"},
+                      GoldenCase{"cmos5", "caseB"}),
     [](const ::testing::TestParamInfo<GoldenCase>& info) {
       return std::string(info.param.tech) + "_" + info.param.spec;
     });

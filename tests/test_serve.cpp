@@ -40,6 +40,8 @@
 #include "tech/builtin.h"
 #include "util/fingerprint.h"
 #include "util/text.h"
+#include "yield/service.h"
+#include "yield/yield.h"
 
 namespace oasys {
 namespace {
@@ -234,6 +236,76 @@ TEST(ServeConformance, SecondIdenticalBatchIsServedFromTheSharedTier) {
       find_counter(second.metrics, "serve.shared_cache.hits");
   if (hits != nullptr) EXPECT_EQ(hits->counter, specs.size());
   EXPECT_EQ(daemon.stop(), 0);
+}
+
+serve::MixedConnectReport connected_mixed_retry(
+    const std::string& socket, const tech::Technology& t,
+    const synth::SynthOptions& opts,
+    const std::vector<yield::Request>& requests) {
+  for (int attempt = 0;; ++attempt) {
+    try {
+      return serve::run_connected_mixed(socket, t, opts, requests);
+    } catch (const std::runtime_error& e) {
+      if (attempt >= 1000 ||
+          std::string(e.what()).find("cannot connect") == std::string::npos) {
+        throw;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+}
+
+TEST(ServeConformance, MixedYieldTrafficByteIdenticalToLocalService) {
+  const tech::Technology t = tech::five_micron();
+  // Synth + yield of each paper case, plus a repeated yield request: the
+  // daemon must answer with exactly a local YieldService's bytes, and the
+  // repeat must come from the shared tier with the yield frame type.
+  std::vector<yield::Request> requests;
+  for (const core::OpAmpSpec& spec : synth::paper_test_cases()) {
+    yield::Request synth_req;
+    synth_req.spec = spec;
+    requests.push_back(synth_req);
+    yield::Request yield_req;
+    yield_req.spec = spec;
+    yield_req.is_yield = true;
+    yield_req.params.samples = 12;
+    yield_req.params.seed = 5;
+    requests.push_back(yield_req);
+  }
+
+  yield::YieldService reference(t, {});
+  const std::vector<yield::Outcome> expected =
+      reference.run_mixed(requests);
+
+  for (const std::size_t workers : {1u, 2u}) {
+    const std::string socket = test_socket_path();
+    DaemonThread daemon(serve_options(workers, socket));
+
+    // Two consecutive mixed batches: the first fills both cache tiers,
+    // the second must replay identical bytes without touching a worker.
+    serve::MixedConnectReport last;
+    for (int request = 0; request < 2; ++request) {
+      last = connected_mixed_retry(socket, t, {}, requests);
+      ASSERT_EQ(last.outcomes.size(), requests.size());
+      for (std::size_t i = 0; i < requests.size(); ++i) {
+        const yield::Outcome& o = last.outcomes[i];
+        ASSERT_TRUE(o.ok()) << "workers=" << workers << " request "
+                            << request << " item " << i << ": " << o.error;
+        ASSERT_EQ(o.is_yield, requests[i].is_yield);
+        EXPECT_EQ(yield::outcome_json(o), yield::outcome_json(expected[i]))
+            << "workers=" << workers << " request " << request << " item "
+            << i;
+      }
+    }
+    // The repeat was answered entirely from the shared tier.
+    EXPECT_EQ(last.stats.requests, 0u) << "workers=" << workers;
+    const serve::ServeStats st = daemon.server.stats();
+    EXPECT_EQ(st.shared_cache_misses, requests.size())
+        << "workers=" << workers;
+    EXPECT_EQ(st.shared_cache_hits, requests.size())
+        << "workers=" << workers;
+    EXPECT_EQ(daemon.stop(), 0) << "workers=" << workers;
+  }
 }
 
 TEST(ServeConformance, ConfigFingerprintMismatchIsRefused) {

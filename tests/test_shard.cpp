@@ -35,6 +35,8 @@
 #include "synth/test_cases.h"
 #include "tech/builtin.h"
 #include "util/fingerprint.h"
+#include "yield/service.h"
+#include "yield/yield.h"
 
 namespace oasys {
 namespace {
@@ -220,6 +222,57 @@ TEST(WireStructs, MetricsSnapshotRoundTrips) {
               snap.entries[i].histogram.counts);
     EXPECT_EQ(back.entries[i].histogram.sum, snap.entries[i].histogram.sum);
   }
+}
+
+TEST(WireStructs, YieldParamsRoundTripWithoutTheJobsKnob) {
+  yield::YieldParams p;
+  p.samples = 200;
+  p.seed = 0xfeedfacecafebeefull;
+  p.jobs = 7;
+  shard::Writer w;
+  shard::put_yield_params(w, p);
+  shard::Reader r(w.bytes());
+  const yield::YieldParams back = shard::get_yield_params(r);
+  r.expect_end();
+  EXPECT_EQ(back.samples, p.samples);
+  EXPECT_EQ(back.seed, p.seed);
+  // jobs is a local execution knob, never wire state: the receiver
+  // applies its own configuration.
+  EXPECT_EQ(back.jobs, 0u);
+}
+
+TEST(WireStructs, YieldParamsRejectsCorruptSampleCounts) {
+  for (const std::uint64_t samples :
+       {std::uint64_t{0}, std::uint64_t{0x80000000ull},
+        ~std::uint64_t{0}}) {
+    shard::Writer w;
+    w.u64(samples);
+    w.u64(1);  // seed
+    shard::Reader r(w.bytes());
+    EXPECT_THROW(shard::get_yield_params(r), shard::WireError)
+        << samples;
+  }
+}
+
+TEST(WireStructs, YieldResultRoundTripsBitForBit) {
+  const tech::Technology t = tech::five_micron();
+  yield::YieldParams p;
+  p.samples = 12;
+  p.seed = 5;
+  const yield::YieldResult result =
+      yield::run_yield(t, synth::paper_test_cases()[1], p);
+  shard::Writer w;
+  shard::put_yield_result(w, result);
+  shard::Reader r(w.bytes());
+  const yield::YieldResult back = shard::get_yield_result(r);
+  r.expect_end();
+  // Canonical rendering equality covers the full determinism contract:
+  // the embedded synthesis, every counter, and every metric double.
+  EXPECT_EQ(yield::yield_result_json(back),
+            yield::yield_result_json(result));
+  EXPECT_EQ(back.ok, result.ok);
+  EXPECT_EQ(back.pass_count, result.pass_count);
+  EXPECT_EQ(back.metrics.size(), result.metrics.size());
 }
 
 TEST(WireStructs, ConfigRoundTripsAndChecksVersion) {
@@ -490,6 +543,58 @@ TEST(ShardConformance, MergedDeterministicMetricsAreWorkerCountInvariant) {
   EXPECT_FALSE(sections[0].empty());
   EXPECT_EQ(sections[0], sections[1]);
   EXPECT_EQ(sections[0], sections[2]);
+}
+
+TEST(ShardConformance, MixedYieldBatchBitwiseEquivalentAtEveryWorkerCount) {
+  const tech::Technology t = tech::five_micron();
+  // Mixed traffic with repeats: synth and yield of the same spec must
+  // co-locate (plain-key routing), and a repeated yield request must be
+  // answered from its home worker's yield cache with identical bytes.
+  std::vector<yield::Request> requests;
+  for (const core::OpAmpSpec& spec : synth::paper_test_cases()) {
+    yield::Request synth_req;
+    synth_req.spec = spec;
+    requests.push_back(synth_req);
+    yield::Request yield_req;
+    yield_req.spec = spec;
+    yield_req.is_yield = true;
+    yield_req.params.samples = 12;
+    yield_req.params.seed = 5;
+    requests.push_back(yield_req);
+  }
+  requests.push_back(requests[1]);  // repeated yield request
+
+  yield::YieldService reference(t, {});
+  const std::vector<yield::Outcome> expected =
+      reference.run_mixed(requests);
+
+  for (const std::size_t workers : {1u, 2u, 4u}) {
+    const shard::ShardReport report = shard::run_sharded_requests(
+        t, {}, requests, cli_shard_options(workers));
+    ASSERT_TRUE(report.infra_ok()) << "workers=" << workers;
+    ASSERT_EQ(report.outcomes.size(), requests.size());
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      const shard::ShardOutcome& o = report.outcomes[i];
+      ASSERT_TRUE(o.ok()) << "workers=" << workers << " request " << i
+                          << ": " << o.error;
+      ASSERT_EQ(o.is_yield, requests[i].is_yield);
+      if (o.is_yield) {
+        EXPECT_EQ(yield::yield_result_json(o.yield),
+                  yield::yield_result_json(expected[i].yield))
+            << "workers=" << workers << " request " << i;
+      } else {
+        EXPECT_EQ(synth::result_json(o.result),
+                  synth::result_json(expected[i].result))
+            << "workers=" << workers << " request " << i;
+      }
+    }
+    // Co-location: the synth and yield requests for one spec always land
+    // on the same shard.
+    for (std::size_t i = 0; i + 1 < report.outcomes.size(); i += 2) {
+      EXPECT_EQ(report.outcomes[i].shard, report.outcomes[i + 1].shard)
+          << "workers=" << workers << " pair " << i;
+    }
+  }
 }
 
 TEST(ShardConformance, MoreWorkersThanSpecsStillConforms) {

@@ -1,0 +1,271 @@
+// Yield subsystem suite (src/yield/).
+//
+// The contract under test is the determinism chain the serving stack
+// leans on: analyze_yield is a pure function of (technology, synthesis,
+// samples, seed) — bit-for-bit identical at every jobs setting and on
+// the cached path — and run_mixed answers mixed synth/yield traffic in
+// submission order with exactly those bytes.  Everything here compares
+// canonical yield_result_json renderings, the same bytes the golden
+// suite, the shard conformance check, and the daemon share.
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "synth/oasys.h"
+#include "synth/result_json.h"
+#include "synth/test_cases.h"
+#include "tech/builtin.h"
+#include "yield/service.h"
+#include "yield/yield.h"
+
+namespace oasys {
+namespace {
+
+const tech::Technology& tech5() {
+  static const tech::Technology t = tech::five_micron();
+  return t;
+}
+
+yield::YieldParams params(int samples, std::uint64_t seed,
+                          std::size_t jobs = 1) {
+  yield::YieldParams p;
+  p.samples = samples;
+  p.seed = seed;
+  p.jobs = jobs;
+  return p;
+}
+
+// ---- determinism ------------------------------------------------------------
+
+TEST(YieldDeterminism, BitIdenticalAcrossJobsCounts) {
+  for (const core::OpAmpSpec& spec : synth::paper_test_cases()) {
+    const std::string reference = yield::yield_result_json(
+        yield::run_yield(tech5(), spec, params(24, 7, 1)));
+    for (const std::size_t jobs : {std::size_t{2}, std::size_t{4}}) {
+      EXPECT_EQ(yield::yield_result_json(yield::run_yield(
+                    tech5(), spec, params(24, 7, jobs))),
+                reference)
+          << spec.name << " diverged at jobs " << jobs;
+    }
+  }
+}
+
+TEST(YieldDeterminism, SeedAndSampleCountChangeTheResult) {
+  const core::OpAmpSpec spec = synth::paper_test_cases()[1];
+  const std::string base = yield::yield_result_json(
+      yield::run_yield(tech5(), spec, params(24, 7)));
+  EXPECT_NE(yield::yield_result_json(
+                yield::run_yield(tech5(), spec, params(24, 8))),
+            base);
+  EXPECT_NE(yield::yield_result_json(
+                yield::run_yield(tech5(), spec, params(23, 7))),
+            base);
+}
+
+TEST(YieldDeterminism, AnalyzeMatchesRunYieldOnSharedSynthesis) {
+  // run_yield = synthesize_opamp + analyze_yield, nothing more.
+  const core::OpAmpSpec spec = synth::paper_test_cases()[0];
+  const synth::SynthesisResult synthesis =
+      synth::synthesize_opamp(tech5(), spec, {});
+  EXPECT_EQ(yield::yield_result_json(
+                yield::analyze_yield(tech5(), synthesis, params(16, 3))),
+            yield::yield_result_json(
+                yield::run_yield(tech5(), spec, params(16, 3))));
+}
+
+// ---- result shape -----------------------------------------------------------
+
+TEST(YieldResult, CountsAndMetricsAreConsistent) {
+  const core::OpAmpSpec spec = synth::paper_test_cases()[0];
+  const yield::YieldResult r =
+      yield::run_yield(tech5(), spec, params(32, 1));
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.samples_requested, 32);
+  EXPECT_EQ(r.seed, 1u);
+  EXPECT_LE(r.samples_converged, r.samples_requested);
+  EXPECT_LE(r.pass_count,
+            static_cast<std::uint64_t>(r.samples_converged));
+  EXPECT_DOUBLE_EQ(r.yield,
+                   static_cast<double>(r.pass_count) / 32.0);
+  ASSERT_FALSE(r.metrics.empty());
+  for (const yield::MetricStats& m : r.metrics) {
+    EXPECT_FALSE(m.name.empty());
+    EXPECT_LE(m.min, m.p05);
+    EXPECT_LE(m.p05, m.p50);
+    EXPECT_LE(m.p50, m.p95);
+    EXPECT_LE(m.p95, m.max);
+    EXPECT_GE(m.sigma, 0.0);
+    EXPECT_LE(m.pass, static_cast<std::uint64_t>(r.samples_converged));
+    if (!m.constrained) {
+      // Unconstrained axes pass by definition.
+      EXPECT_EQ(m.pass, static_cast<std::uint64_t>(r.samples_converged));
+    }
+  }
+  // A constrained metric can never pass more often than the overall
+  // yield's conjunction allows.
+  for (const yield::MetricStats& m : r.metrics) {
+    if (m.constrained) {
+      EXPECT_GE(m.pass, r.pass_count);
+    }
+  }
+}
+
+TEST(YieldResult, InfeasibleSynthesisFailsCleanly) {
+  core::OpAmpSpec spec = synth::paper_test_cases()[0];
+  spec.gain_min_db = 500.0;  // no style can reach this
+  const yield::YieldResult r =
+      yield::run_yield(tech5(), spec, params(8, 1));
+  EXPECT_FALSE(r.ok);
+  EXPECT_FALSE(r.error.empty());
+}
+
+TEST(YieldResult, RejectsNonPositiveSampleCount) {
+  const core::OpAmpSpec spec = synth::paper_test_cases()[0];
+  const synth::SynthesisResult synthesis =
+      synth::synthesize_opamp(tech5(), spec, {});
+  const yield::YieldResult r =
+      yield::analyze_yield(tech5(), synthesis, params(0, 1));
+  EXPECT_FALSE(r.ok);
+  EXPECT_FALSE(r.error.empty());
+}
+
+TEST(YieldResult, JsonExtendsTheSynthesisDocument) {
+  const core::OpAmpSpec spec = synth::paper_test_cases()[0];
+  const yield::YieldResult r =
+      yield::run_yield(tech5(), spec, params(8, 1));
+  const std::string json = yield::yield_result_json(r);
+  EXPECT_NE(json.find("oasys.result.v1"), std::string::npos);
+  EXPECT_NE(json.find("\"yield\""), std::string::npos);
+  EXPECT_NE(json.find("\"samples\": 8"), std::string::npos);
+}
+
+TEST(YieldParams, JobsNeverSplitsTheCanonicalKey) {
+  EXPECT_EQ(params(16, 3, 1).canonical_string(),
+            params(16, 3, 4).canonical_string());
+  EXPECT_NE(params(16, 3).canonical_string(),
+            params(16, 4).canonical_string());
+  EXPECT_NE(params(16, 3).canonical_string(),
+            params(17, 3).canonical_string());
+}
+
+// ---- counters ---------------------------------------------------------------
+
+TEST(YieldObservability, DeterministicCountersAdvance) {
+  const auto counter = [](const obs::MetricsSnapshot& snap,
+                          const char* name) -> std::uint64_t {
+    const obs::MetricEntry* e = snap.find(name);
+    return e == nullptr ? 0 : e->counter;
+  };
+  const obs::MetricsSnapshot before = obs::Registry::global().snapshot();
+  const yield::YieldResult r = yield::run_yield(
+      tech5(), synth::paper_test_cases()[0], params(8, 1));
+  ASSERT_TRUE(r.ok) << r.error;
+  const obs::MetricsSnapshot after = obs::Registry::global().snapshot();
+  EXPECT_EQ(counter(after, "yield.requests"),
+            counter(before, "yield.requests") + 1);
+  EXPECT_EQ(counter(after, "yield.samples"),
+            counter(before, "yield.samples") + 8);
+  EXPECT_EQ(counter(after, "yield.samples_converged"),
+            counter(before, "yield.samples_converged") +
+                static_cast<std::uint64_t>(r.samples_converged));
+  EXPECT_EQ(counter(after, "yield.samples_passed"),
+            counter(before, "yield.samples_passed") + r.pass_count);
+}
+
+// ---- YieldService mixed traffic ---------------------------------------------
+
+std::vector<yield::Request> mixed_requests() {
+  const std::vector<core::OpAmpSpec> specs = synth::paper_test_cases();
+  std::vector<yield::Request> requests;
+  for (const core::OpAmpSpec& spec : specs) {
+    yield::Request synth_req;
+    synth_req.spec = spec;
+    requests.push_back(synth_req);
+    yield::Request yield_req;
+    yield_req.spec = spec;
+    yield_req.is_yield = true;
+    yield_req.params = params(12, 5);
+    requests.push_back(yield_req);
+  }
+  return requests;
+}
+
+TEST(YieldService, MixedBatchMatchesDirectCallsInSubmissionOrder) {
+  const std::vector<yield::Request> requests = mixed_requests();
+  yield::YieldService svc(tech5());
+  const std::vector<yield::Outcome> outcomes = svc.run_mixed(requests);
+  ASSERT_EQ(outcomes.size(), requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    ASSERT_TRUE(outcomes[i].ok()) << outcomes[i].error;
+    EXPECT_EQ(outcomes[i].is_yield, requests[i].is_yield);
+    if (requests[i].is_yield) {
+      EXPECT_EQ(yield::yield_result_json(outcomes[i].yield),
+                yield::yield_result_json(yield::run_yield(
+                    tech5(), requests[i].spec, requests[i].params)));
+    } else {
+      EXPECT_EQ(synth::result_json(outcomes[i].result),
+                synth::result_json(synth::synthesize_opamp(
+                    tech5(), requests[i].spec, {})));
+    }
+  }
+}
+
+TEST(YieldService, RepeatedYieldRequestIsACacheHitWithIdenticalBytes) {
+  yield::Request request;
+  request.spec = synth::paper_test_cases()[0];
+  request.is_yield = true;
+  request.params = params(12, 5);
+  yield::YieldService svc(tech5());
+  const std::vector<yield::Outcome> first = svc.run_mixed({request});
+  const service::ServiceStats mid = svc.stats();
+  const std::vector<yield::Outcome> second = svc.run_mixed({request});
+  ASSERT_EQ(first.size(), 1u);
+  ASSERT_EQ(second.size(), 1u);
+  ASSERT_TRUE(first[0].ok());
+  ASSERT_TRUE(second[0].ok());
+  EXPECT_EQ(yield::yield_result_json(second[0].yield),
+            yield::yield_result_json(first[0].yield));
+  // The repeat costs no new synthesis: the underlying service answers
+  // from its LRU, and the yield analysis answers from the yield cache.
+  const service::ServiceStats end = svc.stats();
+  EXPECT_EQ(end.misses, mid.misses);
+  EXPECT_GT(end.hits, mid.hits);
+}
+
+TEST(YieldService, DistinctParamsAreDistinctCacheEntries) {
+  yield::Request request;
+  request.spec = synth::paper_test_cases()[0];
+  request.is_yield = true;
+  request.params = params(12, 5);
+  yield::Request other = request;
+  other.params = params(12, 6);
+  yield::YieldService svc(tech5());
+  const std::vector<yield::Outcome> outcomes =
+      svc.run_mixed({request, other});
+  ASSERT_EQ(outcomes.size(), 2u);
+  EXPECT_NE(svc.yield_key(request.spec, request.params),
+            svc.yield_key(other.spec, other.params));
+  EXPECT_NE(yield::yield_result_json(outcomes[0].yield),
+            yield::yield_result_json(outcomes[1].yield));
+}
+
+TEST(YieldService, InfeasibleYieldIsAnOutcomeNotAnException) {
+  yield::Request request;
+  request.spec = synth::paper_test_cases()[0];
+  request.spec.gain_min_db = 500.0;
+  request.is_yield = true;
+  request.params = params(8, 1);
+  yield::YieldService svc(tech5());
+  const std::vector<yield::Outcome> outcomes = svc.run_mixed({request});
+  ASSERT_EQ(outcomes.size(), 1u);
+  // The computation ran to completion; infeasibility lives inside the
+  // yield result, mirroring how synthesis treats infeasible specs.
+  ASSERT_TRUE(outcomes[0].ok()) << outcomes[0].error;
+  EXPECT_FALSE(outcomes[0].yield.ok);
+  EXPECT_FALSE(outcomes[0].yield.error.empty());
+}
+
+}  // namespace
+}  // namespace oasys

@@ -1,0 +1,180 @@
+// oasys_gen_workload — deterministic synthetic workload generator for
+// exercising the serving stack with mixed synthesis/yield traffic.
+//
+// Usage:
+//   oasys_gen_workload --dir DIR [--count N] [--seed S]
+//                      [--yield-ratio R] [--yield-samples K]
+//
+// Emits N spec files (DIR/w000.spec ...) derived from the paper's test
+// cases with bounded deterministic jitter, plus a manifest DIR/workload.tsv
+// with one request per line:
+//
+//   synth  <spec-file>
+//   yield  <spec-file>  <samples>  <seed>
+//
+// Roughly R of the requests are yield requests (the per-request decision
+// is a deterministic draw, so two runs with the same arguments emit
+// byte-identical files).  All randomness comes from util::RngStream
+// (seed, request index) — the same counter-based streams the yield
+// subsystem itself draws from — so workloads are reproducible across
+// machines and runs by construction.
+//
+// Exit codes: 0 success, 1 cannot write output, 2 usage error.
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/spec_parser.h"
+#include "synth/test_cases.h"
+#include "util/rng.h"
+#include "util/text.h"
+
+namespace {
+
+int usage() {
+  std::puts(
+      "usage: oasys_gen_workload --dir DIR [--count N] [--seed S]\n"
+      "                          [--yield-ratio R] [--yield-samples K]\n"
+      "  --dir DIR        output directory (created if missing)\n"
+      "  --count N        requests to generate (default 16)\n"
+      "  --seed S         generator seed (default 1)\n"
+      "  --yield-ratio R  fraction of requests that are yield analyses,\n"
+      "                   in [0, 1] (default 0.5)\n"
+      "  --yield-samples K  mismatch samples per yield request "
+      "(default 32)\n");
+  return 2;
+}
+
+bool parse_long(const char* v, long min_value, long* out) {
+  char* end = nullptr;
+  errno = 0;
+  const long n = std::strtol(v, &end, 10);
+  if (errno == ERANGE || end == v || *end != '\0' || n < min_value) {
+    return false;
+  }
+  *out = n;
+  return true;
+}
+
+bool parse_ratio(const char* v, double* out) {
+  char* end = nullptr;
+  errno = 0;
+  const double r = std::strtod(v, &end);
+  if (errno == ERANGE || end == v || *end != '\0' || !(r >= 0.0) ||
+      r > 1.0) {
+    return false;
+  }
+  *out = r;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace oasys;
+
+  std::string dir;
+  long count = 16;
+  long seed = 1;
+  long yield_samples = 32;
+  double yield_ratio = 0.5;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--dir") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      dir = v;
+    } else if (arg == "--count") {
+      const char* v = next();
+      if (v == nullptr || !parse_long(v, 1, &count)) {
+        std::fprintf(stderr, "--count requires a positive integer\n");
+        return usage();
+      }
+    } else if (arg == "--seed") {
+      const char* v = next();
+      if (v == nullptr || !parse_long(v, 0, &seed)) {
+        std::fprintf(stderr, "--seed requires a non-negative integer\n");
+        return usage();
+      }
+    } else if (arg == "--yield-ratio") {
+      const char* v = next();
+      if (v == nullptr || !parse_ratio(v, &yield_ratio)) {
+        std::fprintf(stderr, "--yield-ratio requires a number in [0, 1]\n");
+        return usage();
+      }
+    } else if (arg == "--yield-samples") {
+      const char* v = next();
+      if (v == nullptr || !parse_long(v, 1, &yield_samples)) {
+        std::fprintf(stderr,
+                     "--yield-samples requires a positive integer\n");
+        return usage();
+      }
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      return usage();
+    }
+  }
+  if (dir.empty()) {
+    std::fprintf(stderr, "--dir is required\n");
+    return usage();
+  }
+
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+
+  const std::vector<core::OpAmpSpec> bases = synth::paper_test_cases();
+  std::string manifest;
+  for (long i = 0; i < count; ++i) {
+    // One stream per request: draws never depend on other requests, so
+    // regenerating a prefix of the workload reproduces it exactly.
+    util::RngStream rng(static_cast<std::uint64_t>(seed),
+                        static_cast<std::uint64_t>(i));
+    core::OpAmpSpec spec =
+        bases[static_cast<std::size_t>(rng.next_u64() %
+                                       bases.size())];
+    // Bounded jitter keeps the spec in the base case's feasible
+    // neighbourhood while making every request a distinct cache key.
+    const auto jitter = [&rng](double lo, double hi) {
+      return lo + (hi - lo) * rng.next_double();
+    };
+    spec.name = util::format("%s_w%03ld", spec.name.c_str(), i);
+    if (spec.gain_min_db > 0.0) spec.gain_min_db += jitter(-2.0, 2.0);
+    if (spec.gbw_min > 0.0) spec.gbw_min *= jitter(0.85, 1.1);
+    if (spec.slew_min > 0.0) spec.slew_min *= jitter(0.85, 1.1);
+    if (spec.cload > 0.0) spec.cload *= jitter(0.9, 1.1);
+    const bool is_yield = rng.next_double() < yield_ratio;
+
+    const std::string spec_name = util::format("w%03ld.spec", i);
+    const std::string spec_path = dir + "/" + spec_name;
+    std::ofstream out(spec_path);
+    if (out) out << core::to_spec_text(spec);
+    if (!out) {
+      std::fprintf(stderr, "cannot write '%s'\n", spec_path.c_str());
+      return 1;
+    }
+    if (is_yield) {
+      manifest += util::format("yield\t%s\t%ld\t%ld\n", spec_name.c_str(),
+                               yield_samples, seed);
+    } else {
+      manifest += util::format("synth\t%s\n", spec_name.c_str());
+    }
+  }
+
+  const std::string manifest_path = dir + "/workload.tsv";
+  std::ofstream out(manifest_path);
+  if (out) out << manifest;
+  if (!out) {
+    std::fprintf(stderr, "cannot write '%s'\n", manifest_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %ld specs and %s\n", count, manifest_path.c_str());
+  return 0;
+}

@@ -12,7 +12,17 @@
 //   oasys shard DIR-OR-SPEC... [--workers N] [--worker-timeout S]
 //         [batch options]
 //   oasys serve --socket PATH [--workers N] [serve options]
+//   oasys yield SPEC [--samples N] [--seed S] [--json] [options]
 //   oasys golden DIR-OR-SPEC... [--tech FILE] [--dir DIR] [--no-rules]
+//
+// `yield` synthesizes a spec and runs deterministic Monte-Carlo mismatch
+// analysis over it (src/yield/): N perturbed instances drawn from
+// counter-based per-sample RNG streams, measured through the simulator
+// hot path, reduced to per-metric statistics and an overall pass yield —
+// bit-identical at every --jobs setting, worker count, and sample
+// partitioning.  `batch --yield-samples N` runs the same analysis for
+// every spec in the batch (and `shard`/`--connect` serve it remotely
+// with byte-identical output).
 //
 // `shard` is `batch` across N worker processes: requests partition by
 // canonical fingerprint, each worker runs a private SynthesisService, and
@@ -67,6 +77,8 @@
 #include "util/table.h"
 #include "util/text.h"
 #include "util/units.h"
+#include "yield/service.h"
+#include "yield/yield.h"
 
 namespace {
 
@@ -76,6 +88,8 @@ int usage() {
       "       oasys batch DIR-OR-SPEC... [options]\n"
       "       oasys shard DIR-OR-SPEC... [--workers N] [batch options]\n"
       "       oasys serve --socket PATH [--workers N] [serve options]\n"
+      "       oasys yield SPEC [--samples N] [--seed S] [--json] "
+      "[options]\n"
       "       oasys golden DIR-OR-SPEC... [--dir DIR] [options]\n"
       "options:\n"
       "  --spec FILE     performance specification (key-value; see below)\n"
@@ -103,6 +117,16 @@ int usage() {
       "  --connect SOCK  route the batch through a running `oasys serve`\n"
       "                  daemon at the unix socket SOCK (output stays\n"
       "                  byte-identical to a local batch)\n"
+      "  --sort ORDER    summary row order: 'name' (spec name) or\n"
+      "                  'latency' (slowest first; local batch only).\n"
+      "                  Default: submission order — operands in the\n"
+      "                  order given, directories expanded sorted by\n"
+      "                  path\n"
+      "  --yield-samples N  run Monte-Carlo yield analysis with N\n"
+      "                  mismatch samples per spec instead of plain\n"
+      "                  synthesis (batch, shard, and --connect print\n"
+      "                  byte-identical summaries)\n"
+      "  --yield-seed S  yield analysis RNG seed (default 1)\n"
       "shard mode (batch across worker processes; same results, same\n"
       "output):\n"
       "  --workers N     worker process count (default 2)\n"
@@ -118,8 +142,18 @@ int usage() {
       "                  0 disables the shared tier)\n"
       "  SIGTERM/SIGINT drain gracefully: in-flight batches finish,\n"
       "  workers exit at cycle boundaries, then the daemon exits 0\n"
+      "yield mode (deterministic Monte-Carlo mismatch analysis):\n"
+      "  --samples N     mismatch sample count (default 200)\n"
+      "  --seed S        RNG seed (default 1); (seed, sample index)\n"
+      "                  fully determine each sample's perturbation, so\n"
+      "                  results are bit-identical at every --jobs\n"
+      "                  setting and worker count\n"
+      "  --json          print the canonical oasys.result.v1 document\n"
+      "                  with its yield section instead of the summary\n"
       "golden mode (canonical result JSON per spec, for tests/golden/):\n"
       "  --dir DIR       write DIR/<tech>_<spec>.json instead of stdout\n"
+      "  --yield-samples N / --yield-seed S  write yield documents\n"
+      "                  (DIR/<tech>_<spec>_yield.json) instead\n"
       "exit codes: 0 success, 1 synthesis/verification/input failure\n"
       "(including no feasible style), 2 usage error\n");
   return 2;
@@ -268,6 +302,35 @@ bool load_specs(const std::vector<std::string>& operands,
   return true;
 }
 
+// One synthesis row in the batch/shard summary table.  Shared by the
+// plain and mixed printers so identical outcomes print identical bytes
+// (the conformance tests byte-compare batch against shard/--connect).
+void add_synth_row(oasys::util::Table& table, const std::string& spec_path,
+                   const oasys::synth::SynthesisResult& r, int* failures) {
+  using namespace oasys;
+  if (r.success()) {
+    const synth::OpAmpDesign& best = *r.best();
+    table.add_row({spec_path, r.spec.name, best.style_name(),
+                   best.soft_violations > 0 ? "first-cut" : "ok",
+                   util::format("%.0f", util::in_um2(best.predicted.area)),
+                   ""});
+  } else {
+    ++*failures;
+    table.add_row({spec_path, r.spec.name, "-", "FAIL", "-",
+                   synth::failure_brief(r)});
+  }
+}
+
+void print_summary_footer(int failures, int errors, std::size_t n) {
+  if (failures > 0) {
+    std::printf("%d of %zu specs selected no feasible style.\n", failures,
+                n);
+  }
+  if (errors > 0) {
+    std::printf("%d of %zu specs failed with errors.\n", errors, n);
+  }
+}
+
 // Renders the per-spec summary table shared by batch and shard mode —
 // identical outcomes must print identical bytes, since the shard
 // conformance tests byte-compare the two.  An outcome is any type with
@@ -291,28 +354,95 @@ void print_summary(const std::vector<std::string>& spec_paths,
                      o.error});
       continue;
     }
-    const synth::SynthesisResult& r = o.result;
-    if (r.success()) {
-      const synth::OpAmpDesign& best = *r.best();
-      table.add_row({spec_paths[i], r.spec.name, best.style_name(),
-                     best.soft_violations > 0 ? "first-cut" : "ok",
-                     util::format("%.0f", util::in_um2(best.predicted.area)),
-                     ""});
-    } else {
-      ++*failures;
-      table.add_row({spec_paths[i], r.spec.name, "-", "FAIL", "-",
-                     synth::failure_brief(r)});
-    }
+    add_synth_row(table, spec_paths[i], o.result, failures);
   }
   std::fputs(table.to_string().c_str(), stdout);
-  if (*failures > 0) {
-    std::printf("%d of %zu specs selected no feasible style.\n", *failures,
-                outcomes.size());
+  print_summary_footer(*failures, *errors, outcomes.size());
+}
+
+// print_summary for mixed synthesis/yield outcomes (yield::Outcome,
+// shard::ShardOutcome): yield rows carry the pass yield in the detail
+// column.  Byte-identity between batch, shard, and --connect holds here
+// too — all three print through this one function.
+template <typename Outcome>
+void print_mixed_summary(const std::vector<std::string>& spec_paths,
+                         const std::vector<oasys::core::OpAmpSpec>& specs,
+                         const std::vector<Outcome>& outcomes,
+                         int* failures, int* errors) {
+  using namespace oasys;
+  util::Table table({"spec", "name", "style", "result", "area um^2",
+                     "detail"});
+  table.set_align(4, util::Align::kRight);
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const Outcome& o = outcomes[i];
+    if (!o.ok()) {
+      ++*errors;
+      table.add_row({spec_paths[i], specs[i].name, "-", "ERROR", "-",
+                     o.error});
+      continue;
+    }
+    if (!o.is_yield) {
+      add_synth_row(table, spec_paths[i], o.result, failures);
+      continue;
+    }
+    const yield::YieldResult& y = o.yield;
+    if (!y.ok) {
+      ++*failures;
+      table.add_row({spec_paths[i], specs[i].name, "-", "FAIL", "-",
+                     y.error});
+      continue;
+    }
+    const synth::OpAmpDesign& best = *y.synthesis.best();
+    table.add_row(
+        {spec_paths[i], y.synthesis.spec.name, best.style_name(),
+         best.soft_violations > 0 ? "first-cut" : "ok",
+         util::format("%.0f", util::in_um2(best.predicted.area)),
+         util::format("yield %.1f%% (%llu/%d)", y.yield * 100.0,
+                      static_cast<unsigned long long>(y.pass_count),
+                      y.samples_requested)});
   }
-  if (*errors > 0) {
-    std::printf("%d of %zu specs failed with errors.\n", *errors,
-                outcomes.size());
+  std::fputs(table.to_string().c_str(), stdout);
+  print_summary_footer(*failures, *errors, outcomes.size());
+}
+
+// Reorders the summary rows for --sort.  Sorting is presentation only —
+// outcomes are computed in submission order and stay bit-identical; a
+// stable sort keeps submission order among ties.  'latency' is only
+// instantiated for outcome types that carry a service time.
+template <typename Outcome>
+void sort_rows(const std::string& order,
+               std::vector<std::string>* spec_paths,
+               std::vector<oasys::core::OpAmpSpec>* specs,
+               std::vector<Outcome>* outcomes) {
+  if (order.empty()) return;
+  std::vector<std::size_t> idx(outcomes->size());
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  if (order == "name") {
+    std::stable_sort(idx.begin(), idx.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return (*specs)[a].name < (*specs)[b].name;
+                     });
+  } else if (order == "latency") {
+    if constexpr (requires(const Outcome& o) { o.seconds; }) {
+      // Slowest first: the rows worth looking at float to the top.
+      std::stable_sort(idx.begin(), idx.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         return (*outcomes)[a].seconds >
+                                (*outcomes)[b].seconds;
+                       });
+    }
   }
+  std::vector<std::string> paths2(idx.size());
+  std::vector<oasys::core::OpAmpSpec> specs2(idx.size());
+  std::vector<Outcome> outcomes2(idx.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    paths2[i] = std::move((*spec_paths)[idx[i]]);
+    specs2[i] = std::move((*specs)[idx[i]]);
+    outcomes2[i] = std::move((*outcomes)[idx[i]]);
+  }
+  *spec_paths = std::move(paths2);
+  *specs = std::move(specs2);
+  *outcomes = std::move(outcomes2);
 }
 
 // Options shared by batch and shard mode.
@@ -321,11 +451,14 @@ struct BatchArgs {
   std::string tech_path;
   std::string metrics_path;
   std::string connect_path;  // batch mode only: route through a daemon
+  std::string sort;          // batch mode only: "", "name", or "latency"
   bool rules = true;
   bool show_stats = true;
   long jobs = 0;               // 0 = default concurrency
   long workers = 2;            // shard mode only
   double worker_timeout = 0.0;  // shard mode only; 0 = no deadline
+  long yield_samples = 0;      // > 0: every spec becomes a yield request
+  long yield_seed = 1;
   oasys::service::ServiceOptions sopts;
 };
 
@@ -386,6 +519,28 @@ int parse_batch_args(int argc, char** argv, bool shard_mode,
       const char* v = next();
       if (v == nullptr) return usage();
       out->connect_path = v;
+    } else if (!shard_mode && arg == "--sort") {
+      const char* v = next();
+      if (v == nullptr ||
+          (std::string(v) != "name" && std::string(v) != "latency")) {
+        std::fprintf(stderr, "--sort must be 'name' or 'latency'\n");
+        return usage();
+      }
+      out->sort = v;
+    } else if (arg == "--yield-samples") {
+      const char* v = next();
+      if (v == nullptr || !parse_count(v, 1, &out->yield_samples)) {
+        std::fprintf(stderr,
+                     "--yield-samples requires a positive integer\n");
+        return usage();
+      }
+    } else if (arg == "--yield-seed") {
+      const char* v = next();
+      if (v == nullptr || !parse_count(v, 0, &out->yield_seed)) {
+        std::fprintf(stderr,
+                     "--yield-seed requires a non-negative integer\n");
+        return usage();
+      }
     } else if (starts_with(arg, "--")) {
       std::fprintf(stderr, "unknown %s option '%s'\n",
                    shard_mode ? "shard" : "batch", arg.c_str());
@@ -400,7 +555,32 @@ int parse_batch_args(int argc, char** argv, bool shard_mode,
                  shard_mode ? "shard" : "batch");
     return usage();
   }
+  // Latency sorting needs the per-request service time, which only the
+  // local synthesis service reports.
+  if (out->sort == "latency" &&
+      (!out->connect_path.empty() || out->yield_samples > 0)) {
+    std::fprintf(stderr,
+                 "--sort latency is only available for a plain local "
+                 "batch (not --connect or --yield-samples)\n");
+    return usage();
+  }
   return 0;
+}
+
+// Builds the mixed request list for --yield-samples: every spec becomes
+// one yield request with the batch's (samples, seed).
+std::vector<oasys::yield::Request> yield_requests(
+    const std::vector<oasys::core::OpAmpSpec>& specs,
+    const BatchArgs& args) {
+  std::vector<oasys::yield::Request> requests(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    requests[i].spec = specs[i];
+    requests[i].is_yield = true;
+    requests[i].params.samples = static_cast<int>(args.yield_samples);
+    requests[i].params.seed =
+        static_cast<std::uint64_t>(args.yield_seed);
+  }
+  return requests;
 }
 
 // `oasys batch`: every spec file through the synthesis service, then a
@@ -434,16 +614,32 @@ int run_batch_mode(int argc, char** argv) {
   // just runs in the daemon's resident worker pool instead of here.
   if (!args.connect_path.empty()) {
     serve::ConnectReport report;
+    serve::MixedConnectReport mixed;
+    int failures = 0;
+    int errors = 0;
     try {
-      report = serve::run_connected_batch(args.connect_path, t, opts,
-                                          specs);
+      if (args.yield_samples > 0) {
+        mixed = serve::run_connected_mixed(args.connect_path, t, opts,
+                                           yield_requests(specs, args));
+      } else {
+        report = serve::run_connected_batch(args.connect_path, t, opts,
+                                            specs);
+      }
     } catch (const std::exception& e) {
       std::fprintf(stderr, "%s\n", e.what());
       return 1;
     }
-    int failures = 0;
-    int errors = 0;
-    print_summary(spec_paths, specs, report.outcomes, &failures, &errors);
+    if (args.yield_samples > 0) {
+      report.metrics = std::move(mixed.metrics);
+      report.stats = mixed.stats;
+      sort_rows(args.sort, &spec_paths, &specs, &mixed.outcomes);
+      print_mixed_summary(spec_paths, specs, mixed.outcomes, &failures,
+                          &errors);
+    } else {
+      sort_rows(args.sort, &spec_paths, &specs, &report.outcomes);
+      print_summary(spec_paths, specs, report.outcomes, &failures,
+                    &errors);
+    }
     if (args.show_stats) {
       const service::ServiceStats& st = report.stats;
       std::printf(
@@ -465,16 +661,30 @@ int run_batch_mode(int argc, char** argv) {
     return (failures > 0 || errors > 0 || parse_failed) ? 1 : 0;
   }
 
-  service::SynthesisService svc(t, opts, args.sopts);
-  const std::vector<service::BatchOutcome> outcomes =
-      svc.run_batch_outcomes(specs);
-
+  // Local run: plain synthesis through the SynthesisService, or (with
+  // --yield-samples) the mixed path through the YieldService that the
+  // shard workers also use — so the summary bytes match `oasys shard`.
   int failures = 0;
   int errors = 0;
-  print_summary(spec_paths, specs, outcomes, &failures, &errors);
+  service::ServiceStats stats;
+  if (args.yield_samples > 0) {
+    yield::YieldService svc(t, opts, args.sopts);
+    std::vector<yield::Outcome> outcomes =
+        svc.run_mixed(yield_requests(specs, args));
+    stats = svc.stats();
+    sort_rows(args.sort, &spec_paths, &specs, &outcomes);
+    print_mixed_summary(spec_paths, specs, outcomes, &failures, &errors);
+  } else {
+    service::SynthesisService svc(t, opts, args.sopts);
+    std::vector<service::BatchOutcome> outcomes =
+        svc.run_batch_outcomes(specs);
+    stats = svc.stats();
+    sort_rows(args.sort, &spec_paths, &specs, &outcomes);
+    print_summary(spec_paths, specs, outcomes, &failures, &errors);
+  }
 
   if (args.show_stats) {
-    const service::ServiceStats st = svc.stats();
+    const service::ServiceStats st = stats;
     const double hit_ratio =
         st.requests == 0
             ? 0.0
@@ -562,11 +772,20 @@ int run_shard_mode(int argc, char** argv, const char* argv0) {
   }
 
   const shard::ShardReport report =
-      shard::run_sharded_batch(t, opts, specs, shopts);
+      args.yield_samples > 0
+          ? shard::run_sharded_requests(t, opts,
+                                        yield_requests(specs, args),
+                                        shopts)
+          : shard::run_sharded_batch(t, opts, specs, shopts);
 
   int failures = 0;
   int errors = 0;
-  print_summary(spec_paths, specs, report.outcomes, &failures, &errors);
+  if (args.yield_samples > 0) {
+    print_mixed_summary(spec_paths, specs, report.outcomes, &failures,
+                        &errors);
+  } else {
+    print_summary(spec_paths, specs, report.outcomes, &failures, &errors);
+  }
 
   if (args.show_stats) {
     std::printf("\nshard: %zu workers\n", report.workers.size());
@@ -727,6 +946,130 @@ int run_serve_mode(int argc, char** argv, const char* argv0) {
   }
 }
 
+// `oasys yield`: synthesize one spec, then run deterministic Monte-Carlo
+// mismatch analysis over the selected design.  Results are a pure
+// function of (technology, spec, options, samples, seed) — bit-identical
+// at every --jobs setting (pinned by the yield conformance tests).
+int run_yield_mode(int argc, char** argv) {
+  using namespace oasys;
+
+  std::vector<std::string> operands;
+  std::string tech_path;
+  std::string metrics_path;
+  bool rules = true;
+  bool json = false;
+  long samples = 200;
+  long seed = 1;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--tech") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      tech_path = v;
+    } else if (arg == "--samples") {
+      const char* v = next();
+      if (v == nullptr || !parse_count(v, 1, &samples)) {
+        std::fprintf(stderr, "--samples requires a positive integer\n");
+        return usage();
+      }
+    } else if (arg == "--seed") {
+      const char* v = next();
+      if (v == nullptr || !parse_count(v, 0, &seed)) {
+        std::fprintf(stderr, "--seed requires a non-negative integer\n");
+        return usage();
+      }
+    } else if (arg == "--jobs") {
+      const char* v = next();
+      if (v == nullptr || !apply_jobs(v)) return usage();
+    } else if (arg == "--device-eval") {
+      const char* v = next();
+      if (v == nullptr || !apply_device_eval(v)) return usage();
+    } else if (arg == "--metrics-json") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      metrics_path = v;
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--no-rules") {
+      rules = false;
+    } else if (util::starts_with(arg, "--")) {
+      std::fprintf(stderr, "unknown yield option '%s'\n", arg.c_str());
+      return usage();
+    } else {
+      operands.push_back(arg);
+    }
+  }
+  if (operands.size() != 1) {
+    std::fprintf(stderr, "yield mode needs exactly one spec file\n");
+    return usage();
+  }
+
+  tech::Technology t;
+  if (!load_technology(tech_path, &t)) return 1;
+
+  const core::SpecParseResult sr =
+      core::load_opamp_spec_file(operands[0]);
+  if (!sr.ok()) {
+    std::fprintf(stderr, "spec file errors:\n%s",
+                 sr.log.to_string().c_str());
+    return 1;
+  }
+
+  synth::SynthOptions opts;
+  opts.rules_enabled = rules;
+  yield::YieldParams params;
+  params.samples = static_cast<int>(samples);
+  params.seed = static_cast<std::uint64_t>(seed);
+
+  const yield::YieldResult r = yield::run_yield(t, sr.spec, params, opts);
+
+  auto done = [&](int code) {
+    if (!write_metrics(metrics_path)) return 1;
+    return code;
+  };
+
+  if (json) {
+    std::fputs((yield::yield_result_json(r) + "\n").c_str(), stdout);
+    return done(r.ok ? 0 : 1);
+  }
+
+  if (!r.ok) {
+    std::printf("yield analysis failed: %s\n", r.error.c_str());
+    return done(1);
+  }
+  const synth::OpAmpDesign& best = *r.synthesis.best();
+  std::printf("spec %s: style %s, %d samples (seed %llu), %d converged\n",
+              r.synthesis.spec.name.c_str(), best.style_name().c_str(),
+              r.samples_requested,
+              static_cast<unsigned long long>(r.seed),
+              r.samples_converged);
+  util::Table table({"metric", "bound", "pass", "mean", "sigma", "p05",
+                     "p50", "p95"});
+  for (const yield::MetricStats& m : r.metrics) {
+    table.add_row(
+        {m.name,
+         m.constrained ? util::format("%.6g", m.bound) : "-",
+         m.constrained
+             ? util::format("%llu/%d",
+                            static_cast<unsigned long long>(m.pass),
+                            r.samples_requested)
+             : "-",
+         util::format("%.6g", m.mean), util::format("%.3g", m.sigma),
+         util::format("%.6g", m.p05), util::format("%.6g", m.p50),
+         util::format("%.6g", m.p95)});
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+  std::printf("yield: %.1f%% (%llu/%d samples pass every constrained "
+              "metric)\n",
+              r.yield * 100.0,
+              static_cast<unsigned long long>(r.pass_count),
+              r.samples_requested);
+  return done(0);
+}
+
 // `oasys golden`: canonical result JSON (oasys.result.v1) per spec.  With
 // --dir, writes DIR/<tech>_<spec>.json per spec (the regeneration path
 // for tests/golden/); otherwise the documents stream to stdout.
@@ -737,6 +1080,8 @@ int run_golden_mode(int argc, char** argv) {
   std::string tech_path;
   std::string out_dir;
   bool rules = true;
+  long yield_samples = 0;
+  long yield_seed = 1;
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -756,6 +1101,20 @@ int run_golden_mode(int argc, char** argv) {
     } else if (arg == "--device-eval") {
       const char* v = next();
       if (v == nullptr || !apply_device_eval(v)) return usage();
+    } else if (arg == "--yield-samples") {
+      const char* v = next();
+      if (v == nullptr || !parse_count(v, 1, &yield_samples)) {
+        std::fprintf(stderr,
+                     "--yield-samples requires a positive integer\n");
+        return usage();
+      }
+    } else if (arg == "--yield-seed") {
+      const char* v = next();
+      if (v == nullptr || !parse_count(v, 0, &yield_seed)) {
+        std::fprintf(stderr,
+                     "--yield-seed requires a non-negative integer\n");
+        return usage();
+      }
     } else if (arg == "--no-rules") {
       rules = false;
     } else if (util::starts_with(arg, "--")) {
@@ -787,16 +1146,27 @@ int run_golden_mode(int argc, char** argv) {
   opts.rules_enabled = rules;
   bool write_failed = false;
   for (std::size_t i = 0; i < specs.size(); ++i) {
-    const synth::SynthesisResult result =
-        synth::synthesize_opamp(t, specs[i], opts);
-    const std::string json = synth::result_json(result) + "\n";
+    std::string json;
+    if (yield_samples > 0) {
+      yield::YieldParams params;
+      params.samples = static_cast<int>(yield_samples);
+      params.seed = static_cast<std::uint64_t>(yield_seed);
+      json = yield::yield_result_json(
+                 yield::run_yield(t, specs[i], params, opts)) +
+             "\n";
+    } else {
+      json = synth::result_json(
+                 synth::synthesize_opamp(t, specs[i], opts)) +
+             "\n";
+    }
     if (out_dir.empty()) {
       std::fputs(json.c_str(), stdout);
       continue;
     }
     const std::string name =
         tech_tag + "_" +
-        std::filesystem::path(spec_paths[i]).stem().string() + ".json";
+        std::filesystem::path(spec_paths[i]).stem().string() +
+        (yield_samples > 0 ? "_yield.json" : ".json");
     const std::string path = out_dir + "/" + name;
     std::ofstream out(path);
     if (out) out << json;
@@ -829,6 +1199,9 @@ int main(int argc, char** argv) {
   }
   if (argc > 1 && std::strcmp(argv[1], "serve") == 0) {
     return run_serve_mode(argc - 2, argv + 2, argv[0]);
+  }
+  if (argc > 1 && std::strcmp(argv[1], "yield") == 0) {
+    return run_yield_mode(argc - 2, argv + 2);
   }
   if (argc > 1 && std::strcmp(argv[1], "golden") == 0) {
     return run_golden_mode(argc - 2, argv + 2);
