@@ -1,0 +1,422 @@
+// Daemon-serving stress benchmarks over generated mixed workloads
+// (google-benchmark).
+//
+// Workload shape: a deterministic `oasys_gen_workload` manifest — mixed
+// synthesis/yield traffic with bounded per-spec jitter — replayed against
+// the serving stack three ways: a direct in-process YieldService (the
+// reference), per-batch `oasys shard` fleets, and a resident `oasys
+// serve` daemon answering consecutive client batches.  Workers are real
+// processes, so the timings include spawn (shard), wire serialization,
+// and the coordinator's merge.
+//
+// `--json <path>` writes the perf-trajectory record instead
+// (BENCH_serve_perf.json): direct/shard/daemon wall times, the warm
+// resident-pool request time, the daemon-vs-spawn speedup, and — the
+// observability angle — the warm request re-run with distributed tracing
+// on, recording the traced-request overhead ratio and the span traffic it
+// generated.  The embedded equivalence self-check renders every shard and
+// daemon outcome (traced and untraced) through the canonical result JSON
+// and requires it byte-identical to the direct service's — the record
+// fails loudly (non-zero exit) on any divergence, pinning "tracing
+// changes no result byte" at bench scale while the timings stay
+// informational.  See perf_json.h.
+#include <benchmark/benchmark.h>
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/spec_parser.h"
+#include "obs/span.h"
+#include "serve/client.h"
+#include "serve/server.h"
+#include "shard/coordinator.h"
+#include "synth/result_json.h"
+#include "tech/builtin.h"
+#include "yield/service.h"
+#include "yield/yield.h"
+
+#include "perf_json.h"
+
+// Paths stamped by bench/CMakeLists.txt: the CLI (execed as the worker
+// command) and the workload generator that emits the manifest.
+#ifndef OASYS_CLI_PATH
+#error "bench_serve_perf requires OASYS_CLI_PATH (see bench/CMakeLists.txt)"
+#endif
+#ifndef OASYS_GEN_WORKLOAD_PATH
+#error \
+    "bench_serve_perf requires OASYS_GEN_WORKLOAD_PATH (see bench/CMakeLists.txt)"
+#endif
+
+namespace {
+
+using namespace oasys;
+
+constexpr long kWorkloadCount = 24;
+constexpr long kWorkloadSeed = 7;
+
+const tech::Technology& tech5() {
+  static const tech::Technology t = tech::five_micron();
+  return t;
+}
+
+synth::SynthOptions serial_opts() {
+  synth::SynthOptions o;
+  o.jobs = 1;
+  return o;
+}
+
+// Runs the generator into a scratch directory and replays its manifest
+// into the request list the serving stack consumes.  The generator is
+// deterministic (seeded counter-based streams), so every bench run — and
+// every machine — replays the identical workload.
+std::vector<yield::Request> load_workload(long seed) {
+  const std::string dir = "/tmp/oasys-bench-workload-" +
+                          std::to_string(::getpid()) + "-" +
+                          std::to_string(seed);
+  const std::string cmd =
+      std::string(OASYS_GEN_WORKLOAD_PATH) + " --dir " + dir + " --count " +
+      std::to_string(kWorkloadCount) + " --seed " + std::to_string(seed) +
+      " --yield-ratio 0.4 --yield-samples 12 > /dev/null";
+  if (std::system(cmd.c_str()) != 0) {
+    throw std::runtime_error("oasys_gen_workload failed");
+  }
+
+  std::ifstream manifest(dir + "/workload.tsv");
+  if (!manifest) {
+    throw std::runtime_error("cannot read generated workload.tsv");
+  }
+  std::vector<yield::Request> requests;
+  std::string line;
+  while (std::getline(manifest, line)) {
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    std::string kind;
+    std::string spec_file;
+    fields >> kind >> spec_file;
+    const core::SpecParseResult sr =
+        core::load_opamp_spec_file(dir + "/" + spec_file);
+    if (!sr.ok()) {
+      throw std::runtime_error("generated spec failed to parse: " +
+                               spec_file);
+    }
+    yield::Request req;
+    req.spec = sr.spec;
+    if (kind == "yield") {
+      long samples = 0;
+      long seed = 0;
+      fields >> samples >> seed;
+      req.is_yield = true;
+      req.params.samples = static_cast<int>(samples);
+      req.params.seed = static_cast<std::uint64_t>(seed);
+    } else if (kind != "synth") {
+      throw std::runtime_error("unknown manifest kind: " + kind);
+    }
+    requests.push_back(std::move(req));
+  }
+  if (requests.empty()) {
+    throw std::runtime_error("generated manifest is empty");
+  }
+  return requests;
+}
+
+const std::vector<yield::Request>& workload() {
+  static const std::vector<yield::Request> w = load_workload(kWorkloadSeed);
+  return w;
+}
+
+shard::ShardOptions shard_opts(std::size_t workers) {
+  shard::ShardOptions o;
+  o.workers = workers;
+  o.worker_command = OASYS_CLI_PATH;
+  return o;
+}
+
+// Resident daemon pool, mixed-traffic variant: a Server on a background
+// thread, clients replaying the workload per request.  The first connect
+// races the daemon's bind, so it retries.
+struct ResidentPool {
+  serve::Server server;
+  std::thread th;
+
+  explicit ResidentPool(std::size_t workers)
+      : server(tech5(), serial_opts(), serve_options(workers)) {
+    th = std::thread([this] { server.run(); });
+  }
+  ~ResidentPool() {
+    server.request_stop();
+    if (th.joinable()) th.join();
+    ::unlink(server.options().socket_path.c_str());
+  }
+
+  static serve::ServeOptions serve_options(std::size_t workers) {
+    static int counter = 0;
+    serve::ServeOptions o;
+    o.socket_path =
+        "/tmp/oasys-bench-serve-perf-" + std::to_string(::getpid()) + "-" +
+        std::to_string(counter++) + ".sock";
+    o.workers = workers;
+    o.worker_command = OASYS_CLI_PATH;
+    return o;
+  }
+
+  serve::MixedConnectReport batch(
+      const std::vector<yield::Request>& requests) {
+    for (int attempt = 0;; ++attempt) {
+      try {
+        return serve::run_connected_mixed(server.options().socket_path,
+                                          tech5(), serial_opts(), requests);
+      } catch (const std::runtime_error& e) {
+        if (attempt >= 1000 || std::string(e.what()).find(
+                                   "cannot connect") == std::string::npos) {
+          throw;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
+    }
+  }
+};
+
+// Canonical bytes of one outcome, for the equivalence self-check.
+template <typename Outcome>
+std::string render(const Outcome& o) {
+  if (!o.ok()) return o.error;
+  if (o.is_yield) return yield::yield_result_json(o.yield);
+  return synth::result_json(o.result);
+}
+
+void BM_ShardWorkload(benchmark::State& state) {
+  const std::vector<yield::Request>& requests = workload();
+  const shard::ShardOptions opts =
+      shard_opts(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(shard::run_sharded_requests(
+        tech5(), serial_opts(), requests, opts));
+  }
+}
+BENCHMARK(BM_ShardWorkload)->Arg(2)->Arg(4);
+
+// Steady-state daemon serving of the generated workload: the fleet is
+// spawned once outside the timing loop and the first (cold) request is
+// excluded, so iterations measure a warm resident pool.
+void BM_ResidentPoolWorkload(benchmark::State& state) {
+  const std::vector<yield::Request>& requests = workload();
+  ResidentPool pool(static_cast<std::size_t>(state.range(0)));
+  benchmark::DoNotOptimize(pool.batch(requests));  // spin-up + cold caches
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pool.batch(requests));
+  }
+}
+BENCHMARK(BM_ResidentPoolWorkload)->Arg(2)->Arg(4);
+
+void BM_DirectServiceWorkload(benchmark::State& state) {
+  const std::vector<yield::Request>& requests = workload();
+  for (auto _ : state) {
+    yield::YieldService svc(tech5(), serial_opts());
+    benchmark::DoNotOptimize(svc.run_mixed(requests));
+  }
+}
+BENCHMARK(BM_DirectServiceWorkload);
+
+int emit_json(const char* path) {
+  const std::vector<yield::Request>& requests = workload();
+  std::size_t yield_count = 0;
+  for (const yield::Request& r : requests) {
+    if (r.is_yield) ++yield_count;
+  }
+
+  // Reference: one in-process mixed service over the same manifest.
+  yield::YieldService ref_svc(tech5(), serial_opts());
+  const std::vector<yield::Outcome> ref = ref_svc.run_mixed(requests);
+  std::vector<std::string> expected;
+  expected.reserve(ref.size());
+  for (const yield::Outcome& o : ref) expected.push_back(render(o));
+
+  bool equivalent = true;
+  const auto check = [&](const auto& outcomes, const char* label) {
+    if (outcomes.size() != expected.size()) {
+      equivalent = false;
+      std::fprintf(stderr, "FAIL: %s answered %zu of %zu requests\n",
+                   label, outcomes.size(), expected.size());
+      return;
+    }
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      if (render(outcomes[i]) != expected[i]) {
+        equivalent = false;
+        std::fprintf(stderr, "FAIL: %s diverged on request %zu\n", label,
+                     i);
+        return;
+      }
+    }
+  };
+
+  const double direct_seconds = oasys::bench::time_best_of(3, [&] {
+    yield::YieldService svc(tech5(), serial_opts());
+    benchmark::DoNotOptimize(svc.run_mixed(requests));
+  });
+
+  // Spawn-per-batch shard fleets at 2 and 4 workers.
+  double shard_seconds[2] = {0.0, 0.0};
+  const std::size_t shard_counts[] = {2, 4};
+  for (std::size_t si = 0; si < 2; ++si) {
+    const shard::ShardReport report = shard::run_sharded_requests(
+        tech5(), serial_opts(), requests, shard_opts(shard_counts[si]));
+    equivalent = equivalent && report.infra_ok();
+    check(report.outcomes, "shard");
+    shard_seconds[si] = oasys::bench::time_best_of(3, [&] {
+      benchmark::DoNotOptimize(shard::run_sharded_requests(
+          tech5(), serial_opts(), requests, shard_opts(shard_counts[si])));
+    });
+  }
+
+  // Resident daemon: cold request, warm (cache-hit) request, the warm
+  // request again with distributed tracing on (overhead, apples to
+  // apples on the cached path), then a traced request over a fresh-seed
+  // workload that must miss the daemon's shared cache and therefore
+  // reach the workers — that one proves span traffic flows.
+  double serve_cold = 0.0;
+  double serve_warm = 0.0;
+  double serve_warm_traced = 0.0;
+  std::size_t traced_span_events = 0;
+  {
+    ResidentPool pool(4);
+    for (int request = 0; request < 3; ++request) {
+      const auto t0 = std::chrono::steady_clock::now();
+      const serve::MixedConnectReport report = pool.batch(requests);
+      const double elapsed =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        t0)
+              .count();
+      if (request == 0) {
+        serve_cold = elapsed;
+      } else if (serve_warm == 0.0 || elapsed < serve_warm) {
+        serve_warm = elapsed;
+      }
+      check(report.outcomes, "daemon");
+      // Untraced requests must produce no span traffic at all.
+      equivalent = equivalent && report.worker_spans.empty();
+    }
+
+    const auto traced_batch = [&](const std::vector<yield::Request>& base,
+                                  const char* label, double* seconds) {
+      std::vector<yield::Request> traced = base;
+      const std::uint64_t trace_id = obs::mint_trace_id();
+      for (std::size_t i = 0; i < traced.size(); ++i) {
+        traced[i].trace_id = trace_id;
+        traced[i].span_id = obs::span_id_for(trace_id, i);
+      }
+      const auto t0 = std::chrono::steady_clock::now();
+      const serve::MixedConnectReport report = pool.batch(traced);
+      if (seconds != nullptr) {
+        *seconds = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
+      }
+      std::size_t events = 0;
+      for (const shard::SpanSet& set : report.worker_spans) {
+        if (set.trace_id != trace_id) {
+          equivalent = false;
+          std::fprintf(stderr, "FAIL: %s returned an uncorrelated span set\n",
+                       label);
+        }
+        events += set.events.size();
+      }
+      return std::make_pair(report, events);
+    };
+
+    // Warm + traced over the already-cached workload: the overhead number.
+    // Cache hits are answered by the daemon itself, so no worker spans
+    // are required here.
+    check(traced_batch(requests, "daemon (traced, warm)", &serve_warm_traced)
+              .first.outcomes,
+          "daemon (traced, warm)");
+
+    // Fresh-seed workload: shared-cache misses, so the workers compute
+    // and their span sets must come back correlated.
+    const std::vector<yield::Request> fresh = load_workload(kWorkloadSeed + 1);
+    yield::YieldService fresh_svc(tech5(), serial_opts());
+    const std::vector<yield::Outcome> fresh_ref = fresh_svc.run_mixed(fresh);
+    const auto [fresh_report, fresh_events] =
+        traced_batch(fresh, "daemon (traced, fresh)", nullptr);
+    traced_span_events = fresh_events;
+    if (fresh_report.outcomes.size() != fresh_ref.size()) {
+      equivalent = false;
+      std::fprintf(stderr, "FAIL: traced fresh batch answered %zu of %zu\n",
+                   fresh_report.outcomes.size(), fresh_ref.size());
+    } else {
+      for (std::size_t i = 0; i < fresh_ref.size(); ++i) {
+        if (render(fresh_report.outcomes[i]) != render(fresh_ref[i])) {
+          equivalent = false;
+          std::fprintf(stderr,
+                       "FAIL: traced fresh batch diverged on request %zu\n",
+                       i);
+          break;
+        }
+      }
+    }
+    if (traced_span_events == 0) {
+      equivalent = false;
+      std::fprintf(stderr,
+                   "FAIL: traced cache-missing request produced no spans\n");
+    }
+  }
+
+  const double daemon_speedup =
+      serve_warm > 0.0 ? shard_seconds[1] / serve_warm : 0.0;
+  const double trace_overhead =
+      serve_warm > 0.0 ? serve_warm_traced / serve_warm : 0.0;
+
+  FILE* out = std::fopen(path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path);
+    return 2;
+  }
+  std::fprintf(
+      out,
+      "{\"bench\": \"serve_perf\", \"build_type\": \"%s\",\n"
+      " \"requests\": %zu, \"yield_requests\": %zu, "
+      "\"workload_seed\": %ld,\n"
+      " \"direct_service_seconds\": %.6f,\n"
+      " \"shard_w2_seconds\": %.6f, \"shard_w4_seconds\": %.6f,\n"
+      " \"serve_w4_cold_seconds\": %.6f, \"serve_w4_warm_seconds\": %.6f,\n"
+      " \"serve_w4_warm_traced_seconds\": %.6f,\n"
+      " \"daemon_speedup_w4\": %.2f, \"trace_overhead_ratio\": %.3f,\n"
+      " \"traced_span_events\": %zu,\n"
+      " \"equivalent\": %s}\n",
+      OASYS_BUILD_TYPE, requests.size(), yield_count, kWorkloadSeed,
+      direct_seconds, shard_seconds[0], shard_seconds[1], serve_cold,
+      serve_warm, serve_warm_traced, daemon_speedup, trace_overhead,
+      traced_span_events, equivalent ? "true" : "false");
+  std::fclose(out);
+  if (!equivalent) {
+    std::fprintf(stderr,
+                 "FAIL: daemon, shard, or traced outcomes diverged from "
+                 "the direct service\n");
+    return 1;
+  }
+  std::printf(
+      "wrote %s (direct %.3fs, shard w4 %.3fs, daemon warm %.3fs, "
+      "speedup %.2fx, trace overhead %.3fx, %zu span events)\n",
+      path, direct_seconds, shard_seconds[1], serve_warm, daemon_speedup,
+      trace_overhead, traced_span_events);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (const char* path = oasys::bench::parse_json_flag(argc, argv)) {
+    return emit_json(path);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -130,6 +130,85 @@ std::string metrics_table(const MetricsSnapshot& snapshot) {
   return table.to_string();
 }
 
+namespace {
+
+std::string hex_id(std::uint64_t id) {
+  return format("%016llx", static_cast<unsigned long long>(id));
+}
+
+}  // namespace
+
+std::string trace_chrome_json(const std::vector<TraceProcess>& processes,
+                              std::uint64_t trace_id) {
+  // Normalize to the earliest stamped event so the viewer opens at t=0.
+  std::uint64_t min_ts = 0;
+  bool have_ts = false;
+  for (const auto& p : processes) {
+    for (const auto& e : p.events) {
+      if (e.ts_us == 0) continue;  // pre-tracing event, leave at origin
+      if (!have_ts || e.ts_us < min_ts) {
+        min_ts = e.ts_us;
+        have_ts = true;
+      }
+    }
+  }
+
+  std::ostringstream os;
+  os << "{\"traceEvents\": [";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) os << ",\n ";
+    first = false;
+  };
+  for (const auto& p : processes) {
+    sep();
+    os << "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": " << p.pid
+       << ", \"tid\": 0, \"args\": {\"name\": " << quote(p.name) << "}}";
+    for (const auto& e : p.events) {
+      const double rel_us =
+          e.ts_us >= min_ts ? static_cast<double>(e.ts_us - min_ts) : 0.0;
+      switch (e.kind) {
+        case TraceEvent::Kind::kSpanBegin:
+          // "X" complete events carry begin+duration from the kSpanEnd;
+          // rendering begins too would double every span.
+          break;
+        case TraceEvent::Kind::kSpanEnd: {
+          const double dur_us = e.seconds * 1e6;
+          const double start_us = rel_us >= dur_us ? rel_us - dur_us : 0.0;
+          sep();
+          os << "{\"name\": " << quote(e.name)
+             << ", \"ph\": \"X\", \"ts\": " << num(start_us)
+             << ", \"dur\": " << num(dur_us) << ", \"pid\": " << p.pid
+             << ", \"tid\": " << e.tid << ", \"args\": {\"span_id\": \""
+             << hex_id(e.span_id) << "\"";
+          if (!e.detail.empty()) os << ", \"detail\": " << quote(e.detail);
+          os << "}}";
+          break;
+        }
+        case TraceEvent::Kind::kInstant: {
+          sep();
+          os << "{\"name\": " << quote(e.name)
+             << ", \"ph\": \"i\", \"ts\": " << num(rel_us)
+             << ", \"pid\": " << p.pid << ", \"tid\": " << e.tid
+             << ", \"s\": \"t\", \"args\": {\"span_id\": \""
+             << hex_id(e.span_id) << "\"";
+          if (!e.scope.empty()) {
+            os << ", \"scope\": " << quote(e.scope) << ", \"index\": "
+               << e.index;
+          }
+          if (!e.code.empty()) os << ", \"code\": " << quote(e.code);
+          if (!e.detail.empty()) os << ", \"detail\": " << quote(e.detail);
+          os << "}}";
+          break;
+        }
+      }
+    }
+  }
+  os << "],\n \"displayTimeUnit\": \"ms\", \"otherData\": {\"trace_id\": \""
+     << hex_id(trace_id) << "\"}}";
+  return os.str();
+}
+
 std::string trace_text(const std::vector<TraceEvent>& events) {
   std::ostringstream os;
   for (const auto& e : events) {

@@ -49,4 +49,23 @@ std::string metrics_table(const MetricsSnapshot& snapshot);
 // print their narrative.
 std::string trace_text(const std::vector<TraceEvent>& events);
 
+// One process lane of a distributed trace: the coordinator's own events
+// plus one entry per worker, each rendered as a Chrome trace-event
+// "process" so Perfetto shows a labelled swim lane per participant.
+struct TraceProcess {
+  std::uint64_t pid = 0;    // export lane, not the OS pid (0 = coordinator)
+  std::string name;         // process_name metadata, e.g. "worker 2"
+  std::vector<TraceEvent> events;
+};
+
+// Chrome trace-event JSON (chrome://tracing / Perfetto "JSON" format):
+// kSpanEnd events become "X" complete events (begin events carry no
+// duration and are skipped — "X" is robust to streams whose begins were
+// lost with a crashed worker), instants become "i", and each process
+// contributes a process_name metadata record.  Timestamps are normalized
+// so the earliest event sits at t=0.  Like every trace payload this is
+// timing-class data: bytes vary run to run.
+std::string trace_chrome_json(const std::vector<TraceProcess>& processes,
+                              std::uint64_t trace_id);
+
 }  // namespace oasys::obs

@@ -1,7 +1,11 @@
 #include "obs/span.h"
 
+#include <unistd.h>
+
 #include <atomic>
 #include <mutex>
+
+#include "util/fingerprint.h"
 
 namespace oasys::obs {
 
@@ -9,9 +13,33 @@ namespace {
 
 thread_local TraceSink* t_sink = nullptr;
 thread_local int t_depth = 0;
+thread_local std::uint64_t t_trace_id = 0;
+thread_local std::uint64_t t_span_id = 0;
+// Lazily-assigned small thread ordinal for the tid lane in exports; -1
+// until this thread first stamps an event.
+thread_local std::int64_t t_tid = -1;
 
 std::atomic<bool> g_tracing{false};
 std::atomic<bool> g_timing{false};
+std::atomic<std::uint64_t> g_next_tid{0};
+
+std::uint64_t thread_ordinal() {
+  if (t_tid < 0) {
+    t_tid = static_cast<std::int64_t>(
+        g_next_tid.fetch_add(1, std::memory_order_relaxed));
+  }
+  return static_cast<std::uint64_t>(t_tid);
+}
+
+// Correlation stamp shared by spans and instants; only called on the
+// active path, so the clock read and ordinal assignment never tax the
+// disabled mode (and none of it allocates).
+void stamp(TraceEvent& e) {
+  e.ts_us = monotonic_now_us();
+  e.tid = thread_ordinal();
+  e.trace_id = t_trace_id;
+  e.span_id = t_span_id;
+}
 
 // Global collector; leaked like Registry so late worker-thread events can
 // never race static destruction.
@@ -71,6 +99,42 @@ bool trace_active() {
   return t_sink != nullptr || g_tracing.load(std::memory_order_relaxed);
 }
 
+std::uint64_t mint_trace_id() {
+  const std::uint64_t ticks = monotonic_now_us();
+  const std::uint64_t pid = static_cast<std::uint64_t>(::getpid());
+  std::uint64_t id = util::mix64(ticks ^ util::mix64(pid));
+  if (id == 0) id = 1;  // 0 is the "no trace" sentinel
+  return id;
+}
+
+std::uint64_t span_id_for(std::uint64_t trace_id, std::uint64_t seq) {
+  std::uint64_t id = util::mix64(trace_id ^ (seq + 1));
+  if (id == 0) id = 1;
+  return id;
+}
+
+ScopedTraceContext::ScopedTraceContext(std::uint64_t trace_id,
+                                       std::uint64_t span_id)
+    : prev_trace_(t_trace_id), prev_span_(t_span_id) {
+  t_trace_id = trace_id;
+  t_span_id = span_id;
+}
+
+ScopedTraceContext::~ScopedTraceContext() {
+  t_trace_id = prev_trace_;
+  t_span_id = prev_span_;
+}
+
+std::uint64_t current_trace_id() { return t_trace_id; }
+std::uint64_t current_span_id() { return t_span_id; }
+
+std::uint64_t monotonic_now_us() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
 void emit_instant(std::string_view name, std::string_view scope,
                   std::string_view code, std::string_view detail,
                   std::uint64_t index) {
@@ -83,6 +147,7 @@ void emit_instant(std::string_view name, std::string_view scope,
   e.code = std::string(code);
   e.detail = std::string(detail);
   e.index = index;
+  stamp(e);
   dispatch(e);
 }
 
@@ -94,6 +159,7 @@ Span::Span(std::string_view scope, std::string_view name) {
   e.kind = TraceEvent::Kind::kSpanBegin;
   e.depth = t_depth;
   e.name = name_;
+  stamp(e);
   dispatch(e);
   ++t_depth;
   t0_ = std::chrono::steady_clock::now();
@@ -111,6 +177,7 @@ Span::~Span() {
   e.name = std::move(name_);
   e.detail = std::move(detail_);
   e.seconds = seconds;
+  stamp(e);
   dispatch(e);
 }
 

@@ -39,6 +39,16 @@ struct TraceEvent {
   std::string detail;   // free-text narrative
   std::uint64_t index = 0;  // e.g. plan step index
   double seconds = 0.0;     // kSpanEnd: measured wall time
+  // Distributed-tracing correlation, stamped only while tracing is active.
+  // ts_us is microseconds on the CLOCK_MONOTONIC timeline, which is
+  // machine-wide on Linux — coordinator and worker timestamps from the
+  // same host land on one comparable axis.  tid is a small per-process
+  // thread ordinal (0 = first emitting thread), trace_id/span_id come
+  // from the innermost ScopedTraceContext (0 = none).
+  std::uint64_t ts_us = 0;
+  std::uint64_t tid = 0;
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
 };
 
 class TraceSink {
@@ -86,6 +96,45 @@ bool timing_enabled();
 // True when at least one destination would receive an event from this
 // thread right now.
 bool trace_active();
+
+// --- Distributed-tracing correlation ------------------------------------
+//
+// A trace ID names one coordinator-level request batch; a span ID names
+// one spec/request within it.  The coordinator mints both, ships them to
+// workers in the wire-level trace context, and each process installs a
+// ScopedTraceContext around the work so every emitted event carries the
+// pair.  IDs are plain u64s: nonzero means "present".
+
+// Mints a nonzero trace ID from the monotonic clock and pid — unique
+// enough to correlate frames within one fleet run, and stable across the
+// run (minted once by the coordinator, never re-derived).
+std::uint64_t mint_trace_id();
+
+// Deterministic per-request span ID: mixes the trace ID with the request
+// sequence number so coordinator and worker agree without a round trip.
+std::uint64_t span_id_for(std::uint64_t trace_id, std::uint64_t seq);
+
+// Installs (trace_id, span_id) as the calling thread's trace context for
+// its lifetime; contexts nest and restore the outer pair on destruction.
+class ScopedTraceContext {
+ public:
+  ScopedTraceContext(std::uint64_t trace_id, std::uint64_t span_id);
+  ~ScopedTraceContext();
+  ScopedTraceContext(const ScopedTraceContext&) = delete;
+  ScopedTraceContext& operator=(const ScopedTraceContext&) = delete;
+
+ private:
+  std::uint64_t prev_trace_;
+  std::uint64_t prev_span_;
+};
+
+// The calling thread's current context (0 when none installed).
+std::uint64_t current_trace_id();
+std::uint64_t current_span_id();
+
+// Microseconds now on the shared CLOCK_MONOTONIC timeline (the same
+// clock Span durations use).
+std::uint64_t monotonic_now_us();
 
 // Emits one instant event to the active destinations; a no-op (and
 // allocation-free) when none are active.

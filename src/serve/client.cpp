@@ -84,6 +84,10 @@ MixedConnectReport run_connected_mixed(
     w.u64(i);
     shard::put_spec(w, requests[i].spec);
     if (requests[i].is_yield) shard::put_yield_params(w, requests[i].params);
+    // Optional trace context: absent (no extra bytes) for untraced
+    // requests, so tracing off keeps payloads byte-identical.
+    shard::put_trace_context(
+        w, shard::TraceContext{requests[i].trace_id, requests[i].span_id});
     peer_closed = !shard::write_frame(
         sock.fd,
         requests[i].is_yield ? shard::FrameType::kYieldRequest
@@ -138,6 +142,13 @@ MixedConnectReport run_connected_mixed(
         have[seq] = true;
         break;
       }
+      case shard::FrameType::kSpans: {
+        shard::Reader r(frame.payload);
+        shard::SpanSet set = shard::get_span_set(r);
+        r.expect_end();
+        report.worker_spans.push_back(std::move(set));
+        break;
+      }
       case shard::FrameType::kMetrics: {
         shard::Reader r(frame.payload);
         report.metrics = shard::get_metrics_snapshot(r);
@@ -175,10 +186,15 @@ MixedConnectReport run_connected_mixed(
 ConnectReport run_connected_batch(const std::string& socket_path,
                                   const tech::Technology& tech,
                                   const synth::SynthOptions& synth_opts,
-                                  const std::vector<core::OpAmpSpec>& specs) {
+                                  const std::vector<core::OpAmpSpec>& specs,
+                                  std::uint64_t trace_id) {
   std::vector<yield::Request> requests(specs.size());
   for (std::size_t i = 0; i < specs.size(); ++i) {
     requests[i].spec = specs[i];
+    if (trace_id != 0) {
+      requests[i].trace_id = trace_id;
+      requests[i].span_id = obs::span_id_for(trace_id, i);
+    }
   }
   MixedConnectReport mixed =
       run_connected_mixed(socket_path, tech, synth_opts, requests);
@@ -190,6 +206,35 @@ ConnectReport run_connected_batch(const std::string& socket_path,
   }
   report.metrics = std::move(mixed.metrics);
   report.stats = mixed.stats;
+  report.worker_spans = std::move(mixed.worker_spans);
+  return report;
+}
+
+StatusReport fetch_status(const std::string& socket_path) {
+  const shard::ScopedSigpipeIgnore sigpipe_guard;
+  FdCloser sock{connect_unix(socket_path)};
+  if (!shard::write_frame(sock.fd, shard::FrameType::kStatus, {})) {
+    throw std::runtime_error(
+        "serve: daemon closed the connection before answering kStatus");
+  }
+  shard::Frame frame;
+  if (!shard::read_frame(sock.fd, &frame)) {
+    throw std::runtime_error(
+        "serve: daemon closed the connection before answering kStatus");
+  }
+  if (frame.type == shard::FrameType::kError) {
+    shard::Reader r(frame.payload);
+    throw std::runtime_error("serve: daemon refused the request: " +
+                             r.str());
+  }
+  if (frame.type != shard::FrameType::kStatus) {
+    throw std::runtime_error(
+        util::format("serve: daemon answered kStatus with frame type %u",
+                     static_cast<unsigned>(frame.type)));
+  }
+  shard::Reader r(frame.payload);
+  StatusReport report = get_status_report(r);
+  r.expect_end();
   return report;
 }
 

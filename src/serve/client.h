@@ -15,7 +15,9 @@
 
 #include "core/spec.h"
 #include "obs/metrics.h"
+#include "serve/status.h"
 #include "service/service.h"
+#include "shard/wire.h"
 #include "synth/oasys.h"
 #include "tech/technology.h"
 #include "yield/service.h"
@@ -34,6 +36,9 @@ struct ConnectReport {
   // served this batch.  count/min/mean/max of the latency summary merge;
   // the percentile fields do not and are left 0.
   service::ServiceStats stats;
+  // Worker span sets forwarded by the daemon; populated only when the
+  // batch ran with a trace id.  Timing-class data.
+  std::vector<shard::SpanSet> worker_spans;
 };
 
 // ConnectReport for a mixed synthesis/yield cycle: one yield::Outcome per
@@ -43,6 +48,10 @@ struct MixedConnectReport {
   std::vector<yield::Outcome> outcomes;
   obs::MetricsSnapshot metrics;
   service::ServiceStats stats;
+  // Worker span sets forwarded by the daemon, arrival order; populated
+  // only when the requests carried trace ids (trace_id != 0 on Request).
+  // Timing-class data — never part of the result bytes.
+  std::vector<shard::SpanSet> worker_spans;
 };
 
 // Connects, runs one mixed synthesis/yield cycle, disconnects.  Each
@@ -58,10 +67,20 @@ MixedConnectReport run_connected_mixed(
 
 // Synthesis-only wrapper over run_connected_mixed.  Throws under the
 // same conditions; per-spec failures (including deterministic
-// worker-death errors) are ordinary outcomes, never thrown.
+// worker-death errors) are ordinary outcomes, never thrown.  A nonzero
+// trace_id tags every request with it (span ids derived from the
+// submission index) so worker spans come back correlated; 0 leaves the
+// wire payloads byte-identical to an untraced run.
 ConnectReport run_connected_batch(const std::string& socket_path,
                                   const tech::Technology& tech,
                                   const synth::SynthOptions& synth_opts,
-                                  const std::vector<core::OpAmpSpec>& specs);
+                                  const std::vector<core::OpAmpSpec>& specs,
+                                  std::uint64_t trace_id = 0);
+
+// Admin introspection: connects, sends one empty kStatus frame, and
+// returns the daemon's StatusReport.  Needs no technology — the daemon
+// answers kStatus before kConfig.  Throws std::runtime_error when the
+// daemon is unreachable or answers with anything but a kStatus.
+StatusReport fetch_status(const std::string& socket_path);
 
 }  // namespace oasys::serve

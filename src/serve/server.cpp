@@ -18,6 +18,7 @@
 #include <utility>
 #include <vector>
 
+#include "serve/status.h"
 #include "service/lru_cache.h"
 #include "shard/coordinator.h"
 #include "shard/wire.h"
@@ -111,6 +112,8 @@ class ServerLoop {
     double deadline = 0.0;  // armed iff alive with in-flight cycles
     double backoff_s = 0.0;
     double respawn_at = 0.0;  // meaningful while !alive && !retired
+    std::uint64_t served = 0;        // results returned, all incarnations
+    std::uint64_t respawn_count = 0;  // times this shard was respawned
   };
 
   // Specs being accumulated for one worker between a session's kConfig
@@ -145,6 +148,8 @@ class ServerLoop {
     std::string key;
     std::size_t worker = 0;
     bool is_yield = false;
+    std::string spec_name;        // for the slow-query record
+    double dispatched_at = 0.0;   // stamped when the cycle ships (kRun)
   };
 
   // One shared-cache entry: which result frame type to replay, plus the
@@ -181,6 +186,8 @@ class ServerLoop {
   bool handle_session_frame(Session& s, const shard::Frame& frame);
   void maybe_complete(Session& s);
   void begin_drain();
+  StatusReport build_status_report() const;
+  void log_slow_request(const PendingSpec& p, double elapsed_s, bool ok);
 
   Server& server_;
   const ServeOptions& options_;
@@ -191,6 +198,7 @@ class ServerLoop {
   int listener_fd_ = -1;
   bool draining_ = false;
   double drain_start_ = 0.0;
+  double start_time_ = 0.0;  // set when run() opens the loop
   std::vector<Worker> workers_;
   std::map<std::uint64_t, Session> sessions_;
   std::uint64_t next_session_id_ = 1;
@@ -259,6 +267,7 @@ void ServerLoop::spawn(std::size_t i, bool respawn) {
     wk.deadline = now_s() + options_.worker_timeout_s;
   }
   if (respawn) {
+    ++wk.respawn_count;
     bump([](ServeStats& st) { ++st.respawns; });
   }
 }
@@ -352,7 +361,26 @@ void ServerLoop::handle_worker_frame(std::size_t i,
         s->out_buf += shard::frame_bytes(frame.type, payload);
         ++s->returned;
       }
+      ++wk.served;
+      if (options_.slow_ms > 0.0 && it->second.dispatched_at > 0.0) {
+        const double elapsed = now_s() - it->second.dispatched_at;
+        if (elapsed * 1000.0 >= options_.slow_ms) {
+          log_slow_request(it->second, elapsed, result_ok);
+        }
+      }
       pending_.erase(it);
+      break;
+    }
+    case shard::FrameType::kSpans: {
+      // Worker trace flushes belong to the front cycle's session; forward
+      // verbatim so partial span sets from a worker that later dies still
+      // reach the client (the failure-window guarantee).
+      if (wk.cycles.empty()) {
+        throw shard::WireError("kSpans with no cycle in flight");
+      }
+      if (Session* s = find_session(wk.cycles.front().session_id)) {
+        s->out_buf += shard::frame_bytes(frame.type, frame.payload);
+      }
       break;
     }
     case shard::FrameType::kMetrics: {
@@ -488,6 +516,7 @@ bool ServerLoop::handle_session_frame(Session& s, const shard::Frame& frame) {
       const core::OpAmpSpec spec = shard::get_spec(r);
       yield::YieldParams params;
       if (is_yield) params = shard::get_yield_params(r);
+      const shard::TraceContext trace_ctx = shard::get_trace_context(r);
       r.expect_end();
       bump([](ServeStats& st) { ++st.requests; });
       ++s.expected;
@@ -513,13 +542,17 @@ bool ServerLoop::handle_session_frame(Session& s, const shard::Frame& frame) {
       }
       const std::size_t widx = shard::route(route_key, options_.workers);
       const std::uint64_t gid = next_gid_++;
-      pending_[gid] = PendingSpec{s.id, seq, cache_key, widx, is_yield};
+      pending_[gid] =
+          PendingSpec{s.id, seq, cache_key, widx, is_yield, spec.name, 0.0};
       OpenCycle& oc = s.open[widx];
       oc.gids.push_back(gid);
       shard::Writer w;
       w.u64(gid);
       shard::put_spec(w, spec);
       if (is_yield) shard::put_yield_params(w, params);
+      // The client's trace context travels with the re-sequenced request,
+      // so worker span sets correlate with the client's trace id.
+      shard::put_trace_context(w, trace_ctx);
       oc.bytes += shard::frame_bytes(frame.type, w.bytes());
       return true;
     }
@@ -532,10 +565,15 @@ bool ServerLoop::handle_session_frame(Session& s, const shard::Frame& frame) {
       shard::Reader r(frame.payload);
       r.expect_end();
       s.run_seen = true;
+      const double dispatch_time = now_s();
       for (auto& [widx, oc] : s.open) {
         Worker& wk = workers_[widx];
         wk.out_buf += oc.bytes;
         wk.out_buf += shard::frame_bytes(shard::FrameType::kRun, {});
+        for (const std::uint64_t gid : oc.gids) {
+          const auto it = pending_.find(gid);
+          if (it != pending_.end()) it->second.dispatched_at = dispatch_time;
+        }
         wk.cycles.push_back(Cycle{s.id, std::move(oc.gids)});
         if (wk.alive && wk.cycles.size() == 1 &&
             options_.worker_timeout_s > 0.0) {
@@ -545,6 +583,16 @@ bool ServerLoop::handle_session_frame(Session& s, const shard::Frame& frame) {
       }
       s.open.clear();
       maybe_complete(s);  // the all-hits case answers immediately
+      return true;
+    }
+    case shard::FrameType::kStatus: {
+      // Admin introspection: answerable at any point in the session,
+      // including before kConfig — `oasys stat` needs no technology.
+      shard::Reader r(frame.payload);
+      r.expect_end();
+      shard::Writer w;
+      put_status_report(w, build_status_report());
+      s.out_buf += shard::frame_bytes(shard::FrameType::kStatus, w.bytes());
       return true;
     }
     default:
@@ -628,6 +676,62 @@ void ServerLoop::maybe_complete(Session& s) {
   if (draining_) s.close_after_flush = true;
 }
 
+StatusReport ServerLoop::build_status_report() const {
+  StatusReport rep;
+  rep.uptime_s = now_s() - start_time_;
+  rep.draining = draining_;
+  const ServeStats st = server_.stats();
+  rep.sessions_total = st.sessions;
+  rep.sessions_active = sessions_.size();
+  rep.requests_total = st.requests;
+  rep.batches = st.batches;
+  rep.in_flight = pending_.size();
+  rep.shared_cache_size = shared_cache_.size();
+  rep.shared_cache_capacity = shared_cache_.capacity();
+  rep.shared_cache_hits = st.shared_cache_hits;
+  rep.shared_cache_misses = st.shared_cache_misses;
+  rep.respawns = st.respawns;
+  rep.worker_timeouts = st.worker_timeouts;
+  rep.worker_errors = st.worker_errors;
+  rep.workers.reserve(workers_.size());
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    const Worker& wk = workers_[i];
+    WorkerStatus ws;
+    ws.shard = i;
+    ws.pid = static_cast<std::int64_t>(wk.pid);
+    ws.alive = wk.alive;
+    ws.retired = wk.retired;
+    ws.in_flight_cycles = wk.cycles.size();
+    ws.requests_served = wk.served;
+    ws.respawns = wk.respawn_count;
+    ws.backoff_s = wk.backoff_s;
+    rep.workers.push_back(ws);
+  }
+  return rep;
+}
+
+void ServerLoop::log_slow_request(const PendingSpec& p, double elapsed_s,
+                                  bool ok) {
+  // One structured line per slow request, on stderr where the daemon's
+  // operator logs already go.  Spec names come from user files, so the
+  // only JSON-hostile bytes worth escaping are quotes and backslashes.
+  std::string name;
+  name.reserve(p.spec_name.size());
+  for (const char c : p.spec_name) {
+    if (c == '"' || c == '\\') name.push_back('\\');
+    name.push_back(c);
+  }
+  std::fprintf(stderr,
+               "{\"event\": \"slow_request\", \"ms\": %.3f, "
+               "\"threshold_ms\": %.3f, \"spec\": \"%s\", "
+               "\"kind\": \"%s\", \"worker\": %zu, \"session\": %llu, "
+               "\"ok\": %s}\n",
+               elapsed_s * 1000.0, options_.slow_ms, name.c_str(),
+               p.is_yield ? "yield" : "synth", p.worker,
+               static_cast<unsigned long long>(p.session_id),
+               ok ? "true" : "false");
+}
+
 void ServerLoop::begin_drain() {
   if (draining_) return;
   draining_ = true;
@@ -659,6 +763,7 @@ int ServerLoop::run() {
   const shard::ScopedSigpipeIgnore sigpipe_guard;
 
   make_listener();
+  start_time_ = now_s();
   workers_.resize(options_.workers);
   for (std::size_t i = 0; i < options_.workers; ++i) {
     workers_[i].backoff_s = options_.backoff_initial_s;

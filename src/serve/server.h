@@ -75,6 +75,11 @@ struct ServeOptions {
   // cycle cleanly.
   double backoff_initial_s = 0.05;
   double backoff_max_s = 2.0;
+  // Slow-query threshold [ms]; 0 disables it.  A dispatched request whose
+  // worker answer arrives this long after its cycle was dispatched gets a
+  // structured one-line JSON record on the daemon's stderr (timing-class
+  // logging only — results and counters are untouched).
+  double slow_ms = 0.0;
 };
 
 // Daemon counters, exported as `serve.*` in every merged kMetrics frame

@@ -217,13 +217,24 @@ ShardReport run_sharded_requests(const tech::Technology& tech,
     report.outcomes[s].shard = i;
     report.outcomes[s].is_yield = requests[s].is_yield;
     ++report.workers[i].requests;
+    TraceContext ctx;
+    if (options.trace_id != 0) {
+      ctx.trace_id = options.trace_id;
+      ctx.span_id = obs::span_id_for(options.trace_id, s);
+      const obs::ScopedTraceContext scoped(ctx.trace_id, ctx.span_id);
+      obs::emit_instant("request.route", requests[s].spec.name,
+                        requests[s].is_yield ? "yield" : "synth",
+                        util::format("shard %zu", i), s);
+    }
     Writer w;
     w.u64(s);
     put_spec(w, requests[s].spec);
     if (requests[s].is_yield) {
       put_yield_params(w, requests[s].params);
+      put_trace_context(w, ctx);
       send(i, FrameType::kYieldRequest, w.bytes());
     } else {
+      put_trace_context(w, ctx);
       send(i, FrameType::kRequest, w.bytes());
     }
   }
@@ -303,6 +314,18 @@ ShardReport run_sharded_requests(const tech::Technology& tech,
             have_result[seq] = true;
             break;
           }
+          case FrameType::kSpans: {
+            Reader r(frame.payload);
+            SpanSet set = get_span_set(r);
+            r.expect_end();
+            if (set.shard != i) {
+              throw WireError(util::format(
+                  "worker %zu sent a span set claiming shard %llu", i,
+                  static_cast<unsigned long long>(set.shard)));
+            }
+            report.worker_spans.push_back(std::move(set));
+            break;
+          }
           case FrameType::kMetrics: {
             Reader r(frame.payload);
             worker_snaps[i] = get_metrics_snapshot(r);
@@ -353,6 +376,19 @@ ShardReport run_sharded_requests(const tech::Technology& tech,
         ws.error.empty()) {
       ws.error =
           util::format("worker %zu %s", i, describe_exit(status).c_str());
+    }
+  }
+
+  // Worker failures become timeline instants so the merged trace shows
+  // the failure window next to whatever span sets the worker managed to
+  // flush before dying.
+  if (options.trace_id != 0) {
+    const obs::ScopedTraceContext scoped(options.trace_id, 0);
+    for (const WorkerSummary& ws : report.workers) {
+      if (ws.ok()) continue;
+      obs::emit_instant("worker.failed", "shard",
+                        ws.timed_out ? "timeout" : "died", ws.error,
+                        ws.shard);
     }
   }
 

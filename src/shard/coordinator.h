@@ -31,6 +31,7 @@
 #include "core/spec.h"
 #include "obs/metrics.h"
 #include "service/service.h"
+#include "shard/wire.h"
 #include "synth/oasys.h"
 #include "tech/technology.h"
 #include "yield/service.h"
@@ -54,6 +55,13 @@ struct ShardOptions {
   // hanging.  The deadline re-arms on every frame received, so a slow but
   // progressing worker is never killed.
   double worker_timeout_s = 0.0;
+  // Distributed-tracing id for this batch (obs::mint_trace_id); 0 keeps
+  // tracing off and every request payload byte-identical to an untraced
+  // run.  When set, each request carries a trace context (span id =
+  // obs::span_id_for(trace_id, submission index)) and workers stream
+  // their span sets back.  Never affects results, routing, or the
+  // deterministic metrics section.
+  std::uint64_t trace_id = 0;
 };
 
 // Per-request outcome, in global submission order.  Mirrors
@@ -92,6 +100,12 @@ struct ShardReport {
   // The deterministic section is worker-count-invariant and matches a
   // single-process `oasys batch` run of the same specs.
   obs::MetricsSnapshot merged_metrics;
+  // Worker span sets, in arrival order, when ShardOptions::trace_id was
+  // set.  Partial by design under faults: a worker flushes its receive
+  // markers before computing, so a crashed or wedge-killed worker's sets
+  // still frame the failure window.  Coordinator-side events stay in the
+  // process-global obs collector (the caller owns draining it).
+  std::vector<SpanSet> worker_spans;
 
   // Every worker completed the protocol and exited 0.  Per-spec synthesis
   // failures (an outcome with ok() false under a healthy worker) are

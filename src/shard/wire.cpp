@@ -591,6 +591,76 @@ yield::YieldResult get_yield_result(Reader& r) {
   return result;
 }
 
+void put_trace_context(Writer& w, const TraceContext& ctx) {
+  if (!ctx.present()) return;  // absent block = untraced request
+  w.u8(kTraceContextVersion);
+  w.u64(ctx.trace_id);
+  w.u64(ctx.span_id);
+}
+
+TraceContext get_trace_context(Reader& r) {
+  TraceContext ctx;
+  if (r.at_end()) return ctx;  // old coordinator or tracing off
+  const std::uint8_t version = r.u8();
+  if (version != kTraceContextVersion) {
+    throw WireError(util::format(
+        "wire: unsupported trace-context version %u",
+        static_cast<unsigned>(version)));
+  }
+  ctx.trace_id = r.u64();
+  ctx.span_id = r.u64();
+  if (ctx.trace_id == 0) {
+    throw WireError("wire: trace context with zero trace id");
+  }
+  return ctx;
+}
+
+void put_span_set(Writer& w, const SpanSet& s) {
+  w.u64(s.trace_id);
+  w.u64(s.shard);
+  w.u64(s.events.size());
+  for (const obs::TraceEvent& e : s.events) {
+    w.u8(static_cast<std::uint8_t>(e.kind));
+    w.u64(static_cast<std::uint64_t>(e.depth));
+    w.str(e.name);
+    w.str(e.scope);
+    w.str(e.code);
+    w.str(e.detail);
+    w.u64(e.index);
+    w.f64(e.seconds);
+    w.u64(e.ts_us);
+    w.u64(e.tid);
+    w.u64(e.trace_id);
+    w.u64(e.span_id);
+  }
+}
+
+SpanSet get_span_set(Reader& r) {
+  SpanSet s;
+  s.trace_id = r.u64();
+  s.shard = r.u64();
+  const std::uint64_t n = checked_len(r.u64(), 65, "trace span event");
+  s.events.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    obs::TraceEvent e;
+    e.kind =
+        checked_enum<obs::TraceEvent::Kind>(r.u8(), 2, "TraceEvent.kind");
+    e.depth = static_cast<int>(r.u64());
+    e.name = r.str();
+    e.scope = r.str();
+    e.code = r.str();
+    e.detail = r.str();
+    e.index = r.u64();
+    e.seconds = r.f64();
+    e.ts_us = r.u64();
+    e.tid = r.u64();
+    e.trace_id = r.u64();
+    e.span_id = r.u64();
+    s.events.push_back(std::move(e));
+  }
+  return s;
+}
+
 void put_metrics_snapshot(Writer& w, const obs::MetricsSnapshot& s) {
   w.u64(s.entries.size());
   for (const obs::MetricEntry& e : s.entries) {
@@ -746,7 +816,7 @@ void parse_frame_header(std::string_view header, FrameType* type,
   }
   const std::uint32_t t = r.u32();
   if (t < static_cast<std::uint32_t>(FrameType::kConfig) ||
-      t > static_cast<std::uint32_t>(FrameType::kYieldResult)) {
+      t > static_cast<std::uint32_t>(FrameType::kStatus)) {
     throw WireError(util::format("wire: unknown frame type %u", t));
   }
   const std::uint64_t n = r.u64();

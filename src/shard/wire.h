@@ -42,9 +42,11 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "core/spec.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "service/service.h"
 #include "synth/oasys.h"
 #include "tech/technology.h"
@@ -75,6 +77,16 @@ enum class FrameType : std::uint32_t {
   // traffic for one spec co-locate on one worker and share its caches.
   kYieldRequest = 8,
   kYieldResult = 9,
+  // Distributed tracing: a worker drains its obs::TraceEvent stream back
+  // as kSpans frames (payload: SpanSet).  Sent only when the cycle's
+  // requests carried a trace context; a cycle may carry several (the
+  // worker flushes once after reading kRun — preserving the receive
+  // markers even if it crashes mid-compute — and again after computing).
+  kSpans = 10,
+  // Daemon admin introspection: a client sends an empty-payload kStatus
+  // and the daemon answers with a kStatus carrying a StatusReport.
+  // Answerable before kConfig — `oasys stat` needs no technology.
+  kStatus = 11,
 };
 
 // Malformed or truncated wire data.  Protocol errors are I/O-shaped and
@@ -170,6 +182,35 @@ yield::YieldParams get_yield_params(Reader& r);
 
 void put_yield_result(Writer& w, const yield::YieldResult& result);
 yield::YieldResult get_yield_result(Reader& r);
+
+// ---- distributed tracing ----------------------------------------------------
+
+// Optional trailing block on kRequest/kYieldRequest payloads.  Version
+// guarded: put_trace_context writes nothing when trace_id == 0, so a
+// pre-tracing coordinator's payloads are byte-identical to today's and an
+// old worker reading a traced payload fails loudly on the version byte
+// rather than misparsing.  get_trace_context returns {0, 0} when the
+// reader is already at the payload end (old peer, tracing off).
+struct TraceContext {
+  std::uint64_t trace_id = 0;  // 0 = no tracing for this request
+  std::uint64_t span_id = 0;
+  bool present() const { return trace_id != 0; }
+};
+
+inline constexpr std::uint8_t kTraceContextVersion = 1;
+
+void put_trace_context(Writer& w, const TraceContext& ctx);
+TraceContext get_trace_context(Reader& r);
+
+// kSpans payload: one drained slice of a worker's trace-event stream.
+struct SpanSet {
+  std::uint64_t trace_id = 0;
+  std::uint64_t shard = 0;  // emitting worker's shard index
+  std::vector<obs::TraceEvent> events;
+};
+
+void put_span_set(Writer& w, const SpanSet& s);
+SpanSet get_span_set(Reader& r);
 
 void put_metrics_snapshot(Writer& w, const obs::MetricsSnapshot& s);
 obs::MetricsSnapshot get_metrics_snapshot(Reader& r);

@@ -10,6 +10,7 @@
 
 #include "core/spec.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "shard/wire.h"
 #include "synth/opamp_design.h"
 #include "util/fingerprint.h"
@@ -78,8 +79,72 @@ void decode_request(const Frame& frame, std::uint64_t* seq,
     req->is_yield = true;
     req->params = get_yield_params(r);
   }
+  // Optional trailing trace context (version-guarded): absent on payloads
+  // from an untraced coordinator, so those bytes parse exactly as before.
+  const TraceContext ctx = get_trace_context(r);
+  req->trace_id = ctx.trace_id;
+  req->span_id = ctx.span_id;
   r.expect_end();
 }
+
+// The cycle's trace id: the first traced request's (the coordinator mints
+// one id per batch, so they all agree); 0 when the cycle is untraced.
+std::uint64_t cycle_trace_id(const std::vector<yield::Request>& requests) {
+  for (const yield::Request& r : requests) {
+    if (r.trace_id != 0) return r.trace_id;
+  }
+  return 0;
+}
+
+// Marks every request as received, under its own span id — flushed to the
+// coordinator *before* compute starts, so a worker that crashes or wedges
+// mid-batch has already delivered the receive markers that frame the
+// failure window in the merged timeline.
+void emit_recv_markers(const std::vector<std::uint64_t>& seqs,
+                       const std::vector<yield::Request>& requests) {
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    obs::ScopedTraceContext ctx(requests[i].trace_id, requests[i].span_id);
+    obs::emit_instant("request.recv", requests[i].spec.name,
+                      requests[i].is_yield ? "yield" : "synth", "", seqs[i]);
+  }
+}
+
+// Drains the global trace collector into one kSpans frame.  Empty drains
+// write nothing; a false return means the peer is gone.
+bool flush_spans(int out_fd, std::uint64_t trace_id, std::uint64_t shard) {
+  SpanSet set;
+  set.trace_id = trace_id;
+  set.shard = shard;
+  set.events = obs::drain_global_trace();
+  if (set.events.empty()) return true;
+  Writer w;
+  put_span_set(w, set);
+  return write_frame(out_fd, FrameType::kSpans, w.bytes());
+}
+
+// Scoped per-cycle tracing: enables the global collector only for traced
+// cycles and clears any stale events on both ends, so an untraced cycle
+// after a traced one never leaks the previous timeline.
+class ScopedCycleTracing {
+ public:
+  explicit ScopedCycleTracing(bool enable) : enabled_(enable) {
+    if (enabled_) {
+      obs::drain_global_trace();
+      obs::set_tracing_enabled(true);
+    }
+  }
+  ~ScopedCycleTracing() {
+    if (enabled_) {
+      obs::set_tracing_enabled(false);
+      obs::drain_global_trace();
+    }
+  }
+  ScopedCycleTracing(const ScopedCycleTracing&) = delete;
+  ScopedCycleTracing& operator=(const ScopedCycleTracing&) = delete;
+
+ private:
+  bool enabled_;
+};
 
 // Writes one outcome back: kResult for synthesis, kYieldResult for yield,
 // both carrying (seq, ok, result-or-error).
@@ -155,8 +220,24 @@ int worker_main(int in_fd, int out_fd) {
       requests.push_back(std::move(req));
     }
 
+    const std::uint64_t trace_id = cycle_trace_id(requests);
+    ScopedCycleTracing tracing(trace_id != 0);
+    if (trace_id != 0) {
+      emit_recv_markers(seqs, requests);
+      // Early flush: the receive markers reach the coordinator before any
+      // compute, surviving a mid-batch crash or wedge.
+      if (!flush_spans(out_fd, trace_id, config.shard)) {
+        return die("coordinator pipe closed while sending spans");
+      }
+    }
+
     yield::YieldService service(config.tech, config.synth, config.service);
     const std::vector<yield::Outcome> outcomes = service.run_mixed(requests);
+
+    if (trace_id != 0 &&
+        !flush_spans(out_fd, trace_id, config.shard)) {
+      return die("coordinator pipe closed while sending spans");
+    }
 
     for (std::size_t i = 0; i < outcomes.size(); ++i) {
       if (!crash.on_receive && crash.hits(requests[i].spec.name)) {
@@ -242,8 +323,25 @@ int worker_session_main(int in_fd, int out_fd) {
       // coordinator can accumulate across cycles without double counting;
       // ServiceStats stay cumulative (the resident cache's whole history).
       obs::Registry::global().reset();
+
+      const std::uint64_t trace_id = cycle_trace_id(requests);
+      ScopedCycleTracing tracing(trace_id != 0);
+      if (trace_id != 0) {
+        emit_recv_markers(seqs, requests);
+        // Early flush: the receive markers reach the daemon before any
+        // compute, surviving a mid-batch crash or wedge.
+        if (!flush_spans(out_fd, trace_id, config.shard)) {
+          return die("peer pipe closed while sending spans");
+        }
+      }
+
       const std::vector<yield::Outcome> outcomes =
           service.run_mixed(requests);
+
+      if (trace_id != 0 &&
+          !flush_spans(out_fd, trace_id, config.shard)) {
+        return die("peer pipe closed while sending spans");
+      }
 
       for (std::size_t i = 0; i < outcomes.size(); ++i) {
         if (!crash.on_receive && crash.hits(requests[i].spec.name)) {

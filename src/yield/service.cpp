@@ -1,5 +1,6 @@
 #include "yield/service.h"
 
+#include "obs/span.h"
 #include "synth/result_json.h"
 
 namespace oasys::yield {
@@ -35,10 +36,20 @@ std::vector<Outcome> YieldService::run_mixed(
   // fan-out inside analyze_yield is the parallel part).
   std::vector<Outcome> out(requests.size());
   for (std::size_t i = 0; i < requests.size(); ++i) {
+    // Per-request trace context: events emitted while this request is
+    // being answered (including inside analyze_yield on the calling
+    // thread) carry its span id.  A no-op for untraced requests.
+    obs::ScopedTraceContext trace_ctx(requests[i].trace_id,
+                                      requests[i].span_id);
+    obs::Span request_span("yield_service",
+                           requests[i].is_yield ? "request.yield"
+                                                : "request.synth");
+    request_span.note(requests[i].spec.name);
     Outcome& o = out[i];
     o.is_yield = requests[i].is_yield;
     if (!syn[i].ok()) {
       o.error = syn[i].error;
+      request_span.note("synthesis failed");
       continue;
     }
     if (!o.is_yield) {
@@ -55,6 +66,7 @@ std::vector<Outcome> YieldService::run_mixed(
       std::lock_guard<std::mutex> lock(mu_);
       if (const YieldResult* hit = cache_.get(key)) {
         o.yield = *hit;
+        request_span.note("yield cache hit");
         continue;
       }
     }

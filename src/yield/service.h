@@ -34,6 +34,12 @@ struct Request {
   core::OpAmpSpec spec;
   bool is_yield = false;
   YieldParams params;  // meaningful only when is_yield
+  // Distributed-tracing correlation (0 = untraced).  Carried alongside the
+  // request so run_mixed can install the per-request trace context around
+  // the computation; never part of any cache or routing key, and never a
+  // result byte — tracing on/off must not change `oasys.result.v1`.
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
 };
 
 // Per-request outcome, mirroring service::BatchOutcome: `error` is empty

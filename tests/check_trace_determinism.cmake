@@ -1,0 +1,104 @@
+# Tracing byte-identity check (ctest script).
+#
+# Contract: enabling distributed tracing changes no deterministic output
+# byte.  For every cell of the {--jobs 1/2/4} x {local batch, shard
+# --workers 1/2/4} matrix this script runs the same mixed synthesis/yield
+# workload untraced and traced (--trace-json to a side file), then
+# asserts
+#   * the traced run's stdout equals the untraced run's stdout once the
+#     timing-class "trace written to ..." notice is stripped — summary
+#     tables, yield percentages, every deterministic byte;
+#   * the deterministic section of the metrics JSON (everything before
+#     "timing") is byte-identical traced vs untraced;
+#   * the traced run actually produced a non-empty trace file (the check
+#     must not pass vacuously because tracing silently no-oped).
+# The daemon leg of the same cross lives in test_trace_wire.cpp
+# (TracedServe) and the CI perf job's served-trace export.
+#
+# Expects: OASYS_CLI (path to the oasys binary), SPEC_DIR (directory of
+# .spec files), WORK_DIR (writable scratch directory).
+
+# One row of the matrix: run `${mode_args}` untraced and traced and
+# compare.  `tag` names the scratch files.
+function(check_cell tag)
+  set(mode_args ${ARGN})
+  execute_process(
+    COMMAND ${OASYS_CLI} ${mode_args}
+            --metrics-json ${WORK_DIR}/trace_det_${tag}_plain.json
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE plain_out)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "untraced run ${tag} failed (exit ${rc})")
+  endif()
+  execute_process(
+    COMMAND ${OASYS_CLI} ${mode_args}
+            --metrics-json ${WORK_DIR}/trace_det_${tag}_traced.json
+            --trace-json ${WORK_DIR}/trace_det_${tag}.trace.json
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE traced_out)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "traced run ${tag} failed (exit ${rc})")
+  endif()
+
+  # Strip the timing-class stdout notices: the traced run's trace-file
+  # announcement, and the metrics-file announcement on both sides (the
+  # two runs write metrics to different scratch paths).
+  string(REGEX REPLACE "metrics written to [^\n]*\n" "" plain_out
+         "${plain_out}")
+  string(REGEX REPLACE "metrics written to [^\n]*\n" "" traced_out
+         "${traced_out}")
+  string(REGEX REPLACE "trace written to [^\n]*\n" "" traced_stripped
+         "${traced_out}")
+  if(NOT traced_stripped STREQUAL plain_out)
+    message(FATAL_ERROR
+            "tracing changed stdout bytes in cell ${tag}:\n"
+            "--- untraced ---\n${plain_out}\n"
+            "--- traced (notice stripped) ---\n${traced_stripped}")
+  endif()
+  if(traced_stripped STREQUAL traced_out)
+    message(FATAL_ERROR
+            "traced run ${tag} never announced its trace file — did "
+            "--trace-json silently no-op?")
+  endif()
+
+  # Deterministic metrics section: byte-identical traced vs untraced.
+  foreach(side plain traced)
+    file(READ ${WORK_DIR}/trace_det_${tag}_${side}.json doc)
+    string(FIND "${doc}" "\"timing\"" cut)
+    if(cut EQUAL -1)
+      message(FATAL_ERROR
+              "metrics JSON (${tag}, ${side}) has no timing section")
+    endif()
+    string(SUBSTRING "${doc}" 0 ${cut} det_${side})
+  endforeach()
+  if(NOT det_traced STREQUAL det_plain)
+    message(FATAL_ERROR
+            "tracing changed deterministic metrics in cell ${tag}:\n"
+            "--- untraced ---\n${det_plain}\n"
+            "--- traced ---\n${det_traced}")
+  endif()
+
+  # The trace file must exist and carry events — no vacuous pass.
+  file(READ ${WORK_DIR}/trace_det_${tag}.trace.json trace_doc)
+  string(FIND "${trace_doc}" "\"traceEvents\"" has_events)
+  string(FIND "${trace_doc}" "\"ph\": \"X\"" has_span)
+  if(has_events EQUAL -1 OR has_span EQUAL -1)
+    message(FATAL_ERROR
+            "trace file for cell ${tag} is empty or malformed:\n"
+            "${trace_doc}")
+  endif()
+endfunction()
+
+foreach(jobs 1 2 4)
+  check_cell(batch_j${jobs}
+             batch ${SPEC_DIR} --yield-samples 6 --jobs ${jobs} --no-stats)
+endforeach()
+foreach(workers 1 2 4)
+  check_cell(shard_w${workers}
+             shard ${SPEC_DIR} --yield-samples 6 --workers ${workers}
+             --jobs 1 --no-stats)
+endforeach()
+
+message(STATUS
+        "tracing changed no deterministic byte across jobs 1/2/4 and "
+        "workers 1/2/4")

@@ -88,6 +88,7 @@ int usage() {
       "       oasys batch DIR-OR-SPEC... [options]\n"
       "       oasys shard DIR-OR-SPEC... [--workers N] [batch options]\n"
       "       oasys serve --socket PATH [--workers N] [serve options]\n"
+      "       oasys stat --connect SOCKET [--json]\n"
       "       oasys yield SPEC [--samples N] [--seed S] [--json] "
       "[options]\n"
       "       oasys golden DIR-OR-SPEC... [--dir DIR] [options]\n"
@@ -127,6 +128,14 @@ int usage() {
       "                  synthesis (batch, shard, and --connect print\n"
       "                  byte-identical summaries)\n"
       "  --yield-seed S  yield analysis RNG seed (default 1)\n"
+      "  --trace         print the merged span timeline after the summary\n"
+      "                  (batch and shard: one trace id per run, every\n"
+      "                  request tagged with a span id that survives the\n"
+      "                  trip through workers and the daemon)\n"
+      "  --trace-json F  write the merged timeline as a Chrome trace-event\n"
+      "                  JSON file (load in Perfetto / chrome://tracing);\n"
+      "                  coordinator and worker spans share one trace id.\n"
+      "                  Tracing never changes deterministic output bytes\n"
       "shard mode (batch across worker processes; same results, same\n"
       "output):\n"
       "  --workers N     worker process count (default 2)\n"
@@ -140,8 +149,15 @@ int usage() {
       "  --shared-cache-size N  coordinator-owned shared result-cache\n"
       "                  entries consulted before routing (default 256;\n"
       "                  0 disables the shared tier)\n"
+      "  --slow-ms T     log a structured JSON record to stderr for every\n"
+      "                  request answered more than T ms after its cycle\n"
+      "                  was dispatched (0 disables; timing-class only)\n"
       "  SIGTERM/SIGINT drain gracefully: in-flight batches finish,\n"
       "  workers exit at cycle boundaries, then the daemon exits 0\n"
+      "stat mode (live daemon introspection over the admin frame):\n"
+      "  --connect SOCK  daemon socket to query (required)\n"
+      "  --json          print the canonical oasys.status.v1 document\n"
+      "                  instead of the human table\n"
       "yield mode (deterministic Monte-Carlo mismatch analysis):\n"
       "  --samples N     mismatch sample count (default 200)\n"
       "  --seed S        RNG seed (default 1); (seed, sample index)\n"
@@ -452,6 +468,8 @@ struct BatchArgs {
   std::string metrics_path;
   std::string connect_path;  // batch mode only: route through a daemon
   std::string sort;          // batch mode only: "", "name", or "latency"
+  std::string trace_json_path;  // --trace-json: Chrome trace-event file
+  bool trace = false;           // --trace: print the merged span timeline
   bool rules = true;
   bool show_stats = true;
   long jobs = 0;               // 0 = default concurrency
@@ -501,6 +519,12 @@ int parse_batch_args(int argc, char** argv, bool shard_mode,
       out->rules = false;
     } else if (arg == "--no-stats") {
       out->show_stats = false;
+    } else if (arg == "--trace") {
+      out->trace = true;
+    } else if (arg == "--trace-json") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      out->trace_json_path = v;
     } else if (shard_mode && arg == "--workers") {
       const char* v = next();
       if (v == nullptr || !parse_count(v, 1, &out->workers)) {
@@ -583,6 +607,75 @@ std::vector<oasys::yield::Request> yield_requests(
   return requests;
 }
 
+// Tags every request with the run's trace id and a per-request span id
+// derived from the submission index — the same derivation the shard
+// coordinator uses, so local, --connect, and shard runs correlate the
+// same way.  No-op (and no byte changes anywhere) when tracing is off.
+void apply_trace_ids(std::uint64_t trace_id,
+                     std::vector<oasys::yield::Request>* requests) {
+  if (trace_id == 0) return;
+  for (std::size_t i = 0; i < requests->size(); ++i) {
+    (*requests)[i].trace_id = trace_id;
+    (*requests)[i].span_id = oasys::obs::span_id_for(trace_id, i);
+  }
+}
+
+// Renders the merged cross-process timeline after a traced run: this
+// process's own events (drained from the global collector — the
+// coordinator lane) plus every worker span set, correlated by trace id.
+// --trace prints the text view after the summary; --trace-json writes
+// the Chrome trace-event file (Perfetto-loadable).  All of it is
+// timing-class output — the deterministic summary bytes above are
+// already printed and untouched.  Returns false when the JSON file
+// cannot be written.
+bool export_batch_trace(const BatchArgs& args, std::uint64_t trace_id,
+                        const std::vector<oasys::shard::SpanSet>& spans) {
+  using namespace oasys;
+  if (trace_id == 0) return true;
+
+  std::vector<obs::TraceProcess> processes;
+  processes.push_back(
+      obs::TraceProcess{0, "coordinator", obs::drain_global_trace()});
+  // One lane per shard (pid = shard + 1); a shard's span sets arrive in
+  // flush order, so appending keeps each lane's events in emit order.
+  for (const shard::SpanSet& set : spans) {
+    const std::uint64_t lane = set.shard + 1;
+    auto it = std::find_if(
+        processes.begin(), processes.end(),
+        [&](const obs::TraceProcess& p) { return p.pid == lane; });
+    if (it == processes.end()) {
+      processes.push_back(obs::TraceProcess{
+          lane, util::format("worker %llu",
+                             static_cast<unsigned long long>(set.shard)),
+          {}});
+      it = processes.end() - 1;
+    }
+    it->events.insert(it->events.end(), set.events.begin(),
+                      set.events.end());
+  }
+
+  if (args.trace) {
+    std::printf("\ntrace %016llx:\n",
+                static_cast<unsigned long long>(trace_id));
+    for (const obs::TraceProcess& p : processes) {
+      if (p.events.empty()) continue;
+      std::printf("-- %s --\n", p.name.c_str());
+      std::fputs(obs::trace_text(p.events).c_str(), stdout);
+    }
+  }
+  if (!args.trace_json_path.empty()) {
+    std::ofstream out(args.trace_json_path);
+    if (out) out << obs::trace_chrome_json(processes, trace_id) << "\n";
+    if (!out) {
+      std::fprintf(stderr, "cannot write trace JSON to '%s'\n",
+                   args.trace_json_path.c_str());
+      return false;
+    }
+    std::printf("trace written to %s\n", args.trace_json_path.c_str());
+  }
+  return true;
+}
+
 // `oasys batch`: every spec file through the synthesis service, then a
 // summary table plus (unless --no-stats) the service's cache/latency
 // statistics.  Returns 1 when any spec fails to parse, errors out, or
@@ -610,6 +703,16 @@ int run_batch_mode(int argc, char** argv) {
   synth::SynthOptions opts;
   opts.rules_enabled = args.rules;
 
+  // Tracing mints one trace id for the whole run and turns on the global
+  // span collector; every request is tagged so worker spans correlate.
+  // Deterministic output is untouched — the timeline renders after the
+  // summary (--trace) or into a separate file (--trace-json).
+  std::uint64_t trace_id = 0;
+  if (args.trace || !args.trace_json_path.empty()) {
+    obs::set_tracing_enabled(true);
+    trace_id = obs::mint_trace_id();
+  }
+
   // --connect: same specs, same outcomes, same summary bytes — the work
   // just runs in the daemon's resident worker pool instead of here.
   if (!args.connect_path.empty()) {
@@ -619,11 +722,13 @@ int run_batch_mode(int argc, char** argv) {
     int errors = 0;
     try {
       if (args.yield_samples > 0) {
+        std::vector<yield::Request> requests = yield_requests(specs, args);
+        apply_trace_ids(trace_id, &requests);
         mixed = serve::run_connected_mixed(args.connect_path, t, opts,
-                                           yield_requests(specs, args));
+                                           requests);
       } else {
         report = serve::run_connected_batch(args.connect_path, t, opts,
-                                            specs);
+                                            specs, trace_id);
       }
     } catch (const std::exception& e) {
       std::fprintf(stderr, "%s\n", e.what());
@@ -632,6 +737,7 @@ int run_batch_mode(int argc, char** argv) {
     if (args.yield_samples > 0) {
       report.metrics = std::move(mixed.metrics);
       report.stats = mixed.stats;
+      report.worker_spans = std::move(mixed.worker_spans);
       sort_rows(args.sort, &spec_paths, &specs, &mixed.outcomes);
       print_mixed_summary(spec_paths, specs, mixed.outcomes, &failures,
                           &errors);
@@ -655,6 +761,7 @@ int run_batch_mode(int argc, char** argv) {
       std::puts("\nmetrics (daemon merged):");
       std::fputs(obs::metrics_table(report.metrics).c_str(), stdout);
     }
+    if (!export_batch_trace(args, trace_id, report.worker_spans)) return 1;
     if (!write_metrics_snapshot(args.metrics_path, report.metrics)) {
       return 1;
     }
@@ -669,8 +776,9 @@ int run_batch_mode(int argc, char** argv) {
   service::ServiceStats stats;
   if (args.yield_samples > 0) {
     yield::YieldService svc(t, opts, args.sopts);
-    std::vector<yield::Outcome> outcomes =
-        svc.run_mixed(yield_requests(specs, args));
+    std::vector<yield::Request> requests = yield_requests(specs, args);
+    apply_trace_ids(trace_id, &requests);
+    std::vector<yield::Outcome> outcomes = svc.run_mixed(requests);
     stats = svc.stats();
     sort_rows(args.sort, &spec_paths, &specs, &outcomes);
     print_mixed_summary(spec_paths, specs, outcomes, &failures, &errors);
@@ -717,6 +825,10 @@ int run_batch_mode(int argc, char** argv) {
         stdout);
   }
 
+  // A local run has no worker lanes: everything this process emitted —
+  // including the per-request spans the service tagged with their span
+  // ids — lands in the coordinator lane.
+  if (!export_batch_trace(args, trace_id, {})) return 1;
   if (!write_metrics(args.metrics_path)) return 1;
   return (failures > 0 || errors > 0 || parse_failed) ? 1 : 0;
 }
@@ -770,6 +882,12 @@ int run_shard_mode(int argc, char** argv, const char* argv0) {
     std::fprintf(stderr, "shard: cannot determine own executable path\n");
     return 1;
   }
+  // Tracing: the coordinator mints the run's trace id, tags every routed
+  // request, and collects worker span sets alongside the results.
+  if (args.trace || !args.trace_json_path.empty()) {
+    obs::set_tracing_enabled(true);
+    shopts.trace_id = obs::mint_trace_id();
+  }
 
   const shard::ShardReport report =
       args.yield_samples > 0
@@ -812,6 +930,9 @@ int run_shard_mode(int argc, char** argv, const char* argv0) {
     }
   }
 
+  if (!export_batch_trace(args, shopts.trace_id, report.worker_spans)) {
+    return 1;
+  }
   if (!write_metrics_snapshot(args.metrics_path, report.merged_metrics)) {
     return 1;
   }
@@ -874,6 +995,14 @@ int run_serve_mode(int argc, char** argv, const char* argv0) {
         return usage();
       }
       sv.shared_cache_capacity = static_cast<std::size_t>(n);
+    } else if (arg == "--slow-ms") {
+      const char* v = next();
+      if (v == nullptr || !parse_seconds(v, &sv.slow_ms)) {
+        std::fprintf(stderr,
+                     "--slow-ms requires a non-negative number of "
+                     "milliseconds\n");
+        return usage();
+      }
     } else if (arg == "--cache-size") {
       long n = 0;
       const char* v = next();
@@ -941,6 +1070,52 @@ int run_serve_mode(int argc, char** argv, const char* argv0) {
     return rc;
   } catch (const std::exception& e) {
     g_serve_server = nullptr;
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
+}
+
+// `oasys stat`: live daemon introspection.  One empty kStatus frame over
+// the admin path of the serve socket; the daemon answers before any
+// kConfig handshake, so this works against a busy daemon without joining
+// the request path.  Human table by default, canonical oasys.status.v1
+// JSON with --json.
+int run_stat_mode(int argc, char** argv) {
+  using namespace oasys;
+
+  std::string socket_path;
+  bool json = false;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--connect") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      socket_path = v;
+    } else if (arg == "--json") {
+      json = true;
+    } else {
+      std::fprintf(stderr, "unknown stat option '%s'\n", arg.c_str());
+      return usage();
+    }
+  }
+  if (socket_path.empty()) {
+    std::fprintf(stderr, "stat mode requires --connect SOCKET\n");
+    return usage();
+  }
+
+  try {
+    const serve::StatusReport st = serve::fetch_status(socket_path);
+    if (json) {
+      std::fputs((serve::status_json(st) + "\n").c_str(), stdout);
+    } else {
+      std::printf("oasys serve at %s\n", socket_path.c_str());
+      std::fputs(serve::status_table(st).c_str(), stdout);
+    }
+    return 0;
+  } catch (const std::exception& e) {
     std::fprintf(stderr, "%s\n", e.what());
     return 1;
   }
@@ -1199,6 +1374,9 @@ int main(int argc, char** argv) {
   }
   if (argc > 1 && std::strcmp(argv[1], "serve") == 0) {
     return run_serve_mode(argc - 2, argv + 2, argv[0]);
+  }
+  if (argc > 1 && std::strcmp(argv[1], "stat") == 0) {
+    return run_stat_mode(argc - 2, argv + 2);
   }
   if (argc > 1 && std::strcmp(argv[1], "yield") == 0) {
     return run_yield_mode(argc - 2, argv + 2);
