@@ -26,6 +26,7 @@
 #include "obs/metrics.h"
 #include "spice/ac.h"
 #include "spice/dc.h"
+#include "spice/measure.h"
 #include "spice/small_signal.h"
 #include "spice/sweep.h"
 #include "spice/tran.h"
@@ -453,6 +454,99 @@ int emit_json(const char* path) {
   }
   deterministic &= de_equal;
 
+  // ---- Adaptive transient: fixed reference vs embedded-error stepping -----
+  // Stiff comparator-style slew fixture: a long flat region (the
+  // controller grows to dt_max) ending in a near-instant edge (forced
+  // step rejections), then a settling tail.  Fixed stepping pays the
+  // whole window at the resolution the edge needs; adaptive pays it only
+  // around the edge.
+  ckt::Circuit stiff;
+  const double stiff_tau = 1e-6;
+  {
+    const auto in = stiff.node("in");
+    const auto out = stiff.node("out");
+    stiff.add_vsource("V1", in, ckt::kGround,
+                      ckt::Waveform::pulse(0.0, 1.0, 50.0 * stiff_tau, 1e-9,
+                                           1e-9, 100.0 * stiff_tau,
+                                           200.0 * stiff_tau));
+    stiff.add_resistor("R1", in, out, 1e3);
+    stiff.add_capacitor("C1", out, ckt::kGround, stiff_tau / 1e3);
+  }
+  const sim::OpResult stiff_op = sim::dc_operating_point(stiff, f.t);
+  const sim::MnaLayout stiff_layout(stiff);
+  const ckt::NodeId stiff_out = stiff.node("out");
+
+  sim::TranOptions at_fixed;
+  at_fixed.tstop = 100.0 * stiff_tau;
+  at_fixed.dt = stiff_tau / 10.0;  // 1000 fixed steps
+  sim::TranOptions at_adapt = at_fixed;
+  at_adapt.mode = sim::TranMode::kAdaptive;
+
+  const sim::TranResult at_f1 =
+      sim::transient(stiff, f.t, stiff_op, at_fixed);
+  const obs::MetricsSnapshot at_before = obs::Registry::global().snapshot();
+  const sim::TranResult at_a1 =
+      sim::transient(stiff, f.t, stiff_op, at_adapt);
+  const obs::MetricsSnapshot at_after = obs::Registry::global().snapshot();
+  const sim::TranResult at_a2 =
+      sim::transient(stiff, f.t, stiff_op, at_adapt);
+  const bool adaptive_repeat_equal =
+      at_f1.ok && at_a1.ok && at_a2.ok && at_a1.time == at_a2.time &&
+      at_a1.states == at_a2.states;
+  deterministic &= adaptive_repeat_equal;
+
+  auto counter_value = [](const obs::MetricsSnapshot& s, const char* name) {
+    const obs::MetricEntry* e = s.find(name);
+    return e != nullptr ? e->counter : std::uint64_t{0};
+  };
+  const std::uint64_t adaptive_rejects =
+      counter_value(at_after, "tran.adaptive.rejects") -
+      counter_value(at_before, "tran.adaptive.rejects");
+
+  // Waveform-derived metrics through dense output: the two grids differ,
+  // the physics may not.
+  auto stiff_metrics = [&](const sim::TranResult& tr) {
+    std::vector<double> m;
+    const auto sl = sim::slew_rate(tr, stiff_layout, stiff_out);
+    m.push_back(sl.has_value() ? sl->rising : 0.0);
+    m.push_back(tr.voltage_at(stiff_layout, stiff_out, 60.0 * stiff_tau));
+    m.push_back(tr.voltage_at(stiff_layout, stiff_out, at_fixed.tstop));
+    return m;
+  };
+  // Accuracy is judged against a converged fine-grid reference (tau/100),
+  // not against the coarse fixed run: at tau/10 the fixed grid itself
+  // under-resolves the edge, and charging adaptive for disagreeing with
+  // an under-resolved answer would reward the wrong engine.
+  sim::TranOptions at_ref = at_fixed;
+  at_ref.dt = stiff_tau / 100.0;
+  const sim::TranResult at_r1 = sim::transient(stiff, f.t, stiff_op, at_ref);
+  const std::vector<double> m_ref = stiff_metrics(at_r1);
+  const std::vector<double> m_fixed = stiff_metrics(at_f1);
+  const std::vector<double> m_adapt = stiff_metrics(at_a1);
+  auto max_deviation = [&](const std::vector<double>& m) {
+    double worst = 0.0;
+    for (std::size_t i = 0; i < m_ref.size(); ++i) {
+      const double denom = std::max(std::abs(m_ref[i]), 1e-12);
+      worst = std::max(worst, std::abs(m[i] - m_ref[i]) / denom);
+    }
+    return worst;
+  };
+  const double max_metric_deviation_rel = max_deviation(m_adapt);
+  const double fixed_metric_deviation_rel = max_deviation(m_fixed);
+  deterministic &= at_r1.ok;
+
+  const double at_fixed_s = oasys::bench::time_best_of(5, [&] {
+    sim::TranResult r = sim::transient(stiff, f.t, stiff_op, at_fixed);
+    benchmark::DoNotOptimize(r);
+  });
+  const double at_adapt_s = oasys::bench::time_best_of(5, [&] {
+    sim::TranResult r = sim::transient(stiff, f.t, stiff_op, at_adapt);
+    benchmark::DoNotOptimize(r);
+  });
+  const double step_reduction =
+      static_cast<double>(at_f1.time.size() - 1) /
+      static_cast<double>(at_a1.time.size() - 1);
+
   // Metrics block: registry contents of one canonical run of each engine
   // (one DC operating point, one AC sweep, one transient) after a reset,
   // so the record carries solver-effort counts alongside the timings.
@@ -516,13 +610,42 @@ int emit_json(const char* path) {
   }
   std::fprintf(out, "]},\n");
   std::fprintf(out,
+               " \"adaptive_tran\": {\"tstop\": %.6e, \"dt\": %.6e, "
+               "\"rtol\": %.3e, \"atol\": %.3e,\n",
+               at_fixed.tstop, at_fixed.dt,
+               sim::tran_tolerance_default().rtol,
+               sim::tran_tolerance_default().atol);
+  std::fprintf(out,
+               "  \"reference\": {\"dt\": %.6e, \"steps\": %zu, "
+               "\"slew\": %.9e},\n",
+               at_ref.dt, at_r1.time.size() - 1, m_ref[0]);
+  std::fprintf(out,
+               "  \"fixed\": {\"steps\": %zu, \"seconds\": %.6f, "
+               "\"slew\": %.9e, \"metric_deviation_rel\": %.6e},\n",
+               at_f1.time.size() - 1, at_fixed_s, m_fixed[0],
+               fixed_metric_deviation_rel);
+  std::fprintf(out,
+               "  \"adaptive\": {\"steps\": %zu, \"rejects\": %llu, "
+               "\"seconds\": %.6f, \"slew\": %.9e, "
+               "\"repeat_bitwise_equal\": %s},\n",
+               at_a1.time.size() - 1,
+               static_cast<unsigned long long>(adaptive_rejects), at_adapt_s,
+               m_adapt[0], adaptive_repeat_equal ? "true" : "false");
+  std::fprintf(out,
+               "  \"step_reduction\": %.3f, \"speedup\": %.3f, "
+               "\"max_metric_deviation_rel\": %.6e},\n",
+               step_reduction, at_fixed_s / at_adapt_s,
+               max_metric_deviation_rel);
+  std::fprintf(out,
                " \"determinism\": {\"dc_bitwise_equal\": %s, "
                "\"ac_bitwise_equal\": %s, \"ac_jobs_invariant\": %s, "
                "\"tran_repeat_equal\": %s, "
-               "\"device_eval_bitwise_equal\": %s},\n",
+               "\"device_eval_bitwise_equal\": %s, "
+               "\"adaptive_repeat_equal\": %s},\n",
                dc_equal ? "true" : "false", ac_equal ? "true" : "false",
                ac_jobs_invariant ? "true" : "false",
-               tran_equal ? "true" : "false", de_equal ? "true" : "false");
+               tran_equal ? "true" : "false", de_equal ? "true" : "false",
+               adaptive_repeat_equal ? "true" : "false");
   std::fprintf(out, " \"metrics\": %s}\n", metrics.c_str());
   std::fclose(out);
 
@@ -531,9 +654,10 @@ int emit_json(const char* path) {
     return 1;
   }
   std::printf(
-      "wrote %s (dc speedup %.2fx, ac speedup %.2fx, batch dc %.2fx)\n",
+      "wrote %s (dc speedup %.2fx, ac speedup %.2fx, batch dc %.2fx, "
+      "adaptive tran %.1fx fewer steps)\n",
       path, dc_base_s / dc_ws_s, ac_base_s / ac_ws_s,
-      de_dc_scalar_s / de_dc_batch_s);
+      de_dc_scalar_s / de_dc_batch_s, step_reduction);
   return 0;
 }
 

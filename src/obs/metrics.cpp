@@ -37,6 +37,15 @@ constexpr double kEmptyMax = -1e300;
 
 void Gauge::set_max(double v) noexcept { atomic_max(&v_, v); }
 
+void Gauge::set_min(double v) noexcept {
+  // 0.0 is the reset value and means "unset": the first observation always
+  // lands, after which only strictly smaller values do.
+  double cur = v_.load(std::memory_order_relaxed);
+  while ((cur == 0.0 || v < cur) &&
+         !v_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
 // ---- Histogram --------------------------------------------------------------
 
 Histogram::Histogram(std::vector<double> bounds)
@@ -151,7 +160,20 @@ MetricsSnapshot merge_snapshots(const std::vector<MetricsSnapshot>& parts) {
           m.counter += e.counter;
           break;
         case MetricKind::kGauge:
-          m.gauge = std::max(m.gauge, e.gauge);
+          if (m.gauge_merge != e.gauge_merge) {
+            throw std::logic_error("merge_snapshots: gauge '" + e.name +
+                                   "' has conflicting merge modes across "
+                                   "parts");
+          }
+          if (e.gauge_merge == GaugeMerge::kMin) {
+            // 0.0 is the unset sentinel: a worker that never observed the
+            // gauge must not drag the merged minimum to zero.
+            if (e.gauge != 0.0) {
+              m.gauge = m.gauge == 0.0 ? e.gauge : std::min(m.gauge, e.gauge);
+            }
+          } else {
+            m.gauge = std::max(m.gauge, e.gauge);
+          }
           break;
         case MetricKind::kHistogram: {
           if (m.histogram.bounds != e.histogram.bounds) {
@@ -208,10 +230,18 @@ Counter& Registry::counter(const std::string& name, bool deterministic) {
   return *e.counter;
 }
 
-Gauge& Registry::gauge(const std::string& name, bool deterministic) {
+Gauge& Registry::gauge(const std::string& name, bool deterministic,
+                       GaugeMerge merge) {
   std::lock_guard<std::mutex> lock(mu_);
   Entry& e = entry(name, MetricKind::kGauge, deterministic);
-  if (!e.gauge) e.gauge = std::make_unique<Gauge>();
+  if (!e.gauge) {
+    e.gauge_merge = merge;
+    e.gauge = std::make_unique<Gauge>();
+  } else if (e.gauge_merge != merge) {
+    throw std::logic_error("gauge '" + name +
+                           "' already registered with a different merge "
+                           "mode");
+  }
   return *e.gauge;
 }
 
@@ -255,6 +285,7 @@ MetricsSnapshot Registry::snapshot() const {
     m.name = name;
     m.kind = e.kind;
     m.deterministic = e.deterministic;
+    m.gauge_merge = e.gauge_merge;
     if (e.counter) m.counter = e.counter->value();
     if (e.gauge) m.gauge = e.gauge->value();
     if (e.histogram) m.histogram = e.histogram->snapshot();

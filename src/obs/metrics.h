@@ -51,13 +51,16 @@ class Counter {
   std::atomic<std::uint64_t> v_{0};
 };
 
-// Last-written / high-water value.  set_max keeps the running maximum,
-// which is order-independent (and therefore deterministic when the set of
-// observed values is).
+// Last-written / high-water / low-water value.  set_max (set_min) keeps
+// the running maximum (minimum), which is order-independent (and
+// therefore deterministic when the set of observed values is).  The reset
+// value 0.0 doubles as "unset" for set_min, so low-water gauges must only
+// observe strictly positive values (step sizes, durations, ...).
 class Gauge {
  public:
   void set(double v) noexcept { v_.store(v, std::memory_order_relaxed); }
   void set_max(double v) noexcept;
+  void set_min(double v) noexcept;
   double value() const noexcept { return v_.load(std::memory_order_relaxed); }
   void reset() noexcept { v_.store(0.0, std::memory_order_relaxed); }
 
@@ -109,11 +112,19 @@ class Histogram {
 
 enum class MetricKind { kCounter, kGauge, kHistogram };
 
+// How a gauge combines across processes in merge_snapshots.  kMax suits
+// high-water marks; kMin suits low-water marks (smallest accepted step
+// size, ...).  Both are associative and commutative, so the merged value
+// is invariant to how work was partitioned across workers.  The gauge
+// reset value 0.0 means "unset" and never participates in a kMin merge.
+enum class GaugeMerge { kMax = 0, kMin };
+
 // One metric in a registry snapshot.
 struct MetricEntry {
   std::string name;
   MetricKind kind = MetricKind::kCounter;
   bool deterministic = true;
+  GaugeMerge gauge_merge = GaugeMerge::kMax;  // kGauge only
   std::uint64_t counter = 0;     // kCounter
   double gauge = 0.0;            // kGauge
   HistogramSnapshot histogram;   // kHistogram
@@ -126,13 +137,15 @@ struct MetricsSnapshot {
 };
 
 // Cross-process aggregation (the shard coordinator merges one snapshot per
-// worker).  Entries are united by name: counters add, gauges keep the
-// maximum (every multi-process gauge in the repo is a high-water mark),
-// histograms add bucket-wise and combine count/sum/min/max.  A name
-// registered with different kinds or different histogram bounds across
-// parts throws std::logic_error (schema drift, never silent).  The merged
-// `deterministic` flag is the AND of the parts' flags.  The result is
-// name-sorted, so it renders through metrics_json like any snapshot.
+// worker).  Entries are united by name: counters add, gauges combine per
+// their declared GaugeMerge (maximum for high-water marks, minimum —
+// ignoring the 0.0 unset value — for low-water marks), histograms add
+// bucket-wise and combine count/sum/min/max.  A name registered with
+// different kinds, different gauge merge modes, or different histogram
+// bounds across parts throws std::logic_error (schema drift, never
+// silent).  The merged `deterministic` flag is the AND of the parts'
+// flags.  The result is name-sorted, so it renders through metrics_json
+// like any snapshot.
 MetricsSnapshot merge_snapshots(const std::vector<MetricsSnapshot>& parts);
 
 // Name-keyed registry.  Registration (first call per name) takes a mutex;
@@ -144,7 +157,8 @@ MetricsSnapshot merge_snapshots(const std::vector<MetricsSnapshot>& parts);
 class Registry {
  public:
   Counter& counter(const std::string& name, bool deterministic = true);
-  Gauge& gauge(const std::string& name, bool deterministic = false);
+  Gauge& gauge(const std::string& name, bool deterministic = false,
+               GaugeMerge merge = GaugeMerge::kMax);
   Histogram& histogram(const std::string& name, std::vector<double> bounds,
                        bool deterministic);
   // Count-valued histogram (iterations per solve, ...): deterministic.
@@ -166,6 +180,7 @@ class Registry {
   struct Entry {
     MetricKind kind;
     bool deterministic;
+    GaugeMerge gauge_merge = GaugeMerge::kMax;
     std::unique_ptr<Counter> counter;
     std::unique_ptr<Gauge> gauge;
     std::unique_ptr<Histogram> histogram;

@@ -264,6 +264,9 @@ void put_synth_options(Writer& w, const synth::SynthOptions& o) {
   w.f64(o.iref);
   w.f64(o.pm_grace_deg);
   w.u64(o.jobs);
+  w.u8(static_cast<std::uint8_t>(o.tran_mode));
+  w.f64(o.tran_rtol);
+  w.f64(o.tran_atol);
 }
 
 synth::SynthOptions get_synth_options(Reader& r) {
@@ -275,6 +278,10 @@ synth::SynthOptions get_synth_options(Reader& r) {
   o.iref = r.f64();
   o.pm_grace_deg = r.f64();
   o.jobs = static_cast<std::size_t>(r.u64());
+  o.tran_mode =
+      checked_enum<sim::TranMode>(r.u8(), 2, "SynthOptions.tran_mode");
+  o.tran_rtol = r.f64();
+  o.tran_atol = r.f64();
   return o;
 }
 
@@ -672,6 +679,7 @@ void put_metrics_snapshot(Writer& w, const obs::MetricsSnapshot& s) {
         w.u64(e.counter);
         break;
       case obs::MetricKind::kGauge:
+        w.u8(static_cast<std::uint8_t>(e.gauge_merge));
         w.f64(e.gauge);
         break;
       case obs::MetricKind::kHistogram: {
@@ -703,6 +711,8 @@ obs::MetricsSnapshot get_metrics_snapshot(Reader& r) {
         e.counter = r.u64();
         break;
       case obs::MetricKind::kGauge:
+        e.gauge_merge = checked_enum<obs::GaugeMerge>(
+            r.u8(), 1, "MetricEntry.gauge_merge");
         e.gauge = r.f64();
         break;
       case obs::MetricKind::kHistogram: {

@@ -55,7 +55,9 @@
 namespace oasys::shard {
 
 inline constexpr std::uint32_t kWireMagic = 0x4f415359u;  // "OASY"
-inline constexpr std::uint32_t kWireVersion = 1;
+// v2: SynthOptions carries tran_mode/tran_rtol/tran_atol; gauge metric
+// entries carry their merge mode.
+inline constexpr std::uint32_t kWireVersion = 2;
 // Upper bound on one frame's payload.  A full SynthesisResult with traces
 // is tens of kilobytes; anything near this cap is corruption, not data.
 inline constexpr std::uint64_t kMaxPayload = 64ull << 20;  // 64 MiB

@@ -12,6 +12,7 @@
 #include "obs/metrics.h"
 #include "obs/span.h"
 #include "shard/wire.h"
+#include "spice/sim_options.h"
 #include "synth/opamp_design.h"
 #include "util/fingerprint.h"
 #include "yield/service.h"
@@ -59,6 +60,16 @@ struct CrashHook {
     return h;
   }
 };
+
+// The coordinator's transient-engine selection must govern every
+// simulation this worker runs: TranOptions built deep inside measurement
+// code resolve kDefault against the *process* default, which in a worker
+// is this process — not the coordinator's environment or flags.
+void apply_config_defaults(const WorkerConfig& config) {
+  sim::set_tran_mode_default(sim::resolve_tran_mode(config.synth.tran_mode));
+  sim::set_tran_tolerance_default(config.synth.tran_rtol,
+                                  config.synth.tran_atol);
+}
 
 // stderr is inherited from the coordinator, so the operator sees why a
 // worker refused; write(2) directly because the process is about to exit.
@@ -196,6 +207,7 @@ int worker_main(int in_fd, int out_fd) {
           "hash to the coordinator's canonical fingerprints (wire schema "
           "drift)");
     }
+    apply_config_defaults(config);
 
     std::vector<std::uint64_t> seqs;
     std::vector<yield::Request> requests;
@@ -286,6 +298,7 @@ int worker_session_main(int in_fd, int out_fd) {
           "hash to the coordinator's canonical fingerprints (wire schema "
           "drift)");
     }
+    apply_config_defaults(config);
 
     // One resident service for the whole session: its private LRU caches
     // (synthesis results and completed yield analyses) are the warm tier

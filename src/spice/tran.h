@@ -1,10 +1,22 @@
 // Transient analysis.
 //
-// Fixed-step implicit integration (backward Euler or trapezoidal) with a
-// Newton solve per time point.  Device capacitances are linearized at the
-// start of each step (their bias dependence is weak compared to the channel
-// current nonlinearity, which is handled fully by the Newton loop).  Used
-// by the measurement layer for slew-rate and settling checks.
+// Implicit integration (backward Euler or trapezoidal) with a Newton solve
+// per time point.  Device capacitances are linearized at the start of each
+// step (their bias dependence is weak compared to the channel current
+// nonlinearity, which is handled fully by the Newton loop).  Used by the
+// measurement layer for slew-rate and settling checks.
+//
+// Two stepping strategies (TranMode, see spice/sim_options.h):
+//
+//  - kFixed: marches dt-sized steps with a shortened final step landing
+//    exactly on tstop.  The permanent bitwise reference.
+//  - kAdaptive: trapezoidal step with an independent backward-Euler solve
+//    of the same step as an embedded error estimate.  The local error is
+//    measured per state variable against atol + rtol*|x|, steps are
+//    rejected and retried when it exceeds 1, and a PI controller picks the
+//    next step size.  Serial and branch-deterministic, so the output is
+//    bit-identical to itself across repeats, --jobs settings, shard worker
+//    counts, and daemon-vs-local — but only tolerance-equal to kFixed.
 #pragma once
 
 #include <string>
@@ -16,8 +28,8 @@ namespace oasys::sim {
 
 struct TranOptions {
   double tstop = 0.0;     // end time [s], > 0
-  double dt = 0.0;        // fixed step [s], > 0
-  bool trapezoidal = true;  // false = backward Euler
+  double dt = 0.0;        // fixed step / initial adaptive step [s], > 0
+  bool trapezoidal = true;  // false = backward Euler (fixed mode only)
   int max_newton = 60;
   double vntol = 1e-6;
   double gmin = 1e-12;
@@ -25,6 +37,19 @@ struct TranOptions {
   // MOS evaluation path (see spice/sim_options.h); kDefault resolves to
   // the process-wide default.  Scalar and batch are bit-for-bit identical.
   DeviceEval device_eval = DeviceEval::kDefault;
+  // Stepping strategy; kDefault resolves to the process-wide default
+  // (tran_mode_default(), normally kFixed).
+  TranMode mode = TranMode::kDefault;
+  // Adaptive error tolerances; values <= 0 resolve to the process-wide
+  // defaults (tran_tolerance_default()).
+  double rtol = 0.0;
+  double atol = 0.0;
+  // Adaptive step bounds; values <= 0 derive from the run: dt_min =
+  // tstop * 1e-12, dt_max = tstop / 8.
+  double dt_min = 0.0;
+  double dt_max = 0.0;
+  // Consecutive step rejections before the adaptive run gives up.
+  int max_step_rejects = 40;
 };
 
 struct TranResult {
@@ -40,6 +65,12 @@ struct TranResult {
   // Whole waveform of one node.
   std::vector<double> node_waveform(const MnaLayout& layout,
                                     ckt::NodeId n) const;
+  // Dense output: one node's voltage at an arbitrary time, linearly
+  // interpolated between samples (clamped to the simulated range).  Works
+  // identically on the fixed grid and the non-uniform adaptive grid, so
+  // waveform-derived metrics never depend on where the controller placed
+  // its samples.
+  double voltage_at(const MnaLayout& layout, ckt::NodeId n, double t) const;
 };
 
 // Integrates from the DC operating point `op` (computed with t=0 source

@@ -10,7 +10,10 @@ std::string canonical_string(const SynthOptions& opts) {
       .field("max_patches", static_cast<long long>(opts.max_patches))
       .field("bias_style", static_cast<long long>(opts.bias_style))
       .field("iref", opts.iref)
-      .field("pm_grace_deg", opts.pm_grace_deg);
+      .field("pm_grace_deg", opts.pm_grace_deg)
+      .field("tran_mode", static_cast<long long>(opts.tran_mode))
+      .field("tran_rtol", opts.tran_rtol)
+      .field("tran_atol", opts.tran_atol);
   return fp.str();
 }
 

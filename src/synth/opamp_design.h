@@ -16,6 +16,7 @@
 #include "blocks/block_common.h"
 #include "core/plan.h"
 #include "core/spec.h"
+#include "spice/sim_options.h"
 #include "util/diagnostics.h"
 
 namespace oasys::synth {
@@ -86,12 +87,24 @@ struct SynthOptions {
   // strictly serial).  Results are identical at every setting; see
   // exec/executor.h for the determinism guarantee.
   std::size_t jobs = 0;
+  // Transient-engine selection for any simulation this request triggers
+  // (verification testbenches, comparator/SAR measurement).  Serving
+  // layers must stamp fully *resolved* values here — never kDefault / 0 —
+  // before fingerprinting or serialization, so the coordinator and a
+  // worker with different environments derive identical canonical hashes
+  // from the same wire bytes (see shard/worker.cpp's drift guard).
+  sim::TranMode tran_mode = sim::TranMode::kDefault;
+  double tran_rtol = 0.0;  // <= 0: engine default (spice/sim_options.h)
+  double tran_atol = 0.0;
 };
 
 // Canonical fingerprint of the options for cache keys (see
 // util/fingerprint.h).  `jobs` is deliberately excluded: the executor
 // guarantees results are identical at every jobs setting, so two requests
-// differing only in jobs must share one cache entry.
+// differing only in jobs must share one cache entry.  The transient mode
+// and tolerances are deliberately *included*: adaptive results are only
+// tolerance-equal to fixed-step, so the two must never share a cache
+// entry, a shard route, or a golden pin.
 std::string canonical_string(const SynthOptions& opts);
 std::uint64_t hash(const SynthOptions& opts);
 

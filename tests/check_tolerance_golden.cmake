@@ -1,0 +1,80 @@
+# Tolerance-tier golden verification (ctest script).
+#
+# Three layers, all through the shipped CLI and the standalone tolcmp
+# checker:
+#   1. Determinism self-check: `oasys golden --tol` regenerated twice in
+#      one environment is BYTE-IDENTICAL to itself — the adaptive
+#      transient is deterministic on one build; the envelopes only absorb
+#      cross-compiler drift.
+#   2. Envelope check: every committed golden in tests/golden/tol/ is
+#      compared against the regenerated document with tolcmp, under the
+#      envelopes the golden itself declares.
+#   3. File-set check: regeneration produces exactly the committed file
+#      set — a new subject without its committed golden (or a committed
+#      golden whose subject vanished) fails loudly.
+#
+# Expects: OASYS_CLI (path to the oasys binary), TOLCMP (path to the
+# tolcmp binary), GOLDEN_DIR (committed tests/golden/tol), WORK_DIR
+# (writable scratch directory).
+foreach(round 1 2)
+  set(dir ${WORK_DIR}/tol_regen_${round})
+  file(REMOVE_RECURSE ${dir})
+  file(MAKE_DIRECTORY ${dir})
+  execute_process(
+    COMMAND ${OASYS_CLI} golden --tol --dir ${dir}
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "oasys golden --tol failed (exit ${rc}):\n${err}")
+  endif()
+endforeach()
+
+# 1. Byte-identity of the two regeneration rounds.
+file(GLOB round1 RELATIVE ${WORK_DIR}/tol_regen_1
+     ${WORK_DIR}/tol_regen_1/*.json)
+list(SORT round1)
+if(round1 STREQUAL "")
+  message(FATAL_ERROR "golden --tol produced no documents")
+endif()
+foreach(name ${round1})
+  file(READ ${WORK_DIR}/tol_regen_1/${name} a)
+  file(READ ${WORK_DIR}/tol_regen_2/${name} b)
+  if(NOT a STREQUAL b)
+    message(FATAL_ERROR
+            "determinism self-check failed: ${name} differs between two "
+            "regenerations in the same environment")
+  endif()
+endforeach()
+message(STATUS "determinism self-check: ${round1} byte-identical across "
+               "two regenerations")
+
+# 3. (checked before 2 so a set mismatch reports completely, not on the
+# first missing file) Regenerated and committed file sets must match.
+file(GLOB committed RELATIVE ${GOLDEN_DIR} ${GOLDEN_DIR}/*.json)
+list(SORT committed)
+if(NOT committed STREQUAL round1)
+  message(FATAL_ERROR
+          "tolerance golden file sets differ\n"
+          "committed (${GOLDEN_DIR}): ${committed}\n"
+          "regenerated: ${round1}\n"
+          "regenerate with: oasys golden --tol --dir tests/golden/tol")
+endif()
+
+# 2. Every committed golden holds its envelopes against the regeneration.
+foreach(name ${committed})
+  execute_process(
+    COMMAND ${TOLCMP} ${GOLDEN_DIR}/${name} ${WORK_DIR}/tol_regen_1/${name}
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+            "tolerance envelope violated for ${name} (tolcmp exit "
+            "${rc}):\n${out}${err}\n"
+            "inspect the diff, then regenerate with: oasys golden --tol "
+            "--dir tests/golden/tol")
+  endif()
+  string(STRIP "${out}" out)
+  message(STATUS "${out}")
+endforeach()

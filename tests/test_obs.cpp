@@ -49,6 +49,66 @@ TEST(ObsMetrics, GaugeSetMaxKeepsRunningMaximum) {
   EXPECT_DOUBLE_EQ(g.value(), 2.0);
 }
 
+TEST(ObsMetrics, GaugeSetMinKeepsRunningMinimumWithUnsetSentinel) {
+  obs::Gauge g;
+  // 0.0 is the reset value and doubles as "unset": the first set_min
+  // always lands, even when it is larger than zero.
+  g.set_min(4.0);
+  EXPECT_DOUBLE_EQ(g.value(), 4.0);
+  g.set_min(6.0);  // larger: ignored
+  EXPECT_DOUBLE_EQ(g.value(), 4.0);
+  g.set_min(1.5);  // smaller: kept
+  EXPECT_DOUBLE_EQ(g.value(), 1.5);
+  g.reset();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  g.set_min(9.0);  // reset returns to "unset", not to "minimum is 0"
+  EXPECT_DOUBLE_EQ(g.value(), 9.0);
+}
+
+TEST(ObsMetrics, MergeSnapshotsCombinesMinGaugesSkippingUnset) {
+  // Three workers: one never ran the adaptive integrator (gauge still at
+  // the 0.0 unset sentinel), two report different low-water marks.  The
+  // merged value is the true minimum over the workers that reported.
+  obs::MetricEntry e;
+  e.name = "tran.adaptive.min_dt";
+  e.kind = obs::MetricKind::kGauge;
+  e.gauge_merge = obs::GaugeMerge::kMin;
+  e.deterministic = true;
+  obs::MetricsSnapshot idle, w1, w2;
+  e.gauge = 0.0;
+  idle.entries = {e};
+  e.gauge = 3e-9;
+  w1.entries = {e};
+  e.gauge = 7e-10;
+  w2.entries = {e};
+  const obs::MetricsSnapshot merged =
+      obs::merge_snapshots({idle, w1, w2});
+  const obs::MetricEntry* m = merged.find("tran.adaptive.min_dt");
+  ASSERT_NE(m, nullptr);
+  EXPECT_DOUBLE_EQ(m->gauge, 7e-10);
+  EXPECT_EQ(m->gauge_merge, obs::GaugeMerge::kMin);
+  EXPECT_TRUE(m->deterministic);
+
+  // All-unset parts merge to unset, not to a phantom minimum.
+  const obs::MetricsSnapshot all_idle =
+      obs::merge_snapshots({idle, idle});
+  EXPECT_DOUBLE_EQ(all_idle.find("tran.adaptive.min_dt")->gauge, 0.0);
+}
+
+TEST(ObsMetrics, MergeSnapshotsRejectsGaugeMergeModeDrift) {
+  obs::MetricEntry e;
+  e.name = "g";
+  e.kind = obs::MetricKind::kGauge;
+  e.gauge = 1.0;
+  e.gauge_merge = obs::GaugeMerge::kMax;
+  obs::MetricsSnapshot a;
+  a.entries = {e};
+  e.gauge_merge = obs::GaugeMerge::kMin;
+  obs::MetricsSnapshot b;
+  b.entries = {e};
+  EXPECT_THROW(obs::merge_snapshots({a, b}), std::logic_error);
+}
+
 TEST(ObsMetrics, HistogramBucketsStatsAndOverflow) {
   obs::Histogram h({1.0, 2.0, 4.0});
   for (const double v : {0.5, 1.0, 1.5, 3.0, 100.0}) h.observe(v);

@@ -33,6 +33,7 @@
 #include "serve/client.h"
 #include "serve/server.h"
 #include "service/service.h"
+#include "spice/sim_options.h"
 #include "shard/wire.h"
 #include "synth/oasys.h"
 #include "synth/result_json.h"
@@ -306,6 +307,53 @@ TEST(ServeConformance, MixedYieldTrafficByteIdenticalToLocalService) {
         << "workers=" << workers;
     EXPECT_EQ(daemon.stop(), 0) << "workers=" << workers;
   }
+}
+
+TEST(ServeConformance, AdaptiveTranByteIdenticalToLocal) {
+  // Daemon-vs-local for the adaptive transient: the serving path adds
+  // worker processes, a shared cache tier, and the wire in between, and
+  // none of that may perturb a single adaptive step.  Daemon answers are
+  // bit-for-bit the local service's.
+  const tech::Technology t = tech::five_micron();
+  std::vector<core::OpAmpSpec> specs = synth::paper_test_cases();
+  specs.push_back(specs[0]);  // repeat: adaptive results cache like fixed
+
+  synth::SynthOptions opts;
+  opts.tran_mode = sim::TranMode::kAdaptive;
+  opts.tran_rtol = 1e-3;
+  opts.tran_atol = 1e-6;
+
+  // Apply the mode locally the way a worker's apply_config_defaults does,
+  // run the in-process reference, then restore.
+  const sim::TranMode saved_mode = sim::tran_mode_default();
+  const sim::TranTolerance saved_tol = sim::tran_tolerance_default();
+  sim::set_tran_mode_default(opts.tran_mode);
+  sim::set_tran_tolerance_default(opts.tran_rtol, opts.tran_atol);
+  service::SynthesisService reference(t, opts);
+  const std::vector<synth::SynthesisResult> expected =
+      reference.run_batch(specs);
+  sim::set_tran_mode_default(saved_mode);
+  sim::set_tran_tolerance_default(saved_tol.rtol, saved_tol.atol);
+
+  const std::string socket = test_socket_path();
+  DaemonThread daemon(serve_options(2, socket), opts);
+  // Two requests: the second replays the first's bytes from the shared
+  // tier, so a nondeterministic adaptive run would show up as a diff
+  // between request 1 (computed) and the local reference.
+  for (int request = 0; request < 2; ++request) {
+    const serve::ConnectReport report =
+        connected_batch_retry(socket, t, opts, specs);
+    ASSERT_EQ(report.outcomes.size(), specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      ASSERT_TRUE(report.outcomes[i].ok())
+          << "request " << request << " spec " << i << ": "
+          << report.outcomes[i].error;
+      EXPECT_EQ(synth::result_json(report.outcomes[i].result),
+                synth::result_json(expected[i]))
+          << "request " << request << " spec " << i;
+    }
+  }
+  EXPECT_EQ(daemon.stop(), 0);
 }
 
 TEST(ServeConformance, ConfigFingerprintMismatchIsRefused) {

@@ -30,6 +30,7 @@
 #include "shard/coordinator.h"
 #include "shard/wire.h"
 #include "shard/worker.h"
+#include "spice/sim_options.h"
 #include "synth/oasys.h"
 #include "synth/result_json.h"
 #include "synth/test_cases.h"
@@ -175,6 +176,36 @@ TEST(WireStructs, OptionsRoundTrip) {
   EXPECT_EQ(sback.cache_enabled, so.cache_enabled);
   EXPECT_EQ(sback.cache_capacity, so.cache_capacity);
   EXPECT_EQ(sback.queue_capacity, so.queue_capacity);
+}
+
+TEST(WireStructs, OptionsCarryTranModeInWireAndFingerprint) {
+  // The transient mode is semantically meaningful: it must survive the
+  // wire (so a worker simulates in the coordinator's mode) and change the
+  // options fingerprint (so fixed and adaptive results never share a
+  // cache entry or a golden comparison).
+  synth::SynthOptions o;
+  o.tran_mode = sim::TranMode::kAdaptive;
+  o.tran_rtol = 5e-4;
+  o.tran_atol = 2e-7;
+  shard::Writer w;
+  shard::put_synth_options(w, o);
+  shard::Reader r(w.bytes());
+  const synth::SynthOptions back = shard::get_synth_options(r);
+  r.expect_end();
+  EXPECT_EQ(back.tran_mode, o.tran_mode);
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(back.tran_rtol),
+            std::bit_cast<std::uint64_t>(o.tran_rtol));
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(back.tran_atol),
+            std::bit_cast<std::uint64_t>(o.tran_atol));
+  EXPECT_EQ(util::fnv1a64(synth::canonical_string(back)),
+            util::fnv1a64(synth::canonical_string(o)));
+
+  synth::SynthOptions fixed = o;
+  fixed.tran_mode = sim::TranMode::kFixed;
+  EXPECT_NE(synth::canonical_string(fixed), synth::canonical_string(o));
+  synth::SynthOptions loose = o;
+  loose.tran_rtol = 1e-2;
+  EXPECT_NE(synth::canonical_string(loose), synth::canonical_string(o));
 }
 
 TEST(WireStructs, ResultRoundTripsBitForBit) {
@@ -481,6 +512,49 @@ TEST(ShardConformance, BitwiseEquivalentToServiceAtEveryWorkerCount) {
     }
     EXPECT_EQ(deduped, 3u) << "workers=" << workers;
     EXPECT_EQ(misses, specs.size() - 3) << "workers=" << workers;
+  }
+}
+
+TEST(ShardConformance, AdaptiveTranBitwiseEquivalentAtEveryWorkerCount) {
+  // The adaptive integrator's step sequence is private to each transient,
+  // so sharding must not perturb it: adaptive results are bit-for-bit the
+  // local service's at every worker count, exactly like fixed-mode ones.
+  const tech::Technology t = tech::five_micron();
+  const std::vector<core::OpAmpSpec> specs = conformance_specs();
+  synth::SynthOptions opts;
+  opts.tran_mode = sim::TranMode::kAdaptive;
+  opts.tran_rtol = 1e-3;
+  opts.tran_atol = 1e-6;
+
+  // The engine reads the process-default slots (SynthOptions carries the
+  // resolved values for the wire and the fingerprint; workers apply them
+  // via apply_config_defaults).  Mirror that application locally for the
+  // in-process reference, and restore afterwards.
+  const sim::TranMode saved_mode = sim::tran_mode_default();
+  const sim::TranTolerance saved_tol = sim::tran_tolerance_default();
+  sim::set_tran_mode_default(opts.tran_mode);
+  sim::set_tran_tolerance_default(opts.tran_rtol, opts.tran_atol);
+
+  service::SynthesisService reference(t, opts);
+  const std::vector<synth::SynthesisResult> expected =
+      reference.run_batch(specs);
+
+  sim::set_tran_mode_default(saved_mode);
+  sim::set_tran_tolerance_default(saved_tol.rtol, saved_tol.atol);
+
+  for (const std::size_t workers : {1u, 2u, 4u}) {
+    const shard::ShardReport report =
+        shard::run_sharded_batch(t, opts, specs, cli_shard_options(workers));
+    ASSERT_TRUE(report.infra_ok()) << "workers=" << workers;
+    ASSERT_EQ(report.outcomes.size(), specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      ASSERT_TRUE(report.outcomes[i].ok())
+          << "workers=" << workers << " spec " << i << ": "
+          << report.outcomes[i].error;
+      EXPECT_EQ(synth::result_json(report.outcomes[i].result),
+                synth::result_json(expected[i]))
+          << "workers=" << workers << " spec " << i;
+    }
   }
 }
 

@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
 #include "spice/measure.h"
 #include "spice/tran.h"
 #include "tech/builtin.h"
@@ -185,6 +187,303 @@ TEST(Tran, RejectsBadOptions) {
   to.tstop = 0.0;
   to.dt = 1e-9;
   EXPECT_FALSE(transient(c, tech5(), op, to).ok);
+}
+
+// ---- fixed-step final-step handling -----------------------------------
+
+// The RC charging fixture shared by the final-step and adaptive tests.
+void build_rc(Circuit* c, double r, double cap) {
+  const auto in = c->node("in");
+  const auto out = c->node("out");
+  c->add_vsource("V1", in, ckt::kGround,
+                 Waveform::pulse(0.0, 1.0, 0.0, 1e-12, 1e-12, 1.0, 2.0));
+  c->add_resistor("R1", in, out, r);
+  c->add_capacitor("C1", out, ckt::kGround, cap);
+}
+
+TEST(Tran, FixedStepLandsExactlyOnTstop) {
+  // tstop deliberately NOT an integer multiple of dt: the final step must
+  // shorten and land the last sample exactly on tstop (previously the
+  // waveform ended one partial step short).
+  Circuit c;
+  build_rc(&c, 1e3, 1e-9);  // tau = 1 us
+  const OpResult op = dc_operating_point(c, tech5());
+  ASSERT_TRUE(op.converged);
+  for (const double tstop : {5.05e-6, 4.999e-6, 1.1e-7}) {
+    TranOptions to;
+    to.tstop = tstop;
+    to.dt = 3e-8;
+    const TranResult tr = transient(c, tech5(), op, to);
+    ASSERT_TRUE(tr.ok) << tr.error;
+    // Exact landing, not merely close: measurement windows clamp to
+    // tstop, so the sample must exist at that very coordinate.
+    EXPECT_EQ(tr.time.back(), tstop) << tstop;
+    // Every step but the last is the configured dt; the last only
+    // shrinks, never stretches.
+    for (std::size_t i = 1; i + 1 < tr.time.size(); ++i) {
+      EXPECT_NEAR(tr.time[i] - tr.time[i - 1], to.dt, 1e-18);
+    }
+    EXPECT_LE(tr.time.back() - tr.time[tr.time.size() - 2],
+              to.dt + 1e-18);
+  }
+}
+
+TEST(Tran, FixedStepFinalStepPinsSettlingMetric) {
+  // Settling detection reads the tail of the waveform; with the final
+  // sample exactly on tstop the measured settling time is stable against
+  // awkward tstop/dt ratios.
+  Circuit c;
+  const double tau = 1e-6;
+  build_rc(&c, 1e3, tau / 1e3);
+  const OpResult op = dc_operating_point(c, tech5());
+  MnaLayout layout(c);
+  const auto out = c.node("out");
+  for (const double tstop : {10.0 * tau, 10.37 * tau}) {
+    TranOptions to;
+    to.tstop = tstop;
+    to.dt = tau / 50.0;
+    const TranResult tr = transient(c, tech5(), op, to);
+    ASSERT_TRUE(tr.ok);
+    const auto ts = settling_time(tr, layout, out, 1.0, 0.01);
+    ASSERT_TRUE(ts.has_value());
+    EXPECT_NEAR(*ts, 4.6 * tau, 0.5 * tau) << tstop;
+  }
+}
+
+// ---- adaptive stepping -------------------------------------------------
+
+TranOptions adaptive_options(double tstop, double dt) {
+  TranOptions to;
+  to.tstop = tstop;
+  to.dt = dt;
+  to.mode = TranMode::kAdaptive;
+  return to;
+}
+
+TEST(Tran, AdaptiveMatchesFixedOnRcCharging) {
+  Circuit c;
+  const double tau = 1e-6;
+  build_rc(&c, 1e3, 1e-9);
+  const OpResult op = dc_operating_point(c, tech5());
+  ASSERT_TRUE(op.converged);
+  const TranResult tr =
+      transient(c, tech5(), op, adaptive_options(5.0 * tau, tau / 100.0));
+  ASSERT_TRUE(tr.ok) << tr.error;
+  MnaLayout layout(c);
+  const auto out = c.node("out");
+  // Dense output against the analytic curve at arbitrary (non-sample)
+  // coordinates: the default tolerances keep the local error near 1e-3,
+  // so a 5e-3 envelope has margin without masking a broken controller.
+  for (const double frac : {0.3, 0.9, 1.7, 2.6, 4.2}) {
+    const double t = frac * tau;
+    const double expected = 1.0 - std::exp(-t / tau);
+    EXPECT_NEAR(tr.voltage_at(layout, out, t), expected, 5e-3) << frac;
+  }
+  EXPECT_EQ(tr.time.back(), 5.0 * tau);
+}
+
+TEST(Tran, AdaptiveTakesFarFewerSteps) {
+  // The acceptance bar from the issue: >= 5x fewer transient steps than
+  // the fixed reference on a smooth settling waveform, at equal quality
+  // (quality is pinned by AdaptiveMatchesFixedOnRcCharging above).
+  Circuit c;
+  const double tau = 1e-6;
+  build_rc(&c, 1e3, 1e-9);
+  const OpResult op = dc_operating_point(c, tech5());
+  // A 20-tau window models a real settling measurement: the interesting
+  // dynamics occupy the first few tau and the rest is flat tail, which
+  // is exactly where fixed stepping burns its samples.
+  TranOptions fixed;
+  fixed.tstop = 20.0 * tau;
+  fixed.dt = tau / 100.0;
+  const TranResult ref = transient(c, tech5(), op, fixed);
+  const TranResult adap =
+      transient(c, tech5(), op, adaptive_options(20.0 * tau, tau / 100.0));
+  ASSERT_TRUE(ref.ok);
+  ASSERT_TRUE(adap.ok);
+  EXPECT_GE(ref.time.size(), 5 * adap.time.size())
+      << "fixed " << ref.time.size() << " samples vs adaptive "
+      << adap.time.size();
+}
+
+TEST(Tran, AdaptiveIsBitwiseRepeatable) {
+  Circuit c;
+  build_rc(&c, 1e3, 1e-9);
+  const OpResult op = dc_operating_point(c, tech5());
+  const TranOptions to = adaptive_options(5e-6, 1e-8);
+  const TranResult a = transient(c, tech5(), op, to);
+  const TranResult b = transient(c, tech5(), op, to);
+  ASSERT_TRUE(a.ok);
+  ASSERT_TRUE(b.ok);
+  // The controller is serial and deterministic: two runs of the same
+  // problem agree to the last bit, not merely to tolerance.
+  ASSERT_EQ(a.time.size(), b.time.size());
+  for (std::size_t i = 0; i < a.time.size(); ++i) {
+    EXPECT_EQ(a.time[i], b.time[i]) << i;
+  }
+  ASSERT_EQ(a.states.size(), b.states.size());
+  for (std::size_t i = 0; i < a.states.size(); ++i) {
+    EXPECT_EQ(a.states[i], b.states[i]) << i;
+  }
+}
+
+TEST(Tran, AdaptiveLandsExactlyOnTstop) {
+  Circuit c;
+  build_rc(&c, 1e3, 1e-9);
+  const OpResult op = dc_operating_point(c, tech5());
+  for (const double tstop : {5e-6, 5.137e-6}) {
+    const TranResult tr =
+        transient(c, tech5(), op, adaptive_options(tstop, 1e-8));
+    ASSERT_TRUE(tr.ok) << tr.error;
+    EXPECT_EQ(tr.time.back(), tstop);
+  }
+}
+
+TEST(Tran, AdaptiveRejectsAndRecoversOnSharpEdge) {
+  // Stiff fixture: a long flat stretch (the controller grows the step to
+  // dt_max) ending in a near-instant edge.  Hitting the edge with a huge
+  // step must *reject* — shrink, retry, converge — and the deterministic
+  // counters must show it happened.
+  Circuit c;
+  const auto in = c.node("in");
+  const auto out = c.node("out");
+  const double tau = 1e-6;
+  c.add_vsource("V1", in, ckt::kGround,
+                Waveform::pulse(0.0, 1.0, 50.0 * tau, 1e-9, 1e-9,
+                                100.0 * tau, 200.0 * tau));
+  c.add_resistor("R1", in, out, 1e3);
+  c.add_capacitor("C1", out, ckt::kGround, 1e-9);
+  const OpResult op = dc_operating_point(c, tech5());
+  ASSERT_TRUE(op.converged);
+
+  const obs::MetricsSnapshot before = obs::Registry::global().snapshot();
+  const TranResult tr =
+      transient(c, tech5(), op, adaptive_options(100.0 * tau, tau / 10.0));
+  ASSERT_TRUE(tr.ok) << tr.error;
+  const obs::MetricsSnapshot after = obs::Registry::global().snapshot();
+
+  auto counter = [](const obs::MetricsSnapshot& s, const char* name) {
+    const obs::MetricEntry* e = s.find(name);
+    return e != nullptr ? e->counter : 0u;
+  };
+  EXPECT_GT(counter(after, "tran.adaptive.rejects"),
+            counter(before, "tran.adaptive.rejects"))
+      << "the sharp edge never forced a step rejection";
+  EXPECT_GT(counter(after, "tran.adaptive.steps"),
+            counter(before, "tran.adaptive.steps"));
+  const obs::MetricEntry* min_dt = after.find("tran.adaptive.min_dt");
+  ASSERT_NE(min_dt, nullptr);
+  EXPECT_GT(min_dt->gauge, 0.0);
+  EXPECT_TRUE(min_dt->deterministic);
+
+  // The edge must be resolved, not stepped over: the output transitions
+  // to ~1 V after the edge and the curve around the edge is sampled
+  // finely (some step well below the flat-region dt_max).
+  MnaLayout layout(c);
+  EXPECT_NEAR(tr.voltage_at(layout, out, 60.0 * tau), 1.0, 5e-3);
+  EXPECT_NEAR(tr.voltage_at(layout, out, 45.0 * tau), 0.0, 5e-3);
+  double min_step = 1e9;
+  for (std::size_t i = 1; i < tr.time.size(); ++i) {
+    min_step = std::min(min_step, tr.time[i] - tr.time[i - 1]);
+  }
+  EXPECT_LT(min_step, tau / 10.0);
+}
+
+TEST(Tran, AdaptiveHonorsExplicitTolerances) {
+  // A looser rtol must not take *more* steps than a tighter one.
+  Circuit c;
+  build_rc(&c, 1e3, 1e-9);
+  const OpResult op = dc_operating_point(c, tech5());
+  TranOptions loose = adaptive_options(5e-6, 1e-8);
+  loose.rtol = 1e-2;
+  loose.atol = 1e-5;
+  TranOptions tight = adaptive_options(5e-6, 1e-8);
+  tight.rtol = 1e-5;
+  tight.atol = 1e-8;
+  const TranResult lr = transient(c, tech5(), op, loose);
+  const TranResult tr = transient(c, tech5(), op, tight);
+  ASSERT_TRUE(lr.ok);
+  ASSERT_TRUE(tr.ok);
+  EXPECT_LE(lr.time.size(), tr.time.size());
+  EXPECT_GT(tr.time.size(), 2u);
+}
+
+TEST(Tran, DenseOutputInterpolatesBetweenSamples) {
+  Circuit c;
+  build_rc(&c, 1e3, 1e-9);
+  const OpResult op = dc_operating_point(c, tech5());
+  TranOptions to;
+  to.tstop = 5e-6;
+  to.dt = 1e-7;
+  const TranResult tr = transient(c, tech5(), op, to);
+  ASSERT_TRUE(tr.ok);
+  MnaLayout layout(c);
+  const auto out = c.node("out");
+  // At a sample coordinate voltage_at equals the sample; between samples
+  // it lies between the bracketing values.
+  EXPECT_EQ(tr.voltage_at(layout, out, tr.time[10]),
+            tr.voltage(layout, 10, out));
+  const double mid = 0.5 * (tr.time[10] + tr.time[11]);
+  const double v = tr.voltage_at(layout, out, mid);
+  const double lo = std::min(tr.voltage(layout, 10, out),
+                             tr.voltage(layout, 11, out));
+  const double hi = std::max(tr.voltage(layout, 10, out),
+                             tr.voltage(layout, 11, out));
+  EXPECT_GE(v, lo);
+  EXPECT_LE(v, hi);
+}
+
+TEST(Tran, TranModeParsingAndResolution) {
+  TranMode m = TranMode::kDefault;
+  EXPECT_TRUE(parse_tran_mode("fixed", &m));
+  EXPECT_EQ(m, TranMode::kFixed);
+  EXPECT_TRUE(parse_tran_mode("adaptive", &m));
+  EXPECT_EQ(m, TranMode::kAdaptive);
+  EXPECT_FALSE(parse_tran_mode("banana", &m));
+  EXPECT_STREQ(to_string(TranMode::kAdaptive), "adaptive");
+
+  // Explicit selection resolves as itself; kDefault resolves to the
+  // process default; restoring the default brings back fixed (the
+  // permanent reference mode).
+  const TranMode saved = tran_mode_default();
+  set_tran_mode_default(TranMode::kAdaptive);
+  EXPECT_EQ(resolve_tran_mode(TranMode::kDefault), TranMode::kAdaptive);
+  EXPECT_EQ(resolve_tran_mode(TranMode::kFixed), TranMode::kFixed);
+  set_tran_mode_default(TranMode::kDefault);
+  EXPECT_EQ(resolve_tran_mode(TranMode::kDefault), TranMode::kFixed);
+  set_tran_mode_default(saved);
+
+  // Tolerance defaults: settable, and a non-positive component restores
+  // that component's initial value.
+  const TranTolerance initial = tran_tolerance_default();
+  set_tran_tolerance_default(1e-4, 1e-7);
+  EXPECT_DOUBLE_EQ(tran_tolerance_default().rtol, 1e-4);
+  EXPECT_DOUBLE_EQ(tran_tolerance_default().atol, 1e-7);
+  set_tran_tolerance_default(0.0, 0.0);
+  EXPECT_DOUBLE_EQ(tran_tolerance_default().rtol, initial.rtol);
+  EXPECT_DOUBLE_EQ(tran_tolerance_default().atol, initial.atol);
+}
+
+TEST(Tran, AdaptiveRespectsProcessDefaultMode) {
+  // opts.mode == kDefault defers to the process default, which is how
+  // the CLI's --tran-mode reaches every measurement in the process.
+  Circuit c;
+  build_rc(&c, 1e3, 1e-9);
+  const OpResult op = dc_operating_point(c, tech5());
+  TranOptions to;
+  to.tstop = 5e-6;
+  to.dt = 1e-8;  // 500 fixed steps
+
+  const TranMode saved = tran_mode_default();
+  set_tran_mode_default(TranMode::kAdaptive);
+  const TranResult adap = transient(c, tech5(), op, to);
+  set_tran_mode_default(TranMode::kFixed);
+  const TranResult fixed = transient(c, tech5(), op, to);
+  set_tran_mode_default(saved);
+
+  ASSERT_TRUE(adap.ok);
+  ASSERT_TRUE(fixed.ok);
+  EXPECT_LT(adap.time.size(), fixed.time.size());
 }
 
 }  // namespace

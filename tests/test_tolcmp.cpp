@@ -1,0 +1,185 @@
+// Unit tests for the tolerance-tier comparator (tests/tolcmp.h): the
+// restricted JSON parser, oasys.tol.v1 document parsing (including the
+// "nan"/"inf"/"-inf" string encoding), envelope resolution with the "*"
+// default, and the comparison semantics the tolerance-golden ctest
+// depends on — worst-offender ranking, exact pins, and metric-set
+// mismatches as violations.
+#include "tolcmp.h"
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace oasys::tolcmp;
+
+// A minimal well-formed document; tests mutate copies of it.
+std::string doc(const std::string& metrics, const std::string& tol) {
+  return "{\n"
+         "  \"schema\": \"oasys.tol.v1\",\n"
+         "  \"subject\": \"opamp_B\",\n"
+         "  \"tech\": \"builtin\",\n"
+         "  \"tran\": {\"mode\": \"adaptive\", \"rtol\": 0.001, "
+         "\"atol\": 1e-06},\n"
+         "  \"metrics\": {" + metrics + "},\n"
+         "  \"tol\": {" + tol + "}\n"
+         "}\n";
+}
+
+TEST(TolcmpJson, ParsesNestedDocument) {
+  const JsonValue v = parse_json(
+      "{\"a\": [1, 2.5, -3e2], \"b\": {\"c\": \"x\\n\"}, \"d\": true, "
+      "\"e\": null}");
+  ASSERT_EQ(v.kind, JsonValue::Kind::kObject);
+  const JsonValue* a = v.find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->array.size(), 3u);
+  EXPECT_DOUBLE_EQ(a->array[1].number, 2.5);
+  EXPECT_DOUBLE_EQ(a->array[2].number, -300.0);
+  const JsonValue* b = v.find("b");
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(b->find("c")->string, "x\n");
+  EXPECT_TRUE(v.find("d")->boolean);
+  EXPECT_EQ(v.find("e")->kind, JsonValue::Kind::kNull);
+}
+
+TEST(TolcmpJson, RejectsMalformedInput) {
+  EXPECT_THROW(parse_json("{\"a\": }"), std::runtime_error);
+  EXPECT_THROW(parse_json("{\"a\": 1,}"), std::runtime_error);
+  EXPECT_THROW(parse_json("{\"a\": 1} trailing"), std::runtime_error);
+  EXPECT_THROW(parse_json("\"unterminated"), std::runtime_error);
+  EXPECT_THROW(parse_json("{\"a\": 1e}"), std::runtime_error);
+}
+
+TEST(TolcmpDocument, ParsesMetricsAndEnvelopes) {
+  const TolDocument d = parse_tol_document(
+      doc("\"slew\": 2.5e6, \"gain_db\": 87.5",
+          "\"slew\": {\"abs\": 0, \"rel\": 0.02}, "
+          "\"*\": {\"abs\": 1e-9, \"rel\": 1e-6}"));
+  EXPECT_EQ(d.subject, "opamp_B");
+  EXPECT_EQ(d.tran_mode, "adaptive");
+  EXPECT_DOUBLE_EQ(d.tran_rtol, 1e-3);
+  ASSERT_NE(d.metric("slew"), nullptr);
+  EXPECT_DOUBLE_EQ(*d.metric("slew"), 2.5e6);
+  // Own entry wins; the "*" default covers the rest; no entry at all
+  // pins exactly.
+  EXPECT_DOUBLE_EQ(d.envelope("slew").rel, 0.02);
+  EXPECT_DOUBLE_EQ(d.envelope("gain_db").rel, 1e-6);
+  const TolDocument bare =
+      parse_tol_document(doc("\"x\": 1", ""));
+  EXPECT_DOUBLE_EQ(bare.envelope("x").abs, 0.0);
+  EXPECT_DOUBLE_EQ(bare.envelope("x").rel, 0.0);
+}
+
+TEST(TolcmpDocument, NonFiniteValuesTravelAsStrings) {
+  const TolDocument d = parse_tol_document(
+      doc("\"a\": \"nan\", \"b\": \"inf\", \"c\": \"-inf\"", ""));
+  EXPECT_TRUE(std::isnan(*d.metric("a")));
+  EXPECT_EQ(*d.metric("b"), std::numeric_limits<double>::infinity());
+  EXPECT_EQ(*d.metric("c"), -std::numeric_limits<double>::infinity());
+}
+
+TEST(TolcmpDocument, RejectsWrongSchemaAndMissingSections) {
+  EXPECT_THROW(parse_tol_document("{\"schema\": \"oasys.result.v1\"}"),
+               std::runtime_error);
+  EXPECT_THROW(parse_tol_document(
+                   "{\"schema\": \"oasys.tol.v1\", \"subject\": \"s\", "
+                   "\"tech\": \"t\"}"),
+               std::runtime_error);
+}
+
+TEST(TolcmpCompare, PassesInsideEnvelopeAndReportsWorst) {
+  const TolDocument g = parse_tol_document(
+      doc("\"slew\": 1000.0, \"power\": 2.0",
+          "\"*\": {\"abs\": 0, \"rel\": 0.01}"));
+  const TolDocument c = parse_tol_document(
+      doc("\"slew\": 1005.0, \"power\": 2.001",
+          "\"*\": {\"abs\": 0, \"rel\": 0.01}"));
+  const CompareReport r = compare_documents(g, c);
+  EXPECT_TRUE(r.ok);
+  EXPECT_TRUE(r.offenders.empty());
+  EXPECT_EQ(r.compared, 2u);
+  // slew is at 50% of its envelope, power at 5% — slew is the worst.
+  EXPECT_EQ(r.worst.metric, "slew");
+  EXPECT_NEAR(r.worst.ratio, 0.5, 1e-12);
+}
+
+TEST(TolcmpCompare, ViolationsSortWorstFirst) {
+  const TolDocument g = parse_tol_document(
+      doc("\"a\": 100.0, \"b\": 100.0",
+          "\"*\": {\"abs\": 0, \"rel\": 0.01}"));
+  const TolDocument c = parse_tol_document(
+      doc("\"a\": 102.0, \"b\": 110.0",
+          "\"*\": {\"abs\": 0, \"rel\": 0.01}"));
+  const CompareReport r = compare_documents(g, c);
+  EXPECT_FALSE(r.ok);
+  ASSERT_EQ(r.offenders.size(), 2u);
+  EXPECT_EQ(r.offenders[0].metric, "b");  // 10x over beats 2x over
+  EXPECT_EQ(r.offenders[1].metric, "a");
+  EXPECT_NEAR(r.offenders[0].ratio, 10.0, 1e-9);
+}
+
+TEST(TolcmpCompare, ExactPinAdmitsNoError) {
+  const TolDocument g =
+      parse_tol_document(doc("\"monotonic\": 1", ""));
+  const TolDocument same =
+      parse_tol_document(doc("\"monotonic\": 1", ""));
+  const TolDocument off =
+      parse_tol_document(doc("\"monotonic\": 0", ""));
+  EXPECT_TRUE(compare_documents(g, same).ok);
+  const CompareReport r = compare_documents(g, off);
+  EXPECT_FALSE(r.ok);
+  ASSERT_EQ(r.offenders.size(), 1u);
+  EXPECT_EQ(r.offenders[0].ratio,
+            std::numeric_limits<double>::infinity());
+}
+
+TEST(TolcmpCompare, NanMatchesNanOnly) {
+  const TolDocument g = parse_tol_document(
+      doc("\"x\": \"nan\"", "\"*\": {\"abs\": 1, \"rel\": 1}"));
+  const TolDocument nan_c = parse_tol_document(
+      doc("\"x\": \"nan\"", "\"*\": {\"abs\": 1, \"rel\": 1}"));
+  const TolDocument num_c = parse_tol_document(
+      doc("\"x\": 0.5", "\"*\": {\"abs\": 1, \"rel\": 1}"));
+  EXPECT_TRUE(compare_documents(g, nan_c).ok);
+  // A generous envelope never excuses a finiteness mismatch.
+  EXPECT_FALSE(compare_documents(g, num_c).ok);
+  EXPECT_FALSE(compare_documents(num_c, g).ok);
+}
+
+TEST(TolcmpCompare, InfinityMustMatchSign) {
+  const TolDocument g = parse_tol_document(doc("\"x\": \"inf\"", ""));
+  EXPECT_TRUE(
+      compare_documents(g, parse_tol_document(doc("\"x\": \"inf\"", "")))
+          .ok);
+  EXPECT_FALSE(
+      compare_documents(g, parse_tol_document(doc("\"x\": \"-inf\"", "")))
+          .ok);
+}
+
+TEST(TolcmpCompare, MetricSetMismatchIsViolation) {
+  const TolDocument g = parse_tol_document(
+      doc("\"a\": 1.0, \"b\": 2.0", "\"*\": {\"abs\": 1, \"rel\": 1}"));
+  const TolDocument missing = parse_tol_document(
+      doc("\"a\": 1.0", "\"*\": {\"abs\": 1, \"rel\": 1}"));
+  const TolDocument extra = parse_tol_document(
+      doc("\"a\": 1.0, \"b\": 2.0, \"c\": 3.0",
+          "\"*\": {\"abs\": 1, \"rel\": 1}"));
+  EXPECT_FALSE(compare_documents(g, missing).ok);
+  EXPECT_FALSE(compare_documents(g, extra).ok);
+}
+
+TEST(TolcmpCompare, MetadataMismatchIsViolation) {
+  const TolDocument g = parse_tol_document(doc("\"a\": 1.0", ""));
+  TolDocument c = g;
+  c.tran_mode = "fixed";
+  EXPECT_FALSE(compare_documents(g, c).ok);
+  c = g;
+  c.subject = "other";
+  EXPECT_FALSE(compare_documents(g, c).ok);
+}
+
+}  // namespace

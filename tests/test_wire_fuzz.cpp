@@ -1,0 +1,356 @@
+// Deterministic byte-mutation fuzz harness for the wire protocol.
+//
+// The wire layer's contract (src/shard/wire.h) is that readers treat the
+// peer as untrusted: any malformed frame must surface as WireError —
+// never a crash, hang, over-read, or silent misparse.  The unit tests in
+// test_shard.cpp/test_trace_wire.cpp pin hand-picked malformations; this
+// harness sweeps the space mechanically.  Starting from valid kRequest,
+// kYieldRequest, kSpans, and kStatus frames it applies seeded byte
+// flips, u64 splices, and truncation prefixes (util::RngStream, so every
+// run — including under ASan/UBSan/TSan — replays the identical
+// mutation sequence) and asserts each mutant either parses cleanly or
+// throws WireError.  Anything else (another exception type, a signal, an
+// infinite loop caught by the ctest timeout) is a finding.
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/spec.h"
+#include "obs/span.h"
+#include "serve/status.h"
+#include "shard/wire.h"
+#include "util/rng.h"
+#include "yield/yield.h"
+
+namespace {
+
+using namespace oasys;
+using shard::Frame;
+using shard::FrameDecoder;
+using shard::FrameType;
+using shard::Reader;
+using shard::WireError;
+using shard::Writer;
+
+// ---- valid base frames -------------------------------------------------
+
+core::OpAmpSpec base_spec() {
+  core::OpAmpSpec spec;
+  spec.name = "fuzz-subject";
+  spec.gain_min_db = 80.0;
+  spec.gbw_min = 2e6;
+  spec.pm_min_deg = 50.0;
+  spec.slew_min = 2e6;
+  spec.cload = 5e-12;
+  spec.swing_pos = 3.5;
+  spec.swing_neg = 3.5;
+  spec.icmr_lo = -1.0;
+  spec.icmr_hi = 2.0;
+  spec.power_max = 5e-3;
+  return spec;
+}
+
+shard::TraceContext base_trace() {
+  shard::TraceContext ctx;
+  ctx.trace_id = 0x1122334455667788ull;
+  ctx.span_id = 0x99aabbccddeeff01ull;
+  return ctx;
+}
+
+std::string request_frame() {
+  Writer w;
+  w.u64(7);
+  shard::put_spec(w, base_spec());
+  shard::put_trace_context(w, base_trace());
+  return shard::frame_bytes(FrameType::kRequest, w.bytes());
+}
+
+std::string yield_request_frame() {
+  Writer w;
+  w.u64(9);
+  shard::put_spec(w, base_spec());
+  yield::YieldParams params;
+  params.samples = 64;
+  params.seed = 3;
+  shard::put_yield_params(w, params);
+  shard::put_trace_context(w, base_trace());
+  return shard::frame_bytes(FrameType::kYieldRequest, w.bytes());
+}
+
+std::string spans_frame() {
+  shard::SpanSet set;
+  set.trace_id = 0x1122334455667788ull;
+  set.shard = 2;
+  obs::TraceEvent begin;
+  begin.kind = obs::TraceEvent::Kind::kSpanBegin;
+  begin.depth = 1;
+  begin.name = "synth/style";
+  begin.scope = "caseB";
+  obs::TraceEvent end = begin;
+  end.kind = obs::TraceEvent::Kind::kSpanEnd;
+  end.seconds = 0.0125;
+  obs::TraceEvent instant;
+  instant.kind = obs::TraceEvent::Kind::kInstant;
+  instant.name = "rule-fired";
+  instant.code = "increase-tail-current";
+  instant.index = 4;
+  set.events = {begin, instant, end};
+  Writer w;
+  shard::put_span_set(w, set);
+  return shard::frame_bytes(FrameType::kSpans, w.bytes());
+}
+
+std::string status_frame() {
+  serve::StatusReport st;
+  st.uptime_s = 12.5;
+  st.sessions_total = 4;
+  st.sessions_active = 1;
+  st.requests_total = 64;
+  st.batches = 6;
+  st.shared_cache_size = 32;
+  st.shared_cache_capacity = 256;
+  st.shared_cache_hits = 20;
+  st.shared_cache_misses = 44;
+  serve::WorkerStatus ws;
+  ws.shard = 0;
+  ws.pid = 1234;
+  ws.alive = true;
+  ws.requests_served = 40;
+  st.workers = {ws, ws};
+  st.workers[1].shard = 1;
+  st.workers[1].alive = false;
+  st.workers[1].pid = -1;
+  Writer w;
+  serve::put_status_report(w, st);
+  return shard::frame_bytes(FrameType::kStatus, w.bytes());
+}
+
+// ---- parse mirror ------------------------------------------------------
+
+// Typed payload parse for every frame type a mutation can produce (a
+// flipped type byte can turn a kRequest into anything).  Mirrors the
+// real readers: worker::decode_request for requests, the coordinator's
+// kSpans/kMetrics/kResult paths, the stat client's kStatus path.  Types
+// whose payloads real readers never parse (kRun, kDone) are opaque.
+void typed_parse(const Frame& frame) {
+  Reader r(frame.payload);
+  switch (frame.type) {
+    case FrameType::kRequest:
+    case FrameType::kYieldRequest: {
+      r.u64();  // sequence id
+      shard::get_spec(r);
+      if (frame.type == FrameType::kYieldRequest) {
+        shard::get_yield_params(r);
+      }
+      shard::get_trace_context(r);
+      r.expect_end();
+      break;
+    }
+    case FrameType::kSpans: {
+      shard::get_span_set(r);
+      r.expect_end();
+      break;
+    }
+    case FrameType::kStatus: {
+      // Empty payload is the admin *request*; a non-empty one is the
+      // daemon's report.
+      if (!frame.payload.empty()) {
+        serve::get_status_report(r);
+        r.expect_end();
+      }
+      break;
+    }
+    case FrameType::kConfig: {
+      shard::get_config(r);
+      r.expect_end();
+      break;
+    }
+    case FrameType::kResult: {
+      r.u64();
+      shard::get_result(r);
+      r.expect_end();
+      break;
+    }
+    case FrameType::kYieldResult: {
+      r.u64();
+      shard::get_yield_result(r);
+      r.expect_end();
+      break;
+    }
+    case FrameType::kMetrics: {
+      shard::get_metrics_snapshot(r);
+      shard::get_service_stats(r);
+      r.expect_end();
+      break;
+    }
+    case FrameType::kError: {
+      r.str();
+      r.expect_end();
+      break;
+    }
+    case FrameType::kRun:
+    case FrameType::kDone:
+      break;
+  }
+}
+
+enum class Outcome { kParsed, kRejected, kIncomplete };
+
+// Feeds one byte stream through the incremental decoder plus the typed
+// payload parsers.  The harness's core assertion is structural: the only
+// ways out are a clean parse, a WireError, or "need more bytes" — any
+// other exception propagates and fails the test, any memory error is
+// the sanitizer legs' kill, any hang is the ctest timeout's.
+Outcome exercise(const std::string& bytes) {
+  FrameDecoder decoder;
+  decoder.feed(bytes);
+  bool parsed_any = false;
+  try {
+    Frame frame;
+    while (decoder.next(&frame)) {
+      typed_parse(frame);
+      parsed_any = true;
+    }
+  } catch (const WireError&) {
+    return Outcome::kRejected;
+  }
+  if (decoder.mid_frame()) return Outcome::kIncomplete;
+  return parsed_any ? Outcome::kParsed : Outcome::kIncomplete;
+}
+
+struct FuzzStats {
+  std::uint64_t parsed = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t incomplete = 0;
+
+  void record(Outcome o) {
+    switch (o) {
+      case Outcome::kParsed: ++parsed; break;
+      case Outcome::kRejected: ++rejected; break;
+      case Outcome::kIncomplete: ++incomplete; break;
+    }
+  }
+};
+
+std::vector<std::pair<const char*, std::string>> base_frames() {
+  return {{"kRequest", request_frame()},
+          {"kYieldRequest", yield_request_frame()},
+          {"kSpans", spans_frame()},
+          {"kStatus", status_frame()}};
+}
+
+}  // namespace
+
+TEST(WireFuzz, BaseFramesParseCleanly) {
+  for (const auto& [name, bytes] : base_frames()) {
+    EXPECT_EQ(exercise(bytes), Outcome::kParsed) << name;
+  }
+}
+
+// Single- and multi-byte corruptions at RngStream-chosen offsets.  Every
+// (frame, iteration) pair gets its own stream, so a failure report's
+// seed pair replays the exact mutant.
+TEST(WireFuzz, ByteMutationsNeverEscapeWireError) {
+  constexpr int kIterations = 1500;
+  FuzzStats stats;
+  std::uint64_t stream_id = 0;
+  for (const auto& [name, base] : base_frames()) {
+    for (int iter = 0; iter < kIterations; ++iter) {
+      util::RngStream rng(0xf022eu, stream_id++);
+      std::string bytes = base;
+      const int flips = 1 + static_cast<int>(rng.next_u64() % 4);
+      for (int f = 0; f < flips; ++f) {
+        const std::size_t at = rng.next_u64() % bytes.size();
+        const std::uint8_t delta =
+            static_cast<std::uint8_t>(1 + rng.next_u64() % 255);
+        bytes[at] = static_cast<char>(
+            static_cast<std::uint8_t>(bytes[at]) ^ delta);
+      }
+      stats.record(exercise(bytes));
+    }
+  }
+  // The sweep must actually exercise both sides of the contract: most
+  // mutants are rejected, but some (e.g. a flipped bit inside a double)
+  // still parse — both are correct outcomes.
+  EXPECT_GT(stats.rejected, 0u);
+  EXPECT_GT(stats.parsed, 0u);
+  SCOPED_TRACE(::testing::Message()
+               << "parsed " << stats.parsed << " rejected "
+               << stats.rejected << " incomplete " << stats.incomplete);
+}
+
+// Aligned and unaligned u64 splices: overwrites length/count/id fields
+// wholesale, the way a torn write or interleaved stream would.
+TEST(WireFuzz, U64SplicesNeverEscapeWireError) {
+  constexpr int kIterations = 600;
+  FuzzStats stats;
+  std::uint64_t stream_id = 1u << 20;
+  for (const auto& [name, base] : base_frames()) {
+    for (int iter = 0; iter < kIterations; ++iter) {
+      util::RngStream rng(0x5011cebu, stream_id++);
+      std::string bytes = base;
+      if (bytes.size() < 8) continue;
+      const std::size_t at = rng.next_u64() % (bytes.size() - 7);
+      std::uint64_t v = rng.next_u64();
+      // Bias toward pathological values: huge lengths, zero, small ints.
+      switch (rng.next_u64() % 4) {
+        case 0: v = ~0ull; break;
+        case 1: v = 0; break;
+        case 2: v %= 1024; break;
+        default: break;
+      }
+      for (int b = 0; b < 8; ++b) {
+        bytes[at + b] = static_cast<char>((v >> (8 * b)) & 0xff);
+      }
+      stats.record(exercise(bytes));
+    }
+  }
+  EXPECT_GT(stats.rejected, 0u);
+}
+
+// Every truncation prefix of every base frame: a half-written frame from
+// a crashed peer must read as "incomplete" (the decoder asks for more
+// bytes) or as a WireError once a length field lies — never as a parse
+// of garbage and never as a crash.
+TEST(WireFuzz, TruncationPrefixesAreIncompleteOrRejected) {
+  for (const auto& [name, base] : base_frames()) {
+    for (std::size_t len = 0; len < base.size(); ++len) {
+      const Outcome o = exercise(base.substr(0, len));
+      EXPECT_NE(o, Outcome::kParsed)
+          << name << " truncated to " << len << " bytes parsed cleanly";
+    }
+  }
+}
+
+// Concatenated streams with a corrupt tail: valid frames already drained
+// from the decoder stay delivered; the corruption surfaces on the later
+// frame only.  This is the coordinator's actual failure mode — a worker
+// answers correctly for a while, then crashes mid-write.
+TEST(WireFuzz, ValidPrefixThenCorruptTail) {
+  const std::string good = request_frame();
+  util::RngStream rng(0xdeadu, 0);
+  for (int iter = 0; iter < 200; ++iter) {
+    std::string tail = spans_frame();
+    const std::size_t at = rng.next_u64() % tail.size();
+    tail[at] = static_cast<char>(static_cast<std::uint8_t>(tail[at]) ^
+                                 (1 + rng.next_u64() % 255));
+    FrameDecoder decoder;
+    decoder.feed(good + tail);
+    Frame frame;
+    bool first_ok = false;
+    try {
+      if (decoder.next(&frame)) {
+        typed_parse(frame);
+        first_ok = true;
+        while (decoder.next(&frame)) typed_parse(frame);
+      }
+    } catch (const WireError&) {
+      // The tail's corruption is allowed to reject — but only after the
+      // valid leading frame came through intact.
+    }
+    EXPECT_TRUE(first_ok) << "valid leading frame lost at iter " << iter;
+  }
+}

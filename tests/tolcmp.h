@@ -1,0 +1,487 @@
+// Tolerance-tier golden comparison (oasys.tol.v1).
+//
+// The byte-exact golden suite (tests/golden/, test_golden.cpp) pins
+// outputs that are bit-deterministic by contract.  Adaptive-transient
+// measurements are deterministic on one build but *tolerance-equal*
+// across compilers and architectures, so they get their own tier: each
+// golden document carries the measured metrics AND the per-metric
+// acceptance envelopes a candidate must satisfy —
+//
+//   |candidate - golden| <= abs + rel * |golden|
+//
+// Envelopes living in the golden file itself means the comparator needs
+// no out-of-band configuration, and loosening a tolerance is a reviewed
+// golden-file diff, never a hidden harness change.  A document may carry
+// a "*" envelope as the default for metrics without their own entry;
+// abs == rel == 0 pins a value exactly (integer/boolean metrics).
+//
+// Non-finite values are first-class: JSON has no literals for them, so
+// the documents carry the strings "nan" / "inf" / "-inf".  Two NaNs
+// compare equal (the golden says "this metric is expected to be
+// undefined"); mismatched finiteness is always a violation no matter the
+// envelope.
+//
+// Header-only and dependency-free (a restricted JSON parser is included)
+// so both the gtest suite and the standalone `tolcmp` checker build from
+// this one file.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace oasys::tolcmp {
+
+// ---- restricted JSON ---------------------------------------------------
+
+// Just enough JSON for oasys.tol.v1: objects, strings, numbers, bools,
+// null.  Arrays are parsed (future-proofing) but unused by the schema.
+// Object member order is preserved so reports list metrics in document
+// order.  Throws std::runtime_error with a byte offset on malformed
+// input.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  const JsonValue* find(const std::string& key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+namespace detail {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing bytes after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("json: " + what + " at byte " +
+                             std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(const char* lit) {
+    std::size_t n = 0;
+    while (lit[n] != '\0') ++n;
+    if (text_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  JsonValue value() {
+    skip_ws();
+    JsonValue v;
+    const char c = peek();
+    if (c == '{') {
+      v.kind = JsonValue::Kind::kObject;
+      ++pos_;
+      skip_ws();
+      if (peek() == '}') {
+        ++pos_;
+        return v;
+      }
+      while (true) {
+        skip_ws();
+        std::string key = string_body();
+        skip_ws();
+        expect(':');
+        v.object.emplace_back(std::move(key), value());
+        skip_ws();
+        if (peek() == ',') {
+          ++pos_;
+          continue;
+        }
+        expect('}');
+        return v;
+      }
+    }
+    if (c == '[') {
+      v.kind = JsonValue::Kind::kArray;
+      ++pos_;
+      skip_ws();
+      if (peek() == ']') {
+        ++pos_;
+        return v;
+      }
+      while (true) {
+        v.array.push_back(value());
+        skip_ws();
+        if (peek() == ',') {
+          ++pos_;
+          continue;
+        }
+        expect(']');
+        return v;
+      }
+    }
+    if (c == '"') {
+      v.kind = JsonValue::Kind::kString;
+      v.string = string_body();
+      return v;
+    }
+    if (c == 't') {
+      if (!consume_literal("true")) fail("bad literal");
+      v.kind = JsonValue::Kind::kBool;
+      v.boolean = true;
+      return v;
+    }
+    if (c == 'f') {
+      if (!consume_literal("false")) fail("bad literal");
+      v.kind = JsonValue::Kind::kBool;
+      v.boolean = false;
+      return v;
+    }
+    if (c == 'n') {
+      if (!consume_literal("null")) fail("bad literal");
+      return v;
+    }
+    if (c == '-' || (c >= '0' && c <= '9')) {
+      v.kind = JsonValue::Kind::kNumber;
+      const std::size_t start = pos_;
+      while (pos_ < text_.size()) {
+        const char d = text_[pos_];
+        if ((d >= '0' && d <= '9') || d == '-' || d == '+' || d == '.' ||
+            d == 'e' || d == 'E') {
+          ++pos_;
+        } else {
+          break;
+        }
+      }
+      if (pos_ == start) fail("bad number");
+      std::size_t used = 0;
+      try {
+        v.number = std::stod(text_.substr(start, pos_ - start), &used);
+      } catch (const std::exception&) {
+        fail("bad number");
+      }
+      if (used != pos_ - start) fail("bad number");
+      return v;
+    }
+    fail("unexpected character");
+  }
+
+  // Parses a string literal (opening quote still pending).  Only the
+  // escapes the generator emits are supported; anything exotic is a
+  // malformed document.
+  std::string string_body() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) fail("unterminated escape");
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          default: fail("unsupported escape");
+        }
+        continue;
+      }
+      out += c;
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace detail
+
+inline JsonValue parse_json(const std::string& text) {
+  return detail::Parser(text).parse();
+}
+
+// ---- oasys.tol.v1 ------------------------------------------------------
+
+struct Envelope {
+  double abs = 0.0;
+  double rel = 0.0;
+};
+
+struct TolDocument {
+  std::string subject;
+  std::string tech;
+  std::string tran_mode;
+  double tran_rtol = 0.0;
+  double tran_atol = 0.0;
+  // Document order preserved: reports walk metrics in the order the
+  // golden file lists them.
+  std::vector<std::pair<std::string, double>> metrics;
+  std::vector<std::pair<std::string, Envelope>> tol;
+
+  const double* metric(const std::string& name) const {
+    for (const auto& [k, v] : metrics) {
+      if (k == name) return &v;
+    }
+    return nullptr;
+  }
+
+  // Envelope lookup: the metric's own entry, else the "*" default, else
+  // exact (abs == rel == 0).
+  Envelope envelope(const std::string& name) const {
+    const Envelope* star = nullptr;
+    for (const auto& [k, v] : tol) {
+      if (k == name) return v;
+      if (k == "*") star = &v;
+    }
+    return star != nullptr ? *star : Envelope{};
+  }
+};
+
+// A numeric field: a JSON number, or the strings "nan"/"inf"/"-inf".
+inline double tol_number(const JsonValue& v, const std::string& what) {
+  if (v.kind == JsonValue::Kind::kNumber) return v.number;
+  if (v.kind == JsonValue::Kind::kString) {
+    if (v.string == "nan") return std::numeric_limits<double>::quiet_NaN();
+    if (v.string == "inf") return std::numeric_limits<double>::infinity();
+    if (v.string == "-inf") return -std::numeric_limits<double>::infinity();
+  }
+  throw std::runtime_error(what + ": expected a number or \"nan\"/\"inf\"/"
+                                  "\"-inf\"");
+}
+
+inline TolDocument parse_tol_document(const std::string& text) {
+  const JsonValue root = parse_json(text);
+  if (root.kind != JsonValue::Kind::kObject) {
+    throw std::runtime_error("tol document: root is not an object");
+  }
+  const JsonValue* schema = root.find("schema");
+  if (schema == nullptr || schema->kind != JsonValue::Kind::kString ||
+      schema->string != "oasys.tol.v1") {
+    throw std::runtime_error("tol document: schema is not oasys.tol.v1");
+  }
+  TolDocument doc;
+  auto req_string = [&](const char* key) -> std::string {
+    const JsonValue* v = root.find(key);
+    if (v == nullptr || v->kind != JsonValue::Kind::kString) {
+      throw std::runtime_error(std::string("tol document: missing string "
+                                           "field '") + key + "'");
+    }
+    return v->string;
+  };
+  doc.subject = req_string("subject");
+  doc.tech = req_string("tech");
+
+  const JsonValue* tran = root.find("tran");
+  if (tran == nullptr || tran->kind != JsonValue::Kind::kObject) {
+    throw std::runtime_error("tol document: missing 'tran' object");
+  }
+  const JsonValue* mode = tran->find("mode");
+  if (mode == nullptr || mode->kind != JsonValue::Kind::kString) {
+    throw std::runtime_error("tol document: missing tran.mode");
+  }
+  doc.tran_mode = mode->string;
+  const JsonValue* rtol = tran->find("rtol");
+  const JsonValue* atol = tran->find("atol");
+  if (rtol == nullptr || atol == nullptr) {
+    throw std::runtime_error("tol document: missing tran.rtol/atol");
+  }
+  doc.tran_rtol = tol_number(*rtol, "tran.rtol");
+  doc.tran_atol = tol_number(*atol, "tran.atol");
+
+  const JsonValue* metrics = root.find("metrics");
+  if (metrics == nullptr || metrics->kind != JsonValue::Kind::kObject) {
+    throw std::runtime_error("tol document: missing 'metrics' object");
+  }
+  for (const auto& [k, v] : metrics->object) {
+    doc.metrics.emplace_back(k, tol_number(v, "metrics." + k));
+  }
+
+  const JsonValue* tol = root.find("tol");
+  if (tol == nullptr || tol->kind != JsonValue::Kind::kObject) {
+    throw std::runtime_error("tol document: missing 'tol' object");
+  }
+  for (const auto& [k, v] : tol->object) {
+    if (v.kind != JsonValue::Kind::kObject) {
+      throw std::runtime_error("tol document: tol." + k +
+                               " is not an object");
+    }
+    const JsonValue* abs = v.find("abs");
+    const JsonValue* rel = v.find("rel");
+    if (abs == nullptr || rel == nullptr) {
+      throw std::runtime_error("tol document: tol." + k +
+                               " needs abs and rel");
+    }
+    Envelope e;
+    e.abs = tol_number(*abs, "tol." + k + ".abs");
+    e.rel = tol_number(*rel, "tol." + k + ".rel");
+    doc.tol.emplace_back(k, e);
+  }
+  return doc;
+}
+
+// ---- comparison --------------------------------------------------------
+
+struct Offender {
+  std::string metric;
+  double golden = 0.0;
+  double candidate = 0.0;
+  double error = 0.0;    // |candidate - golden| (inf for shape mismatches)
+  double allowed = 0.0;  // abs + rel * |golden|
+  // error / allowed: > 1 is a violation; the worst offender is the
+  // largest ratio.  Exact pins (allowed == 0) report inf on any error.
+  double ratio = 0.0;
+  std::string reason;  // empty for plain envelope violations
+};
+
+struct CompareReport {
+  bool ok = true;
+  // Every violation, worst (largest ratio) first.
+  std::vector<Offender> offenders;
+  // Worst *checked* metric even when everything passes — "how much
+  // headroom is left" is the number a tolerance review wants.
+  Offender worst;
+  std::size_t compared = 0;
+};
+
+// Compares candidate against golden under the golden's envelopes.
+// Metadata (subject, tech, tran mode) must match exactly; metric sets
+// must be identical (a missing or extra metric is a violation, not a
+// skip); each value must land inside its envelope.  NaN golden expects
+// NaN candidate; infinite golden expects the same infinity.
+inline CompareReport compare_documents(const TolDocument& golden,
+                                       const TolDocument& candidate) {
+  CompareReport report;
+  const double inf = std::numeric_limits<double>::infinity();
+
+  auto add = [&](Offender o) {
+    report.ok = false;
+    report.offenders.push_back(std::move(o));
+  };
+  auto meta = [&](const std::string& field, const std::string& g,
+                  const std::string& c) {
+    if (g == c) return;
+    Offender o;
+    o.metric = field;
+    o.error = inf;
+    o.ratio = inf;
+    o.reason = field + " mismatch: golden '" + g + "' vs candidate '" + c +
+               "'";
+    add(std::move(o));
+  };
+  meta("subject", golden.subject, candidate.subject);
+  meta("tech", golden.tech, candidate.tech);
+  meta("tran.mode", golden.tran_mode, candidate.tran_mode);
+
+  for (const auto& [name, gval] : golden.metrics) {
+    const double* cptr = candidate.metric(name);
+    if (cptr == nullptr) {
+      Offender o;
+      o.metric = name;
+      o.golden = gval;
+      o.candidate = std::numeric_limits<double>::quiet_NaN();
+      o.error = inf;
+      o.ratio = inf;
+      o.reason = "metric missing from candidate";
+      add(std::move(o));
+      continue;
+    }
+    const double cval = *cptr;
+    const Envelope env = golden.envelope(name);
+
+    Offender o;
+    o.metric = name;
+    o.golden = gval;
+    o.candidate = cval;
+    o.allowed = env.abs + env.rel * std::abs(gval);
+
+    const bool gnan = std::isnan(gval);
+    const bool cnan = std::isnan(cval);
+    if (gnan || cnan) {
+      if (gnan && cnan) {
+        // Both undefined: a match by contract, error 0.
+        o.error = 0.0;
+        o.ratio = 0.0;
+      } else {
+        o.error = inf;
+        o.ratio = inf;
+        o.reason = gnan ? "golden is nan, candidate is not"
+                        : "candidate is nan, golden is not";
+      }
+    } else if (std::isinf(gval) || std::isinf(cval)) {
+      if (gval == cval) {
+        o.error = 0.0;
+        o.ratio = 0.0;
+      } else {
+        o.error = inf;
+        o.ratio = inf;
+        o.reason = "non-finite mismatch";
+      }
+    } else {
+      o.error = std::abs(cval - gval);
+      o.ratio = o.allowed > 0.0 ? o.error / o.allowed
+                                : (o.error == 0.0 ? 0.0 : inf);
+    }
+
+    ++report.compared;
+    if (report.compared == 1 || o.ratio > report.worst.ratio) {
+      report.worst = o;
+    }
+    if (o.ratio > 1.0 || !o.reason.empty()) add(std::move(o));
+  }
+
+  for (const auto& [name, cval] : candidate.metrics) {
+    if (golden.metric(name) != nullptr) continue;
+    Offender o;
+    o.metric = name;
+    o.golden = std::numeric_limits<double>::quiet_NaN();
+    o.candidate = cval;
+    o.error = inf;
+    o.ratio = inf;
+    o.reason = "metric not present in golden";
+    add(std::move(o));
+  }
+
+  std::stable_sort(report.offenders.begin(), report.offenders.end(),
+                   [](const Offender& a, const Offender& b) {
+                     return a.ratio > b.ratio;
+                   });
+  return report;
+}
+
+}  // namespace oasys::tolcmp

@@ -1,0 +1,90 @@
+// tolcmp — standalone tolerance-golden checker.
+//
+//   tolcmp GOLDEN CANDIDATE
+//
+// Compares two oasys.tol.v1 documents under the *golden's* envelopes
+// (tests/tolcmp.h).  Exit 0 when every metric lands inside its envelope,
+// 1 on any violation (each one printed, worst first), 2 on usage or
+// parse errors.  The passing path prints the worst-offender headroom so
+// a tolerance review can see how tight the suite is running, not just
+// that it passed.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "tolcmp.h"
+
+namespace {
+
+bool read_file(const char* path, std::string* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+void print_offender(const oasys::tolcmp::Offender& o) {
+  if (!o.reason.empty()) {
+    std::fprintf(stderr, "  %-20s %s\n", o.metric.c_str(),
+                 o.reason.c_str());
+    return;
+  }
+  std::fprintf(stderr,
+               "  %-20s golden %.17g candidate %.17g |err| %.3g allowed "
+               "%.3g (%.2fx over)\n",
+               o.metric.c_str(), o.golden, o.candidate, o.error, o.allowed,
+               o.ratio);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace oasys::tolcmp;
+
+  if (argc != 3) {
+    std::fprintf(stderr, "usage: tolcmp GOLDEN CANDIDATE\n");
+    return 2;
+  }
+
+  std::string golden_text;
+  std::string candidate_text;
+  if (!read_file(argv[1], &golden_text)) {
+    std::fprintf(stderr, "tolcmp: cannot read '%s'\n", argv[1]);
+    return 2;
+  }
+  if (!read_file(argv[2], &candidate_text)) {
+    std::fprintf(stderr, "tolcmp: cannot read '%s'\n", argv[2]);
+    return 2;
+  }
+
+  TolDocument golden;
+  TolDocument candidate;
+  try {
+    golden = parse_tol_document(golden_text);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "tolcmp: %s: %s\n", argv[1], e.what());
+    return 2;
+  }
+  try {
+    candidate = parse_tol_document(candidate_text);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "tolcmp: %s: %s\n", argv[2], e.what());
+    return 2;
+  }
+
+  const CompareReport report = compare_documents(golden, candidate);
+  if (!report.ok) {
+    std::fprintf(stderr, "tolcmp: %s: %zu violation(s):\n",
+                 golden.subject.c_str(), report.offenders.size());
+    for (const Offender& o : report.offenders) print_offender(o);
+    return 1;
+  }
+  std::printf("tolcmp: %s ok (%zu metrics; worst %s at %.1f%% of "
+              "envelope)\n",
+              golden.subject.c_str(), report.compared,
+              report.worst.metric.c_str(), report.worst.ratio * 100.0);
+  return 0;
+}

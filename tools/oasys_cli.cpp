@@ -52,6 +52,7 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -70,6 +71,7 @@
 #include "synth/oasys.h"
 #include "synth/report.h"
 #include "synth/result_json.h"
+#include "synth/sar_adc.h"
 #include "synth/test_cases.h"
 #include "synth/testbench.h"
 #include "tech/builtin.h"
@@ -107,6 +109,14 @@ int usage() {
       "  --device-eval M MOS evaluation path: 'batch' (SoA kernel,\n"
       "                  default) or 'scalar' (per-device reference);\n"
       "                  bit-for-bit identical results either way\n"
+      "  --tran-mode M   transient integrator: 'fixed' (uniform-step\n"
+      "                  reference, default) or 'adaptive' (embedded-error\n"
+      "                  step control; tolerance-equal to fixed, not\n"
+      "                  bit-equal, so the mode is part of cache keys and\n"
+      "                  the wire config — fixed and adaptive never share\n"
+      "                  a cache entry)\n"
+      "  --tran-rtol R   adaptive relative error tolerance (default 1e-3)\n"
+      "  --tran-atol A   adaptive absolute error tolerance (default 1e-6)\n"
       "  --templates     print the paper's test cases as spec templates\n"
       "batch mode (runs every .spec through the synthesis service):\n"
       "  --cache-size N  result-cache capacity in entries (default 256;\n"
@@ -170,6 +180,13 @@ int usage() {
       "  --dir DIR       write DIR/<tech>_<spec>.json instead of stdout\n"
       "  --yield-samples N / --yield-seed S  write yield documents\n"
       "                  (DIR/<tech>_<spec>_yield.json) instead\n"
+      "  --tol           write the tolerance-pinned golden suite\n"
+      "                  (oasys.tol.v1: built-in op-amp, comparator, and\n"
+      "                  SAR subjects measured under the adaptive\n"
+      "                  transient, each with its per-metric tolerance\n"
+      "                  envelopes; DIR/tol_<tech>_<subject>.json).\n"
+      "                  Spec operands are ignored; defaults to\n"
+      "                  --tran-mode adaptive unless one is given\n"
       "exit codes: 0 success, 1 synthesis/verification/input failure\n"
       "(including no feasible style), 2 usage error\n");
   return 2;
@@ -225,6 +242,52 @@ bool apply_device_eval(const char* v) {
   }
   oasys::sim::set_device_eval_default(mode);
   return true;
+}
+
+// Sets the process-wide transient stepping strategy.  Unlike
+// --device-eval this is semantically meaningful: adaptive results are
+// tolerance-equal, not bit-equal, to fixed-step, so the resolved mode is
+// also stamped into every SynthOptions (stamp_tran_options) where it
+// enters cache keys and the wire config.
+bool apply_tran_mode(const char* v) {
+  oasys::sim::TranMode mode = oasys::sim::TranMode::kDefault;
+  if (!oasys::sim::parse_tran_mode(v, &mode)) {
+    std::fprintf(stderr,
+                 "--tran-mode must be 'fixed' or 'adaptive', got '%s'\n", v);
+    return false;
+  }
+  oasys::sim::set_tran_mode_default(mode);
+  return true;
+}
+
+bool apply_tran_tolerance(const char* flag, const char* v, bool is_rtol) {
+  char* end = nullptr;
+  errno = 0;
+  const double tol = std::strtod(v, &end);
+  if (errno == ERANGE || end == v || *end != '\0' || !(tol > 0.0) ||
+      !(tol < 1e300)) {
+    std::fprintf(stderr, "%s requires a positive number, got '%s'\n", flag,
+                 v);
+    return false;
+  }
+  const oasys::sim::TranTolerance cur = oasys::sim::tran_tolerance_default();
+  oasys::sim::set_tran_tolerance_default(is_rtol ? tol : cur.rtol,
+                                         is_rtol ? cur.atol : tol);
+  return true;
+}
+
+// Stamps the fully resolved transient-engine selection into the options
+// that travel to services and worker processes.  Values are never left as
+// kDefault / 0 here: the canonical fingerprint — and therefore cache keys,
+// shard routing, and the wire config hash — must be identical no matter
+// which process re-derives it (the shard worker's drift guard re-hashes
+// the decoded struct and refuses to serve on mismatch).
+void stamp_tran_options(oasys::synth::SynthOptions* opts) {
+  opts->tran_mode =
+      oasys::sim::resolve_tran_mode(oasys::sim::TranMode::kDefault);
+  const oasys::sim::TranTolerance tol = oasys::sim::tran_tolerance_default();
+  opts->tran_rtol = tol.rtol;
+  opts->tran_atol = tol.atol;
 }
 
 // Writes the metrics registry as JSON when a --metrics-json path was
@@ -499,6 +562,19 @@ int parse_batch_args(int argc, char** argv, bool shard_mode,
     } else if (arg == "--device-eval") {
       const char* v = next();
       if (v == nullptr || !apply_device_eval(v)) return usage();
+    } else if (arg == "--tran-mode") {
+      const char* v = next();
+      if (v == nullptr || !apply_tran_mode(v)) return usage();
+    } else if (arg == "--tran-rtol") {
+      const char* v = next();
+      if (v == nullptr || !apply_tran_tolerance("--tran-rtol", v, true)) {
+        return usage();
+      }
+    } else if (arg == "--tran-atol") {
+      const char* v = next();
+      if (v == nullptr || !apply_tran_tolerance("--tran-atol", v, false)) {
+        return usage();
+      }
     } else if (arg == "--cache-size") {
       const char* v = next();
       long n = 0;
@@ -702,6 +778,7 @@ int run_batch_mode(int argc, char** argv) {
 
   synth::SynthOptions opts;
   opts.rules_enabled = args.rules;
+  stamp_tran_options(&opts);
 
   // Tracing mints one trace id for the whole run and turns on the global
   // span collector; every request is tagged so worker spans correlate.
@@ -870,8 +947,10 @@ int run_shard_mode(int argc, char** argv, const char* argv0) {
   synth::SynthOptions opts;
   opts.rules_enabled = args.rules;
   // Workers are separate processes: the coordinator's thread default does
-  // not reach them, so --jobs travels in the options instead.
+  // not reach them, so --jobs travels in the options instead (and the
+  // transient-engine selection travels fully resolved the same way).
   opts.jobs = static_cast<std::size_t>(args.jobs);
+  stamp_tran_options(&opts);
 
   shard::ShardOptions shopts;
   shopts.workers = static_cast<std::size_t>(args.workers);
@@ -1025,6 +1104,19 @@ int run_serve_mode(int argc, char** argv, const char* argv0) {
     } else if (arg == "--device-eval") {
       const char* v = next();
       if (v == nullptr || !apply_device_eval(v)) return usage();
+    } else if (arg == "--tran-mode") {
+      const char* v = next();
+      if (v == nullptr || !apply_tran_mode(v)) return usage();
+    } else if (arg == "--tran-rtol") {
+      const char* v = next();
+      if (v == nullptr || !apply_tran_tolerance("--tran-rtol", v, true)) {
+        return usage();
+      }
+    } else if (arg == "--tran-atol") {
+      const char* v = next();
+      if (v == nullptr || !apply_tran_tolerance("--tran-atol", v, false)) {
+        return usage();
+      }
     } else if (arg == "--no-rules") {
       rules = false;
     } else {
@@ -1042,6 +1134,7 @@ int run_serve_mode(int argc, char** argv, const char* argv0) {
 
   synth::SynthOptions opts;
   opts.rules_enabled = rules;
+  stamp_tran_options(&opts);
   sv.worker_command = self_executable(argv0);
   if (sv.worker_command.empty()) {
     std::fprintf(stderr, "serve: cannot determine own executable path\n");
@@ -1162,6 +1255,19 @@ int run_yield_mode(int argc, char** argv) {
     } else if (arg == "--device-eval") {
       const char* v = next();
       if (v == nullptr || !apply_device_eval(v)) return usage();
+    } else if (arg == "--tran-mode") {
+      const char* v = next();
+      if (v == nullptr || !apply_tran_mode(v)) return usage();
+    } else if (arg == "--tran-rtol") {
+      const char* v = next();
+      if (v == nullptr || !apply_tran_tolerance("--tran-rtol", v, true)) {
+        return usage();
+      }
+    } else if (arg == "--tran-atol") {
+      const char* v = next();
+      if (v == nullptr || !apply_tran_tolerance("--tran-atol", v, false)) {
+        return usage();
+      }
     } else if (arg == "--metrics-json") {
       const char* v = next();
       if (v == nullptr) return usage();
@@ -1195,6 +1301,7 @@ int run_yield_mode(int argc, char** argv) {
 
   synth::SynthOptions opts;
   opts.rules_enabled = rules;
+  stamp_tran_options(&opts);
   yield::YieldParams params;
   params.samples = static_cast<int>(samples);
   params.seed = static_cast<std::uint64_t>(seed);
@@ -1245,6 +1352,227 @@ int run_yield_mode(int argc, char** argv) {
   return done(0);
 }
 
+// ---- tolerance-pinned golden suite (oasys.tol.v1) --------------------------
+//
+// `oasys golden --tol` is the regeneration path for tests/golden/tol/:
+// each document pins one measurement subject (an op-amp paper case, the
+// built-in comparator example, the built-in SAR converter) under the
+// adaptive transient, together with the per-metric tolerance envelopes a
+// comparison must satisfy.  The envelopes live *in the golden file* so
+// the comparator (tests/tolcmp.h) needs no out-of-band configuration and
+// tightening a tolerance is a reviewed golden-file diff.
+
+// One metric value plus its acceptance envelope: |cand - golden| must be
+// <= abs + rel * |golden|.  abs == rel == 0 pins the value exactly
+// (integer and boolean metrics).
+struct TolMetric {
+  std::string name;
+  double value = 0.0;
+  double abs = 0.0;
+  double rel = 0.0;
+};
+
+// %.17g round-trips a double exactly; non-finite values are carried as
+// the strings "nan" / "inf" / "-inf" (JSON has no literals for them).
+std::string tol_json_number(double v) {
+  if (v != v) return "\"nan\"";
+  if (v == std::numeric_limits<double>::infinity()) return "\"inf\"";
+  if (v == -std::numeric_limits<double>::infinity()) return "\"-inf\"";
+  return oasys::util::format("%.17g", v);
+}
+
+std::string tol_document(const std::string& subject,
+                         const std::string& tech_tag,
+                         const std::vector<TolMetric>& metrics) {
+  using oasys::util::format;
+  const oasys::sim::TranMode mode =
+      oasys::sim::resolve_tran_mode(oasys::sim::TranMode::kDefault);
+  const oasys::sim::TranTolerance tol =
+      oasys::sim::tran_tolerance_default();
+  std::string out = "{\n  \"schema\": \"oasys.tol.v1\",\n";
+  out += format("  \"subject\": \"%s\",\n", subject.c_str());
+  out += format("  \"tech\": \"%s\",\n", tech_tag.c_str());
+  out += format("  \"tran\": {\"mode\": \"%s\", \"rtol\": %s, \"atol\": %s},\n",
+                oasys::sim::to_string(mode),
+                tol_json_number(tol.rtol).c_str(),
+                tol_json_number(tol.atol).c_str());
+  out += "  \"metrics\": {\n";
+  for (std::size_t i = 0; i < metrics.size(); ++i) {
+    out += format("    \"%s\": %s%s\n", metrics[i].name.c_str(),
+                  tol_json_number(metrics[i].value).c_str(),
+                  i + 1 < metrics.size() ? "," : "");
+  }
+  out += "  },\n  \"tol\": {\n";
+  for (std::size_t i = 0; i < metrics.size(); ++i) {
+    out += format("    \"%s\": {\"abs\": %s, \"rel\": %s}%s\n",
+                  metrics[i].name.c_str(),
+                  tol_json_number(metrics[i].abs).c_str(),
+                  tol_json_number(metrics[i].rel).c_str(),
+                  i + 1 < metrics.size() ? "," : "");
+  }
+  out += "  }\n}\n";
+  return out;
+}
+
+// Envelope presets.  Transient-derived metrics (slew, delays) get a
+// generous relative band: adaptive stepping is bit-deterministic on one
+// build, but the envelopes are what let the suite pass across compilers
+// and architectures.  AC/OP-derived metrics barely move and stay tight;
+// integer and boolean metrics are exact.
+constexpr double kTolTranRel = 2e-2;
+constexpr double kTolTranAbs = 1e-12;
+constexpr double kTolSmallRel = 1e-6;
+constexpr double kTolSmallAbs = 1e-9;
+
+TolMetric tran_metric(const std::string& name, double v) {
+  return {name, v, kTolTranAbs, kTolTranRel};
+}
+TolMetric tight_metric(const std::string& name, double v) {
+  return {name, v, kTolSmallAbs, kTolSmallRel};
+}
+TolMetric exact_metric(const std::string& name, double v) {
+  return {name, v, 0.0, 0.0};
+}
+
+// The built-in comparator subject: the example spec from
+// examples/comparator_design.cpp, which exercises the step-rejection path
+// (sharp input edges) of the adaptive integrator.
+oasys::synth::ComparatorSpec tol_comparator_spec() {
+  oasys::synth::ComparatorSpec spec;
+  spec.name = "example";
+  spec.resolution = oasys::util::mv(10.0);
+  spec.tprop_max = oasys::util::us(2.0);
+  spec.cload = oasys::util::pf(2.0);
+  spec.out_high = 1.5;
+  spec.out_low = -0.5;
+  spec.icmr_lo = -1.0;
+  spec.icmr_hi = 0.5;
+  return spec;
+}
+
+// The built-in SAR subject (the nominal converter from the SAR tests).
+oasys::synth::SarAdcSpec tol_sar_spec() {
+  oasys::synth::SarAdcSpec spec;
+  spec.name = "adc8";
+  spec.bits = 8;
+  spec.sample_rate = oasys::util::khz(20.0);
+  spec.vin_lo = -2.0;
+  spec.vin_hi = 2.0;
+  return spec;
+}
+
+// Generates the full tolerance-pinned suite into `out_dir` (or stdout
+// when empty).  Subjects: every paper op-amp test case (measured through
+// the transient slew testbench), the built-in comparator, the built-in
+// SAR converter.  Returns 1 on any synthesis/measurement/write failure.
+int run_golden_tol(const oasys::tech::Technology& t,
+                   const std::string& tech_tag, const std::string& out_dir,
+                   const oasys::synth::SynthOptions& opts) {
+  using namespace oasys;
+
+  struct Doc {
+    std::string subject;
+    std::vector<TolMetric> metrics;
+  };
+  std::vector<Doc> docs;
+
+  for (const core::OpAmpSpec& spec : synth::paper_test_cases()) {
+    const synth::SynthesisResult r = synth::synthesize_opamp(t, spec, opts);
+    if (!r.success()) {
+      std::fprintf(stderr, "golden --tol: %s: %s\n", spec.name.c_str(),
+                   synth::failure_brief(r).c_str());
+      return 1;
+    }
+    // ICMR and noise sweeps do not touch the transient engine and only
+    // slow the suite down; slew is the transient-bearing metric.
+    synth::MeasureOptions mo;
+    mo.measure_icmr = false;
+    mo.measure_noise = false;
+    const synth::MeasuredOpAmp m = synth::measure_opamp(*r.best(), t, mo);
+    if (!m.ok) {
+      std::fprintf(stderr, "golden --tol: %s: %s\n", spec.name.c_str(),
+                   m.error.c_str());
+      return 1;
+    }
+    docs.push_back(
+        {"opamp_" + spec.name,
+         {tran_metric("slew", m.perf.slew),
+          tight_metric("gain_db", m.perf.gain_db),
+          tight_metric("gbw", m.perf.gbw),
+          tight_metric("pm_deg", m.perf.pm_deg),
+          tight_metric("swing_pos", m.perf.swing_pos),
+          tight_metric("swing_neg", m.perf.swing_neg),
+          tight_metric("offset", m.perf.offset),
+          tight_metric("power", m.perf.power)}});
+  }
+
+  {
+    const synth::ComparatorSpec spec = tol_comparator_spec();
+    const synth::ComparatorDesign d = synth::design_comparator(t, spec, opts);
+    if (!d.feasible) {
+      std::fprintf(stderr, "golden --tol: comparator %s infeasible\n",
+                   spec.name.c_str());
+      return 1;
+    }
+    const synth::MeasuredComparator m = synth::measure_comparator(d, t);
+    if (!m.ok) {
+      std::fprintf(stderr, "golden --tol: comparator %s: %s\n",
+                   spec.name.c_str(), m.error.c_str());
+      return 1;
+    }
+    docs.push_back({"comparator_" + spec.name,
+                    {tran_metric("delay_rising", m.delay_rising),
+                     tran_metric("delay_falling", m.delay_falling),
+                     tight_metric("out_high", m.out_high),
+                     tight_metric("out_low", m.out_low),
+                     tight_metric("offset", m.offset),
+                     tight_metric("power", m.power)}});
+  }
+
+  {
+    const synth::SarAdcSpec spec = tol_sar_spec();
+    const synth::SarAdcDesign d = synth::design_sar_adc(t, spec, opts);
+    if (!d.feasible) {
+      std::fprintf(stderr, "golden --tol: sar %s infeasible\n",
+                   spec.name.c_str());
+      return 1;
+    }
+    const synth::MeasuredSarAdc m = synth::measure_sar_adc(d, t);
+    if (!m.ok) {
+      std::fprintf(stderr, "golden --tol: sar %s: %s\n", spec.name.c_str(),
+                   m.error.c_str());
+      return 1;
+    }
+    docs.push_back(
+        {"sar_" + spec.name,
+         {exact_metric("max_code_error_lsb",
+                       static_cast<double>(m.max_code_error_lsb)),
+          exact_metric("monotonic", m.monotonic ? 1.0 : 0.0),
+          tran_metric("comparator_tprop", m.comparator_tprop),
+          exact_metric("timing_met", m.timing_met ? 1.0 : 0.0)}});
+  }
+
+  bool write_failed = false;
+  for (const Doc& doc : docs) {
+    const std::string json = tol_document(doc.subject, tech_tag, doc.metrics);
+    if (out_dir.empty()) {
+      std::fputs(json.c_str(), stdout);
+      continue;
+    }
+    const std::string path =
+        out_dir + "/tol_" + tech_tag + "_" + doc.subject + ".json";
+    std::ofstream out(path);
+    if (out) out << json;
+    if (!out) {
+      std::fprintf(stderr, "cannot write '%s'\n", path.c_str());
+      write_failed = true;
+      continue;
+    }
+    std::printf("wrote %s\n", path.c_str());
+  }
+  return write_failed ? 1 : 0;
+}
+
 // `oasys golden`: canonical result JSON (oasys.result.v1) per spec.  With
 // --dir, writes DIR/<tech>_<spec>.json per spec (the regeneration path
 // for tests/golden/); otherwise the documents stream to stdout.
@@ -1255,6 +1583,8 @@ int run_golden_mode(int argc, char** argv) {
   std::string tech_path;
   std::string out_dir;
   bool rules = true;
+  bool tol = false;
+  bool tran_mode_given = false;
   long yield_samples = 0;
   long yield_seed = 1;
   for (int i = 0; i < argc; ++i) {
@@ -1276,6 +1606,22 @@ int run_golden_mode(int argc, char** argv) {
     } else if (arg == "--device-eval") {
       const char* v = next();
       if (v == nullptr || !apply_device_eval(v)) return usage();
+    } else if (arg == "--tran-mode") {
+      const char* v = next();
+      if (v == nullptr || !apply_tran_mode(v)) return usage();
+      tran_mode_given = true;
+    } else if (arg == "--tran-rtol") {
+      const char* v = next();
+      if (v == nullptr || !apply_tran_tolerance("--tran-rtol", v, true)) {
+        return usage();
+      }
+    } else if (arg == "--tran-atol") {
+      const char* v = next();
+      if (v == nullptr || !apply_tran_tolerance("--tran-atol", v, false)) {
+        return usage();
+      }
+    } else if (arg == "--tol") {
+      tol = true;
     } else if (arg == "--yield-samples") {
       const char* v = next();
       if (v == nullptr || !parse_count(v, 1, &yield_samples)) {
@@ -1299,7 +1645,7 @@ int run_golden_mode(int argc, char** argv) {
       operands.push_back(arg);
     }
   }
-  if (operands.empty()) {
+  if (operands.empty() && !tol) {
     std::fprintf(stderr,
                  "golden mode needs at least one spec file or directory\n");
     return usage();
@@ -1312,6 +1658,20 @@ int run_golden_mode(int argc, char** argv) {
           ? "builtin"
           : std::filesystem::path(tech_path).stem().string();
 
+  // The tolerance suite exists to pin the adaptive engine; regenerating
+  // it under fixed stepping would produce misleading goldens, so --tol
+  // selects adaptive unless a mode was given explicitly.
+  if (tol && !tran_mode_given) {
+    sim::set_tran_mode_default(sim::TranMode::kAdaptive);
+  }
+
+  if (tol) {
+    synth::SynthOptions opts;
+    opts.rules_enabled = rules;
+    stamp_tran_options(&opts);
+    return run_golden_tol(t, tech_tag, out_dir, opts);
+  }
+
   std::vector<std::string> spec_paths;
   std::vector<core::OpAmpSpec> specs;
   bool parse_failed = false;
@@ -1319,6 +1679,7 @@ int run_golden_mode(int argc, char** argv) {
 
   synth::SynthOptions opts;
   opts.rules_enabled = rules;
+  stamp_tran_options(&opts);
   bool write_failed = false;
   for (std::size_t i = 0; i < specs.size(); ++i) {
     std::string json;
@@ -1416,6 +1777,19 @@ int main(int argc, char** argv) {
     } else if (arg == "--device-eval") {
       const char* v = next();
       if (v == nullptr || !apply_device_eval(v)) return usage();
+    } else if (arg == "--tran-mode") {
+      const char* v = next();
+      if (v == nullptr || !apply_tran_mode(v)) return usage();
+    } else if (arg == "--tran-rtol") {
+      const char* v = next();
+      if (v == nullptr || !apply_tran_tolerance("--tran-rtol", v, true)) {
+        return usage();
+      }
+    } else if (arg == "--tran-atol") {
+      const char* v = next();
+      if (v == nullptr || !apply_tran_tolerance("--tran-atol", v, false)) {
+        return usage();
+      }
     } else if (arg == "--metrics-json") {
       const char* v = next();
       if (v == nullptr) return usage();
@@ -1455,6 +1829,7 @@ int main(int argc, char** argv) {
 
   synth::SynthOptions opts;
   opts.rules_enabled = rules;
+  stamp_tran_options(&opts);
   // --trace turns on the process-wide span collector: the plan narrative
   // and the span timeline below are two renderings of one event stream.
   if (trace) obs::set_tracing_enabled(true);
